@@ -1,0 +1,31 @@
+//! Criterion benchmark of end-to-end simulation throughput
+//! (instructions simulated per wall-clock second).
+
+use acic_sim::{IcacheOrg, SimConfig, Simulator};
+use acic_workloads::{AppProfile, SyntheticWorkload};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    const N: u64 = 50_000;
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N));
+    let wl = SyntheticWorkload::with_instructions(AppProfile::sibench(), N);
+    group.bench_function("lru_fdp", |b| {
+        let cfg = SimConfig::default();
+        b.iter(|| black_box(Simulator::run(&cfg, &wl)));
+    });
+    group.bench_function("acic_fdp", |b| {
+        let cfg = SimConfig::default().with_org(IcacheOrg::acic_default());
+        b.iter(|| black_box(Simulator::run(&cfg, &wl)));
+    });
+    group.bench_function("opt_oracle", |b| {
+        let cfg = SimConfig::default().with_org(IcacheOrg::Opt);
+        b.iter(|| black_box(Simulator::run(&cfg, &wl)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for the core hardware structures:
+//! throughput of the i-Filter, CSHR, two-level predictor, TAGE and
+//! the set-associative cache. These measure *simulation* speed, not
+//! paper figures.
+
+use acic_cache::policy::PolicyKind;
+use acic_cache::{AccessCtx, CacheGeometry, SetAssocCache};
+use acic_core::{AcicConfig, Cshr, IFilter, TwoLevelPredictor};
+use acic_sim::Tage;
+use acic_types::{Addr, BlockAddr};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ifilter(c: &mut Criterion) {
+    c.bench_function("ifilter_access_insert", |b| {
+        let mut f = IFilter::new(16);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let blk = BlockAddr::new(i % 40);
+            if !f.access(blk) {
+                black_box(f.insert(blk));
+            }
+        });
+    });
+}
+
+fn bench_cshr(c: &mut Criterion) {
+    c.bench_function("cshr_insert_search", |b| {
+        let mut cshr = Cshr::new(8, 32, 64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            cshr.insert((i % 4096) as u16, ((i + 7) % 4096) as u16, (i % 64) as usize);
+            black_box(cshr.search((i.wrapping_mul(17) % 4096) as u16, (i % 64) as usize));
+        });
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    c.bench_function("two_level_predict_train", |b| {
+        let mut p = TwoLevelPredictor::new(&AcicConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let tag = (i % 1000) as u16;
+            let pred = p.predict(tag);
+            p.train(tag, i.is_multiple_of(3), i);
+            p.tick(i);
+            black_box(pred);
+        });
+    });
+}
+
+fn bench_tage(c: &mut Criterion) {
+    c.bench_function("tage_predict_train", |b| {
+        let mut t = Tage::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(t.predict_and_train(Addr::new((i % 256) * 4), i % 7 < 3));
+        });
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("l1i_access_fill", |b| {
+        let geom = CacheGeometry::l1i_32k();
+        let mut cache = SetAssocCache::new(geom, PolicyKind::Lru.build(geom));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let ctx = AccessCtx::demand(BlockAddr::new(i % 1500), i);
+            if !cache.access(&ctx) {
+                black_box(cache.fill(&ctx));
+            }
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ifilter,
+    bench_cshr,
+    bench_predictor,
+    bench_tage,
+    bench_cache
+);
+criterion_main!(benches);

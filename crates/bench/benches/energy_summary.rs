@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's energy_summary output.
+//! Run: `cargo bench -p acic-bench --bench energy_summary`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::energy_summary());
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's fig01a_reuse_hist output.
+//! Run: `cargo bench -p acic-bench --bench fig01a_reuse_hist`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::fig01a_reuse_hist());
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's fig01b_markov output.
+//! Run: `cargo bench -p acic-bench --bench fig01b_markov`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::fig01b_markov());
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's fig03a_ifilter_gap output.
+//! Run: `cargo bench -p acic-bench --bench fig03a_ifilter_gap`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::fig03a_ifilter_gap());
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's fig03b_insert_delta output.
+//! Run: `cargo bench -p acic-bench --bench fig03b_insert_delta`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::fig03b_insert_delta());
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's fig06_cshr_lifetime output.
+//! Run: `cargo bench -p acic-bench --bench fig06_cshr_lifetime`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::fig06_cshr_lifetime());
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's fig10_speedup output.
+//! Run: `cargo bench -p acic-bench --bench fig10_speedup`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::fig10_speedup());
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's fig11_mpki output.
+//! Run: `cargo bench -p acic-bench --bench fig11_mpki`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::fig11_mpki());
+}

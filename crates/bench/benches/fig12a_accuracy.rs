@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's fig12a_accuracy output.
+//! Run: `cargo bench -p acic-bench --bench fig12a_accuracy`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::fig12a_accuracy());
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's fig12b_random output.
+//! Run: `cargo bench -p acic-bench --bench fig12b_random`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::fig12b_random());
+}

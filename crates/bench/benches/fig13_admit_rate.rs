@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's fig13_admit_rate output.
+//! Run: `cargo bench -p acic-bench --bench fig13_admit_rate`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::fig13_admit_rate());
+}

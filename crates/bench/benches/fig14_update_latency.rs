@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's fig14_update_latency output.
+//! Run: `cargo bench -p acic-bench --bench fig14_update_latency`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::fig14_update_latency());
+}

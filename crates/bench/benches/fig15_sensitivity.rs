@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's fig15_sensitivity output.
+//! Run: `cargo bench -p acic-bench --bench fig15_sensitivity`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::fig15_sensitivity());
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's fig16_over_ifilter output.
+//! Run: `cargo bench -p acic-bench --bench fig16_over_ifilter`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::fig16_over_ifilter());
+}

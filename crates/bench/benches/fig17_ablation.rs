@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's fig17_ablation output.
+//! Run: `cargo bench -p acic-bench --bench fig17_ablation`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::fig17_ablation());
+}

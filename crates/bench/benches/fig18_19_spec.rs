@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's fig18_19_spec output.
+//! Run: `cargo bench -p acic-bench --bench fig18_19_spec`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::fig18_19_spec());
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's fig20_21_entangling output.
+//! Run: `cargo bench -p acic-bench --bench fig20_21_entangling`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::fig20_21_entangling());
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's table1_storage output.
+//! Run: `cargo bench -p acic-bench --bench table1_storage`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::table1_storage());
+}

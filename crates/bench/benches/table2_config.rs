@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's table2_config output.
+//! Run: `cargo bench -p acic-bench --bench table2_config`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::table2_config());
+}

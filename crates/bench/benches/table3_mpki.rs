@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's table3_mpki output.
+//! Run: `cargo bench -p acic-bench --bench table3_mpki`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::table3_mpki());
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating the paper's table4_schemes output.
+//! Run: `cargo bench -p acic-bench --bench table4_schemes`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/app).
+
+fn main() {
+    println!("{}", acic_bench::figures::table4_schemes());
+}

@@ -1,0 +1,181 @@
+//! Shared experiment plumbing: instruction budgets, parallel
+//! simulation fan-out, and markdown rendering.
+
+use acic_sim::{IcacheOrg, PrefetcherKind, SimConfig, SimReport, Simulator};
+use acic_workloads::{AppProfile, SyntheticWorkload};
+use std::sync::Mutex;
+
+/// Instructions simulated per application: `ACIC_EXP_INSTRUCTIONS` or
+/// 1 M (the paper runs 500 M–1 B; shapes stabilize well below that).
+pub fn instruction_budget() -> u64 {
+    std::env::var("ACIC_EXP_INSTRUCTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+/// Runs one (configuration, application) pair.
+pub fn run_config(cfg: &SimConfig, profile: &AppProfile, instructions: u64) -> SimReport {
+    let wl = SyntheticWorkload::with_instructions(profile.clone(), instructions);
+    Simulator::run(cfg, &wl)
+}
+
+/// Runs a candidate configuration and the matching baseline on the
+/// same workload; returns `(candidate, baseline)`.
+pub fn run_pair(
+    cfg: &SimConfig,
+    baseline: &SimConfig,
+    profile: &AppProfile,
+    instructions: u64,
+) -> (SimReport, SimReport) {
+    let wl = SyntheticWorkload::with_instructions(profile.clone(), instructions);
+    (Simulator::run(cfg, &wl), Simulator::run(baseline, &wl))
+}
+
+/// A parallel fan-out over (organization x application) grids.
+pub struct Runner {
+    /// Simulation length per application.
+    pub instructions: u64,
+    /// Baseline configuration (LRU + the chosen prefetcher).
+    pub baseline: SimConfig,
+}
+
+impl Runner {
+    /// Creates a runner with the standard LRU+FDP baseline.
+    pub fn new() -> Self {
+        Runner {
+            instructions: instruction_budget(),
+            baseline: SimConfig::default(),
+        }
+    }
+
+    /// Creates a runner over a different prefetcher baseline
+    /// (Figures 20/21 use the entangling prefetcher).
+    pub fn with_prefetcher(prefetcher: PrefetcherKind) -> Self {
+        Runner {
+            instructions: instruction_budget(),
+            baseline: SimConfig::default().with_prefetcher(prefetcher),
+        }
+    }
+
+    /// Runs every (config, app) pair in parallel, returning results
+    /// in `configs x apps` order. Thread count follows available
+    /// parallelism.
+    pub fn run_grid(&self, configs: &[SimConfig], apps: &[AppProfile]) -> Vec<Vec<SimReport>> {
+        let mut work: Vec<(usize, usize)> = Vec::new();
+        for c in 0..configs.len() {
+            for a in 0..apps.len() {
+                work.push((c, a));
+            }
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<SimReport>>> = Mutex::new(vec![None; work.len()]);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(work.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= work.len() {
+                        break;
+                    }
+                    let (c, a) = work[i];
+                    let report = run_config(&configs[c], &apps[a], self.instructions);
+                    results.lock().expect("no poisoned lock")[i] = Some(report);
+                });
+            }
+        });
+        let flat = results.into_inner().expect("no poisoned lock");
+        let mut grid: Vec<Vec<SimReport>> = Vec::with_capacity(configs.len());
+        let mut it = flat.into_iter();
+        for _ in 0..configs.len() {
+            let mut row = Vec::with_capacity(apps.len());
+            for _ in 0..apps.len() {
+                row.push(it.next().flatten().expect("all work completed"));
+            }
+            grid.push(row);
+        }
+        grid
+    }
+
+    /// Convenience: baseline plus a list of organizations, all under
+    /// the runner's prefetcher. Returns `(baseline_row, org_rows)`.
+    pub fn run_orgs(
+        &self,
+        orgs: &[IcacheOrg],
+        apps: &[AppProfile],
+    ) -> (Vec<SimReport>, Vec<Vec<SimReport>>) {
+        let mut configs = vec![self.baseline.clone()];
+        configs.extend(orgs.iter().map(|o| self.baseline.with_org(o.clone())));
+        let mut grid = self.run_grid(&configs, apps);
+        let baseline = grid.remove(0);
+        (baseline, grid)
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Renders a markdown table.
+pub fn markdown_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", header.join(" | ")));
+    out.push_str(&format!(
+        "|{}\n",
+        header.iter().map(|_| "---|").collect::<String>()
+    ));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Short names used as figure columns.
+pub fn short_name(app: &str) -> String {
+    app.replace("-analytics", "").replace("-http", "")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_reads_env() {
+        // Default without env (other tests may set it; just bounds).
+        assert!(instruction_budget() >= 1000);
+    }
+
+    #[test]
+    fn grid_runs_in_config_by_app_order() {
+        let runner = Runner {
+            instructions: 5_000,
+            baseline: SimConfig::default(),
+        };
+        let apps = vec![AppProfile::sibench(), AppProfile::x264()];
+        let configs = vec![
+            SimConfig::default(),
+            SimConfig::default().with_org(IcacheOrg::Larger36k),
+        ];
+        let grid = runner.run_grid(&configs, &apps);
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[0].len(), 2);
+        assert_eq!(grid[0][0].app, "sibench");
+        assert_eq!(grid[0][1].app, "x264");
+        assert_eq!(grid[1][0].org, "36KB L1i");
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(
+            &["a".into(), "b".into()],
+            &[vec!["1".into(), "2".into()]],
+        );
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 1 | 2 |"));
+    }
+}

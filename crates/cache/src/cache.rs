@@ -1,0 +1,268 @@
+//! The set-associative tag store.
+//!
+//! [`SetAssocCache`] models contents only (tags + policy metadata);
+//! timing (latencies, MSHRs) lives in `acic-sim`. The replacement
+//! policy is a boxed trait object so experiment harnesses can select
+//! policies at runtime; each policy owns its per-line metadata.
+
+use crate::ctx::AccessCtx;
+use crate::geometry::CacheGeometry;
+use crate::policy::ReplacementPolicy;
+use crate::stats::CacheStats;
+use acic_types::BlockAddr;
+
+/// A set-associative cache of 64 B blocks with a pluggable
+/// replacement policy.
+///
+/// # Examples
+///
+/// ```
+/// use acic_cache::{AccessCtx, CacheGeometry, SetAssocCache};
+/// use acic_cache::policy::lru::LruPolicy;
+/// use acic_types::BlockAddr;
+///
+/// let geom = CacheGeometry::from_sets_ways(2, 2);
+/// let mut c = SetAssocCache::new(geom, Box::new(LruPolicy::new(geom)));
+/// // Fill both ways of set 0, then a third block evicts the LRU one.
+/// for (i, b) in [0u64, 2, 4].iter().enumerate() {
+///     let ctx = AccessCtx::demand(BlockAddr::new(*b), i as u64);
+///     assert!(!c.access(&ctx));
+///     c.fill(&ctx);
+/// }
+/// assert!(!c.contains(BlockAddr::new(0))); // evicted
+/// assert!(c.contains(BlockAddr::new(2)));
+/// assert!(c.contains(BlockAddr::new(4)));
+/// ```
+pub struct SetAssocCache {
+    geom: CacheGeometry,
+    tags: Vec<Option<BlockAddr>>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+    scratch: Vec<BlockAddr>,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given policy.
+    pub fn new(geom: CacheGeometry, policy: Box<dyn ReplacementPolicy>) -> Self {
+        SetAssocCache {
+            geom,
+            tags: vec![None; geom.lines()],
+            policy,
+            stats: CacheStats::default(),
+            scratch: Vec::with_capacity(geom.ways()),
+        }
+    }
+
+    /// Geometry of the cache.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Name of the replacement policy driving this cache.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Way holding `block`, if present.
+    pub fn find(&self, block: BlockAddr) -> Option<usize> {
+        let set = self.geom.set_of(block);
+        let base = self.geom.line_index(set, 0);
+        (0..self.geom.ways()).find(|&w| self.tags[base + w] == Some(block))
+    }
+
+    /// Whether `block` is resident (no state change).
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.find(block).is_some()
+    }
+
+    /// Performs an access; returns `true` on hit. On hit the policy's
+    /// recency/prediction state is updated; on miss the policy
+    /// observes the miss but no fill happens (call
+    /// [`SetAssocCache::fill`] once the block arrives).
+    pub fn access(&mut self, ctx: &AccessCtx<'_>) -> bool {
+        let set = self.geom.set_of(ctx.block);
+        let hit = match self.find(ctx.block) {
+            Some(way) => {
+                self.policy.on_hit(set, way, ctx);
+                true
+            }
+            None => {
+                self.policy.on_miss(set, ctx);
+                false
+            }
+        };
+        if ctx.is_prefetch {
+            self.stats.record_prefetch(hit);
+        } else {
+            self.stats.record_demand(hit);
+        }
+        hit
+    }
+
+    /// Inserts `ctx.block`, evicting a victim if the set is full.
+    /// Returns the evicted block, if any.
+    ///
+    /// Filling a block that is already resident is treated as a
+    /// policy touch and returns `None`.
+    pub fn fill(&mut self, ctx: &AccessCtx<'_>) -> Option<BlockAddr> {
+        let set = self.geom.set_of(ctx.block);
+        if let Some(way) = self.find(ctx.block) {
+            // Duplicate fill (e.g. prefetch raced a demand miss).
+            self.policy.on_hit(set, way, ctx);
+            return None;
+        }
+        if ctx.is_prefetch {
+            self.stats.prefetch_fills += 1;
+        } else {
+            self.stats.demand_fills += 1;
+        }
+        let base = self.geom.line_index(set, 0);
+        // Prefer an invalid way.
+        if let Some(way) = (0..self.geom.ways()).find(|&w| self.tags[base + w].is_none()) {
+            self.tags[base + way] = Some(ctx.block);
+            self.policy.on_fill(set, way, ctx);
+            return None;
+        }
+        self.scratch.clear();
+        for w in 0..self.geom.ways() {
+            self.scratch.push(self.tags[base + w].expect("all ways valid"));
+        }
+        let way = self.policy.victim_way(set, &self.scratch, ctx);
+        debug_assert!(way < self.geom.ways(), "policy returned invalid way");
+        let evicted = self.tags[base + way].expect("victim way valid");
+        self.policy.on_evict(set, way, evicted, ctx);
+        self.stats.evictions += 1;
+        self.tags[base + way] = Some(ctx.block);
+        self.policy.on_fill(set, way, ctx);
+        Some(evicted)
+    }
+
+    /// The block the policy would evict if `ctx.block` were filled
+    /// now — the paper's *contender block*. Returns `None` while the
+    /// set still has invalid ways (no contender; admission is free).
+    pub fn contender(&self, ctx: &AccessCtx<'_>) -> Option<BlockAddr> {
+        let set = self.geom.set_of(ctx.block);
+        let base = self.geom.line_index(set, 0);
+        let mut blocks = Vec::with_capacity(self.geom.ways());
+        for w in 0..self.geom.ways() {
+            blocks.push(self.tags[base + w]?);
+        }
+        let way = self.policy.peek_victim(set, &blocks, ctx);
+        Some(blocks[way])
+    }
+
+    /// Removes `block` if resident; returns whether it was present.
+    pub fn invalidate(&mut self, block: BlockAddr) -> bool {
+        if let Some(way) = self.find(block) {
+            let set = self.geom.set_of(block);
+            self.tags[self.geom.line_index(set, way)] = None;
+            self.policy.on_invalidate(set, way);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All resident blocks (for tests and invariant checks).
+    pub fn resident_blocks(&self) -> Vec<BlockAddr> {
+        self.tags.iter().flatten().copied().collect()
+    }
+
+    /// Blocks resident in one set (for tests).
+    pub fn set_blocks(&self, set: usize) -> Vec<BlockAddr> {
+        let base = self.geom.line_index(set, 0);
+        (0..self.geom.ways())
+            .filter_map(|w| self.tags[base + w])
+            .collect()
+    }
+}
+
+impl core::fmt::Debug for SetAssocCache {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SetAssocCache")
+            .field("geometry", &self.geom)
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::lru::LruPolicy;
+
+    fn small() -> SetAssocCache {
+        let geom = CacheGeometry::from_sets_ways(4, 2);
+        SetAssocCache::new(geom, Box::new(LruPolicy::new(geom)))
+    }
+
+    fn ctx(block: u64, idx: u64) -> AccessCtx<'static> {
+        AccessCtx::demand(BlockAddr::new(block), idx)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        assert!(!c.access(&ctx(1, 0)));
+        c.fill(&ctx(1, 0));
+        assert!(c.access(&ctx(1, 1)));
+        assert_eq!(c.stats().demand_accesses, 2);
+        assert_eq!(c.stats().demand_misses, 1);
+    }
+
+    #[test]
+    fn no_duplicate_blocks_in_set() {
+        let mut c = small();
+        c.fill(&ctx(4, 0));
+        c.fill(&ctx(4, 1)); // duplicate fill ignored
+        assert_eq!(c.resident_blocks().len(), 1);
+    }
+
+    #[test]
+    fn eviction_only_when_set_full() {
+        let mut c = small();
+        // Blocks 0, 4, 8 all map to set 0 (4 sets).
+        assert_eq!(c.fill(&ctx(0, 0)), None);
+        assert_eq!(c.fill(&ctx(4, 1)), None);
+        let evicted = c.fill(&ctx(8, 2));
+        assert_eq!(evicted, Some(BlockAddr::new(0)));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn contender_is_lru_block() {
+        let mut c = small();
+        c.fill(&ctx(0, 0));
+        assert_eq!(c.contender(&ctx(8, 1)), None); // invalid way remains
+        c.fill(&ctx(4, 1));
+        // Touch block 0 making block 4 the LRU.
+        c.access(&ctx(0, 2));
+        assert_eq!(c.contender(&ctx(8, 3)), Some(BlockAddr::new(4)));
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = small();
+        c.fill(&ctx(3, 0));
+        assert!(c.invalidate(BlockAddr::new(3)));
+        assert!(!c.contains(BlockAddr::new(3)));
+        assert!(!c.invalidate(BlockAddr::new(3)));
+    }
+
+    #[test]
+    fn prefetch_stats_are_separate() {
+        let mut c = small();
+        let p = AccessCtx::prefetch(BlockAddr::new(9), 0);
+        assert!(!c.access(&p));
+        c.fill(&p);
+        assert_eq!(c.stats().prefetch_misses, 1);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        assert_eq!(c.stats().demand_accesses, 0);
+    }
+}

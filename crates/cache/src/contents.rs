@@ -1,0 +1,310 @@
+//! The "what lives in the L1i" abstraction.
+//!
+//! The timing simulator drives every i-cache organization through
+//! [`IcacheContents`]: a plain policy-driven cache, a cache with a
+//! victim cache bolted on, the virtual victim cache, or ACIC's
+//! i-Filter organization (implemented in `acic-core`). Timing
+//! (latencies, MSHRs, prefetch scheduling) stays in `acic-sim`; these
+//! types only answer hit/miss and track contents.
+
+use crate::bypass::AdmissionPolicy;
+use crate::cache::SetAssocCache;
+use crate::ctx::AccessCtx;
+use crate::stats::CacheStats;
+use crate::victim::VictimCache;
+use acic_types::BlockAddr;
+
+/// Result of a contents access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the block was found somewhere in the organization.
+    pub hit: bool,
+    /// Extra cycles beyond the normal hit latency (e.g. a virtual
+    /// victim cache hit needs an extra probe-and-swap).
+    pub extra_latency: u32,
+}
+
+impl AccessOutcome {
+    /// A plain hit.
+    pub fn hit() -> Self {
+        AccessOutcome {
+            hit: true,
+            extra_latency: 0,
+        }
+    }
+
+    /// A hit that costs `extra` additional cycles.
+    pub fn slow_hit(extra: u32) -> Self {
+        AccessOutcome {
+            hit: true,
+            extra_latency: extra,
+        }
+    }
+
+    /// A miss.
+    pub fn miss() -> Self {
+        AccessOutcome {
+            hit: false,
+            extra_latency: 0,
+        }
+    }
+}
+
+/// An L1i contents organization.
+pub trait IcacheContents {
+    /// Handles one access (demand fetch or prefetch probe, per
+    /// `ctx.is_prefetch`).
+    fn access(&mut self, ctx: &AccessCtx<'_>) -> AccessOutcome;
+
+    /// Installs a block that arrived from the next level.
+    fn fill(&mut self, ctx: &AccessCtx<'_>);
+
+    /// Whether the block is resident anywhere (prefetch filtering; no
+    /// state change).
+    fn contains_block(&self, block: BlockAddr) -> bool;
+
+    /// Aggregated statistics.
+    fn stats(&self) -> CacheStats;
+
+    /// Report label.
+    fn label(&self) -> String;
+
+    /// Advances internal pipelines to `now` (organizations with
+    /// multi-cycle predictor-update paths override this; default
+    /// no-op).
+    fn tick(&mut self, _now: acic_types::Cycle) {}
+
+    /// Concrete-type escape hatch for end-of-run introspection
+    /// (e.g. reading ACIC's admission statistics).
+    fn as_any(&self) -> &dyn core::any::Any;
+}
+
+/// A plain set-associative i-cache, optionally with a direct fill
+/// bypass policy (DSB, OBM).
+///
+/// # Examples
+///
+/// ```
+/// use acic_cache::{AccessCtx, CacheGeometry, IcacheContents, PlainIcache, PolicyKind};
+/// use acic_types::BlockAddr;
+///
+/// let mut icache = PlainIcache::new(CacheGeometry::l1i_32k(), PolicyKind::Lru);
+/// let ctx = AccessCtx::demand(BlockAddr::new(1), 0);
+/// assert!(!icache.access(&ctx).hit);
+/// icache.fill(&ctx);
+/// assert!(icache.access(&AccessCtx::demand(BlockAddr::new(1), 1)).hit);
+/// ```
+pub struct PlainIcache {
+    cache: SetAssocCache,
+    bypass: Option<Box<dyn AdmissionPolicy>>,
+}
+
+impl PlainIcache {
+    /// Creates a cache with the given replacement policy and no
+    /// bypassing.
+    pub fn new(geom: crate::geometry::CacheGeometry, kind: crate::policy::PolicyKind) -> Self {
+        PlainIcache {
+            cache: SetAssocCache::new(geom, kind.build(geom)),
+            bypass: None,
+        }
+    }
+
+    /// Adds a direct fill-bypass policy (DSB / OBM style).
+    pub fn with_bypass(mut self, bypass: Box<dyn AdmissionPolicy>) -> Self {
+        self.bypass = Some(bypass);
+        self
+    }
+
+    /// The underlying cache (for tests and invariant checks).
+    pub fn cache(&self) -> &SetAssocCache {
+        &self.cache
+    }
+}
+
+impl IcacheContents for PlainIcache {
+    fn access(&mut self, ctx: &AccessCtx<'_>) -> AccessOutcome {
+        if !ctx.is_prefetch {
+            if let Some(b) = self.bypass.as_mut() {
+                b.on_demand_access(ctx.block, ctx);
+            }
+        }
+        if self.cache.access(ctx) {
+            AccessOutcome::hit()
+        } else {
+            AccessOutcome::miss()
+        }
+    }
+
+    fn fill(&mut self, ctx: &AccessCtx<'_>) {
+        if let Some(bypass) = self.bypass.as_mut() {
+            let contender = self.cache.contender(ctx);
+            if contender.is_some() && !bypass.should_admit(ctx.block, contender, ctx) {
+                // Count the bypass on the cache's books.
+                return;
+            }
+            let evicted = self.cache.fill(ctx);
+            bypass.on_fill(ctx.block, evicted, ctx);
+        } else {
+            self.cache.fill(ctx);
+        }
+    }
+
+    fn contains_block(&self, block: BlockAddr) -> bool {
+        self.cache.contains(block)
+    }
+
+    fn stats(&self) -> CacheStats {
+        *self.cache.stats()
+    }
+
+    fn label(&self) -> String {
+        match &self.bypass {
+            Some(b) => format!("{}+{}", self.cache.policy_name(), b.name()),
+            None => self.cache.policy_name().to_string(),
+        }
+    }
+
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+}
+
+/// An i-cache with a traditional victim cache beside it (Jouppi 1990;
+/// the paper's VC3K comparison point).
+pub struct VictimCachedIcache {
+    cache: SetAssocCache,
+    victim: VictimCache,
+    stats: CacheStats,
+    /// Extra cycles charged for a hit that is satisfied from the
+    /// victim cache (swap back into the main array).
+    swap_latency: u32,
+}
+
+impl VictimCachedIcache {
+    /// Creates the organization; `victim_entries` = 48 reproduces the
+    /// paper's 3 KB victim cache.
+    pub fn new(
+        geom: crate::geometry::CacheGeometry,
+        kind: crate::policy::PolicyKind,
+        victim_entries: usize,
+    ) -> Self {
+        VictimCachedIcache {
+            cache: SetAssocCache::new(geom, kind.build(geom)),
+            victim: VictimCache::new(victim_entries),
+            stats: CacheStats::default(),
+            swap_latency: 1,
+        }
+    }
+
+    /// The victim cache (for tests).
+    pub fn victim_cache(&self) -> &VictimCache {
+        &self.victim
+    }
+}
+
+impl IcacheContents for VictimCachedIcache {
+    fn access(&mut self, ctx: &AccessCtx<'_>) -> AccessOutcome {
+        let main_hit = self.cache.access(ctx);
+        let outcome = if main_hit {
+            AccessOutcome::hit()
+        } else if self.victim.probe_and_remove(ctx.block) {
+            // Swap into the main cache; the displaced block drops into
+            // the victim cache.
+            if let Some(evicted) = self.cache.fill(ctx) {
+                if let Some(dropped) = self.victim.insert(evicted) {
+                    let _ = dropped; // fell out of the hierarchy
+                }
+            }
+            AccessOutcome::slow_hit(self.swap_latency)
+        } else {
+            AccessOutcome::miss()
+        };
+        if ctx.is_prefetch {
+            self.stats.record_prefetch(outcome.hit);
+        } else {
+            self.stats.record_demand(outcome.hit);
+        }
+        outcome
+    }
+
+    fn fill(&mut self, ctx: &AccessCtx<'_>) {
+        if ctx.is_prefetch {
+            self.stats.prefetch_fills += 1;
+        } else {
+            self.stats.demand_fills += 1;
+        }
+        if let Some(evicted) = self.cache.fill(ctx) {
+            self.stats.evictions += 1;
+            let _ = self.victim.insert(evicted);
+        }
+    }
+
+    fn contains_block(&self, block: BlockAddr) -> bool {
+        self.cache.contains(block) || self.victim.contains(block)
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{}+vc{}",
+            self.cache.policy_name(),
+            self.victim.capacity() * 64 / 1024
+        )
+    }
+
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CacheGeometry;
+    use crate::policy::PolicyKind;
+
+    fn ctx(b: u64, i: u64) -> AccessCtx<'static> {
+        AccessCtx::demand(BlockAddr::new(b), i)
+    }
+
+    #[test]
+    fn plain_counts_demand_misses() {
+        let mut i = PlainIcache::new(CacheGeometry::from_sets_ways(2, 2), PolicyKind::Lru);
+        assert!(!i.access(&ctx(1, 0)).hit);
+        i.fill(&ctx(1, 0));
+        assert!(i.access(&ctx(1, 1)).hit);
+        assert_eq!(i.stats().demand_misses, 1);
+    }
+
+    #[test]
+    fn victim_cache_recovers_evictions() {
+        let geom = CacheGeometry::from_sets_ways(1, 2);
+        let mut i = VictimCachedIcache::new(geom, PolicyKind::Lru, 4);
+        i.fill(&ctx(1, 0));
+        i.fill(&ctx(2, 1));
+        i.fill(&ctx(3, 2)); // evicts 1 into the victim cache
+        assert!(i.contains_block(BlockAddr::new(1)));
+        let out = i.access(&ctx(1, 3));
+        assert!(out.hit);
+        assert_eq!(out.extra_latency, 1);
+        // Block 1 swapped back into the main array.
+        assert!(i.cache.contains(BlockAddr::new(1)));
+    }
+
+    #[test]
+    fn bypass_policy_can_reject_fills() {
+        use crate::bypass::NeverAdmit;
+        let geom = CacheGeometry::from_sets_ways(1, 2);
+        let mut i =
+            PlainIcache::new(geom, PolicyKind::Lru).with_bypass(Box::new(NeverAdmit));
+        i.fill(&ctx(1, 0));
+        i.fill(&ctx(2, 1));
+        // Set now full; further fills are rejected.
+        i.fill(&ctx(3, 2));
+        assert!(!i.contains_block(BlockAddr::new(3)));
+        assert!(i.contains_block(BlockAddr::new(1)));
+    }
+}

@@ -1,0 +1,118 @@
+//! Access context passed to policies.
+//!
+//! Policies need more than the block address: recency policies use the
+//! access index as a timestamp, OPT needs the oracle's next-use
+//! answers, and prefetch-aware policies (Harmony) need to know whether
+//! the access is a demand fetch or a prefetch.
+
+use acic_trace::{OracleCursor, NO_NEXT_USE};
+use acic_types::BlockAddr;
+
+/// Context for one cache access or fill.
+#[derive(Clone, Copy)]
+pub struct AccessCtx<'a> {
+    /// The block being accessed or filled.
+    pub block: BlockAddr,
+    /// Demand-access sequence position (monotone; used as an LRU
+    /// timestamp).
+    pub access_index: u64,
+    /// Next-use position of `block` after this access, or
+    /// [`NO_NEXT_USE`] when no oracle is attached.
+    pub next_use: u64,
+    /// Whether this access originates from a prefetcher.
+    pub is_prefetch: bool,
+    /// Optional oracle cursor for policies that need future knowledge
+    /// about *other* blocks (OPT-bypass).
+    pub oracle: Option<&'a OracleCursor<'a>>,
+}
+
+impl<'a> AccessCtx<'a> {
+    /// A demand access without future knowledge.
+    pub fn demand(block: BlockAddr, access_index: u64) -> Self {
+        AccessCtx {
+            block,
+            access_index,
+            next_use: NO_NEXT_USE,
+            is_prefetch: false,
+            oracle: None,
+        }
+    }
+
+    /// A prefetch access without future knowledge.
+    pub fn prefetch(block: BlockAddr, access_index: u64) -> Self {
+        AccessCtx {
+            is_prefetch: true,
+            ..AccessCtx::demand(block, access_index)
+        }
+    }
+
+    /// Attaches the block's own next-use position (for OPT).
+    pub fn with_next_use(mut self, next_use: u64) -> Self {
+        self.next_use = next_use;
+        self
+    }
+
+    /// Attaches an oracle cursor (for OPT-bypass).
+    pub fn with_oracle(mut self, oracle: &'a OracleCursor<'a>) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// Next-use position of an arbitrary block, if an oracle is
+    /// attached; [`NO_NEXT_USE`] otherwise.
+    pub fn next_use_of(&self, block: BlockAddr) -> u64 {
+        match self.oracle {
+            Some(cur) => cur.next_use_of(block),
+            None => NO_NEXT_USE,
+        }
+    }
+}
+
+impl core::fmt::Debug for AccessCtx<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("AccessCtx")
+            .field("block", &self.block)
+            .field("access_index", &self.access_index)
+            .field("next_use", &self.next_use)
+            .field("is_prefetch", &self.is_prefetch)
+            .field("oracle", &self.oracle.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_defaults() {
+        let ctx = AccessCtx::demand(BlockAddr::new(5), 7);
+        assert!(!ctx.is_prefetch);
+        assert_eq!(ctx.next_use, NO_NEXT_USE);
+        assert_eq!(ctx.access_index, 7);
+        assert_eq!(ctx.next_use_of(BlockAddr::new(5)), NO_NEXT_USE);
+    }
+
+    #[test]
+    fn prefetch_flag() {
+        let ctx = AccessCtx::prefetch(BlockAddr::new(5), 0);
+        assert!(ctx.is_prefetch);
+    }
+
+    #[test]
+    fn with_next_use_sets_value() {
+        let ctx = AccessCtx::demand(BlockAddr::new(5), 0).with_next_use(42);
+        assert_eq!(ctx.next_use, 42);
+    }
+
+    #[test]
+    fn oracle_lookup_through_ctx() {
+        use acic_trace::ReuseOracle;
+        let seq = vec![BlockAddr::new(1), BlockAddr::new(2), BlockAddr::new(1)];
+        let oracle = ReuseOracle::from_sequence(&seq);
+        let mut cur = oracle.cursor();
+        cur.advance(BlockAddr::new(1));
+        let ctx = AccessCtx::demand(BlockAddr::new(1), 0).with_oracle(&cur);
+        assert_eq!(ctx.next_use_of(BlockAddr::new(1)), 2);
+    }
+}

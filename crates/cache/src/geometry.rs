@@ -1,0 +1,165 @@
+//! Cache geometry: size, associativity, and derived set counts.
+
+use acic_types::{BlockAddr, BLOCK_BYTES};
+
+/// Geometry of a set-associative cache.
+///
+/// The number of sets must come out a power of two (the usual
+/// constraint for simple index extraction); associativity may be any
+/// positive value, which is what lets us model the paper's 36 KB
+/// 9-way study (§IV-F).
+///
+/// # Examples
+///
+/// ```
+/// use acic_cache::CacheGeometry;
+///
+/// let l1i = CacheGeometry::l1i_32k();
+/// assert_eq!(l1i.sets(), 64);
+/// assert_eq!(l1i.ways(), 8);
+/// assert_eq!(l1i.size_bytes(), 32 * 1024);
+///
+/// let bigger = CacheGeometry::l1i_36k();
+/// assert_eq!(bigger.sets(), 64);
+/// assert_eq!(bigger.ways(), 9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    sets: usize,
+    ways: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry from total size and associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arguments don't produce a positive power-of-two
+    /// number of 64 B sets.
+    pub fn new(size_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        let line_bytes = BLOCK_BYTES as usize;
+        assert_eq!(
+            size_bytes % (ways * line_bytes),
+            0,
+            "size must be a multiple of ways * 64B"
+        );
+        let sets = size_bytes / (ways * line_bytes);
+        assert!(
+            sets.is_power_of_two(),
+            "number of sets ({sets}) must be a power of two"
+        );
+        CacheGeometry { sets, ways }
+    }
+
+    /// Creates a geometry directly from sets and ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a positive power of two or `ways` is 0.
+    pub fn from_sets_ways(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(ways > 0, "associativity must be positive");
+        CacheGeometry { sets, ways }
+    }
+
+    /// The paper's baseline L1i: 32 KB, 8-way (Table II).
+    pub fn l1i_32k() -> Self {
+        CacheGeometry::new(32 * 1024, 8)
+    }
+
+    /// The paper's larger-i-cache comparison point: 36 KB, 9-way
+    /// (§IV-F).
+    pub fn l1i_36k() -> Self {
+        CacheGeometry::new(36 * 1024, 9)
+    }
+
+    /// The paper's L1d: 48 KB, 8-way... rounded to a power-of-two set
+    /// count (48 KB / 8 ways / 64 B = 96 sets, which is not a power of
+    /// two; we model 64 sets x 12 ways = 48 KB, preserving capacity).
+    pub fn l1d_48k() -> Self {
+        CacheGeometry::from_sets_ways(64, 12)
+    }
+
+    /// The paper's unified L2: 512 KB, 8-way.
+    pub fn l2_512k() -> Self {
+        CacheGeometry::new(512 * 1024, 8)
+    }
+
+    /// The paper's unified L3: 2 MB, 16-way.
+    pub fn l3_2m() -> Self {
+        CacheGeometry::new(2 * 1024 * 1024, 16)
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    #[inline]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total number of lines.
+    #[inline]
+    pub fn lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.lines() * BLOCK_BYTES as usize
+    }
+
+    /// Set index of a block.
+    #[inline]
+    pub fn set_of(&self, block: BlockAddr) -> usize {
+        block.set_index(self.sets)
+    }
+
+    /// Flat line index for (set, way).
+    #[inline]
+    pub fn line_index(&self, set: usize, way: usize) -> usize {
+        debug_assert!(set < self.sets && way < self.ways);
+        set * self.ways + way
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_geometries() {
+        assert_eq!(CacheGeometry::l1i_32k().lines(), 512);
+        assert_eq!(CacheGeometry::l2_512k().sets(), 1024);
+        assert_eq!(CacheGeometry::l3_2m().sets(), 2048);
+        assert_eq!(CacheGeometry::l1d_48k().size_bytes(), 48 * 1024);
+    }
+
+    #[test]
+    fn set_mapping_uses_low_bits() {
+        let g = CacheGeometry::l1i_32k();
+        assert_eq!(g.set_of(BlockAddr::new(0)), 0);
+        assert_eq!(g.set_of(BlockAddr::new(63)), 63);
+        assert_eq!(g.set_of(BlockAddr::new(64)), 0);
+        assert_eq!(g.set_of(BlockAddr::new(65)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panic() {
+        let _ = CacheGeometry::new(48 * 1024, 8);
+    }
+
+    #[test]
+    fn thirty_six_kb_is_nine_way() {
+        let g = CacheGeometry::l1i_36k();
+        assert_eq!(g.lines(), 576);
+        assert_eq!(g.size_bytes(), 36 * 1024);
+    }
+}

@@ -1,0 +1,54 @@
+//! Cache substrate for the ACIC reproduction.
+//!
+//! The paper compares ACIC against three broad families of i-cache
+//! pollution-control techniques (§IV-B, Table IV); this crate builds
+//! all of them from scratch:
+//!
+//! * **Replacement policies** ([`policy`]): LRU, Random, SRRIP, SHiP,
+//!   Hawkeye/Harmony, GHRP, Belady's OPT, and segmented LRU.
+//! * **Bypass / admission policies** ([`bypass`]): always-admit,
+//!   access-count comparison (Johnson et al.), DSB's adaptive
+//!   bypassing, OBM's optimal bypass monitor, and the oracle
+//!   OPT-bypass.
+//! * **Victim caches** ([`victim`]): a classic fully-associative
+//!   victim cache (VC3K) and the virtual victim cache (VVC).
+//!
+//! The central type is [`SetAssocCache`], a tag store driven by a
+//! boxed [`ReplacementPolicy`]; policies own their per-line metadata so
+//! they stay object-safe and runtime-selectable. [`IcacheContents`]
+//! abstracts "what lives in the L1i" so that the timing simulator can
+//! drive a plain cache, a victim-cached one, VVC, or ACIC's filtered
+//! organization through one interface.
+//!
+//! # Examples
+//!
+//! ```
+//! use acic_cache::{AccessCtx, CacheGeometry, SetAssocCache};
+//! use acic_cache::policy::lru::LruPolicy;
+//! use acic_types::BlockAddr;
+//!
+//! // The paper's 32 KB, 8-way L1i.
+//! let geom = CacheGeometry::l1i_32k();
+//! let mut cache = SetAssocCache::new(geom, Box::new(LruPolicy::new(geom)));
+//! let b = BlockAddr::new(0x40);
+//! let ctx = AccessCtx::demand(b, 0);
+//! assert!(!cache.access(&ctx));      // cold miss
+//! cache.fill(&ctx);
+//! assert!(cache.access(&AccessCtx::demand(b, 1)));
+//! ```
+
+pub mod bypass;
+pub mod cache;
+pub mod contents;
+pub mod ctx;
+pub mod geometry;
+pub mod policy;
+pub mod stats;
+pub mod victim;
+
+pub use cache::SetAssocCache;
+pub use contents::{AccessOutcome, IcacheContents, PlainIcache, VictimCachedIcache};
+pub use ctx::AccessCtx;
+pub use geometry::CacheGeometry;
+pub use policy::{PolicyKind, ReplacementPolicy};
+pub use stats::CacheStats;

@@ -1,0 +1,304 @@
+//! Hawkeye / Harmony — Belady-trained replacement (Jain & Lin, ISCA
+//! 2016/2018), with the paper's parameters: 64-entry occupancy
+//! vectors, an 8K-entry predictor of 3-bit counters, 3-bit RRIP
+//! (Table IV).
+//!
+//! Hawkeye reconstructs what Belady's OPT *would have done* on sampled
+//! sets (OPTgen) and trains a predictor: signatures whose accesses OPT
+//! would have kept are cache-friendly, others cache-averse. Harmony is
+//! the prefetch-aware variant: prefetch and demand accesses train
+//! separate signatures so prefetched-but-dead blocks don't pollute the
+//! demand signature.
+//!
+//! Adaptation note: as with SHiP and GHRP, the fetch stream has no
+//! load PC, so signatures are hashes of the block address (plus a
+//! prefetch bit in Harmony mode).
+
+use crate::ctx::AccessCtx;
+use crate::geometry::CacheGeometry;
+use crate::policy::ReplacementPolicy;
+use acic_types::hash::{fold, mix64};
+use acic_types::{BlockAddr, SatCounter};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Occupancy-vector window length (Table IV: 64 entries).
+const WINDOW: usize = 64;
+/// Predictor entries (8K, Table IV).
+const PREDICTOR_ENTRIES: usize = 8192;
+/// RRIP width (3-bit, Table IV).
+const RRPV_BITS: u32 = 3;
+const RRPV_MAX: u8 = (1 << RRPV_BITS) - 1;
+
+/// One sampled set's OPTgen state.
+#[derive(Debug, Default)]
+struct SampledSet {
+    /// Occupancy per time quantum, oldest first; index 0 corresponds
+    /// to time `base_time`.
+    occupancy: VecDeque<u8>,
+    /// Set-local logical time of the next access.
+    time: u64,
+    /// Block -> (last access time, signature used at that access).
+    last: HashMap<BlockAddr, (u64, u16)>,
+}
+
+/// Per-line replacement metadata.
+#[derive(Clone, Copy, Debug, Default)]
+struct LineMeta {
+    rrpv: u8,
+    signature: u16,
+    friendly: bool,
+}
+
+/// Hawkeye (or Harmony when `prefetch_aware`) replacement policy.
+#[derive(Debug)]
+pub struct HawkeyePolicy {
+    ways: usize,
+    sample_mask: usize,
+    prefetch_aware: bool,
+    lines: Vec<LineMeta>,
+    predictor: Vec<SatCounter>,
+    sampled: HashMap<usize, SampledSet>,
+}
+
+impl HawkeyePolicy {
+    /// Creates Hawkeye state; `prefetch_aware` selects Harmony.
+    pub fn new(geom: CacheGeometry, prefetch_aware: bool) -> Self {
+        // Sample roughly one in eight sets (at least one).
+        let stride = (geom.sets() / 8).max(1);
+        HawkeyePolicy {
+            ways: geom.ways(),
+            sample_mask: stride,
+            prefetch_aware,
+            lines: vec![LineMeta::default(); geom.lines()],
+            predictor: vec![SatCounter::new(3, 4); PREDICTOR_ENTRIES],
+            sampled: HashMap::new(),
+        }
+    }
+
+    fn signature(&self, block: BlockAddr, is_prefetch: bool) -> u16 {
+        let tagged = if self.prefetch_aware && is_prefetch {
+            mix64(block.raw()) ^ 0x5bd1_e995
+        } else {
+            mix64(block.raw())
+        };
+        fold(tagged, 13) as u16
+    }
+
+    fn is_sampled(&self, set: usize) -> bool {
+        set.is_multiple_of(self.sample_mask)
+    }
+
+    fn predict_friendly(&self, sig: u16) -> bool {
+        self.predictor[sig as usize % PREDICTOR_ENTRIES].is_high()
+    }
+
+    fn train(&mut self, sig: u16, friendly: bool) {
+        self.predictor[sig as usize % PREDICTOR_ENTRIES].update(friendly);
+    }
+
+    /// Runs OPTgen for one access to a sampled set; trains the
+    /// predictor with what OPT would have done.
+    fn optgen_access(&mut self, set: usize, ctx: &AccessCtx<'_>) {
+        let ways = self.ways as u8;
+        let sig = self.signature(ctx.block, ctx.is_prefetch);
+        let entry = self.sampled.entry(set).or_default();
+        let now = entry.time;
+        entry.time += 1;
+
+        let mut train: Option<(u16, bool)> = None;
+        if let Some(&(t_prev, prev_sig)) = entry.last.get(&ctx.block) {
+            let window_start = now.saturating_sub(entry.occupancy.len() as u64);
+            if t_prev >= window_start {
+                let start = (t_prev - window_start) as usize;
+                let fits = entry.occupancy.iter().skip(start).all(|&o| o < ways);
+                if fits {
+                    for o in entry.occupancy.iter_mut().skip(start) {
+                        *o += 1;
+                    }
+                }
+                train = Some((prev_sig, fits));
+            }
+        }
+        entry.last.insert(ctx.block, (now, sig));
+        entry.occupancy.push_back(0);
+        if entry.occupancy.len() > WINDOW {
+            entry.occupancy.pop_front();
+            // Lazily trim stale block entries to bound memory.
+            if entry.last.len() > 4 * WINDOW {
+                let cutoff = now.saturating_sub(WINDOW as u64);
+                entry.last.retain(|_, &mut (t, _)| t >= cutoff);
+            }
+        }
+        if let Some((sig, friendly)) = train {
+            self.train(sig, friendly);
+        }
+    }
+
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+}
+
+impl ReplacementPolicy for HawkeyePolicy {
+    fn name(&self) -> &'static str {
+        if self.prefetch_aware {
+            "harmony"
+        } else {
+            "hawkeye"
+        }
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessCtx<'_>) {
+        if self.is_sampled(set) {
+            self.optgen_access(set, ctx);
+        }
+        let sig = self.signature(ctx.block, ctx.is_prefetch);
+        let friendly = self.predict_friendly(sig);
+        let i = self.idx(set, way);
+        self.lines[i].signature = sig;
+        self.lines[i].friendly = friendly;
+        // Hits always promote: a line being used is not dead, whatever
+        // the predictor thought at fill time.
+        self.lines[i].rrpv = 0;
+    }
+
+    fn on_miss(&mut self, set: usize, ctx: &AccessCtx<'_>) {
+        if self.is_sampled(set) {
+            self.optgen_access(set, ctx);
+        }
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessCtx<'_>) {
+        let sig = self.signature(ctx.block, ctx.is_prefetch);
+        let friendly = self.predict_friendly(sig);
+        let i = self.idx(set, way);
+        if friendly {
+            // Age other friendly lines so older friendly blocks become
+            // eviction candidates before newer ones.
+            let base = self.idx(set, 0);
+            for w in 0..self.ways {
+                let l = &mut self.lines[base + w];
+                if w != way && l.friendly && l.rrpv < RRPV_MAX - 1 {
+                    l.rrpv += 1;
+                }
+            }
+        }
+        self.lines[i] = LineMeta {
+            rrpv: if friendly { 0 } else { RRPV_MAX },
+            signature: sig,
+            friendly,
+        };
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize, _block: BlockAddr, _ctx: &AccessCtx<'_>) {
+        // Detrain: evicting a cache-friendly line means the predictor
+        // overpromised — OPT would not have kept it around.
+        let i = self.idx(set, way);
+        if self.lines[i].friendly {
+            let sig = self.lines[i].signature;
+            self.train(sig, false);
+        }
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        let i = self.idx(set, way);
+        self.lines[i] = LineMeta {
+            rrpv: RRPV_MAX,
+            ..LineMeta::default()
+        };
+    }
+
+    fn victim_way(&mut self, set: usize, blocks: &[BlockAddr], ctx: &AccessCtx<'_>) -> usize {
+        self.peek_victim(set, blocks, ctx)
+    }
+
+    fn peek_victim(&self, set: usize, _blocks: &[BlockAddr], _ctx: &AccessCtx<'_>) -> usize {
+        let base = set * self.ways;
+        // Prefer a cache-averse line (RRPV max), else the oldest
+        // friendly line (highest RRPV).
+        self.lines[base..base + self.ways]
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, l)| (l.rrpv, usize::MAX - i))
+            .map(|(i, _)| i)
+            .expect("at least one way")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::SetAssocCache;
+
+    fn ctx(b: u64, i: u64) -> AccessCtx<'static> {
+        AccessCtx::demand(BlockAddr::new(b), i)
+    }
+
+    #[test]
+    fn optgen_trains_friendly_on_short_reuse() {
+        let geom = CacheGeometry::from_sets_ways(1, 4);
+        let mut p = HawkeyePolicy::new(geom, false);
+        // Repeated accesses to the same block in a sampled set: OPT
+        // would always hit -> signature becomes friendly.
+        for i in 0..20 {
+            p.on_miss(0, &ctx(8, i));
+        }
+        let sig = p.signature(BlockAddr::new(8), false);
+        assert!(p.predictor[sig as usize % PREDICTOR_ENTRIES].value() >= 4);
+    }
+
+    #[test]
+    fn optgen_trains_averse_on_overflow() {
+        let geom = CacheGeometry::from_sets_ways(1, 2);
+        let mut p = HawkeyePolicy::new(geom, false);
+        // Stream many distinct blocks then revisit: occupancy full ->
+        // averse. Blocks all map to set 0 (1 set).
+        for round in 0..6u64 {
+            for b in 0..8u64 {
+                p.on_miss(0, &ctx(b, round * 8 + b));
+            }
+        }
+        let sig = p.signature(BlockAddr::new(3), false);
+        assert!(
+            p.predictor[sig as usize % PREDICTOR_ENTRIES].value() < 4,
+            "streaming signature should be averse"
+        );
+    }
+
+    #[test]
+    fn averse_fills_are_evicted_first() {
+        let geom = CacheGeometry::from_sets_ways(1, 2);
+        let mut p = HawkeyePolicy::new(geom, false);
+        // Make block 5's signature averse manually.
+        let sig5 = p.signature(BlockAddr::new(5), false);
+        p.predictor[sig5 as usize % PREDICTOR_ENTRIES].set(0);
+        let mut c = SetAssocCache::new(geom, Box::new(p));
+        c.fill(&ctx(1, 0));
+        c.fill(&ctx(5, 1));
+        let evicted = c.fill(&ctx(9, 2));
+        assert_eq!(evicted, Some(BlockAddr::new(5)));
+    }
+
+    #[test]
+    fn harmony_separates_prefetch_signatures() {
+        let geom = CacheGeometry::from_sets_ways(1, 2);
+        let p = HawkeyePolicy::new(geom, true);
+        let b = BlockAddr::new(77);
+        assert_ne!(p.signature(b, false), p.signature(b, true));
+        let p = HawkeyePolicy::new(geom, false);
+        assert_eq!(p.signature(b, false), p.signature(b, true));
+    }
+
+    #[test]
+    fn occupancy_window_is_bounded() {
+        let geom = CacheGeometry::from_sets_ways(1, 2);
+        let mut p = HawkeyePolicy::new(geom, false);
+        for i in 0..1000u64 {
+            p.on_miss(0, &ctx(i % 100, i));
+        }
+        let s = p.sampled.get(&0).unwrap();
+        assert!(s.occupancy.len() <= WINDOW);
+        assert!(s.last.len() <= 4 * WINDOW + 1);
+    }
+}

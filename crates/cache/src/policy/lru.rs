@@ -1,0 +1,117 @@
+//! Least-recently-used replacement — the paper's baseline i-cache
+//! policy (Table II).
+
+use crate::ctx::AccessCtx;
+use crate::geometry::CacheGeometry;
+use crate::policy::ReplacementPolicy;
+use acic_types::{BlockAddr, LruStamps};
+
+/// True-LRU replacement using per-set recency stamps.
+///
+/// # Examples
+///
+/// ```
+/// use acic_cache::{AccessCtx, CacheGeometry, SetAssocCache};
+/// use acic_cache::policy::lru::LruPolicy;
+/// use acic_types::BlockAddr;
+///
+/// let geom = CacheGeometry::from_sets_ways(1, 2);
+/// let mut c = SetAssocCache::new(geom, Box::new(LruPolicy::new(geom)));
+/// for (i, b) in [10u64, 20].iter().enumerate() {
+///     c.fill(&AccessCtx::demand(BlockAddr::new(*b), i as u64));
+/// }
+/// c.access(&AccessCtx::demand(BlockAddr::new(10), 2)); // 20 becomes LRU
+/// let evicted = c.fill(&AccessCtx::demand(BlockAddr::new(30), 3));
+/// assert_eq!(evicted, Some(BlockAddr::new(20)));
+/// ```
+#[derive(Debug)]
+pub struct LruPolicy {
+    sets: Vec<LruStamps>,
+}
+
+impl LruPolicy {
+    /// Creates LRU state for the geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        LruPolicy {
+            sets: (0..geom.sets()).map(|_| LruStamps::new(geom.ways())).collect(),
+        }
+    }
+
+    /// Recency stamps of one set (exposed for tests and the storage
+    /// model).
+    pub fn stamps(&self, set: usize) -> &LruStamps {
+        &self.sets[set]
+    }
+}
+
+impl ReplacementPolicy for LruPolicy {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessCtx<'_>) {
+        self.sets[set].touch(way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessCtx<'_>) {
+        self.sets[set].touch(way);
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.sets[set].clear(way);
+    }
+
+    fn victim_way(&mut self, set: usize, _blocks: &[BlockAddr], _ctx: &AccessCtx<'_>) -> usize {
+        self.sets[set].lru_way()
+    }
+
+    fn peek_victim(&self, set: usize, _blocks: &[BlockAddr], _ctx: &AccessCtx<'_>) -> usize {
+        self.sets[set].lru_way()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::SetAssocCache;
+
+    #[test]
+    fn evicts_least_recently_touched() {
+        let geom = CacheGeometry::from_sets_ways(1, 4);
+        let mut c = SetAssocCache::new(geom, Box::new(LruPolicy::new(geom)));
+        for i in 0..4u64 {
+            c.fill(&AccessCtx::demand(BlockAddr::new(i), i));
+        }
+        // Touch 0 and 1; LRU should now be 2.
+        c.access(&AccessCtx::demand(BlockAddr::new(0), 10));
+        c.access(&AccessCtx::demand(BlockAddr::new(1), 11));
+        let evicted = c.fill(&AccessCtx::demand(BlockAddr::new(9), 12));
+        assert_eq!(evicted, Some(BlockAddr::new(2)));
+    }
+
+    #[test]
+    fn peek_matches_victim() {
+        let geom = CacheGeometry::from_sets_ways(1, 3);
+        let mut c = SetAssocCache::new(geom, Box::new(LruPolicy::new(geom)));
+        for i in 0..3u64 {
+            c.fill(&AccessCtx::demand(BlockAddr::new(i), i));
+        }
+        let ctx = AccessCtx::demand(BlockAddr::new(100), 50);
+        let peek = c.contender(&ctx).unwrap();
+        let evicted = c.fill(&ctx).unwrap();
+        assert_eq!(peek, evicted);
+    }
+
+    #[test]
+    fn lru_stack_order_after_sequence() {
+        let geom = CacheGeometry::from_sets_ways(1, 4);
+        let mut p = LruPolicy::new(geom);
+        let ctx = AccessCtx::demand(BlockAddr::new(0), 0);
+        p.on_fill(0, 0, &ctx);
+        p.on_fill(0, 1, &ctx);
+        p.on_fill(0, 2, &ctx);
+        p.on_fill(0, 3, &ctx);
+        p.on_hit(0, 0, &ctx);
+        assert_eq!(p.stamps(0).recency_order(), vec![0, 3, 2, 1]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Replacement policies.
+//!
+//! Every policy the paper compares against (Table IV) plus the
+//! baseline: [`lru`], [`random`], [`srrip`], [`ship`], [`hawkeye`]
+//! (with the prefetch-aware Harmony variant), [`ghrp`], [`slru`]
+//! (DSB's segmented LRU), and the oracle [`opt`].
+//!
+//! Policies are object-safe: each owns its per-line metadata, sized at
+//! construction from the [`CacheGeometry`], and reacts to the hooks in
+//! [`ReplacementPolicy`].
+
+pub mod ghrp;
+pub mod hawkeye;
+pub mod lru;
+pub mod opt;
+pub mod random;
+pub mod ship;
+pub mod slru;
+pub mod srrip;
+
+use crate::ctx::AccessCtx;
+use crate::geometry::CacheGeometry;
+use acic_types::BlockAddr;
+
+/// Hooks a replacement policy implements.
+///
+/// The cache calls `on_hit` / `on_miss` for every access, `victim_way`
+/// when a fill needs to evict (all ways valid), `on_evict` just before
+/// the victim leaves, and `on_fill` after the new block is placed.
+/// `peek_victim` must be side-effect free; it exists so admission
+/// mechanisms can ask "who would you evict?" without committing
+/// (the paper's *contender block* query).
+pub trait ReplacementPolicy {
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// A resident block was accessed.
+    fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessCtx<'_>);
+
+    /// A block was placed into `way` (previous occupant already
+    /// evicted).
+    fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessCtx<'_>);
+
+    /// An access missed in `set` (no fill yet).
+    fn on_miss(&mut self, _set: usize, _ctx: &AccessCtx<'_>) {}
+
+    /// `block` is about to be evicted from `way`.
+    fn on_evict(&mut self, _set: usize, _way: usize, _block: BlockAddr, _ctx: &AccessCtx<'_>) {}
+
+    /// A line was invalidated outside the fill path.
+    fn on_invalidate(&mut self, _set: usize, _way: usize) {}
+
+    /// Chooses the way to evict; `blocks[w]` is the block in way `w`
+    /// (all valid). May update policy state (e.g. RRIP aging).
+    fn victim_way(&mut self, set: usize, blocks: &[BlockAddr], ctx: &AccessCtx<'_>) -> usize;
+
+    /// Side-effect-free preview of [`ReplacementPolicy::victim_way`].
+    fn peek_victim(&self, set: usize, blocks: &[BlockAddr], ctx: &AccessCtx<'_>) -> usize;
+}
+
+/// Runtime-selectable policy constructors.
+///
+/// # Examples
+///
+/// ```
+/// use acic_cache::{CacheGeometry, PolicyKind};
+///
+/// let geom = CacheGeometry::l1i_32k();
+/// let policy = PolicyKind::Lru.build(geom);
+/// assert_eq!(policy.name(), "lru");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Least recently used (the paper's baseline).
+    Lru,
+    /// Uniform random victim (seeded).
+    Random {
+        /// PRNG seed.
+        seed: u64,
+    },
+    /// Static re-reference interval prediction, 2-bit RRPV.
+    Srrip,
+    /// Signature-based hit prediction over SRRIP.
+    Ship,
+    /// Hawkeye (OPTgen-trained). `prefetch_aware` selects the Harmony
+    /// variant used when a prefetcher is active.
+    Hawkeye {
+        /// Train prefetch and demand signatures separately (Harmony).
+        prefetch_aware: bool,
+    },
+    /// Global-history reuse prediction for i-caches.
+    Ghrp,
+    /// Segmented LRU (DSB's base policy).
+    Slru,
+    /// Belady's OPT via the reuse oracle (requires `ctx.next_use`).
+    Opt,
+}
+
+impl PolicyKind {
+    /// Builds a policy instance for the given geometry.
+    pub fn build(self, geom: CacheGeometry) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(lru::LruPolicy::new(geom)),
+            PolicyKind::Random { seed } => Box::new(random::RandomPolicy::new(geom, seed)),
+            PolicyKind::Srrip => Box::new(srrip::SrripPolicy::new(geom)),
+            PolicyKind::Ship => Box::new(ship::ShipPolicy::new(geom)),
+            PolicyKind::Hawkeye { prefetch_aware } => {
+                Box::new(hawkeye::HawkeyePolicy::new(geom, prefetch_aware))
+            }
+            PolicyKind::Ghrp => Box::new(ghrp::GhrpPolicy::new(geom)),
+            PolicyKind::Slru => Box::new(slru::SlruPolicy::new(geom)),
+            PolicyKind::Opt => Box::new(opt::OptPolicy::new(geom)),
+        }
+    }
+
+    /// Report label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Random { .. } => "Random",
+            PolicyKind::Srrip => "SRRIP",
+            PolicyKind::Ship => "SHiP",
+            PolicyKind::Hawkeye {
+                prefetch_aware: true,
+            } => "Harmony",
+            PolicyKind::Hawkeye {
+                prefetch_aware: false,
+            } => "Hawkeye",
+            PolicyKind::Ghrp => "GHRP",
+            PolicyKind::Slru => "SLRU",
+            PolicyKind::Opt => "OPT",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_policy() {
+        let geom = CacheGeometry::from_sets_ways(8, 4);
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Random { seed: 1 },
+            PolicyKind::Srrip,
+            PolicyKind::Ship,
+            PolicyKind::Hawkeye {
+                prefetch_aware: true,
+            },
+            PolicyKind::Ghrp,
+            PolicyKind::Slru,
+            PolicyKind::Opt,
+        ] {
+            let p = kind.build(geom);
+            assert!(!p.name().is_empty());
+            assert!(!kind.label().is_empty());
+        }
+    }
+}

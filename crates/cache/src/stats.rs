@@ -1,0 +1,146 @@
+//! Access counters kept by every cache structure.
+
+/// Hit/miss/fill accounting for one cache structure.
+///
+/// Demand and prefetch traffic are tracked separately: the paper's
+/// MPKI metric counts *demand* misses only.
+///
+/// # Examples
+///
+/// ```
+/// use acic_cache::CacheStats;
+///
+/// let mut s = CacheStats::default();
+/// s.record_demand(true);
+/// s.record_demand(false);
+/// assert_eq!(s.demand_accesses, 2);
+/// assert_eq!(s.demand_misses, 1);
+/// assert!((s.demand_hit_rate() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (instruction fetch or data reference).
+    pub demand_accesses: u64,
+    /// Demand misses.
+    pub demand_misses: u64,
+    /// Prefetch probes or accesses.
+    pub prefetch_accesses: u64,
+    /// Prefetch misses (i.e. prefetches that went to the next level).
+    pub prefetch_misses: u64,
+    /// Lines filled (demand).
+    pub demand_fills: u64,
+    /// Lines filled by prefetch.
+    pub prefetch_fills: u64,
+    /// Valid lines evicted.
+    pub evictions: u64,
+    /// Incoming blocks rejected by an admission/bypass policy.
+    pub bypasses: u64,
+}
+
+impl CacheStats {
+    /// Records a demand access outcome.
+    #[inline]
+    pub fn record_demand(&mut self, hit: bool) {
+        self.demand_accesses += 1;
+        if !hit {
+            self.demand_misses += 1;
+        }
+    }
+
+    /// Records a prefetch access outcome.
+    #[inline]
+    pub fn record_prefetch(&mut self, hit: bool) {
+        self.prefetch_accesses += 1;
+        if !hit {
+            self.prefetch_misses += 1;
+        }
+    }
+
+    /// Demand hits.
+    pub fn demand_hits(&self) -> u64 {
+        self.demand_accesses - self.demand_misses
+    }
+
+    /// Demand hit rate (0.0 when there were no accesses).
+    pub fn demand_hit_rate(&self) -> f64 {
+        if self.demand_accesses == 0 {
+            0.0
+        } else {
+            self.demand_hits() as f64 / self.demand_accesses as f64
+        }
+    }
+
+    /// Demand misses per kilo-instruction, given the retired
+    /// instruction count.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.demand_misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// Field-wise difference `self - earlier` (post-warm-up
+    /// accounting).
+    pub fn delta_from(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            demand_accesses: self.demand_accesses - earlier.demand_accesses,
+            demand_misses: self.demand_misses - earlier.demand_misses,
+            prefetch_accesses: self.prefetch_accesses - earlier.prefetch_accesses,
+            prefetch_misses: self.prefetch_misses - earlier.prefetch_misses,
+            demand_fills: self.demand_fills - earlier.demand_fills,
+            prefetch_fills: self.prefetch_fills - earlier.prefetch_fills,
+            evictions: self.evictions - earlier.evictions,
+            bypasses: self.bypasses - earlier.bypasses,
+        }
+    }
+
+    /// Adds another stats block into this one.
+    pub fn merge(&mut self, o: &CacheStats) {
+        self.demand_accesses += o.demand_accesses;
+        self.demand_misses += o.demand_misses;
+        self.prefetch_accesses += o.prefetch_accesses;
+        self.prefetch_misses += o.prefetch_misses;
+        self.demand_fills += o.demand_fills;
+        self.prefetch_fills += o.prefetch_fills;
+        self.evictions += o.evictions;
+        self.bypasses += o.bypasses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_scales_by_kiloinstruction() {
+        let mut s = CacheStats::default();
+        for i in 0..100 {
+            s.record_demand(i % 10 == 0);
+        }
+        assert_eq!(s.demand_misses, 90);
+        assert!((s.mpki(1_000_000) - 0.09).abs() < 1e-12);
+        assert_eq!(s.mpki(0), 0.0);
+    }
+
+    #[test]
+    fn prefetch_separate_from_demand() {
+        let mut s = CacheStats::default();
+        s.record_prefetch(false);
+        assert_eq!(s.demand_accesses, 0);
+        assert_eq!(s.prefetch_misses, 1);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CacheStats::default();
+        a.record_demand(false);
+        let mut b = CacheStats::default();
+        b.record_demand(true);
+        b.evictions = 3;
+        a.merge(&b);
+        assert_eq!(a.demand_accesses, 2);
+        assert_eq!(a.demand_misses, 1);
+        assert_eq!(a.evictions, 3);
+    }
+}

@@ -1,0 +1,228 @@
+//! ACIC configuration and the Table I storage accounting.
+
+use acic_cache::CacheGeometry;
+
+/// How HRT/PT training updates are applied (§III-C2, Figure 14).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum UpdateMode {
+    /// Updates apply immediately (the idealized comparison point of
+    /// Figure 14).
+    Instant,
+    /// Updates take at least 2 cycles and flow through the per-entry
+    /// PT update queues; predictions in the window read stale state
+    /// (the realistic hardware path, and the paper's default).
+    #[default]
+    Pipelined,
+}
+
+/// Which admission predictor drives the organization (Figure 17's
+/// ablations plus Figure 12b's random baseline).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// The paper's two-level HRT + PT predictor.
+    #[default]
+    TwoLevel,
+    /// One shared global history register indexing the PT (ablation).
+    GlobalHistory,
+    /// Per-tag saturating counters, no history (ablation).
+    Bimodal,
+    /// Admit with fixed probability `num/denom` (Figure 12b uses
+    /// 60%).
+    Random {
+        /// PRNG seed.
+        seed: u64,
+        /// Probability numerator.
+        num: u64,
+        /// Probability denominator.
+        denom: u64,
+    },
+    /// Always admit — the "i-Filter only" arm of Figures 3a/17.
+    AlwaysAdmit,
+    /// Never admit (blind filtering; §III's discarded strawman).
+    NeverAdmit,
+}
+
+/// Full configuration of an [`crate::AcicIcache`].
+///
+/// Defaults reproduce Table I / Table IV: 16-entry i-Filter, 1024-entry
+/// HRT with 4-bit histories, 16-entry PT with 5-bit counters, 10-slot
+/// PT update queues, 256-entry CSHR in 8 sets with 12-bit partial
+/// tags, over a 32 KB 8-way LRU i-cache.
+///
+/// # Examples
+///
+/// ```
+/// use acic_core::AcicConfig;
+///
+/// let cfg = AcicConfig::default();
+/// // Table I: 2.67 KB of new state.
+/// assert_eq!(format!("{:.2}", cfg.storage_kib()), "2.67");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AcicConfig {
+    /// i-cache geometry (default: 32 KB, 8-way).
+    pub icache: CacheGeometry,
+    /// i-Filter slots (default 16; 0 disables the filter — the
+    /// "no i-Filter" ablation).
+    pub filter_entries: usize,
+    /// HRT entries (default 1024).
+    pub hrt_entries: usize,
+    /// Bits per history register (default 4; the PT has
+    /// `2^history_bits` entries).
+    pub history_bits: u32,
+    /// Bits per PT saturating counter (default 5).
+    pub pt_counter_bits: u32,
+    /// Slots per PT update queue (default 10).
+    pub pt_queue_slots: usize,
+    /// Total CSHR entries (default 256).
+    pub cshr_entries: usize,
+    /// CSHR sets (default 8; ways = entries / sets).
+    pub cshr_sets: usize,
+    /// Partial-tag width stored in the CSHR and hashed into the HRT
+    /// (default 12).
+    pub cshr_tag_bits: u32,
+    /// Predictor variant.
+    pub predictor: PredictorKind,
+    /// Training-update timing.
+    pub update_mode: UpdateMode,
+}
+
+impl Default for AcicConfig {
+    fn default() -> Self {
+        AcicConfig {
+            icache: CacheGeometry::l1i_32k(),
+            filter_entries: 16,
+            hrt_entries: 1024,
+            history_bits: 4,
+            pt_counter_bits: 5,
+            pt_queue_slots: 10,
+            cshr_entries: 256,
+            cshr_sets: 8,
+            cshr_tag_bits: 12,
+            predictor: PredictorKind::TwoLevel,
+            update_mode: UpdateMode::Pipelined,
+        }
+    }
+}
+
+impl AcicConfig {
+    /// Number of PT entries implied by the history width.
+    pub fn pt_entries(&self) -> usize {
+        1 << self.history_bits
+    }
+
+    /// CSHR associativity.
+    pub fn cshr_ways(&self) -> usize {
+        self.cshr_entries / self.cshr_sets
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent parameters (non-divisible CSHR sets,
+    /// zero HRT, oversized fields).
+    pub fn validate(&self) {
+        assert!(self.hrt_entries.is_power_of_two(), "HRT entries must be a power of two");
+        assert!((1..=16).contains(&self.history_bits), "history bits 1..=16");
+        assert!((1..=16).contains(&self.pt_counter_bits), "counter bits 1..=16");
+        assert!(self.cshr_sets.is_power_of_two(), "CSHR sets must be a power of two");
+        assert_eq!(
+            self.cshr_entries % self.cshr_sets,
+            0,
+            "CSHR entries must divide evenly into sets"
+        );
+        assert!((1..=16).contains(&self.cshr_tag_bits), "CSHR tag bits 1..=16");
+    }
+
+    /// i-Filter storage in bits: per entry, 58 tag bits + 1 valid +
+    /// 4 LRU bits of metadata plus the 64 B instruction block
+    /// (Table I).
+    pub fn filter_bits(&self) -> u64 {
+        let metadata = 58 + 1 + 4;
+        self.filter_entries as u64 * (metadata + 64 * 8)
+    }
+
+    /// HRT storage in bits.
+    pub fn hrt_bits(&self) -> u64 {
+        self.hrt_entries as u64 * self.history_bits as u64
+    }
+
+    /// PT storage in bits.
+    pub fn pt_bits(&self) -> u64 {
+        self.pt_entries() as u64 * self.pt_counter_bits as u64
+    }
+
+    /// PT update-queue storage in bits: one queue per PT entry, each
+    /// slot holding a PT index plus an increment/decrement bit.
+    pub fn pt_queue_bits(&self) -> u64 {
+        self.pt_entries() as u64 * self.pt_queue_slots as u64 * (self.history_bits as u64 + 1)
+    }
+
+    /// CSHR storage in bits: two partial tags, a valid bit and LRU
+    /// bits per entry.
+    pub fn cshr_bits(&self) -> u64 {
+        let lru_bits = (self.cshr_ways() as u64).next_power_of_two().trailing_zeros() as u64;
+        self.cshr_entries as u64 * (2 * self.cshr_tag_bits as u64 + 1 + lru_bits)
+    }
+
+    /// Total added storage in bits (Table I's bottom line).
+    pub fn storage_bits(&self) -> u64 {
+        self.filter_bits() + self.hrt_bits() + self.pt_bits() + self.pt_queue_bits() + self.cshr_bits()
+    }
+
+    /// Total added storage in KiB.
+    pub fn storage_kib(&self) -> f64 {
+        self.storage_bits() as f64 / 8.0 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_component_sizes() {
+        let cfg = AcicConfig::default();
+        cfg.validate();
+        // Table I rows.
+        assert_eq!(cfg.filter_bits(), 16 * (63 + 512)); // 1.123 KB
+        assert!((cfg.filter_bits() as f64 / 8192.0 - 1.123).abs() < 0.001);
+        assert_eq!(cfg.hrt_bits(), 4096); // 0.5 KB
+        assert_eq!(cfg.pt_bits(), 80); // 10 B
+        assert_eq!(cfg.pt_queue_bits(), 800); // 100 B
+        assert_eq!(cfg.cshr_bits(), 256 * 30); // 0.9375 KB
+        assert!((cfg.cshr_bits() as f64 / 8192.0 - 0.9375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_one_total_is_2_67_kb() {
+        let cfg = AcicConfig::default();
+        assert!((cfg.storage_kib() - 2.67).abs() < 0.01, "{}", cfg.storage_kib());
+    }
+
+    #[test]
+    fn pt_entries_follow_history_bits() {
+        let mut cfg = AcicConfig::default();
+        assert_eq!(cfg.pt_entries(), 16);
+        cfg.history_bits = 8;
+        assert_eq!(cfg.pt_entries(), 256);
+    }
+
+    #[test]
+    fn cshr_ways() {
+        let cfg = AcicConfig::default();
+        assert_eq!(cfg.cshr_ways(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "CSHR entries must divide")]
+    fn bad_cshr_split_panics() {
+        let cfg = AcicConfig {
+            cshr_entries: 100,
+            cshr_sets: 8,
+            ..AcicConfig::default()
+        };
+        cfg.validate();
+    }
+}

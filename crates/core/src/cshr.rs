@@ -1,0 +1,401 @@
+//! CSHR — Comparison Status Holding Registers (§III-B, Figures 5-7).
+//!
+//! Each entry tracks one unresolved comparison between an i-Filter
+//! victim and its i-cache contender, stored as partial tags. Fetch
+//! requests search the CSHR set derived from the i-cache set index;
+//! matching the victim field means the victim was re-accessed first
+//! (train `1`), matching the contender field trains `0`. Entries are
+//! organized as 8 sets x 32 ways with per-set LRU; an unresolved entry
+//! evicted for capacity trains "benefit of the doubt" in the victim's
+//! favor (§III-C1).
+//!
+//! [`UnboundedCshr`] is the instrumentation twin used to regenerate
+//! Figure 6 (how many concurrent comparisons a resolution needed).
+
+use acic_types::{BlockAddr, LruStamps};
+use std::collections::HashMap;
+
+/// A resolved (or force-resolved) comparison to train the predictor
+/// with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Resolution {
+    /// Partial tag of the i-Filter victim of the comparison.
+    pub victim_ptag: u16,
+    /// Whether the victim was (or is assumed to have been) re-accessed
+    /// before the contender.
+    pub victim_won: bool,
+}
+
+/// Counters exposed by the CSHR.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CshrStats {
+    /// Comparisons inserted.
+    pub inserted: u64,
+    /// Resolutions where the victim was fetched first.
+    pub victim_first: u64,
+    /// Resolutions where the contender was fetched first.
+    pub contender_first: u64,
+    /// Unresolved entries evicted for capacity (trained in the
+    /// victim's favor).
+    pub evicted_unresolved: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Entry {
+    valid: bool,
+    victim: u16,
+    contender: u16,
+}
+
+/// The set-associative CSHR (default 256 entries, 8 sets x 32 ways,
+/// 12-bit partial tags).
+///
+/// # Examples
+///
+/// ```
+/// use acic_core::Cshr;
+///
+/// let mut cshr = Cshr::new(8, 32, 64);
+/// let evicted = cshr.insert(0x123, 0x456, 5);
+/// assert!(evicted.is_none());
+/// // Fetching the victim's tag in the same i-cache set resolves it.
+/// let resolutions = cshr.search(0x123, 5);
+/// assert_eq!(resolutions.len(), 1);
+/// assert!(resolutions[0].victim_won);
+/// ```
+#[derive(Debug)]
+pub struct Cshr {
+    sets: usize,
+    ways: usize,
+    /// Right-shift applied to an i-cache set index to select the CSHR
+    /// set ("the m most significant bits of the i-cache set index").
+    shift: u32,
+    entries: Vec<Entry>,
+    lru: Vec<LruStamps>,
+    stats: CshrStats,
+}
+
+impl Cshr {
+    /// Creates a CSHR with `sets` x `ways` entries serving an i-cache
+    /// with `icache_sets` sets. When the CSHR has at least as many
+    /// sets as the i-cache (only in scaled-down test configurations),
+    /// i-cache sets map one-to-one and the excess CSHR sets stay
+    /// unused.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both set counts are powers of two and `ways` is
+    /// positive.
+    pub fn new(sets: usize, ways: usize, icache_sets: usize) -> Self {
+        assert!(sets.is_power_of_two() && icache_sets.is_power_of_two());
+        assert!(ways > 0);
+        let shift = icache_sets
+            .trailing_zeros()
+            .saturating_sub(sets.trailing_zeros());
+        Cshr {
+            sets,
+            ways,
+            shift,
+            entries: vec![Entry::default(); sets * ways],
+            lru: (0..sets).map(|_| LruStamps::new(ways)).collect(),
+            stats: CshrStats::default(),
+        }
+    }
+
+    /// Total entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CshrStats {
+        self.stats
+    }
+
+    fn set_of(&self, icache_set: usize) -> usize {
+        (icache_set >> self.shift) & (self.sets - 1)
+    }
+
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// Opens a comparison between `victim_ptag` and `contender_ptag`
+    /// whose blocks map to `icache_set`. If an unresolved entry must
+    /// be evicted for capacity, it is returned force-resolved in the
+    /// victim's favor (benefit of the doubt).
+    pub fn insert(
+        &mut self,
+        victim_ptag: u16,
+        contender_ptag: u16,
+        icache_set: usize,
+    ) -> Option<Resolution> {
+        self.stats.inserted += 1;
+        let set = self.set_of(icache_set);
+        let way = (0..self.ways).find(|&w| !self.entries[self.idx(set, w)].valid);
+        let (way, forced) = match way {
+            Some(w) => (w, None),
+            None => {
+                let w = self.lru[set].lru_way();
+                let old = self.entries[self.idx(set, w)];
+                self.stats.evicted_unresolved += 1;
+                (
+                    w,
+                    Some(Resolution {
+                        victim_ptag: old.victim,
+                        victim_won: true,
+                    }),
+                )
+            }
+        };
+        let i = self.idx(set, way);
+        self.entries[i] = Entry {
+            valid: true,
+            victim: victim_ptag,
+            contender: contender_ptag,
+        };
+        self.lru[set].touch(way);
+        forced
+    }
+
+    /// Searches the CSHR set for the fetched block's partial tag and
+    /// resolves matches: a victim-field match trains `1`, contender
+    /// matches train `0`; resolved entries are invalidated and
+    /// reusable.
+    pub fn search(&mut self, fetched_ptag: u16, icache_set: usize) -> Vec<Resolution> {
+        let set = self.set_of(icache_set);
+        let mut out = Vec::new();
+        for w in 0..self.ways {
+            let i = self.idx(set, w);
+            let e = self.entries[i];
+            if !e.valid {
+                continue;
+            }
+            if e.victim == fetched_ptag {
+                self.stats.victim_first += 1;
+                out.push(Resolution {
+                    victim_ptag: e.victim,
+                    victim_won: true,
+                });
+                self.entries[i].valid = false;
+                self.lru[set].clear(w);
+            } else if e.contender == fetched_ptag {
+                self.stats.contender_first += 1;
+                out.push(Resolution {
+                    victim_ptag: e.victim,
+                    victim_won: false,
+                });
+                self.entries[i].valid = false;
+                self.lru[set].clear(w);
+            }
+        }
+        out
+    }
+}
+
+/// Figure 6's bucket boundaries: comparisons needing `[0,50)`,
+/// `[50,100)`, ..., `[350,400)` concurrent slots, and `>= 400`.
+pub const LIFETIME_BUCKETS: usize = 9;
+
+/// An unbounded CSHR twin that records, for every comparison, how
+/// many other comparisons were inserted before it resolved — the data
+/// behind Figure 6's capacity-sizing argument. Tracks full block
+/// addresses (oracle instrumentation, not hardware).
+#[derive(Debug, Default)]
+pub struct UnboundedCshr {
+    by_victim: HashMap<u64, u64>, // victim block -> insert sequence
+    by_contender: HashMap<u64, Vec<u64>>,
+    open: HashMap<u64, (u64, u64)>, // seq -> (victim, contender)
+    insert_seq: u64,
+    /// Histogram over [`LIFETIME_BUCKETS`] lifetime buckets.
+    pub lifetime_counts: [u64; LIFETIME_BUCKETS],
+}
+
+impl UnboundedCshr {
+    /// Creates an empty instrumentation structure.
+    pub fn new() -> Self {
+        UnboundedCshr::default()
+    }
+
+    fn record_lifetime(&mut self, opened_at: u64) {
+        let lifetime = self.insert_seq - opened_at;
+        let bucket = ((lifetime / 50) as usize).min(LIFETIME_BUCKETS - 1);
+        self.lifetime_counts[bucket] += 1;
+    }
+
+    fn resolve_seq(&mut self, seq: u64) {
+        if let Some((victim, contender)) = self.open.remove(&seq) {
+            self.by_victim.remove(&victim);
+            if let Some(v) = self.by_contender.get_mut(&contender) {
+                v.retain(|&s| s != seq);
+                if v.is_empty() {
+                    self.by_contender.remove(&contender);
+                }
+            }
+            self.record_lifetime(seq);
+        }
+    }
+
+    /// Opens a comparison (full block addresses).
+    pub fn insert(&mut self, victim: BlockAddr, contender: BlockAddr) {
+        let v = victim.raw();
+        let c = contender.raw();
+        // A re-inserted victim implies its previous comparison resolved
+        // (it must have been re-fetched to re-enter the filter).
+        if let Some(&old) = self.by_victim.get(&v) {
+            self.resolve_seq(old);
+        }
+        let seq = self.insert_seq;
+        self.insert_seq += 1;
+        self.open.insert(seq, (v, c));
+        self.by_victim.insert(v, seq);
+        self.by_contender.entry(c).or_default().push(seq);
+    }
+
+    /// Observes a fetched block, resolving any matching comparisons.
+    pub fn on_fetch(&mut self, block: BlockAddr) {
+        let b = block.raw();
+        if let Some(&seq) = self.by_victim.get(&b) {
+            self.resolve_seq(seq);
+        }
+        if let Some(seqs) = self.by_contender.remove(&b) {
+            for seq in seqs {
+                if let Some((victim, _)) = self.open.remove(&seq) {
+                    self.by_victim.remove(&victim);
+                    self.record_lifetime(seq);
+                }
+            }
+        }
+    }
+
+    /// Comparisons still open (never resolved).
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Total comparisons opened.
+    pub fn inserted(&self) -> u64 {
+        self.insert_seq
+    }
+
+    /// Fraction of resolved comparisons per lifetime bucket, with
+    /// never-resolved comparisons folded into the final (`>= 400`)
+    /// bucket as the paper's "InF" column.
+    pub fn fractions_with_unresolved(&self) -> [f64; LIFETIME_BUCKETS] {
+        let mut counts = self.lifetime_counts;
+        counts[LIFETIME_BUCKETS - 1] += self.open.len() as u64;
+        let total: u64 = counts.iter().sum();
+        let mut out = [0.0; LIFETIME_BUCKETS];
+        if total > 0 {
+            for (o, c) in out.iter_mut().zip(counts.iter()) {
+                *o = *c as f64 / total as f64;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_match_wins() {
+        let mut c = Cshr::new(8, 32, 64);
+        c.insert(1, 2, 0);
+        let r = c.search(1, 0);
+        assert_eq!(
+            r,
+            vec![Resolution {
+                victim_ptag: 1,
+                victim_won: true
+            }]
+        );
+        // Entry consumed.
+        assert!(c.search(1, 0).is_empty());
+        assert_eq!(c.stats().victim_first, 1);
+    }
+
+    #[test]
+    fn contender_match_loses() {
+        let mut c = Cshr::new(8, 32, 64);
+        c.insert(1, 2, 0);
+        let r = c.search(2, 0);
+        assert_eq!(r[0].victim_ptag, 1);
+        assert!(!r[0].victim_won);
+    }
+
+    #[test]
+    fn multiple_contender_matches_resolve_together() {
+        // The same contender can defend against several victims
+        // (§III-C2): one fetch resolves all of them.
+        let mut c = Cshr::new(8, 32, 64);
+        c.insert(10, 99, 0);
+        c.insert(11, 99, 0);
+        c.insert(12, 99, 0);
+        let r = c.search(99, 0);
+        assert_eq!(r.len(), 3);
+        assert!(r.iter().all(|x| !x.victim_won));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn set_mapping_uses_top_bits() {
+        let c = Cshr::new(8, 32, 64);
+        // 64 i-cache sets (6 bits), 8 CSHR sets: shift 3.
+        assert_eq!(c.set_of(0b000_111), 0);
+        assert_eq!(c.set_of(0b111_000), 7);
+    }
+
+    #[test]
+    fn searches_only_within_mapped_set() {
+        let mut c = Cshr::new(8, 32, 64);
+        c.insert(5, 6, 0); // CSHR set 0
+        assert!(c.search(5, 63).is_empty()); // CSHR set 7
+        assert_eq!(c.search(5, 7).len(), 1); // still set 0
+    }
+
+    #[test]
+    fn capacity_eviction_gives_benefit_of_doubt() {
+        let mut c = Cshr::new(1, 2, 64);
+        assert!(c.insert(1, 101, 0).is_none());
+        assert!(c.insert(2, 102, 0).is_none());
+        let forced = c.insert(3, 103, 0).expect("evicts LRU entry");
+        assert_eq!(forced.victim_ptag, 1);
+        assert!(forced.victim_won);
+        assert_eq!(c.stats().evicted_unresolved, 1);
+    }
+
+    #[test]
+    fn unbounded_lifetimes_counted() {
+        let mut u = UnboundedCshr::new();
+        u.insert(BlockAddr::new(1), BlockAddr::new(100));
+        for i in 0..60u64 {
+            u.insert(BlockAddr::new(2 + i), BlockAddr::new(200 + i));
+        }
+        u.on_fetch(BlockAddr::new(1)); // resolved after 60 inserts
+        assert_eq!(u.lifetime_counts[1], 1, "lifetime 60 lands in [50,100)");
+    }
+
+    #[test]
+    fn unbounded_unresolved_fold_into_inf() {
+        let mut u = UnboundedCshr::new();
+        u.insert(BlockAddr::new(1), BlockAddr::new(2));
+        let f = u.fractions_with_unresolved();
+        assert_eq!(f[LIFETIME_BUCKETS - 1], 1.0);
+    }
+
+    #[test]
+    fn unbounded_reinsert_resolves_prior() {
+        let mut u = UnboundedCshr::new();
+        u.insert(BlockAddr::new(1), BlockAddr::new(2));
+        u.insert(BlockAddr::new(1), BlockAddr::new(3));
+        assert_eq!(u.open_count(), 1);
+        assert_eq!(u.lifetime_counts[0], 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! The i-Filter: a small fully-associative buffer in front of the
+//! i-cache (§II, Figure 2).
+//!
+//! Missed blocks are placed in the i-Filter *only*; while resident
+//! they absorb the burst of spatial/short-term-temporal accesses. When
+//! the filter overflows, its LRU block becomes the *i-Filter victim*
+//! whose admission into the i-cache ACIC decides.
+
+use acic_types::{BlockAddr, LruStamps};
+
+/// A fully-associative LRU buffer of instruction blocks.
+///
+/// # Examples
+///
+/// ```
+/// use acic_core::IFilter;
+/// use acic_types::BlockAddr;
+///
+/// let mut f = IFilter::new(2);
+/// assert_eq!(f.insert(BlockAddr::new(1)), None);
+/// assert_eq!(f.insert(BlockAddr::new(2)), None);
+/// assert!(f.access(BlockAddr::new(1))); // 2 becomes LRU
+/// assert_eq!(f.insert(BlockAddr::new(3)), Some(BlockAddr::new(2)));
+/// ```
+#[derive(Debug)]
+pub struct IFilter {
+    slots: Vec<Option<BlockAddr>>,
+    lru: LruStamps,
+}
+
+impl IFilter {
+    /// Creates an i-Filter with `entries` slots (the paper uses 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero; use `Option<IFilter>` for the
+    /// no-filter ablation.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "i-Filter needs at least one slot");
+        IFilter {
+            slots: vec![None; entries],
+            lru: LruStamps::new(entries),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of blocks currently buffered.
+    pub fn len(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Whether the filter holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `block` is buffered (no state change).
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.slots.contains(&Some(block))
+    }
+
+    /// Looks up `block`; on hit refreshes its recency and returns
+    /// `true`.
+    pub fn access(&mut self, block: BlockAddr) -> bool {
+        if let Some(slot) = self.slots.iter().position(|&s| s == Some(block)) {
+            self.lru.touch(slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts `block`; if the filter is full, evicts and returns the
+    /// LRU block (the *i-Filter victim*).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `block` is already resident (the driver
+    /// must only fill on a filter miss).
+    pub fn insert(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        debug_assert!(!self.contains(block), "duplicate i-Filter insert");
+        let slot = match self.slots.iter().position(|s| s.is_none()) {
+            Some(free) => free,
+            None => self.lru.lru_way(),
+        };
+        let victim = self.slots[slot].take();
+        self.slots[slot] = Some(block);
+        self.lru.touch(slot);
+        victim
+    }
+
+    /// Removes `block` if present (used when a block is promoted or
+    /// invalidated externally).
+    pub fn remove(&mut self, block: BlockAddr) -> bool {
+        if let Some(slot) = self.slots.iter().position(|&s| s == Some(block)) {
+            self.slots[slot] = None;
+            self.lru.clear(slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Blocks currently buffered, MRU first (for tests).
+    pub fn resident_blocks(&self) -> Vec<BlockAddr> {
+        let mut with_stamp: Vec<(u64, BlockAddr)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.map(|b| (self.lru.stamp(i), b)))
+            .collect();
+        with_stamp.sort_by_key(|&(s, _)| u64::MAX - s);
+        with_stamp.into_iter().map(|(_, b)| b).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_before_evicting() {
+        let mut f = IFilter::new(3);
+        assert_eq!(f.insert(BlockAddr::new(1)), None);
+        assert_eq!(f.insert(BlockAddr::new(2)), None);
+        assert_eq!(f.insert(BlockAddr::new(3)), None);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.insert(BlockAddr::new(4)), Some(BlockAddr::new(1)));
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn access_refreshes_recency() {
+        let mut f = IFilter::new(2);
+        f.insert(BlockAddr::new(1));
+        f.insert(BlockAddr::new(2));
+        assert!(f.access(BlockAddr::new(1)));
+        assert_eq!(f.insert(BlockAddr::new(3)), Some(BlockAddr::new(2)));
+    }
+
+    #[test]
+    fn miss_does_not_change_state() {
+        let mut f = IFilter::new(2);
+        f.insert(BlockAddr::new(1));
+        assert!(!f.access(BlockAddr::new(9)));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn remove_frees_slot() {
+        let mut f = IFilter::new(2);
+        f.insert(BlockAddr::new(1));
+        f.insert(BlockAddr::new(2));
+        assert!(f.remove(BlockAddr::new(1)));
+        assert_eq!(f.insert(BlockAddr::new(3)), None); // reused the free slot
+    }
+
+    #[test]
+    fn resident_order_is_mru_first() {
+        let mut f = IFilter::new(3);
+        f.insert(BlockAddr::new(1));
+        f.insert(BlockAddr::new(2));
+        f.insert(BlockAddr::new(3));
+        f.access(BlockAddr::new(1));
+        assert_eq!(
+            f.resident_blocks(),
+            vec![BlockAddr::new(1), BlockAddr::new(3), BlockAddr::new(2)]
+        );
+    }
+
+    #[test]
+    fn paper_capacity() {
+        let f = IFilter::new(16);
+        assert_eq!(f.capacity(), 16);
+    }
+}

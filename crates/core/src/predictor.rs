@@ -1,0 +1,413 @@
+//! The admission predictors (§III-A, Figure 4) and their update
+//! pipeline (§III-C2, Figure 8).
+//!
+//! The paper's predictor is two-level, borrowed from Yeh & Patt branch
+//! prediction: a History Register Table (HRT) of per-tag comparison
+//! histories and a Pattern Table (PT) of saturating counters indexed
+//! by the history pattern. Training outcomes arrive from CSHR
+//! resolutions; in the realistic [`UpdateMode::Pipelined`] mode they
+//! spend 2 cycles (HRT indexing, then PT update through a bounded
+//! per-entry queue) before becoming visible, so predictions can read
+//! slightly stale state — Figure 14 shows this costs almost nothing,
+//! which this implementation reproduces.
+
+use crate::config::{AcicConfig, PredictorKind, UpdateMode};
+use acic_types::hash::{mix64, SplitMix64};
+use acic_types::{Cycle, HistoryReg, SatCounter};
+use std::collections::VecDeque;
+
+/// Latency of a pipelined predictor update in cycles (§III-C2: "at
+/// least 2 cycles are spent in updating HRT and PT").
+const UPDATE_LATENCY: Cycle = 2;
+
+/// A pending PT update flowing through one entry's update queue.
+#[derive(Clone, Copy, Debug)]
+struct PendingUpdate {
+    apply_at: Cycle,
+    increment: bool,
+}
+
+/// The paper's two-level HRT + PT admission predictor.
+#[derive(Debug)]
+pub struct TwoLevelPredictor {
+    hrt: Vec<HistoryReg>,
+    pt: Vec<SatCounter>,
+    queues: Vec<VecDeque<PendingUpdate>>,
+    queue_slots: usize,
+    mode: UpdateMode,
+    /// Last cycle each HRT entry was written (enforces the paper's
+    /// "update each HRT entry for only one request per cycle").
+    hrt_last_write: Vec<Cycle>,
+    /// Updates dropped due to queue overflow or HRT write conflicts.
+    pub dropped_updates: u64,
+}
+
+impl TwoLevelPredictor {
+    /// Builds the predictor from a configuration.
+    pub fn new(cfg: &AcicConfig) -> Self {
+        TwoLevelPredictor {
+            hrt: vec![HistoryReg::new(cfg.history_bits); cfg.hrt_entries],
+            pt: vec![SatCounter::new_weakly_high(cfg.pt_counter_bits); cfg.pt_entries()],
+            queues: vec![VecDeque::new(); cfg.pt_entries()],
+            queue_slots: cfg.pt_queue_slots,
+            mode: cfg.update_mode,
+            hrt_last_write: vec![Cycle::MAX; cfg.hrt_entries],
+            dropped_updates: 0,
+        }
+    }
+
+    fn hrt_index(&self, ptag: u16) -> usize {
+        (mix64(ptag as u64) as usize) & (self.hrt.len() - 1)
+    }
+
+    /// Predicts whether the i-Filter victim with partial tag `ptag`
+    /// should be admitted.
+    pub fn predict(&self, ptag: u16) -> bool {
+        let pattern = self.hrt[self.hrt_index(ptag)].value() as usize;
+        self.pt[pattern].is_high()
+    }
+
+    /// Trains with a resolved comparison: `victim_won` is true when
+    /// the i-Filter victim was re-accessed before its contender.
+    pub fn train(&mut self, ptag: u16, victim_won: bool, now: Cycle) {
+        let idx = self.hrt_index(ptag);
+        match self.mode {
+            UpdateMode::Instant => {
+                let pattern = self.hrt[idx].value() as usize;
+                self.pt[pattern].update(victim_won);
+                self.hrt[idx].push(victim_won);
+            }
+            UpdateMode::Pipelined => {
+                // Only one HRT write per entry per cycle; extra
+                // requests this cycle are ignored (§III-C2).
+                if self.hrt_last_write[idx] == now {
+                    self.dropped_updates += 1;
+                    return;
+                }
+                self.hrt_last_write[idx] = now;
+                // The *current* history value indexes the PT update
+                // (read in cycle 1, PT written in cycle 2 at the
+                // earliest, later if queued behind other updates).
+                let pattern = self.hrt[idx].value() as usize;
+                if self.queues[pattern].len() >= self.queue_slots {
+                    self.dropped_updates += 1;
+                } else {
+                    self.queues[pattern].push_back(PendingUpdate {
+                        apply_at: now + UPDATE_LATENCY,
+                        increment: victim_won,
+                    });
+                }
+                // The history register itself is updated right after
+                // its value is handed to the PT updater.
+                self.hrt[idx].push(victim_won);
+            }
+        }
+    }
+
+    /// Advances the update pipeline: each PT entry's queue head is
+    /// applied once its latency has elapsed (one pop per entry per
+    /// cycle, as in Figure 8).
+    pub fn tick(&mut self, now: Cycle) {
+        if self.mode == UpdateMode::Instant {
+            return;
+        }
+        for (pattern, queue) in self.queues.iter_mut().enumerate() {
+            if let Some(head) = queue.front() {
+                if head.apply_at <= now {
+                    let upd = queue.pop_front().expect("head exists");
+                    self.pt[pattern].update(upd.increment);
+                }
+            }
+        }
+    }
+
+    /// Drains all pending updates (end-of-simulation bookkeeping).
+    pub fn flush(&mut self) {
+        for (pattern, queue) in self.queues.iter_mut().enumerate() {
+            while let Some(upd) = queue.pop_front() {
+                self.pt[pattern].update(upd.increment);
+            }
+        }
+    }
+
+    /// PT counter value for a pattern (test hook).
+    pub fn pt_value(&self, pattern: usize) -> u16 {
+        self.pt[pattern].value()
+    }
+
+    /// History value currently associated with `ptag` (test hook).
+    pub fn history_of(&self, ptag: u16) -> u32 {
+        self.hrt[self.hrt_index(ptag)].value()
+    }
+}
+
+/// Runtime-selectable admission predictor (Figure 17 ablations).
+#[derive(Debug)]
+pub enum AdmissionPredictor {
+    /// The paper's two-level predictor.
+    TwoLevel(TwoLevelPredictor),
+    /// A single global history register indexing the PT.
+    GlobalHistory {
+        /// Shared history register.
+        history: HistoryReg,
+        /// Pattern table.
+        pt: Vec<SatCounter>,
+    },
+    /// Per-tag bimodal counters, no history.
+    Bimodal {
+        /// Counter table indexed by hashed partial tag.
+        table: Vec<SatCounter>,
+    },
+    /// Admit with fixed probability.
+    Random {
+        /// Deterministic PRNG.
+        rng: SplitMix64,
+        /// Probability numerator.
+        num: u64,
+        /// Probability denominator.
+        denom: u64,
+    },
+    /// Always admit (i-Filter-only arm).
+    Always,
+    /// Never admit.
+    Never,
+}
+
+impl AdmissionPredictor {
+    /// Builds the predictor selected by the configuration.
+    pub fn new(cfg: &AcicConfig) -> Self {
+        match cfg.predictor {
+            PredictorKind::TwoLevel => AdmissionPredictor::TwoLevel(TwoLevelPredictor::new(cfg)),
+            PredictorKind::GlobalHistory => AdmissionPredictor::GlobalHistory {
+                history: HistoryReg::new(cfg.history_bits),
+                pt: vec![SatCounter::new_weakly_high(cfg.pt_counter_bits); cfg.pt_entries()],
+            },
+            PredictorKind::Bimodal => AdmissionPredictor::Bimodal {
+                table: vec![
+                    SatCounter::new_weakly_high(cfg.pt_counter_bits);
+                    cfg.hrt_entries
+                ],
+            },
+            PredictorKind::Random { seed, num, denom } => AdmissionPredictor::Random {
+                rng: SplitMix64::new(seed),
+                num,
+                denom,
+            },
+            PredictorKind::AlwaysAdmit => AdmissionPredictor::Always,
+            PredictorKind::NeverAdmit => AdmissionPredictor::Never,
+        }
+    }
+
+    /// Predicts admission for a victim's partial tag.
+    pub fn predict(&mut self, ptag: u16) -> bool {
+        match self {
+            AdmissionPredictor::TwoLevel(p) => p.predict(ptag),
+            AdmissionPredictor::GlobalHistory { history, pt } => {
+                pt[history.value() as usize].is_high()
+            }
+            AdmissionPredictor::Bimodal { table } => {
+                let idx = (mix64(ptag as u64) as usize) & (table.len() - 1);
+                table[idx].is_high()
+            }
+            AdmissionPredictor::Random { rng, num, denom } => rng.chance(*num, *denom),
+            AdmissionPredictor::Always => true,
+            AdmissionPredictor::Never => false,
+        }
+    }
+
+    /// Trains with a resolved comparison outcome.
+    pub fn train(&mut self, ptag: u16, victim_won: bool, now: Cycle) {
+        match self {
+            AdmissionPredictor::TwoLevel(p) => p.train(ptag, victim_won, now),
+            AdmissionPredictor::GlobalHistory { history, pt } => {
+                pt[history.value() as usize].update(victim_won);
+                history.push(victim_won);
+            }
+            AdmissionPredictor::Bimodal { table } => {
+                let idx = (mix64(ptag as u64) as usize) & (table.len() - 1);
+                table[idx].update(victim_won);
+            }
+            AdmissionPredictor::Random { .. }
+            | AdmissionPredictor::Always
+            | AdmissionPredictor::Never => {}
+        }
+    }
+
+    /// Advances pipelined updates.
+    pub fn tick(&mut self, now: Cycle) {
+        if let AdmissionPredictor::TwoLevel(p) = self {
+            p.tick(now);
+        }
+    }
+
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionPredictor::TwoLevel(_) => "two-level",
+            AdmissionPredictor::GlobalHistory { .. } => "global-history",
+            AdmissionPredictor::Bimodal { .. } => "bimodal",
+            AdmissionPredictor::Random { .. } => "random",
+            AdmissionPredictor::Always => "always",
+            AdmissionPredictor::Never => "never",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instant_cfg() -> AcicConfig {
+        AcicConfig {
+            update_mode: UpdateMode::Instant,
+            ..AcicConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_consistent_winner() {
+        let mut p = TwoLevelPredictor::new(&instant_cfg());
+        let ptag = 0x123;
+        for _ in 0..40 {
+            p.train(ptag, false, 0);
+        }
+        assert!(!p.predict(ptag), "consistent losses should predict bypass");
+        for _ in 0..80 {
+            p.train(ptag, true, 0);
+        }
+        assert!(p.predict(ptag), "consistent wins should predict admit");
+    }
+
+    #[test]
+    fn history_pattern_distinguishes_alternation() {
+        // A tag that strictly alternates win/lose: with 4-bit history,
+        // the PT learns pattern 0101 -> lose next, 1010 -> win next.
+        let mut p = TwoLevelPredictor::new(&instant_cfg());
+        let ptag = 0x456;
+        let mut outcome = true;
+        for _ in 0..200 {
+            p.train(ptag, outcome, 0);
+            outcome = !outcome;
+        }
+        // After training, the prediction should match the alternation:
+        // history ...0101 (last = 1? depends) — check both phases agree
+        // with the next outcome for 20 further steps.
+        let mut correct = 0;
+        for _ in 0..20 {
+            if p.predict(ptag) == outcome {
+                correct += 1;
+            }
+            p.train(ptag, outcome, 0);
+            outcome = !outcome;
+        }
+        assert!(correct >= 18, "two-level should track alternation: {correct}/20");
+    }
+
+    #[test]
+    fn pipelined_updates_are_delayed() {
+        let cfg = AcicConfig::default(); // pipelined
+        let mut p = TwoLevelPredictor::new(&cfg);
+        let ptag = 0x789;
+        let pattern = p.history_of(ptag) as usize;
+        let before = p.pt_value(pattern);
+        p.train(ptag, false, 10);
+        // Not yet applied.
+        assert_eq!(p.pt_value(pattern), before);
+        p.tick(11);
+        assert_eq!(p.pt_value(pattern), before, "needs 2 cycles");
+        p.tick(12);
+        assert_eq!(p.pt_value(pattern), before - 1);
+    }
+
+    #[test]
+    fn queue_overflow_drops_updates() {
+        let cfg = AcicConfig {
+            pt_queue_slots: 2,
+            ..AcicConfig::default()
+        };
+        let mut p = TwoLevelPredictor::new(&cfg);
+        // Different tags, same history pattern (all zeros) -> same
+        // queue; three updates in distinct cycles without ticking.
+        p.train(1, true, 0);
+        p.train(2, true, 1);
+        p.train(3, true, 2);
+        assert_eq!(p.dropped_updates, 1);
+    }
+
+    #[test]
+    fn hrt_single_write_per_cycle() {
+        let mut p = TwoLevelPredictor::new(&AcicConfig::default());
+        // Same tag trained twice in the same cycle: second ignored.
+        p.train(7, true, 5);
+        p.train(7, true, 5);
+        assert_eq!(p.dropped_updates, 1);
+    }
+
+    #[test]
+    fn flush_applies_everything() {
+        let mut p = TwoLevelPredictor::new(&AcicConfig::default());
+        let pattern = p.history_of(42) as usize;
+        let before = p.pt_value(pattern);
+        p.train(42, true, 0);
+        p.flush();
+        assert_eq!(p.pt_value(pattern), before + 1);
+    }
+
+    #[test]
+    fn instant_equals_pipelined_after_drain() {
+        // The same training sequence (one update per cycle, ticking
+        // every cycle) must leave both modes in the same PT state.
+        let mut inst = TwoLevelPredictor::new(&instant_cfg());
+        let mut pipe = TwoLevelPredictor::new(&AcicConfig::default());
+        let mut rng = SplitMix64::new(3);
+        for now in 0..500u64 {
+            let ptag = (rng.next_below(50)) as u16;
+            let outcome = rng.chance(1, 2);
+            inst.train(ptag, outcome, now);
+            pipe.train(ptag, outcome, now);
+            pipe.tick(now);
+        }
+        pipe.flush();
+        for pattern in 0..16 {
+            assert_eq!(inst.pt_value(pattern), pipe.pt_value(pattern), "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn ablation_predictors_respond() {
+        let cfg = AcicConfig {
+            predictor: PredictorKind::Bimodal,
+            ..AcicConfig::default()
+        };
+        let mut p = AdmissionPredictor::new(&cfg);
+        for _ in 0..40 {
+            p.train(9, false, 0);
+        }
+        assert!(!p.predict(9));
+
+        let cfg = AcicConfig {
+            predictor: PredictorKind::GlobalHistory,
+            ..AcicConfig::default()
+        };
+        let mut p = AdmissionPredictor::new(&cfg);
+        for _ in 0..40 {
+            p.train(9, false, 0);
+        }
+        assert!(!p.predict(123), "global history is tag-independent");
+    }
+
+    #[test]
+    fn random_predictor_rate() {
+        let cfg = AcicConfig {
+            predictor: PredictorKind::Random {
+                seed: 1,
+                num: 3,
+                denom: 5,
+            },
+            ..AcicConfig::default()
+        };
+        let mut p = AdmissionPredictor::new(&cfg);
+        let admitted = (0..10_000).filter(|_| p.predict(0)).count();
+        assert!((5700..=6300).contains(&admitted), "admitted = {admitted}");
+    }
+}

@@ -1,0 +1,19 @@
+//! Storage and energy accounting (§III-D, Tables I & IV).
+//!
+//! Two parts:
+//!
+//! * [`storage`] — exact bit-level storage calculators: ACIC's Table I
+//!   breakdown (reusing [`acic_core::AcicConfig`]) and Table IV's
+//!   per-scheme overhead numbers.
+//! * [`model`] — an analytic chip-energy model in the spirit of
+//!   McPAT + CACTI 7 at 22 nm. The paper feeds real McPAT/CACTI
+//!   models; we use plausible synthetic constants (documented per
+//!   item), so **only relative deltas between configurations are
+//!   meaningful**, which is all §III-D claims (ACIC saves ~0.63% chip
+//!   energy).
+
+pub mod model;
+pub mod storage;
+
+pub use model::{ChipEnergy, EnergyModel};
+pub use storage::{scheme_storage_kib, storage_table_rows, SchemeStorage};

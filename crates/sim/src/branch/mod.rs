@@ -1,0 +1,8 @@
+//! Branch prediction: TAGE direction prediction and an 8192-entry
+//! BTB, per Table II. Returns are predicted with an idealized return
+//! address stack (call depth in the synthetic workloads is small and
+//! real RAS mispredictions are negligible there; documented in
+//! DESIGN.md).
+
+pub mod btb;
+pub mod tage;

@@ -1,0 +1,151 @@
+//! Simulation parameters (Table II) and organization selection.
+
+use crate::icache::IcacheOrg;
+
+/// Which instruction prefetcher runs in front of the L1i.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PrefetcherKind {
+    /// No instruction prefetching.
+    None,
+    /// Fetch-directed prefetching from the FTQ (the paper's baseline
+    /// prefetcher, [31]).
+    #[default]
+    Fdp,
+    /// The entangling prefetcher (§IV-H4, [76]).
+    Entangling,
+}
+
+/// Core and hierarchy parameters, defaulting to Table II.
+///
+/// # Examples
+///
+/// ```
+/// use acic_sim::SimConfig;
+///
+/// let cfg = SimConfig::default();
+/// assert_eq!(cfg.fetch_width, 6);
+/// assert_eq!(cfg.rob_entries, 352);
+/// assert_eq!(cfg.ftq_entries, 24);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Instructions fetched per cycle (Table II: 6-wide).
+    pub fetch_width: u32,
+    /// Fetch Target Queue entries (Table II: 24).
+    pub ftq_entries: usize,
+    /// Decode queue entries (Table II: 60).
+    pub decode_queue_entries: usize,
+    /// Instructions decoded/dispatched per cycle (Table II: 6-wide).
+    pub decode_width: u32,
+    /// Reorder buffer entries (Table II: 352).
+    pub rob_entries: usize,
+    /// Instructions retired per cycle.
+    pub retire_width: u32,
+    /// Front-end refill penalty after a resolved misprediction.
+    pub redirect_penalty: u64,
+    /// Bubble charged when a taken branch misses in the BTB.
+    pub btb_miss_penalty: u64,
+    /// L1i hit latency in cycles (pipelined; Table II: 4).
+    pub l1i_hit_latency: u64,
+    /// L1d hit latency in cycles (Table II: 5).
+    pub l1d_hit_latency: u64,
+    /// L2 hit latency (Table II: 15).
+    pub l2_latency: u64,
+    /// L3 hit latency (Table II: 35).
+    pub l3_latency: u64,
+    /// DRAM access latency (Table II: one DDR4-3200 channel).
+    pub dram_latency: u64,
+    /// Minimum spacing between DRAM accesses (bandwidth model).
+    pub dram_gap: u64,
+    /// L1i MSHRs (Table II: 16).
+    pub l1i_mshrs: usize,
+    /// L1d MSHRs (Table II: 16).
+    pub l1d_mshrs: usize,
+    /// Prefetches issued per cycle by FDP.
+    pub prefetch_width: u32,
+    /// Instruction prefetcher.
+    pub prefetcher: PrefetcherKind,
+    /// L1i organization under test.
+    pub icache_org: IcacheOrg,
+    /// Fraction of the trace used for warm-up (stats excluded;
+    /// §IV-A: first 10%).
+    pub warmup_fraction: f64,
+    /// Attach the reuse oracle even when the organization does not
+    /// require it (enables ACIC's Figure-12a accuracy accounting).
+    pub attach_oracle: bool,
+    /// Enable unbounded-CSHR instrumentation (Figure 6; ACIC only).
+    pub unbounded_cshr: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            fetch_width: 6,
+            ftq_entries: 24,
+            decode_queue_entries: 60,
+            decode_width: 6,
+            rob_entries: 352,
+            retire_width: 6,
+            redirect_penalty: 4,
+            btb_miss_penalty: 2,
+            l1i_hit_latency: 4,
+            l1d_hit_latency: 5,
+            l2_latency: 15,
+            l3_latency: 35,
+            dram_latency: 220,
+            dram_gap: 8,
+            l1i_mshrs: 16,
+            l1d_mshrs: 16,
+            prefetch_width: 2,
+            prefetcher: PrefetcherKind::Fdp,
+            icache_org: IcacheOrg::Lru,
+            warmup_fraction: 0.10,
+            attach_oracle: false,
+            unbounded_cshr: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Convenience: the same configuration with a different L1i
+    /// organization.
+    pub fn with_org(&self, org: IcacheOrg) -> SimConfig {
+        SimConfig {
+            icache_org: org,
+            ..self.clone()
+        }
+    }
+
+    /// Convenience: the same configuration with a different
+    /// prefetcher.
+    pub fn with_prefetcher(&self, prefetcher: PrefetcherKind) -> SimConfig {
+        SimConfig {
+            prefetcher,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_two() {
+        let c = SimConfig::default();
+        assert_eq!(c.decode_queue_entries, 60);
+        assert_eq!(c.l1i_hit_latency, 4);
+        assert_eq!(c.l1d_hit_latency, 5);
+        assert_eq!(c.l2_latency, 15);
+        assert_eq!(c.l3_latency, 35);
+        assert_eq!(c.l1i_mshrs, 16);
+        assert_eq!(c.warmup_fraction, 0.10);
+    }
+
+    #[test]
+    fn with_org_preserves_other_fields() {
+        let c = SimConfig::default().with_org(IcacheOrg::Opt);
+        assert_eq!(c.icache_org, IcacheOrg::Opt);
+        assert_eq!(c.rob_entries, 352);
+    }
+}

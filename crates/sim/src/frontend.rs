@@ -1,0 +1,410 @@
+//! The decoupled front end: branch-prediction unit (BPU) running
+//! ahead of fetch, the Fetch Target Queue, and fetch-state tracking.
+//!
+//! Trace-driven semantics: the BPU consumes fetch-block runs from the
+//! trace, predicts every branch, and pushes runs into the FTQ. A
+//! mispredicted branch stalls the BPU until the backend resolves that
+//! branch (plus a redirect penalty) — the wrong path itself is not
+//! simulated. BTB misses on taken branches charge a short
+//! decode-redirect bubble.
+
+use crate::branch::btb::Btb;
+use crate::branch::tage::Tage;
+use crate::config::SimConfig;
+use crate::report::BranchStats;
+use acic_trace::{BranchClass, Instr, InstrKind, RunInstrs};
+use acic_types::{BlockAddr, Cycle};
+use std::collections::VecDeque;
+
+/// One fetch-target (block run) in the FTQ.
+#[derive(Clone, Debug)]
+pub struct FtqEntry {
+    /// The instruction block to fetch.
+    pub block: BlockAddr,
+    /// Instructions of the run, tagged with global indices starting
+    /// at `first_index`.
+    pub instrs: Vec<Instr>,
+    /// Global index of the first instruction.
+    pub first_index: u64,
+    /// Whether the demand i-cache access has been performed.
+    pub accessed: bool,
+    /// Cycle at which the block's bytes are available.
+    pub ready_at: Cycle,
+    /// Whether the block must be filled into the L1i when ready.
+    pub needs_fill: bool,
+    /// The block's next-use position captured at access time (for
+    /// OPT's fill decision).
+    pub next_use: u64,
+    /// Instructions already delivered to decode.
+    pub delivered: usize,
+    /// Whether a prefetcher may act on this entry: false when the BPU
+    /// reached this run only via a BTB miss or a misprediction — a
+    /// real fetch-directed prefetcher cannot see past an unpredicted
+    /// redirect.
+    pub prefetchable: bool,
+}
+
+impl FtqEntry {
+    /// Creates an entry (test helper; the front end normally builds
+    /// these internally).
+    pub fn new(block: BlockAddr, instrs: Vec<Instr>) -> Self {
+        FtqEntry {
+            block,
+            instrs,
+            first_index: 0,
+            accessed: false,
+            ready_at: 0,
+            needs_fill: false,
+            next_use: acic_trace::NO_NEXT_USE,
+            delivered: 0,
+            prefetchable: true,
+        }
+    }
+}
+
+/// Why the BPU is not producing fetch targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BpuState {
+    /// Producing normally (possibly delayed until a cycle).
+    Running {
+        /// Next cycle the BPU may process a run (BTB bubbles push
+        /// this out).
+        available_at: Cycle,
+    },
+    /// Waiting for the branch with this global index to resolve.
+    WaitingOnBranch {
+        /// Global instruction index of the mispredicted branch.
+        index: u64,
+    },
+}
+
+/// Entries in the indirect-target predictor (ITTAGE-flavored:
+/// path-history-tagged targets, with the BTB as fallback).
+const ITP_ENTRIES: usize = 16384;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ItpEntry {
+    tag: u16,
+    target: u64,
+    valid: bool,
+}
+
+/// The decoupled front end.
+pub struct FrontEnd {
+    /// The Fetch Target Queue.
+    pub ftq: VecDeque<FtqEntry>,
+    capacity: usize,
+    tage: Tage,
+    btb: Btb,
+    /// Indirect-target predictor: indexed and tagged by branch PC
+    /// hashed with recent taken-branch path history, so per-request
+    /// dispatch sequences become predictable after their first hop.
+    itp: Vec<ItpEntry>,
+    path_history: u64,
+    state: BpuState,
+    next_index: u64,
+    redirect_penalty: u64,
+    btb_miss_penalty: u64,
+    stats: BranchStats,
+    trace_done: bool,
+}
+
+impl FrontEnd {
+    /// Builds the front end from the simulation config.
+    pub fn new(cfg: &SimConfig) -> Self {
+        FrontEnd {
+            ftq: VecDeque::with_capacity(cfg.ftq_entries),
+            capacity: cfg.ftq_entries,
+            tage: Tage::new(),
+            btb: Btb::new(8192, 4),
+            itp: vec![ItpEntry::default(); ITP_ENTRIES],
+            path_history: 0,
+            state: BpuState::Running { available_at: 0 },
+            next_index: 0,
+            redirect_penalty: cfg.redirect_penalty,
+            btb_miss_penalty: cfg.btb_miss_penalty,
+            stats: BranchStats::default(),
+            trace_done: false,
+        }
+    }
+
+    /// Accumulated branch statistics.
+    pub fn stats(&self) -> BranchStats {
+        let mut s = self.stats;
+        s.tage = self.tage.stats();
+        s.btb = self.btb.stats();
+        s
+    }
+
+    /// Whether the trace has been fully consumed and the FTQ drained.
+    pub fn drained(&self) -> bool {
+        self.trace_done && self.ftq.is_empty()
+    }
+
+    /// Whether the front end has consumed the whole trace.
+    pub fn trace_done(&self) -> bool {
+        self.trace_done
+    }
+
+    /// Global index of the next instruction the BPU will assign.
+    pub fn instructions_entered(&self) -> u64 {
+        self.next_index
+    }
+
+    /// The backend resolved the branch with global `index` at `done`;
+    /// unstall the BPU if it was the one being waited on.
+    pub fn on_branch_resolved(&mut self, index: u64, done: Cycle) {
+        if self.state == (BpuState::WaitingOnBranch { index }) {
+            self.state = BpuState::Running {
+                available_at: done + self.redirect_penalty,
+            };
+        }
+    }
+
+    fn itp_slot(&self, pc: acic_types::Addr) -> (usize, u16) {
+        use acic_types::hash::{fold, mix2};
+        let h = mix2(pc.raw(), self.path_history);
+        (fold(h, 14) as usize, fold(h ^ 0x17a6e, 10) as u16)
+    }
+
+    fn itp_predict(&self, pc: acic_types::Addr) -> Option<acic_types::Addr> {
+        let (slot, tag) = self.itp_slot(pc);
+        let e = self.itp[slot];
+        (e.valid && e.tag == tag).then(|| acic_types::Addr::new(e.target))
+    }
+
+    fn itp_update(&mut self, pc: acic_types::Addr, target: acic_types::Addr) {
+        let (slot, tag) = self.itp_slot(pc);
+        self.itp[slot] = ItpEntry {
+            tag,
+            target: target.raw(),
+            valid: true,
+        };
+    }
+
+    fn push_path_history(&mut self, target: acic_types::Addr) {
+        // The single most recent indirect target: together with the
+        // site PC it identifies the request type without dragging in
+        // stale targets from the previous request (an ITTAGE with
+        // geometric history lengths would find this length itself).
+        self.path_history = acic_types::hash::fold(target.raw() >> 2, 16);
+    }
+
+    /// Runs the BPU for one cycle: processes at most one fetch-block
+    /// run from `next_run` and pushes it into the FTQ.
+    pub fn bpu_cycle<F>(&mut self, now: Cycle, mut next_run: F)
+    where
+        F: FnMut() -> Option<RunInstrs>,
+    {
+        let BpuState::Running { available_at } = self.state else {
+            return;
+        };
+        if now < available_at || self.ftq.len() >= self.capacity || self.trace_done {
+            return;
+        }
+        let Some(run) = next_run() else {
+            self.trace_done = true;
+            return;
+        };
+
+        let first_index = self.next_index;
+        self.next_index += run.instrs.len() as u64;
+        let mut bubble = 0u64;
+        let mut mispredicted_at: Option<u64> = None;
+
+        for (k, instr) in run.instrs.iter().enumerate() {
+            let InstrKind::Branch {
+                target,
+                taken,
+                class,
+            } = instr.kind
+            else {
+                continue;
+            };
+            let index = first_index + k as u64;
+            match class {
+                BranchClass::Conditional => {
+                    let correct = self.tage.predict_and_train(instr.pc, taken);
+                    if !correct {
+                        self.stats.mispredicts += 1;
+                        mispredicted_at = Some(index);
+                        break;
+                    }
+                    if taken {
+                        // Need the target from the BTB.
+                        match self.btb.lookup(instr.pc) {
+                            Some(t) if t == target => {}
+                            _ => {
+                                bubble += self.btb_miss_penalty;
+                                self.btb.update(instr.pc, target);
+                            }
+                        }
+                    }
+                }
+                BranchClass::Direct | BranchClass::Call => {
+                    match self.btb.lookup(instr.pc) {
+                        Some(t) if t == target => {}
+                        _ => {
+                            bubble += self.btb_miss_penalty;
+                            self.btb.update(instr.pc, target);
+                        }
+                    }
+                }
+                BranchClass::Return => {
+                    // Idealized return address stack: always correct.
+                }
+                BranchClass::Indirect => {
+                    let predicted = self
+                        .itp_predict(instr.pc)
+                        .or_else(|| self.btb.lookup(instr.pc));
+                    match predicted {
+                        Some(t) if t == target => {}
+                        Some(_) => {
+                            // Wrong target: full misprediction.
+                            self.btb.record_wrong_target();
+                            self.stats.mispredicts += 1;
+                            mispredicted_at = Some(index);
+                        }
+                        None => {
+                            // Cold indirect: no target to fetch from.
+                            self.stats.mispredicts += 1;
+                            mispredicted_at = Some(index);
+                        }
+                    }
+                    self.itp_update(instr.pc, target);
+                    self.btb.update(instr.pc, target);
+                    // Push the resolved target into the path history
+                    // even on a misprediction (the front end learns the
+                    // true path once the branch resolves) — otherwise a
+                    // single wrong dispatch would leave every later
+                    // site keyed on stale history.
+                    self.push_path_history(target);
+                    if mispredicted_at.is_some() {
+                        break;
+                    }
+                }
+            }
+        }
+
+        self.ftq.push_back(FtqEntry {
+            block: run.block,
+            instrs: run.instrs,
+            first_index,
+            accessed: false,
+            ready_at: 0,
+            needs_fill: false,
+            next_use: acic_trace::NO_NEXT_USE,
+            delivered: 0,
+            prefetchable: bubble == 0 && mispredicted_at.is_none(),
+        });
+
+        self.state = match mispredicted_at {
+            Some(index) => BpuState::WaitingOnBranch { index },
+            None => BpuState::Running {
+                available_at: now + 1 + bubble,
+            },
+        };
+    }
+}
+
+impl core::fmt::Debug for FrontEnd {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FrontEnd")
+            .field("ftq_len", &self.ftq.len())
+            .field("state", &self.state)
+            .field("next_index", &self.next_index)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic_types::Addr;
+
+    fn run_of(instrs: Vec<Instr>) -> RunInstrs {
+        RunInstrs {
+            block: instrs[0].pc.block(),
+            instrs,
+        }
+    }
+
+    #[test]
+    fn pushes_runs_until_full() {
+        let cfg = SimConfig::default();
+        let mut fe = FrontEnd::new(&cfg);
+        for now in 0..30u64 {
+            fe.bpu_cycle(now, || Some(run_of(vec![Instr::alu(Addr::new(now * 64))])));
+        }
+        assert_eq!(fe.ftq.len(), cfg.ftq_entries);
+    }
+
+    #[test]
+    fn mispredict_stalls_until_resolution() {
+        let cfg = SimConfig::default();
+        let mut fe = FrontEnd::new(&cfg);
+        // An indirect branch with no BTB entry: guaranteed mispredict.
+        let br = Instr::branch(
+            Addr::new(0),
+            Addr::new(0x100),
+            true,
+            BranchClass::Indirect,
+        );
+        fe.bpu_cycle(0, || Some(run_of(vec![br])));
+        assert_eq!(fe.ftq.len(), 1);
+        // Stalled: further cycles do nothing.
+        fe.bpu_cycle(1, || Some(run_of(vec![Instr::alu(Addr::new(64))])));
+        assert_eq!(fe.ftq.len(), 1);
+        // Resolve the branch (global index 0) at cycle 10.
+        fe.on_branch_resolved(0, 10);
+        fe.bpu_cycle(10 + cfg.redirect_penalty, || {
+            Some(run_of(vec![Instr::alu(Addr::new(64))]))
+        });
+        assert_eq!(fe.ftq.len(), 2);
+    }
+
+    #[test]
+    fn trace_end_marks_done() {
+        let cfg = SimConfig::default();
+        let mut fe = FrontEnd::new(&cfg);
+        fe.bpu_cycle(0, || None);
+        assert!(fe.trace_done());
+        assert!(fe.drained());
+    }
+
+    #[test]
+    fn indirect_with_stable_target_learns() {
+        let cfg = SimConfig::default();
+        let mut fe = FrontEnd::new(&cfg);
+        let br = Instr::branch(
+            Addr::new(0),
+            Addr::new(0x100),
+            true,
+            BranchClass::Indirect,
+        );
+        // First encounter mispredicts; resolve it.
+        fe.bpu_cycle(0, || Some(run_of(vec![br])));
+        fe.on_branch_resolved(0, 5);
+        // Second encounter: BTB now has the target; no stall.
+        let before = fe.stats().mispredicts;
+        fe.bpu_cycle(20, || Some(run_of(vec![br])));
+        assert_eq!(fe.stats().mispredicts, before);
+        assert_eq!(fe.ftq.len(), 2);
+    }
+
+    #[test]
+    fn global_indices_are_contiguous() {
+        let cfg = SimConfig::default();
+        let mut fe = FrontEnd::new(&cfg);
+        fe.bpu_cycle(0, || {
+            Some(run_of(vec![
+                Instr::alu(Addr::new(0)),
+                Instr::alu(Addr::new(4)),
+            ]))
+        });
+        fe.bpu_cycle(1, || Some(run_of(vec![Instr::alu(Addr::new(64))])));
+        assert_eq!(fe.ftq[0].first_index, 0);
+        assert_eq!(fe.ftq[1].first_index, 2);
+        assert_eq!(fe.instructions_entered(), 3);
+    }
+}

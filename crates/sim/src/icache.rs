@@ -1,0 +1,168 @@
+//! L1i organization selection — one variant per configuration the
+//! paper evaluates (Figures 10/11 legends plus the ablations).
+
+use acic_cache::bypass::{
+    access_count::AccessCountAdmission, dsb::DsbAdmission, obm::ObmAdmission,
+    opt_bypass::OptBypassAdmission, AlwaysAdmit,
+};
+use acic_cache::policy::PolicyKind;
+use acic_cache::victim::vvc::VvcIcache;
+use acic_cache::{CacheGeometry, IcacheContents, PlainIcache, VictimCachedIcache};
+use acic_core::{AcicConfig, AcicIcache, FilteredIcache};
+
+/// The L1i organizations under test.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IcacheOrg {
+    /// 32 KB 8-way LRU (the baseline).
+    Lru,
+    /// SRRIP replacement.
+    Srrip,
+    /// SHiP replacement.
+    Ship,
+    /// Hawkeye/Harmony replacement (prefetch-aware).
+    Harmony,
+    /// GHRP replacement.
+    Ghrp,
+    /// DSB: segmented LRU + adaptive bypassing.
+    Dsb,
+    /// OBM: LRU + optimal bypass monitor.
+    Obm,
+    /// Virtual victim cache.
+    Vvc,
+    /// LRU + 3 KB fully-associative victim cache.
+    Vc3k,
+    /// A 36 KB, 9-way LRU i-cache (more capacity than ACIC's budget).
+    Larger36k,
+    /// Belady OPT replacement (requires the reuse oracle).
+    Opt,
+    /// i-Filter + oracle admission (requires the reuse oracle).
+    OptBypass,
+    /// i-Filter whose victims are always inserted (Figure 3a).
+    IFilterAlways,
+    /// i-Filter + access-count comparison (Figure 3a).
+    AccessCount,
+    /// The paper's contribution, with its full configuration.
+    Acic(AcicConfig),
+}
+
+impl IcacheOrg {
+    /// ACIC with the default (Table I) configuration.
+    pub fn acic_default() -> IcacheOrg {
+        IcacheOrg::Acic(AcicConfig::default())
+    }
+
+    /// Whether this organization needs the two-pass reuse oracle.
+    pub fn needs_oracle(&self) -> bool {
+        matches!(self, IcacheOrg::Opt | IcacheOrg::OptBypass)
+    }
+
+    /// Builds the contents model. `seed` feeds the stochastic
+    /// policies (DSB, OBM sampling).
+    pub fn build(&self, seed: u64) -> Box<dyn IcacheContents> {
+        let geom = CacheGeometry::l1i_32k();
+        match self {
+            IcacheOrg::Lru => Box::new(PlainIcache::new(geom, PolicyKind::Lru)),
+            IcacheOrg::Srrip => Box::new(PlainIcache::new(geom, PolicyKind::Srrip)),
+            IcacheOrg::Ship => Box::new(PlainIcache::new(geom, PolicyKind::Ship)),
+            IcacheOrg::Harmony => Box::new(PlainIcache::new(
+                geom,
+                PolicyKind::Hawkeye {
+                    prefetch_aware: true,
+                },
+            )),
+            IcacheOrg::Ghrp => Box::new(PlainIcache::new(geom, PolicyKind::Ghrp)),
+            IcacheOrg::Dsb => Box::new(
+                PlainIcache::new(geom, PolicyKind::Slru)
+                    .with_bypass(Box::new(DsbAdmission::new(seed))),
+            ),
+            IcacheOrg::Obm => Box::new(
+                PlainIcache::new(geom, PolicyKind::Lru)
+                    .with_bypass(Box::new(ObmAdmission::new(seed))),
+            ),
+            IcacheOrg::Vvc => Box::new(VvcIcache::new(geom)),
+            IcacheOrg::Vc3k => Box::new(VictimCachedIcache::new(geom, PolicyKind::Lru, 48)),
+            IcacheOrg::Larger36k => {
+                Box::new(PlainIcache::new(CacheGeometry::l1i_36k(), PolicyKind::Lru))
+            }
+            IcacheOrg::Opt => Box::new(PlainIcache::new(geom, PolicyKind::Opt)),
+            IcacheOrg::OptBypass => Box::new(FilteredIcache::new(
+                geom,
+                16,
+                Box::new(OptBypassAdmission),
+            )),
+            IcacheOrg::IFilterAlways => {
+                Box::new(FilteredIcache::new(geom, 16, Box::new(AlwaysAdmit)))
+            }
+            IcacheOrg::AccessCount => Box::new(FilteredIcache::new(
+                geom,
+                16,
+                Box::new(AccessCountAdmission::new()),
+            )),
+            IcacheOrg::Acic(cfg) => Box::new(AcicIcache::new(*cfg)),
+        }
+    }
+
+    /// Figure-legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IcacheOrg::Lru => "LRU",
+            IcacheOrg::Srrip => "SRRIP",
+            IcacheOrg::Ship => "SHiP",
+            IcacheOrg::Harmony => "Harmony",
+            IcacheOrg::Ghrp => "GHRP",
+            IcacheOrg::Dsb => "DSB",
+            IcacheOrg::Obm => "OBM",
+            IcacheOrg::Vvc => "VVC",
+            IcacheOrg::Vc3k => "VC3K",
+            IcacheOrg::Larger36k => "36KB L1i",
+            IcacheOrg::Opt => "OPT",
+            IcacheOrg::OptBypass => "OPT Bypass",
+            IcacheOrg::IFilterAlways => "i-Filter always insert",
+            IcacheOrg::AccessCount => "Access count bypass",
+            IcacheOrg::Acic(_) => "ACIC",
+        }
+    }
+
+    /// All organizations of Figures 10/11, in legend order.
+    pub fn figure10_set() -> Vec<IcacheOrg> {
+        vec![
+            IcacheOrg::Srrip,
+            IcacheOrg::Ship,
+            IcacheOrg::Harmony,
+            IcacheOrg::Ghrp,
+            IcacheOrg::Dsb,
+            IcacheOrg::Obm,
+            IcacheOrg::Vvc,
+            IcacheOrg::Vc3k,
+            IcacheOrg::acic_default(),
+            IcacheOrg::Larger36k,
+            IcacheOrg::Opt,
+            IcacheOrg::OptBypass,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_org_builds() {
+        for org in IcacheOrg::figure10_set()
+            .into_iter()
+            .chain([IcacheOrg::Lru, IcacheOrg::IFilterAlways, IcacheOrg::AccessCount])
+        {
+            let contents = org.build(7);
+            assert!(!contents.label().is_empty());
+            assert!(!org.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn oracle_requirements() {
+        assert!(IcacheOrg::Opt.needs_oracle());
+        assert!(IcacheOrg::OptBypass.needs_oracle());
+        assert!(!IcacheOrg::acic_default().needs_oracle());
+        assert!(!IcacheOrg::Lru.needs_oracle());
+    }
+}

@@ -1,0 +1,153 @@
+//! Simulation reports: everything the experiment harness needs to
+//! regenerate the paper's tables and figures.
+
+use crate::branch::btb::BtbStats;
+use crate::branch::tage::TageStats;
+use acic_cache::CacheStats;
+use acic_core::{AcicStats, CshrStats};
+use acic_types::Cycle;
+
+/// Front-end branch statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BranchStats {
+    /// Total control-flow mispredictions (conditional + indirect).
+    pub mispredicts: u64,
+    /// TAGE direction-prediction statistics.
+    pub tage: TageStats,
+    /// BTB statistics.
+    pub btb: BtbStats,
+}
+
+/// Prefetch statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrefetchStats {
+    /// Prefetches issued to the hierarchy.
+    pub issued: u64,
+    /// Prefetch candidates dropped (already resident / in flight /
+    /// MSHRs full).
+    pub filtered: u64,
+}
+
+/// Result of one simulation run.
+///
+/// Statistics prefixed `measured_` exclude the warm-up window
+/// (§IV-A: the first 10% of instructions); `total_` fields cover the
+/// whole run.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Workload name.
+    pub app: String,
+    /// L1i organization label.
+    pub org: String,
+    /// Total instructions retired.
+    pub total_instructions: u64,
+    /// Total cycles.
+    pub total_cycles: Cycle,
+    /// Instructions counted after warm-up.
+    pub measured_instructions: u64,
+    /// Cycles counted after warm-up.
+    pub measured_cycles: Cycle,
+    /// L1i statistics after warm-up.
+    pub l1i: CacheStats,
+    /// L1d statistics (whole run).
+    pub l1d: CacheStats,
+    /// L2 statistics (whole run).
+    pub l2: CacheStats,
+    /// L3 statistics (whole run).
+    pub l3: CacheStats,
+    /// DRAM accesses (whole run).
+    pub dram_accesses: u64,
+    /// Branch statistics (whole run).
+    pub branch: BranchStats,
+    /// Prefetch statistics (whole run).
+    pub prefetch: PrefetchStats,
+    /// ACIC-specific statistics, when the organization is ACIC.
+    pub acic: Option<AcicStats>,
+    /// CSHR statistics, when the organization is ACIC.
+    pub cshr: Option<CshrStats>,
+    /// Figure-6 lifetime histogram fractions, when unbounded-CSHR
+    /// instrumentation was enabled.
+    pub cshr_lifetimes: Option<[f64; acic_core::cshr::LIFETIME_BUCKETS]>,
+}
+
+impl SimReport {
+    /// Post-warm-up instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.measured_cycles == 0 {
+            0.0
+        } else {
+            self.measured_instructions as f64 / self.measured_cycles as f64
+        }
+    }
+
+    /// Post-warm-up L1i demand misses per kilo-instruction.
+    pub fn l1i_mpki(&self) -> f64 {
+        self.l1i.mpki(self.measured_instructions)
+    }
+
+    /// Speedup of this run over a baseline run of the same workload
+    /// (ratio of post-warm-up cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two reports cover different instruction counts
+    /// (they would not be comparable).
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        assert_eq!(
+            self.measured_instructions, baseline.measured_instructions,
+            "speedup requires identical instruction windows"
+        );
+        baseline.measured_cycles as f64 / self.measured_cycles as f64
+    }
+
+    /// MPKI reduction relative to a baseline (positive = fewer
+    /// misses).
+    pub fn mpki_reduction_over(&self, baseline: &SimReport) -> f64 {
+        let b = baseline.l1i_mpki();
+        if b == 0.0 {
+            0.0
+        } else {
+            (b - self.l1i_mpki()) / b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, instrs: u64, misses: u64) -> SimReport {
+        let mut l1i = CacheStats::default();
+        l1i.demand_accesses = misses;
+        l1i.demand_misses = misses;
+        SimReport {
+            measured_cycles: cycles,
+            measured_instructions: instrs,
+            l1i,
+            ..SimReport::default()
+        }
+    }
+
+    #[test]
+    fn ipc_and_mpki() {
+        let r = report(1000, 2000, 10);
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+        assert!((r.l1i_mpki() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_cycle_ratio() {
+        let fast = report(900, 2000, 5);
+        let slow = report(1000, 2000, 10);
+        assert!((fast.speedup_over(&slow) - 1000.0 / 900.0).abs() < 1e-12);
+        assert!((fast.mpki_reduction_over(&slow) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical instruction windows")]
+    fn mismatched_windows_panic() {
+        let a = report(1, 100, 0);
+        let b = report(1, 200, 0);
+        let _ = a.speedup_over(&b);
+    }
+}

@@ -1,0 +1,361 @@
+//! The cycle loop tying front end, backend, hierarchy, prefetcher and
+//! the L1i organization together.
+
+use crate::backend::{Backend, DecodedInstr};
+use crate::config::{PrefetcherKind, SimConfig};
+use crate::frontend::FrontEnd;
+use crate::mem::{MemoryHierarchy, MissTracker};
+use crate::prefetch::{Entangling, Prefetcher};
+use crate::report::{PrefetchStats, SimReport};
+use acic_cache::{AccessCtx, CacheStats};
+use acic_core::AcicIcache;
+use acic_trace::{BlockRuns, GroupedRuns, ReuseOracle, TraceSource, NO_NEXT_USE};
+use acic_types::{BlockAddr, Cycle};
+
+/// Entry point for running simulations.
+#[derive(Debug)]
+pub struct Simulator;
+
+impl Simulator {
+    /// Runs `workload` under `cfg` and returns the report.
+    ///
+    /// Performs a functional pre-pass when the organization needs the
+    /// reuse oracle (OPT, OPT-bypass) or when
+    /// [`SimConfig::attach_oracle`] requests instrumentation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds a generous cycle bound
+    /// (indicates a pipeline deadlock — a bug, not a workload
+    /// property).
+    pub fn run<W: TraceSource>(cfg: &SimConfig, workload: &W) -> SimReport {
+        let needs_oracle = cfg.icache_org.needs_oracle() || cfg.attach_oracle;
+        let (oracle, total_instructions) = if needs_oracle {
+            let mut total = 0u64;
+            let mut seq = Vec::new();
+            for r in BlockRuns::new(workload.iter()) {
+                seq.push(r.block);
+                total += r.len as u64;
+            }
+            (Some(ReuseOracle::from_sequence(&seq)), total)
+        } else {
+            (None, workload.iter().count() as u64)
+        };
+        let mut cursor = oracle.as_ref().map(|o| o.cursor());
+
+        let seed = acic_types::hash::mix64(
+            workload
+                .name()
+                .bytes()
+                .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64)),
+        );
+        let mut contents = cfg.icache_org.build(seed);
+        if cfg.unbounded_cshr {
+            if let crate::icache::IcacheOrg::Acic(acic_cfg) = &cfg.icache_org {
+                contents =
+                    Box::new(AcicIcache::new(*acic_cfg).with_unbounded_instrumentation());
+            }
+        }
+        let mut frontend = FrontEnd::new(cfg);
+        let mut backend = Backend::new(cfg);
+        let mut mem = MemoryHierarchy::new(cfg);
+        let mut l1i_mshr = MissTracker::new(cfg.l1i_mshrs);
+        let mut prefetcher = match cfg.prefetcher {
+            PrefetcherKind::None => Prefetcher::None,
+            PrefetcherKind::Fdp => Prefetcher::Fdp,
+            PrefetcherKind::Entangling => Prefetcher::Entangling(Entangling::new()),
+        };
+        let mut prefetch_stats = PrefetchStats::default();
+        let mut pending_prefetches: Vec<(Cycle, BlockAddr)> = Vec::new();
+        let mut candidates: Vec<BlockAddr> = Vec::new();
+
+        let mut runs = GroupedRuns::new(workload.iter());
+        let warmup_instrs = (total_instructions as f64 * cfg.warmup_fraction) as u64;
+        let mut warm_snapshot: Option<(Cycle, u64, CacheStats)> = None;
+        let mut access_index: u64 = 0;
+
+        let max_cycles = 400 * total_instructions + 1_000_000;
+        let mut now: Cycle = 0;
+
+        loop {
+            now += 1;
+            assert!(now < max_cycles, "simulation exceeded cycle bound (deadlock?)");
+
+            // Backend: retire, then dispatch.
+            backend.retire(now);
+            backend.dispatch(now, &mut mem);
+            for (index, done) in backend.resolved_branches.drain(..) {
+                frontend.on_branch_resolved(index, done);
+            }
+
+            // Fetch: service the FTQ head.
+            if let Some(head) = frontend.ftq.front_mut() {
+                if !head.accessed {
+                    head.accessed = true;
+                    access_index += 1;
+                    let next_use = match cursor.as_mut() {
+                        Some(c) => {
+                            c.advance(head.block);
+                            c.next_use_of(head.block)
+                        }
+                        None => NO_NEXT_USE,
+                    };
+                    head.next_use = next_use;
+                    let outcome = {
+                        let mut ctx =
+                            AccessCtx::demand(head.block, access_index).with_next_use(next_use);
+                        if let Some(c) = cursor.as_ref() {
+                            ctx = ctx.with_oracle(c);
+                        }
+                        contents.access(&ctx)
+                    };
+                    prefetcher.on_demand_fetch(head.block, now);
+                    if outcome.hit {
+                        head.ready_at = now + outcome.extra_latency as u64;
+                    } else {
+                        head.needs_fill = true;
+                        head.ready_at = match l1i_mshr.lookup(head.block, now) {
+                            // A prefetch already has the block in flight.
+                            Some(ready) => ready,
+                            None => {
+                                let start = if l1i_mshr.full(now) {
+                                    l1i_mshr
+                                        .earliest_ready()
+                                        .expect("full tracker has entries")
+                                        .max(now)
+                                } else {
+                                    now
+                                };
+                                let ready = mem.fetch_instr_block(head.block, start);
+                                l1i_mshr.insert(head.block, ready);
+                                prefetcher.on_demand_miss(head.block, now, ready - now);
+                                ready
+                            }
+                        };
+                    }
+                }
+                if now >= head.ready_at {
+                    if head.needs_fill {
+                        head.needs_fill = false;
+                        let mut ctx = AccessCtx::demand(head.block, access_index)
+                            .with_next_use(head.next_use);
+                        if let Some(c) = cursor.as_ref() {
+                            ctx = ctx.with_oracle(c);
+                        }
+                        contents.fill(&ctx);
+                    }
+                    // Deliver instructions into the decode queue.
+                    let space = backend.dq_space();
+                    let remaining = head.instrs.len() - head.delivered;
+                    let n = remaining.min(space).min(cfg.fetch_width as usize);
+                    for k in 0..n {
+                        let at = head.delivered + k;
+                        backend.dq.push_back(DecodedInstr {
+                            instr: head.instrs[at],
+                            index: head.first_index + at as u64,
+                        });
+                    }
+                    head.delivered += n;
+                    if head.delivered == head.instrs.len() {
+                        frontend.ftq.pop_front();
+                    }
+                }
+            }
+
+            // BPU: run ahead of fetch.
+            frontend.bpu_cycle(now, || runs.next());
+
+            // Prefetch: gather candidates, filter, issue, fill.
+            candidates.clear();
+            prefetcher.candidates(&frontend.ftq, &mut candidates);
+            let mut issued = 0;
+            for &block in candidates.iter() {
+                if issued >= cfg.prefetch_width {
+                    break;
+                }
+                if contents.contains_block(block) || l1i_mshr.lookup(block, now).is_some() {
+                    prefetch_stats.filtered += 1;
+                    continue;
+                }
+                if l1i_mshr.full(now) {
+                    prefetch_stats.filtered += 1;
+                    break;
+                }
+                let ready = mem.fetch_instr_block(block, now);
+                l1i_mshr.insert(block, ready);
+                pending_prefetches.push((ready, block));
+                prefetch_stats.issued += 1;
+                issued += 1;
+            }
+            if !pending_prefetches.is_empty() {
+                let due: Vec<BlockAddr> = {
+                    let mut v = Vec::new();
+                    pending_prefetches.retain(|&(ready, block)| {
+                        if ready <= now {
+                            v.push(block);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    v
+                };
+                for block in due {
+                    let future = cursor
+                        .as_ref()
+                        .map_or(NO_NEXT_USE, |c| c.future_use_of(block));
+                    let mut ctx =
+                        AccessCtx::prefetch(block, access_index).with_next_use(future);
+                    if let Some(c) = cursor.as_ref() {
+                        ctx = ctx.with_oracle(c);
+                    }
+                    contents.fill(&ctx);
+                }
+            }
+
+            contents.tick(now);
+
+            // Warm-up snapshot.
+            if warm_snapshot.is_none() && backend.retired >= warmup_instrs {
+                warm_snapshot = Some((now, backend.retired, contents.stats()));
+            }
+
+            if frontend.drained() && backend.drained() {
+                break;
+            }
+        }
+
+        let (warm_cycle, warm_retired, warm_l1i) =
+            warm_snapshot.unwrap_or((0, 0, CacheStats::default()));
+        let acic = contents
+            .as_any()
+            .downcast_ref::<AcicIcache>()
+            .map(|a| *a.acic_stats());
+        let cshr = contents
+            .as_any()
+            .downcast_ref::<AcicIcache>()
+            .map(|a| a.cshr_stats());
+        let cshr_lifetimes = contents
+            .as_any()
+            .downcast_ref::<AcicIcache>()
+            .and_then(|a| a.unbounded_cshr())
+            .map(|u| u.fractions_with_unresolved());
+
+        SimReport {
+            app: workload.name().to_string(),
+            org: cfg.icache_org.label().to_string(),
+            total_instructions: backend.retired,
+            total_cycles: now,
+            measured_instructions: backend.retired - warm_retired,
+            measured_cycles: now - warm_cycle,
+            l1i: contents.stats().delta_from(&warm_l1i),
+            l1d: mem.l1d_stats(),
+            l2: mem.l2_stats(),
+            l3: mem.l3_stats(),
+            dram_accesses: mem.dram_accesses,
+            branch: frontend.stats(),
+            prefetch: prefetch_stats,
+            acic,
+            cshr,
+            cshr_lifetimes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icache::IcacheOrg;
+    use acic_trace::Instr;
+    use acic_types::Addr;
+    use acic_workloads::{AppProfile, SyntheticWorkload};
+
+    fn small_workload(n: u64) -> SyntheticWorkload {
+        SyntheticWorkload::with_instructions(AppProfile::sibench(), n)
+    }
+
+    #[test]
+    fn runs_to_completion_and_counts_instructions() {
+        let wl = small_workload(20_000);
+        let r = Simulator::run(&SimConfig::default(), &wl);
+        assert_eq!(r.total_instructions, 20_000);
+        assert!(r.total_cycles > 0);
+        assert!(r.ipc() > 0.05 && r.ipc() < 6.0, "ipc = {}", r.ipc());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let wl = small_workload(10_000);
+        let a = Simulator::run(&SimConfig::default(), &wl);
+        let b = Simulator::run(&SimConfig::default(), &wl);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.l1i.demand_misses, b.l1i.demand_misses);
+    }
+
+    #[test]
+    fn tiny_trace_with_single_block() {
+        // A degenerate workload: straight-line code in one block.
+        let instrs: Vec<Instr> = (0..16).map(|i| Instr::alu(Addr::new(i * 4))).collect();
+        let trace = acic_trace::VecTrace::with_name(instrs, "tiny");
+        let r = Simulator::run(&SimConfig::default(), &trace);
+        assert_eq!(r.total_instructions, 16);
+        assert_eq!(r.l1i.demand_misses + r.l1i.demand_hits(), r.l1i.demand_accesses);
+    }
+
+    #[test]
+    fn opt_never_misses_more_than_lru() {
+        let wl = small_workload(60_000);
+        let base = SimConfig {
+            prefetcher: PrefetcherKind::None,
+            ..SimConfig::default()
+        };
+        let lru = Simulator::run(&base, &wl);
+        let opt = Simulator::run(&base.with_org(IcacheOrg::Opt), &wl);
+        assert!(
+            opt.l1i.demand_misses <= lru.l1i.demand_misses,
+            "OPT {} vs LRU {}",
+            opt.l1i.demand_misses,
+            lru.l1i.demand_misses
+        );
+    }
+
+    #[test]
+    fn prefetching_reduces_misses() {
+        let wl = small_workload(60_000);
+        let none = Simulator::run(
+            &SimConfig {
+                prefetcher: PrefetcherKind::None,
+                ..SimConfig::default()
+            },
+            &wl,
+        );
+        let fdp = Simulator::run(&SimConfig::default(), &wl);
+        assert!(
+            fdp.l1i.demand_misses < none.l1i.demand_misses,
+            "FDP {} vs none {}",
+            fdp.l1i.demand_misses,
+            none.l1i.demand_misses
+        );
+    }
+
+    #[test]
+    fn acic_reports_admission_stats() {
+        let wl = SyntheticWorkload::with_instructions(AppProfile::web_search(), 120_000);
+        let r = Simulator::run(
+            &SimConfig::default().with_org(IcacheOrg::acic_default()),
+            &wl,
+        );
+        let acic = r.acic.expect("ACIC stats present");
+        assert!(acic.decisions > 0);
+        let cshr = r.cshr.expect("CSHR stats present");
+        assert!(cshr.inserted > 0);
+    }
+
+    #[test]
+    fn warmup_excluded_from_measured_window() {
+        let wl = small_workload(20_000);
+        let r = Simulator::run(&SimConfig::default(), &wl);
+        assert!(r.measured_instructions <= r.total_instructions);
+        assert!(r.measured_instructions >= r.total_instructions * 85 / 100);
+    }
+}

@@ -1,0 +1,198 @@
+//! The trace record: one dynamic instruction.
+//!
+//! The simulator is trace-driven (as the paper's Tejas setup is): each
+//! record carries the information the timing model needs — PC,
+//! functional class, the data address for memory operations, and the
+//! resolved direction/target for branches. Wrong-path instructions are
+//! not represented; mispredictions are charged as front-end stall
+//! cycles, the standard trace-driven approximation.
+
+use acic_types::Addr;
+
+/// Classification of a branch instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchClass {
+    /// Conditional direct branch.
+    Conditional,
+    /// Unconditional direct jump.
+    Direct,
+    /// Direct call (pushes a return address).
+    Call,
+    /// Return (pops a return address).
+    Return,
+    /// Indirect jump or call through a register.
+    Indirect,
+}
+
+/// Functional class of an instruction, with the operands the timing
+/// model needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InstrKind {
+    /// Simple ALU operation (1-cycle execute).
+    Alu,
+    /// Long-latency arithmetic (multiply/divide class).
+    LongAlu,
+    /// Load from `addr`.
+    Load {
+        /// Data address read.
+        addr: Addr,
+    },
+    /// Store to `addr`.
+    Store {
+        /// Data address written.
+        addr: Addr,
+    },
+    /// Branch with its resolved outcome.
+    Branch {
+        /// Resolved target of the branch (fall-through PC if not taken).
+        target: Addr,
+        /// Whether the branch was taken.
+        taken: bool,
+        /// Branch classification.
+        class: BranchClass,
+    },
+}
+
+/// One dynamic instruction of a trace.
+///
+/// # Examples
+///
+/// ```
+/// use acic_trace::{BranchClass, Instr};
+/// use acic_types::Addr;
+///
+/// let b = Instr::branch(
+///     Addr::new(0x100),
+///     Addr::new(0x200),
+///     true,
+///     BranchClass::Conditional,
+/// );
+/// assert!(b.is_branch());
+/// assert_eq!(b.branch_target(), Some(Addr::new(0x200)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// Program counter of the instruction.
+    pub pc: Addr,
+    /// Functional class and operands.
+    pub kind: InstrKind,
+}
+
+impl Instr {
+    /// Creates a 1-cycle ALU instruction.
+    pub fn alu(pc: Addr) -> Self {
+        Instr {
+            pc,
+            kind: InstrKind::Alu,
+        }
+    }
+
+    /// Creates a long-latency ALU instruction.
+    pub fn long_alu(pc: Addr) -> Self {
+        Instr {
+            pc,
+            kind: InstrKind::LongAlu,
+        }
+    }
+
+    /// Creates a load.
+    pub fn load(pc: Addr, addr: Addr) -> Self {
+        Instr {
+            pc,
+            kind: InstrKind::Load { addr },
+        }
+    }
+
+    /// Creates a store.
+    pub fn store(pc: Addr, addr: Addr) -> Self {
+        Instr {
+            pc,
+            kind: InstrKind::Store { addr },
+        }
+    }
+
+    /// Creates a branch with a resolved outcome.
+    pub fn branch(pc: Addr, target: Addr, taken: bool, class: BranchClass) -> Self {
+        Instr {
+            pc,
+            kind: InstrKind::Branch {
+                target,
+                taken,
+                class,
+            },
+        }
+    }
+
+    /// Whether this instruction is any kind of branch.
+    pub fn is_branch(&self) -> bool {
+        matches!(self.kind, InstrKind::Branch { .. })
+    }
+
+    /// Whether this instruction reads or writes memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self.kind, InstrKind::Load { .. } | InstrKind::Store { .. })
+    }
+
+    /// Resolved target if this is a branch.
+    pub fn branch_target(&self) -> Option<Addr> {
+        match self.kind {
+            InstrKind::Branch { target, .. } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a taken branch.
+    pub fn is_taken_branch(&self) -> bool {
+        matches!(self.kind, InstrKind::Branch { taken: true, .. })
+    }
+
+    /// The PC the front end fetches after this instruction: the branch
+    /// target for taken branches, the next sequential PC (assuming
+    /// 4-byte instructions) otherwise.
+    pub fn next_pc(&self) -> Addr {
+        match self.kind {
+            InstrKind::Branch {
+                target, taken: true, ..
+            } => target,
+            _ => self.pc + 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_pc_follows_taken_branches() {
+        let t = Instr::branch(Addr::new(0x10), Addr::new(0x80), true, BranchClass::Direct);
+        assert_eq!(t.next_pc(), Addr::new(0x80));
+        let nt = Instr::branch(
+            Addr::new(0x10),
+            Addr::new(0x80),
+            false,
+            BranchClass::Conditional,
+        );
+        assert_eq!(nt.next_pc(), Addr::new(0x14));
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let l = Instr::load(Addr::new(0), Addr::new(0x1000));
+        assert!(l.is_mem());
+        assert!(!l.is_branch());
+        assert_eq!(l.branch_target(), None);
+        let s = Instr::store(Addr::new(4), Addr::new(0x1000));
+        assert!(s.is_mem());
+        let a = Instr::alu(Addr::new(8));
+        assert!(!a.is_mem() && !a.is_branch());
+    }
+
+    #[test]
+    fn taken_branch_detection() {
+        let b = Instr::branch(Addr::new(0), Addr::new(64), true, BranchClass::Call);
+        assert!(b.is_taken_branch());
+        let b = Instr::branch(Addr::new(0), Addr::new(64), false, BranchClass::Conditional);
+        assert!(!b.is_taken_branch());
+    }
+}

@@ -1,0 +1,207 @@
+//! Reuse-distance buckets and the Markov chain of Figure 1b.
+//!
+//! The paper illustrates burstiness by treating the sequence of reuse
+//! distances of a block as a Markov chain over distance *ranges*: once
+//! a block is accessed (distance 0 states dominate) it keeps being
+//! accessed for a while, then jumps to a long-distance state.
+
+use acic_types::BlockAddr;
+use std::collections::HashMap;
+
+/// The paper's reuse-distance ranges (Figure 1 x-axis), plus an
+/// explicit bucket for distances of 10000 and above.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum ReuseBucket {
+    /// Distance exactly 0 — spatial locality to the same block.
+    D0 = 0,
+    /// Distance in `[1, 16)` — very short-term temporal locality.
+    D1To16 = 1,
+    /// Distance in `[16, 512)` — within today's i-cache reach.
+    D16To512 = 2,
+    /// Distance in `[512, 1024)` — just beyond the i-cache's reach;
+    /// the region ACIC targets.
+    D512To1024 = 3,
+    /// Distance in `[1024, 10000)`.
+    D1024To10000 = 4,
+    /// Distance of 10000 or more.
+    DInf = 5,
+}
+
+impl ReuseBucket {
+    /// Number of buckets.
+    pub const COUNT: usize = 6;
+
+    /// All buckets in ascending distance order.
+    pub const ALL: [ReuseBucket; Self::COUNT] = [
+        ReuseBucket::D0,
+        ReuseBucket::D1To16,
+        ReuseBucket::D16To512,
+        ReuseBucket::D512To1024,
+        ReuseBucket::D1024To10000,
+        ReuseBucket::DInf,
+    ];
+
+    /// Buckets the given stack distance.
+    pub fn of(distance: u64) -> Self {
+        match distance {
+            0 => ReuseBucket::D0,
+            1..=15 => ReuseBucket::D1To16,
+            16..=511 => ReuseBucket::D16To512,
+            512..=1023 => ReuseBucket::D512To1024,
+            1024..=9999 => ReuseBucket::D1024To10000,
+            _ => ReuseBucket::DInf,
+        }
+    }
+
+    /// Paper-style label for figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReuseBucket::D0 => "0",
+            ReuseBucket::D1To16 => "1-16",
+            ReuseBucket::D16To512 => "16-512",
+            ReuseBucket::D512To1024 => "512-1024",
+            ReuseBucket::D1024To10000 => "1024-10000",
+            ReuseBucket::DInf => ">=10000",
+        }
+    }
+}
+
+/// Markov chain over [`ReuseBucket`] states (Figure 1b).
+///
+/// For every block we track the bucket of its previous reuse distance;
+/// each new reuse distance records a transition `prev -> new`.
+///
+/// # Examples
+///
+/// ```
+/// use acic_trace::{MarkovChain, ReuseBucket};
+/// use acic_types::BlockAddr;
+///
+/// let seq: Vec<BlockAddr> = [5u64, 5, 5, 9, 5].iter().map(|&b| BlockAddr::new(b)).collect();
+/// let chain = MarkovChain::from_sequence(&seq);
+/// // Block 5's distances: 0, 0, 1 -> transitions D0->D0, D0->D1To16.
+/// let p = chain.transition_probability(ReuseBucket::D0, ReuseBucket::D0);
+/// assert!((p - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MarkovChain {
+    counts: [[u64; ReuseBucket::COUNT]; ReuseBucket::COUNT],
+}
+
+impl MarkovChain {
+    /// Builds the chain from a block-access sequence.
+    pub fn from_sequence(seq: &[BlockAddr]) -> Self {
+        let distances = crate::stack_distance::StackDistanceAnalyzer::analyze(seq);
+        let mut chain = MarkovChain::default();
+        let mut prev_bucket: HashMap<BlockAddr, ReuseBucket> = HashMap::new();
+        for (&b, d) in seq.iter().zip(distances) {
+            if let Some(d) = d {
+                let bucket = ReuseBucket::of(d);
+                if let Some(prev) = prev_bucket.insert(b, bucket) {
+                    chain.counts[prev as usize][bucket as usize] += 1;
+                }
+            }
+        }
+        chain
+    }
+
+    /// Records one transition directly.
+    pub fn record(&mut self, from: ReuseBucket, to: ReuseBucket) {
+        self.counts[from as usize][to as usize] += 1;
+    }
+
+    /// Raw transition count.
+    pub fn count(&self, from: ReuseBucket, to: ReuseBucket) -> u64 {
+        self.counts[from as usize][to as usize]
+    }
+
+    /// Probability of moving from `from` to `to`; 0.0 when `from` was
+    /// never observed.
+    pub fn transition_probability(&self, from: ReuseBucket, to: ReuseBucket) -> f64 {
+        let row: u64 = self.counts[from as usize].iter().sum();
+        if row == 0 {
+            0.0
+        } else {
+            self.counts[from as usize][to as usize] as f64 / row as f64
+        }
+    }
+
+    /// Full transition matrix as probabilities, rows indexed by source
+    /// bucket.
+    pub fn matrix(&self) -> [[f64; ReuseBucket::COUNT]; ReuseBucket::COUNT] {
+        let mut m = [[0.0; ReuseBucket::COUNT]; ReuseBucket::COUNT];
+        for from in ReuseBucket::ALL {
+            for to in ReuseBucket::ALL {
+                m[from as usize][to as usize] = self.transition_probability(from, to);
+            }
+        }
+        m
+    }
+
+    /// Total transitions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(ReuseBucket::of(0), ReuseBucket::D0);
+        assert_eq!(ReuseBucket::of(1), ReuseBucket::D1To16);
+        assert_eq!(ReuseBucket::of(15), ReuseBucket::D1To16);
+        assert_eq!(ReuseBucket::of(16), ReuseBucket::D16To512);
+        assert_eq!(ReuseBucket::of(511), ReuseBucket::D16To512);
+        assert_eq!(ReuseBucket::of(512), ReuseBucket::D512To1024);
+        assert_eq!(ReuseBucket::of(1023), ReuseBucket::D512To1024);
+        assert_eq!(ReuseBucket::of(1024), ReuseBucket::D1024To10000);
+        assert_eq!(ReuseBucket::of(9999), ReuseBucket::D1024To10000);
+        assert_eq!(ReuseBucket::of(10000), ReuseBucket::DInf);
+        assert_eq!(ReuseBucket::of(u64::MAX), ReuseBucket::DInf);
+    }
+
+    #[test]
+    fn all_order_matches_discriminants() {
+        for (i, b) in ReuseBucket::ALL.iter().enumerate() {
+            assert_eq!(*b as usize, i);
+        }
+    }
+
+    #[test]
+    fn rows_sum_to_one_when_observed() {
+        let mut c = MarkovChain::default();
+        c.record(ReuseBucket::D0, ReuseBucket::D0);
+        c.record(ReuseBucket::D0, ReuseBucket::DInf);
+        let row_sum: f64 = ReuseBucket::ALL
+            .iter()
+            .map(|&to| c.transition_probability(ReuseBucket::D0, to))
+            .sum();
+        assert!((row_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unseen_row_is_zero() {
+        let c = MarkovChain::default();
+        assert_eq!(
+            c.transition_probability(ReuseBucket::DInf, ReuseBucket::D0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn per_block_chains_are_independent() {
+        // Blocks 1 and 2 interleaved: each block's own distance is 1
+        // every time, so all transitions are within D1To16.
+        let seq: Vec<BlockAddr> = [1u64, 2, 1, 2, 1, 2]
+            .iter()
+            .map(|&b| BlockAddr::new(b))
+            .collect();
+        let chain = MarkovChain::from_sequence(&seq);
+        assert_eq!(chain.count(ReuseBucket::D1To16, ReuseBucket::D1To16), 2);
+        assert_eq!(chain.total(), 2);
+    }
+}

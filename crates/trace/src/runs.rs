@@ -1,0 +1,283 @@
+//! Grouping instructions into i-cache block accesses.
+//!
+//! Consecutive instructions that fall in the same 64 B block are
+//! serviced by a single i-cache access; the i-cache (and i-Filter) see
+//! a new access exactly when the fetch stream moves to a different
+//! block. [`BlockRuns`] performs that grouping. Both the functional
+//! oracle pre-pass and the timing simulator consume the *same* run
+//! sequence, which is what makes the two-pass Belady OPT exact.
+
+use crate::instr::Instr;
+use acic_types::BlockAddr;
+
+/// A maximal run of consecutive instructions within one block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockRun {
+    /// The instruction block being fetched.
+    pub block: BlockAddr,
+    /// Number of instructions in the run.
+    pub len: u32,
+    /// Whether the run ends with a taken branch (ends the fetch group
+    /// even mid-block).
+    pub ends_in_taken_branch: bool,
+}
+
+/// Iterator adapter turning an instruction stream into [`BlockRun`]s.
+///
+/// A run ends when the next instruction's block differs from the
+/// current block, or after a taken branch (even to the same block —
+/// the front end redirects and re-accesses).
+///
+/// # Examples
+///
+/// ```
+/// use acic_trace::{BlockRuns, BranchClass, Instr};
+/// use acic_types::Addr;
+///
+/// // 3 instrs in block 0, then a taken branch back to block 0:
+/// let instrs = vec![
+///     Instr::alu(Addr::new(0)),
+///     Instr::alu(Addr::new(4)),
+///     Instr::branch(Addr::new(8), Addr::new(0), true, BranchClass::Direct),
+///     Instr::alu(Addr::new(0)),
+/// ];
+/// let runs: Vec<_> = BlockRuns::new(instrs.into_iter()).collect();
+/// assert_eq!(runs.len(), 2); // the taken branch splits the runs
+/// assert!(runs[0].ends_in_taken_branch);
+/// ```
+#[derive(Debug)]
+pub struct BlockRuns<I> {
+    inner: I,
+    pending: Option<Instr>,
+}
+
+impl<I: Iterator<Item = Instr>> BlockRuns<I> {
+    /// Wraps an instruction iterator.
+    pub fn new(inner: I) -> Self {
+        BlockRuns {
+            inner,
+            pending: None,
+        }
+    }
+}
+
+impl<I: Iterator<Item = Instr>> Iterator for BlockRuns<I> {
+    type Item = BlockRun;
+
+    fn next(&mut self) -> Option<BlockRun> {
+        let first = self.pending.take().or_else(|| self.inner.next())?;
+        let block = first.pc.block();
+        let mut len = 1u32;
+        let mut ends_taken = first.is_taken_branch();
+        if !ends_taken {
+            loop {
+                match self.inner.next() {
+                    None => break,
+                    Some(i) => {
+                        if i.pc.block() != block {
+                            self.pending = Some(i);
+                            break;
+                        }
+                        len += 1;
+                        if i.is_taken_branch() {
+                            ends_taken = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Some(BlockRun {
+            block,
+            len,
+            ends_in_taken_branch: ends_taken,
+        })
+    }
+}
+
+/// Collects the block-access sequence of a trace (one entry per run).
+///
+/// This is the sequence the oracle pre-pass indexes; position `i` in
+/// the returned vector is "access index `i`" everywhere else in the
+/// workspace.
+pub fn block_sequence<I: Iterator<Item = Instr>>(instrs: I) -> Vec<BlockAddr> {
+    BlockRuns::new(instrs).map(|r| r.block).collect()
+}
+
+/// A block run together with its instructions — the fetch-group unit
+/// the timing simulator's front end consumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunInstrs {
+    /// The instruction block being fetched.
+    pub block: BlockAddr,
+    /// The instructions of the run, in order.
+    pub instrs: Vec<Instr>,
+}
+
+/// Like [`BlockRuns`] but carrying the instructions of each run.
+///
+/// Run boundaries are guaranteed identical to [`BlockRuns`]' (same
+/// grouping rule), so the oracle pre-pass over `BlockRuns` indexes the
+/// timing pass over `GroupedRuns` one-to-one.
+#[derive(Debug)]
+pub struct GroupedRuns<I> {
+    inner: I,
+    pending: Option<Instr>,
+}
+
+impl<I: Iterator<Item = Instr>> GroupedRuns<I> {
+    /// Wraps an instruction iterator.
+    pub fn new(inner: I) -> Self {
+        GroupedRuns {
+            inner,
+            pending: None,
+        }
+    }
+}
+
+impl<I: Iterator<Item = Instr>> Iterator for GroupedRuns<I> {
+    type Item = RunInstrs;
+
+    fn next(&mut self) -> Option<RunInstrs> {
+        let first = self.pending.take().or_else(|| self.inner.next())?;
+        let block = first.pc.block();
+        let mut instrs = vec![first];
+        if !first.is_taken_branch() {
+            loop {
+                match self.inner.next() {
+                    None => break,
+                    Some(i) => {
+                        if i.pc.block() != block {
+                            self.pending = Some(i);
+                            break;
+                        }
+                        let taken = i.is_taken_branch();
+                        instrs.push(i);
+                        if taken {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Some(RunInstrs { block, instrs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::BranchClass;
+    use acic_types::Addr;
+
+    fn seq_alu(n: u64, base: u64) -> Vec<Instr> {
+        (0..n).map(|i| Instr::alu(Addr::new(base + i * 4))).collect()
+    }
+
+    #[test]
+    fn sequential_code_groups_into_blocks() {
+        let runs: Vec<_> = BlockRuns::new(seq_alu(48, 0).into_iter()).collect();
+        assert_eq!(runs.len(), 3);
+        assert!(runs.iter().all(|r| r.len == 16));
+        assert_eq!(runs[0].block, BlockAddr::new(0));
+        assert_eq!(runs[2].block, BlockAddr::new(2));
+    }
+
+    #[test]
+    fn not_taken_branch_does_not_split_run() {
+        let mut instrs = seq_alu(2, 0);
+        instrs.push(Instr::branch(
+            Addr::new(8),
+            Addr::new(0x100),
+            false,
+            BranchClass::Conditional,
+        ));
+        instrs.push(Instr::alu(Addr::new(12)));
+        let runs: Vec<_> = BlockRuns::new(instrs.into_iter()).collect();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len, 4);
+        assert!(!runs[0].ends_in_taken_branch);
+    }
+
+    #[test]
+    fn taken_branch_to_same_block_still_splits() {
+        let instrs = vec![
+            Instr::branch(Addr::new(0), Addr::new(16), true, BranchClass::Direct),
+            Instr::alu(Addr::new(16)),
+        ];
+        let runs: Vec<_> = BlockRuns::new(instrs.into_iter()).collect();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].block, runs[1].block);
+    }
+
+    #[test]
+    fn empty_trace_yields_nothing() {
+        assert_eq!(BlockRuns::new(core::iter::empty()).count(), 0);
+    }
+
+    #[test]
+    fn run_lengths_sum_to_instruction_count() {
+        let mut instrs = seq_alu(37, 0);
+        instrs.push(Instr::branch(
+            Addr::new(37 * 4),
+            Addr::new(0),
+            true,
+            BranchClass::Direct,
+        ));
+        instrs.extend(seq_alu(5, 0));
+        let total: u32 = BlockRuns::new(instrs.iter().copied()).map(|r| r.len).sum();
+        assert_eq!(total as usize, instrs.len());
+    }
+
+    #[test]
+    fn block_sequence_matches_runs() {
+        let instrs = seq_alu(20, 0);
+        let seq = block_sequence(instrs.iter().copied());
+        let runs: Vec<_> = BlockRuns::new(instrs.into_iter()).collect();
+        assert_eq!(seq.len(), runs.len());
+        for (b, r) in seq.iter().zip(&runs) {
+            assert_eq!(*b, r.block);
+        }
+    }
+}
+
+#[cfg(test)]
+mod grouped_tests {
+    use super::*;
+    use crate::instr::BranchClass;
+    use acic_types::Addr;
+
+    #[test]
+    fn grouped_runs_match_block_runs_boundaries() {
+        // Pseudo-random instruction stream with branches.
+        let mut x: u64 = 77;
+        let mut pc = 0u64;
+        let mut instrs = Vec::new();
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if x.is_multiple_of(5) {
+                let target = (x >> 13) % 4096 * 4;
+                let taken = x.is_multiple_of(2);
+                instrs.push(Instr::branch(
+                    Addr::new(pc),
+                    Addr::new(target),
+                    taken,
+                    BranchClass::Conditional,
+                ));
+                pc = if taken { target } else { pc + 4 };
+            } else {
+                instrs.push(Instr::alu(Addr::new(pc)));
+                pc += 4;
+            }
+        }
+        let simple: Vec<_> = BlockRuns::new(instrs.iter().copied()).collect();
+        let grouped: Vec<_> = GroupedRuns::new(instrs.iter().copied()).collect();
+        assert_eq!(simple.len(), grouped.len());
+        for (s, g) in simple.iter().zip(&grouped) {
+            assert_eq!(s.block, g.block);
+            assert_eq!(s.len as usize, g.instrs.len());
+        }
+        let total: usize = grouped.iter().map(|g| g.instrs.len()).sum();
+        assert_eq!(total, instrs.len());
+    }
+}

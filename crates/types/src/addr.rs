@@ -1,0 +1,213 @@
+//! Byte addresses and cache-block addresses.
+//!
+//! All caches in this workspace operate on 64 B blocks, matching the
+//! paper's simulated hierarchy (Table II). [`Addr`] is a full byte
+//! address (an instruction PC or data address); [`BlockAddr`] is the
+//! address shifted right by [`BLOCK_OFFSET_BITS`]. Keeping them as
+//! distinct newtypes prevents the classic bug of indexing a cache with
+//! an unshifted address.
+
+use core::fmt;
+
+/// Bytes per cache block (64 B, as in the paper).
+pub const BLOCK_BYTES: u64 = 64;
+/// log2([`BLOCK_BYTES`]).
+pub const BLOCK_OFFSET_BITS: u32 = 6;
+
+/// A full byte address (instruction PC or data address).
+///
+/// # Examples
+///
+/// ```
+/// use acic_types::{Addr, BLOCK_BYTES};
+///
+/// let a = Addr::new(0x1000);
+/// assert_eq!(a.offset_in_block(), 0);
+/// assert_eq!((a + 4).raw(), 0x1004);
+/// assert_eq!(a.block(), (a + (BLOCK_BYTES - 1)).block());
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the 64 B block containing this address.
+    #[inline]
+    pub const fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> BLOCK_OFFSET_BITS)
+    }
+
+    /// Returns the byte offset of this address within its block.
+    #[inline]
+    pub const fn offset_in_block(self) -> u64 {
+        self.0 & (BLOCK_BYTES - 1)
+    }
+}
+
+impl core::ops::Add<u64> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0.wrapping_add(rhs))
+    }
+}
+
+impl From<u64> for Addr {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A 64 B cache-block address (byte address >> 6).
+///
+/// # Examples
+///
+/// ```
+/// use acic_types::{Addr, BlockAddr};
+///
+/// let b = Addr::new(0x40).block();
+/// assert_eq!(b, BlockAddr::new(1));
+/// assert_eq!(b.first_byte(), Addr::new(0x40));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a raw (already shifted) value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        BlockAddr(raw)
+    }
+
+    /// Returns the raw (shifted) value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte address of the first byte in this block.
+    #[inline]
+    pub const fn first_byte(self) -> Addr {
+        Addr(self.0 << BLOCK_OFFSET_BITS)
+    }
+
+    /// Returns the block `n` blocks after this one.
+    #[inline]
+    pub const fn offset(self, n: u64) -> BlockAddr {
+        BlockAddr(self.0.wrapping_add(n))
+    }
+
+    /// Cache set index for a cache with `num_sets` sets (must be a
+    /// power of two).
+    #[inline]
+    pub const fn set_index(self, num_sets: usize) -> usize {
+        (self.0 as usize) & (num_sets - 1)
+    }
+
+    /// Tag bits above the set index for a cache with `num_sets` sets.
+    #[inline]
+    pub const fn tag(self, num_sets: usize) -> u64 {
+        self.0 >> num_sets.trailing_zeros()
+    }
+}
+
+impl From<u64> for BlockAddr {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        BlockAddr(raw)
+    }
+}
+
+impl fmt::Debug for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlockAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_of_address() {
+        assert_eq!(Addr::new(0).block(), BlockAddr::new(0));
+        assert_eq!(Addr::new(63).block(), BlockAddr::new(0));
+        assert_eq!(Addr::new(64).block(), BlockAddr::new(1));
+        assert_eq!(Addr::new(0xfff).block(), BlockAddr::new(0x3f));
+    }
+
+    #[test]
+    fn offset_in_block_wraps() {
+        assert_eq!(Addr::new(0x47).offset_in_block(), 7);
+        assert_eq!(Addr::new(0x40).offset_in_block(), 0);
+    }
+
+    #[test]
+    fn set_index_and_tag_partition_block_bits() {
+        let b = BlockAddr::new(0b1011_0110);
+        assert_eq!(b.set_index(16), 0b0110);
+        assert_eq!(b.tag(16), 0b1011);
+        // Recombining tag and set index gives back the block address.
+        assert_eq!((b.tag(16) << 4) | b.set_index(16) as u64, b.raw());
+    }
+
+    #[test]
+    fn add_is_wrapping() {
+        let a = Addr::new(u64::MAX);
+        assert_eq!((a + 1).raw(), 0);
+    }
+
+    #[test]
+    fn first_byte_round_trip() {
+        let b = BlockAddr::new(123);
+        assert_eq!(b.first_byte().block(), b);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(format!("{}", Addr::new(0x40)), "0x40");
+        assert_eq!(format!("{:x}", BlockAddr::new(0xbeef)), "beef");
+    }
+}

@@ -1,0 +1,306 @@
+//! Saturating counters and fixed-width shift-history registers.
+//!
+//! These are the two primitive state elements of every predictor in the
+//! paper: the Pattern Table holds [`SatCounter`]s, the History Register
+//! Table holds [`HistoryReg`]s, and the same primitives back SHiP's
+//! SHCT, GHRP's prediction tables, Hawkeye's training counters and the
+//! TAGE tables.
+
+use core::fmt;
+
+/// A saturating up/down counter with a configurable bit width (1..=16).
+///
+/// The counter is considered *high* (a "take" / "admit" / "live"
+/// prediction) when its value is at or above the midpoint `2^(w-1)`.
+///
+/// # Examples
+///
+/// ```
+/// use acic_types::SatCounter;
+///
+/// // The paper's PT entries are 5-bit counters.
+/// let mut pt = SatCounter::new(5, 16);
+/// assert!(pt.is_high());
+/// pt.decrement();
+/// assert!(!pt.is_high());
+/// for _ in 0..100 {
+///     pt.increment();
+/// }
+/// assert_eq!(pt.value(), 31); // saturates at 2^5 - 1
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SatCounter {
+    value: u16,
+    max: u16,
+}
+
+impl SatCounter {
+    /// Creates a `width`-bit counter starting at `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 16, or if `initial`
+    /// does not fit in `width` bits.
+    pub fn new(width: u32, initial: u16) -> Self {
+        assert!((1..=16).contains(&width), "width must be in 1..=16");
+        let max = ((1u32 << width) - 1) as u16;
+        assert!(initial <= max, "initial value {initial} exceeds max {max}");
+        SatCounter {
+            value: initial,
+            max,
+        }
+    }
+
+    /// Creates a `width`-bit counter starting at the midpoint
+    /// (`2^(w-1)`), i.e. weakly high.
+    pub fn new_weakly_high(width: u32) -> Self {
+        let mid = 1u16 << (width - 1);
+        SatCounter::new(width, mid)
+    }
+
+    /// Creates a `width`-bit counter starting just below the midpoint,
+    /// i.e. weakly low.
+    pub fn new_weakly_low(width: u32) -> Self {
+        let mid = 1u16 << (width - 1);
+        SatCounter::new(width, mid - 1)
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn value(self) -> u16 {
+        self.value
+    }
+
+    /// Maximum representable value (`2^w - 1`).
+    #[inline]
+    pub fn max(self) -> u16 {
+        self.max
+    }
+
+    /// Midpoint threshold (`2^(w-1)`).
+    #[inline]
+    pub fn midpoint(self) -> u16 {
+        (self.max >> 1) + 1
+    }
+
+    /// Whether the counter is at or above its midpoint.
+    #[inline]
+    pub fn is_high(self) -> bool {
+        self.value >= self.midpoint()
+    }
+
+    /// Whether the counter is saturated at its maximum.
+    #[inline]
+    pub fn is_max(self) -> bool {
+        self.value == self.max
+    }
+
+    /// Whether the counter is saturated at zero.
+    #[inline]
+    pub fn is_min(self) -> bool {
+        self.value == 0
+    }
+
+    /// Increments, saturating at `2^w - 1`.
+    #[inline]
+    pub fn increment(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Decrements, saturating at 0.
+    #[inline]
+    pub fn decrement(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Increments if `up` is true, otherwise decrements.
+    #[inline]
+    pub fn update(&mut self, up: bool) {
+        if up {
+            self.increment()
+        } else {
+            self.decrement()
+        }
+    }
+
+    /// Sets the counter to an explicit value, clamping to the maximum.
+    #[inline]
+    pub fn set(&mut self, value: u16) {
+        self.value = value.min(self.max);
+    }
+}
+
+impl fmt::Debug for SatCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SatCounter({}/{})", self.value, self.max)
+    }
+}
+
+/// A fixed-width shift register of outcome bits, oldest bit discarded
+/// on overflow — the HRT entry of the paper's two-level predictor.
+///
+/// New outcomes are shifted in at the least-significant bit, exactly as
+/// described in §III-A of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use acic_types::HistoryReg;
+///
+/// let mut h = HistoryReg::new(4);
+/// h.push(true);
+/// h.push(false);
+/// h.push(true);
+/// assert_eq!(h.value(), 0b101);
+/// for _ in 0..4 {
+///     h.push(true);
+/// }
+/// assert_eq!(h.value(), 0b1111); // width-limited
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistoryReg {
+    bits: u32,
+    width: u32,
+}
+
+impl HistoryReg {
+    /// Creates an empty (all-zero) history of `width` bits (1..=32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 32.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=32).contains(&width), "width must be in 1..=32");
+        HistoryReg { bits: 0, width }
+    }
+
+    /// Shifts the register left and inserts `outcome` at the LSB.
+    #[inline]
+    pub fn push(&mut self, outcome: bool) {
+        let mask = if self.width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width) - 1
+        };
+        self.bits = ((self.bits << 1) | outcome as u32) & mask;
+    }
+
+    /// Current history pattern, usable directly as a table index.
+    #[inline]
+    pub fn value(self) -> u32 {
+        self.bits
+    }
+
+    /// Number of bits tracked.
+    #[inline]
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// Number of distinct patterns (`2^width`), i.e. the size a
+    /// pattern table indexed by this register must have.
+    #[inline]
+    pub fn pattern_count(self) -> usize {
+        1usize << self.width
+    }
+}
+
+impl fmt::Debug for HistoryReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HistoryReg({:0width$b})",
+            self.bits,
+            width = self.width as usize
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_both_ends() {
+        let mut c = SatCounter::new(2, 0);
+        c.decrement();
+        assert_eq!(c.value(), 0);
+        for _ in 0..10 {
+            c.increment();
+        }
+        assert_eq!(c.value(), 3);
+        assert!(c.is_max());
+    }
+
+    #[test]
+    fn midpoint_threshold() {
+        let c = SatCounter::new(5, 16);
+        assert_eq!(c.midpoint(), 16);
+        assert!(c.is_high());
+        let c = SatCounter::new(5, 15);
+        assert!(!c.is_high());
+    }
+
+    #[test]
+    fn weakly_high_and_low_straddle_midpoint() {
+        let hi = SatCounter::new_weakly_high(5);
+        let lo = SatCounter::new_weakly_low(5);
+        assert!(hi.is_high());
+        assert!(!lo.is_high());
+        assert_eq!(hi.value() - lo.value(), 1);
+    }
+
+    #[test]
+    fn update_direction() {
+        let mut c = SatCounter::new(3, 4);
+        c.update(true);
+        assert_eq!(c.value(), 5);
+        c.update(false);
+        c.update(false);
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn set_clamps() {
+        let mut c = SatCounter::new(3, 0);
+        c.set(100);
+        assert_eq!(c.value(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=16")]
+    fn zero_width_counter_panics() {
+        let _ = SatCounter::new(0, 0);
+    }
+
+    #[test]
+    fn history_shifts_and_masks() {
+        let mut h = HistoryReg::new(4);
+        for bit in [true, true, false, true, false] {
+            h.push(bit);
+        }
+        // last four outcomes: 1,0,1,0 -> 0b1010
+        assert_eq!(h.value(), 0b1010);
+        assert_eq!(h.pattern_count(), 16);
+    }
+
+    #[test]
+    fn history_full_width() {
+        let mut h = HistoryReg::new(32);
+        for _ in 0..40 {
+            h.push(true);
+        }
+        assert_eq!(h.value(), u32::MAX);
+    }
+
+    #[test]
+    fn table_one_pattern_table_size() {
+        // Table I: 4-bit histories imply a 16-entry PT.
+        let h = HistoryReg::new(4);
+        assert_eq!(h.pattern_count(), 16);
+    }
+}

@@ -1,0 +1,150 @@
+//! A Fenwick (binary indexed) tree over `i64` values.
+//!
+//! Used by the stack-distance analyzer in `acic-trace`: positions of
+//! most-recent block accesses are marked with 1, and the number of
+//! distinct blocks between two accesses is a suffix sum.
+
+/// A Fenwick tree supporting point update and prefix sum in `O(log n)`.
+///
+/// # Examples
+///
+/// ```
+/// use acic_types::FenwickTree;
+///
+/// let mut t = FenwickTree::new(8);
+/// t.add(2, 1);
+/// t.add(5, 1);
+/// assert_eq!(t.prefix_sum(2), 1); // positions 0..=2
+/// assert_eq!(t.prefix_sum(7), 2);
+/// assert_eq!(t.range_sum(3, 7), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FenwickTree {
+    tree: Vec<i64>,
+}
+
+impl FenwickTree {
+    /// Creates a tree over `len` positions, all zero.
+    pub fn new(len: usize) -> Self {
+        FenwickTree {
+            tree: vec![0; len + 1],
+        }
+    }
+
+    /// Number of positions covered.
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Whether the tree covers zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds `delta` at position `pos` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= self.len()`.
+    pub fn add(&mut self, pos: usize, delta: i64) {
+        assert!(pos < self.len(), "position {pos} out of bounds");
+        let mut i = pos + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= self.len()`.
+    pub fn prefix_sum(&self, pos: usize) -> i64 {
+        assert!(pos < self.len(), "position {pos} out of bounds");
+        let mut i = pos + 1;
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Sum of positions `lo..=hi` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi >= self.len()` or `lo > hi`.
+    pub fn range_sum(&self, lo: usize, hi: usize) -> i64 {
+        assert!(lo <= hi, "range is inverted");
+        let below = if lo == 0 { 0 } else { self.prefix_sum(lo - 1) };
+        self.prefix_sum(hi) - below
+    }
+
+    /// Total over all positions, or 0 if empty.
+    pub fn total(&self) -> i64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.prefix_sum(self.len() - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t = FenwickTree::new(0);
+        assert!(t.is_empty());
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn point_updates_accumulate() {
+        let mut t = FenwickTree::new(10);
+        t.add(3, 2);
+        t.add(3, 3);
+        assert_eq!(t.range_sum(3, 3), 5);
+        assert_eq!(t.total(), 5);
+    }
+
+    #[test]
+    fn matches_naive_prefix_sums() {
+        let mut t = FenwickTree::new(32);
+        let mut naive = vec![0i64; 32];
+        // Deterministic pseudo-random updates.
+        let mut x: u64 = 0x12345;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pos = (x >> 33) as usize % 32;
+            let delta = ((x >> 17) as i64 % 7) - 3;
+            t.add(pos, delta);
+            naive[pos] += delta;
+        }
+        let mut run = 0;
+        for (i, v) in naive.iter().enumerate() {
+            run += v;
+            assert_eq!(t.prefix_sum(i), run, "prefix mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn negative_values_supported() {
+        let mut t = FenwickTree::new(4);
+        t.add(0, -5);
+        t.add(2, 5);
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.prefix_sum(1), -5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_add_panics() {
+        let mut t = FenwickTree::new(4);
+        t.add(4, 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Common types and small data structures shared across the ACIC
+//! reproduction workspace.
+//!
+//! This crate is dependency-free and holds the vocabulary used by every
+//! other crate:
+//!
+//! * [`Addr`] / [`BlockAddr`] — byte and 64 B cache-block addresses.
+//! * [`SatCounter`] — saturating counters (the Pattern Table, SHCT,
+//!   bimodal predictors, …).
+//! * [`HistoryReg`] — fixed-width shift registers (HRT entries, global
+//!   branch history).
+//! * [`LruStamps`] — recency tracking for set-associative structures.
+//! * [`FenwickTree`] — prefix-sum tree used by the stack-distance
+//!   analyzer.
+//! * [`hash`] — deterministic 64-bit mixing and folding helpers.
+//! * [`stats`] — mean / geometric-mean helpers used by the experiment
+//!   harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use acic_types::{Addr, BlockAddr, SatCounter};
+//!
+//! let pc = Addr::new(0x40_1234);
+//! let block = pc.block();
+//! assert_eq!(block, BlockAddr::new(0x40_1234 >> 6));
+//!
+//! let mut ctr = SatCounter::new(5, 16);
+//! ctr.increment();
+//! assert_eq!(ctr.value(), 17);
+//! ```
+
+pub mod addr;
+pub mod counter;
+pub mod fenwick;
+pub mod hash;
+pub mod lru;
+pub mod stats;
+
+pub use addr::{Addr, BlockAddr, BLOCK_BYTES, BLOCK_OFFSET_BITS};
+pub use counter::{HistoryReg, SatCounter};
+pub use fenwick::FenwickTree;
+pub use lru::LruStamps;
+
+/// A simulation cycle count.
+pub type Cycle = u64;

@@ -1,0 +1,171 @@
+//! Recency (LRU) tracking for set-associative structures.
+//!
+//! [`LruStamps`] tracks recency with monotone timestamps — the approach
+//! used by the i-cache sets, the i-Filter, and the CSHR sets. It also
+//! exposes a *recency ordering* so tests and analyses can recover the
+//! full LRU stack.
+
+/// Recency stamps for `n` ways of one set (or one fully-associative
+/// structure).
+///
+/// # Examples
+///
+/// ```
+/// use acic_types::LruStamps;
+///
+/// let mut lru = LruStamps::new(4);
+/// lru.touch(0);
+/// lru.touch(2);
+/// lru.touch(1);
+/// assert_eq!(lru.lru_way(), 3); // never touched
+/// lru.touch(3);
+/// assert_eq!(lru.lru_way(), 0); // oldest touch
+/// assert_eq!(lru.mru_way(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LruStamps {
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl LruStamps {
+    /// Creates stamps for `n` ways, all initially "never touched".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one way");
+        LruStamps {
+            stamps: vec![0; n],
+            clock: 0,
+        }
+    }
+
+    /// Number of ways tracked.
+    pub fn ways(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Marks `way` as most recently used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of bounds.
+    #[inline]
+    pub fn touch(&mut self, way: usize) {
+        self.clock += 1;
+        self.stamps[way] = self.clock;
+    }
+
+    /// Returns the least recently used way (lowest stamp; ties broken
+    /// by lowest way index, so untouched ways are preferred in order).
+    #[inline]
+    pub fn lru_way(&self) -> usize {
+        self.stamps
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &s)| (s, i))
+            .map(|(i, _)| i)
+            .expect("at least one way")
+    }
+
+    /// Returns the most recently used way (ties broken by highest
+    /// way index, the mirror of [`LruStamps::lru_way`]).
+    #[inline]
+    pub fn mru_way(&self) -> usize {
+        self.stamps
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, i))
+            .map(|(i, _)| i)
+            .expect("at least one way")
+    }
+
+    /// Stamp of a way (0 means never touched).
+    #[inline]
+    pub fn stamp(&self, way: usize) -> u64 {
+        self.stamps[way]
+    }
+
+    /// Resets a way to "never touched" (used on invalidation).
+    #[inline]
+    pub fn clear(&mut self, way: usize) {
+        self.stamps[way] = 0;
+    }
+
+    /// Ways ordered from MRU to LRU; the final element always equals
+    /// [`LruStamps::lru_way`] (ties broken by descending way index).
+    pub fn recency_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.stamps.len()).collect();
+        order.sort_by_key(|&i| (u64::MAX - self.stamps[i], usize::MAX - i));
+        order
+    }
+
+    /// The LRU *stack position* of `way`: 0 = MRU.
+    pub fn stack_position(&self, way: usize) -> usize {
+        self.recency_order()
+            .iter()
+            .position(|&w| w == way)
+            .expect("way in order")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_ways_are_lru_in_index_order() {
+        let mut lru = LruStamps::new(3);
+        lru.touch(1);
+        assert_eq!(lru.lru_way(), 0);
+        lru.touch(0);
+        assert_eq!(lru.lru_way(), 2);
+    }
+
+    #[test]
+    fn recency_order_is_permutation() {
+        let mut lru = LruStamps::new(4);
+        for w in [2, 0, 3, 1, 2] {
+            lru.touch(w);
+        }
+        let order = lru.recency_order();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        assert_eq!(order[0], 2); // most recent
+        assert_eq!(*order.last().unwrap(), lru.lru_way());
+    }
+
+    #[test]
+    fn stack_positions_are_consistent() {
+        let mut lru = LruStamps::new(4);
+        for w in [0, 1, 2, 3] {
+            lru.touch(w);
+        }
+        assert_eq!(lru.stack_position(3), 0);
+        assert_eq!(lru.stack_position(0), 3);
+    }
+
+    #[test]
+    fn clear_makes_way_lru() {
+        let mut lru = LruStamps::new(2);
+        lru.touch(0);
+        lru.touch(1);
+        lru.clear(1);
+        assert_eq!(lru.lru_way(), 1);
+    }
+
+    #[test]
+    fn sixteen_entry_filter_order() {
+        // The paper's i-Filter is 16-entry fully associative with LRU.
+        let mut lru = LruStamps::new(16);
+        for w in 0..16 {
+            lru.touch(w);
+        }
+        assert_eq!(lru.lru_way(), 0);
+        lru.touch(0);
+        assert_eq!(lru.lru_way(), 1);
+    }
+}

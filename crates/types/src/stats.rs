@@ -1,0 +1,169 @@
+//! Small statistics helpers used by the experiment harness.
+//!
+//! The paper reports *geometric-mean* speedups across applications and
+//! arithmetic-mean MPKI reductions; these helpers implement both plus a
+//! percentage formatter used by the figure printers.
+
+/// Arithmetic mean of a slice, or `None` if empty.
+///
+/// # Examples
+///
+/// ```
+/// use acic_types::stats::mean;
+///
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(mean(&[]), None);
+/// ```
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Geometric mean of a slice of positive values, or `None` if the
+/// slice is empty or contains a non-positive value.
+///
+/// This is the mean the paper uses for speedups ("1.0223 geomean
+/// speedup").
+///
+/// # Examples
+///
+/// ```
+/// use acic_types::stats::gmean;
+///
+/// let g = gmean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// assert_eq!(gmean(&[1.0, -1.0]), None);
+/// ```
+pub fn gmean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Formats a fraction as a percentage string with two decimals, e.g.
+/// `0.1814` becomes `"18.14%"`.
+///
+/// # Examples
+///
+/// ```
+/// use acic_types::stats::pct;
+///
+/// assert_eq!(pct(0.5585), "55.85%");
+/// assert_eq!(pct(-0.01), "-1.00%");
+/// ```
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+/// A running tally of events out of opportunities, e.g. hits out of
+/// accesses or correct predictions out of predictions.
+///
+/// # Examples
+///
+/// ```
+/// use acic_types::stats::Ratio;
+///
+/// let mut hits = Ratio::default();
+/// hits.record(true);
+/// hits.record(false);
+/// hits.record(true);
+/// assert_eq!(hits.numerator(), 2);
+/// assert_eq!(hits.denominator(), 3);
+/// assert!((hits.fraction() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Records one opportunity; `hit` says whether the event occurred.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        self.hits += hit as u64;
+    }
+
+    /// Adds both sides of another ratio into this one.
+    pub fn merge(&mut self, other: Ratio) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+
+    /// Number of events.
+    pub fn numerator(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of opportunities.
+    pub fn denominator(&self) -> u64 {
+        self.total
+    }
+
+    /// Event rate, or 0.0 when no opportunities were recorded.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(gmean(&[]), None);
+    }
+
+    #[test]
+    fn gmean_matches_hand_computation() {
+        let vals = [1.02, 1.04, 0.98];
+        let expected = (1.02f64 * 1.04 * 0.98).powf(1.0 / 3.0);
+        assert!((gmean(&vals).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_rejects_nonpositive() {
+        assert_eq!(gmean(&[1.0, 0.0]), None);
+    }
+
+    #[test]
+    fn gmean_le_mean() {
+        // AM-GM inequality sanity.
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        assert!(gmean(&vals).unwrap() <= mean(&vals).unwrap());
+    }
+
+    #[test]
+    fn ratio_merge() {
+        let mut a = Ratio::default();
+        a.record(true);
+        let mut b = Ratio::default();
+        b.record(false);
+        b.record(true);
+        a.merge(b);
+        assert_eq!(a.numerator(), 2);
+        assert_eq!(a.denominator(), 3);
+    }
+
+    #[test]
+    fn empty_ratio_fraction_is_zero() {
+        assert_eq!(Ratio::default().fraction(), 0.0);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.0223), "2.23%");
+    }
+}

@@ -1,0 +1,418 @@
+//! Per-application generation profiles.
+//!
+//! Each profile shapes one synthetic application: how much hot
+//! (dispatch/library), warm (per-request) and cold (error/init) code
+//! exists, how requests fan out across the warm set, how loopy and
+//! how branch-noisy the code is, and the data-side footprint. The ten
+//! datacenter profiles mirror Table III's suite; the five SPEC
+//! profiles mirror §IV-H3's SPEC2017 subset (small footprints, heavy
+//! loops, high baseline hit rates).
+
+/// Generation parameters for one synthetic application.
+///
+/// # Examples
+///
+/// ```
+/// use acic_workloads::AppProfile;
+///
+/// let apps = AppProfile::datacenter_suite();
+/// assert_eq!(apps.len(), 10);
+/// assert_eq!(apps[0].name, "media-streaming");
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppProfile {
+    /// Report name (paper's workload naming).
+    pub name: String,
+    /// Master seed; everything derives deterministically from it.
+    pub seed: u64,
+    /// Number of hot (dispatch/library) functions.
+    pub hot_fns: usize,
+    /// Number of warm (per-request) functions.
+    pub warm_fns: usize,
+    /// Number of cold (error/init path) functions.
+    pub cold_fns: usize,
+    /// Segments per hot function (inclusive range).
+    pub hot_segments: (usize, usize),
+    /// Segments per warm function (inclusive range).
+    pub warm_segments: (usize, usize),
+    /// Segments per cold function (inclusive range).
+    pub cold_segments: (usize, usize),
+    /// Body instructions per segment (inclusive range).
+    pub segment_instrs: (u32, u32),
+    /// Warm functions called per request (the length of each request
+    /// type's function sequence).
+    pub fanout: usize,
+    /// Number of distinct request types (fixed warm-function
+    /// sequences that recur).
+    pub request_types: usize,
+    /// Zipf exponent of request-type popularity: popular types recur
+    /// at short gaps (their code deserves i-cache residency), rare
+    /// types at long gaps (their code pollutes).
+    pub type_skew: f64,
+    /// Zipf exponent for warm-function popularity (higher = more
+    /// skew; the popular head stays cache-worthy, the tail does not).
+    pub warm_skew: f64,
+    /// Probability that a warm segment ends in a call to a hot
+    /// function.
+    pub hot_call_prob: f64,
+    /// Probability that a request takes a cold path.
+    pub cold_visit_prob: f64,
+    /// Probability that a function contains a loop.
+    pub loop_fn_prob: f64,
+    /// Back-edge taken probability of loops (expected iterations
+    /// `p/(1-p)`, capped).
+    pub loop_taken_prob: f64,
+    /// Fraction of conditional skip branches that are near-50/50
+    /// (data-dependent, hard for TAGE).
+    pub branch_noise: f64,
+    /// Fraction of body instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction of body instructions that are stores.
+    pub store_frac: f64,
+    /// Fraction of body instructions that are long-latency ALU ops.
+    pub long_alu_frac: f64,
+    /// Heap footprint in 64 B blocks.
+    pub heap_blocks: u64,
+    /// Zipf exponent of heap accesses.
+    pub heap_skew: f64,
+}
+
+impl AppProfile {
+    fn base(name: &str, seed: u64) -> AppProfile {
+        AppProfile {
+            name: name.to_string(),
+            seed,
+            hot_fns: 12,
+            warm_fns: 120,
+            cold_fns: 400,
+            hot_segments: (3, 6),
+            warm_segments: (8, 14),
+            cold_segments: (8, 20),
+            segment_instrs: (4, 12),
+            fanout: 7,
+            request_types: 18,
+            type_skew: 0.8,
+            warm_skew: 0.8,
+            hot_call_prob: 0.25,
+            cold_visit_prob: 0.30,
+            loop_fn_prob: 0.35,
+            loop_taken_prob: 0.62,
+            branch_noise: 0.10,
+            load_frac: 0.22,
+            store_frac: 0.08,
+            long_alu_frac: 0.05,
+            heap_blocks: 16 * 1024,
+            heap_skew: 0.9,
+        }
+    }
+
+    /// CloudSuite media streaming (Darwin streaming server).
+    pub fn media_streaming() -> AppProfile {
+        AppProfile {
+            warm_fns: 120,
+            fanout: 7,
+            request_types: 18,
+            type_skew: 0.8,
+            warm_skew: 0.72,
+            warm_segments: (9, 15),
+            ..Self::base("media-streaming", 0xacc1_0001)
+        }
+    }
+
+    /// CloudSuite data caching (memcached).
+    pub fn data_caching() -> AppProfile {
+        AppProfile {
+            warm_fns: 120,
+            fanout: 8,
+            request_types: 18,
+            type_skew: 0.7,
+            warm_skew: 0.78,
+            hot_call_prob: 0.3,
+            cold_visit_prob: 0.35,
+            heap_blocks: 48 * 1024,
+            ..Self::base("data-caching", 0xacc1_0002)
+        }
+    }
+
+    /// CloudSuite data serving (YCSB data store) — the suite's
+    /// lowest-MPKI member.
+    pub fn data_serving() -> AppProfile {
+        AppProfile {
+            warm_fns: 80,
+            fanout: 6,
+            request_types: 12,
+            type_skew: 0.95,
+            warm_skew: 0.95,
+            warm_segments: (7, 12),
+            loop_fn_prob: 0.45,
+            cold_visit_prob: 0.15,
+            cold_fns: 200,
+            ..Self::base("data-serving", 0xacc1_0003)
+        }
+    }
+
+    /// CloudSuite web serving.
+    pub fn web_serving() -> AppProfile {
+        AppProfile {
+            warm_fns: 145,
+            fanout: 9,
+            request_types: 22,
+            type_skew: 0.72,
+            warm_skew: 0.85,
+            branch_noise: 0.14,
+            ..Self::base("web-serving", 0xacc1_0004)
+        }
+    }
+
+    /// CloudSuite web search (Apache Solr) — the suite's highest-MPKI
+    /// member.
+    pub fn web_search() -> AppProfile {
+        AppProfile {
+            warm_fns: 175,
+            fanout: 10,
+            request_types: 26,
+            type_skew: 0.68,
+            warm_skew: 0.7,
+            warm_segments: (10, 16),
+            hot_call_prob: 0.2,
+            branch_noise: 0.15,
+            cold_visit_prob: 0.40,
+            cold_fns: 520,
+            ..Self::base("web-search", 0xacc1_0005)
+        }
+    }
+
+    /// OLTPBench TPC-C — reuse distances well beyond the i-cache.
+    pub fn tpc_c() -> AppProfile {
+        AppProfile {
+            warm_fns: 260,
+            fanout: 8,
+            request_types: 48,
+            type_skew: 0.35,
+            warm_skew: 0.4,
+            cold_visit_prob: 0.40,
+            cold_fns: 480,
+            ..Self::base("tpc-c", 0xacc1_0006)
+        }
+    }
+
+    /// OLTPBench Wikipedia.
+    pub fn wikipedia() -> AppProfile {
+        AppProfile {
+            warm_fns: 240,
+            fanout: 8,
+            request_types: 44,
+            type_skew: 0.35,
+            warm_skew: 0.45,
+            cold_visit_prob: 0.35,
+            cold_fns: 440,
+            ..Self::base("wikipedia", 0xacc1_0007)
+        }
+    }
+
+    /// OLTPBench SIBench (snapshot isolation microbenchmark).
+    pub fn sibench() -> AppProfile {
+        AppProfile {
+            warm_fns: 90,
+            fanout: 6,
+            request_types: 13,
+            type_skew: 0.85,
+            warm_skew: 0.6,
+            warm_segments: (7, 12),
+            cold_visit_prob: 0.20,
+            cold_fns: 240,
+            ..Self::base("sibench", 0xacc1_0008)
+        }
+    }
+
+    /// Renaissance Finagle-HTTP (Twitter's HTTP server).
+    pub fn finagle_http() -> AppProfile {
+        AppProfile {
+            warm_fns: 110,
+            fanout: 7,
+            request_types: 16,
+            type_skew: 0.78,
+            warm_skew: 0.88,
+            hot_call_prob: 0.3,
+            cold_visit_prob: 0.25,
+            ..Self::base("finagle-http", 0xacc1_0009)
+        }
+    }
+
+    /// Renaissance Neo4J analytics (graph queries).
+    pub fn neo4j_analytics() -> AppProfile {
+        AppProfile {
+            warm_fns: 135,
+            fanout: 8,
+            request_types: 20,
+            type_skew: 0.72,
+            warm_skew: 0.75,
+            warm_segments: (9, 15),
+            cold_visit_prob: 0.35,
+            heap_blocks: 64 * 1024,
+            ..Self::base("neo4j-analytics", 0xacc1_000a)
+        }
+    }
+
+    /// The paper's 10 datacenter applications (Table III order).
+    pub fn datacenter_suite() -> Vec<AppProfile> {
+        vec![
+            Self::media_streaming(),
+            Self::data_caching(),
+            Self::data_serving(),
+            Self::web_serving(),
+            Self::web_search(),
+            Self::tpc_c(),
+            Self::wikipedia(),
+            Self::sibench(),
+            Self::finagle_http(),
+            Self::neo4j_analytics(),
+        ]
+    }
+
+    fn spec_base(name: &str, seed: u64) -> AppProfile {
+        AppProfile {
+            hot_fns: 8,
+            warm_fns: 40,
+            cold_fns: 100,
+            fanout: 5,
+            request_types: 14,
+            type_skew: 0.9,
+            cold_visit_prob: 0.08,
+            warm_skew: 1.1,
+            loop_fn_prob: 0.8,
+            loop_taken_prob: 0.85,
+            branch_noise: 0.06,
+
+            heap_blocks: 8 * 1024,
+            ..Self::base(name, seed)
+        }
+    }
+
+    /// SPEC2017 perlbench-like profile.
+    pub fn perlbench() -> AppProfile {
+        AppProfile {
+            warm_fns: 95,
+            fanout: 6,
+            request_types: 14,
+            loop_taken_prob: 0.8,
+            ..Self::spec_base("perlbench", 0x59ec_0001)
+        }
+    }
+
+    /// SPEC2017 omnetpp-like profile.
+    pub fn omnetpp() -> AppProfile {
+        AppProfile {
+            warm_fns: 80,
+            fanout: 5,
+            request_types: 12,
+            ..Self::spec_base("omnetpp", 0x59ec_0002)
+        }
+    }
+
+    /// SPEC2017 xalancbmk-like profile.
+    pub fn xalancbmk() -> AppProfile {
+        AppProfile {
+            warm_fns: 100,
+            fanout: 6,
+            request_types: 14,
+            warm_skew: 0.9,
+            ..Self::spec_base("xalancbmk", 0x59ec_0003)
+        }
+    }
+
+    /// SPEC2017 x264-like profile (tight loops, tiny footprint).
+    pub fn x264() -> AppProfile {
+        AppProfile {
+            warm_fns: 40,
+            fanout: 4,
+            request_types: 8,
+            loop_taken_prob: 0.92,
+            ..Self::spec_base("x264", 0x59ec_0004)
+        }
+    }
+
+    /// SPEC2017 gcc-like profile (largest of the SPEC subset).
+    pub fn gcc() -> AppProfile {
+        AppProfile {
+            warm_fns: 120,
+            fanout: 7,
+            request_types: 18,
+            warm_skew: 0.8,
+            ..Self::spec_base("gcc", 0x59ec_0005)
+        }
+    }
+
+    /// The paper's SPEC2017 subset with L1i MPKI > 1 (§IV-H3).
+    pub fn spec_suite() -> Vec<AppProfile> {
+        vec![
+            Self::perlbench(),
+            Self::omnetpp(),
+            Self::xalancbmk(),
+            Self::x264(),
+            Self::gcc(),
+        ]
+    }
+
+    /// Looks up a profile by its report name across both suites.
+    pub fn by_name(name: &str) -> Option<AppProfile> {
+        Self::datacenter_suite()
+            .into_iter()
+            .chain(Self::spec_suite())
+            .find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_paper_counts() {
+        assert_eq!(AppProfile::datacenter_suite().len(), 10);
+        assert_eq!(AppProfile::spec_suite().len(), 5);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = AppProfile::datacenter_suite()
+            .into_iter()
+            .chain(AppProfile::spec_suite())
+            .map(|p| p.name)
+            .collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn seeds_are_unique() {
+        let mut seeds: Vec<u64> = AppProfile::datacenter_suite()
+            .into_iter()
+            .chain(AppProfile::spec_suite())
+            .map(|p| p.seed)
+            .collect();
+        let before = seeds.len();
+        seeds.sort();
+        seeds.dedup();
+        assert_eq!(seeds.len(), before);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(AppProfile::by_name("web-search").is_some());
+        assert!(AppProfile::by_name("gcc").is_some());
+        assert!(AppProfile::by_name("no-such-app").is_none());
+    }
+
+    #[test]
+    fn spec_footprints_are_smaller() {
+        let spec_warm: usize = AppProfile::spec_suite().iter().map(|p| p.warm_fns).sum();
+        let dc_warm: usize = AppProfile::datacenter_suite()
+            .iter()
+            .map(|p| p.warm_fns)
+            .sum();
+        assert!(spec_warm * 3 < dc_warm);
+    }
+}

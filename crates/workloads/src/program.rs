@@ -1,0 +1,559 @@
+//! The static program model: functions, segments, terminators.
+//!
+//! A program is generated once per profile (seeded) and then walked
+//! deterministically. Functions are laid out contiguously in a code
+//! region starting at 64 B block boundaries; a function is a list of
+//! *segments* (straight-line instruction runs) whose terminators
+//! encode control flow: loop back-edges, forward skips, calls into
+//! the hot/cold layers, and the final return.
+
+use crate::profile::AppProfile;
+use acic_types::{Addr, BLOCK_BYTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bytes per instruction (fixed-width ISA).
+pub const INSTR_BYTES: u64 = 4;
+/// Base of the code region.
+pub const CODE_BASE: u64 = 0x0040_0000;
+/// Base of the stack data region.
+pub const STACK_BASE: u64 = 0x7fff_0000_0000;
+/// Base of the heap data region.
+pub const HEAP_BASE: u64 = 0x5555_0000_0000;
+
+/// Software layer a function belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// Dispatch / hot library code, touched every request.
+    Hot,
+    /// Per-request application code.
+    Warm,
+    /// Rare paths (errors, logging, initialization).
+    Cold,
+}
+
+/// How a segment ends.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Terminator {
+    /// Straight-line continuation into the next segment (no branch).
+    FallThrough,
+    /// Conditional back-edge to an earlier segment.
+    LoopBack {
+        /// Target segment index within the same function.
+        to: usize,
+        /// Back-edge taken probability.
+        taken_prob: f64,
+        /// Hard iteration cap per loop entry.
+        max_iters: u32,
+    },
+    /// Conditional forward skip.
+    Skip {
+        /// Number of following segments skipped when taken.
+        over: usize,
+        /// Taken probability.
+        taken_prob: f64,
+    },
+    /// Call; `callees` are function ids (1 = direct call, more =
+    /// indirect dispatch; empty = dynamic warm dispatch resolved by
+    /// the walker).
+    Call {
+        /// Candidate callees (empty for walker-resolved warm calls).
+        callees: Vec<usize>,
+        /// Whether this site targets the cold layer.
+        cold: bool,
+    },
+    /// Function return.
+    Ret,
+}
+
+impl Terminator {
+    /// Whether this terminator occupies an instruction slot (emits a
+    /// branch).
+    pub fn emits_branch(&self) -> bool {
+        !matches!(self, Terminator::FallThrough)
+    }
+}
+
+/// A straight-line run of instructions plus its terminator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Segment {
+    /// Address of the first body instruction.
+    pub start: Addr,
+    /// Number of body instructions (terminator branch excluded).
+    pub body_instrs: u32,
+    /// Segment terminator.
+    pub term: Terminator,
+}
+
+impl Segment {
+    /// Total instructions including the terminator branch, if any.
+    pub fn total_instrs(&self) -> u32 {
+        self.body_instrs + self.term.emits_branch() as u32
+    }
+
+    /// Address of the terminator branch instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the terminator does not emit a branch.
+    pub fn branch_pc(&self) -> Addr {
+        assert!(self.term.emits_branch(), "fall-through has no branch");
+        self.start + self.body_instrs as u64 * INSTR_BYTES
+    }
+
+    /// Address just past the segment.
+    pub fn end(&self) -> Addr {
+        self.start + self.total_instrs() as u64 * INSTR_BYTES
+    }
+}
+
+/// A generated function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// Index into [`Program::functions`].
+    pub id: usize,
+    /// Software layer.
+    pub layer: Layer,
+    /// Entry address (64 B aligned).
+    pub base: Addr,
+    /// Segments in layout order.
+    pub segments: Vec<Segment>,
+}
+
+impl Function {
+    /// Code size in bytes.
+    pub fn code_bytes(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|s| s.total_instrs() as u64 * INSTR_BYTES)
+            .sum()
+    }
+}
+
+/// A complete generated program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// All functions; ids index this vector.
+    pub functions: Vec<Function>,
+    /// Ids of hot functions (dispatcher excluded).
+    pub hot: Vec<usize>,
+    /// Ids of warm functions.
+    pub warm: Vec<usize>,
+    /// Ids of cold functions.
+    pub cold: Vec<usize>,
+    /// Id of the request dispatcher function.
+    pub dispatcher: usize,
+    /// Cumulative zipf weights over `warm` (used while composing
+    /// request types).
+    pub warm_cdf: Vec<f64>,
+    /// Request types: each is the fixed sequence of warm functions a
+    /// request of that type executes. Requests of the same type recur,
+    /// which is what makes a block's post-burst fate *consistent* —
+    /// the signal ACIC's predictor learns (§II's burstiness).
+    pub types: Vec<Vec<usize>>,
+    /// Cumulative zipf weights over `types`.
+    pub type_cdf: Vec<f64>,
+    code_hi: Addr,
+}
+
+impl Program {
+    /// Generates the program for a profile (deterministic per seed).
+    pub fn generate(profile: &AppProfile) -> Program {
+        let mut rng = StdRng::seed_from_u64(profile.seed);
+        let mut functions = Vec::new();
+        let mut cursor = CODE_BASE;
+
+        // Hot layer first (dense, close together, like a hot library).
+        let mut hot = Vec::new();
+        for _ in 0..profile.hot_fns {
+            let id = functions.len();
+            functions.push(gen_function(
+                id,
+                Layer::Hot,
+                &mut cursor,
+                profile.hot_segments,
+                profile,
+                &mut rng,
+                &[],
+            ));
+            hot.push(id);
+        }
+
+        // Warm layer: call sites target the hot layer.
+        let mut warm = Vec::new();
+        for _ in 0..profile.warm_fns {
+            let id = functions.len();
+            functions.push(gen_function(
+                id,
+                Layer::Warm,
+                &mut cursor,
+                profile.warm_segments,
+                profile,
+                &mut rng,
+                &hot,
+            ));
+            warm.push(id);
+        }
+
+        // Cold layer: straight-line rarely-visited code.
+        let mut cold = Vec::new();
+        for _ in 0..profile.cold_fns {
+            let id = functions.len();
+            functions.push(gen_function(
+                id,
+                Layer::Cold,
+                &mut cursor,
+                profile.cold_segments,
+                profile,
+                &mut rng,
+                &[],
+            ));
+            cold.push(id);
+        }
+
+        // Dispatcher: one call site per fanout slot (walker resolves
+        // warm targets dynamically — indirect dispatch), plus a cold
+        // site guarded by a skip branch.
+        let dispatcher = functions.len();
+        let mut segments = Vec::new();
+        let mut fn_cursor = align_block(cursor);
+        let entry = fn_cursor;
+        for _ in 0..profile.fanout {
+            push_segment(
+                &mut segments,
+                &mut fn_cursor,
+                rng.gen_range(2..=4),
+                Terminator::Call {
+                    callees: Vec::new(),
+                    cold: false,
+                },
+            );
+        }
+        // Guarded cold path: skip over the cold call most of the time.
+        push_segment(
+            &mut segments,
+            &mut fn_cursor,
+            1,
+            Terminator::Skip {
+                over: 1,
+                taken_prob: 1.0 - profile.cold_visit_prob,
+            },
+        );
+        push_segment(
+            &mut segments,
+            &mut fn_cursor,
+            1,
+            Terminator::Call {
+                callees: cold.clone(),
+                cold: true,
+            },
+        );
+        push_segment(&mut segments, &mut fn_cursor, 2, Terminator::Ret);
+        functions.push(Function {
+            id: dispatcher,
+            layer: Layer::Hot,
+            base: Addr::new(entry),
+            segments,
+        });
+        cursor = fn_cursor;
+
+        // Warm-popularity CDF (zipf over rank).
+        let warm_cdf = zipf_cdf(warm.len(), profile.warm_skew);
+
+        // Request types: fixed warm-function sequences. Popular warm
+        // functions appear in many types (shared library-ish code);
+        // tail functions belong to rare types only.
+        let mut types = Vec::with_capacity(profile.request_types);
+        for _ in 0..profile.request_types {
+            let mut seq = Vec::with_capacity(profile.fanout);
+            while seq.len() < profile.fanout {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let idx = warm_cdf.partition_point(|&c| c < u).min(warm.len() - 1);
+                let f = warm[idx];
+                if seq.last() != Some(&f) {
+                    seq.push(f);
+                }
+            }
+            types.push(seq);
+        }
+        let type_cdf = zipf_cdf(types.len(), profile.type_skew);
+
+        Program {
+            functions,
+            hot,
+            warm,
+            cold,
+            dispatcher,
+            warm_cdf,
+            types,
+            type_cdf,
+            code_hi: Addr::new(cursor),
+        }
+    }
+
+    /// The `[low, high)` address range containing all code.
+    pub fn code_range(&self) -> (Addr, Addr) {
+        (Addr::new(CODE_BASE), self.code_hi)
+    }
+
+    /// Total code footprint in 64 B blocks.
+    pub fn code_blocks(&self) -> u64 {
+        let (lo, hi) = self.code_range();
+        (hi.raw() - lo.raw()).div_ceil(BLOCK_BYTES)
+    }
+
+    /// Samples a warm function id from the popularity distribution
+    /// given a uniform draw in `[0, 1)`.
+    pub fn sample_warm(&self, u: f64) -> usize {
+        let idx = self
+            .warm_cdf
+            .partition_point(|&c| c < u)
+            .min(self.warm.len() - 1);
+        self.warm[idx]
+    }
+
+    /// Samples a request-type index from the type popularity
+    /// distribution given a uniform draw in `[0, 1)`.
+    pub fn sample_type(&self, u: f64) -> usize {
+        self.type_cdf
+            .partition_point(|&c| c < u)
+            .min(self.types.len() - 1)
+    }
+}
+
+/// Normalized cumulative zipf weights for `n` ranks with exponent `s`.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for rank in 0..n {
+        acc += 1.0 / ((rank + 1) as f64).powf(s);
+        cdf.push(acc);
+    }
+    for w in cdf.iter_mut() {
+        *w /= acc;
+    }
+    cdf
+}
+
+fn align_block(addr: u64) -> u64 {
+    addr.next_multiple_of(BLOCK_BYTES)
+}
+
+fn push_segment(
+    segments: &mut Vec<Segment>,
+    cursor: &mut u64,
+    body_instrs: u32,
+    term: Terminator,
+) {
+    let seg = Segment {
+        start: Addr::new(*cursor),
+        body_instrs,
+        term,
+    };
+    *cursor = seg.end().raw();
+    segments.push(seg);
+}
+
+fn gen_function(
+    id: usize,
+    layer: Layer,
+    cursor: &mut u64,
+    seg_range: (usize, usize),
+    profile: &AppProfile,
+    rng: &mut StdRng,
+    hot_targets: &[usize],
+) -> Function {
+    let n_segments = rng.gen_range(seg_range.0..=seg_range.1);
+    let has_loop = rng.gen_bool(profile.loop_fn_prob);
+    let loop_at = if has_loop && n_segments > 2 {
+        Some(rng.gen_range(1..n_segments - 1))
+    } else {
+        None
+    };
+
+    // Phase 1: plan bodies and structural terminators (calls, loops,
+    // return).
+    let mut bodies = Vec::with_capacity(n_segments);
+    let mut terms: Vec<Terminator> = Vec::with_capacity(n_segments);
+    for s in 0..n_segments {
+        bodies.push(rng.gen_range(profile.segment_instrs.0..=profile.segment_instrs.1));
+        let term = if s == n_segments - 1 {
+            Terminator::Ret
+        } else if Some(s) == loop_at {
+            let span = rng.gen_range(1..=s.clamp(1, 3));
+            // Nominal trip count derived from the profile's loop
+            // intensity: expected iterations of a geometric loop with
+            // back-edge probability p is p/(1-p); real loops mostly
+            // repeat that count exactly, which is what makes their
+            // exits predictable.
+            let expected = (profile.loop_taken_prob / (1.0 - profile.loop_taken_prob)).round();
+            let nominal = (expected as u32).clamp(2, 24) + rng.gen_range(0..3);
+            Terminator::LoopBack {
+                to: s.saturating_sub(span),
+                taken_prob: profile.loop_taken_prob,
+                max_iters: nominal,
+            }
+        } else if layer == Layer::Warm
+            && !hot_targets.is_empty()
+            && rng.gen_bool(profile.hot_call_prob)
+        {
+            // Hot-library call sites are monomorphic (one fixed
+            // callee), as most real call sites are; the polymorphic
+            // dispatch lives in the dispatcher's request-type calls.
+            Terminator::Call {
+                callees: vec![hot_targets[rng.gen_range(0..hot_targets.len())]],
+                cold: false,
+            }
+        } else {
+            Terminator::FallThrough
+        };
+        terms.push(term);
+    }
+
+    // Phase 2: convert some fall-throughs into forward skips — but
+    // never over a call site, which would make the call-path
+    // signature of a request type unstable.
+    for s in 0..n_segments.saturating_sub(2) {
+        if !matches!(terms[s], Terminator::FallThrough) || !rng.gen_bool(0.3) {
+            continue;
+        }
+        let max_over = (n_segments - s - 2).min(2);
+        let mut over = rng.gen_range(1..=max_over);
+        while over > 0
+            && terms[s + 1..=s + over]
+                .iter()
+                .any(|t| matches!(t, Terminator::Call { .. }))
+        {
+            over -= 1;
+        }
+        if over == 0 {
+            continue;
+        }
+        let noisy = rng.gen_bool(profile.branch_noise);
+        let taken_prob = if noisy {
+            rng.gen_range(0.4..0.6)
+        } else if rng.gen_bool(0.5) {
+            rng.gen_range(0.02..0.12)
+        } else {
+            rng.gen_range(0.88..0.98)
+        };
+        terms[s] = Terminator::Skip { over, taken_prob };
+    }
+
+    // Phase 3: lay the segments out in memory.
+    let mut fn_cursor = align_block(*cursor);
+    let entry = fn_cursor;
+    let mut segments = Vec::with_capacity(n_segments);
+    for (body, term) in bodies.into_iter().zip(terms) {
+        push_segment(&mut segments, &mut fn_cursor, body, term);
+    }
+    *cursor = fn_cursor;
+    Function {
+        id,
+        layer,
+        base: Addr::new(entry),
+        segments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::AppProfile;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = AppProfile::media_streaming();
+        assert_eq!(Program::generate(&p), Program::generate(&p));
+    }
+
+    #[test]
+    fn functions_do_not_overlap() {
+        let prog = Program::generate(&AppProfile::web_search());
+        let mut prev_end = 0;
+        for f in &prog.functions {
+            assert!(f.base.raw() >= prev_end, "function {} overlaps", f.id);
+            prev_end = f.base.raw() + f.code_bytes();
+        }
+    }
+
+    #[test]
+    fn segments_are_contiguous_within_function() {
+        let prog = Program::generate(&AppProfile::tpc_c());
+        for f in &prog.functions {
+            let mut cursor = f.base;
+            for s in &f.segments {
+                assert_eq!(s.start, cursor);
+                cursor = s.end();
+            }
+        }
+    }
+
+    #[test]
+    fn every_function_ends_with_ret() {
+        let prog = Program::generate(&AppProfile::data_caching());
+        for f in &prog.functions {
+            assert_eq!(
+                f.segments.last().map(|s| &s.term),
+                Some(&Terminator::Ret),
+                "function {} lacks a return",
+                f.id
+            );
+        }
+    }
+
+    #[test]
+    fn loop_targets_are_backward() {
+        let prog = Program::generate(&AppProfile::x264());
+        for f in &prog.functions {
+            for (i, s) in f.segments.iter().enumerate() {
+                if let Terminator::LoopBack { to, .. } = s.term {
+                    assert!(to <= i, "forward loop edge in fn {}", f.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skips_stay_in_bounds() {
+        let prog = Program::generate(&AppProfile::wikipedia());
+        for f in &prog.functions {
+            for (i, s) in f.segments.iter().enumerate() {
+                if let Terminator::Skip { over, .. } = s.term {
+                    assert!(i + 1 + over < f.segments.len(), "skip escapes fn {}", f.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_cdf_is_monotone_and_normalized() {
+        let prog = Program::generate(&AppProfile::neo4j_analytics());
+        let cdf = &prog.warm_cdf;
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_warm_covers_head_and_tail() {
+        let prog = Program::generate(&AppProfile::media_streaming());
+        let head = prog.sample_warm(0.0);
+        let tail = prog.sample_warm(0.999999);
+        assert_ne!(head, tail);
+        assert!(prog.warm.contains(&head) && prog.warm.contains(&tail));
+    }
+
+    #[test]
+    fn code_footprint_exceeds_icache_for_datacenter() {
+        // 32 KB i-cache = 512 blocks; datacenter code must be larger.
+        for p in AppProfile::datacenter_suite() {
+            let prog = Program::generate(&p);
+            assert!(
+                prog.code_blocks() > 512,
+                "{} footprint {} blocks",
+                p.name,
+                prog.code_blocks()
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Build a custom application profile and watch ACIC adapt to it.
+//!
+//! Two synthetic services share one machine shape but differ in
+//! request-type skew: the "spiky" service has a few dominant request
+//! types (whose code deserves i-cache residency), while the "flat"
+//! service spreads requests evenly (little worth retaining). ACIC's
+//! admit rate and benefit should differ accordingly — the dynamic
+//! adaptation argument of the paper's Figure 13.
+//!
+//! Run: `cargo run --release --example custom_workload`
+
+use acic_sim::{IcacheOrg, SimConfig, Simulator};
+use acic_workloads::{AppProfile, SyntheticWorkload};
+
+fn service(name: &str, type_skew: f64, seed: u64) -> AppProfile {
+    AppProfile {
+        name: name.to_string(),
+        seed,
+        type_skew,
+        warm_fns: 130,
+        request_types: 20,
+        fanout: 7,
+        cold_visit_prob: 0.3,
+        ..AppProfile::media_streaming()
+    }
+}
+
+fn main() {
+    let cfg = SimConfig::default();
+    for profile in [
+        service("spiky-service", 1.0, 0xc0ffee),
+        service("flat-service", 0.05, 0xc0ffef),
+    ] {
+        let workload = SyntheticWorkload::with_instructions(profile, 1_000_000);
+        let baseline = Simulator::run(&cfg, &workload);
+        let acic = Simulator::run(&cfg.with_org(IcacheOrg::acic_default()), &workload);
+        let stats = acic.acic.expect("ACIC stats");
+        println!(
+            "{:<14} baseline MPKI {:>5.2} | ACIC MPKI {:>5.2} ({:+.1}%) | victims admitted {:>5.1}% | decisions {}",
+            workload.profile().name,
+            baseline.l1i_mpki(),
+            acic.l1i_mpki(),
+            acic.mpki_reduction_over(&baseline) * -100.0,
+            stats.admit_fraction() * 100.0,
+            stats.decisions,
+        );
+    }
+    println!(
+        "\nACIC filters harder where request popularity is skewed — the static\n\
+         insert-always policy cannot make that distinction (paper §IV-G)."
+    );
+}

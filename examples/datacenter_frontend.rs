@@ -1,0 +1,50 @@
+//! The paper's §II motivation study, reproduced on the synthetic
+//! datacenter suite: reuse-distance distributions (Figure 1a) and the
+//! burstiness Markov chain (Figure 1b).
+//!
+//! Run: `cargo run --release --example datacenter_frontend`
+
+use acic_trace::{BlockRuns, MarkovChain, ReuseBucket, StackDistanceAnalyzer, TraceSource};
+use acic_workloads::{AppProfile, SyntheticWorkload};
+
+fn main() {
+    println!("Reuse-distance distribution per application (Figure 1a):\n");
+    print!("{:<16}", "application");
+    for b in ReuseBucket::ALL {
+        print!(" {:>11}", b.label());
+    }
+    println!();
+    for profile in AppProfile::datacenter_suite() {
+        let wl = SyntheticWorkload::with_instructions(profile, 500_000);
+        let blocks: Vec<_> = wl.iter().map(|i| i.pc.block()).collect();
+        let fractions = StackDistanceAnalyzer::histogram(&blocks).fractions();
+        print!("{:<16}", wl.name());
+        for b in ReuseBucket::ALL {
+            print!(" {:>10.2}%", fractions[b as usize] * 100.0);
+        }
+        println!();
+    }
+
+    // Figure 1b: burstiness as a Markov chain over distance ranges,
+    // at block-access granularity, for media streaming.
+    println!("\nMarkov chain of successive reuse distances, media streaming (Figure 1b):\n");
+    let wl = SyntheticWorkload::with_instructions(AppProfile::media_streaming(), 500_000);
+    let seq: Vec<_> = BlockRuns::new(wl.iter()).map(|r| r.block).collect();
+    let chain = MarkovChain::from_sequence(&seq);
+    print!("{:<12}", "from \\ to");
+    for to in ReuseBucket::ALL {
+        print!(" {:>11}", to.label());
+    }
+    println!();
+    for from in ReuseBucket::ALL {
+        print!("{:<12}", from.label());
+        for to in ReuseBucket::ALL {
+            print!(" {:>11.3}", chain.transition_probability(from, to));
+        }
+        println!();
+    }
+    println!(
+        "\nThe heavy diagonal/first-column mass is the paper's \"burstiness\": once a\n\
+         block is referenced it keeps being referenced, then jumps to a long gap."
+    );
+}

@@ -1,0 +1,150 @@
+//! DESIGN.md §7 invariants checked against driven ACIC organizations.
+
+use acic_repro::cache::{AccessCtx, IcacheContents};
+use acic_repro::core::{AcicConfig, AcicIcache, PredictorKind};
+use acic_repro::trace::TraceSource;
+use acic_repro::types::BlockAddr;
+use acic_repro::workloads::{AppProfile, SyntheticWorkload};
+
+/// Drives an AcicIcache functionally (no timing) with a real workload
+/// stream, checking invariants as it goes.
+fn drive(config: AcicConfig, instructions: u64, check_every: u64) -> AcicIcache {
+    let wl = SyntheticWorkload::with_instructions(AppProfile::media_streaming(), instructions);
+    let mut icache = AcicIcache::new(config);
+    let mut idx = 0u64;
+    let mut last_block: Option<BlockAddr> = None;
+    for instr in wl.iter() {
+        let block = instr.pc.block();
+        if last_block == Some(block) && !instr.is_taken_branch() {
+            continue; // same fetch group
+        }
+        last_block = Some(block);
+        idx += 1;
+        icache.tick(idx);
+        let ctx = AccessCtx::demand(block, idx);
+        if !icache.access(&ctx).hit {
+            icache.fill(&ctx);
+        }
+        if idx.is_multiple_of(check_every) {
+            assert_filter_cache_exclusive(&icache);
+        }
+    }
+    icache
+}
+
+fn assert_filter_cache_exclusive(icache: &AcicIcache) {
+    if let Some(filter) = icache.filter() {
+        assert!(filter.len() <= filter.capacity());
+        for block in filter.resident_blocks() {
+            assert!(
+                !icache.cache().contains(block),
+                "block {block} is in both the i-Filter and the i-cache"
+            );
+        }
+    }
+}
+
+#[test]
+fn filter_and_cache_stay_exclusive_under_load() {
+    let icache = drive(AcicConfig::default(), 60_000, 512);
+    assert_filter_cache_exclusive(&icache);
+    assert!(icache.stats().demand_accesses > 0);
+}
+
+#[test]
+fn decisions_account_for_all_filter_victims() {
+    let icache = drive(AcicConfig::default(), 60_000, u64::MAX);
+    let s = icache.acic_stats();
+    assert_eq!(s.decisions, s.admitted + s.bypassed);
+    // CSHR opened one comparison per decided victim.
+    assert_eq!(icache.cshr_stats().inserted, s.decisions);
+}
+
+#[test]
+fn cshr_resolutions_never_exceed_insertions() {
+    let icache = drive(AcicConfig::default(), 60_000, u64::MAX);
+    let c = icache.cshr_stats();
+    assert!(c.victim_first + c.contender_first + c.evicted_unresolved <= c.inserted);
+}
+
+#[test]
+fn never_admit_keeps_cache_frozen_after_warmup() {
+    let icache = drive(
+        AcicConfig {
+            predictor: PredictorKind::NeverAdmit,
+            ..AcicConfig::default()
+        },
+        60_000,
+        u64::MAX,
+    );
+    let s = icache.acic_stats();
+    assert_eq!(s.admitted, 0);
+    // The cache only ever received free admissions (invalid ways).
+    assert!(icache.cache().resident_blocks().len() <= 512 + 16);
+}
+
+#[test]
+fn always_admit_matches_filtered_icache_contents() {
+    // AcicIcache with AlwaysAdmit must behave exactly like the
+    // generic FilteredIcache with AlwaysAdmit (two implementations of
+    // the same organization).
+    use acic_repro::cache::bypass::AlwaysAdmit;
+    use acic_repro::cache::CacheGeometry;
+    use acic_repro::core::FilteredIcache;
+
+    let wl = SyntheticWorkload::with_instructions(AppProfile::sibench(), 40_000);
+    let mut a = AcicIcache::new(AcicConfig {
+        predictor: PredictorKind::AlwaysAdmit,
+        ..AcicConfig::default()
+    });
+    let mut b = FilteredIcache::new(CacheGeometry::l1i_32k(), 16, Box::new(AlwaysAdmit));
+    let mut idx = 0u64;
+    let mut last = None;
+    for instr in wl.iter() {
+        let block = instr.pc.block();
+        if last == Some(block) && !instr.is_taken_branch() {
+            continue;
+        }
+        last = Some(block);
+        idx += 1;
+        let ctx = AccessCtx::demand(block, idx);
+        let ha = a.access(&ctx).hit;
+        let hb = b.access(&ctx).hit;
+        assert_eq!(ha, hb, "divergence at access {idx} (block {block})");
+        if !ha {
+            a.fill(&ctx);
+            b.fill(&ctx);
+        }
+    }
+    assert_eq!(a.stats().demand_misses, b.stats().demand_misses);
+}
+
+#[test]
+fn storage_accounting_matches_paper_table_one() {
+    let cfg = AcicConfig::default();
+    assert_eq!(cfg.filter_bits(), 9200);
+    assert_eq!(cfg.hrt_bits(), 4096);
+    assert_eq!(cfg.pt_bits(), 80);
+    assert_eq!(cfg.pt_queue_bits(), 800);
+    assert_eq!(cfg.cshr_bits(), 7680);
+    assert!((cfg.storage_kib() - 2.67).abs() < 0.01);
+}
+
+#[test]
+fn sensitivity_configs_are_all_constructible() {
+    for cfg in [
+        AcicConfig { hrt_entries: 2048, ..AcicConfig::default() },
+        AcicConfig { hrt_entries: 512, ..AcicConfig::default() },
+        AcicConfig { history_bits: 8, ..AcicConfig::default() },
+        AcicConfig { history_bits: 10, ..AcicConfig::default() },
+        AcicConfig { pt_counter_bits: 2, ..AcicConfig::default() },
+        AcicConfig { pt_counter_bits: 8, ..AcicConfig::default() },
+        AcicConfig { filter_entries: 8, ..AcicConfig::default() },
+        AcicConfig { filter_entries: 32, ..AcicConfig::default() },
+        AcicConfig { cshr_tag_bits: 7, ..AcicConfig::default() },
+        AcicConfig { cshr_tag_bits: 15, ..AcicConfig::default() },
+    ] {
+        let icache = AcicIcache::new(cfg);
+        assert!(icache.config().storage_bits() > 0);
+    }
+}

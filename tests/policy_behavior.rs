@@ -1,0 +1,182 @@
+//! Behavioral cross-checks of the compared policies: each prior
+//! scheme must exhibit its defining behavior on crafted access
+//! patterns (independent of the full simulator).
+
+use acic_repro::cache::policy::PolicyKind;
+use acic_repro::cache::victim::vvc::VvcIcache;
+use acic_repro::cache::{
+    AccessCtx, CacheGeometry, IcacheContents, PlainIcache, SetAssocCache, VictimCachedIcache,
+};
+use acic_repro::types::BlockAddr;
+
+fn ctx(b: u64, i: u64) -> AccessCtx<'static> {
+    AccessCtx::demand(BlockAddr::new(b), i)
+}
+
+/// Runs a block sequence through a cache, returning the miss count.
+fn misses(kind: PolicyKind, geom: CacheGeometry, seq: &[u64]) -> u64 {
+    let mut cache = SetAssocCache::new(geom, kind.build(geom));
+    let mut misses = 0;
+    for (i, &b) in seq.iter().enumerate() {
+        let c = ctx(b, i as u64);
+        if !cache.access(&c) {
+            misses += 1;
+            cache.fill(&c);
+        }
+    }
+    misses
+}
+
+#[test]
+fn srrip_protects_reused_blocks_from_streams() {
+    // The defining RRIP behavior: a re-referenced block (RRPV 0)
+    // outlives stream blocks still at their long insertion RRPV,
+    // whatever the recency order says. Under LRU the re-referenced
+    // block would be evicted here (it is the least recent).
+    let geom = CacheGeometry::from_sets_ways(1, 4);
+    let mut cache = SetAssocCache::new(geom, PolicyKind::Srrip.build(geom));
+    cache.fill(&ctx(0, 0));
+    cache.access(&ctx(0, 1)); // promote block 0 to RRPV 0
+    for (i, b) in [10u64, 11, 12].iter().enumerate() {
+        cache.fill(&ctx(*b, 2 + i as u64));
+    }
+    // Make block 0 the least recently *touched* line, then stream.
+    for (i, b) in [20u64, 21, 22].iter().enumerate() {
+        cache.fill(&ctx(*b, 10 + i as u64));
+        assert!(
+            cache.contains(BlockAddr::new(0)),
+            "re-referenced block evicted by stream block {b} (i={i})"
+        );
+    }
+}
+
+#[test]
+fn ship_beats_lru_on_cyclic_thrash() {
+    // Cyclic reuse over 1.5x the associativity: LRU misses every
+    // access; SHiP's signature counters learn the blocks do get
+    // re-referenced and distant-insert newcomers, retaining a subset.
+    let geom = CacheGeometry::from_sets_ways(1, 4);
+    let seq: Vec<u64> = (0..1200).map(|i| i % 6).collect();
+    let lru = misses(PolicyKind::Lru, geom, &seq);
+    let ship = misses(PolicyKind::Ship, geom, &seq);
+    assert_eq!(lru, 1200, "cyclic thrash defeats LRU completely");
+    assert!(ship < lru / 2 + 60, "SHiP {ship} vs LRU {lru}");
+}
+
+#[test]
+fn policies_agree_on_pure_lru_friendly_pattern() {
+    // A working set that fits: after the cold pass, nobody misses.
+    let geom = CacheGeometry::from_sets_ways(2, 4);
+    let seq: Vec<u64> = (0..50).flat_map(|_| (0u64..8).collect::<Vec<_>>()).collect();
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::Srrip,
+        PolicyKind::Ship,
+        PolicyKind::Ghrp,
+        PolicyKind::Slru,
+    ] {
+        let m = misses(kind, geom, &seq);
+        assert_eq!(m, 8, "{kind:?} misses on a fitting working set");
+    }
+}
+
+#[test]
+fn victim_cache_rescues_conflict_misses() {
+    // Three blocks conflicting in a 2-way set, round-robin: LRU alone
+    // misses every access; a victim cache catches the ping-pong.
+    let geom = CacheGeometry::from_sets_ways(1, 2);
+    let seq: Vec<u64> = (0..120).map(|i| i % 3).collect();
+
+    let mut plain = PlainIcache::new(geom, PolicyKind::Lru);
+    let mut plain_misses = 0u64;
+    for (i, &b) in seq.iter().enumerate() {
+        let c = ctx(b, i as u64);
+        if !plain.access(&c).hit {
+            plain_misses += 1;
+            plain.fill(&c);
+        }
+    }
+
+    let mut vc = VictimCachedIcache::new(geom, PolicyKind::Lru, 4);
+    let mut vc_misses = 0u64;
+    for (i, &b) in seq.iter().enumerate() {
+        let c = ctx(b, i as u64);
+        if !vc.access(&c).hit {
+            vc_misses += 1;
+            vc.fill(&c);
+        }
+    }
+    assert!(
+        vc_misses * 4 < plain_misses,
+        "victim cache {vc_misses} vs plain {plain_misses}"
+    );
+}
+
+#[test]
+fn vvc_virtual_hits_cost_extra_latency() {
+    // Five blocks conflicting in one home set (2 ways) while the
+    // other sets stay idle: evicted victims park in receiver sets and
+    // are recovered as slow "virtual hits".
+    let geom = CacheGeometry::from_sets_ways(4, 2);
+    let mut vvc = VvcIcache::new(geom);
+    let mut virtual_hits = 0;
+    for i in 0..2000u64 {
+        let b = (i % 5) * 4; // blocks 0,4,8,12,16 — all set 0
+        let c = ctx(b, i);
+        let out = vvc.access(&c);
+        if out.hit && out.extra_latency > 0 {
+            virtual_hits += 1;
+        }
+        if !out.hit {
+            vvc.fill(&c);
+        }
+    }
+    assert!(
+        vvc.placed_victims > 0,
+        "victims were never parked in receiver sets"
+    );
+    assert!(virtual_hits > 0, "no virtual hits ever happened");
+}
+
+#[test]
+fn opt_is_lower_bound_among_all_policies_on_random_traffic() {
+    use acic_repro::trace::ReuseOracle;
+    let geom = CacheGeometry::from_sets_ways(2, 2);
+    // Deterministic pseudo-random sequence over 12 blocks.
+    let mut x = 77u64;
+    let seq: Vec<u64> = (0..800)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (x >> 33) % 12
+        })
+        .collect();
+    let blocks: Vec<BlockAddr> = seq.iter().map(|&b| BlockAddr::new(b)).collect();
+    let oracle = ReuseOracle::from_sequence(&blocks);
+
+    let mut opt_misses = 0u64;
+    let mut cache = SetAssocCache::new(geom, PolicyKind::Opt.build(geom));
+    let mut cur = oracle.cursor();
+    for (i, &b) in blocks.iter().enumerate() {
+        cur.advance(b);
+        let c = AccessCtx::demand(b, i as u64).with_next_use(cur.next_use_of(b));
+        if !cache.access(&c) {
+            opt_misses += 1;
+            cache.fill(&c);
+        }
+    }
+
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::Srrip,
+        PolicyKind::Ship,
+        PolicyKind::Ghrp,
+        PolicyKind::Slru,
+        PolicyKind::Random { seed: 3 },
+    ] {
+        let m = misses(kind, geom, &seq);
+        assert!(
+            opt_misses <= m,
+            "{kind:?} ({m}) beat OPT ({opt_misses}) — impossible"
+        );
+    }
+}
