@@ -31,7 +31,11 @@ fn bench_cshr(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            cshr.insert((i % 4096) as u16, ((i + 7) % 4096) as u16, (i % 64) as usize);
+            cshr.insert(
+                (i % 4096) as u16,
+                ((i + 7) % 4096) as u16,
+                (i % 64) as usize,
+            );
             black_box(cshr.search((i.wrapping_mul(17) % 4096) as u16, (i % 64) as usize));
         });
     });

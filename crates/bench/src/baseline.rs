@@ -1,0 +1,235 @@
+//! Machine-readable simulator-throughput baseline.
+//!
+//! Measures instructions-per-second for the three execution paths —
+//! the naive boxed-policy, one-probe-per-instruction loop; the
+//! devirtualized run-batched functional loop; and the full timing
+//! simulator — across representative L1i organizations, and renders
+//! the result as JSON. The committed `BENCH_baseline.json` gives every
+//! future performance PR a trajectory to compare against:
+//!
+//! ```text
+//! cargo run --release -p acic-bench --bin throughput_baseline
+//! ```
+//!
+//! Scale with `ACIC_BASELINE_INSTRUCTIONS` (default 1 M).
+
+use acic_cache::policy::PolicyKind;
+use acic_cache::{AccessCtx, CacheGeometry, SetAssocCache};
+use acic_sim::{functional, IcacheOrg, SimConfig, Simulator};
+use acic_trace::{BlockRuns, TraceSource, VecTrace};
+use acic_workloads::{AppProfile, SyntheticWorkload};
+use std::time::Instant;
+
+/// Instruction budget for baseline measurement:
+/// `ACIC_BASELINE_INSTRUCTIONS` or 1 M.
+pub fn baseline_instructions() -> u64 {
+    std::env::var("ACIC_BASELINE_INSTRUCTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+/// Naive reference loop: boxed-policy tag store probed once per
+/// instruction. This is the pre-optimization hot path kept alive so
+/// speedups are measured, not asserted.
+pub fn run_naive_boxed<W: TraceSource>(kind: PolicyKind, workload: &W) -> u64 {
+    let geom = CacheGeometry::l1i_32k();
+    let mut cache = SetAssocCache::new(geom, kind.build_boxed(geom));
+    let mut i = 0u64;
+    for instr in workload.iter() {
+        i += 1;
+        let ctx = AccessCtx::demand(instr.pc.block(), i);
+        if !cache.access(&ctx) {
+            cache.fill(&ctx);
+        }
+    }
+    cache.stats().demand_misses
+}
+
+/// Optimized counterpart of [`run_naive_boxed`]: enum-dispatched
+/// policy, one probe per block run. Same tag store, same workload —
+/// the measured delta is exactly the devirtualize+batch tentpole.
+pub fn run_batched_devirt<W: TraceSource>(kind: PolicyKind, workload: &W) -> u64 {
+    let geom = CacheGeometry::l1i_32k();
+    let mut cache = SetAssocCache::new(geom, kind.build(geom));
+    let mut i = 0u64;
+    for run in BlockRuns::new(workload.iter()) {
+        i += 1;
+        let ctx = AccessCtx::demand(run.block, i);
+        if !cache.access(&ctx) {
+            cache.fill(&ctx);
+        }
+    }
+    cache.stats().demand_misses
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+struct OrgRow {
+    label: &'static str,
+    /// Which loop the naive leg ran — plain-policy rows use boxed
+    /// dispatch + per-instruction probes; composite rows (ACIC) use
+    /// the enum-dispatched unbatched functional loop, so their ratio
+    /// isolates batching alone.
+    naive_path: &'static str,
+    naive_ips: f64,
+    batched_ips: f64,
+    timing_ips: f64,
+    batched_over_naive: f64,
+}
+
+fn measure_org(
+    label: &'static str,
+    kind: Option<PolicyKind>,
+    org: IcacheOrg,
+    workload: &VecTrace,
+    instructions: u64,
+) -> OrgRow {
+    let n = instructions as f64;
+    // Naive: boxed policy, unbatched. Plain-policy orgs use the raw
+    // tag store; composite orgs (ACIC) run the unbatched functional
+    // loop over the full organization.
+    let (naive_secs, _) = match kind {
+        Some(k) => time(|| {
+            run_naive_boxed(k, workload);
+        }),
+        None => time(|| {
+            functional::run_unbatched(&org, workload);
+        }),
+    };
+    // Optimized path. Plain-policy orgs measure the raw tag store
+    // (mirroring the naive loop); composite orgs measure the
+    // functional organization loop.
+    let (batched_secs, _) = match kind {
+        Some(k) => time(|| {
+            run_batched_devirt(k, workload);
+        }),
+        None => time(|| {
+            functional::run_functional(&org, workload);
+        }),
+    };
+    let (timing_secs, _) =
+        time(|| Simulator::run(&SimConfig::default().with_org(org.clone()), workload));
+    OrgRow {
+        label,
+        naive_path: if kind.is_some() {
+            "boxed_unbatched"
+        } else {
+            "devirt_unbatched"
+        },
+        naive_ips: n / naive_secs,
+        batched_ips: n / batched_secs,
+        timing_ips: n / timing_secs,
+        batched_over_naive: naive_secs / batched_secs,
+    }
+}
+
+/// Runs the baseline measurement and renders it as a JSON document.
+pub fn measure_baseline() -> String {
+    let instructions = baseline_instructions();
+    // Materialize the trace once so every path measures simulation
+    // cost, not workload-generator cost.
+    let workload = VecTrace::from_source(&SyntheticWorkload::with_instructions(
+        AppProfile::web_search(),
+        instructions,
+    ));
+    let rows = vec![
+        measure_org(
+            "lru",
+            Some(PolicyKind::Lru),
+            IcacheOrg::Lru,
+            &workload,
+            instructions,
+        ),
+        measure_org(
+            "srrip",
+            Some(PolicyKind::Srrip),
+            IcacheOrg::Srrip,
+            &workload,
+            instructions,
+        ),
+        measure_org(
+            "acic",
+            None,
+            IcacheOrg::acic_default(),
+            &workload,
+            instructions,
+        ),
+    ];
+    render_json(instructions, &workload, &rows)
+}
+
+fn render_json(instructions: u64, workload: &VecTrace, rows: &[OrgRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"acic-throughput-baseline/v1\",\n");
+    out.push_str(&format!("  \"instructions\": {instructions},\n"));
+    out.push_str(&format!("  \"workload\": \"{}\",\n", workload.name()));
+    out.push_str("  \"trace_materialized\": true,\n");
+    out.push_str(&format!(
+        "  \"threads_available\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str("  \"orgs\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!("    \"{}\": {{\n", r.label));
+        out.push_str(&format!("      \"naive_path\": \"{}\",\n", r.naive_path));
+        out.push_str(&format!("      \"naive_ips\": {:.0},\n", r.naive_ips));
+        out.push_str(&format!(
+            "      \"devirt_batched_ips\": {:.0},\n",
+            r.batched_ips
+        ));
+        out.push_str(&format!("      \"timing_sim_ips\": {:.0},\n", r.timing_ips));
+        out.push_str(&format!(
+            "      \"batched_over_naive\": {:.2}\n",
+            r.batched_over_naive
+        ));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_valid_enough() {
+        let wl = VecTrace::from_source(&SyntheticWorkload::with_instructions(
+            AppProfile::sibench(),
+            1_000,
+        ));
+        let rows = vec![OrgRow {
+            label: "lru",
+            naive_path: "boxed_unbatched",
+            naive_ips: 1e6,
+            batched_ips: 2.5e6,
+            timing_ips: 5e5,
+            batched_over_naive: 2.5,
+        }];
+        let j = render_json(1_000, &wl, &rows);
+        assert!(j.contains("\"schema\": \"acic-throughput-baseline/v1\""));
+        assert!(j.contains("\"naive_path\": \"boxed_unbatched\""));
+        assert!(j.contains("\"devirt_batched_ips\": 2500000"));
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces"
+        );
+    }
+
+    #[test]
+    fn naive_reference_still_runs() {
+        let wl = SyntheticWorkload::with_instructions(AppProfile::sibench(), 5_000);
+        let misses = run_naive_boxed(PolicyKind::Lru, &wl);
+        assert!(misses > 0);
+    }
+}

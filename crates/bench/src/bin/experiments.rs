@@ -2,29 +2,49 @@
 //!
 //! Usage: `cargo run --release -p acic-bench --bin experiments [filter]`
 
+type Experiment = (&'static str, fn() -> String);
+
 fn main() {
     let filter = std::env::args().nth(1).unwrap_or_default();
-    let all: Vec<(&str, fn() -> String)> = vec![
+    let all: Vec<Experiment> = vec![
         ("table1_storage", acic_bench::figures::table1_storage),
         ("table2_config", acic_bench::figures::table2_config),
         ("table3_mpki", acic_bench::figures::table3_mpki),
         ("table4_schemes", acic_bench::figures::table4_schemes),
         ("fig01a_reuse_hist", acic_bench::figures::fig01a_reuse_hist),
         ("fig01b_markov", acic_bench::figures::fig01b_markov),
-        ("fig03a_ifilter_gap", acic_bench::figures::fig03a_ifilter_gap),
-        ("fig03b_insert_delta", acic_bench::figures::fig03b_insert_delta),
-        ("fig06_cshr_lifetime", acic_bench::figures::fig06_cshr_lifetime),
+        (
+            "fig03a_ifilter_gap",
+            acic_bench::figures::fig03a_ifilter_gap,
+        ),
+        (
+            "fig03b_insert_delta",
+            acic_bench::figures::fig03b_insert_delta,
+        ),
+        (
+            "fig06_cshr_lifetime",
+            acic_bench::figures::fig06_cshr_lifetime,
+        ),
         ("fig10_speedup", acic_bench::figures::fig10_speedup),
         ("fig11_mpki", acic_bench::figures::fig11_mpki),
         ("fig12a_accuracy", acic_bench::figures::fig12a_accuracy),
         ("fig12b_random", acic_bench::figures::fig12b_random),
         ("fig13_admit_rate", acic_bench::figures::fig13_admit_rate),
-        ("fig14_update_latency", acic_bench::figures::fig14_update_latency),
+        (
+            "fig14_update_latency",
+            acic_bench::figures::fig14_update_latency,
+        ),
         ("fig15_sensitivity", acic_bench::figures::fig15_sensitivity),
-        ("fig16_over_ifilter", acic_bench::figures::fig16_over_ifilter),
+        (
+            "fig16_over_ifilter",
+            acic_bench::figures::fig16_over_ifilter,
+        ),
         ("fig17_ablation", acic_bench::figures::fig17_ablation),
         ("fig18_19_spec", acic_bench::figures::fig18_19_spec),
-        ("fig20_21_entangling", acic_bench::figures::fig20_21_entangling),
+        (
+            "fig20_21_entangling",
+            acic_bench::figures::fig20_21_entangling,
+        ),
         ("energy_summary", acic_bench::figures::energy_summary),
     ];
     for (name, f) in all {

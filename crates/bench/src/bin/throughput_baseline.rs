@@ -1,0 +1,15 @@
+//! Writes the machine-readable simulator-throughput baseline
+//! (`BENCH_baseline.json`) consumed by future performance PRs.
+//!
+//! Run: `cargo run --release -p acic-bench --bin throughput_baseline`
+//! Scale with `ACIC_BASELINE_INSTRUCTIONS` (default 1 M).
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let json = acic_bench::baseline::measure_baseline();
+    std::fs::write(&path, &json).expect("write baseline file");
+    println!("{json}");
+    eprintln!("wrote {path}");
+}

@@ -27,11 +27,7 @@ fn fmt_speedup_rows(
     header.push(summary_label.to_string());
     let mut out_rows = Vec::new();
     for (org, row) in orgs.iter().zip(rows) {
-        let vals: Vec<f64> = row
-            .iter()
-            .zip(baseline)
-            .map(|(r, b)| value(r, b))
-            .collect();
+        let vals: Vec<f64> = row.iter().zip(baseline).map(|(r, b)| value(r, b)).collect();
         let mut cells = vec![org.label().to_string()];
         cells.extend(vals.iter().map(|v| format!("{v:.4}")));
         cells.push(format!("{:.4}", summary(&vals)));
@@ -69,10 +65,8 @@ pub fn fig01a_reuse_hist() -> String {
 /// Figure 1b: Markov chain of reuse-distance buckets in media
 /// streaming.
 pub fn fig01b_markov() -> String {
-    let wl = SyntheticWorkload::with_instructions(
-        AppProfile::media_streaming(),
-        instruction_budget(),
-    );
+    let wl =
+        SyntheticWorkload::with_instructions(AppProfile::media_streaming(), instruction_budget());
     let seq: Vec<_> = BlockRuns::new(wl.iter()).map(|r| r.block).collect();
     let chain = MarkovChain::from_sequence(&seq);
     let mut header = vec!["from \\ to".to_string()];
@@ -351,16 +345,76 @@ pub fn fig15_sensitivity() -> String {
     let d = AcicConfig::default();
     let variants: Vec<(&str, AcicConfig)> = vec![
         ("default", d),
-        ("2k HRT entries", AcicConfig { hrt_entries: 2048, ..d }),
-        ("512 HRT entries", AcicConfig { hrt_entries: 512, ..d }),
-        ("8-bit history", AcicConfig { history_bits: 8, ..d }),
-        ("10-bit history", AcicConfig { history_bits: 10, ..d }),
-        ("2-bit counter", AcicConfig { pt_counter_bits: 2, ..d }),
-        ("8-bit counter", AcicConfig { pt_counter_bits: 8, ..d }),
-        ("8-slot i-Filter", AcicConfig { filter_entries: 8, ..d }),
-        ("32-slot i-Filter", AcicConfig { filter_entries: 32, ..d }),
-        ("7-bit CSHR tag", AcicConfig { cshr_tag_bits: 7, ..d }),
-        ("15-bit CSHR tag", AcicConfig { cshr_tag_bits: 15, ..d }),
+        (
+            "2k HRT entries",
+            AcicConfig {
+                hrt_entries: 2048,
+                ..d
+            },
+        ),
+        (
+            "512 HRT entries",
+            AcicConfig {
+                hrt_entries: 512,
+                ..d
+            },
+        ),
+        (
+            "8-bit history",
+            AcicConfig {
+                history_bits: 8,
+                ..d
+            },
+        ),
+        (
+            "10-bit history",
+            AcicConfig {
+                history_bits: 10,
+                ..d
+            },
+        ),
+        (
+            "2-bit counter",
+            AcicConfig {
+                pt_counter_bits: 2,
+                ..d
+            },
+        ),
+        (
+            "8-bit counter",
+            AcicConfig {
+                pt_counter_bits: 8,
+                ..d
+            },
+        ),
+        (
+            "8-slot i-Filter",
+            AcicConfig {
+                filter_entries: 8,
+                ..d
+            },
+        ),
+        (
+            "32-slot i-Filter",
+            AcicConfig {
+                filter_entries: 32,
+                ..d
+            },
+        ),
+        (
+            "7-bit CSHR tag",
+            AcicConfig {
+                cshr_tag_bits: 7,
+                ..d
+            },
+        ),
+        (
+            "15-bit CSHR tag",
+            AcicConfig {
+                cshr_tag_bits: 15,
+                ..d
+            },
+        ),
     ];
     let runner = Runner::new();
     let orgs: Vec<IcacheOrg> = variants.iter().map(|(_, c)| IcacheOrg::Acic(*c)).collect();
@@ -375,7 +429,10 @@ pub fn fig15_sensitivity() -> String {
                 .zip(&baseline)
                 .map(|(r, b)| r.speedup_over(b))
                 .collect();
-            vec![label.to_string(), format!("{:.4}", gmean(&sp).unwrap_or(0.0))]
+            vec![
+                label.to_string(),
+                format!("{:.4}", gmean(&sp).unwrap_or(0.0)),
+            ]
         })
         .collect();
     format!(
@@ -416,7 +473,13 @@ pub fn fig17_ablation() -> String {
     let d = AcicConfig::default();
     let variants: Vec<(&str, AcicConfig)> = vec![
         ("default", d),
-        ("no i-Filter", AcicConfig { filter_entries: 0, ..d }),
+        (
+            "no i-Filter",
+            AcicConfig {
+                filter_entries: 0,
+                ..d
+            },
+        ),
         (
             "i-Filter only",
             AcicConfig {
@@ -452,7 +515,10 @@ pub fn fig17_ablation() -> String {
                 .zip(&baseline)
                 .map(|(r, b)| r.speedup_over(b))
                 .collect();
-            vec![label.to_string(), format!("{:.4}", gmean(&sp).unwrap_or(0.0))]
+            vec![
+                label.to_string(),
+                format!("{:.4}", gmean(&sp).unwrap_or(0.0)),
+            ]
         })
         .collect();
     format!(
@@ -513,11 +579,19 @@ pub fn table1_storage() -> String {
     let rows = vec![
         vec![
             "i-Filter".to_string(),
-            format!("{} bits ({:.3} KB)", cfg.filter_bits(), cfg.filter_bits() as f64 / 8192.0),
+            format!(
+                "{} bits ({:.3} KB)",
+                cfg.filter_bits(),
+                cfg.filter_bits() as f64 / 8192.0
+            ),
         ],
         vec![
             "HRT".to_string(),
-            format!("{} bits ({:.3} KB)", cfg.hrt_bits(), cfg.hrt_bits() as f64 / 8192.0),
+            format!(
+                "{} bits ({:.3} KB)",
+                cfg.hrt_bits(),
+                cfg.hrt_bits() as f64 / 8192.0
+            ),
         ],
         vec![
             "PT".to_string(),
@@ -525,11 +599,19 @@ pub fn table1_storage() -> String {
         ],
         vec![
             "PT entry update queue".to_string(),
-            format!("{} bits ({} B)", cfg.pt_queue_bits(), cfg.pt_queue_bits() / 8),
+            format!(
+                "{} bits ({} B)",
+                cfg.pt_queue_bits(),
+                cfg.pt_queue_bits() / 8
+            ),
         ],
         vec![
             "CSHR".to_string(),
-            format!("{} bits ({:.4} KB)", cfg.cshr_bits(), cfg.cshr_bits() as f64 / 8192.0),
+            format!(
+                "{} bits ({:.4} KB)",
+                cfg.cshr_bits(),
+                cfg.cshr_bits() as f64 / 8192.0
+            ),
         ],
         vec!["Total".to_string(), format!("{:.2} KB", cfg.storage_kib())],
     ];
@@ -543,16 +625,43 @@ pub fn table1_storage() -> String {
 pub fn table2_config() -> String {
     let c = SimConfig::default();
     let rows = vec![
-        vec!["Fetch width".into(), format!("{}-wide, {}-entry FTQ", c.fetch_width, c.ftq_entries)],
-        vec!["Decode".into(), format!("{}-wide, {}-entry queue", c.decode_width, c.decode_queue_entries)],
-        vec!["ROB".into(), format!("{} entries, retire {}/cycle", c.rob_entries, c.retire_width)],
+        vec![
+            "Fetch width".into(),
+            format!("{}-wide, {}-entry FTQ", c.fetch_width, c.ftq_entries),
+        ],
+        vec![
+            "Decode".into(),
+            format!(
+                "{}-wide, {}-entry queue",
+                c.decode_width, c.decode_queue_entries
+            ),
+        ],
+        vec![
+            "ROB".into(),
+            format!("{} entries, retire {}/cycle", c.rob_entries, c.retire_width),
+        ],
         vec!["BTB".into(), "8192-entry, 4-way".into()],
-        vec!["Branch predictor".into(), "TAGE (4 tagged tables) + ITTAGE-lite indirect".into()],
-        vec!["L1 I-cache".into(), format!("32KB, 8-way, {} MSHRs, {}-cycle", c.l1i_mshrs, c.l1i_hit_latency)],
-        vec!["L1 D-cache".into(), format!("48KB, {} MSHRs, {}-cycle", c.l1d_mshrs, c.l1d_hit_latency)],
+        vec![
+            "Branch predictor".into(),
+            "TAGE (4 tagged tables) + ITTAGE-lite indirect".into(),
+        ],
+        vec![
+            "L1 I-cache".into(),
+            format!(
+                "32KB, 8-way, {} MSHRs, {}-cycle",
+                c.l1i_mshrs, c.l1i_hit_latency
+            ),
+        ],
+        vec![
+            "L1 D-cache".into(),
+            format!("48KB, {} MSHRs, {}-cycle", c.l1d_mshrs, c.l1d_hit_latency),
+        ],
         vec!["L2".into(), format!("512KB, 8-way, {}-cycle", c.l2_latency)],
         vec!["L3".into(), format!("2MB, 16-way, {}-cycle", c.l3_latency)],
-        vec!["DRAM".into(), format!("{}-cycle, {}-cycle channel gap", c.dram_latency, c.dram_gap)],
+        vec![
+            "DRAM".into(),
+            format!("{}-cycle, {}-cycle channel gap", c.dram_latency, c.dram_gap),
+        ],
     ];
     format!(
         "Table II — simulated system parameters\n{}",
@@ -579,11 +688,20 @@ pub fn table3_mpki() -> String {
 pub fn table4_schemes() -> String {
     let rows: Vec<Vec<String>> = storage_table_rows()
         .into_iter()
-        .map(|s| vec![s.name.to_string(), s.strategy.to_string(), format!("{:.2} KB", s.kib)])
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.strategy.to_string(),
+                format!("{:.2} KB", s.kib),
+            ]
+        })
         .collect();
     format!(
         "Table IV — storage overhead of the compared schemes\n{}",
-        markdown_table(&["scheme".into(), "strategy".into(), "storage".into()], &rows)
+        markdown_table(
+            &["scheme".into(), "strategy".into(), "storage".into()],
+            &rows
+        )
     )
 }
 

@@ -15,6 +15,7 @@
 //! println!("{}", acic_bench::figures::fig10_speedup());
 //! ```
 
+pub mod baseline;
 pub mod figures;
 pub mod runner;
 

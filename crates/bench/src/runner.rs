@@ -3,7 +3,8 @@
 
 use acic_sim::{IcacheOrg, PrefetcherKind, SimConfig, SimReport, Simulator};
 use acic_workloads::{AppProfile, SyntheticWorkload};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Instructions simulated per application: `ACIC_EXP_INSTRUCTIONS` or
 /// 1 M (the paper runs 500 M–1 B; shapes stabilize well below that).
@@ -59,8 +60,17 @@ impl Runner {
     }
 
     /// Runs every (config, app) pair in parallel, returning results
-    /// in `configs x apps` order. Thread count follows available
-    /// parallelism.
+    /// in `configs x apps` order.
+    ///
+    /// Scheduling is work-stealing (an atomic cursor over the cell
+    /// list) so long cells (OPT, oracle pre-passes) don't serialize
+    /// behind static chunking; thread count follows available
+    /// parallelism. Results are identical to a serial loop regardless
+    /// of thread interleaving: each cell's workload seed derives only
+    /// from the application profile, and the simulator's internal
+    /// seeds derive only from the workload name — never from cell
+    /// order, thread identity, or wall-clock time (asserted by
+    /// `grid_is_deterministic_and_matches_serial`).
     pub fn run_grid(&self, configs: &[SimConfig], apps: &[AppProfile]) -> Vec<Vec<SimReport>> {
         let mut work: Vec<(usize, usize)> = Vec::new();
         for c in 0..configs.len() {
@@ -68,26 +78,34 @@ impl Runner {
                 work.push((c, a));
             }
         }
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<SimReport>>> = Mutex::new(vec![None; work.len()]);
+        let next = AtomicUsize::new(0);
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(2)
             .min(work.len().max(1));
+        let (tx, rx) = mpsc::channel::<(usize, SimReport)>();
+        let work_ref = &work;
+        let next_ref = &next;
+        let instructions = self.instructions;
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= work.len() {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= work_ref.len() {
                         break;
                     }
-                    let (c, a) = work[i];
-                    let report = run_config(&configs[c], &apps[a], self.instructions);
-                    results.lock().expect("no poisoned lock")[i] = Some(report);
+                    let (c, a) = work_ref[i];
+                    let report = run_config(&configs[c], &apps[a], instructions);
+                    tx.send((i, report)).expect("collector outlives workers");
                 });
             }
         });
-        let flat = results.into_inner().expect("no poisoned lock");
+        drop(tx);
+        let mut flat: Vec<Option<SimReport>> = vec![None; work.len()];
+        for (i, report) in rx {
+            flat[i] = Some(report);
+        }
         let mut grid: Vec<Vec<SimReport>> = Vec::with_capacity(configs.len());
         let mut it = flat.into_iter();
         for _ in 0..configs.len() {
@@ -170,11 +188,33 @@ mod tests {
     }
 
     #[test]
+    fn grid_is_deterministic_and_matches_serial() {
+        let runner = Runner {
+            instructions: 4_000,
+            baseline: SimConfig::default(),
+        };
+        let apps = vec![AppProfile::sibench(), AppProfile::x264()];
+        let configs = vec![
+            SimConfig::default(),
+            SimConfig::default().with_org(IcacheOrg::Srrip),
+        ];
+        let parallel_a = runner.run_grid(&configs, &apps);
+        let parallel_b = runner.run_grid(&configs, &apps);
+        for (c, cfg) in configs.iter().enumerate() {
+            for (a, app) in apps.iter().enumerate() {
+                let serial = run_config(cfg, app, runner.instructions);
+                for r in [&parallel_a[c][a], &parallel_b[c][a]] {
+                    assert_eq!(r.total_cycles, serial.total_cycles);
+                    assert_eq!(r.l1i.demand_misses, serial.l1i.demand_misses);
+                    assert_eq!(r.app, serial.app);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn markdown_table_shape() {
-        let t = markdown_table(
-            &["a".into(), "b".into()],
-            &[vec!["1".into(), "2".into()]],
-        );
+        let t = markdown_table(&["a".into(), "b".into()], &[vec!["1".into(), "2".into()]]);
         assert!(t.contains("| a | b |"));
         assert!(t.contains("| 1 | 2 |"));
     }

@@ -119,7 +119,10 @@ mod tests {
         let admitted = (0..100)
             .filter(|i| p.should_admit(BlockAddr::new(*i), Some(BlockAddr::new(999)), &ctx()))
             .count();
-        assert!(admitted > 85, "mostly admits at probability zero: {admitted}");
+        assert!(
+            admitted > 85,
+            "mostly admits at probability zero: {admitted}"
+        );
     }
 
     #[test]

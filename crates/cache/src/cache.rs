@@ -2,14 +2,24 @@
 //!
 //! [`SetAssocCache`] models contents only (tags + policy metadata);
 //! timing (latencies, MSHRs) lives in `acic-sim`. The replacement
-//! policy is a boxed trait object so experiment harnesses can select
-//! policies at runtime; each policy owns its per-line metadata.
+//! policy is stored inline as an enum ([`AnyPolicy`]) so the
+//! per-access hooks dispatch through an inlinable `match` instead of a
+//! vtable; each policy owns its per-line metadata. The fill and
+//! contender paths assemble candidate lists in fixed stack buffers —
+//! the tag-store hot loop performs no heap allocation.
 
 use crate::ctx::AccessCtx;
 use crate::geometry::CacheGeometry;
-use crate::policy::ReplacementPolicy;
+use crate::policy::{AnyPolicy, ReplacementPolicy};
 use crate::stats::CacheStats;
 use acic_types::BlockAddr;
+
+/// Upper bound on associativity supported by the stack scratch
+/// buffers. The 16-way L3 is the widest geometry currently built on
+/// this tag store (the L1i organizations top out at 9-way); widen
+/// this constant before adding a higher-associativity sweep point —
+/// construction panics past the bound.
+pub const MAX_WAYS: usize = 16;
 
 /// A set-associative cache of 64 B blocks with a pluggable
 /// replacement policy.
@@ -22,7 +32,7 @@ use acic_types::BlockAddr;
 /// use acic_types::BlockAddr;
 ///
 /// let geom = CacheGeometry::from_sets_ways(2, 2);
-/// let mut c = SetAssocCache::new(geom, Box::new(LruPolicy::new(geom)));
+/// let mut c = SetAssocCache::new(geom, LruPolicy::new(geom));
 /// // Fill both ways of set 0, then a third block evicts the LRU one.
 /// for (i, b) in [0u64, 2, 4].iter().enumerate() {
 ///     let ctx = AccessCtx::demand(BlockAddr::new(*b), i as u64);
@@ -36,20 +46,29 @@ use acic_types::BlockAddr;
 pub struct SetAssocCache {
     geom: CacheGeometry,
     tags: Vec<Option<BlockAddr>>,
-    policy: Box<dyn ReplacementPolicy>,
+    policy: AnyPolicy,
     stats: CacheStats,
-    scratch: Vec<BlockAddr>,
 }
 
 impl SetAssocCache {
-    /// Creates an empty cache with the given policy.
-    pub fn new(geom: CacheGeometry, policy: Box<dyn ReplacementPolicy>) -> Self {
+    /// Creates an empty cache with the given policy. Accepts any
+    /// concrete policy type, an [`AnyPolicy`], or a boxed trait object
+    /// (the reference dispatch path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's associativity exceeds [`MAX_WAYS`].
+    pub fn new(geom: CacheGeometry, policy: impl Into<AnyPolicy>) -> Self {
+        assert!(
+            geom.ways() <= MAX_WAYS,
+            "associativity {} exceeds MAX_WAYS ({MAX_WAYS})",
+            geom.ways()
+        );
         SetAssocCache {
             geom,
             tags: vec![None; geom.lines()],
-            policy,
+            policy: policy.into(),
             stats: CacheStats::default(),
-            scratch: Vec::with_capacity(geom.ways()),
         }
     }
 
@@ -128,11 +147,12 @@ impl SetAssocCache {
             self.policy.on_fill(set, way, ctx);
             return None;
         }
-        self.scratch.clear();
-        for w in 0..self.geom.ways() {
-            self.scratch.push(self.tags[base + w].expect("all ways valid"));
+        let mut blocks = [BlockAddr::new(0); MAX_WAYS];
+        let ways = self.geom.ways();
+        for (w, slot) in blocks[..ways].iter_mut().enumerate() {
+            *slot = self.tags[base + w].expect("all ways valid");
         }
-        let way = self.policy.victim_way(set, &self.scratch, ctx);
+        let way = self.policy.victim_way(set, &blocks[..ways], ctx);
         debug_assert!(way < self.geom.ways(), "policy returned invalid way");
         let evicted = self.tags[base + way].expect("victim way valid");
         self.policy.on_evict(set, way, evicted, ctx);
@@ -148,11 +168,12 @@ impl SetAssocCache {
     pub fn contender(&self, ctx: &AccessCtx<'_>) -> Option<BlockAddr> {
         let set = self.geom.set_of(ctx.block);
         let base = self.geom.line_index(set, 0);
-        let mut blocks = Vec::with_capacity(self.geom.ways());
-        for w in 0..self.geom.ways() {
-            blocks.push(self.tags[base + w]?);
+        let ways = self.geom.ways();
+        let mut blocks = [BlockAddr::new(0); MAX_WAYS];
+        for (w, slot) in blocks[..ways].iter_mut().enumerate() {
+            *slot = self.tags[base + w]?;
         }
-        let way = self.policy.peek_victim(set, &blocks, ctx);
+        let way = self.policy.peek_victim(set, &blocks[..ways], ctx);
         Some(blocks[way])
     }
 
@@ -199,7 +220,7 @@ mod tests {
 
     fn small() -> SetAssocCache {
         let geom = CacheGeometry::from_sets_ways(4, 2);
-        SetAssocCache::new(geom, Box::new(LruPolicy::new(geom)))
+        SetAssocCache::new(geom, LruPolicy::new(geom))
     }
 
     fn ctx(block: u64, idx: u64) -> AccessCtx<'static> {

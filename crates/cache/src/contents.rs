@@ -74,6 +74,13 @@ pub trait IcacheContents {
     /// no-op).
     fn tick(&mut self, _now: acic_types::Cycle) {}
 
+    /// Whether [`IcacheContents::tick`] does anything. Hot loops skip
+    /// the per-access virtual call when it doesn't; organizations
+    /// overriding `tick` must override this too.
+    fn wants_tick(&self) -> bool {
+        false
+    }
+
     /// Concrete-type escape hatch for end-of-run introspection
     /// (e.g. reading ACIC's admission statistics).
     fn as_any(&self) -> &dyn core::any::Any;
@@ -298,8 +305,7 @@ mod tests {
     fn bypass_policy_can_reject_fills() {
         use crate::bypass::NeverAdmit;
         let geom = CacheGeometry::from_sets_ways(1, 2);
-        let mut i =
-            PlainIcache::new(geom, PolicyKind::Lru).with_bypass(Box::new(NeverAdmit));
+        let mut i = PlainIcache::new(geom, PolicyKind::Lru).with_bypass(Box::new(NeverAdmit));
         i.fill(&ctx(1, 0));
         i.fill(&ctx(2, 1));
         // Set now full; further fills are rejected.

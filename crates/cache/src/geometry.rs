@@ -58,7 +58,10 @@ impl CacheGeometry {
     ///
     /// Panics if `sets` is not a positive power of two or `ways` is 0.
     pub fn from_sets_ways(sets: usize, ways: usize) -> Self {
-        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "associativity must be positive");
         CacheGeometry { sets, ways }
     }

@@ -29,7 +29,7 @@
 //!
 //! // The paper's 32 KB, 8-way L1i.
 //! let geom = CacheGeometry::l1i_32k();
-//! let mut cache = SetAssocCache::new(geom, Box::new(LruPolicy::new(geom)));
+//! let mut cache = SetAssocCache::new(geom, LruPolicy::new(geom));
 //! let b = BlockAddr::new(0x40);
 //! let ctx = AccessCtx::demand(b, 0);
 //! assert!(!cache.access(&ctx));      // cold miss

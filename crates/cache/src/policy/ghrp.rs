@@ -182,7 +182,7 @@ mod tests {
     #[test]
     fn falls_back_to_lru_when_nothing_dead() {
         let geom = CacheGeometry::from_sets_ways(1, 3);
-        let mut c = SetAssocCache::new(geom, Box::new(GhrpPolicy::new(geom)));
+        let mut c = SetAssocCache::new(geom, GhrpPolicy::new(geom));
         for i in 0..3u64 {
             c.fill(&ctx(i, i));
         }

@@ -273,7 +273,7 @@ mod tests {
         // Make block 5's signature averse manually.
         let sig5 = p.signature(BlockAddr::new(5), false);
         p.predictor[sig5 as usize % PREDICTOR_ENTRIES].set(0);
-        let mut c = SetAssocCache::new(geom, Box::new(p));
+        let mut c = SetAssocCache::new(geom, p);
         c.fill(&ctx(1, 0));
         c.fill(&ctx(5, 1));
         let evicted = c.fill(&ctx(9, 2));

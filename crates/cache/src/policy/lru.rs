@@ -16,7 +16,7 @@ use acic_types::{BlockAddr, LruStamps};
 /// use acic_types::BlockAddr;
 ///
 /// let geom = CacheGeometry::from_sets_ways(1, 2);
-/// let mut c = SetAssocCache::new(geom, Box::new(LruPolicy::new(geom)));
+/// let mut c = SetAssocCache::new(geom, LruPolicy::new(geom));
 /// for (i, b) in [10u64, 20].iter().enumerate() {
 ///     c.fill(&AccessCtx::demand(BlockAddr::new(*b), i as u64));
 /// }
@@ -33,7 +33,9 @@ impl LruPolicy {
     /// Creates LRU state for the geometry.
     pub fn new(geom: CacheGeometry) -> Self {
         LruPolicy {
-            sets: (0..geom.sets()).map(|_| LruStamps::new(geom.ways())).collect(),
+            sets: (0..geom.sets())
+                .map(|_| LruStamps::new(geom.ways()))
+                .collect(),
         }
     }
 
@@ -78,7 +80,7 @@ mod tests {
     #[test]
     fn evicts_least_recently_touched() {
         let geom = CacheGeometry::from_sets_ways(1, 4);
-        let mut c = SetAssocCache::new(geom, Box::new(LruPolicy::new(geom)));
+        let mut c = SetAssocCache::new(geom, LruPolicy::new(geom));
         for i in 0..4u64 {
             c.fill(&AccessCtx::demand(BlockAddr::new(i), i));
         }
@@ -92,7 +94,7 @@ mod tests {
     #[test]
     fn peek_matches_victim() {
         let geom = CacheGeometry::from_sets_ways(1, 3);
-        let mut c = SetAssocCache::new(geom, Box::new(LruPolicy::new(geom)));
+        let mut c = SetAssocCache::new(geom, LruPolicy::new(geom));
         for i in 0..3u64 {
             c.fill(&AccessCtx::demand(BlockAddr::new(i), i));
         }

@@ -63,6 +63,7 @@ pub trait ReplacementPolicy {
 /// # Examples
 ///
 /// ```
+/// use acic_cache::policy::ReplacementPolicy;
 /// use acic_cache::{CacheGeometry, PolicyKind};
 ///
 /// let geom = CacheGeometry::l1i_32k();
@@ -97,8 +98,32 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    /// Builds a policy instance for the given geometry.
-    pub fn build(self, geom: CacheGeometry) -> Box<dyn ReplacementPolicy> {
+    /// Builds an enum-dispatched policy instance for the given
+    /// geometry. This is the hot-path constructor: the cache stores
+    /// the returned [`AnyPolicy`] inline and every hook call resolves
+    /// through a `match` that the compiler can inline, instead of a
+    /// vtable load.
+    pub fn build(self, geom: CacheGeometry) -> AnyPolicy {
+        match self {
+            PolicyKind::Lru => AnyPolicy::Lru(lru::LruPolicy::new(geom)),
+            PolicyKind::Random { seed } => AnyPolicy::Random(random::RandomPolicy::new(geom, seed)),
+            PolicyKind::Srrip => AnyPolicy::Srrip(srrip::SrripPolicy::new(geom)),
+            PolicyKind::Ship => AnyPolicy::Ship(ship::ShipPolicy::new(geom)),
+            PolicyKind::Hawkeye { prefetch_aware } => {
+                AnyPolicy::Hawkeye(hawkeye::HawkeyePolicy::new(geom, prefetch_aware))
+            }
+            PolicyKind::Ghrp => AnyPolicy::Ghrp(ghrp::GhrpPolicy::new(geom)),
+            PolicyKind::Slru => AnyPolicy::Slru(slru::SlruPolicy::new(geom)),
+            PolicyKind::Opt => AnyPolicy::Opt(opt::OptPolicy::new(geom)),
+        }
+    }
+
+    /// Builds the same policy behind a trait object.
+    ///
+    /// Kept for equivalence testing (the devirtualized enum dispatch
+    /// must behave bit-identically to boxed dispatch) and as the
+    /// naive-baseline construction for throughput benchmarks.
+    pub fn build_boxed(self, geom: CacheGeometry) -> Box<dyn ReplacementPolicy> {
         match self {
             PolicyKind::Lru => Box::new(lru::LruPolicy::new(geom)),
             PolicyKind::Random { seed } => Box::new(random::RandomPolicy::new(geom, seed)),
@@ -130,6 +155,127 @@ impl PolicyKind {
             PolicyKind::Slru => "SLRU",
             PolicyKind::Opt => "OPT",
         }
+    }
+}
+
+/// Enum-dispatched replacement policy.
+///
+/// [`SetAssocCache`](crate::SetAssocCache) stores one of these inline,
+/// so the per-access policy hooks (`on_hit`, `on_fill`, `victim_way`,
+/// …) compile to a direct `match` over concrete types that the
+/// optimizer can inline into the tag-store loop — no vtable dispatch,
+/// no heap indirection. The [`AnyPolicy::Boxed`] variant preserves the
+/// old trait-object path for equivalence tests and naive-baseline
+/// benchmarks.
+pub enum AnyPolicy {
+    /// Least recently used.
+    Lru(lru::LruPolicy),
+    /// Seeded uniform random.
+    Random(random::RandomPolicy),
+    /// Static RRIP.
+    Srrip(srrip::SrripPolicy),
+    /// SHiP.
+    Ship(ship::ShipPolicy),
+    /// Hawkeye / Harmony.
+    Hawkeye(hawkeye::HawkeyePolicy),
+    /// GHRP.
+    Ghrp(ghrp::GhrpPolicy),
+    /// Segmented LRU.
+    Slru(slru::SlruPolicy),
+    /// Belady OPT.
+    Opt(opt::OptPolicy),
+    /// Legacy trait-object dispatch (reference/testing path).
+    Boxed(Box<dyn ReplacementPolicy>),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $p:ident => $e:expr) => {
+        match $self {
+            AnyPolicy::Lru($p) => $e,
+            AnyPolicy::Random($p) => $e,
+            AnyPolicy::Srrip($p) => $e,
+            AnyPolicy::Ship($p) => $e,
+            AnyPolicy::Hawkeye($p) => $e,
+            AnyPolicy::Ghrp($p) => $e,
+            AnyPolicy::Slru($p) => $e,
+            AnyPolicy::Opt($p) => $e,
+            AnyPolicy::Boxed($p) => $e,
+        }
+    };
+}
+
+impl ReplacementPolicy for AnyPolicy {
+    #[inline]
+    fn name(&self) -> &'static str {
+        dispatch!(self, p => p.name())
+    }
+
+    #[inline]
+    fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessCtx<'_>) {
+        dispatch!(self, p => p.on_hit(set, way, ctx))
+    }
+
+    #[inline]
+    fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessCtx<'_>) {
+        dispatch!(self, p => p.on_fill(set, way, ctx))
+    }
+
+    #[inline]
+    fn on_miss(&mut self, set: usize, ctx: &AccessCtx<'_>) {
+        dispatch!(self, p => p.on_miss(set, ctx))
+    }
+
+    #[inline]
+    fn on_evict(&mut self, set: usize, way: usize, block: BlockAddr, ctx: &AccessCtx<'_>) {
+        dispatch!(self, p => p.on_evict(set, way, block, ctx))
+    }
+
+    #[inline]
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        dispatch!(self, p => p.on_invalidate(set, way))
+    }
+
+    #[inline]
+    fn victim_way(&mut self, set: usize, blocks: &[BlockAddr], ctx: &AccessCtx<'_>) -> usize {
+        dispatch!(self, p => p.victim_way(set, blocks, ctx))
+    }
+
+    #[inline]
+    fn peek_victim(&self, set: usize, blocks: &[BlockAddr], ctx: &AccessCtx<'_>) -> usize {
+        dispatch!(self, p => p.peek_victim(set, blocks, ctx))
+    }
+}
+
+impl core::fmt::Debug for AnyPolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_tuple("AnyPolicy").field(&self.name()).finish()
+    }
+}
+
+macro_rules! impl_from_policy {
+    ($($variant:ident => $t:ty),* $(,)?) => {$(
+        impl From<$t> for AnyPolicy {
+            fn from(p: $t) -> AnyPolicy {
+                AnyPolicy::$variant(p)
+            }
+        }
+    )*};
+}
+
+impl_from_policy! {
+    Lru => lru::LruPolicy,
+    Random => random::RandomPolicy,
+    Srrip => srrip::SrripPolicy,
+    Ship => ship::ShipPolicy,
+    Hawkeye => hawkeye::HawkeyePolicy,
+    Ghrp => ghrp::GhrpPolicy,
+    Slru => slru::SlruPolicy,
+    Opt => opt::OptPolicy,
+}
+
+impl From<Box<dyn ReplacementPolicy>> for AnyPolicy {
+    fn from(p: Box<dyn ReplacementPolicy>) -> AnyPolicy {
+        AnyPolicy::Boxed(p)
     }
 }
 

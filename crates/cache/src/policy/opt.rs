@@ -88,7 +88,7 @@ mod tests {
     #[test]
     fn evicts_furthest_future_use() {
         let geom = CacheGeometry::from_sets_ways(1, 3);
-        let mut c = SetAssocCache::new(geom, Box::new(OptPolicy::new(geom)));
+        let mut c = SetAssocCache::new(geom, OptPolicy::new(geom));
         c.fill(&ctx_with(1, 10));
         c.fill(&ctx_with(2, 100));
         c.fill(&ctx_with(3, 50));
@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn never_reused_wins_eviction() {
         let geom = CacheGeometry::from_sets_ways(1, 2);
-        let mut c = SetAssocCache::new(geom, Box::new(OptPolicy::new(geom)));
+        let mut c = SetAssocCache::new(geom, OptPolicy::new(geom));
         c.fill(&ctx_with(1, NO_NEXT_USE));
         c.fill(&ctx_with(2, 5));
         let evicted = c.fill(&ctx_with(3, 7));
@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn hit_refreshes_next_use() {
         let geom = CacheGeometry::from_sets_ways(1, 2);
-        let mut c = SetAssocCache::new(geom, Box::new(OptPolicy::new(geom)));
+        let mut c = SetAssocCache::new(geom, OptPolicy::new(geom));
         c.fill(&ctx_with(1, 5));
         c.fill(&ctx_with(2, 50));
         // Block 1 is accessed; its *new* next use is far away.
@@ -128,7 +128,7 @@ mod tests {
         let oracle = acic_trace::ReuseOracle::from_sequence(&blocks);
 
         let mut misses_opt = 0;
-        let mut c = SetAssocCache::new(geom, Box::new(OptPolicy::new(geom)));
+        let mut c = SetAssocCache::new(geom, OptPolicy::new(geom));
         let mut cur = oracle.cursor();
         for (i, &b) in blocks.iter().enumerate() {
             let pos = cur.advance(b);
@@ -141,7 +141,7 @@ mod tests {
         }
 
         let mut misses_lru = 0;
-        let mut c = SetAssocCache::new(geom, Box::new(LruPolicy::new(geom)));
+        let mut c = SetAssocCache::new(geom, LruPolicy::new(geom));
         for (i, &b) in blocks.iter().enumerate() {
             let ctx = AccessCtx::demand(b, i as u64);
             if !c.access(&ctx) {
@@ -149,6 +149,9 @@ mod tests {
                 c.fill(&ctx);
             }
         }
-        assert!(misses_opt < misses_lru, "OPT {misses_opt} vs LRU {misses_lru}");
+        assert!(
+            misses_opt < misses_lru,
+            "OPT {misses_opt} vs LRU {misses_lru}"
+        );
     }
 }

@@ -85,6 +85,9 @@ mod tests {
         let p = RandomPolicy::new(geom, 1);
         let blocks: Vec<BlockAddr> = (0..4).map(BlockAddr::new).collect();
         let ctx = AccessCtx::demand(BlockAddr::new(7), 0);
-        assert_eq!(p.peek_victim(0, &blocks, &ctx), p.peek_victim(0, &blocks, &ctx));
+        assert_eq!(
+            p.peek_victim(0, &blocks, &ctx),
+            p.peek_victim(0, &blocks, &ctx)
+        );
     }
 }

@@ -82,7 +82,11 @@ impl ReplacementPolicy for ShipPolicy {
         let predicted_dead = self.shct[sig as usize].is_min();
         let i = self.idx(set, way);
         self.lines[i] = LineMeta {
-            rrpv: if predicted_dead { RRPV_MAX } else { RRPV_INSERT },
+            rrpv: if predicted_dead {
+                RRPV_MAX
+            } else {
+                RRPV_INSERT
+            },
             signature: sig,
             reused: false,
         };
@@ -141,7 +145,7 @@ mod tests {
     #[test]
     fn unreused_blocks_train_signature_down() {
         let geom = CacheGeometry::from_sets_ways(1, 2);
-        let mut c = SetAssocCache::new(geom, Box::new(ShipPolicy::new(geom)));
+        let mut c = SetAssocCache::new(geom, ShipPolicy::new(geom));
         // Fill and evict block 1 twice without reuse; its signature
         // counter (init 1) should hit 0.
         c.fill(&ctx(1, 0));
@@ -185,6 +189,9 @@ mod tests {
                     == ShipPolicy::signature(BlockAddr::new(i + 1_000_000))
             })
             .count();
-        assert!(collisions < 10, "too many signature collisions: {collisions}");
+        assert!(
+            collisions < 10,
+            "too many signature collisions: {collisions}"
+        );
     }
 }

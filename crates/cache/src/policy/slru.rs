@@ -118,14 +118,17 @@ mod tests {
     #[test]
     fn protected_blocks_survive_streaming() {
         let geom = CacheGeometry::from_sets_ways(1, 4);
-        let mut c = SetAssocCache::new(geom, Box::new(SlruPolicy::new(geom)));
+        let mut c = SetAssocCache::new(geom, SlruPolicy::new(geom));
         // Block 0 is hit (protected); blocks 1..=3 stream through.
         c.fill(&ctx(0, 0));
         c.access(&ctx(0, 1));
         for b in 1..10u64 {
             c.fill(&ctx(b, b + 1));
         }
-        assert!(c.contains(BlockAddr::new(0)), "protected line evicted by stream");
+        assert!(
+            c.contains(BlockAddr::new(0)),
+            "protected line evicted by stream"
+        );
     }
 
     #[test]

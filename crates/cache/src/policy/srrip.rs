@@ -25,7 +25,7 @@ pub const RRPV_INSERT: u8 = RRPV_MAX - 1;
 /// use acic_types::BlockAddr;
 ///
 /// let geom = CacheGeometry::from_sets_ways(1, 2);
-/// let mut c = SetAssocCache::new(geom, Box::new(SrripPolicy::new(geom)));
+/// let mut c = SetAssocCache::new(geom, SrripPolicy::new(geom));
 /// c.fill(&AccessCtx::demand(BlockAddr::new(1), 0));
 /// c.access(&AccessCtx::demand(BlockAddr::new(1), 1)); // promote to RRPV 0
 /// c.fill(&AccessCtx::demand(BlockAddr::new(2), 2));
@@ -127,7 +127,7 @@ mod tests {
     #[test]
     fn aging_finds_victim_eventually() {
         let geom = CacheGeometry::from_sets_ways(1, 4);
-        let mut c = SetAssocCache::new(geom, Box::new(SrripPolicy::new(geom)));
+        let mut c = SetAssocCache::new(geom, SrripPolicy::new(geom));
         for i in 0..4u64 {
             c.fill(&ctx(i, i));
             c.access(&ctx(i, 10 + i)); // all promoted to RRPV 0

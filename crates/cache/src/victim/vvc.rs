@@ -105,10 +105,7 @@ impl VvcIcache {
     }
 
     fn update_trace(trace: u16, block: BlockAddr) -> u16 {
-        (fold(
-            mix64((trace as u64) << 20 ^ block.raw()),
-            TRACE_BITS,
-        )) as u16
+        (fold(mix64((trace as u64) << 20 ^ block.raw()), TRACE_BITS)) as u16
     }
 
     fn find(&self, set: usize, block: BlockAddr) -> Option<usize> {
@@ -312,7 +309,9 @@ mod tests {
             assert!(out.hit);
             assert_eq!(out.extra_latency, VIRTUAL_HIT_LATENCY);
             // And it is back in its home set now.
-            assert!(v.find(v.geom.set_of(BlockAddr::new(0)), BlockAddr::new(0)).is_some());
+            assert!(v
+                .find(v.geom.set_of(BlockAddr::new(0)), BlockAddr::new(0))
+                .is_some());
         }
     }
 

@@ -248,10 +248,7 @@ impl IcacheContents for AcicIcache {
                 u.on_fetch(ctx.block);
             }
         }
-        let filter_hit = self
-            .filter
-            .as_mut()
-            .is_some_and(|f| f.access(ctx.block));
+        let filter_hit = self.filter.as_mut().is_some_and(|f| f.access(ctx.block));
         let hit = filter_hit || self.cache.access(ctx);
         if ctx.is_prefetch {
             self.stats.record_prefetch(hit);
@@ -308,6 +305,10 @@ impl IcacheContents for AcicIcache {
         self.predictor.tick(now);
     }
 
+    fn wants_tick(&self) -> bool {
+        true
+    }
+
     fn as_any(&self) -> &dyn core::any::Any {
         self
     }
@@ -320,6 +321,71 @@ mod tests {
 
     fn ctx(b: u64, i: u64) -> AccessCtx<'static> {
         AccessCtx::demand(BlockAddr::new(b), i)
+    }
+
+    #[test]
+    fn insert_delta_bucket_boundary_values() {
+        // Each (delta, bucket) pair sits exactly on a bucket edge of
+        // the Figure 3b histogram.
+        let cases: [(i128, usize); 16] = [
+            (i128::MIN, 0),
+            (-10_001, 0),
+            (-10_000, 0),
+            (-9_999, 1),
+            (-1_000, 1),
+            (-999, 2),
+            (-100, 2),
+            (-99, 3),
+            (-10, 3),
+            (-9, 4),
+            (-1, 4),
+            (0, 5),
+            (1, 6),
+            (9, 6),
+            (10_000, 10),
+            (i128::MAX, 10),
+        ];
+        for (delta, bucket) in cases {
+            assert_eq!(
+                insert_delta_bucket(delta),
+                bucket,
+                "delta {delta} must land in bucket {bucket}"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_delta_buckets_cover_and_partition() {
+        // Every delta lands in exactly one of the 11 labeled buckets,
+        // and bucket index is monotone in delta.
+        let mut prev = 0usize;
+        for delta in [
+            -20_000i128,
+            -10_000,
+            -5_000,
+            -1_000,
+            -500,
+            -100,
+            -50,
+            -10,
+            -5,
+            0,
+            5,
+            9,
+            50,
+            99,
+            500,
+            999,
+            5_000,
+            9_999,
+            10_000,
+            20_000,
+        ] {
+            let b = insert_delta_bucket(delta);
+            assert!(b < INSERT_DELTA_LABELS.len());
+            assert!(b >= prev, "bucket must not decrease at delta {delta}");
+            prev = b;
+        }
     }
 
     fn tiny_cfg() -> AcicConfig {
@@ -344,7 +410,7 @@ mod tests {
         a.fill(&ctx(1, 0));
         a.fill(&ctx(2, 1));
         a.fill(&ctx(3, 2)); // evicts 1 from the filter
-        // With invalid ways in the cache, admission is free.
+                            // With invalid ways in the cache, admission is free.
         assert_eq!(a.acic_stats().free_admissions, 1);
         assert!(a.cache().contains(BlockAddr::new(1)));
     }
@@ -398,10 +464,7 @@ mod tests {
         }
         assert!(a.acic_stats().decisions > 0);
         assert_eq!(a.acic_stats().admitted, 0);
-        assert_eq!(
-            a.acic_stats().bypassed,
-            a.acic_stats().decisions
-        );
+        assert_eq!(a.acic_stats().bypassed, a.acic_stats().decisions);
     }
 
     #[test]

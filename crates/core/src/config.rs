@@ -123,16 +123,28 @@ impl AcicConfig {
     /// Panics on inconsistent parameters (non-divisible CSHR sets,
     /// zero HRT, oversized fields).
     pub fn validate(&self) {
-        assert!(self.hrt_entries.is_power_of_two(), "HRT entries must be a power of two");
+        assert!(
+            self.hrt_entries.is_power_of_two(),
+            "HRT entries must be a power of two"
+        );
         assert!((1..=16).contains(&self.history_bits), "history bits 1..=16");
-        assert!((1..=16).contains(&self.pt_counter_bits), "counter bits 1..=16");
-        assert!(self.cshr_sets.is_power_of_two(), "CSHR sets must be a power of two");
+        assert!(
+            (1..=16).contains(&self.pt_counter_bits),
+            "counter bits 1..=16"
+        );
+        assert!(
+            self.cshr_sets.is_power_of_two(),
+            "CSHR sets must be a power of two"
+        );
         assert_eq!(
             self.cshr_entries % self.cshr_sets,
             0,
             "CSHR entries must divide evenly into sets"
         );
-        assert!((1..=16).contains(&self.cshr_tag_bits), "CSHR tag bits 1..=16");
+        assert!(
+            (1..=16).contains(&self.cshr_tag_bits),
+            "CSHR tag bits 1..=16"
+        );
     }
 
     /// i-Filter storage in bits: per entry, 58 tag bits + 1 valid +
@@ -162,13 +174,19 @@ impl AcicConfig {
     /// CSHR storage in bits: two partial tags, a valid bit and LRU
     /// bits per entry.
     pub fn cshr_bits(&self) -> u64 {
-        let lru_bits = (self.cshr_ways() as u64).next_power_of_two().trailing_zeros() as u64;
+        let lru_bits = (self.cshr_ways() as u64)
+            .next_power_of_two()
+            .trailing_zeros() as u64;
         self.cshr_entries as u64 * (2 * self.cshr_tag_bits as u64 + 1 + lru_bits)
     }
 
     /// Total added storage in bits (Table I's bottom line).
     pub fn storage_bits(&self) -> u64 {
-        self.filter_bits() + self.hrt_bits() + self.pt_bits() + self.pt_queue_bits() + self.cshr_bits()
+        self.filter_bits()
+            + self.hrt_bits()
+            + self.pt_bits()
+            + self.pt_queue_bits()
+            + self.cshr_bits()
     }
 
     /// Total added storage in KiB.
@@ -198,7 +216,11 @@ mod tests {
     #[test]
     fn table_one_total_is_2_67_kb() {
         let cfg = AcicConfig::default();
-        assert!((cfg.storage_kib() - 2.67).abs() < 0.01, "{}", cfg.storage_kib());
+        assert!(
+            (cfg.storage_kib() - 2.67).abs() < 0.01,
+            "{}",
+            cfg.storage_kib()
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@
 use crate::filter::IFilter;
 use acic_cache::bypass::AdmissionPolicy;
 use acic_cache::policy::PolicyKind;
-use acic_cache::{AccessCtx, AccessOutcome, CacheGeometry, CacheStats, IcacheContents, SetAssocCache};
+use acic_cache::{
+    AccessCtx, AccessOutcome, CacheGeometry, CacheStats, IcacheContents, SetAssocCache,
+};
 use acic_types::BlockAddr;
 
 /// An i-cache fronted by an i-Filter whose victims pass through an

@@ -183,10 +183,7 @@ impl AdmissionPredictor {
                 pt: vec![SatCounter::new_weakly_high(cfg.pt_counter_bits); cfg.pt_entries()],
             },
             PredictorKind::Bimodal => AdmissionPredictor::Bimodal {
-                table: vec![
-                    SatCounter::new_weakly_high(cfg.pt_counter_bits);
-                    cfg.hrt_entries
-                ],
+                table: vec![SatCounter::new_weakly_high(cfg.pt_counter_bits); cfg.hrt_entries],
             },
             PredictorKind::Random { seed, num, denom } => AdmissionPredictor::Random {
                 rng: SplitMix64::new(seed),
@@ -300,7 +297,10 @@ mod tests {
             p.train(ptag, outcome, 0);
             outcome = !outcome;
         }
-        assert!(correct >= 18, "two-level should track alternation: {correct}/20");
+        assert!(
+            correct >= 18,
+            "two-level should track alternation: {correct}/20"
+        );
     }
 
     #[test]
@@ -369,7 +369,11 @@ mod tests {
         }
         pipe.flush();
         for pattern in 0..16 {
-            assert_eq!(inst.pt_value(pattern), pipe.pt_value(pattern), "pattern {pattern}");
+            assert_eq!(
+                inst.pt_value(pattern),
+                pipe.pt_value(pattern),
+                "pattern {pattern}"
+            );
         }
     }
 

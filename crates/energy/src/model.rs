@@ -95,11 +95,10 @@ impl EnergyModel {
         if is_acic {
             // Every demand access probes the i-Filter and searches the
             // CSHR; every decision touches HRT/PT.
-            dynamic_pj += report.l1i.demand_accesses as f64
-                * (self.ifilter_access_pj + self.cshr_event_pj);
+            dynamic_pj +=
+                report.l1i.demand_accesses as f64 * (self.ifilter_access_pj + self.cshr_event_pj);
             if let Some(acic) = &report.acic {
-                dynamic_pj +=
-                    (acic.decisions * 2) as f64 * self.predictor_event_pj;
+                dynamic_pj += (acic.decisions * 2) as f64 * self.predictor_event_pj;
             }
             leakage_w += self.acic_leakage_w;
         }

@@ -148,7 +148,7 @@ mod tests {
     }
 
     #[test]
-    fn in_order_retirement_blocks_on_slow_head(){
+    fn in_order_retirement_blocks_on_slow_head() {
         let (mut b, mut m) = backend();
         // A cold load followed by fast ALUs: nothing retires until the
         // load completes.

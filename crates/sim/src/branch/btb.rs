@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn conflict_eviction_is_lru() {
         let mut b = Btb::new(4, 2); // 2 sets x 2 ways
-        // These three PCs map to the same set (stride = sets * 4 = 8).
+                                    // These three PCs map to the same set (stride = sets * 4 = 8).
         let pcs = [0x0u64, 0x8, 0x10];
         b.update(Addr::new(pcs[0]), Addr::new(1 << 6));
         b.update(Addr::new(pcs[1]), Addr::new(2 << 6));

@@ -241,15 +241,13 @@ impl FrontEnd {
                         }
                     }
                 }
-                BranchClass::Direct | BranchClass::Call => {
-                    match self.btb.lookup(instr.pc) {
-                        Some(t) if t == target => {}
-                        _ => {
-                            bubble += self.btb_miss_penalty;
-                            self.btb.update(instr.pc, target);
-                        }
+                BranchClass::Direct | BranchClass::Call => match self.btb.lookup(instr.pc) {
+                    Some(t) if t == target => {}
+                    _ => {
+                        bubble += self.btb_miss_penalty;
+                        self.btb.update(instr.pc, target);
                     }
-                }
+                },
                 BranchClass::Return => {
                     // Idealized return address stack: always correct.
                 }
@@ -344,12 +342,7 @@ mod tests {
         let cfg = SimConfig::default();
         let mut fe = FrontEnd::new(&cfg);
         // An indirect branch with no BTB entry: guaranteed mispredict.
-        let br = Instr::branch(
-            Addr::new(0),
-            Addr::new(0x100),
-            true,
-            BranchClass::Indirect,
-        );
+        let br = Instr::branch(Addr::new(0), Addr::new(0x100), true, BranchClass::Indirect);
         fe.bpu_cycle(0, || Some(run_of(vec![br])));
         assert_eq!(fe.ftq.len(), 1);
         // Stalled: further cycles do nothing.
@@ -376,12 +369,7 @@ mod tests {
     fn indirect_with_stable_target_learns() {
         let cfg = SimConfig::default();
         let mut fe = FrontEnd::new(&cfg);
-        let br = Instr::branch(
-            Addr::new(0),
-            Addr::new(0x100),
-            true,
-            BranchClass::Indirect,
-        );
+        let br = Instr::branch(Addr::new(0), Addr::new(0x100), true, BranchClass::Indirect);
         // First encounter mispredicts; resolve it.
         fe.bpu_cycle(0, || Some(run_of(vec![br])));
         fe.on_branch_resolved(0, 5);

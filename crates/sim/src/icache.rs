@@ -85,11 +85,9 @@ impl IcacheOrg {
                 Box::new(PlainIcache::new(CacheGeometry::l1i_36k(), PolicyKind::Lru))
             }
             IcacheOrg::Opt => Box::new(PlainIcache::new(geom, PolicyKind::Opt)),
-            IcacheOrg::OptBypass => Box::new(FilteredIcache::new(
-                geom,
-                16,
-                Box::new(OptBypassAdmission),
-            )),
+            IcacheOrg::OptBypass => {
+                Box::new(FilteredIcache::new(geom, 16, Box::new(OptBypassAdmission)))
+            }
             IcacheOrg::IFilterAlways => {
                 Box::new(FilteredIcache::new(geom, 16, Box::new(AlwaysAdmit)))
             }
@@ -148,10 +146,11 @@ mod tests {
 
     #[test]
     fn every_org_builds() {
-        for org in IcacheOrg::figure10_set()
-            .into_iter()
-            .chain([IcacheOrg::Lru, IcacheOrg::IFilterAlways, IcacheOrg::AccessCount])
-        {
+        for org in IcacheOrg::figure10_set().into_iter().chain([
+            IcacheOrg::Lru,
+            IcacheOrg::IFilterAlways,
+            IcacheOrg::AccessCount,
+        ]) {
             let contents = org.build(7);
             assert!(!contents.label().is_empty());
             assert!(!org.label().is_empty());

@@ -34,6 +34,7 @@ pub mod backend;
 pub mod branch;
 pub mod config;
 pub mod frontend;
+pub mod functional;
 pub mod icache;
 pub mod mem;
 pub mod prefetch;
@@ -43,6 +44,7 @@ pub mod simulator;
 pub use branch::btb::Btb;
 pub use branch::tage::Tage;
 pub use config::{PrefetcherKind, SimConfig};
+pub use functional::{run_functional, run_unbatched, FunctionalReport};
 pub use icache::IcacheOrg;
 pub use report::{BranchStats, PrefetchStats, SimReport};
 pub use simulator::Simulator;

@@ -105,10 +105,7 @@ impl Entangling {
 
     fn slot_of(block: BlockAddr) -> (usize, u32) {
         let h = mix64(block.raw());
-        (
-            fold(h, 12) as usize,
-            (fold(h ^ 0xe47a, 16)) as u32,
-        )
+        (fold(h, 12) as usize, (fold(h ^ 0xe47a, 16)) as u32)
     }
 
     fn on_demand_fetch(&mut self, block: BlockAddr, now: Cycle) {

@@ -117,9 +117,11 @@ mod tests {
     use super::*;
 
     fn report(cycles: u64, instrs: u64, misses: u64) -> SimReport {
-        let mut l1i = CacheStats::default();
-        l1i.demand_accesses = misses;
-        l1i.demand_misses = misses;
+        let l1i = CacheStats {
+            demand_accesses: misses,
+            demand_misses: misses,
+            ..CacheStats::default()
+        };
         SimReport {
             measured_cycles: cycles,
             measured_instructions: instrs,

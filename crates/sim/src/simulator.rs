@@ -31,6 +31,8 @@ impl Simulator {
     pub fn run<W: TraceSource>(cfg: &SimConfig, workload: &W) -> SimReport {
         let needs_oracle = cfg.icache_org.needs_oracle() || cfg.attach_oracle;
         let (oracle, total_instructions) = if needs_oracle {
+            // The oracle pre-pass has to walk the trace anyway; count
+            // instructions while materializing the block sequence.
             let mut total = 0u64;
             let mut seq = Vec::new();
             for r in BlockRuns::new(workload.iter()) {
@@ -39,23 +41,26 @@ impl Simulator {
             }
             (Some(ReuseOracle::from_sequence(&seq)), total)
         } else {
-            (None, workload.iter().count() as u64)
+            // No oracle: take the source's exact length when it knows
+            // it (synthetic workloads and in-memory traces do), and
+            // only fall back to a counting pass for sources that
+            // cannot answer without walking. Regenerating a synthetic
+            // trace just to count it used to double the cost of every
+            // non-oracle simulation.
+            let total = workload
+                .len_hint()
+                .unwrap_or_else(|| workload.iter().count() as u64);
+            (None, total)
         };
         let mut cursor = oracle.as_ref().map(|o| o.cursor());
 
-        let seed = acic_types::hash::mix64(
-            workload
-                .name()
-                .bytes()
-                .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64)),
-        );
-        let mut contents = cfg.icache_org.build(seed);
+        let mut contents = cfg.icache_org.build(workload.seed());
         if cfg.unbounded_cshr {
             if let crate::icache::IcacheOrg::Acic(acic_cfg) = &cfg.icache_org {
-                contents =
-                    Box::new(AcicIcache::new(*acic_cfg).with_unbounded_instrumentation());
+                contents = Box::new(AcicIcache::new(*acic_cfg).with_unbounded_instrumentation());
             }
         }
+        let wants_tick = contents.wants_tick();
         let mut frontend = FrontEnd::new(cfg);
         let mut backend = Backend::new(cfg);
         let mut mem = MemoryHierarchy::new(cfg);
@@ -79,7 +84,10 @@ impl Simulator {
 
         loop {
             now += 1;
-            assert!(now < max_cycles, "simulation exceeded cycle bound (deadlock?)");
+            assert!(
+                now < max_cycles,
+                "simulation exceeded cycle bound (deadlock?)"
+            );
 
             // Backend: retire, then dispatch.
             backend.retire(now);
@@ -204,8 +212,7 @@ impl Simulator {
                     let future = cursor
                         .as_ref()
                         .map_or(NO_NEXT_USE, |c| c.future_use_of(block));
-                    let mut ctx =
-                        AccessCtx::prefetch(block, access_index).with_next_use(future);
+                    let mut ctx = AccessCtx::prefetch(block, access_index).with_next_use(future);
                     if let Some(c) = cursor.as_ref() {
                         ctx = ctx.with_oracle(c);
                     }
@@ -213,7 +220,9 @@ impl Simulator {
                 }
             }
 
-            contents.tick(now);
+            if wants_tick {
+                contents.tick(now);
+            }
 
             // Warm-up snapshot.
             if warm_snapshot.is_none() && backend.retired >= warmup_instrs {
@@ -299,7 +308,10 @@ mod tests {
         let trace = acic_trace::VecTrace::with_name(instrs, "tiny");
         let r = Simulator::run(&SimConfig::default(), &trace);
         assert_eq!(r.total_instructions, 16);
-        assert_eq!(r.l1i.demand_misses + r.l1i.demand_hits(), r.l1i.demand_accesses);
+        assert_eq!(
+            r.l1i.demand_misses + r.l1i.demand_hits(),
+            r.l1i.demand_accesses
+        );
     }
 
     #[test]

@@ -152,7 +152,9 @@ impl Instr {
     pub fn next_pc(&self) -> Addr {
         match self.kind {
             InstrKind::Branch {
-                target, taken: true, ..
+                target,
+                taken: true,
+                ..
             } => target,
             _ => self.pc + 4,
         }

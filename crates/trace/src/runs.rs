@@ -171,7 +171,9 @@ mod tests {
     use acic_types::Addr;
 
     fn seq_alu(n: u64, base: u64) -> Vec<Instr> {
-        (0..n).map(|i| Instr::alu(Addr::new(base + i * 4))).collect()
+        (0..n)
+            .map(|i| Instr::alu(Addr::new(base + i * 4)))
+            .collect()
     }
 
     #[test]

@@ -26,6 +26,31 @@ pub trait TraceSource {
     fn name(&self) -> &str {
         "trace"
     }
+
+    /// Exact instruction count, when the source knows it without
+    /// walking the trace.
+    ///
+    /// Simulators use this to size warm-up windows and cycle bounds
+    /// without a counting pre-pass; sources that would have to
+    /// materialize the stream to answer should return `None` (the
+    /// simulator then falls back to counting).
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Deterministic seed derived from the trace's name.
+    ///
+    /// Every simulation path (timing and functional) seeds stochastic
+    /// organization components from this one value, so the same
+    /// workload produces the same behavior everywhere — keep all
+    /// callers on this method rather than hand-rolling the hash.
+    fn seed(&self) -> u64 {
+        acic_types::hash::mix64(
+            self.name()
+                .bytes()
+                .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64)),
+        )
+    }
 }
 
 /// An in-memory trace, mainly for tests and examples.
@@ -63,6 +88,19 @@ impl VecTrace {
         }
     }
 
+    /// Materializes another source into memory (keeping its name).
+    ///
+    /// Generated sources (the synthetic workloads) pay the generator
+    /// cost on every pass; materializing once turns repeat
+    /// simulations over the same trace — policy sweeps, throughput
+    /// benchmarks — into cheap slice iteration.
+    pub fn from_source<S: TraceSource>(source: &S) -> Self {
+        VecTrace {
+            instrs: source.iter().collect(),
+            name: source.name().to_string(),
+        }
+    }
+
     /// Number of instructions.
     pub fn len(&self) -> usize {
         self.instrs.len()
@@ -83,6 +121,10 @@ impl TraceSource for VecTrace {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.instrs.len() as u64)
     }
 }
 

@@ -119,7 +119,9 @@ mod tests {
         // Deterministic pseudo-random updates.
         let mut x: u64 = 0x12345;
         for _ in 0..200 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let pos = (x >> 33) as usize % 32;
             let delta = ((x >> 17) as i64 % 7) - 3;
             t.add(pos, delta);

@@ -102,6 +102,12 @@ impl TraceSource for SyntheticWorkload {
     fn name(&self) -> &str {
         &self.profile.name
     }
+
+    fn len_hint(&self) -> Option<u64> {
+        // The walker is infinite and truncated by `take`, so the
+        // budget is exact — no counting pass needed.
+        Some(self.instructions)
+    }
 }
 
 #[cfg(test)]

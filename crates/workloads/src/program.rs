@@ -339,12 +339,7 @@ fn align_block(addr: u64) -> u64 {
     addr.next_multiple_of(BLOCK_BYTES)
 }
 
-fn push_segment(
-    segments: &mut Vec<Segment>,
-    cursor: &mut u64,
-    body_instrs: u32,
-    term: Terminator,
-) {
+fn push_segment(segments: &mut Vec<Segment>, cursor: &mut u64, body_instrs: u32, term: Terminator) {
     let seg = Segment {
         start: Addr::new(*cursor),
         body_instrs,
@@ -387,7 +382,7 @@ fn gen_function(
             // repeat that count exactly, which is what makes their
             // exits predictable.
             let expected = (profile.loop_taken_prob / (1.0 - profile.loop_taken_prob)).round();
-            let nominal = (expected as u32).clamp(2, 24) + rng.gen_range(0..3);
+            let nominal = (expected as u32).clamp(2, 24) + rng.gen_range(0..3u32);
             Terminator::LoopBack {
                 to: s.saturating_sub(span),
                 taken_prob: profile.loop_taken_prob,

@@ -76,8 +76,7 @@ impl<'a> Walker<'a> {
             // Heap: zipf-ish power-law over the footprint.
             let u: f64 = self.rng.gen_range(0.0..1.0f64);
             let s = self.profile.heap_skew.min(0.99);
-            let block =
-                (self.profile.heap_blocks as f64 * u.powf(1.0 / (1.0 - s))) as u64;
+            let block = (self.profile.heap_blocks as f64 * u.powf(1.0 / (1.0 - s))) as u64;
             let block = block.min(self.profile.heap_blocks - 1);
             Addr::new(HEAP_BASE + block * 64 + self.rng.gen_range(0..8u64) * 8)
         }
@@ -191,7 +190,10 @@ impl<'a> Walker<'a> {
                 } else {
                     // Virtual dispatch is stable per request type.
                     let h = acic_types::hash::mix2(branch_pc.raw(), self.current_type as u64);
-                    (callees[(h % callees.len() as u64) as usize], BranchClass::Indirect)
+                    (
+                        callees[(h % callees.len() as u64) as usize],
+                        BranchClass::Indirect,
+                    )
                 };
                 let target = self.program.functions[callee].base;
                 self.buf

@@ -36,7 +36,10 @@ fn main() {
     }
     results.sort_by(|a, b| b.1.total_cmp(&a.1));
 
-    println!("{:<24} {:>8} {:>14}", "organization", "speedup", "MPKI reduction");
+    println!(
+        "{:<24} {:>8} {:>14}",
+        "organization", "speedup", "MPKI reduction"
+    );
     for (label, speedup, reduction) in results {
         println!("{label:<24} {speedup:>8.4} {:>13.1}%", reduction * 100.0);
     }

@@ -10,8 +10,7 @@ fn main() {
     // 1. Pick a workload profile (the paper's media-streaming-like
     //    application) and generate a deterministic 1M-instruction
     //    synthetic trace.
-    let workload =
-        SyntheticWorkload::with_instructions(AppProfile::media_streaming(), 1_000_000);
+    let workload = SyntheticWorkload::with_instructions(AppProfile::media_streaming(), 1_000_000);
     println!(
         "workload: {} ({} code blocks, {} request types)",
         workload.profile().name,

@@ -133,16 +133,46 @@ fn storage_accounting_matches_paper_table_one() {
 #[test]
 fn sensitivity_configs_are_all_constructible() {
     for cfg in [
-        AcicConfig { hrt_entries: 2048, ..AcicConfig::default() },
-        AcicConfig { hrt_entries: 512, ..AcicConfig::default() },
-        AcicConfig { history_bits: 8, ..AcicConfig::default() },
-        AcicConfig { history_bits: 10, ..AcicConfig::default() },
-        AcicConfig { pt_counter_bits: 2, ..AcicConfig::default() },
-        AcicConfig { pt_counter_bits: 8, ..AcicConfig::default() },
-        AcicConfig { filter_entries: 8, ..AcicConfig::default() },
-        AcicConfig { filter_entries: 32, ..AcicConfig::default() },
-        AcicConfig { cshr_tag_bits: 7, ..AcicConfig::default() },
-        AcicConfig { cshr_tag_bits: 15, ..AcicConfig::default() },
+        AcicConfig {
+            hrt_entries: 2048,
+            ..AcicConfig::default()
+        },
+        AcicConfig {
+            hrt_entries: 512,
+            ..AcicConfig::default()
+        },
+        AcicConfig {
+            history_bits: 8,
+            ..AcicConfig::default()
+        },
+        AcicConfig {
+            history_bits: 10,
+            ..AcicConfig::default()
+        },
+        AcicConfig {
+            pt_counter_bits: 2,
+            ..AcicConfig::default()
+        },
+        AcicConfig {
+            pt_counter_bits: 8,
+            ..AcicConfig::default()
+        },
+        AcicConfig {
+            filter_entries: 8,
+            ..AcicConfig::default()
+        },
+        AcicConfig {
+            filter_entries: 32,
+            ..AcicConfig::default()
+        },
+        AcicConfig {
+            cshr_tag_bits: 7,
+            ..AcicConfig::default()
+        },
+        AcicConfig {
+            cshr_tag_bits: 15,
+            ..AcicConfig::default()
+        },
     ] {
         let icache = AcicIcache::new(cfg);
         assert!(icache.config().storage_bits() > 0);

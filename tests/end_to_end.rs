@@ -19,10 +19,7 @@ fn simulation_is_deterministic_across_processes_and_runs() {
     assert_eq!(a.total_cycles, b.total_cycles);
     assert_eq!(a.l1i.demand_misses, b.l1i.demand_misses);
     assert_eq!(a.branch.mispredicts, b.branch.mispredicts);
-    assert_eq!(
-        a.acic.unwrap().decisions,
-        b.acic.unwrap().decisions
-    );
+    assert_eq!(a.acic.unwrap().decisions, b.acic.unwrap().decisions);
 }
 
 #[test]

@@ -67,7 +67,9 @@ fn ship_beats_lru_on_cyclic_thrash() {
 fn policies_agree_on_pure_lru_friendly_pattern() {
     // A working set that fits: after the cold pass, nobody misses.
     let geom = CacheGeometry::from_sets_ways(2, 4);
-    let seq: Vec<u64> = (0..50).flat_map(|_| (0u64..8).collect::<Vec<_>>()).collect();
+    let seq: Vec<u64> = (0..50)
+        .flat_map(|_| (0u64..8).collect::<Vec<_>>())
+        .collect();
     for kind in [
         PolicyKind::Lru,
         PolicyKind::Srrip,

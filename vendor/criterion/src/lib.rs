@@ -1,0 +1,213 @@
+//! Minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the surface the workspace's benches use:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `throughput` / `finish`, and a wall-clock
+//! [`Bencher`]. Each benchmark auto-calibrates an iteration count to a
+//! ~300 ms sample, takes `sample_size` samples, and prints the median
+//! time per iteration plus derived throughput.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration (printed as elem/s).
+    Elements(u64),
+    /// Bytes processed per iteration (printed as B/s).
+    Bytes(u64),
+}
+
+/// Times closures under [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the routine `iters` times and records the total elapsed
+    /// wall-clock time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(f: &mut dyn FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn format_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn format_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+fn bench_impl(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Calibrate: grow the iteration count until one sample takes at
+    // least ~50 ms, then size samples to ~300 ms each.
+    let mut iters = 1u64;
+    let per_iter_ns = loop {
+        let t = run_one(f, iters);
+        if t >= Duration::from_millis(50) || iters >= 1 << 24 {
+            break (t.as_nanos() as f64 / iters as f64).max(0.1);
+        }
+        iters = iters.saturating_mul(4);
+    };
+    let sample_iters = ((3e8 / per_iter_ns) as u64).clamp(1, 1 << 24);
+    let mut samples: Vec<f64> = (0..sample_size.max(1))
+        .map(|_| run_one(f, sample_iters).as_nanos() as f64 / sample_iters as f64)
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let best = samples[0];
+    let worst = samples[samples.len() - 1];
+
+    let mut line = format!(
+        "{name:<40} time: [{} {} {}]",
+        format_time(best),
+        format_time(median),
+        format_time(worst)
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_sec = count as f64 * 1e9 / median;
+        line.push_str(&format!(" thrpt: [{}]", format_rate(per_sec, unit)));
+    }
+    println!("{line}");
+}
+
+/// Benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks a single routine under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        bench_impl(name, 10, None, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks one routine within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        bench_impl(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_elapsed() {
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(format_time(2.5e9).ends_with(" s"));
+        assert!(format_time(1500.0).contains("µs"));
+        assert!(format_rate(2e6, "elem").contains("Melem/s"));
+    }
+}
