@@ -1,0 +1,7 @@
+//! Bench target regenerating the multi-tenant scenario output.
+//! Run: `cargo bench -p acic-bench --bench multi_tenant`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/cell).
+
+fn main() {
+    println!("{}", acic_bench::figures::multi_tenant());
+}

@@ -17,8 +17,11 @@ use acic_cache::policy::PolicyKind;
 use acic_cache::{AccessCtx, CacheGeometry, SetAssocCache};
 use acic_sim::{functional, IcacheOrg, SimConfig, Simulator};
 use acic_trace::{BlockRuns, TraceSource, VecTrace};
-use acic_workloads::{AppProfile, SyntheticWorkload};
+use acic_workloads::{AppProfile, MultiTenantWorkload, SyntheticWorkload};
 use std::time::Instant;
+
+/// Context-switch quantum used by the multi-tenant baseline leg.
+const MT_QUANTUM: u64 = 20_000;
 
 /// Instruction budget for baseline measurement:
 /// `ACIC_BASELINE_INSTRUCTIONS` or 1 M.
@@ -38,7 +41,7 @@ pub fn run_naive_boxed<W: TraceSource>(kind: PolicyKind, workload: &W) -> u64 {
     let mut i = 0u64;
     for instr in workload.iter() {
         i += 1;
-        let ctx = AccessCtx::demand(instr.pc.block(), i);
+        let ctx = AccessCtx::demand(instr.pc().block(), i);
         if !cache.access(&ctx) {
             cache.fill(&ctx);
         }
@@ -128,6 +131,44 @@ fn measure_org(
     }
 }
 
+struct MtRow {
+    label: &'static str,
+    functional_ips: f64,
+    mpki: f64,
+    context_switches: u64,
+}
+
+/// Multi-tenant functional-loop throughput: a 2-tenant interleave
+/// driven through the run-batched loop for the three scenario
+/// organizations. Extends the perf trajectory to the context-switch
+/// path (flush cost, tagged tag-match cost).
+fn measure_multi_tenant(instructions: u64) -> (VecTrace, Vec<MtRow>) {
+    let mt = MultiTenantWorkload::new(MT_QUANTUM)
+        .tenant(AppProfile::web_search(), instructions / 2)
+        .tenant(AppProfile::tpc_c(), instructions / 2)
+        .build();
+    // Materialize so the rows measure simulation, not generation.
+    let trace = VecTrace::from_source(&mt);
+    let n = trace.len() as f64;
+    let rows = [
+        ("lru_flush", IcacheOrg::LruFlush),
+        ("lru_asid", IcacheOrg::Lru),
+        ("acic_asid", IcacheOrg::acic_default()),
+    ]
+    .into_iter()
+    .map(|(label, org)| {
+        let (secs, report) = time(|| functional::run_functional(&org, &trace));
+        MtRow {
+            label,
+            functional_ips: n / secs,
+            mpki: report.l1i_mpki(),
+            context_switches: report.context_switches,
+        }
+    })
+    .collect();
+    (trace, rows)
+}
+
 /// Runs the baseline measurement and renders it as a JSON document.
 pub fn measure_baseline() -> String {
     let instructions = baseline_instructions();
@@ -160,12 +201,19 @@ pub fn measure_baseline() -> String {
             instructions,
         ),
     ];
-    render_json(instructions, &workload, &rows)
+    let (mt_trace, mt_rows) = measure_multi_tenant(instructions);
+    render_json(instructions, &workload, &rows, &mt_trace, &mt_rows)
 }
 
-fn render_json(instructions: u64, workload: &VecTrace, rows: &[OrgRow]) -> String {
+fn render_json(
+    instructions: u64,
+    workload: &VecTrace,
+    rows: &[OrgRow],
+    mt_trace: &VecTrace,
+    mt_rows: &[MtRow],
+) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"acic-throughput-baseline/v1\",\n");
+    out.push_str("  \"schema\": \"acic-throughput-baseline/v2\",\n");
     out.push_str(&format!("  \"instructions\": {instructions},\n"));
     out.push_str(&format!("  \"workload\": \"{}\",\n", workload.name()));
     out.push_str("  \"trace_materialized\": true,\n");
@@ -193,7 +241,30 @@ fn render_json(instructions: u64, workload: &VecTrace, rows: &[OrgRow]) -> Strin
             "    },\n"
         });
     }
-    out.push_str("  }\n}\n");
+    out.push_str("  },\n");
+    out.push_str("  \"multi_tenant\": {\n");
+    out.push_str(&format!("    \"workload\": \"{}\",\n", mt_trace.name()));
+    out.push_str(&format!("    \"quantum\": {MT_QUANTUM},\n"));
+    out.push_str("    \"path\": \"functional_batched\",\n");
+    out.push_str("    \"orgs\": {\n");
+    for (i, r) in mt_rows.iter().enumerate() {
+        out.push_str(&format!("      \"{}\": {{\n", r.label));
+        out.push_str(&format!(
+            "        \"functional_ips\": {:.0},\n",
+            r.functional_ips
+        ));
+        out.push_str(&format!("        \"mpki\": {:.3},\n", r.mpki));
+        out.push_str(&format!(
+            "        \"context_switches\": {}\n",
+            r.context_switches
+        ));
+        out.push_str(if i + 1 == mt_rows.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    out.push_str("    }\n  }\n}\n");
     out
 }
 
@@ -215,8 +286,16 @@ mod tests {
             timing_ips: 5e5,
             batched_over_naive: 2.5,
         }];
-        let j = render_json(1_000, &wl, &rows);
-        assert!(j.contains("\"schema\": \"acic-throughput-baseline/v1\""));
+        let mt_rows = vec![MtRow {
+            label: "lru_flush",
+            functional_ips: 1e6,
+            mpki: 12.0,
+            context_switches: 9,
+        }];
+        let j = render_json(1_000, &wl, &rows, &wl, &mt_rows);
+        assert!(j.contains("\"schema\": \"acic-throughput-baseline/v2\""));
+        assert!(j.contains("\"multi_tenant\""));
+        assert!(j.contains("\"context_switches\": 9"));
         assert!(j.contains("\"naive_path\": \"boxed_unbatched\""));
         assert!(j.contains("\"devirt_batched_ips\": 2500000"));
         assert_eq!(

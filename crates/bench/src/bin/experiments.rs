@@ -1,12 +1,22 @@
 //! Runs every experiment in sequence (the data behind EXPERIMENTS.md).
 //!
-//! Usage: `cargo run --release -p acic-bench --bin experiments [filter]`
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p acic-bench --bin experiments              # all
+//! cargo run --release -p acic-bench --bin experiments --list      # names only
+//! cargo run --release -p acic-bench --bin experiments --only fig13_admit_rate
+//! cargo run --release -p acic-bench --bin experiments fig1        # substring filter
+//! ```
+//!
+//! `--only` matches one figure by exact name (and fails loudly on a
+//! typo, unlike the substring filter); `--list` prints the runnable
+//! names without simulating anything.
 
 type Experiment = (&'static str, fn() -> String);
 
-fn main() {
-    let filter = std::env::args().nth(1).unwrap_or_default();
-    let all: Vec<Experiment> = vec![
+fn all_experiments() -> Vec<Experiment> {
+    vec![
         ("table1_storage", acic_bench::figures::table1_storage),
         ("table2_config", acic_bench::figures::table2_config),
         ("table3_mpki", acic_bench::figures::table3_mpki),
@@ -45,12 +55,46 @@ fn main() {
             "fig20_21_entangling",
             acic_bench::figures::fig20_21_entangling,
         ),
+        ("multi_tenant", acic_bench::figures::multi_tenant),
         ("energy_summary", acic_bench::figures::energy_summary),
-    ];
-    for (name, f) in all {
-        if !filter.is_empty() && !name.contains(&filter) {
-            continue;
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = all_experiments();
+
+    if args.iter().any(|a| a == "--list") {
+        for (name, _) in &all {
+            println!("{name}");
         }
+        return;
+    }
+
+    let selected: Vec<Experiment> = if let Some(pos) = args.iter().position(|a| a == "--only") {
+        let Some(wanted) = args.get(pos + 1) else {
+            eprintln!("--only requires a figure name (see --list)");
+            std::process::exit(2);
+        };
+        match all.iter().find(|(name, _)| name == wanted) {
+            Some(&exp) => vec![exp],
+            None => {
+                eprintln!("unknown figure '{wanted}'; runnable figures:");
+                for (name, _) in &all {
+                    eprintln!("  {name}");
+                }
+                std::process::exit(2);
+            }
+        }
+    } else {
+        // Legacy positional substring filter (empty = everything).
+        let filter = args.first().cloned().unwrap_or_default();
+        all.into_iter()
+            .filter(|(name, _)| filter.is_empty() || name.contains(&filter))
+            .collect()
+    };
+
+    for (name, f) in selected {
         let start = std::time::Instant::now();
         println!("==== {name} ====");
         println!("{}", f());

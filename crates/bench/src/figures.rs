@@ -1,7 +1,9 @@
 //! One function per paper figure/table; each returns the formatted
 //! text its bench target prints.
 
-use crate::runner::{instruction_budget, markdown_table, run_config, short_name, Runner};
+use crate::runner::{
+    instruction_budget, markdown_table, run_config, short_name, Runner, WorkloadSpec,
+};
 use acic_core::acic::{ACCURACY_BOUNDS, INSERT_DELTA_LABELS};
 use acic_core::{AcicConfig, PredictorKind, UpdateMode};
 use acic_energy::{storage_table_rows, EnergyModel};
@@ -42,7 +44,7 @@ pub fn fig01a_reuse_hist() -> String {
     let mut rows = Vec::new();
     for p in dc_apps() {
         let wl = SyntheticWorkload::with_instructions(p, n);
-        let blocks: Vec<_> = wl.iter().map(|i| i.pc.block()).collect();
+        let blocks: Vec<_> = wl.iter().map(|i| i.pc().block()).collect();
         let h = StackDistanceAnalyzer::histogram(&blocks);
         let f = h.fractions();
         let mut cells = vec![wl.name().to_string()];
@@ -214,7 +216,7 @@ pub fn fig12a_accuracy() -> String {
     let apps = dc_apps();
     let grid = runner.run_grid(
         &[runner.baseline.with_org(IcacheOrg::acic_default())],
-        &apps,
+        &WorkloadSpec::singles(&apps),
     );
     let mut sums = vec![(0.0, 0u64); ACCURACY_BOUNDS.len()];
     for r in &grid[0] {
@@ -288,7 +290,7 @@ pub fn fig13_admit_rate() -> String {
     let runner = Runner::new();
     let grid = runner.run_grid(
         &[runner.baseline.with_org(IcacheOrg::acic_default())],
-        &dc_apps(),
+        &WorkloadSpec::singles(&dc_apps()),
     );
     let rows: Vec<Vec<String>> = grid[0]
         .iter()
@@ -449,7 +451,7 @@ pub fn fig16_over_ifilter() -> String {
         runner.baseline.with_org(IcacheOrg::IFilterAlways),
         runner.baseline.with_org(IcacheOrg::acic_default()),
     ];
-    let grid = runner.run_grid(&configs, &apps);
+    let grid = runner.run_grid(&configs, &WorkloadSpec::singles(&apps));
     let rows: Vec<Vec<String>> = grid[1]
         .iter()
         .zip(&grid[0])
@@ -672,7 +674,10 @@ pub fn table2_config() -> String {
 /// Table III: baseline (LRU + FDP) L1i MPKI per application.
 pub fn table3_mpki() -> String {
     let runner = Runner::new();
-    let grid = runner.run_grid(std::slice::from_ref(&runner.baseline), &dc_apps());
+    let grid = runner.run_grid(
+        std::slice::from_ref(&runner.baseline),
+        &WorkloadSpec::singles(&dc_apps()),
+    );
     let rows: Vec<Vec<String>> = grid[0]
         .iter()
         .map(|r| vec![r.app.clone(), format!("{:.2}", r.l1i_mpki())])
@@ -725,5 +730,58 @@ pub fn energy_summary() -> String {
     format!(
         "§III-D — chip energy delta of ACIC vs LRU+FDP (negative = savings; paper: -0.63%)\n{}",
         markdown_table(&["application".into(), "energy delta".into()], &out_rows)
+    )
+}
+
+/// Multi-tenant context-switch scenario: organizations x tenant
+/// counts x switch quanta.
+///
+/// Three organizations frame the value of address-space identity:
+/// `LRU flush` (no ASID bits — a switch guts the cache), `LRU`
+/// (ASID-tagged tags, contents survive switches), and `ACIC`
+/// (ASID-tagged i-Filter + admission predictor). Each scenario cell
+/// interleaves heterogeneous datacenter profiles at the same virtual
+/// addresses, so only the ASID keeps tenants apart.
+pub fn multi_tenant() -> String {
+    let runner = Runner::new();
+    let orgs = [
+        IcacheOrg::LruFlush,
+        IcacheOrg::Lru,
+        IcacheOrg::acic_default(),
+    ];
+    let configs: Vec<SimConfig> = orgs
+        .iter()
+        .map(|o| runner.baseline.with_org(o.clone()))
+        .collect();
+    let mut specs = Vec::new();
+    for &tenants in &[2usize, 4] {
+        for &quantum in &[10_000u64, 50_000] {
+            specs.push(WorkloadSpec::MultiTenant {
+                profiles: dc_apps().into_iter().take(tenants).collect(),
+                quantum,
+            });
+        }
+    }
+    let grid = runner.run_grid(&configs, &specs);
+    let mut header = vec!["config".to_string()];
+    header.extend(specs.iter().map(|s| s.label()));
+    let mut rows = Vec::new();
+    for (org, row) in orgs.iter().zip(&grid) {
+        let mut cells = vec![org.label().to_string()];
+        cells.extend(
+            row.iter()
+                .map(|r| format!("{:.3} mpki / {:.3} ipc", r.l1i_mpki(), r.ipc())),
+        );
+        rows.push(cells);
+    }
+    // Context-switch counts are a property of the scenario, not the
+    // organization; report them from the first config's row.
+    let mut switch_cells = vec!["switches".to_string()];
+    switch_cells.extend(grid[0].iter().map(|r| r.context_switches.to_string()));
+    rows.push(switch_cells);
+    format!(
+        "Multi-tenant scenario — L1i MPKI / IPC by organization, tenant count and switch quantum\n\
+         (LRU flush = no-ASID baseline; LRU and ACIC are ASID-tagged)\n{}",
+        markdown_table(&header, &rows)
     )
 }

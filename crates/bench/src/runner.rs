@@ -2,7 +2,7 @@
 //! simulation fan-out, and markdown rendering.
 
 use acic_sim::{IcacheOrg, PrefetcherKind, SimConfig, SimReport, Simulator};
-use acic_workloads::{AppProfile, SyntheticWorkload};
+use acic_workloads::{AppProfile, MultiTenantWorkload, SyntheticWorkload};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -13,6 +13,69 @@ pub fn instruction_budget() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1_000_000)
+}
+
+/// One cell's workload in an experiment grid: a single application,
+/// or a quantum-scheduled multi-tenant interleave.
+///
+/// The grid instruction budget is the *total* per cell either way —
+/// a multi-tenant cell splits it evenly across its tenants so cells
+/// stay cycle-comparable.
+#[derive(Clone, Debug)]
+pub enum WorkloadSpec {
+    /// One application, the whole budget.
+    Single(AppProfile),
+    /// `profiles` interleaved with `quantum` instructions per
+    /// timeslice.
+    MultiTenant {
+        /// Tenant profiles (PCs overlap across tenants by design).
+        profiles: Vec<AppProfile>,
+        /// Context-switch quantum in instructions.
+        quantum: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Wraps a list of applications as single-tenant specs.
+    pub fn singles(apps: &[AppProfile]) -> Vec<WorkloadSpec> {
+        apps.iter().cloned().map(WorkloadSpec::Single).collect()
+    }
+
+    /// Short label for figure columns.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Single(p) => short_name(&p.name),
+            WorkloadSpec::MultiTenant { profiles, quantum } => {
+                format!("{}ten/q{}k", profiles.len(), quantum / 1000)
+            }
+        }
+    }
+
+    /// Runs this spec under `cfg` with a total budget of
+    /// `instructions`.
+    pub fn run(&self, cfg: &SimConfig, instructions: u64) -> SimReport {
+        match self {
+            WorkloadSpec::Single(profile) => {
+                let wl = SyntheticWorkload::with_instructions(profile.clone(), instructions);
+                Simulator::run(cfg, &wl)
+            }
+            WorkloadSpec::MultiTenant { profiles, quantum } => {
+                let per_tenant = instructions / profiles.len().max(1) as u64;
+                let mut builder = MultiTenantWorkload::new(*quantum);
+                for p in profiles {
+                    builder = builder.tenant(p.clone(), per_tenant);
+                }
+                let wl = builder.build();
+                Simulator::run(cfg, &wl)
+            }
+        }
+    }
+}
+
+impl From<AppProfile> for WorkloadSpec {
+    fn from(p: AppProfile) -> Self {
+        WorkloadSpec::Single(p)
+    }
 }
 
 /// Runs one (configuration, application) pair.
@@ -59,22 +122,22 @@ impl Runner {
         }
     }
 
-    /// Runs every (config, app) pair in parallel, returning results
-    /// in `configs x apps` order.
+    /// Runs every (config, workload spec) pair in parallel, returning
+    /// results in `configs x specs` order.
     ///
     /// Scheduling is work-stealing (an atomic cursor over the cell
     /// list) so long cells (OPT, oracle pre-passes) don't serialize
     /// behind static chunking; thread count follows available
     /// parallelism. Results are identical to a serial loop regardless
     /// of thread interleaving: each cell's workload seed derives only
-    /// from the application profile, and the simulator's internal
-    /// seeds derive only from the workload name — never from cell
-    /// order, thread identity, or wall-clock time (asserted by
+    /// from its spec (profiles + quantum), and the simulator's
+    /// internal seeds derive only from the workload name — never from
+    /// cell order, thread identity, or wall-clock time (asserted by
     /// `grid_is_deterministic_and_matches_serial`).
-    pub fn run_grid(&self, configs: &[SimConfig], apps: &[AppProfile]) -> Vec<Vec<SimReport>> {
+    pub fn run_grid(&self, configs: &[SimConfig], specs: &[WorkloadSpec]) -> Vec<Vec<SimReport>> {
         let mut work: Vec<(usize, usize)> = Vec::new();
         for c in 0..configs.len() {
-            for a in 0..apps.len() {
+            for a in 0..specs.len() {
                 work.push((c, a));
             }
         }
@@ -96,7 +159,7 @@ impl Runner {
                         break;
                     }
                     let (c, a) = work_ref[i];
-                    let report = run_config(&configs[c], &apps[a], instructions);
+                    let report = specs[a].run(&configs[c], instructions);
                     tx.send((i, report)).expect("collector outlives workers");
                 });
             }
@@ -109,8 +172,8 @@ impl Runner {
         let mut grid: Vec<Vec<SimReport>> = Vec::with_capacity(configs.len());
         let mut it = flat.into_iter();
         for _ in 0..configs.len() {
-            let mut row = Vec::with_capacity(apps.len());
-            for _ in 0..apps.len() {
+            let mut row = Vec::with_capacity(specs.len());
+            for _ in 0..specs.len() {
                 row.push(it.next().flatten().expect("all work completed"));
             }
             grid.push(row);
@@ -118,8 +181,9 @@ impl Runner {
         grid
     }
 
-    /// Convenience: baseline plus a list of organizations, all under
-    /// the runner's prefetcher. Returns `(baseline_row, org_rows)`.
+    /// Convenience: baseline plus a list of organizations over
+    /// single-tenant applications, all under the runner's prefetcher.
+    /// Returns `(baseline_row, org_rows)`.
     pub fn run_orgs(
         &self,
         orgs: &[IcacheOrg],
@@ -127,7 +191,7 @@ impl Runner {
     ) -> (Vec<SimReport>, Vec<Vec<SimReport>>) {
         let mut configs = vec![self.baseline.clone()];
         configs.extend(orgs.iter().map(|o| self.baseline.with_org(o.clone())));
-        let mut grid = self.run_grid(&configs, apps);
+        let mut grid = self.run_grid(&configs, &WorkloadSpec::singles(apps));
         let baseline = grid.remove(0);
         (baseline, grid)
     }
@@ -179,7 +243,7 @@ mod tests {
             SimConfig::default(),
             SimConfig::default().with_org(IcacheOrg::Larger36k),
         ];
-        let grid = runner.run_grid(&configs, &apps);
+        let grid = runner.run_grid(&configs, &WorkloadSpec::singles(&apps));
         assert_eq!(grid.len(), 2);
         assert_eq!(grid[0].len(), 2);
         assert_eq!(grid[0][0].app, "sibench");
@@ -198,8 +262,8 @@ mod tests {
             SimConfig::default(),
             SimConfig::default().with_org(IcacheOrg::Srrip),
         ];
-        let parallel_a = runner.run_grid(&configs, &apps);
-        let parallel_b = runner.run_grid(&configs, &apps);
+        let parallel_a = runner.run_grid(&configs, &WorkloadSpec::singles(&apps));
+        let parallel_b = runner.run_grid(&configs, &WorkloadSpec::singles(&apps));
         for (c, cfg) in configs.iter().enumerate() {
             for (a, app) in apps.iter().enumerate() {
                 let serial = run_config(cfg, app, runner.instructions);

@@ -10,7 +10,7 @@
 use crate::bypass::AdmissionPolicy;
 use crate::ctx::AccessCtx;
 use acic_types::hash::{fold, mix64};
-use acic_types::{BlockAddr, SatCounter};
+use acic_types::{SatCounter, TaggedBlock};
 
 /// Admission by access-count comparison.
 ///
@@ -23,9 +23,9 @@ use acic_types::{BlockAddr, SatCounter};
 /// use acic_types::BlockAddr;
 ///
 /// let mut p = AccessCountAdmission::new();
-/// let hot = BlockAddr::new(1);
-/// let cold = BlockAddr::new(2);
-/// let ctx = AccessCtx::demand(hot, 0);
+/// let hot = acic_types::TaggedBlock::untagged(BlockAddr::new(1));
+/// let cold = acic_types::TaggedBlock::untagged(BlockAddr::new(2));
+/// let ctx = AccessCtx::demand(BlockAddr::new(1), 0);
 /// for _ in 0..10 {
 ///     p.on_demand_access(hot, &ctx);
 /// }
@@ -59,12 +59,12 @@ impl AccessCountAdmission {
         }
     }
 
-    fn index(&self, block: BlockAddr) -> usize {
-        fold(mix64(block.raw()), self.index_bits) as usize
+    fn index(&self, block: TaggedBlock) -> usize {
+        fold(mix64(block.ident()), self.index_bits) as usize
     }
 
     /// Current count for a block (test hook).
-    pub fn count_of(&self, block: BlockAddr) -> u16 {
+    pub fn count_of(&self, block: TaggedBlock) -> u16 {
         self.counters[self.index(block)].value()
     }
 }
@@ -76,8 +76,8 @@ impl AdmissionPolicy for AccessCountAdmission {
 
     fn should_admit(
         &mut self,
-        incoming: BlockAddr,
-        contender: Option<BlockAddr>,
+        incoming: TaggedBlock,
+        contender: Option<TaggedBlock>,
         _ctx: &AccessCtx<'_>,
     ) -> bool {
         match contender {
@@ -86,7 +86,7 @@ impl AdmissionPolicy for AccessCountAdmission {
         }
     }
 
-    fn on_demand_access(&mut self, block: BlockAddr, _ctx: &AccessCtx<'_>) {
+    fn on_demand_access(&mut self, block: TaggedBlock, _ctx: &AccessCtx<'_>) {
         let i = self.index(block);
         self.counters[i].increment();
     }
@@ -95,19 +95,24 @@ impl AdmissionPolicy for AccessCountAdmission {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acic_types::BlockAddr;
+
+    fn tb(b: u64) -> TaggedBlock {
+        TaggedBlock::untagged(BlockAddr::new(b))
+    }
 
     #[test]
     fn no_contender_always_admits() {
         let mut p = AccessCountAdmission::new();
         let ctx = AccessCtx::demand(BlockAddr::new(5), 0);
-        assert!(p.should_admit(BlockAddr::new(5), None, &ctx));
+        assert!(p.should_admit(tb(5), None, &ctx));
     }
 
     #[test]
     fn counters_saturate() {
         let mut p = AccessCountAdmission::with_table(4, 2);
-        let b = BlockAddr::new(3);
-        let ctx = AccessCtx::demand(b, 0);
+        let b = tb(3);
+        let ctx = AccessCtx::demand(BlockAddr::new(3), 0);
         for _ in 0..100 {
             p.on_demand_access(b, &ctx);
         }
@@ -119,6 +124,6 @@ mod tests {
         let mut p = AccessCountAdmission::new();
         let ctx = AccessCtx::demand(BlockAddr::new(1), 0);
         // Both zero: ties go to the incoming block.
-        assert!(p.should_admit(BlockAddr::new(1), Some(BlockAddr::new(2)), &ctx));
+        assert!(p.should_admit(tb(1), Some(tb(2)), &ctx));
     }
 }

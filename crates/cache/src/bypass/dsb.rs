@@ -12,7 +12,7 @@
 use crate::bypass::AdmissionPolicy;
 use crate::ctx::AccessCtx;
 use acic_types::hash::SplitMix64;
-use acic_types::BlockAddr;
+use acic_types::TaggedBlock;
 
 /// Number of dueling-pair slots (Table IV notes 2 sampled sets; we
 /// track a comparable handful of in-flight duels).
@@ -24,8 +24,8 @@ const STEP: u64 = 4;
 
 #[derive(Clone, Copy, Debug, Default)]
 struct Duel {
-    bypassed: Option<BlockAddr>,
-    victim: Option<BlockAddr>,
+    bypassed: Option<TaggedBlock>,
+    victim: Option<TaggedBlock>,
 }
 
 /// DSB adaptive bypass policy.
@@ -63,8 +63,8 @@ impl AdmissionPolicy for DsbAdmission {
 
     fn should_admit(
         &mut self,
-        incoming: BlockAddr,
-        contender: Option<BlockAddr>,
+        incoming: TaggedBlock,
+        contender: Option<TaggedBlock>,
         _ctx: &AccessCtx<'_>,
     ) -> bool {
         let Some(victim) = contender else {
@@ -89,7 +89,7 @@ impl AdmissionPolicy for DsbAdmission {
         true
     }
 
-    fn on_demand_access(&mut self, block: BlockAddr, _ctx: &AccessCtx<'_>) {
+    fn on_demand_access(&mut self, block: TaggedBlock, _ctx: &AccessCtx<'_>) {
         for duel in &mut self.duels {
             if duel.bypassed == Some(block) {
                 // The block we kept out was needed first: bypassing hurt.
@@ -107,9 +107,14 @@ impl AdmissionPolicy for DsbAdmission {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acic_types::BlockAddr;
 
     fn ctx() -> AccessCtx<'static> {
         AccessCtx::demand(BlockAddr::new(0), 0)
+    }
+
+    fn tb(b: u64) -> TaggedBlock {
+        TaggedBlock::untagged(BlockAddr::new(b))
     }
 
     #[test]
@@ -117,7 +122,7 @@ mod tests {
         let mut p = DsbAdmission::new(1);
         assert_eq!(p.bypass_probability(), 0.0);
         let admitted = (0..100)
-            .filter(|i| p.should_admit(BlockAddr::new(*i), Some(BlockAddr::new(999)), &ctx()))
+            .filter(|i| p.should_admit(tb(*i), Some(tb(999)), &ctx()))
             .count();
         assert!(
             admitted > 85,
@@ -129,8 +134,8 @@ mod tests {
     fn victim_reuse_increases_bypassing() {
         let mut p = DsbAdmission::new(2);
         for i in 0..200u64 {
-            let incoming = BlockAddr::new(1000 + i);
-            let victim = BlockAddr::new(i % 4);
+            let incoming = tb(1000 + i);
+            let victim = tb(i % 4);
             p.should_admit(incoming, Some(victim), &ctx());
             // Victim is always reused first -> bypass is good.
             p.on_demand_access(victim, &ctx());
@@ -147,8 +152,8 @@ mod tests {
         let mut p = DsbAdmission::new(3);
         p.bypass_num = DENOM;
         for i in 0..200u64 {
-            let incoming = BlockAddr::new(1000 + i);
-            p.should_admit(incoming, Some(BlockAddr::new(5)), &ctx());
+            let incoming = tb(1000 + i);
+            p.should_admit(incoming, Some(tb(5)), &ctx());
             p.on_demand_access(incoming, &ctx());
         }
         assert!(
@@ -161,6 +166,6 @@ mod tests {
     #[test]
     fn no_contender_admits() {
         let mut p = DsbAdmission::new(4);
-        assert!(p.should_admit(BlockAddr::new(1), None, &ctx()));
+        assert!(p.should_admit(tb(1), None, &ctx()));
     }
 }

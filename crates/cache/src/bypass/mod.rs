@@ -18,7 +18,7 @@ pub mod obm;
 pub mod opt_bypass;
 
 use crate::ctx::AccessCtx;
-use acic_types::BlockAddr;
+use acic_types::TaggedBlock;
 
 /// Decides whether an incoming block should be admitted into the
 /// cache, displacing `contender`.
@@ -31,17 +31,22 @@ pub trait AdmissionPolicy {
     /// usually skips the query).
     fn should_admit(
         &mut self,
-        incoming: BlockAddr,
-        contender: Option<BlockAddr>,
+        incoming: TaggedBlock,
+        contender: Option<TaggedBlock>,
         ctx: &AccessCtx<'_>,
     ) -> bool;
 
     /// Observes a demand access (training hook; default no-op).
-    fn on_demand_access(&mut self, _block: BlockAddr, _ctx: &AccessCtx<'_>) {}
+    fn on_demand_access(&mut self, _block: TaggedBlock, _ctx: &AccessCtx<'_>) {}
 
     /// Observes the final outcome of a fill this policy allowed
     /// (training hook for policies that watch their own decisions).
-    fn on_fill(&mut self, _incoming: BlockAddr, _evicted: Option<BlockAddr>, _ctx: &AccessCtx<'_>) {
+    fn on_fill(
+        &mut self,
+        _incoming: TaggedBlock,
+        _evicted: Option<TaggedBlock>,
+        _ctx: &AccessCtx<'_>,
+    ) {
     }
 }
 
@@ -57,8 +62,8 @@ impl AdmissionPolicy for AlwaysAdmit {
 
     fn should_admit(
         &mut self,
-        _incoming: BlockAddr,
-        _contender: Option<BlockAddr>,
+        _incoming: TaggedBlock,
+        _contender: Option<TaggedBlock>,
         _ctx: &AccessCtx<'_>,
     ) -> bool {
         true
@@ -77,8 +82,8 @@ impl AdmissionPolicy for NeverAdmit {
 
     fn should_admit(
         &mut self,
-        _incoming: BlockAddr,
-        _contender: Option<BlockAddr>,
+        _incoming: TaggedBlock,
+        _contender: Option<TaggedBlock>,
         _ctx: &AccessCtx<'_>,
     ) -> bool {
         false
@@ -117,8 +122,8 @@ impl AdmissionPolicy for RandomAdmit {
 
     fn should_admit(
         &mut self,
-        _incoming: BlockAddr,
-        _contender: Option<BlockAddr>,
+        _incoming: TaggedBlock,
+        _contender: Option<TaggedBlock>,
         _ctx: &AccessCtx<'_>,
     ) -> bool {
         self.rng.chance(self.num, self.denom)
@@ -128,12 +133,17 @@ impl AdmissionPolicy for RandomAdmit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acic_types::BlockAddr;
+
+    fn tb(b: u64) -> TaggedBlock {
+        TaggedBlock::untagged(BlockAddr::new(b))
+    }
 
     #[test]
     fn always_and_never() {
         let ctx = AccessCtx::demand(BlockAddr::new(1), 0);
-        assert!(AlwaysAdmit.should_admit(BlockAddr::new(1), None, &ctx));
-        assert!(!NeverAdmit.should_admit(BlockAddr::new(1), None, &ctx));
+        assert!(AlwaysAdmit.should_admit(tb(1), None, &ctx));
+        assert!(!NeverAdmit.should_admit(tb(1), None, &ctx));
     }
 
     #[test]
@@ -141,7 +151,7 @@ mod tests {
         let ctx = AccessCtx::demand(BlockAddr::new(1), 0);
         let mut r = RandomAdmit::new(7, 3, 4);
         let admitted = (0..10_000)
-            .filter(|_| r.should_admit(BlockAddr::new(1), None, &ctx))
+            .filter(|_| r.should_admit(tb(1), None, &ctx))
             .count();
         assert!((7200..=7800).contains(&admitted), "admitted = {admitted}");
     }

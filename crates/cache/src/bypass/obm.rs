@@ -13,7 +13,7 @@
 use crate::bypass::AdmissionPolicy;
 use crate::ctx::AccessCtx;
 use acic_types::hash::{fold, mix64, SplitMix64};
-use acic_types::{BlockAddr, SatCounter};
+use acic_types::{SatCounter, TaggedBlock};
 
 /// RHT entries (Table IV).
 const RHT_ENTRIES: usize = 128;
@@ -53,17 +53,17 @@ impl ObmAdmission {
         }
     }
 
-    fn tag(block: BlockAddr) -> u32 {
-        fold(mix64(block.raw()), TAG_BITS) as u32
+    fn tag(block: TaggedBlock) -> u32 {
+        fold(mix64(block.ident()), TAG_BITS) as u32
     }
 
-    fn signature(block: BlockAddr) -> u16 {
-        fold(mix64(block.raw()) ^ 0xb10c, 10) as u16
+    fn signature(block: TaggedBlock) -> u16 {
+        fold(mix64(block.ident()) ^ 0xb10c, 10) as u16
     }
 
     /// Whether the BDCT currently says "bypass" for this block's
     /// signature (test hook).
-    pub fn predicts_bypass(&self, block: BlockAddr) -> bool {
+    pub fn predicts_bypass(&self, block: TaggedBlock) -> bool {
         self.bdct[Self::signature(block) as usize].is_high()
     }
 }
@@ -75,8 +75,8 @@ impl AdmissionPolicy for ObmAdmission {
 
     fn should_admit(
         &mut self,
-        incoming: BlockAddr,
-        contender: Option<BlockAddr>,
+        incoming: TaggedBlock,
+        contender: Option<TaggedBlock>,
         _ctx: &AccessCtx<'_>,
     ) -> bool {
         let Some(victim) = contender else {
@@ -97,7 +97,7 @@ impl AdmissionPolicy for ObmAdmission {
         !self.bdct[sig as usize].is_high()
     }
 
-    fn on_demand_access(&mut self, block: BlockAddr, _ctx: &AccessCtx<'_>) {
+    fn on_demand_access(&mut self, block: TaggedBlock, _ctx: &AccessCtx<'_>) {
         let tag = Self::tag(block);
         for e in &mut self.rht {
             if !e.valid {
@@ -119,22 +119,27 @@ impl AdmissionPolicy for ObmAdmission {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acic_types::BlockAddr;
 
     fn ctx() -> AccessCtx<'static> {
         AccessCtx::demand(BlockAddr::new(0), 0)
     }
 
+    fn tb(b: u64) -> TaggedBlock {
+        TaggedBlock::untagged(BlockAddr::new(b))
+    }
+
     #[test]
     fn admits_by_default() {
         let mut p = ObmAdmission::new(1);
-        assert!(p.should_admit(BlockAddr::new(1), Some(BlockAddr::new(2)), &ctx()));
+        assert!(p.should_admit(tb(1), Some(tb(2)), &ctx()));
     }
 
     #[test]
     fn victim_first_reuse_trains_toward_bypass() {
         let mut p = ObmAdmission::new(2);
-        let incoming = BlockAddr::new(100);
-        let victim = BlockAddr::new(7);
+        let incoming = tb(100);
+        let victim = tb(7);
         for _ in 0..200 {
             p.should_admit(incoming, Some(victim), &ctx());
             p.on_demand_access(victim, &ctx());
@@ -146,10 +151,10 @@ mod tests {
     #[test]
     fn incoming_first_reuse_trains_toward_admit() {
         let mut p = ObmAdmission::new(3);
-        let incoming = BlockAddr::new(100);
+        let incoming = tb(100);
         // Pre-bias toward bypass, then watch it unlearn.
         p.bdct[ObmAdmission::signature(incoming) as usize].set(15);
-        let victim = BlockAddr::new(7);
+        let victim = tb(7);
         for _ in 0..400 {
             p.should_admit(incoming, Some(victim), &ctx());
             p.on_demand_access(incoming, &ctx());
@@ -161,8 +166,8 @@ mod tests {
     fn resolved_entries_are_freed() {
         let mut p = ObmAdmission::new(4);
         for i in 0..1000u64 {
-            p.should_admit(BlockAddr::new(i), Some(BlockAddr::new(i + 5000)), &ctx());
-            p.on_demand_access(BlockAddr::new(i), &ctx());
+            p.should_admit(tb(i), Some(tb(i + 5000)), &ctx());
+            p.on_demand_access(tb(i), &ctx());
         }
         // All matched entries must be invalid now.
         let stale = p.rht.iter().filter(|e| e.valid).count();

@@ -10,7 +10,7 @@
 
 use crate::bypass::AdmissionPolicy;
 use crate::ctx::AccessCtx;
-use acic_types::BlockAddr;
+use acic_types::TaggedBlock;
 
 /// Oracle admission: admit iff the incoming block's next use comes
 /// before the contender's.
@@ -29,8 +29,8 @@ impl AdmissionPolicy for OptBypassAdmission {
 
     fn should_admit(
         &mut self,
-        incoming: BlockAddr,
-        contender: Option<BlockAddr>,
+        incoming: TaggedBlock,
+        contender: Option<TaggedBlock>,
         ctx: &AccessCtx<'_>,
     ) -> bool {
         let Some(contender) = contender else {
@@ -44,6 +44,11 @@ impl AdmissionPolicy for OptBypassAdmission {
 mod tests {
     use super::*;
     use acic_trace::ReuseOracle;
+    use acic_types::BlockAddr;
+
+    fn tb(b: u64) -> TaggedBlock {
+        TaggedBlock::untagged(BlockAddr::new(b))
+    }
 
     #[test]
     fn admits_sooner_reused_block() {
@@ -60,14 +65,14 @@ mod tests {
         let ctx = AccessCtx::demand(BlockAddr::new(10), 3).with_oracle(&cur);
         let mut p = OptBypassAdmission;
         // Block 10 is used next (position 3); block 20 never again.
-        assert!(p.should_admit(BlockAddr::new(10), Some(BlockAddr::new(20)), &ctx));
-        assert!(!p.should_admit(BlockAddr::new(20), Some(BlockAddr::new(10)), &ctx));
+        assert!(p.should_admit(tb(10), Some(tb(20)), &ctx));
+        assert!(!p.should_admit(tb(20), Some(tb(10)), &ctx));
     }
 
     #[test]
     fn no_oracle_admits_everything() {
         let ctx = AccessCtx::demand(BlockAddr::new(1), 0);
         let mut p = OptBypassAdmission;
-        assert!(p.should_admit(BlockAddr::new(1), Some(BlockAddr::new(2)), &ctx));
+        assert!(p.should_admit(tb(1), Some(tb(2)), &ctx));
     }
 }

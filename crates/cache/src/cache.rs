@@ -7,12 +7,27 @@
 //! vtable; each policy owns its per-line metadata. The fill and
 //! contender paths assemble candidate lists in fixed stack buffers —
 //! the tag-store hot loop performs no heap allocation.
+//!
+//! Lines are identified by [`TaggedBlock`]: the virtual block address
+//! *plus* the address space it belongs to. Set indexing uses the
+//! block-address bits (VIPT-style); the ASID participates in tag
+//! match, so two tenants' overlapping virtual addresses coexist
+//! without aliasing. The host space (ASID 0) is bit-identical to the
+//! pre-ASID behavior. [`SetAssocCache::flush`] supports the no-ASID
+//! baseline that must invalidate everything on a context switch.
 
 use crate::ctx::AccessCtx;
 use crate::geometry::CacheGeometry;
 use crate::policy::{AnyPolicy, ReplacementPolicy};
 use crate::stats::CacheStats;
-use acic_types::BlockAddr;
+use acic_types::{Asid, BlockAddr, TaggedBlock};
+
+/// Sentinel ident marking an invalid line. Unreachable by real
+/// identities: block addresses are byte addresses shifted right by 6,
+/// so bits 58..64 of a block (and therefore of its ident, whose top
+/// 16 bits only XOR in a 16-bit ASID at bit 48) can never all be set.
+/// Asserted on every fill in debug builds.
+const INVALID_IDENT: u64 = u64::MAX;
 
 /// Upper bound on associativity supported by the stack scratch
 /// buffers. The 16-way L3 is the widest geometry currently built on
@@ -45,7 +60,15 @@ pub const MAX_WAYS: usize = 16;
 /// ```
 pub struct SetAssocCache {
     geom: CacheGeometry,
-    tags: Vec<Option<BlockAddr>>,
+    /// Flattened line identities ([`TaggedBlock::ident`]), one `u64`
+    /// per line with [`INVALID_IDENT`] marking empty ways — the hot
+    /// find loop is a single-word scan, exactly as wide as the
+    /// pre-ASID tag array.
+    ids: Vec<u64>,
+    /// Raw ASID per line; confirms a matching ident (soundness for
+    /// pathological block addresses) and reconstructs the block on
+    /// eviction.
+    asids: Vec<u16>,
     policy: AnyPolicy,
     stats: CacheStats,
 }
@@ -66,10 +89,49 @@ impl SetAssocCache {
         );
         SetAssocCache {
             geom,
-            tags: vec![None; geom.lines()],
+            ids: vec![INVALID_IDENT; geom.lines()],
+            asids: vec![0; geom.lines()],
             policy: policy.into(),
             stats: CacheStats::default(),
         }
+    }
+
+    /// The tagged identity stored in line `i`, if valid.
+    #[inline]
+    fn line(&self, i: usize) -> Option<TaggedBlock> {
+        (self.ids[i] != INVALID_IDENT)
+            .then(|| TaggedBlock::from_ident(self.ids[i], Asid::new(self.asids[i])))
+    }
+
+    /// Scans one set (lines `base..base+ways`) for identity `t`.
+    /// Single-word ident compare per way; the ASID confirm only runs
+    /// on an ident match (idents already fold the ASID in, so a
+    /// cross-space false positive needs a block address above 2^48
+    /// blocks — the scan resumes past it regardless).
+    // Written as an explicit loop (not `Iterator::find`) so the
+    // ident compare stays a straight single-word scan in the
+    // generated code; this is the hottest loop in the workspace.
+    #[allow(clippy::manual_find)]
+    #[inline(always)]
+    fn scan(&self, base: usize, t: TaggedBlock) -> Option<usize> {
+        let ways = self.geom.ways();
+        let id = t.ident();
+        let asid = t.asid.raw();
+        let ids = &self.ids[base..base + ways];
+        let asids = &self.asids[base..base + ways];
+        for w in 0..ways {
+            if ids[w] == id && asids[w] == asid {
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn store_line(&mut self, i: usize, t: TaggedBlock) {
+        debug_assert_ne!(t.ident(), INVALID_IDENT, "block collides with sentinel");
+        self.ids[i] = t.ident();
+        self.asids[i] = t.asid.raw();
     }
 
     /// Geometry of the cache.
@@ -87,15 +149,18 @@ impl SetAssocCache {
         self.policy.name()
     }
 
-    /// Way holding `block`, if present.
-    pub fn find(&self, block: BlockAddr) -> Option<usize> {
-        let set = self.geom.set_of(block);
-        let base = self.geom.line_index(set, 0);
-        (0..self.geom.ways()).find(|&w| self.tags[base + w] == Some(block))
+    /// Way holding `block`, if present. Tag match compares the full
+    /// tagged identity — same virtual address, different ASID is a
+    /// miss.
+    #[inline]
+    pub fn find(&self, block: impl Into<TaggedBlock>) -> Option<usize> {
+        let t = block.into();
+        let set = self.geom.set_of_tagged(t);
+        self.scan(self.geom.line_index(set, 0), t)
     }
 
     /// Whether `block` is resident (no state change).
-    pub fn contains(&self, block: BlockAddr) -> bool {
+    pub fn contains(&self, block: impl Into<TaggedBlock>) -> bool {
         self.find(block).is_some()
     }
 
@@ -103,9 +168,17 @@ impl SetAssocCache {
     /// recency/prediction state is updated; on miss the policy
     /// observes the miss but no fill happens (call
     /// [`SetAssocCache::fill`] once the block arrives).
+    // `inline(always)`: the pre-ASID build inlined `access` and
+    // `fill` into every simulation loop; once the tagged-identity
+    // refactor grew their bodies past LLVM's hint threshold the
+    // out-of-line calls cost ~25-40% of single-tenant throughput
+    // (measured in BENCH_baseline.json legs). Forcing the old
+    // inlining restores it.
+    #[inline(always)]
     pub fn access(&mut self, ctx: &AccessCtx<'_>) -> bool {
-        let set = self.geom.set_of(ctx.block);
-        let hit = match self.find(ctx.block) {
+        let t = ctx.tagged();
+        let set = self.geom.set_of_tagged(t);
+        let hit = match self.scan(self.geom.line_index(set, 0), t) {
             Some(way) => {
                 self.policy.on_hit(set, way, ctx);
                 true
@@ -123,14 +196,17 @@ impl SetAssocCache {
         hit
     }
 
-    /// Inserts `ctx.block`, evicting a victim if the set is full.
-    /// Returns the evicted block, if any.
+    /// Inserts `ctx`'s tagged block, evicting a victim if the set is
+    /// full. Returns the evicted identity, if any.
     ///
     /// Filling a block that is already resident is treated as a
     /// policy touch and returns `None`.
-    pub fn fill(&mut self, ctx: &AccessCtx<'_>) -> Option<BlockAddr> {
-        let set = self.geom.set_of(ctx.block);
-        if let Some(way) = self.find(ctx.block) {
+    #[inline(always)]
+    pub fn fill(&mut self, ctx: &AccessCtx<'_>) -> Option<TaggedBlock> {
+        let t = ctx.tagged();
+        let set = self.geom.set_of_tagged(t);
+        let base0 = self.geom.line_index(set, 0);
+        if let Some(way) = self.scan(base0, t) {
             // Duplicate fill (e.g. prefetch raced a demand miss).
             self.policy.on_hit(set, way, ctx);
             return None;
@@ -140,48 +216,52 @@ impl SetAssocCache {
         } else {
             self.stats.demand_fills += 1;
         }
-        let base = self.geom.line_index(set, 0);
+        let base = base0;
         // Prefer an invalid way.
-        if let Some(way) = (0..self.geom.ways()).find(|&w| self.tags[base + w].is_none()) {
-            self.tags[base + way] = Some(ctx.block);
+        let ways = self.geom.ways();
+        if let Some(way) = self.ids[base..base + ways]
+            .iter()
+            .position(|&v| v == INVALID_IDENT)
+        {
+            self.store_line(base + way, t);
             self.policy.on_fill(set, way, ctx);
             return None;
         }
-        let mut blocks = [BlockAddr::new(0); MAX_WAYS];
-        let ways = self.geom.ways();
+        let mut blocks = [TaggedBlock::untagged(BlockAddr::new(0)); MAX_WAYS];
         for (w, slot) in blocks[..ways].iter_mut().enumerate() {
-            *slot = self.tags[base + w].expect("all ways valid");
+            *slot = self.line(base + w).expect("all ways valid");
         }
         let way = self.policy.victim_way(set, &blocks[..ways], ctx);
         debug_assert!(way < self.geom.ways(), "policy returned invalid way");
-        let evicted = self.tags[base + way].expect("victim way valid");
+        let evicted = self.line(base + way).expect("victim way valid");
         self.policy.on_evict(set, way, evicted, ctx);
         self.stats.evictions += 1;
-        self.tags[base + way] = Some(ctx.block);
+        self.store_line(base + way, t);
         self.policy.on_fill(set, way, ctx);
         Some(evicted)
     }
 
-    /// The block the policy would evict if `ctx.block` were filled
+    /// The block the policy would evict if `ctx`'s block were filled
     /// now — the paper's *contender block*. Returns `None` while the
     /// set still has invalid ways (no contender; admission is free).
-    pub fn contender(&self, ctx: &AccessCtx<'_>) -> Option<BlockAddr> {
-        let set = self.geom.set_of(ctx.block);
+    pub fn contender(&self, ctx: &AccessCtx<'_>) -> Option<TaggedBlock> {
+        let set = self.geom.set_of_tagged(ctx.tagged());
         let base = self.geom.line_index(set, 0);
         let ways = self.geom.ways();
-        let mut blocks = [BlockAddr::new(0); MAX_WAYS];
+        let mut blocks = [TaggedBlock::untagged(BlockAddr::new(0)); MAX_WAYS];
         for (w, slot) in blocks[..ways].iter_mut().enumerate() {
-            *slot = self.tags[base + w]?;
+            *slot = self.line(base + w)?;
         }
         let way = self.policy.peek_victim(set, &blocks[..ways], ctx);
         Some(blocks[way])
     }
 
     /// Removes `block` if resident; returns whether it was present.
-    pub fn invalidate(&mut self, block: BlockAddr) -> bool {
-        if let Some(way) = self.find(block) {
-            let set = self.geom.set_of(block);
-            self.tags[self.geom.line_index(set, way)] = None;
+    pub fn invalidate(&mut self, block: impl Into<TaggedBlock>) -> bool {
+        let t = block.into();
+        if let Some(way) = self.find(t) {
+            let set = self.geom.set_of_tagged(t);
+            self.ids[self.geom.line_index(set, way)] = INVALID_IDENT;
             self.policy.on_invalidate(set, way);
             true
         } else {
@@ -189,16 +269,38 @@ impl SetAssocCache {
         }
     }
 
+    /// Invalidates every line (the no-ASID context-switch baseline:
+    /// a switch guts the whole cache). Returns the number of valid
+    /// lines dropped. The policy observes each invalidation so its
+    /// per-line metadata resets with the tags.
+    pub fn flush(&mut self) -> usize {
+        let mut dropped = 0;
+        for set in 0..self.geom.sets() {
+            for way in 0..self.geom.ways() {
+                let i = self.geom.line_index(set, way);
+                if self.ids[i] != INVALID_IDENT {
+                    self.ids[i] = INVALID_IDENT;
+                    self.policy.on_invalidate(set, way);
+                    dropped += 1;
+                }
+            }
+        }
+        self.stats.flushed_lines += dropped as u64;
+        dropped
+    }
+
     /// All resident blocks (for tests and invariant checks).
-    pub fn resident_blocks(&self) -> Vec<BlockAddr> {
-        self.tags.iter().flatten().copied().collect()
+    pub fn resident_blocks(&self) -> Vec<TaggedBlock> {
+        (0..self.geom.lines())
+            .filter_map(|i| self.line(i))
+            .collect()
     }
 
     /// Blocks resident in one set (for tests).
-    pub fn set_blocks(&self, set: usize) -> Vec<BlockAddr> {
+    pub fn set_blocks(&self, set: usize) -> Vec<TaggedBlock> {
         let base = self.geom.line_index(set, 0);
         (0..self.geom.ways())
-            .filter_map(|w| self.tags[base + w])
+            .filter_map(|w| self.line(base + w))
             .collect()
     }
 }
@@ -217,6 +319,7 @@ impl core::fmt::Debug for SetAssocCache {
 mod tests {
     use super::*;
     use crate::policy::lru::LruPolicy;
+    use acic_types::Asid;
 
     fn small() -> SetAssocCache {
         let geom = CacheGeometry::from_sets_ways(4, 2);
@@ -225,6 +328,10 @@ mod tests {
 
     fn ctx(block: u64, idx: u64) -> AccessCtx<'static> {
         AccessCtx::demand(BlockAddr::new(block), idx)
+    }
+
+    fn tb(block: u64) -> TaggedBlock {
+        TaggedBlock::untagged(BlockAddr::new(block))
     }
 
     #[test]
@@ -252,7 +359,7 @@ mod tests {
         assert_eq!(c.fill(&ctx(0, 0)), None);
         assert_eq!(c.fill(&ctx(4, 1)), None);
         let evicted = c.fill(&ctx(8, 2));
-        assert_eq!(evicted, Some(BlockAddr::new(0)));
+        assert_eq!(evicted, Some(tb(0)));
         assert_eq!(c.stats().evictions, 1);
     }
 
@@ -264,7 +371,7 @@ mod tests {
         c.fill(&ctx(4, 1));
         // Touch block 0 making block 4 the LRU.
         c.access(&ctx(0, 2));
-        assert_eq!(c.contender(&ctx(8, 3)), Some(BlockAddr::new(4)));
+        assert_eq!(c.contender(&ctx(8, 3)), Some(tb(4)));
     }
 
     #[test]
@@ -285,5 +392,43 @@ mod tests {
         assert_eq!(c.stats().prefetch_misses, 1);
         assert_eq!(c.stats().prefetch_fills, 1);
         assert_eq!(c.stats().demand_accesses, 0);
+    }
+
+    #[test]
+    fn same_virtual_address_different_asid_does_not_hit() {
+        let mut c = small();
+        c.fill(&ctx(1, 0));
+        // Tenant 1 fetches the same VA: different identity, must miss.
+        let tenant = ctx(1, 1).with_asid(Asid::new(1));
+        assert!(!c.access(&tenant));
+        c.fill(&tenant);
+        // Both identities now coexist in the same set.
+        assert!(c.contains(BlockAddr::new(1)));
+        assert!(c.contains(BlockAddr::new(1).with_asid(Asid::new(1))));
+        assert_eq!(c.set_blocks(1).len(), 2);
+    }
+
+    #[test]
+    fn flush_drops_everything_and_counts() {
+        let mut c = small();
+        c.fill(&ctx(0, 0));
+        c.fill(&ctx(1, 1));
+        c.fill(&ctx(2, 2));
+        assert_eq!(c.flush(), 3);
+        assert!(c.resident_blocks().is_empty());
+        assert_eq!(c.stats().flushed_lines, 3);
+        // Post-flush behavior is a cold cache.
+        assert!(!c.access(&ctx(0, 3)));
+        assert_eq!(c.flush(), 0);
+    }
+
+    #[test]
+    fn evicted_identity_carries_asid() {
+        let geom = CacheGeometry::from_sets_ways(1, 1);
+        let mut c = SetAssocCache::new(geom, LruPolicy::new(geom));
+        let tenant = ctx(5, 0).with_asid(Asid::new(3));
+        c.fill(&tenant);
+        let evicted = c.fill(&ctx(9, 1)).expect("way was full");
+        assert_eq!(evicted, BlockAddr::new(5).with_asid(Asid::new(3)));
     }
 }

@@ -12,7 +12,7 @@ use crate::cache::SetAssocCache;
 use crate::ctx::AccessCtx;
 use crate::stats::CacheStats;
 use crate::victim::VictimCache;
-use acic_types::BlockAddr;
+use acic_types::{Asid, TaggedBlock};
 
 /// Result of a contents access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,9 +59,18 @@ pub trait IcacheContents {
     /// Installs a block that arrived from the next level.
     fn fill(&mut self, ctx: &AccessCtx<'_>);
 
-    /// Whether the block is resident anywhere (prefetch filtering; no
-    /// state change).
-    fn contains_block(&self, block: BlockAddr) -> bool;
+    /// Whether the tagged block is resident anywhere (prefetch
+    /// filtering; no state change).
+    fn contains_block(&self, block: TaggedBlock) -> bool;
+
+    /// The fetch stream switched to address space `next`.
+    ///
+    /// ASID-tagged organizations need no action — their tags already
+    /// disambiguate tenants — so the default is a no-op. The no-ASID
+    /// baseline ([`PlainIcache::with_flush_on_switch`]) invalidates
+    /// its whole tag store here, modeling a VA-tagged cache that
+    /// cannot tell tenants apart.
+    fn on_context_switch(&mut self, _next: Asid) {}
 
     /// Aggregated statistics.
     fn stats(&self) -> CacheStats;
@@ -104,6 +113,7 @@ pub trait IcacheContents {
 pub struct PlainIcache {
     cache: SetAssocCache,
     bypass: Option<Box<dyn AdmissionPolicy>>,
+    flush_on_switch: bool,
 }
 
 impl PlainIcache {
@@ -113,12 +123,22 @@ impl PlainIcache {
         PlainIcache {
             cache: SetAssocCache::new(geom, kind.build(geom)),
             bypass: None,
+            flush_on_switch: false,
         }
     }
 
     /// Adds a direct fill-bypass policy (DSB / OBM style).
     pub fn with_bypass(mut self, bypass: Box<dyn AdmissionPolicy>) -> Self {
         self.bypass = Some(bypass);
+        self
+    }
+
+    /// Makes the cache invalidate everything on a context switch —
+    /// the no-ASID baseline organization. (ASID-tagged caches keep
+    /// their contents; this models hardware whose tags carry no
+    /// address-space bits.)
+    pub fn with_flush_on_switch(mut self) -> Self {
+        self.flush_on_switch = true;
         self
     }
 
@@ -132,7 +152,7 @@ impl IcacheContents for PlainIcache {
     fn access(&mut self, ctx: &AccessCtx<'_>) -> AccessOutcome {
         if !ctx.is_prefetch {
             if let Some(b) = self.bypass.as_mut() {
-                b.on_demand_access(ctx.block, ctx);
+                b.on_demand_access(ctx.tagged(), ctx);
             }
         }
         if self.cache.access(ctx) {
@@ -145,19 +165,25 @@ impl IcacheContents for PlainIcache {
     fn fill(&mut self, ctx: &AccessCtx<'_>) {
         if let Some(bypass) = self.bypass.as_mut() {
             let contender = self.cache.contender(ctx);
-            if contender.is_some() && !bypass.should_admit(ctx.block, contender, ctx) {
+            if contender.is_some() && !bypass.should_admit(ctx.tagged(), contender, ctx) {
                 // Count the bypass on the cache's books.
                 return;
             }
             let evicted = self.cache.fill(ctx);
-            bypass.on_fill(ctx.block, evicted, ctx);
+            bypass.on_fill(ctx.tagged(), evicted, ctx);
         } else {
             self.cache.fill(ctx);
         }
     }
 
-    fn contains_block(&self, block: BlockAddr) -> bool {
+    fn contains_block(&self, block: TaggedBlock) -> bool {
         self.cache.contains(block)
+    }
+
+    fn on_context_switch(&mut self, _next: Asid) {
+        if self.flush_on_switch {
+            self.cache.flush();
+        }
     }
 
     fn stats(&self) -> CacheStats {
@@ -165,9 +191,14 @@ impl IcacheContents for PlainIcache {
     }
 
     fn label(&self) -> String {
-        match &self.bypass {
+        let base = match &self.bypass {
             Some(b) => format!("{}+{}", self.cache.policy_name(), b.name()),
             None => self.cache.policy_name().to_string(),
+        };
+        if self.flush_on_switch {
+            format!("{base}-flush")
+        } else {
+            base
         }
     }
 
@@ -246,7 +277,7 @@ impl IcacheContents for VictimCachedIcache {
         }
     }
 
-    fn contains_block(&self, block: BlockAddr) -> bool {
+    fn contains_block(&self, block: TaggedBlock) -> bool {
         self.cache.contains(block) || self.victim.contains(block)
     }
 
@@ -272,9 +303,14 @@ mod tests {
     use super::*;
     use crate::geometry::CacheGeometry;
     use crate::policy::PolicyKind;
+    use acic_types::BlockAddr;
 
     fn ctx(b: u64, i: u64) -> AccessCtx<'static> {
         AccessCtx::demand(BlockAddr::new(b), i)
+    }
+
+    fn tb(b: u64) -> TaggedBlock {
+        TaggedBlock::untagged(BlockAddr::new(b))
     }
 
     #[test]
@@ -293,7 +329,7 @@ mod tests {
         i.fill(&ctx(1, 0));
         i.fill(&ctx(2, 1));
         i.fill(&ctx(3, 2)); // evicts 1 into the victim cache
-        assert!(i.contains_block(BlockAddr::new(1)));
+        assert!(i.contains_block(tb(1)));
         let out = i.access(&ctx(1, 3));
         assert!(out.hit);
         assert_eq!(out.extra_latency, 1);
@@ -310,7 +346,7 @@ mod tests {
         i.fill(&ctx(2, 1));
         // Set now full; further fills are rejected.
         i.fill(&ctx(3, 2));
-        assert!(!i.contains_block(BlockAddr::new(3)));
-        assert!(i.contains_block(BlockAddr::new(1)));
+        assert!(!i.contains_block(tb(3)));
+        assert!(i.contains_block(tb(1)));
     }
 }

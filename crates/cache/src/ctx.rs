@@ -2,17 +2,24 @@
 //!
 //! Policies need more than the block address: recency policies use the
 //! access index as a timestamp, OPT needs the oracle's next-use
-//! answers, and prefetch-aware policies (Harmony) need to know whether
-//! the access is a demand fetch or a prefetch.
+//! answers, prefetch-aware policies (Harmony) need to know whether
+//! the access is a demand fetch or a prefetch, and every
+//! identity-keyed structure needs the address space ([`Asid`]) the
+//! block belongs to — two tenants' overlapping virtual addresses are
+//! different blocks.
 
 use acic_trace::{OracleCursor, NO_NEXT_USE};
-use acic_types::BlockAddr;
+use acic_types::{Asid, BlockAddr, TaggedBlock};
 
 /// Context for one cache access or fill.
 #[derive(Clone, Copy)]
 pub struct AccessCtx<'a> {
     /// The block being accessed or filled.
     pub block: BlockAddr,
+    /// Address space of the access. [`Asid::HOST`] for single-tenant
+    /// traces; the tagged identity `(block, asid)` is what tag match
+    /// and signature hashing key on.
+    pub asid: Asid,
     /// Demand-access sequence position (monotone; used as an LRU
     /// timestamp).
     pub access_index: u64,
@@ -22,15 +29,19 @@ pub struct AccessCtx<'a> {
     /// Whether this access originates from a prefetcher.
     pub is_prefetch: bool,
     /// Optional oracle cursor for policies that need future knowledge
-    /// about *other* blocks (OPT-bypass).
+    /// about *other* blocks (OPT-bypass). The oracle is keyed by
+    /// flattened tagged identity ([`TaggedBlock::oracle_key`]).
     pub oracle: Option<&'a OracleCursor<'a>>,
 }
 
 impl<'a> AccessCtx<'a> {
-    /// A demand access without future knowledge.
+    /// A demand access in the host address space without future
+    /// knowledge.
+    #[inline]
     pub fn demand(block: BlockAddr, access_index: u64) -> Self {
         AccessCtx {
             block,
+            asid: Asid::HOST,
             access_index,
             next_use: NO_NEXT_USE,
             is_prefetch: false,
@@ -38,7 +49,18 @@ impl<'a> AccessCtx<'a> {
         }
     }
 
-    /// A prefetch access without future knowledge.
+    /// A demand access to a tagged block identity.
+    #[inline]
+    pub fn demand_tagged(tagged: TaggedBlock, access_index: u64) -> Self {
+        AccessCtx {
+            asid: tagged.asid,
+            ..AccessCtx::demand(tagged.block, access_index)
+        }
+    }
+
+    /// A prefetch access in the host address space without future
+    /// knowledge.
+    #[inline]
     pub fn prefetch(block: BlockAddr, access_index: u64) -> Self {
         AccessCtx {
             is_prefetch: true,
@@ -46,23 +68,47 @@ impl<'a> AccessCtx<'a> {
         }
     }
 
+    /// Re-homes the access into another address space.
+    #[inline]
+    pub fn with_asid(mut self, asid: Asid) -> Self {
+        self.asid = asid;
+        self
+    }
+
     /// Attaches the block's own next-use position (for OPT).
+    #[inline]
     pub fn with_next_use(mut self, next_use: u64) -> Self {
         self.next_use = next_use;
         self
     }
 
     /// Attaches an oracle cursor (for OPT-bypass).
+    #[inline]
     pub fn with_oracle(mut self, oracle: &'a OracleCursor<'a>) -> Self {
         self.oracle = Some(oracle);
         self
     }
 
-    /// Next-use position of an arbitrary block, if an oracle is
-    /// attached; [`NO_NEXT_USE`] otherwise.
-    pub fn next_use_of(&self, block: BlockAddr) -> u64 {
+    /// The ASID-tagged identity of the accessed block — the unit of
+    /// tag match and signature hashing.
+    #[inline]
+    pub fn tagged(&self) -> TaggedBlock {
+        self.block.with_asid(self.asid)
+    }
+
+    /// Flattened 64-bit identity of the accessed block (equals
+    /// `block.raw()` in the host space). Identity-keyed hashes must
+    /// use this, never the bare block address.
+    #[inline]
+    pub fn ident(&self) -> u64 {
+        self.tagged().ident()
+    }
+
+    /// Next-use position of an arbitrary tagged block, if an oracle
+    /// is attached; [`NO_NEXT_USE`] otherwise.
+    pub fn next_use_of(&self, block: TaggedBlock) -> u64 {
         match self.oracle {
-            Some(cur) => cur.next_use_of(block),
+            Some(cur) => cur.next_use_of(block.oracle_key()),
             None => NO_NEXT_USE,
         }
     }
@@ -72,6 +118,7 @@ impl core::fmt::Debug for AccessCtx<'_> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("AccessCtx")
             .field("block", &self.block)
+            .field("asid", &self.asid)
             .field("access_index", &self.access_index)
             .field("next_use", &self.next_use)
             .field("is_prefetch", &self.is_prefetch)
@@ -88,9 +135,14 @@ mod tests {
     fn demand_defaults() {
         let ctx = AccessCtx::demand(BlockAddr::new(5), 7);
         assert!(!ctx.is_prefetch);
+        assert!(ctx.asid.is_host());
         assert_eq!(ctx.next_use, NO_NEXT_USE);
         assert_eq!(ctx.access_index, 7);
-        assert_eq!(ctx.next_use_of(BlockAddr::new(5)), NO_NEXT_USE);
+        assert_eq!(
+            ctx.next_use_of(TaggedBlock::untagged(BlockAddr::new(5))),
+            NO_NEXT_USE
+        );
+        assert_eq!(ctx.ident(), 5);
     }
 
     #[test]
@@ -106,6 +158,17 @@ mod tests {
     }
 
     #[test]
+    fn tagged_identity_tracks_asid() {
+        let t = BlockAddr::new(5).with_asid(Asid::new(2));
+        let ctx = AccessCtx::demand_tagged(t, 0);
+        assert_eq!(ctx.tagged(), t);
+        assert_eq!(ctx.ident(), t.ident());
+        assert_ne!(ctx.ident(), 5, "tenant identity differs from host");
+        let rehomed = AccessCtx::demand(BlockAddr::new(5), 0).with_asid(Asid::new(2));
+        assert_eq!(rehomed.tagged(), t);
+    }
+
+    #[test]
     fn oracle_lookup_through_ctx() {
         use acic_trace::ReuseOracle;
         let seq = vec![BlockAddr::new(1), BlockAddr::new(2), BlockAddr::new(1)];
@@ -113,6 +176,6 @@ mod tests {
         let mut cur = oracle.cursor();
         cur.advance(BlockAddr::new(1));
         let ctx = AccessCtx::demand(BlockAddr::new(1), 0).with_oracle(&cur);
-        assert_eq!(ctx.next_use_of(BlockAddr::new(1)), 2);
+        assert_eq!(ctx.next_use_of(TaggedBlock::untagged(BlockAddr::new(1))), 2);
     }
 }

@@ -1,6 +1,6 @@
 //! Cache geometry: size, associativity, and derived set counts.
 
-use acic_types::{BlockAddr, BLOCK_BYTES};
+use acic_types::{BlockAddr, TaggedBlock, BLOCK_BYTES};
 
 /// Geometry of a set-associative cache.
 ///
@@ -118,9 +118,18 @@ impl CacheGeometry {
         self.lines() * BLOCK_BYTES as usize
     }
 
-    /// Set index of a block.
+    /// Set index of a (host-space) block.
     #[inline]
     pub fn set_of(&self, block: BlockAddr) -> usize {
+        block.set_index(self.sets)
+    }
+
+    /// Set index of a tagged block identity. Identical to
+    /// [`CacheGeometry::set_of`] for the host space; for tenants the
+    /// ASID participates through [`TaggedBlock::ident`] (landing in
+    /// the tag bits at realistic set counts — VIPT indexing).
+    #[inline]
+    pub fn set_of_tagged(&self, block: TaggedBlock) -> usize {
         block.set_index(self.sets)
     }
 

@@ -16,7 +16,7 @@ use crate::ctx::AccessCtx;
 use crate::geometry::CacheGeometry;
 use crate::policy::ReplacementPolicy;
 use acic_types::hash::{fold, mix64};
-use acic_types::{BlockAddr, LruStamps, SatCounter};
+use acic_types::{LruStamps, SatCounter, TaggedBlock};
 
 /// Prediction-table entries (4096 each, Table IV).
 const TABLE_ENTRIES: usize = 4096;
@@ -58,11 +58,11 @@ impl GhrpPolicy {
         }
     }
 
-    fn signature(&self, block: BlockAddr) -> u32 {
-        (fold(mix64(block.raw()), HISTORY_BITS) as u32) ^ self.history
+    fn signature(&self, block: TaggedBlock) -> u32 {
+        (fold(mix64(block.ident()), HISTORY_BITS) as u32) ^ self.history
     }
 
-    fn indices(&self, block: BlockAddr) -> [u16; NUM_TABLES] {
+    fn indices(&self, block: TaggedBlock) -> [u16; NUM_TABLES] {
         let sig = self.signature(block) as u64;
         [
             fold(mix64(sig), 12) as u16,
@@ -88,8 +88,8 @@ impl GhrpPolicy {
         }
     }
 
-    fn push_history(&mut self, block: BlockAddr) {
-        let piece = fold(mix64(block.raw()), 3) as u32;
+    fn push_history(&mut self, block: TaggedBlock) {
+        let piece = fold(mix64(block.ident()), 3) as u32;
         self.history = ((self.history << 3) ^ piece) & ((1 << HISTORY_BITS) - 1);
     }
 
@@ -99,7 +99,7 @@ impl GhrpPolicy {
 
     /// Records a new access generation for a line: store current
     /// indices and prediction, then advance the global history.
-    fn stamp_line(&mut self, set: usize, way: usize, block: BlockAddr) {
+    fn stamp_line(&mut self, set: usize, way: usize, block: TaggedBlock) {
         let indices = self.indices(block);
         let dead = self.predict_dead(&indices);
         let i = self.idx(set, way);
@@ -125,14 +125,14 @@ impl ReplacementPolicy for GhrpPolicy {
             let indices = self.lines[i].indices;
             self.train(&indices, false);
         }
-        self.stamp_line(set, way, ctx.block);
+        self.stamp_line(set, way, ctx.tagged());
     }
 
     fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessCtx<'_>) {
-        self.stamp_line(set, way, ctx.block);
+        self.stamp_line(set, way, ctx.tagged());
     }
 
-    fn on_evict(&mut self, set: usize, way: usize, _block: BlockAddr, _ctx: &AccessCtx<'_>) {
+    fn on_evict(&mut self, set: usize, way: usize, _block: TaggedBlock, _ctx: &AccessCtx<'_>) {
         // The line died: its last access's indices were dead.
         let i = self.idx(set, way);
         if self.lines[i].valid {
@@ -147,11 +147,11 @@ impl ReplacementPolicy for GhrpPolicy {
         self.lru[set].clear(way);
     }
 
-    fn victim_way(&mut self, set: usize, blocks: &[BlockAddr], ctx: &AccessCtx<'_>) -> usize {
+    fn victim_way(&mut self, set: usize, blocks: &[TaggedBlock], ctx: &AccessCtx<'_>) -> usize {
         self.peek_victim(set, blocks, ctx)
     }
 
-    fn peek_victim(&self, set: usize, _blocks: &[BlockAddr], _ctx: &AccessCtx<'_>) -> usize {
+    fn peek_victim(&self, set: usize, _blocks: &[TaggedBlock], _ctx: &AccessCtx<'_>) -> usize {
         // Dead-predicted lines first (LRU among them), else plain LRU.
         let base = self.idx(set, 0);
         let mut best: Option<(u64, usize)> = None;
@@ -174,9 +174,14 @@ impl ReplacementPolicy for GhrpPolicy {
 mod tests {
     use super::*;
     use crate::cache::SetAssocCache;
+    use acic_types::BlockAddr;
 
     fn ctx(b: u64, i: u64) -> AccessCtx<'static> {
         AccessCtx::demand(BlockAddr::new(b), i)
+    }
+
+    fn tb(b: u64) -> TaggedBlock {
+        TaggedBlock::untagged(BlockAddr::new(b))
     }
 
     #[test]
@@ -188,7 +193,7 @@ mod tests {
         }
         c.access(&ctx(0, 10));
         let evicted = c.fill(&ctx(9, 11));
-        assert_eq!(evicted, Some(BlockAddr::new(1)));
+        assert_eq!(evicted, Some(tb(1)));
     }
 
     #[test]
@@ -200,10 +205,10 @@ mod tests {
         for _ in 0..4 {
             p.history = 0; // stabilize history so indices repeat
             p.on_fill(0, 0, &ctx(42, 0));
-            p.on_evict(0, 0, BlockAddr::new(42), &ctx(1, 1));
+            p.on_evict(0, 0, tb(42), &ctx(1, 1));
         }
         p.history = 0;
-        let indices = p.indices(BlockAddr::new(42));
+        let indices = p.indices(tb(42));
         assert!(p.predict_dead(&indices));
     }
 
@@ -214,7 +219,7 @@ mod tests {
         for _ in 0..4 {
             p.history = 0;
             p.on_fill(0, 0, &ctx(42, 0));
-            p.on_evict(0, 0, BlockAddr::new(42), &ctx(1, 1));
+            p.on_evict(0, 0, tb(42), &ctx(1, 1));
         }
         // Now hits should walk the counters back down.
         for _ in 0..4 {
@@ -224,7 +229,7 @@ mod tests {
             p.on_hit(0, 0, &ctx(42, 1));
         }
         p.history = 0;
-        let indices = p.indices(BlockAddr::new(42));
+        let indices = p.indices(tb(42));
         assert!(!p.predict_dead(&indices));
     }
 
@@ -232,9 +237,9 @@ mod tests {
     fn history_changes_signature() {
         let geom = CacheGeometry::from_sets_ways(1, 2);
         let mut p = GhrpPolicy::new(geom);
-        let s1 = p.signature(BlockAddr::new(5));
-        p.push_history(BlockAddr::new(77));
-        let s2 = p.signature(BlockAddr::new(5));
+        let s1 = p.signature(tb(5));
+        p.push_history(tb(77));
+        let s2 = p.signature(tb(5));
         assert_ne!(s1, s2);
     }
 

@@ -18,7 +18,7 @@ use crate::ctx::AccessCtx;
 use crate::geometry::CacheGeometry;
 use crate::policy::ReplacementPolicy;
 use acic_types::hash::{fold, mix64};
-use acic_types::{BlockAddr, SatCounter};
+use acic_types::{SatCounter, TaggedBlock};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -38,8 +38,10 @@ struct SampledSet {
     occupancy: VecDeque<u8>,
     /// Set-local logical time of the next access.
     time: u64,
-    /// Block -> (last access time, signature used at that access).
-    last: HashMap<BlockAddr, (u64, u16)>,
+    /// Block identity -> (last access time, signature used at that
+    /// access). Keyed by tagged identity so tenants' overlapping VAs
+    /// never merge OPTgen generations.
+    last: HashMap<TaggedBlock, (u64, u16)>,
 }
 
 /// Per-line replacement metadata.
@@ -76,13 +78,13 @@ impl HawkeyePolicy {
         }
     }
 
-    fn signature(&self, block: BlockAddr, is_prefetch: bool) -> u16 {
-        let tagged = if self.prefetch_aware && is_prefetch {
-            mix64(block.raw()) ^ 0x5bd1_e995
+    fn signature(&self, block: TaggedBlock, is_prefetch: bool) -> u16 {
+        let hashed = if self.prefetch_aware && is_prefetch {
+            mix64(block.ident()) ^ 0x5bd1_e995
         } else {
-            mix64(block.raw())
+            mix64(block.ident())
         };
-        fold(tagged, 13) as u16
+        fold(hashed, 13) as u16
     }
 
     fn is_sampled(&self, set: usize) -> bool {
@@ -101,13 +103,13 @@ impl HawkeyePolicy {
     /// predictor with what OPT would have done.
     fn optgen_access(&mut self, set: usize, ctx: &AccessCtx<'_>) {
         let ways = self.ways as u8;
-        let sig = self.signature(ctx.block, ctx.is_prefetch);
+        let sig = self.signature(ctx.tagged(), ctx.is_prefetch);
         let entry = self.sampled.entry(set).or_default();
         let now = entry.time;
         entry.time += 1;
 
         let mut train: Option<(u16, bool)> = None;
-        if let Some(&(t_prev, prev_sig)) = entry.last.get(&ctx.block) {
+        if let Some(&(t_prev, prev_sig)) = entry.last.get(&ctx.tagged()) {
             let window_start = now.saturating_sub(entry.occupancy.len() as u64);
             if t_prev >= window_start {
                 let start = (t_prev - window_start) as usize;
@@ -120,7 +122,7 @@ impl HawkeyePolicy {
                 train = Some((prev_sig, fits));
             }
         }
-        entry.last.insert(ctx.block, (now, sig));
+        entry.last.insert(ctx.tagged(), (now, sig));
         entry.occupancy.push_back(0);
         if entry.occupancy.len() > WINDOW {
             entry.occupancy.pop_front();
@@ -153,7 +155,7 @@ impl ReplacementPolicy for HawkeyePolicy {
         if self.is_sampled(set) {
             self.optgen_access(set, ctx);
         }
-        let sig = self.signature(ctx.block, ctx.is_prefetch);
+        let sig = self.signature(ctx.tagged(), ctx.is_prefetch);
         let friendly = self.predict_friendly(sig);
         let i = self.idx(set, way);
         self.lines[i].signature = sig;
@@ -170,7 +172,7 @@ impl ReplacementPolicy for HawkeyePolicy {
     }
 
     fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessCtx<'_>) {
-        let sig = self.signature(ctx.block, ctx.is_prefetch);
+        let sig = self.signature(ctx.tagged(), ctx.is_prefetch);
         let friendly = self.predict_friendly(sig);
         let i = self.idx(set, way);
         if friendly {
@@ -191,7 +193,7 @@ impl ReplacementPolicy for HawkeyePolicy {
         };
     }
 
-    fn on_evict(&mut self, set: usize, way: usize, _block: BlockAddr, _ctx: &AccessCtx<'_>) {
+    fn on_evict(&mut self, set: usize, way: usize, _block: TaggedBlock, _ctx: &AccessCtx<'_>) {
         // Detrain: evicting a cache-friendly line means the predictor
         // overpromised — OPT would not have kept it around.
         let i = self.idx(set, way);
@@ -209,11 +211,11 @@ impl ReplacementPolicy for HawkeyePolicy {
         };
     }
 
-    fn victim_way(&mut self, set: usize, blocks: &[BlockAddr], ctx: &AccessCtx<'_>) -> usize {
+    fn victim_way(&mut self, set: usize, blocks: &[TaggedBlock], ctx: &AccessCtx<'_>) -> usize {
         self.peek_victim(set, blocks, ctx)
     }
 
-    fn peek_victim(&self, set: usize, _blocks: &[BlockAddr], _ctx: &AccessCtx<'_>) -> usize {
+    fn peek_victim(&self, set: usize, _blocks: &[TaggedBlock], _ctx: &AccessCtx<'_>) -> usize {
         let base = set * self.ways;
         // Prefer a cache-averse line (RRPV max), else the oldest
         // friendly line (highest RRPV).
@@ -230,9 +232,14 @@ impl ReplacementPolicy for HawkeyePolicy {
 mod tests {
     use super::*;
     use crate::cache::SetAssocCache;
+    use acic_types::BlockAddr;
 
     fn ctx(b: u64, i: u64) -> AccessCtx<'static> {
         AccessCtx::demand(BlockAddr::new(b), i)
+    }
+
+    fn tb(b: u64) -> TaggedBlock {
+        TaggedBlock::untagged(BlockAddr::new(b))
     }
 
     #[test]
@@ -244,7 +251,7 @@ mod tests {
         for i in 0..20 {
             p.on_miss(0, &ctx(8, i));
         }
-        let sig = p.signature(BlockAddr::new(8), false);
+        let sig = p.signature(tb(8), false);
         assert!(p.predictor[sig as usize % PREDICTOR_ENTRIES].value() >= 4);
     }
 
@@ -259,7 +266,7 @@ mod tests {
                 p.on_miss(0, &ctx(b, round * 8 + b));
             }
         }
-        let sig = p.signature(BlockAddr::new(3), false);
+        let sig = p.signature(tb(3), false);
         assert!(
             p.predictor[sig as usize % PREDICTOR_ENTRIES].value() < 4,
             "streaming signature should be averse"
@@ -271,20 +278,20 @@ mod tests {
         let geom = CacheGeometry::from_sets_ways(1, 2);
         let mut p = HawkeyePolicy::new(geom, false);
         // Make block 5's signature averse manually.
-        let sig5 = p.signature(BlockAddr::new(5), false);
+        let sig5 = p.signature(tb(5), false);
         p.predictor[sig5 as usize % PREDICTOR_ENTRIES].set(0);
         let mut c = SetAssocCache::new(geom, p);
         c.fill(&ctx(1, 0));
         c.fill(&ctx(5, 1));
         let evicted = c.fill(&ctx(9, 2));
-        assert_eq!(evicted, Some(BlockAddr::new(5)));
+        assert_eq!(evicted, Some(tb(5)));
     }
 
     #[test]
     fn harmony_separates_prefetch_signatures() {
         let geom = CacheGeometry::from_sets_ways(1, 2);
         let p = HawkeyePolicy::new(geom, true);
-        let b = BlockAddr::new(77);
+        let b = tb(77);
         assert_ne!(p.signature(b, false), p.signature(b, true));
         let p = HawkeyePolicy::new(geom, false);
         assert_eq!(p.signature(b, false), p.signature(b, true));

@@ -4,7 +4,7 @@
 use crate::ctx::AccessCtx;
 use crate::geometry::CacheGeometry;
 use crate::policy::ReplacementPolicy;
-use acic_types::{BlockAddr, LruStamps};
+use acic_types::{LruStamps, TaggedBlock};
 
 /// True-LRU replacement using per-set recency stamps.
 ///
@@ -22,7 +22,7 @@ use acic_types::{BlockAddr, LruStamps};
 /// }
 /// c.access(&AccessCtx::demand(BlockAddr::new(10), 2)); // 20 becomes LRU
 /// let evicted = c.fill(&AccessCtx::demand(BlockAddr::new(30), 3));
-/// assert_eq!(evicted, Some(BlockAddr::new(20)));
+/// assert_eq!(evicted.map(|t| t.block), Some(BlockAddr::new(20)));
 /// ```
 #[derive(Debug)]
 pub struct LruPolicy {
@@ -63,11 +63,11 @@ impl ReplacementPolicy for LruPolicy {
         self.sets[set].clear(way);
     }
 
-    fn victim_way(&mut self, set: usize, _blocks: &[BlockAddr], _ctx: &AccessCtx<'_>) -> usize {
+    fn victim_way(&mut self, set: usize, _blocks: &[TaggedBlock], _ctx: &AccessCtx<'_>) -> usize {
         self.sets[set].lru_way()
     }
 
-    fn peek_victim(&self, set: usize, _blocks: &[BlockAddr], _ctx: &AccessCtx<'_>) -> usize {
+    fn peek_victim(&self, set: usize, _blocks: &[TaggedBlock], _ctx: &AccessCtx<'_>) -> usize {
         self.sets[set].lru_way()
     }
 }
@@ -76,6 +76,7 @@ impl ReplacementPolicy for LruPolicy {
 mod tests {
     use super::*;
     use crate::cache::SetAssocCache;
+    use acic_types::BlockAddr;
 
     #[test]
     fn evicts_least_recently_touched() {
@@ -88,7 +89,7 @@ mod tests {
         c.access(&AccessCtx::demand(BlockAddr::new(0), 10));
         c.access(&AccessCtx::demand(BlockAddr::new(1), 11));
         let evicted = c.fill(&AccessCtx::demand(BlockAddr::new(9), 12));
-        assert_eq!(evicted, Some(BlockAddr::new(2)));
+        assert_eq!(evicted, Some(TaggedBlock::untagged(BlockAddr::new(2))));
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod srrip;
 
 use crate::ctx::AccessCtx;
 use crate::geometry::CacheGeometry;
-use acic_types::BlockAddr;
+use acic_types::TaggedBlock;
 
 /// Hooks a replacement policy implements.
 ///
@@ -30,6 +30,11 @@ use acic_types::BlockAddr;
 /// `peek_victim` must be side-effect free; it exists so admission
 /// mechanisms can ask "who would you evict?" without committing
 /// (the paper's *contender block* query).
+///
+/// Blocks are [`TaggedBlock`] identities: policies that hash or key
+/// on block identity must use [`TaggedBlock::ident`] (or
+/// [`AccessCtx::ident`]) so tenants learn separately — the hash is
+/// unchanged for the host space.
 pub trait ReplacementPolicy {
     /// Short name used in reports.
     fn name(&self) -> &'static str;
@@ -45,17 +50,17 @@ pub trait ReplacementPolicy {
     fn on_miss(&mut self, _set: usize, _ctx: &AccessCtx<'_>) {}
 
     /// `block` is about to be evicted from `way`.
-    fn on_evict(&mut self, _set: usize, _way: usize, _block: BlockAddr, _ctx: &AccessCtx<'_>) {}
+    fn on_evict(&mut self, _set: usize, _way: usize, _block: TaggedBlock, _ctx: &AccessCtx<'_>) {}
 
     /// A line was invalidated outside the fill path.
     fn on_invalidate(&mut self, _set: usize, _way: usize) {}
 
     /// Chooses the way to evict; `blocks[w]` is the block in way `w`
     /// (all valid). May update policy state (e.g. RRIP aging).
-    fn victim_way(&mut self, set: usize, blocks: &[BlockAddr], ctx: &AccessCtx<'_>) -> usize;
+    fn victim_way(&mut self, set: usize, blocks: &[TaggedBlock], ctx: &AccessCtx<'_>) -> usize;
 
     /// Side-effect-free preview of [`ReplacementPolicy::victim_way`].
-    fn peek_victim(&self, set: usize, blocks: &[BlockAddr], ctx: &AccessCtx<'_>) -> usize;
+    fn peek_victim(&self, set: usize, blocks: &[TaggedBlock], ctx: &AccessCtx<'_>) -> usize;
 }
 
 /// Runtime-selectable policy constructors.
@@ -226,7 +231,7 @@ impl ReplacementPolicy for AnyPolicy {
     }
 
     #[inline]
-    fn on_evict(&mut self, set: usize, way: usize, block: BlockAddr, ctx: &AccessCtx<'_>) {
+    fn on_evict(&mut self, set: usize, way: usize, block: TaggedBlock, ctx: &AccessCtx<'_>) {
         dispatch!(self, p => p.on_evict(set, way, block, ctx))
     }
 
@@ -236,12 +241,12 @@ impl ReplacementPolicy for AnyPolicy {
     }
 
     #[inline]
-    fn victim_way(&mut self, set: usize, blocks: &[BlockAddr], ctx: &AccessCtx<'_>) -> usize {
+    fn victim_way(&mut self, set: usize, blocks: &[TaggedBlock], ctx: &AccessCtx<'_>) -> usize {
         dispatch!(self, p => p.victim_way(set, blocks, ctx))
     }
 
     #[inline]
-    fn peek_victim(&self, set: usize, blocks: &[BlockAddr], ctx: &AccessCtx<'_>) -> usize {
+    fn peek_victim(&self, set: usize, blocks: &[TaggedBlock], ctx: &AccessCtx<'_>) -> usize {
         dispatch!(self, p => p.peek_victim(set, blocks, ctx))
     }
 }

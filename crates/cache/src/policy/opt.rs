@@ -12,7 +12,7 @@ use crate::ctx::AccessCtx;
 use crate::geometry::CacheGeometry;
 use crate::policy::ReplacementPolicy;
 use acic_trace::NO_NEXT_USE;
-use acic_types::BlockAddr;
+use acic_types::TaggedBlock;
 
 /// Oracle OPT replacement.
 ///
@@ -61,11 +61,11 @@ impl ReplacementPolicy for OptPolicy {
         self.next_use[i] = NO_NEXT_USE;
     }
 
-    fn victim_way(&mut self, set: usize, blocks: &[BlockAddr], ctx: &AccessCtx<'_>) -> usize {
+    fn victim_way(&mut self, set: usize, blocks: &[TaggedBlock], ctx: &AccessCtx<'_>) -> usize {
         self.peek_victim(set, blocks, ctx)
     }
 
-    fn peek_victim(&self, set: usize, _blocks: &[BlockAddr], _ctx: &AccessCtx<'_>) -> usize {
+    fn peek_victim(&self, set: usize, _blocks: &[TaggedBlock], _ctx: &AccessCtx<'_>) -> usize {
         let base = set * self.ways;
         self.next_use[base..base + self.ways]
             .iter()
@@ -80,9 +80,14 @@ impl ReplacementPolicy for OptPolicy {
 mod tests {
     use super::*;
     use crate::cache::SetAssocCache;
+    use acic_types::BlockAddr;
 
     fn ctx_with(b: u64, next: u64) -> AccessCtx<'static> {
         AccessCtx::demand(BlockAddr::new(b), 0).with_next_use(next)
+    }
+
+    fn tb(b: u64) -> TaggedBlock {
+        TaggedBlock::untagged(BlockAddr::new(b))
     }
 
     #[test]
@@ -93,7 +98,7 @@ mod tests {
         c.fill(&ctx_with(2, 100));
         c.fill(&ctx_with(3, 50));
         let evicted = c.fill(&ctx_with(4, 20));
-        assert_eq!(evicted, Some(BlockAddr::new(2)));
+        assert_eq!(evicted, Some(tb(2)));
     }
 
     #[test]
@@ -103,7 +108,7 @@ mod tests {
         c.fill(&ctx_with(1, NO_NEXT_USE));
         c.fill(&ctx_with(2, 5));
         let evicted = c.fill(&ctx_with(3, 7));
-        assert_eq!(evicted, Some(BlockAddr::new(1)));
+        assert_eq!(evicted, Some(tb(1)));
     }
 
     #[test]
@@ -115,7 +120,7 @@ mod tests {
         // Block 1 is accessed; its *new* next use is far away.
         c.access(&ctx_with(1, 1000));
         let evicted = c.fill(&ctx_with(3, 60));
-        assert_eq!(evicted, Some(BlockAddr::new(1)));
+        assert_eq!(evicted, Some(tb(1)));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::ctx::AccessCtx;
 use crate::geometry::CacheGeometry;
 use crate::policy::ReplacementPolicy;
 use acic_types::hash::SplitMix64;
-use acic_types::BlockAddr;
+use acic_types::TaggedBlock;
 
 /// Uniform-random victim selection (deterministic per seed).
 ///
@@ -38,24 +38,33 @@ impl ReplacementPolicy for RandomPolicy {
 
     fn on_fill(&mut self, _set: usize, _way: usize, _ctx: &AccessCtx<'_>) {}
 
-    fn victim_way(&mut self, _set: usize, _blocks: &[BlockAddr], _ctx: &AccessCtx<'_>) -> usize {
+    fn victim_way(&mut self, _set: usize, _blocks: &[TaggedBlock], _ctx: &AccessCtx<'_>) -> usize {
         self.rng.next_below(self.ways as u64) as usize
     }
 
-    fn peek_victim(&self, _set: usize, _blocks: &[BlockAddr], ctx: &AccessCtx<'_>) -> usize {
-        (acic_types::hash::mix64(ctx.block.raw()) % self.ways as u64) as usize
+    fn peek_victim(&self, _set: usize, _blocks: &[TaggedBlock], ctx: &AccessCtx<'_>) -> usize {
+        // Hash the tagged identity so peeks stay per-tenant stable
+        // (identical to the raw block address for the host space).
+        (acic_types::hash::mix64(ctx.ident()) % self.ways as u64) as usize
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acic_types::BlockAddr;
+
+    fn blocks(n: u64) -> Vec<TaggedBlock> {
+        (0..n)
+            .map(|b| TaggedBlock::untagged(BlockAddr::new(b)))
+            .collect()
+    }
 
     #[test]
     fn victims_cover_all_ways() {
         let geom = CacheGeometry::from_sets_ways(1, 4);
         let mut p = RandomPolicy::new(geom, 3);
-        let blocks: Vec<BlockAddr> = (0..4).map(BlockAddr::new).collect();
+        let blocks = blocks(4);
         let ctx = AccessCtx::demand(BlockAddr::new(9), 0);
         let mut seen = [false; 4];
         for _ in 0..200 {
@@ -67,7 +76,7 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let geom = CacheGeometry::from_sets_ways(1, 8);
-        let blocks: Vec<BlockAddr> = (0..8).map(BlockAddr::new).collect();
+        let blocks = blocks(8);
         let ctx = AccessCtx::demand(BlockAddr::new(9), 0);
         let mut a = RandomPolicy::new(geom, 42);
         let mut b = RandomPolicy::new(geom, 42);
@@ -83,7 +92,7 @@ mod tests {
     fn peek_is_stable() {
         let geom = CacheGeometry::from_sets_ways(1, 4);
         let p = RandomPolicy::new(geom, 1);
-        let blocks: Vec<BlockAddr> = (0..4).map(BlockAddr::new).collect();
+        let blocks = blocks(4);
         let ctx = AccessCtx::demand(BlockAddr::new(7), 0);
         assert_eq!(
             p.peek_victim(0, &blocks, &ctx),

@@ -12,7 +12,7 @@ use crate::geometry::CacheGeometry;
 use crate::policy::srrip::{RRPV_INSERT, RRPV_MAX};
 use crate::policy::ReplacementPolicy;
 use acic_types::hash::{fold, mix64};
-use acic_types::{BlockAddr, SatCounter};
+use acic_types::{SatCounter, TaggedBlock};
 
 /// Signature width in bits (Table IV).
 const SIG_BITS: u32 = 13;
@@ -49,8 +49,11 @@ impl ShipPolicy {
         }
     }
 
-    fn signature(block: BlockAddr) -> u16 {
-        fold(mix64(block.raw()), SIG_BITS) as u16
+    /// Signatures hash the tagged identity, so each tenant's code
+    /// regions train their own SHCT counters (identical to hashing
+    /// the bare block address for the host space).
+    fn signature(block: TaggedBlock) -> u16 {
+        fold(mix64(block.ident()), SIG_BITS) as u16
     }
 
     fn idx(&self, set: usize, way: usize) -> usize {
@@ -58,7 +61,7 @@ impl ShipPolicy {
     }
 
     /// SHCT counter value for a block's signature (test hook).
-    pub fn counter_for(&self, block: BlockAddr) -> u16 {
+    pub fn counter_for(&self, block: TaggedBlock) -> u16 {
         self.shct[Self::signature(block) as usize].value()
     }
 }
@@ -78,7 +81,7 @@ impl ReplacementPolicy for ShipPolicy {
     }
 
     fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessCtx<'_>) {
-        let sig = Self::signature(ctx.block);
+        let sig = Self::signature(ctx.tagged());
         let predicted_dead = self.shct[sig as usize].is_min();
         let i = self.idx(set, way);
         self.lines[i] = LineMeta {
@@ -92,7 +95,7 @@ impl ReplacementPolicy for ShipPolicy {
         };
     }
 
-    fn on_evict(&mut self, set: usize, way: usize, _block: BlockAddr, _ctx: &AccessCtx<'_>) {
+    fn on_evict(&mut self, set: usize, way: usize, _block: TaggedBlock, _ctx: &AccessCtx<'_>) {
         let i = self.idx(set, way);
         if !self.lines[i].reused {
             self.shct[self.lines[i].signature as usize].decrement();
@@ -107,7 +110,7 @@ impl ReplacementPolicy for ShipPolicy {
         };
     }
 
-    fn victim_way(&mut self, set: usize, _blocks: &[BlockAddr], _ctx: &AccessCtx<'_>) -> usize {
+    fn victim_way(&mut self, set: usize, _blocks: &[TaggedBlock], _ctx: &AccessCtx<'_>) -> usize {
         let base = self.idx(set, 0);
         loop {
             if let Some(w) = self.lines[base..base + self.ways]
@@ -122,7 +125,7 @@ impl ReplacementPolicy for ShipPolicy {
         }
     }
 
-    fn peek_victim(&self, set: usize, _blocks: &[BlockAddr], _ctx: &AccessCtx<'_>) -> usize {
+    fn peek_victim(&self, set: usize, _blocks: &[TaggedBlock], _ctx: &AccessCtx<'_>) -> usize {
         let base = self.idx(set, 0);
         self.lines[base..base + self.ways]
             .iter()
@@ -137,9 +140,14 @@ impl ReplacementPolicy for ShipPolicy {
 mod tests {
     use super::*;
     use crate::cache::SetAssocCache;
+    use acic_types::BlockAddr;
 
     fn ctx(b: u64, i: u64) -> AccessCtx<'static> {
         AccessCtx::demand(BlockAddr::new(b), i)
+    }
+
+    fn tb(b: u64) -> TaggedBlock {
+        TaggedBlock::untagged(BlockAddr::new(b))
     }
 
     #[test]
@@ -158,7 +166,7 @@ mod tests {
     fn reuse_trains_counter_up() {
         let geom = CacheGeometry::from_sets_ways(1, 4);
         let mut p = ShipPolicy::new(geom);
-        let b = BlockAddr::new(7);
+        let b = tb(7);
         let before = p.counter_for(b);
         p.on_fill(0, 0, &ctx(7, 0));
         p.on_hit(0, 0, &ctx(7, 1));
@@ -172,7 +180,7 @@ mod tests {
     fn dead_signature_inserts_distant() {
         let geom = CacheGeometry::from_sets_ways(1, 4);
         let mut p = ShipPolicy::new(geom);
-        let b = BlockAddr::new(9);
+        let b = tb(9);
         // Drive the signature counter to zero via dead evictions.
         p.on_fill(0, 0, &ctx(9, 0));
         p.on_evict(0, 0, b, &ctx(1, 1));
@@ -184,14 +192,23 @@ mod tests {
     #[test]
     fn distinct_blocks_usually_have_distinct_signatures() {
         let collisions = (0..1000u64)
-            .filter(|&i| {
-                ShipPolicy::signature(BlockAddr::new(i))
-                    == ShipPolicy::signature(BlockAddr::new(i + 1_000_000))
-            })
+            .filter(|&i| ShipPolicy::signature(tb(i)) == ShipPolicy::signature(tb(i + 1_000_000)))
             .count();
         assert!(
             collisions < 10,
             "too many signature collisions: {collisions}"
+        );
+    }
+
+    #[test]
+    fn tenants_have_separate_signatures() {
+        use acic_types::Asid;
+        let host = tb(7);
+        let tenant = BlockAddr::new(7).with_asid(Asid::new(1));
+        assert_ne!(
+            ShipPolicy::signature(host),
+            ShipPolicy::signature(tenant),
+            "same VA in different spaces must train different counters"
         );
     }
 }

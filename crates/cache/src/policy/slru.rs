@@ -9,7 +9,7 @@
 use crate::ctx::AccessCtx;
 use crate::geometry::CacheGeometry;
 use crate::policy::ReplacementPolicy;
-use acic_types::{BlockAddr, LruStamps};
+use acic_types::{LruStamps, TaggedBlock};
 
 /// Per-line segment membership.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -95,11 +95,11 @@ impl ReplacementPolicy for SlruPolicy {
         self.lru[set].clear(way);
     }
 
-    fn victim_way(&mut self, set: usize, blocks: &[BlockAddr], ctx: &AccessCtx<'_>) -> usize {
+    fn victim_way(&mut self, set: usize, blocks: &[TaggedBlock], ctx: &AccessCtx<'_>) -> usize {
         self.peek_victim(set, blocks, ctx)
     }
 
-    fn peek_victim(&self, set: usize, _blocks: &[BlockAddr], _ctx: &AccessCtx<'_>) -> usize {
+    fn peek_victim(&self, set: usize, _blocks: &[TaggedBlock], _ctx: &AccessCtx<'_>) -> usize {
         self.victim_in_segment(set, Segment::Probationary)
             .or_else(|| self.victim_in_segment(set, Segment::Protected))
             .expect("at least one way")
@@ -110,6 +110,7 @@ impl ReplacementPolicy for SlruPolicy {
 mod tests {
     use super::*;
     use crate::cache::SetAssocCache;
+    use acic_types::BlockAddr;
 
     fn ctx(b: u64, i: u64) -> AccessCtx<'static> {
         AccessCtx::demand(BlockAddr::new(b), i)
@@ -154,7 +155,10 @@ mod tests {
         p.on_fill(0, 0, &ctx(0, 0));
         p.on_fill(0, 1, &ctx(1, 1));
         p.on_hit(0, 0, &ctx(0, 2)); // way 0 protected
-        let blocks = vec![BlockAddr::new(0), BlockAddr::new(1)];
+        let blocks = vec![
+            TaggedBlock::untagged(BlockAddr::new(0)),
+            TaggedBlock::untagged(BlockAddr::new(1)),
+        ];
         assert_eq!(p.peek_victim(0, &blocks, &ctx(9, 3)), 1);
     }
 }

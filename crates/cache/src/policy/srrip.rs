@@ -4,7 +4,7 @@
 use crate::ctx::AccessCtx;
 use crate::geometry::CacheGeometry;
 use crate::policy::ReplacementPolicy;
-use acic_types::BlockAddr;
+use acic_types::TaggedBlock;
 
 /// Width of the re-reference prediction value in bits.
 pub const RRPV_BITS: u32 = 2;
@@ -31,7 +31,7 @@ pub const RRPV_INSERT: u8 = RRPV_MAX - 1;
 /// c.fill(&AccessCtx::demand(BlockAddr::new(2), 2));
 /// // Block 2 (RRPV 2) ages out before block 1 (RRPV 0).
 /// assert_eq!(
-///     c.fill(&AccessCtx::demand(BlockAddr::new(3), 3)),
+///     c.fill(&AccessCtx::demand(BlockAddr::new(3), 3)).map(|t| t.block),
 ///     Some(BlockAddr::new(2)),
 /// );
 /// ```
@@ -79,7 +79,7 @@ impl ReplacementPolicy for SrripPolicy {
         self.rrpv[i] = RRPV_MAX;
     }
 
-    fn victim_way(&mut self, set: usize, _blocks: &[BlockAddr], _ctx: &AccessCtx<'_>) -> usize {
+    fn victim_way(&mut self, set: usize, _blocks: &[TaggedBlock], _ctx: &AccessCtx<'_>) -> usize {
         let base = self.idx(set, 0);
         loop {
             if let Some(w) = Self::victim_scan(&self.rrpv[base..base + self.ways]) {
@@ -91,7 +91,7 @@ impl ReplacementPolicy for SrripPolicy {
         }
     }
 
-    fn peek_victim(&self, set: usize, _blocks: &[BlockAddr], _ctx: &AccessCtx<'_>) -> usize {
+    fn peek_victim(&self, set: usize, _blocks: &[TaggedBlock], _ctx: &AccessCtx<'_>) -> usize {
         let base = self.idx(set, 0);
         let slice = &self.rrpv[base..base + self.ways];
         // Without mutating, the victim is the way whose RRPV would
@@ -109,6 +109,7 @@ impl ReplacementPolicy for SrripPolicy {
 mod tests {
     use super::*;
     use crate::cache::SetAssocCache;
+    use acic_types::BlockAddr;
 
     fn ctx(b: u64, i: u64) -> AccessCtx<'static> {
         AccessCtx::demand(BlockAddr::new(b), i)
@@ -134,7 +135,7 @@ mod tests {
         }
         // All at RRPV 0: victim selection must age and pick way 0.
         let evicted = c.fill(&ctx(100, 20));
-        assert_eq!(evicted, Some(BlockAddr::new(0)));
+        assert_eq!(evicted, Some(TaggedBlock::untagged(BlockAddr::new(0))));
     }
 
     #[test]
@@ -148,7 +149,9 @@ mod tests {
     fn peek_selects_highest_rrpv() {
         let geom = CacheGeometry::from_sets_ways(1, 3);
         let mut p = SrripPolicy::new(geom);
-        let blocks: Vec<BlockAddr> = (0..3).map(BlockAddr::new).collect();
+        let blocks: Vec<TaggedBlock> = (0..3)
+            .map(|b| TaggedBlock::untagged(BlockAddr::new(b)))
+            .collect();
         p.on_fill(0, 0, &ctx(0, 0));
         p.on_fill(0, 1, &ctx(1, 1));
         p.on_fill(0, 2, &ctx(2, 2));

@@ -35,6 +35,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Incoming blocks rejected by an admission/bypass policy.
     pub bypasses: u64,
+    /// Valid lines dropped by whole-cache flushes (the no-ASID
+    /// context-switch baseline).
+    pub flushed_lines: u64,
 }
 
 impl CacheStats {
@@ -92,6 +95,7 @@ impl CacheStats {
             prefetch_fills: self.prefetch_fills - earlier.prefetch_fills,
             evictions: self.evictions - earlier.evictions,
             bypasses: self.bypasses - earlier.bypasses,
+            flushed_lines: self.flushed_lines - earlier.flushed_lines,
         }
     }
 
@@ -105,6 +109,7 @@ impl CacheStats {
         self.prefetch_fills += o.prefetch_fills;
         self.evictions += o.evictions;
         self.bypasses += o.bypasses;
+        self.flushed_lines += o.flushed_lines;
     }
 }
 

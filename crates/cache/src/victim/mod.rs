@@ -4,7 +4,7 @@
 
 pub mod vvc;
 
-use acic_types::{BlockAddr, LruStamps};
+use acic_types::{LruStamps, TaggedBlock};
 
 /// A fully-associative victim cache holding recently evicted blocks.
 ///
@@ -20,13 +20,13 @@ use acic_types::{BlockAddr, LruStamps};
 /// assert_eq!(vc.insert(BlockAddr::new(1)), None);
 /// assert_eq!(vc.insert(BlockAddr::new(2)), None);
 /// // Full: inserting a third evicts the LRU entry.
-/// assert_eq!(vc.insert(BlockAddr::new(3)), Some(BlockAddr::new(1)));
+/// assert_eq!(vc.insert(BlockAddr::new(3)).map(|t| t.block), Some(BlockAddr::new(1)));
 /// assert!(vc.probe_and_remove(BlockAddr::new(2)));
 /// assert!(!vc.contains(BlockAddr::new(2))); // removed on hit
 /// ```
 #[derive(Debug)]
 pub struct VictimCache {
-    entries: Vec<Option<BlockAddr>>,
+    entries: Vec<Option<TaggedBlock>>,
     lru: LruStamps,
 }
 
@@ -60,13 +60,14 @@ impl VictimCache {
     }
 
     /// Whether `block` is present (no state change).
-    pub fn contains(&self, block: BlockAddr) -> bool {
-        self.entries.contains(&Some(block))
+    pub fn contains(&self, block: impl Into<TaggedBlock>) -> bool {
+        self.entries.contains(&Some(block.into()))
     }
 
     /// If present, removes `block` (it is being promoted back into the
     /// main cache) and returns `true`.
-    pub fn probe_and_remove(&mut self, block: BlockAddr) -> bool {
+    pub fn probe_and_remove(&mut self, block: impl Into<TaggedBlock>) -> bool {
+        let block = block.into();
         if let Some(slot) = self.entries.iter().position(|&e| e == Some(block)) {
             self.entries[slot] = None;
             self.lru.clear(slot);
@@ -78,7 +79,8 @@ impl VictimCache {
 
     /// Inserts an evicted block; returns the block dropped to make
     /// room, if the victim cache was full.
-    pub fn insert(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+    pub fn insert(&mut self, block: impl Into<TaggedBlock>) -> Option<TaggedBlock> {
+        let block = block.into();
         debug_assert!(
             !self.contains(block),
             "block must not already be in the victim cache"
@@ -97,6 +99,7 @@ impl VictimCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acic_types::BlockAddr;
 
     #[test]
     fn fills_free_slots_before_evicting() {
@@ -116,7 +119,10 @@ mod tests {
         assert!(vc.probe_and_remove(BlockAddr::new(1)));
         vc.insert(BlockAddr::new(1));
         // Now 2 is LRU.
-        assert_eq!(vc.insert(BlockAddr::new(3)), Some(BlockAddr::new(2)));
+        assert_eq!(
+            vc.insert(BlockAddr::new(3)),
+            Some(TaggedBlock::untagged(BlockAddr::new(2)))
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::ctx::AccessCtx;
 use crate::geometry::CacheGeometry;
 use crate::stats::CacheStats;
 use acic_types::hash::{fold, mix64};
-use acic_types::{BlockAddr, LruStamps, SatCounter};
+use acic_types::{LruStamps, SatCounter, TaggedBlock};
 
 /// Trace signature width (Table IV).
 const TRACE_BITS: u32 = 15;
@@ -32,7 +32,7 @@ const VIRTUAL_HIT_LATENCY: u32 = 2;
 
 #[derive(Clone, Copy, Debug, Default)]
 struct Line {
-    block: Option<BlockAddr>,
+    block: Option<TaggedBlock>,
     /// Block parked here by another set (a "virtual victim").
     is_victim: bool,
     /// Dead-block predictor trace accumulated over this residency.
@@ -75,10 +75,10 @@ impl VvcIcache {
         set * self.geom.ways() + way
     }
 
-    fn receiver_set(&self, block: BlockAddr) -> usize {
+    fn receiver_set(&self, block: TaggedBlock) -> usize {
         // A different set than the home set, derived by hashing.
-        let home = self.geom.set_of(block);
-        let hashed = (mix64(block.raw()) as usize) & (self.geom.sets() - 1);
+        let home = self.geom.set_of_tagged(block);
+        let hashed = (mix64(block.ident()) as usize) & (self.geom.sets() - 1);
         if hashed == home {
             (hashed + self.geom.sets() / 2) & (self.geom.sets() - 1)
         } else {
@@ -104,17 +104,17 @@ impl VvcIcache {
         self.tables[TABLE_ENTRIES + b].update(dead);
     }
 
-    fn update_trace(trace: u16, block: BlockAddr) -> u16 {
-        (fold(mix64((trace as u64) << 20 ^ block.raw()), TRACE_BITS)) as u16
+    fn update_trace(trace: u16, block: TaggedBlock) -> u16 {
+        (fold(mix64((trace as u64) << 20 ^ block.ident()), TRACE_BITS)) as u16
     }
 
-    fn find(&self, set: usize, block: BlockAddr) -> Option<usize> {
+    fn find(&self, set: usize, block: TaggedBlock) -> Option<usize> {
         (0..self.geom.ways()).find(|&w| self.lines[self.idx(set, w)].block == Some(block))
     }
 
     /// Handles a hit on (set, way): dead-block training and trace
     /// update.
-    fn touch(&mut self, set: usize, way: usize, block: BlockAddr) {
+    fn touch(&mut self, set: usize, way: usize, block: TaggedBlock) {
         let i = self.idx(set, way);
         let old_trace = self.lines[i].trace;
         // The last prediction point turned out live.
@@ -130,7 +130,7 @@ impl VvcIcache {
 
     /// Tries to park an evicted block in a predicted-dead frame of its
     /// receiver set.
-    fn place_victim(&mut self, block: BlockAddr) {
+    fn place_victim(&mut self, block: TaggedBlock) {
         let r = self.receiver_set(block);
         // Find a predicted-dead frame (prefer existing victim frames so
         // real residents survive longer).
@@ -162,7 +162,7 @@ impl VvcIcache {
         self.lines[i] = Line {
             block: Some(block),
             is_victim: true,
-            trace: fold(mix64(block.raw()), TRACE_BITS) as u16,
+            trace: fold(mix64(block.ident()), TRACE_BITS) as u16,
             predicted_dead: true, // victims stay eviction candidates
         };
         self.lru[r].touch(w);
@@ -171,14 +171,15 @@ impl VvcIcache {
 
 impl IcacheContents for VvcIcache {
     fn access(&mut self, ctx: &AccessCtx<'_>) -> AccessOutcome {
-        let home = self.geom.set_of(ctx.block);
-        let outcome = if let Some(way) = self.find(home, ctx.block) {
-            self.touch(home, way, ctx.block);
+        let t = ctx.tagged();
+        let home = self.geom.set_of_tagged(t);
+        let outcome = if let Some(way) = self.find(home, t) {
+            self.touch(home, way, t);
             AccessOutcome::hit()
         } else {
             // Probe the receiver set for a parked victim.
-            let r = self.receiver_set(ctx.block);
-            match self.find(r, ctx.block) {
+            let r = self.receiver_set(t);
+            match self.find(r, t) {
                 Some(way) if self.lines[self.idx(r, way)].is_victim => {
                     // Virtual hit: move back home.
                     let i = self.idx(r, way);
@@ -199,8 +200,9 @@ impl IcacheContents for VvcIcache {
     }
 
     fn fill(&mut self, ctx: &AccessCtx<'_>) {
-        let set = self.geom.set_of(ctx.block);
-        if self.find(set, ctx.block).is_some() {
+        let t = ctx.tagged();
+        let set = self.geom.set_of_tagged(t);
+        if self.find(set, t).is_some() {
             return;
         }
         if ctx.is_prefetch {
@@ -231,10 +233,10 @@ impl IcacheContents for VvcIcache {
             }
         }
         let i = self.idx(set, way);
-        let trace = fold(mix64(ctx.block.raw()), TRACE_BITS) as u16;
+        let trace = fold(mix64(ctx.ident()), TRACE_BITS) as u16;
         let dead = self.predict_dead(trace);
         self.lines[i] = Line {
-            block: Some(ctx.block),
+            block: Some(t),
             is_victim: false,
             trace,
             predicted_dead: dead,
@@ -242,8 +244,8 @@ impl IcacheContents for VvcIcache {
         self.lru[set].touch(way);
     }
 
-    fn contains_block(&self, block: BlockAddr) -> bool {
-        let home = self.geom.set_of(block);
+    fn contains_block(&self, block: TaggedBlock) -> bool {
+        let home = self.geom.set_of_tagged(block);
         if self.find(home, block).is_some() {
             return true;
         }
@@ -267,9 +269,14 @@ impl IcacheContents for VvcIcache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acic_types::BlockAddr;
 
     fn ctx(b: u64, i: u64) -> AccessCtx<'static> {
         AccessCtx::demand(BlockAddr::new(b), i)
+    }
+
+    fn tb(b: u64) -> TaggedBlock {
+        TaggedBlock::untagged(BlockAddr::new(b))
     }
 
     fn tiny() -> VvcIcache {
@@ -288,8 +295,8 @@ mod tests {
     fn receiver_set_differs_from_home() {
         let v = tiny();
         for b in 0..64u64 {
-            let block = BlockAddr::new(b);
-            assert_ne!(v.receiver_set(block), v.geom.set_of(block));
+            let block = tb(b);
+            assert_ne!(v.receiver_set(block), v.geom.set_of_tagged(block));
         }
     }
 
@@ -304,14 +311,12 @@ mod tests {
         v.fill(&ctx(0, 0));
         v.fill(&ctx(4, 1));
         v.fill(&ctx(8, 2)); // evicts LRU (block 0), which gets parked
-        if v.contains_block(BlockAddr::new(0)) {
+        if v.contains_block(tb(0)) {
             let out = v.access(&ctx(0, 3));
             assert!(out.hit);
             assert_eq!(out.extra_latency, VIRTUAL_HIT_LATENCY);
             // And it is back in its home set now.
-            assert!(v
-                .find(v.geom.set_of(BlockAddr::new(0)), BlockAddr::new(0))
-                .is_some());
+            assert!(v.find(v.geom.set_of_tagged(tb(0)), tb(0)).is_some());
         }
     }
 

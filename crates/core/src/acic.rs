@@ -15,7 +15,7 @@ use crate::predictor::AdmissionPredictor;
 use acic_cache::policy::PolicyKind;
 use acic_cache::{AccessCtx, AccessOutcome, CacheStats, IcacheContents, SetAssocCache};
 use acic_types::stats::Ratio;
-use acic_types::{BlockAddr, Cycle};
+use acic_types::{Cycle, TaggedBlock};
 
 /// Cumulative reuse-distance bounds of Figure 12a: `[0, bound)`,
 /// with the first entry meaning "all decisions".
@@ -174,15 +174,16 @@ impl AcicIcache {
         &self.cache
     }
 
-    fn ptag(&self, block: BlockAddr) -> u16 {
+    fn ptag(&self, block: TaggedBlock) -> u16 {
         partial_tag(block, self.cfg.cshr_tag_bits)
     }
 
     /// Runs the admission decision for `incoming` (an i-Filter victim,
     /// or the missed block itself in the no-filter ablation).
-    fn decide_and_place(&mut self, incoming: BlockAddr, ctx: &AccessCtx<'_>) {
+    fn decide_and_place(&mut self, incoming: TaggedBlock, ctx: &AccessCtx<'_>) {
         let ictx = AccessCtx {
-            block: incoming,
+            block: incoming.block,
+            asid: incoming.asid,
             ..*ctx
         };
         let Some(contender) = self.cache.contender(&ictx) else {
@@ -196,12 +197,18 @@ impl AcicIcache {
         self.acic_stats.decisions += 1;
 
         // Oracle instrumentation (Figure 12a): was the decision right?
+        // The oracle is keyed by flattened tagged identity.
         if let Some(cur) = ctx.oracle {
-            let oracle_admit = cur.next_use_of(incoming) <= cur.next_use_of(contender);
+            let oracle_admit =
+                cur.next_use_of(incoming.oracle_key()) <= cur.next_use_of(contender.oracle_key());
             self.acic_stats.oracle_admits.record(oracle_admit);
             let correct = admit == oracle_admit;
-            let dv = cur.forward_distance_of(incoming).unwrap_or(u64::MAX);
-            let dc = cur.forward_distance_of(contender).unwrap_or(u64::MAX);
+            let dv = cur
+                .forward_distance_of(incoming.oracle_key())
+                .unwrap_or(u64::MAX);
+            let dc = cur
+                .forward_distance_of(contender.oracle_key())
+                .unwrap_or(u64::MAX);
             let delta = dv as i128 - dc as i128;
             self.acic_stats.insert_delta[insert_delta_bucket(delta)] += 1;
             let min_dist = dv.min(dc);
@@ -223,13 +230,13 @@ impl AcicIcache {
         }
 
         // Open the comparison regardless of the decision (Figure 5).
-        let set = self.cfg.icache.set_of(incoming);
+        let set = self.cfg.icache.set_of_tagged(incoming);
         if let Some(forced) = self.cshr.insert(vtag, self.ptag(contender), set) {
             self.predictor
                 .train(forced.victim_ptag, forced.victim_won, self.now);
         }
         if let Some(u) = self.unbounded.as_mut() {
-            u.insert(incoming, contender);
+            u.insert(incoming.oracle_key(), contender.oracle_key());
         }
     }
 }
@@ -239,16 +246,16 @@ impl IcacheContents for AcicIcache {
         if !ctx.is_prefetch {
             // Fetch requests search the CSHR (§III-B) and resolve
             // outstanding comparisons.
-            let set = self.cfg.icache.set_of(ctx.block);
-            let resolutions = self.cshr.search(self.ptag(ctx.block), set);
+            let set = self.cfg.icache.set_of_tagged(ctx.tagged());
+            let resolutions = self.cshr.search(self.ptag(ctx.tagged()), set);
             for r in resolutions {
                 self.predictor.train(r.victim_ptag, r.victim_won, self.now);
             }
             if let Some(u) = self.unbounded.as_mut() {
-                u.on_fetch(ctx.block);
+                u.on_fetch(ctx.tagged().oracle_key());
             }
         }
-        let filter_hit = self.filter.as_mut().is_some_and(|f| f.access(ctx.block));
+        let filter_hit = self.filter.as_mut().is_some_and(|f| f.access(ctx.tagged()));
         let hit = filter_hit || self.cache.access(ctx);
         if ctx.is_prefetch {
             self.stats.record_prefetch(hit);
@@ -263,7 +270,7 @@ impl IcacheContents for AcicIcache {
     }
 
     fn fill(&mut self, ctx: &AccessCtx<'_>) {
-        if self.contains_block(ctx.block) {
+        if self.contains_block(ctx.tagged()) {
             return; // a prefetch raced the demand miss
         }
         if ctx.is_prefetch {
@@ -273,19 +280,19 @@ impl IcacheContents for AcicIcache {
         }
         match self.filter.as_mut() {
             Some(filter) => {
-                if let Some(victim) = filter.insert(ctx.block) {
+                if let Some(victim) = filter.insert(ctx.tagged()) {
                     self.decide_and_place(victim, ctx);
                 }
             }
             None => {
                 // No-filter ablation: admission control applies to the
                 // missed block directly.
-                self.decide_and_place(ctx.block, ctx);
+                self.decide_and_place(ctx.tagged(), ctx);
             }
         }
     }
 
-    fn contains_block(&self, block: BlockAddr) -> bool {
+    fn contains_block(&self, block: TaggedBlock) -> bool {
         self.filter.as_ref().is_some_and(|f| f.contains(block)) || self.cache.contains(block)
     }
 
@@ -318,6 +325,7 @@ impl IcacheContents for AcicIcache {
 mod tests {
     use super::*;
     use crate::config::PredictorKind;
+    use acic_types::BlockAddr;
 
     fn ctx(b: u64, i: u64) -> AccessCtx<'static> {
         AccessCtx::demand(BlockAddr::new(b), i)

@@ -6,7 +6,7 @@
 //! the filter overflows, its LRU block becomes the *i-Filter victim*
 //! whose admission into the i-cache ACIC decides.
 
-use acic_types::{BlockAddr, LruStamps};
+use acic_types::{LruStamps, TaggedBlock};
 
 /// A fully-associative LRU buffer of instruction blocks.
 ///
@@ -20,11 +20,14 @@ use acic_types::{BlockAddr, LruStamps};
 /// assert_eq!(f.insert(BlockAddr::new(1)), None);
 /// assert_eq!(f.insert(BlockAddr::new(2)), None);
 /// assert!(f.access(BlockAddr::new(1))); // 2 becomes LRU
-/// assert_eq!(f.insert(BlockAddr::new(3)), Some(BlockAddr::new(2)));
+/// assert_eq!(
+///     f.insert(BlockAddr::new(3)),
+///     Some(acic_types::TaggedBlock::untagged(BlockAddr::new(2))),
+/// );
 /// ```
 #[derive(Debug)]
 pub struct IFilter {
-    slots: Vec<Option<BlockAddr>>,
+    slots: Vec<Option<TaggedBlock>>,
     lru: LruStamps,
 }
 
@@ -59,13 +62,14 @@ impl IFilter {
     }
 
     /// Whether `block` is buffered (no state change).
-    pub fn contains(&self, block: BlockAddr) -> bool {
-        self.slots.contains(&Some(block))
+    pub fn contains(&self, block: impl Into<TaggedBlock>) -> bool {
+        self.slots.contains(&Some(block.into()))
     }
 
     /// Looks up `block`; on hit refreshes its recency and returns
     /// `true`.
-    pub fn access(&mut self, block: BlockAddr) -> bool {
+    pub fn access(&mut self, block: impl Into<TaggedBlock>) -> bool {
+        let block = block.into();
         if let Some(slot) = self.slots.iter().position(|&s| s == Some(block)) {
             self.lru.touch(slot);
             true
@@ -81,7 +85,8 @@ impl IFilter {
     ///
     /// Debug builds panic if `block` is already resident (the driver
     /// must only fill on a filter miss).
-    pub fn insert(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+    pub fn insert(&mut self, block: impl Into<TaggedBlock>) -> Option<TaggedBlock> {
+        let block = block.into();
         debug_assert!(!self.contains(block), "duplicate i-Filter insert");
         let slot = match self.slots.iter().position(|s| s.is_none()) {
             Some(free) => free,
@@ -95,7 +100,8 @@ impl IFilter {
 
     /// Removes `block` if present (used when a block is promoted or
     /// invalidated externally).
-    pub fn remove(&mut self, block: BlockAddr) -> bool {
+    pub fn remove(&mut self, block: impl Into<TaggedBlock>) -> bool {
+        let block = block.into();
         if let Some(slot) = self.slots.iter().position(|&s| s == Some(block)) {
             self.slots[slot] = None;
             self.lru.clear(slot);
@@ -106,8 +112,8 @@ impl IFilter {
     }
 
     /// Blocks currently buffered, MRU first (for tests).
-    pub fn resident_blocks(&self) -> Vec<BlockAddr> {
-        let mut with_stamp: Vec<(u64, BlockAddr)> = self
+    pub fn resident_blocks(&self) -> Vec<TaggedBlock> {
+        let mut with_stamp: Vec<(u64, TaggedBlock)> = self
             .slots
             .iter()
             .enumerate()
@@ -121,6 +127,7 @@ impl IFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acic_types::BlockAddr;
 
     #[test]
     fn fills_before_evicting() {
@@ -129,7 +136,10 @@ mod tests {
         assert_eq!(f.insert(BlockAddr::new(2)), None);
         assert_eq!(f.insert(BlockAddr::new(3)), None);
         assert_eq!(f.len(), 3);
-        assert_eq!(f.insert(BlockAddr::new(4)), Some(BlockAddr::new(1)));
+        assert_eq!(
+            f.insert(BlockAddr::new(4)),
+            Some(TaggedBlock::untagged(BlockAddr::new(1)))
+        );
         assert_eq!(f.len(), 3);
     }
 
@@ -139,7 +149,10 @@ mod tests {
         f.insert(BlockAddr::new(1));
         f.insert(BlockAddr::new(2));
         assert!(f.access(BlockAddr::new(1)));
-        assert_eq!(f.insert(BlockAddr::new(3)), Some(BlockAddr::new(2)));
+        assert_eq!(
+            f.insert(BlockAddr::new(3)),
+            Some(TaggedBlock::untagged(BlockAddr::new(2)))
+        );
     }
 
     #[test]
@@ -166,8 +179,9 @@ mod tests {
         f.insert(BlockAddr::new(2));
         f.insert(BlockAddr::new(3));
         f.access(BlockAddr::new(1));
+        let order: Vec<_> = f.resident_blocks().iter().map(|t| t.block).collect();
         assert_eq!(
-            f.resident_blocks(),
+            order,
             vec![BlockAddr::new(1), BlockAddr::new(3), BlockAddr::new(2)]
         );
     }

@@ -9,7 +9,7 @@ use acic_cache::policy::PolicyKind;
 use acic_cache::{
     AccessCtx, AccessOutcome, CacheGeometry, CacheStats, IcacheContents, SetAssocCache,
 };
-use acic_types::BlockAddr;
+use acic_types::TaggedBlock;
 
 /// An i-cache fronted by an i-Filter whose victims pass through an
 /// arbitrary [`AdmissionPolicy`].
@@ -20,11 +20,11 @@ use acic_types::BlockAddr;
 /// use acic_cache::bypass::AlwaysAdmit;
 /// use acic_cache::{AccessCtx, CacheGeometry, IcacheContents};
 /// use acic_core::FilteredIcache;
-/// use acic_types::BlockAddr;
+/// use acic_types::{BlockAddr, TaggedBlock};
 ///
 /// let mut org = FilteredIcache::new(CacheGeometry::l1i_32k(), 16, Box::new(AlwaysAdmit));
 /// org.fill(&AccessCtx::demand(BlockAddr::new(3), 0));
-/// assert!(org.contains_block(BlockAddr::new(3)));
+/// assert!(org.contains_block(TaggedBlock::untagged(BlockAddr::new(3))));
 /// ```
 pub struct FilteredIcache {
     filter: IFilter,
@@ -69,9 +69,9 @@ impl FilteredIcache {
 impl IcacheContents for FilteredIcache {
     fn access(&mut self, ctx: &AccessCtx<'_>) -> AccessOutcome {
         if !ctx.is_prefetch {
-            self.admission.on_demand_access(ctx.block, ctx);
+            self.admission.on_demand_access(ctx.tagged(), ctx);
         }
-        let hit = self.filter.access(ctx.block) || self.cache.access(ctx);
+        let hit = self.filter.access(ctx.tagged()) || self.cache.access(ctx);
         if ctx.is_prefetch {
             self.stats.record_prefetch(hit);
         } else {
@@ -85,7 +85,7 @@ impl IcacheContents for FilteredIcache {
     }
 
     fn fill(&mut self, ctx: &AccessCtx<'_>) {
-        if self.contains_block(ctx.block) {
+        if self.contains_block(ctx.tagged()) {
             return;
         }
         if ctx.is_prefetch {
@@ -93,11 +93,12 @@ impl IcacheContents for FilteredIcache {
         } else {
             self.stats.demand_fills += 1;
         }
-        let Some(victim) = self.filter.insert(ctx.block) else {
+        let Some(victim) = self.filter.insert(ctx.tagged()) else {
             return;
         };
         let vctx = AccessCtx {
-            block: victim,
+            block: victim.block,
+            asid: victim.asid,
             // The victim's own next use (not the triggering block's)
             // is what OPT-flavored admission must compare; policies
             // that need it consult the oracle by block.
@@ -114,7 +115,7 @@ impl IcacheContents for FilteredIcache {
         }
     }
 
-    fn contains_block(&self, block: BlockAddr) -> bool {
+    fn contains_block(&self, block: TaggedBlock) -> bool {
         self.filter.contains(block) || self.cache.contains(block)
     }
 
@@ -135,6 +136,7 @@ impl IcacheContents for FilteredIcache {
 mod tests {
     use super::*;
     use acic_cache::bypass::{AlwaysAdmit, NeverAdmit};
+    use acic_types::BlockAddr;
 
     fn ctx(b: u64, i: u64) -> AccessCtx<'static> {
         AccessCtx::demand(BlockAddr::new(b), i)

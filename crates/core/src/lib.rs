@@ -49,10 +49,15 @@ pub use filter::IFilter;
 pub use filtered::FilteredIcache;
 pub use predictor::{AdmissionPredictor, TwoLevelPredictor};
 
-/// Computes the `tag_bits`-bit partial tag of a block (§III-C1: CSHR
-/// stores 12-bit partial tags, and the HRT is indexed by hashing the
-/// partial tag).
+/// Computes the `tag_bits`-bit partial tag of a block identity
+/// (§III-C1: CSHR stores 12-bit partial tags, and the HRT is indexed
+/// by hashing the partial tag).
+///
+/// The hash covers the ASID-tagged identity, so admission learning is
+/// per-tenant: two tenants' overlapping virtual addresses train
+/// separate HRT histories. For the host space (ASID 0) the tag equals
+/// the pre-ASID value bit for bit.
 #[inline]
-pub fn partial_tag(block: acic_types::BlockAddr, tag_bits: u32) -> u16 {
-    acic_types::hash::fold(acic_types::hash::mix64(block.raw()), tag_bits) as u16
+pub fn partial_tag(block: acic_types::TaggedBlock, tag_bits: u32) -> u16 {
+    acic_types::hash::fold(acic_types::hash::mix64(block.ident()), tag_bits) as u16
 }

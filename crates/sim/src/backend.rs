@@ -94,8 +94,8 @@ impl Backend {
             let done = match d.instr.kind {
                 InstrKind::Alu => now + 1,
                 InstrKind::LongAlu => now + self.long_alu_latency,
-                InstrKind::Load { addr } => mem.access_data(addr, now, false),
-                InstrKind::Store { addr } => mem.access_data(addr, now, true),
+                InstrKind::Load { addr } => mem.access_data(addr, d.instr.asid(), now, false),
+                InstrKind::Store { addr } => mem.access_data(addr, d.instr.asid(), now, true),
                 InstrKind::Branch { .. } => {
                     let done = now + 1;
                     self.resolved_branches.push((d.index, done));

@@ -69,6 +69,13 @@ impl Btb {
         self.stats
     }
 
+    /// Invalidates every entry while keeping the accumulated
+    /// statistics — a context switch with untagged BTB hardware.
+    pub fn flush(&mut self) {
+        self.entries.fill(Entry::default());
+        self.lru = (0..self.sets).map(|_| LruStamps::new(self.ways)).collect();
+    }
+
     fn set_of(&self, pc: Addr) -> usize {
         ((pc.raw() >> 2) as usize) & (self.sets - 1)
     }

@@ -149,6 +149,15 @@ impl Tage {
         self.stats
     }
 
+    /// Drops all learned state (tables, histories) while keeping the
+    /// accumulated statistics — a context switch with untagged
+    /// predictor hardware.
+    pub fn flush(&mut self) {
+        let stats = self.stats;
+        *self = Tage::new();
+        self.stats = stats;
+    }
+
     fn index(&self, t: usize, pc: Addr) -> usize {
         let pch = (mix64(pc.raw()) >> 2) as u32;
         ((pch ^ self.tables[t].folded_idx.value) & ((1 << TABLE_BITS) - 1)) as usize

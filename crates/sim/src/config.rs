@@ -15,6 +15,23 @@ pub enum PrefetcherKind {
     Entangling,
 }
 
+/// What the branch-prediction structures (BTB, TAGE, ITP) do when the
+/// fetch stream crosses a context switch.
+///
+/// Single-tenant traces never switch, so either mode leaves them
+/// bit-identical to the pre-ASID behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BranchSwitchMode {
+    /// Flush all prediction state on every switch (hardware with
+    /// untagged predictors — each tenant retrains from cold).
+    #[default]
+    Flush,
+    /// Keep state and tag lookup keys with the ASID (predictor
+    /// entries from different tenants coexist; no retrain cost, some
+    /// capacity pressure).
+    Tag,
+}
+
 /// Core and hierarchy parameters, defaulting to Table II.
 ///
 /// # Examples
@@ -65,6 +82,8 @@ pub struct SimConfig {
     pub prefetch_width: u32,
     /// Instruction prefetcher.
     pub prefetcher: PrefetcherKind,
+    /// Branch-state behavior at context switches.
+    pub branch_switch: BranchSwitchMode,
     /// L1i organization under test.
     pub icache_org: IcacheOrg,
     /// Fraction of the trace used for warm-up (stats excluded;
@@ -98,6 +117,7 @@ impl Default for SimConfig {
             l1d_mshrs: 16,
             prefetch_width: 2,
             prefetcher: PrefetcherKind::Fdp,
+            branch_switch: BranchSwitchMode::Flush,
             icache_org: IcacheOrg::Lru,
             warmup_fraction: 0.10,
             attach_oracle: false,
@@ -121,6 +141,15 @@ impl SimConfig {
     pub fn with_prefetcher(&self, prefetcher: PrefetcherKind) -> SimConfig {
         SimConfig {
             prefetcher,
+            ..self.clone()
+        }
+    }
+
+    /// Convenience: the same configuration with a different
+    /// context-switch behavior for branch-prediction state.
+    pub fn with_branch_switch(&self, branch_switch: BranchSwitchMode) -> SimConfig {
+        SimConfig {
+            branch_switch,
             ..self.clone()
         }
     }

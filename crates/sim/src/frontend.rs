@@ -10,10 +10,10 @@
 
 use crate::branch::btb::Btb;
 use crate::branch::tage::Tage;
-use crate::config::SimConfig;
+use crate::config::{BranchSwitchMode, SimConfig};
 use crate::report::BranchStats;
 use acic_trace::{BranchClass, Instr, InstrKind, RunInstrs};
-use acic_types::{BlockAddr, Cycle};
+use acic_types::{Addr, Asid, BlockAddr, Cycle, ASID_IDENT_SHIFT};
 use std::collections::VecDeque;
 
 /// One fetch-target (block run) in the FTQ.
@@ -21,6 +21,8 @@ use std::collections::VecDeque;
 pub struct FtqEntry {
     /// The instruction block to fetch.
     pub block: BlockAddr,
+    /// Address space of the run.
+    pub asid: Asid,
     /// Instructions of the run, tagged with global indices starting
     /// at `first_index`.
     pub instrs: Vec<Instr>,
@@ -50,6 +52,7 @@ impl FtqEntry {
     pub fn new(block: BlockAddr, instrs: Vec<Instr>) -> Self {
         FtqEntry {
             block,
+            asid: Asid::HOST,
             instrs,
             first_index: 0,
             accessed: false,
@@ -101,6 +104,10 @@ pub struct FrontEnd {
     /// dispatch sequences become predictable after their first hop.
     itp: Vec<ItpEntry>,
     path_history: u64,
+    /// Address space currently feeding the BPU.
+    cur_asid: Asid,
+    /// What prediction structures do when the stream switches spaces.
+    switch_mode: BranchSwitchMode,
     state: BpuState,
     next_index: u64,
     redirect_penalty: u64,
@@ -119,6 +126,8 @@ impl FrontEnd {
             btb: Btb::new(8192, 4),
             itp: vec![ItpEntry::default(); ITP_ENTRIES],
             path_history: 0,
+            cur_asid: Asid::HOST,
+            switch_mode: cfg.branch_switch,
             state: BpuState::Running { available_at: 0 },
             next_index: 0,
             redirect_penalty: cfg.redirect_penalty,
@@ -149,6 +158,34 @@ impl FrontEnd {
     /// Global index of the next instruction the BPU will assign.
     pub fn instructions_entered(&self) -> u64 {
         self.next_index
+    }
+
+    /// The lookup key for branch structures: the raw PC in
+    /// [`BranchSwitchMode::Flush`] mode (state never survives a
+    /// switch, so keys need no disambiguation), the PC XOR-tagged
+    /// with the ASID in [`BranchSwitchMode::Tag`] mode. ASID 0 maps
+    /// to the raw PC either way, keeping single-tenant runs
+    /// bit-identical.
+    fn pc_key(&self, pc: Addr) -> Addr {
+        match self.switch_mode {
+            BranchSwitchMode::Flush => pc,
+            BranchSwitchMode::Tag => {
+                Addr::new(pc.raw() ^ ((self.cur_asid.raw() as u64) << ASID_IDENT_SHIFT))
+            }
+        }
+    }
+
+    /// Crosses a context switch: in flush mode every prediction
+    /// structure is cleared (untagged hardware); in tag mode the
+    /// state survives and future lookups are keyed by the new ASID.
+    fn on_context_switch(&mut self, next: Asid) {
+        self.cur_asid = next;
+        if self.switch_mode == BranchSwitchMode::Flush {
+            self.tage.flush();
+            self.btb.flush();
+            self.itp.fill(ItpEntry::default());
+            self.path_history = 0;
+        }
     }
 
     /// The backend resolved the branch with global `index` at `done`;
@@ -206,6 +243,9 @@ impl FrontEnd {
             self.trace_done = true;
             return;
         };
+        if run.asid != self.cur_asid {
+            self.on_context_switch(run.asid);
+        }
 
         let first_index = self.next_index;
         self.next_index += run.instrs.len() as u64;
@@ -224,7 +264,7 @@ impl FrontEnd {
             let index = first_index + k as u64;
             match class {
                 BranchClass::Conditional => {
-                    let correct = self.tage.predict_and_train(instr.pc, taken);
+                    let correct = self.tage.predict_and_train(self.pc_key(instr.pc()), taken);
                     if !correct {
                         self.stats.mispredicts += 1;
                         mispredicted_at = Some(index);
@@ -232,29 +272,32 @@ impl FrontEnd {
                     }
                     if taken {
                         // Need the target from the BTB.
-                        match self.btb.lookup(instr.pc) {
+                        match self.btb.lookup(self.pc_key(instr.pc())) {
                             Some(t) if t == target => {}
                             _ => {
                                 bubble += self.btb_miss_penalty;
-                                self.btb.update(instr.pc, target);
+                                let key = self.pc_key(instr.pc());
+                                self.btb.update(key, target);
                             }
                         }
                     }
                 }
-                BranchClass::Direct | BranchClass::Call => match self.btb.lookup(instr.pc) {
-                    Some(t) if t == target => {}
-                    _ => {
-                        bubble += self.btb_miss_penalty;
-                        self.btb.update(instr.pc, target);
+                BranchClass::Direct | BranchClass::Call => {
+                    match self.btb.lookup(self.pc_key(instr.pc())) {
+                        Some(t) if t == target => {}
+                        _ => {
+                            bubble += self.btb_miss_penalty;
+                            let key = self.pc_key(instr.pc());
+                            self.btb.update(key, target);
+                        }
                     }
-                },
+                }
                 BranchClass::Return => {
                     // Idealized return address stack: always correct.
                 }
                 BranchClass::Indirect => {
-                    let predicted = self
-                        .itp_predict(instr.pc)
-                        .or_else(|| self.btb.lookup(instr.pc));
+                    let key = self.pc_key(instr.pc());
+                    let predicted = self.itp_predict(key).or_else(|| self.btb.lookup(key));
                     match predicted {
                         Some(t) if t == target => {}
                         Some(_) => {
@@ -269,8 +312,8 @@ impl FrontEnd {
                             mispredicted_at = Some(index);
                         }
                     }
-                    self.itp_update(instr.pc, target);
-                    self.btb.update(instr.pc, target);
+                    self.itp_update(key, target);
+                    self.btb.update(key, target);
                     // Push the resolved target into the path history
                     // even on a misprediction (the front end learns the
                     // true path once the branch resolves) — otherwise a
@@ -286,6 +329,7 @@ impl FrontEnd {
 
         self.ftq.push_back(FtqEntry {
             block: run.block,
+            asid: run.asid,
             instrs: run.instrs,
             first_index,
             accessed: false,
@@ -322,7 +366,8 @@ mod tests {
 
     fn run_of(instrs: Vec<Instr>) -> RunInstrs {
         RunInstrs {
-            block: instrs[0].pc.block(),
+            block: instrs[0].pc().block(),
+            asid: instrs[0].asid(),
             instrs,
         }
     }

@@ -34,6 +34,7 @@ use crate::icache::IcacheOrg;
 use acic_cache::{AccessCtx, CacheStats};
 use acic_core::{AcicIcache, AcicStats};
 use acic_trace::{BlockRuns, ReuseOracle, TraceSource, NO_NEXT_USE};
+use acic_types::Asid;
 
 /// Result of a functional (contents-only) simulation.
 #[derive(Clone, Debug)]
@@ -47,6 +48,8 @@ pub struct FunctionalReport {
     /// Block-level accesses performed (runs in batched mode,
     /// instructions in unbatched mode).
     pub accesses: u64,
+    /// Context switches crossed (0 for single-tenant traces).
+    pub context_switches: u64,
     /// L1i contents statistics.
     pub l1i: CacheStats,
     /// ACIC admission statistics, when the organization is ACIC.
@@ -66,7 +69,11 @@ impl FunctionalReport {
 
 fn oracle_for<W: TraceSource>(org: &IcacheOrg, workload: &W) -> Option<ReuseOracle> {
     org.needs_oracle().then(|| {
-        let seq: Vec<_> = BlockRuns::new(workload.iter()).map(|r| r.block).collect();
+        // Oracle keys are flattened tagged identities, so tenants'
+        // overlapping VAs stay distinct futures.
+        let seq: Vec<_> = BlockRuns::new(workload.iter())
+            .map(|r| r.oracle_key())
+            .collect();
         ReuseOracle::from_sequence(&seq)
     })
 }
@@ -77,6 +84,7 @@ fn finish(
     contents: Box<dyn acic_cache::IcacheContents>,
     instructions: u64,
     accesses: u64,
+    context_switches: u64,
 ) -> FunctionalReport {
     let acic = contents
         .as_any()
@@ -87,6 +95,7 @@ fn finish(
         org: org_label.to_string(),
         instructions,
         accesses,
+        context_switches,
         l1i: contents.stats(),
         acic,
     }
@@ -102,17 +111,26 @@ pub fn run_functional<W: TraceSource>(org: &IcacheOrg, workload: &W) -> Function
     let wants_tick = contents.wants_tick();
     let mut instructions = 0u64;
     let mut accesses = 0u64;
+    let mut cur_asid = Asid::HOST;
+    let mut context_switches = 0u64;
     for run in BlockRuns::new(workload.iter()) {
         accesses += 1;
         instructions += run.len as u64;
+        if run.asid != cur_asid {
+            cur_asid = run.asid;
+            context_switches += 1;
+            contents.on_context_switch(run.asid);
+        }
         let next_use = match cursor.as_mut() {
             Some(c) => {
-                c.advance(run.block);
-                c.next_use_of(run.block)
+                c.advance(run.oracle_key());
+                c.next_use_of(run.oracle_key())
             }
             None => NO_NEXT_USE,
         };
-        let mut ctx = AccessCtx::demand(run.block, accesses).with_next_use(next_use);
+        let mut ctx = AccessCtx::demand(run.block, accesses)
+            .with_asid(run.asid)
+            .with_next_use(next_use);
         if let Some(c) = cursor.as_ref() {
             ctx = ctx.with_oracle(c);
         }
@@ -131,6 +149,7 @@ pub fn run_functional<W: TraceSource>(org: &IcacheOrg, workload: &W) -> Function
         contents,
         instructions,
         accesses,
+        context_switches,
     )
 }
 
@@ -149,26 +168,34 @@ pub fn run_unbatched<W: TraceSource>(org: &IcacheOrg, workload: &W) -> Functiona
     let wants_tick = contents.wants_tick();
     let mut instructions = 0u64;
     let mut last_block = None;
+    let mut cur_asid = Asid::HOST;
+    let mut context_switches = 0u64;
     // The oracle is indexed one position per BlockRun, and runs end
-    // at a block change OR a taken branch (even to the same block) —
-    // mirror both boundaries or the cursor desyncs.
+    // at a block change, a taken branch (even to the same block), OR
+    // a context switch — mirror all three boundaries or the cursor
+    // desyncs.
     let mut prev_ended_run = true;
     for instr in workload.iter() {
         instructions += 1;
-        let block = instr.pc.block();
-        let starts_run = prev_ended_run || last_block != Some(block);
+        let tagged = instr.tagged_block();
+        if instr.asid() != cur_asid {
+            cur_asid = instr.asid();
+            context_switches += 1;
+            contents.on_context_switch(instr.asid());
+        }
+        let starts_run = prev_ended_run || last_block != Some(tagged);
         let next_use = match cursor.as_mut() {
             Some(c) => {
                 if starts_run {
-                    c.advance(block);
+                    c.advance(tagged.oracle_key());
                 }
-                c.next_use_of(block)
+                c.next_use_of(tagged.oracle_key())
             }
             None => NO_NEXT_USE,
         };
-        last_block = Some(block);
+        last_block = Some(tagged);
         prev_ended_run = instr.is_taken_branch();
-        let mut ctx = AccessCtx::demand(block, instructions).with_next_use(next_use);
+        let mut ctx = AccessCtx::demand_tagged(tagged, instructions).with_next_use(next_use);
         if let Some(c) = cursor.as_ref() {
             ctx = ctx.with_oracle(c);
         }
@@ -185,6 +212,7 @@ pub fn run_unbatched<W: TraceSource>(org: &IcacheOrg, workload: &W) -> Functiona
         contents,
         instructions,
         instructions,
+        context_switches,
     )
 }
 

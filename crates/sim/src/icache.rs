@@ -13,8 +13,14 @@ use acic_core::{AcicConfig, AcicIcache, FilteredIcache};
 /// The L1i organizations under test.
 #[derive(Clone, Debug, PartialEq)]
 pub enum IcacheOrg {
-    /// 32 KB 8-way LRU (the baseline).
+    /// 32 KB 8-way LRU (the baseline). ASID-tagged: multi-tenant
+    /// traces coexist in the tag store without flushing.
     Lru,
+    /// LRU that invalidates everything on a context switch — the
+    /// no-ASID multi-tenant baseline (VA-tagged hardware that cannot
+    /// tell tenants apart). Identical to [`IcacheOrg::Lru`] on
+    /// single-tenant traces.
+    LruFlush,
     /// SRRIP replacement.
     Srrip,
     /// SHiP replacement.
@@ -62,6 +68,9 @@ impl IcacheOrg {
         let geom = CacheGeometry::l1i_32k();
         match self {
             IcacheOrg::Lru => Box::new(PlainIcache::new(geom, PolicyKind::Lru)),
+            IcacheOrg::LruFlush => {
+                Box::new(PlainIcache::new(geom, PolicyKind::Lru).with_flush_on_switch())
+            }
             IcacheOrg::Srrip => Box::new(PlainIcache::new(geom, PolicyKind::Srrip)),
             IcacheOrg::Ship => Box::new(PlainIcache::new(geom, PolicyKind::Ship)),
             IcacheOrg::Harmony => Box::new(PlainIcache::new(
@@ -104,6 +113,7 @@ impl IcacheOrg {
     pub fn label(&self) -> &'static str {
         match self {
             IcacheOrg::Lru => "LRU",
+            IcacheOrg::LruFlush => "LRU flush",
             IcacheOrg::Srrip => "SRRIP",
             IcacheOrg::Ship => "SHiP",
             IcacheOrg::Harmony => "Harmony",
@@ -148,6 +158,7 @@ mod tests {
     fn every_org_builds() {
         for org in IcacheOrg::figure10_set().into_iter().chain([
             IcacheOrg::Lru,
+            IcacheOrg::LruFlush,
             IcacheOrg::IFilterAlways,
             IcacheOrg::AccessCount,
         ]) {

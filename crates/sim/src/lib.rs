@@ -43,7 +43,7 @@ pub mod simulator;
 
 pub use branch::btb::Btb;
 pub use branch::tage::Tage;
-pub use config::{PrefetcherKind, SimConfig};
+pub use config::{BranchSwitchMode, PrefetcherKind, SimConfig};
 pub use functional::{run_functional, run_unbatched, FunctionalReport};
 pub use icache::IcacheOrg;
 pub use report::{BranchStats, PrefetchStats, SimReport};

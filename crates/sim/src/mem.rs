@@ -9,7 +9,7 @@
 use crate::config::SimConfig;
 use acic_cache::policy::PolicyKind;
 use acic_cache::{AccessCtx, CacheGeometry, CacheStats, SetAssocCache};
-use acic_types::{Addr, BlockAddr, Cycle};
+use acic_types::{Addr, Asid, Cycle, TaggedBlock};
 use std::collections::HashMap;
 
 /// MSHR model: merges requests to the same block and bounds the
@@ -32,7 +32,7 @@ use std::collections::HashMap;
 #[derive(Debug)]
 pub struct MissTracker {
     capacity: usize,
-    in_flight: HashMap<BlockAddr, Cycle>,
+    in_flight: HashMap<TaggedBlock, Cycle>,
 }
 
 impl MissTracker {
@@ -49,9 +49,9 @@ impl MissTracker {
     }
 
     /// Ready time of an already-outstanding request for `block`.
-    pub fn lookup(&mut self, block: BlockAddr, now: Cycle) -> Option<Cycle> {
+    pub fn lookup(&mut self, block: impl Into<TaggedBlock>, now: Cycle) -> Option<Cycle> {
         self.cleanup(now);
-        self.in_flight.get(&block).copied()
+        self.in_flight.get(&block.into()).copied()
     }
 
     /// Whether all MSHRs are busy at `now`.
@@ -66,8 +66,8 @@ impl MissTracker {
     }
 
     /// Registers an outstanding request.
-    pub fn insert(&mut self, block: BlockAddr, ready: Cycle) {
-        self.in_flight.insert(block, ready);
+    pub fn insert(&mut self, block: impl Into<TaggedBlock>, ready: Cycle) {
+        self.in_flight.insert(block.into(), ready);
     }
 
     /// Outstanding request count at `now`.
@@ -116,15 +116,16 @@ impl MemoryHierarchy {
         }
     }
 
-    fn next_ctx(&mut self, block: BlockAddr) -> AccessCtx<'static> {
+    fn next_ctx(&mut self, block: TaggedBlock) -> AccessCtx<'static> {
         self.seq += 1;
-        AccessCtx::demand(block, self.seq)
+        AccessCtx::demand_tagged(block, self.seq)
     }
 
     /// Walks L2 -> L3 -> DRAM for `block`, updating contents, and
     /// returns the added latency beyond the L1 (excluding L1 hit
-    /// latency).
-    fn below_l1(&mut self, block: BlockAddr, now: Cycle) -> u64 {
+    /// latency). The unified levels are ASID-tagged too: two tenants'
+    /// overlapping VAs occupy distinct L2/L3 lines.
+    fn below_l1(&mut self, block: TaggedBlock, now: Cycle) -> u64 {
         let ctx = self.next_ctx(block);
         if self.l2.access(&ctx) {
             return self.l2_latency;
@@ -146,15 +147,16 @@ impl MemoryHierarchy {
 
     /// Fetches an instruction block that missed the L1i; returns the
     /// absolute cycle at which it arrives.
-    pub fn fetch_instr_block(&mut self, block: BlockAddr, now: Cycle) -> Cycle {
+    pub fn fetch_instr_block(&mut self, block: impl Into<TaggedBlock>, now: Cycle) -> Cycle {
+        let block = block.into();
         now + self.below_l1(block, now)
     }
 
     /// Performs a data access (load or store) and returns its
     /// completion cycle. Stores complete in one cycle through the
     /// store buffer but still allocate (write-allocate policy).
-    pub fn access_data(&mut self, addr: Addr, now: Cycle, is_store: bool) -> Cycle {
-        let block = addr.block();
+    pub fn access_data(&mut self, addr: Addr, asid: Asid, now: Cycle, is_store: bool) -> Cycle {
+        let block = addr.block().with_asid(asid);
         let ctx = self.next_ctx(block);
         // An in-flight miss wins over a tag hit: the line's tag is
         // installed at allocation but the data arrives at `ready`.
@@ -211,6 +213,7 @@ impl core::fmt::Debug for MemoryHierarchy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acic_types::BlockAddr;
 
     fn hierarchy() -> MemoryHierarchy {
         MemoryHierarchy::new(&SimConfig::default())
@@ -238,16 +241,16 @@ mod tests {
     fn load_hit_latency() {
         let mut h = hierarchy();
         let a = Addr::new(0x5000_0000);
-        let first = h.access_data(a, 0, false);
+        let first = h.access_data(a, Asid::HOST, 0, false);
         assert!(first > 5, "cold load should miss");
-        let second = h.access_data(a, 1000, false);
+        let second = h.access_data(a, Asid::HOST, 1000, false);
         assert_eq!(second, 1000 + 5);
     }
 
     #[test]
     fn store_completes_quickly_even_on_miss() {
         let mut h = hierarchy();
-        let done = h.access_data(Addr::new(0x6000_0000), 10, true);
+        let done = h.access_data(Addr::new(0x6000_0000), Asid::HOST, 10, true);
         assert_eq!(done, 11);
     }
 
@@ -255,8 +258,8 @@ mod tests {
     fn loads_to_same_block_merge() {
         let mut h = hierarchy();
         let a = Addr::new(0x7000_0000);
-        let first = h.access_data(a, 0, false);
-        let merged = h.access_data(a + 8, 1, false);
+        let first = h.access_data(a, Asid::HOST, 0, false);
+        let merged = h.access_data(a + 8, Asid::HOST, 1, false);
         assert_eq!(merged, first, "second load merges with the MSHR");
         assert_eq!(h.dram_accesses, 1);
     }
@@ -277,8 +280,8 @@ mod tests {
             ..SimConfig::default()
         };
         let mut h = MemoryHierarchy::new(&cfg);
-        let d1 = h.access_data(Addr::new(0x1_0000_0000), 0, false);
-        let d2 = h.access_data(Addr::new(0x2_0000_0000), 0, false);
+        let d1 = h.access_data(Addr::new(0x1_0000_0000), Asid::HOST, 0, false);
+        let d2 = h.access_data(Addr::new(0x2_0000_0000), Asid::HOST, 0, false);
         assert!(d2 > d1, "second miss waits for a free MSHR");
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::frontend::FtqEntry;
 use acic_types::hash::{fold, mix64};
-use acic_types::{BlockAddr, Cycle};
+use acic_types::{Cycle, TaggedBlock};
 use std::collections::VecDeque;
 
 /// Entangled-table capacity (§IV-H4: 4K entries).
@@ -33,13 +33,13 @@ pub enum Prefetcher {
 impl Prefetcher {
     /// Candidate blocks to prefetch this cycle, given the FTQ
     /// contents (head excluded — it is the demand access).
-    pub fn candidates(&mut self, ftq: &VecDeque<FtqEntry>, out: &mut Vec<BlockAddr>) {
+    pub fn candidates(&mut self, ftq: &VecDeque<FtqEntry>, out: &mut Vec<TaggedBlock>) {
         match self {
             Prefetcher::None => {}
             Prefetcher::Fdp => {
                 for e in ftq.iter().skip(1) {
                     if e.prefetchable {
-                        out.push(e.block);
+                        out.push(e.block.with_asid(e.asid));
                     }
                 }
             }
@@ -48,7 +48,7 @@ impl Prefetcher {
     }
 
     /// Observes a demand fetch (hit or miss) of `block` at `now`.
-    pub fn on_demand_fetch(&mut self, block: BlockAddr, now: Cycle) {
+    pub fn on_demand_fetch(&mut self, block: TaggedBlock, now: Cycle) {
         if let Prefetcher::Entangling(e) = self {
             e.on_demand_fetch(block, now);
         }
@@ -56,7 +56,7 @@ impl Prefetcher {
 
     /// Observes a demand miss of `block` issued at `now` with total
     /// `latency` cycles to fill.
-    pub fn on_demand_miss(&mut self, block: BlockAddr, now: Cycle, latency: u64) {
+    pub fn on_demand_miss(&mut self, block: TaggedBlock, now: Cycle, latency: u64) {
         if let Prefetcher::Entangling(e) = self {
             e.on_demand_miss(block, now, latency);
         }
@@ -67,7 +67,7 @@ impl Prefetcher {
 struct EntangledEntry {
     tag: u32,
     valid: bool,
-    dsts: [Option<BlockAddr>; DSTS_PER_ENTRY],
+    dsts: [Option<TaggedBlock>; DSTS_PER_ENTRY],
     next_slot: usize,
 }
 
@@ -79,9 +79,9 @@ struct EntangledEntry {
 /// destinations just in time.
 #[derive(Debug)]
 pub struct Entangling {
-    history: VecDeque<(Cycle, BlockAddr)>,
+    history: VecDeque<(Cycle, TaggedBlock)>,
     table: Vec<EntangledEntry>,
-    pending: Vec<BlockAddr>,
+    pending: Vec<TaggedBlock>,
     /// Entanglings recorded (stats).
     pub entangled: u64,
 }
@@ -103,12 +103,14 @@ impl Entangling {
         }
     }
 
-    fn slot_of(block: BlockAddr) -> (usize, u32) {
-        let h = mix64(block.raw());
+    fn slot_of(block: TaggedBlock) -> (usize, u32) {
+        // Tagged identity: tenants entangle separately (identical to
+        // the raw block address for the host space).
+        let h = mix64(block.ident());
         (fold(h, 12) as usize, (fold(h ^ 0xe47a, 16)) as u32)
     }
 
-    fn on_demand_fetch(&mut self, block: BlockAddr, now: Cycle) {
+    fn on_demand_fetch(&mut self, block: TaggedBlock, now: Cycle) {
         // Trigger prefetches for destinations entangled with `block`.
         let (slot, tag) = Self::slot_of(block);
         let e = &self.table[slot];
@@ -123,7 +125,7 @@ impl Entangling {
         }
     }
 
-    fn on_demand_miss(&mut self, block: BlockAddr, now: Cycle, latency: u64) {
+    fn on_demand_miss(&mut self, block: TaggedBlock, now: Cycle, latency: u64) {
         // Source: the most recent fetch at least `latency` cycles old,
         // so that a prefetch issued there would have completed by now.
         let cutoff = now.saturating_sub(latency);
@@ -156,7 +158,7 @@ impl Entangling {
         self.entangled += 1;
     }
 
-    fn drain_pending(&mut self, out: &mut Vec<BlockAddr>) {
+    fn drain_pending(&mut self, out: &mut Vec<TaggedBlock>) {
         out.append(&mut self.pending);
     }
 }
@@ -164,12 +166,17 @@ impl Entangling {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acic_types::BlockAddr;
+
+    fn tb(b: u64) -> TaggedBlock {
+        TaggedBlock::untagged(BlockAddr::new(b))
+    }
 
     #[test]
     fn entangling_learns_miss_pairs() {
         let mut e = Entangling::new();
-        let src = BlockAddr::new(10);
-        let dst = BlockAddr::new(99);
+        let src = tb(10);
+        let dst = tb(99);
         // src fetched at cycle 0; dst misses at cycle 100 with a
         // 50-cycle fill: src qualifies as the entangling source.
         e.on_demand_fetch(src, 0);
@@ -185,7 +192,7 @@ mod tests {
     #[test]
     fn no_self_entangling() {
         let mut e = Entangling::new();
-        let b = BlockAddr::new(5);
+        let b = tb(5);
         e.on_demand_fetch(b, 0);
         e.on_demand_miss(b, 100, 50);
         assert_eq!(e.entangled, 0);
@@ -194,10 +201,10 @@ mod tests {
     #[test]
     fn destinations_rotate() {
         let mut e = Entangling::new();
-        let src = BlockAddr::new(1);
+        let src = tb(1);
         e.on_demand_fetch(src, 0);
         for (i, d) in [20u64, 21, 22].iter().enumerate() {
-            e.on_demand_miss(BlockAddr::new(*d), 100 + i as u64, 50);
+            e.on_demand_miss(tb(*d), 100 + i as u64, 50);
         }
         e.on_demand_fetch(src, 500);
         let mut out = Vec::new();

@@ -61,6 +61,9 @@ pub struct SimReport {
     pub branch: BranchStats,
     /// Prefetch statistics (whole run).
     pub prefetch: PrefetchStats,
+    /// Context switches observed at the fetch stage (whole run; 0 for
+    /// single-tenant traces).
+    pub context_switches: u64,
     /// ACIC-specific statistics, when the organization is ACIC.
     pub acic: Option<AcicStats>,
     /// CSHR statistics, when the organization is ACIC.

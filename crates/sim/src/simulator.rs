@@ -10,7 +10,7 @@ use crate::report::{PrefetchStats, SimReport};
 use acic_cache::{AccessCtx, CacheStats};
 use acic_core::AcicIcache;
 use acic_trace::{BlockRuns, GroupedRuns, ReuseOracle, TraceSource, NO_NEXT_USE};
-use acic_types::{BlockAddr, Cycle};
+use acic_types::{Asid, Cycle, TaggedBlock};
 
 /// Entry point for running simulations.
 #[derive(Debug)]
@@ -36,7 +36,9 @@ impl Simulator {
             let mut total = 0u64;
             let mut seq = Vec::new();
             for r in BlockRuns::new(workload.iter()) {
-                seq.push(r.block);
+                // Oracle keys are flattened tagged identities, so
+                // tenants' overlapping VAs stay distinct.
+                seq.push(r.oracle_key());
                 total += r.len as u64;
             }
             (Some(ReuseOracle::from_sequence(&seq)), total)
@@ -71,8 +73,10 @@ impl Simulator {
             PrefetcherKind::Entangling => Prefetcher::Entangling(Entangling::new()),
         };
         let mut prefetch_stats = PrefetchStats::default();
-        let mut pending_prefetches: Vec<(Cycle, BlockAddr)> = Vec::new();
-        let mut candidates: Vec<BlockAddr> = Vec::new();
+        let mut pending_prefetches: Vec<(Cycle, TaggedBlock)> = Vec::new();
+        let mut candidates: Vec<TaggedBlock> = Vec::new();
+        let mut fetch_asid = Asid::HOST;
+        let mut context_switches = 0u64;
 
         let mut runs = GroupedRuns::new(workload.iter());
         let warmup_instrs = (total_instructions as f64 * cfg.warmup_fraction) as u64;
@@ -101,28 +105,37 @@ impl Simulator {
                 if !head.accessed {
                     head.accessed = true;
                     access_index += 1;
+                    let tagged = head.block.with_asid(head.asid);
+                    // The fetch stream crossed into another address
+                    // space: tell the contents model (flush-on-switch
+                    // organizations gut themselves here).
+                    if head.asid != fetch_asid {
+                        fetch_asid = head.asid;
+                        context_switches += 1;
+                        contents.on_context_switch(head.asid);
+                    }
                     let next_use = match cursor.as_mut() {
                         Some(c) => {
-                            c.advance(head.block);
-                            c.next_use_of(head.block)
+                            c.advance(tagged.oracle_key());
+                            c.next_use_of(tagged.oracle_key())
                         }
                         None => NO_NEXT_USE,
                     };
                     head.next_use = next_use;
                     let outcome = {
                         let mut ctx =
-                            AccessCtx::demand(head.block, access_index).with_next_use(next_use);
+                            AccessCtx::demand_tagged(tagged, access_index).with_next_use(next_use);
                         if let Some(c) = cursor.as_ref() {
                             ctx = ctx.with_oracle(c);
                         }
                         contents.access(&ctx)
                     };
-                    prefetcher.on_demand_fetch(head.block, now);
+                    prefetcher.on_demand_fetch(tagged, now);
                     if outcome.hit {
                         head.ready_at = now + outcome.extra_latency as u64;
                     } else {
                         head.needs_fill = true;
-                        head.ready_at = match l1i_mshr.lookup(head.block, now) {
+                        head.ready_at = match l1i_mshr.lookup(tagged, now) {
                             // A prefetch already has the block in flight.
                             Some(ready) => ready,
                             None => {
@@ -134,9 +147,9 @@ impl Simulator {
                                 } else {
                                     now
                                 };
-                                let ready = mem.fetch_instr_block(head.block, start);
-                                l1i_mshr.insert(head.block, ready);
-                                prefetcher.on_demand_miss(head.block, now, ready - now);
+                                let ready = mem.fetch_instr_block(tagged, start);
+                                l1i_mshr.insert(tagged, ready);
+                                prefetcher.on_demand_miss(tagged, now, ready - now);
                                 ready
                             }
                         };
@@ -145,8 +158,9 @@ impl Simulator {
                 if now >= head.ready_at {
                     if head.needs_fill {
                         head.needs_fill = false;
-                        let mut ctx = AccessCtx::demand(head.block, access_index)
-                            .with_next_use(head.next_use);
+                        let mut ctx =
+                            AccessCtx::demand_tagged(head.block.with_asid(head.asid), access_index)
+                                .with_next_use(head.next_use);
                         if let Some(c) = cursor.as_ref() {
                             ctx = ctx.with_oracle(c);
                         }
@@ -181,6 +195,16 @@ impl Simulator {
                 if issued >= cfg.prefetch_width {
                     break;
                 }
+                // Never prefetch into an address space the core has
+                // not switched to yet: its translations are not
+                // active, and for flush-on-switch organizations the
+                // lines would be installed only to be flushed the
+                // moment the switch is crossed. (No-op single-tenant:
+                // every candidate carries the host ASID.)
+                if block.asid != fetch_asid {
+                    prefetch_stats.filtered += 1;
+                    continue;
+                }
                 if contents.contains_block(block) || l1i_mshr.lookup(block, now).is_some() {
                     prefetch_stats.filtered += 1;
                     continue;
@@ -196,7 +220,7 @@ impl Simulator {
                 issued += 1;
             }
             if !pending_prefetches.is_empty() {
-                let due: Vec<BlockAddr> = {
+                let due: Vec<TaggedBlock> = {
                     let mut v = Vec::new();
                     pending_prefetches.retain(|&(ready, block)| {
                         if ready <= now {
@@ -211,8 +235,10 @@ impl Simulator {
                 for block in due {
                     let future = cursor
                         .as_ref()
-                        .map_or(NO_NEXT_USE, |c| c.future_use_of(block));
-                    let mut ctx = AccessCtx::prefetch(block, access_index).with_next_use(future);
+                        .map_or(NO_NEXT_USE, |c| c.future_use_of(block.oracle_key()));
+                    let mut ctx = AccessCtx::prefetch(block.block, access_index)
+                        .with_asid(block.asid)
+                        .with_next_use(future);
                     if let Some(c) = cursor.as_ref() {
                         ctx = ctx.with_oracle(c);
                     }
@@ -264,6 +290,7 @@ impl Simulator {
             dram_accesses: mem.dram_accesses,
             branch: frontend.stats(),
             prefetch: prefetch_stats,
+            context_switches,
             acic,
             cshr,
             cshr_lifetimes,

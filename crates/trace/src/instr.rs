@@ -7,7 +7,10 @@
 //! not represented; mispredictions are charged as front-end stall
 //! cycles, the standard trace-driven approximation.
 
-use acic_types::Addr;
+use acic_types::{Addr, Asid, TaggedBlock, ASID_IDENT_SHIFT};
+
+/// Mask selecting the PC bits of the packed `pc`+ASID word.
+const PC_MASK: u64 = (1 << ASID_IDENT_SHIFT) - 1;
 
 /// Classification of a branch instruction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -72,17 +75,43 @@ pub enum InstrKind {
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Instr {
-    /// Program counter of the instruction.
-    pub pc: Addr,
+    /// PC (low 48 bits) and ASID (high 16 bits) packed into one word.
+    ///
+    /// Trace streams are the hottest data in the workspace — every
+    /// simulation loop reads every record — so the ASID rides in the
+    /// PC's unused high bits (PCs are virtual addresses below 2^48,
+    /// i.e. 256 TiB; asserted by the constructors) instead of growing
+    /// the record from 24 to 32 bytes. Access through [`Instr::pc`]
+    /// and [`Instr::asid`].
+    pc_asid: u64,
     /// Functional class and operands.
     pub kind: InstrKind,
 }
 
 impl Instr {
+    #[inline]
+    fn pack(pc: Addr) -> u64 {
+        debug_assert_eq!(pc.raw() & !PC_MASK, 0, "PC above 2^48 ({pc})");
+        pc.raw()
+    }
+
+    /// Program counter of the instruction.
+    #[inline]
+    pub fn pc(&self) -> Addr {
+        Addr::new(self.pc_asid & PC_MASK)
+    }
+
+    /// Address space the PC belongs to. [`Asid::HOST`] for
+    /// single-tenant traces; interleaved multi-tenant sources stamp
+    /// each instruction with its tenant's ASID.
+    #[inline]
+    pub fn asid(&self) -> Asid {
+        Asid::new((self.pc_asid >> ASID_IDENT_SHIFT) as u16)
+    }
     /// Creates a 1-cycle ALU instruction.
     pub fn alu(pc: Addr) -> Self {
         Instr {
-            pc,
+            pc_asid: Self::pack(pc),
             kind: InstrKind::Alu,
         }
     }
@@ -90,7 +119,7 @@ impl Instr {
     /// Creates a long-latency ALU instruction.
     pub fn long_alu(pc: Addr) -> Self {
         Instr {
-            pc,
+            pc_asid: Self::pack(pc),
             kind: InstrKind::LongAlu,
         }
     }
@@ -98,7 +127,7 @@ impl Instr {
     /// Creates a load.
     pub fn load(pc: Addr, addr: Addr) -> Self {
         Instr {
-            pc,
+            pc_asid: Self::pack(pc),
             kind: InstrKind::Load { addr },
         }
     }
@@ -106,7 +135,7 @@ impl Instr {
     /// Creates a store.
     pub fn store(pc: Addr, addr: Addr) -> Self {
         Instr {
-            pc,
+            pc_asid: Self::pack(pc),
             kind: InstrKind::Store { addr },
         }
     }
@@ -114,13 +143,26 @@ impl Instr {
     /// Creates a branch with a resolved outcome.
     pub fn branch(pc: Addr, target: Addr, taken: bool, class: BranchClass) -> Self {
         Instr {
-            pc,
+            pc_asid: Self::pack(pc),
             kind: InstrKind::Branch {
                 target,
                 taken,
                 class,
             },
         }
+    }
+
+    /// The same instruction re-homed into another address space.
+    #[inline]
+    pub fn with_asid(mut self, asid: Asid) -> Self {
+        self.pc_asid = (self.pc_asid & PC_MASK) | ((asid.raw() as u64) << ASID_IDENT_SHIFT);
+        self
+    }
+
+    /// The ASID-tagged identity of the instruction's block.
+    #[inline]
+    pub fn tagged_block(&self) -> TaggedBlock {
+        self.pc().block().with_asid(self.asid())
     }
 
     /// Whether this instruction is any kind of branch.
@@ -156,7 +198,7 @@ impl Instr {
                 taken: true,
                 ..
             } => target,
-            _ => self.pc + 4,
+            _ => self.pc() + 4,
         }
     }
 }
@@ -188,6 +230,20 @@ mod tests {
         assert!(s.is_mem());
         let a = Instr::alu(Addr::new(8));
         assert!(!a.is_mem() && !a.is_branch());
+    }
+
+    #[test]
+    fn constructors_default_to_host_space() {
+        let i = Instr::alu(Addr::new(0x100));
+        assert!(i.asid().is_host());
+        assert_eq!(i.tagged_block().block, Addr::new(0x100).block());
+        let t = i.with_asid(Asid::new(4));
+        assert_eq!(t.asid(), Asid::new(4));
+        assert_eq!(t.tagged_block().asid, Asid::new(4));
+        // Re-homing changes identity but not the PC or kind.
+        assert_eq!(t.pc(), i.pc());
+        assert_eq!(t.kind, i.kind);
+        assert_ne!(t.tagged_block(), i.tagged_block());
     }
 
     #[test]

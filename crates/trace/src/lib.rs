@@ -33,6 +33,7 @@
 //! ```
 
 pub mod instr;
+pub mod interleave;
 pub mod markov;
 pub mod oracle;
 pub mod runs;
@@ -40,6 +41,7 @@ pub mod source;
 pub mod stack_distance;
 
 pub use instr::{BranchClass, Instr, InstrKind};
+pub use interleave::{InterleavedIter, InterleavedTrace};
 pub use markov::{MarkovChain, ReuseBucket};
 pub use oracle::{OracleCursor, ReuseOracle, NO_NEXT_USE};
 pub use runs::{BlockRun, BlockRuns, GroupedRuns, RunInstrs};

@@ -8,13 +8,16 @@
 //! sequence, which is what makes the two-pass Belady OPT exact.
 
 use crate::instr::Instr;
-use acic_types::BlockAddr;
+use acic_types::{Asid, BlockAddr, TaggedBlock};
 
 /// A maximal run of consecutive instructions within one block.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BlockRun {
     /// The instruction block being fetched.
     pub block: BlockAddr,
+    /// Address space of every instruction in the run (runs never
+    /// cross a context switch).
+    pub asid: Asid,
     /// Number of instructions in the run.
     pub len: u32,
     /// Whether the run ends with a taken branch (ends the fetch group
@@ -22,11 +25,28 @@ pub struct BlockRun {
     pub ends_in_taken_branch: bool,
 }
 
+impl BlockRun {
+    /// The ASID-tagged identity of the run's block.
+    #[inline]
+    pub fn tagged(&self) -> TaggedBlock {
+        self.block.with_asid(self.asid)
+    }
+
+    /// Flat oracle key of the run's identity (equals `block` for the
+    /// host space).
+    #[inline]
+    pub fn oracle_key(&self) -> BlockAddr {
+        self.tagged().oracle_key()
+    }
+}
+
 /// Iterator adapter turning an instruction stream into [`BlockRun`]s.
 ///
 /// A run ends when the next instruction's block differs from the
-/// current block, or after a taken branch (even to the same block —
-/// the front end redirects and re-accesses).
+/// current block, after a taken branch (even to the same block —
+/// the front end redirects and re-accesses), or at a context switch
+/// (the next instruction carries a different ASID — a new address
+/// space means a new fetch even if the virtual block coincides).
 ///
 /// # Examples
 ///
@@ -66,7 +86,8 @@ impl<I: Iterator<Item = Instr>> Iterator for BlockRuns<I> {
 
     fn next(&mut self) -> Option<BlockRun> {
         let first = self.pending.take().or_else(|| self.inner.next())?;
-        let block = first.pc.block();
+        let block = first.pc().block();
+        let asid = first.asid();
         let mut len = 1u32;
         let mut ends_taken = first.is_taken_branch();
         if !ends_taken {
@@ -74,7 +95,7 @@ impl<I: Iterator<Item = Instr>> Iterator for BlockRuns<I> {
                 match self.inner.next() {
                     None => break,
                     Some(i) => {
-                        if i.pc.block() != block {
+                        if i.pc().block() != block || i.asid() != asid {
                             self.pending = Some(i);
                             break;
                         }
@@ -89,6 +110,7 @@ impl<I: Iterator<Item = Instr>> Iterator for BlockRuns<I> {
         }
         Some(BlockRun {
             block,
+            asid,
             len,
             ends_in_taken_branch: ends_taken,
         })
@@ -110,8 +132,18 @@ pub fn block_sequence<I: Iterator<Item = Instr>>(instrs: I) -> Vec<BlockAddr> {
 pub struct RunInstrs {
     /// The instruction block being fetched.
     pub block: BlockAddr,
+    /// Address space of every instruction in the run.
+    pub asid: Asid,
     /// The instructions of the run, in order.
     pub instrs: Vec<Instr>,
+}
+
+impl RunInstrs {
+    /// The ASID-tagged identity of the run's block.
+    #[inline]
+    pub fn tagged(&self) -> TaggedBlock {
+        self.block.with_asid(self.asid)
+    }
 }
 
 /// Like [`BlockRuns`] but carrying the instructions of each run.
@@ -140,14 +172,15 @@ impl<I: Iterator<Item = Instr>> Iterator for GroupedRuns<I> {
 
     fn next(&mut self) -> Option<RunInstrs> {
         let first = self.pending.take().or_else(|| self.inner.next())?;
-        let block = first.pc.block();
+        let block = first.pc().block();
+        let asid = first.asid();
         let mut instrs = vec![first];
         if !first.is_taken_branch() {
             loop {
                 match self.inner.next() {
                     None => break,
                     Some(i) => {
-                        if i.pc.block() != block {
+                        if i.pc().block() != block || i.asid() != asid {
                             self.pending = Some(i);
                             break;
                         }
@@ -160,7 +193,11 @@ impl<I: Iterator<Item = Instr>> Iterator for GroupedRuns<I> {
                 }
             }
         }
-        Some(RunInstrs { block, instrs })
+        Some(RunInstrs {
+            block,
+            asid,
+            instrs,
+        })
     }
 }
 
@@ -229,6 +266,28 @@ mod tests {
         instrs.extend(seq_alu(5, 0));
         let total: u32 = BlockRuns::new(instrs.iter().copied()).map(|r| r.len).sum();
         assert_eq!(total as usize, instrs.len());
+    }
+
+    #[test]
+    fn context_switch_splits_runs_even_within_one_block() {
+        use acic_types::Asid;
+        // Two tenants executing the *same* virtual block back to back:
+        // the ASID change must split the run — the fetch belongs to a
+        // different address space.
+        let instrs = vec![
+            Instr::alu(Addr::new(0)),
+            Instr::alu(Addr::new(4)),
+            Instr::alu(Addr::new(8)).with_asid(Asid::new(1)),
+            Instr::alu(Addr::new(12)).with_asid(Asid::new(1)),
+        ];
+        let runs: Vec<_> = BlockRuns::new(instrs.into_iter()).collect();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].block, runs[1].block);
+        assert_eq!(runs[0].asid, Asid::HOST);
+        assert_eq!(runs[1].asid, Asid::new(1));
+        assert_ne!(runs[0].tagged(), runs[1].tagged());
+        assert_ne!(runs[0].oracle_key(), runs[1].oracle_key());
+        assert_eq!(runs[0].oracle_key(), runs[0].block, "host key is bare");
     }
 
     #[test]

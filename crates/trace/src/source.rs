@@ -13,6 +13,17 @@ use crate::instr::Instr;
 ///
 /// Implementations must yield the identical sequence on every call to
 /// [`TraceSource::iter`]; the OPT oracle relies on this.
+///
+/// # Reset semantics
+///
+/// There is no separate `reset` method: **calling `iter()` again is
+/// the reset operation.** Each call opens an independent pass from the
+/// very first instruction; passes must not share mutable state, and a
+/// later pass must be byte-identical to an earlier one regardless of
+/// how far the earlier one was driven. Composed sources (e.g.
+/// [`crate::InterleavedTrace`]) must reset *every* child and replay
+/// the identical composition schedule — partial resets desynchronize
+/// the oracle pre-pass from the simulation pass.
 pub trait TraceSource {
     /// Iterator type over instructions.
     type Iter<'a>: Iterator<Item = Instr>
@@ -34,6 +45,12 @@ pub trait TraceSource {
     /// without a counting pre-pass; sources that would have to
     /// materialize the stream to answer should return `None` (the
     /// simulator then falls back to counting).
+    ///
+    /// The hint is a contract, not an estimate: when `Some(n)` is
+    /// returned, `iter()` must yield exactly `n` instructions.
+    /// Composed sources must propagate exactness — report the
+    /// combined count when **all** children report one, and `None`
+    /// as soon as any child cannot answer.
     fn len_hint(&self) -> Option<u64> {
         None
     }

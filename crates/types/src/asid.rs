@@ -1,0 +1,292 @@
+//! Address-space identity: [`Asid`] and the ASID-tagged block
+//! identity [`TaggedBlock`].
+//!
+//! Datacenter servers run many processes; a context switch changes
+//! which address space the fetch stream's virtual addresses belong
+//! to. Two tenants' PCs overlap freely (every process links its hot
+//! library code at similar VAs), so a cache block is identified by
+//! the *pair* (block address, ASID), exactly as an ASID-tagged L1i
+//! disambiguates lines without flushing on every switch.
+//!
+//! The design constraint honored throughout this module is that the
+//! host/single-tenant address space ([`Asid::HOST`], numerically 0)
+//! is **bit-identical** to the untagged world: `TaggedBlock` with
+//! ASID 0 has the same [`TaggedBlock::ident`], the same set index,
+//! the same tag, and the same [`mix64`]-based hash as the bare
+//! [`BlockAddr`] had before ASIDs existed. Single-tenant simulations
+//! therefore reproduce their pre-ASID results exactly.
+
+use crate::addr::BlockAddr;
+use crate::hash::mix64;
+use core::fmt;
+
+/// Bit position where the ASID enters the flattened block identity.
+///
+/// Block addresses are byte addresses shifted right by 6, so a
+/// 48-bit-shifted ASID sits far above any realistic code footprint
+/// (2^48 blocks = 16 PiB of code); the XOR in
+/// [`TaggedBlock::ident`] is thus a disjoint bit-field merge in
+/// practice, and exactly the identity function for ASID 0.
+pub const ASID_IDENT_SHIFT: u32 = 48;
+
+/// An address-space identifier.
+///
+/// 16 bits, as in ARMv8 / x86 PCID-class hardware. ASID 0 is the
+/// host (single-tenant) space and is the default everywhere, which
+/// is what keeps the single-tenant fast path unchanged.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Asid(u16);
+
+impl Asid {
+    /// The host / single-tenant address space (ASID 0).
+    pub const HOST: Asid = Asid(0);
+
+    /// Creates an ASID from a raw value.
+    #[inline]
+    pub const fn new(raw: u16) -> Self {
+        Asid(raw)
+    }
+
+    /// Returns the raw value.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Whether this is the host (single-tenant) space.
+    #[inline]
+    pub const fn is_host(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<u16> for Asid {
+    #[inline]
+    fn from(raw: u16) -> Self {
+        Asid(raw)
+    }
+}
+
+impl fmt::Debug for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Asid({})", self.0)
+    }
+}
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A cache-block identity: block address plus address space.
+///
+/// This is the unit of tag match, set indexing, and hashing for every
+/// indexed structure in the workspace (i-cache tags, i-Filter slots,
+/// CSHR partial tags, predictor signatures, victim caches). Both
+/// components flow through [`TaggedBlock::ident`], a single `u64`
+/// that equals the bare block address for [`Asid::HOST`].
+///
+/// # Examples
+///
+/// ```
+/// use acic_types::{Asid, BlockAddr, TaggedBlock};
+///
+/// let b = BlockAddr::new(0x40);
+/// let host = TaggedBlock::untagged(b);
+/// let tenant = b.with_asid(Asid::new(3));
+/// // Same virtual address, different identities:
+/// assert_ne!(host, tenant);
+/// // Host identity is bit-identical to the bare block address:
+/// assert_eq!(host.ident(), b.raw());
+/// // The ASID lands in the tag bits, not the index bits:
+/// assert_eq!(host.set_index(64), tenant.set_index(64));
+/// assert_ne!(host.tag(64), tenant.tag(64));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaggedBlock {
+    /// The (virtual) block address.
+    pub block: BlockAddr,
+    /// The address space the block belongs to.
+    pub asid: Asid,
+}
+
+impl TaggedBlock {
+    /// Creates a tagged block identity.
+    #[inline]
+    pub const fn new(block: BlockAddr, asid: Asid) -> Self {
+        TaggedBlock { block, asid }
+    }
+
+    /// A block in the host (single-tenant) address space.
+    #[inline]
+    pub const fn untagged(block: BlockAddr) -> Self {
+        TaggedBlock {
+            block,
+            asid: Asid::HOST,
+        }
+    }
+
+    /// The flattened 64-bit identity: block address XOR the ASID
+    /// shifted to [`ASID_IDENT_SHIFT`].
+    ///
+    /// For ASID 0 this *is* the raw block address, which is what
+    /// makes single-tenant runs bit-identical to the pre-ASID world.
+    /// Every hash and every index below derives from this value, so
+    /// the ASID participates in set indexing, tag match, and
+    /// [`mix64`]-based hashing through one definition.
+    #[inline]
+    pub const fn ident(self) -> u64 {
+        self.block.raw() ^ ((self.asid.raw() as u64) << ASID_IDENT_SHIFT)
+    }
+
+    /// Cache set index for a cache with `num_sets` sets (power of
+    /// two). Derived from [`TaggedBlock::ident`]; since the ASID sits
+    /// at bit 48 and real set counts are far smaller, the index bits
+    /// come from the block address — VIPT-style indexing where the
+    /// ASID disambiguates at tag-match time.
+    #[inline]
+    pub const fn set_index(self, num_sets: usize) -> usize {
+        (self.ident() as usize) & (num_sets - 1)
+    }
+
+    /// Tag bits above the set index, ASID included.
+    #[inline]
+    pub const fn tag(self, num_sets: usize) -> u64 {
+        self.ident() >> num_sets.trailing_zeros()
+    }
+
+    /// Well-mixed 64-bit hash of the identity (SplitMix64 finalizer).
+    #[inline]
+    pub fn hash(self) -> u64 {
+        mix64(self.ident())
+    }
+
+    /// The identity reinterpreted as a [`BlockAddr`] key for
+    /// structures that index by flat block identity (the reuse
+    /// oracle). Equal to `self.block` for the host space.
+    #[inline]
+    pub const fn oracle_key(self) -> BlockAddr {
+        BlockAddr::new(self.ident())
+    }
+
+    /// Reconstructs the tagged block from a stored
+    /// ([`TaggedBlock::ident`], ASID) pair. Exact for every input
+    /// (XOR is self-inverse once the ASID is known), so compact tag
+    /// stores can keep one `u64` ident plus the raw ASID per line
+    /// and round-trip losslessly.
+    #[inline]
+    pub const fn from_ident(ident: u64, asid: Asid) -> Self {
+        TaggedBlock {
+            block: BlockAddr::new(ident ^ ((asid.raw() as u64) << ASID_IDENT_SHIFT)),
+            asid,
+        }
+    }
+}
+
+impl From<BlockAddr> for TaggedBlock {
+    #[inline]
+    fn from(block: BlockAddr) -> Self {
+        TaggedBlock::untagged(block)
+    }
+}
+
+impl BlockAddr {
+    /// Tags this block with an address space.
+    #[inline]
+    pub const fn with_asid(self, asid: Asid) -> TaggedBlock {
+        TaggedBlock::new(self, asid)
+    }
+}
+
+impl fmt::Debug for TaggedBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.asid.is_host() {
+            write!(f, "TaggedBlock({:#x})", self.block.raw())
+        } else {
+            write!(f, "TaggedBlock({:#x}@{})", self.block.raw(), self.asid)
+        }
+    }
+}
+
+impl fmt::Display for TaggedBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.asid.is_host() {
+            write!(f, "{:#x}", self.block.raw())
+        } else {
+            write!(f, "{:#x}@{}", self.block.raw(), self.asid)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_identity_is_bare_block_address() {
+        for raw in [0u64, 1, 0xbeef, (1 << 47) - 1] {
+            let b = BlockAddr::new(raw);
+            let t = TaggedBlock::untagged(b);
+            assert_eq!(t.ident(), raw);
+            assert_eq!(t.set_index(64), b.set_index(64));
+            assert_eq!(t.tag(64), b.tag(64));
+            assert_eq!(t.hash(), mix64(raw));
+            assert_eq!(t.oracle_key(), b);
+        }
+    }
+
+    #[test]
+    fn asid_separates_identical_virtual_addresses() {
+        let b = BlockAddr::new(0x1234);
+        let a = b.with_asid(Asid::new(1));
+        let c = b.with_asid(Asid::new(2));
+        assert_ne!(a, c);
+        assert_ne!(a.ident(), c.ident());
+        assert_ne!(a.tag(64), c.tag(64));
+        assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn asid_stays_out_of_realistic_index_bits() {
+        // With the ASID at bit 48, set indices up to 2^20 sets see
+        // only block-address bits.
+        let b = BlockAddr::new(0x5555);
+        for sets in [16usize, 64, 2048, 1 << 20] {
+            assert_eq!(
+                b.with_asid(Asid::new(7)).set_index(sets),
+                TaggedBlock::untagged(b).set_index(sets)
+            );
+        }
+    }
+
+    #[test]
+    fn tag_and_index_recombine_to_ident() {
+        let t = BlockAddr::new(0b1011_0110).with_asid(Asid::new(5));
+        let sets = 16usize;
+        assert_eq!(
+            (t.tag(sets) << sets.trailing_zeros()) | t.set_index(sets) as u64,
+            t.ident()
+        );
+    }
+
+    #[test]
+    fn from_block_addr_is_host() {
+        let t: TaggedBlock = BlockAddr::new(9).into();
+        assert!(t.asid.is_host());
+        assert_eq!(t.block, BlockAddr::new(9));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            format!("{}", TaggedBlock::untagged(BlockAddr::new(0x40))),
+            "0x40"
+        );
+        assert_eq!(
+            format!("{}", BlockAddr::new(0x40).with_asid(Asid::new(3))),
+            "0x40@3"
+        );
+        assert_eq!(format!("{}", Asid::new(12)), "12");
+    }
+}

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod addr;
+pub mod asid;
 pub mod counter;
 pub mod fenwick;
 pub mod hash;
@@ -38,6 +39,7 @@ pub mod lru;
 pub mod stats;
 
 pub use addr::{Addr, BlockAddr, BLOCK_BYTES, BLOCK_OFFSET_BITS};
+pub use asid::{Asid, TaggedBlock, ASID_IDENT_SHIFT};
 pub use counter::{HistoryReg, SatCounter};
 pub use fenwick::FenwickTree;
 pub use lru::LruStamps;

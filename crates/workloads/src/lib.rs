@@ -39,10 +39,12 @@
 //! assert_eq!(a, b);
 //! ```
 
+pub mod multi_tenant;
 pub mod profile;
 pub mod program;
 pub mod walker;
 
+pub use multi_tenant::MultiTenantWorkload;
 pub use profile::AppProfile;
 pub use program::{Program, Terminator};
 pub use walker::Walker;
@@ -136,7 +138,8 @@ mod tests {
         let wl = SyntheticWorkload::with_instructions(AppProfile::web_search(), 20_000);
         let (lo, hi) = wl.program().code_range();
         for i in wl.iter() {
-            assert!(i.pc >= lo && i.pc < hi, "pc {} outside [{lo}, {hi})", i.pc);
+            let pc = i.pc();
+            assert!(pc >= lo && pc < hi, "pc {pc} outside [{lo}, {hi})");
         }
     }
 

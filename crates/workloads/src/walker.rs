@@ -305,7 +305,7 @@ mod tests {
         let program = Program::generate(&p);
         let hot_hi = program.functions[program.warm[0]].base.raw();
         let instrs = take(&p, 100_000);
-        let hot_count = instrs.iter().filter(|i| i.pc.raw() < hot_hi).count();
+        let hot_count = instrs.iter().filter(|i| i.pc().raw() < hot_hi).count();
         let frac = hot_count as f64 / instrs.len() as f64;
         assert!(frac > 0.10, "hot fraction {frac}");
     }

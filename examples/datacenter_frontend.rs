@@ -16,7 +16,7 @@ fn main() {
     println!();
     for profile in AppProfile::datacenter_suite() {
         let wl = SyntheticWorkload::with_instructions(profile, 500_000);
-        let blocks: Vec<_> = wl.iter().map(|i| i.pc.block()).collect();
+        let blocks: Vec<_> = wl.iter().map(|i| i.pc().block()).collect();
         let fractions = StackDistanceAnalyzer::histogram(&blocks).fractions();
         print!("{:<16}", wl.name());
         for b in ReuseBucket::ALL {

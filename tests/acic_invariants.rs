@@ -14,7 +14,7 @@ fn drive(config: AcicConfig, instructions: u64, check_every: u64) -> AcicIcache 
     let mut idx = 0u64;
     let mut last_block: Option<BlockAddr> = None;
     for instr in wl.iter() {
-        let block = instr.pc.block();
+        let block = instr.pc().block();
         if last_block == Some(block) && !instr.is_taken_branch() {
             continue; // same fetch group
         }
@@ -101,7 +101,7 @@ fn always_admit_matches_filtered_icache_contents() {
     let mut idx = 0u64;
     let mut last = None;
     for instr in wl.iter() {
-        let block = instr.pc.block();
+        let block = instr.pc().block();
         if last == Some(block) && !instr.is_taken_branch() {
             continue;
         }
