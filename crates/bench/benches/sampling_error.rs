@@ -1,0 +1,8 @@
+//! Bench target regenerating the sampling-error sweep (sampled
+//! engine vs full detail).
+//! Run: `cargo bench -p acic-bench --bench sampling_error`
+//! Scale with ACIC_EXP_INSTRUCTIONS (default 1M instructions/cell).
+
+fn main() {
+    println!("{}", acic_bench::figures::sampling_error());
+}

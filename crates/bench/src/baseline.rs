@@ -15,7 +15,7 @@
 
 use acic_cache::policy::PolicyKind;
 use acic_cache::{AccessCtx, CacheGeometry, SetAssocCache};
-use acic_sim::{functional, IcacheOrg, SimConfig, Simulator};
+use acic_sim::{functional, IcacheOrg, SampleSchedule, SimConfig, Simulator};
 use acic_trace::{BlockRuns, TraceSource, VecTrace};
 use acic_workloads::{AppProfile, MultiTenantWorkload, SyntheticWorkload};
 use std::time::Instant;
@@ -30,6 +30,15 @@ pub fn baseline_instructions() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1_000_000)
+}
+
+/// Instruction budget for the sampled-engine leg (the ISSUE-3
+/// acceptance cell): `ACIC_SAMPLED_INSTRUCTIONS` or 20 M.
+pub fn sampled_instructions() -> u64 {
+    std::env::var("ACIC_SAMPLED_INSTRUCTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000_000)
 }
 
 /// Naive reference loop: boxed-policy tag store probed once per
@@ -169,6 +178,64 @@ fn measure_multi_tenant(instructions: u64) -> (VecTrace, Vec<MtRow>) {
     (trace, rows)
 }
 
+/// One sampled-vs-full comparison cell for the `sampled` section.
+struct SampledRow {
+    label: &'static str,
+    instructions: u64,
+    full_secs: f64,
+    sampled_secs: f64,
+    windows: u64,
+    full_ipc: f64,
+    sampled_ipc: f64,
+    full_mpki: f64,
+    sampled_mpki: f64,
+}
+
+impl SampledRow {
+    fn speedup(&self) -> f64 {
+        self.full_secs / self.sampled_secs.max(1e-12)
+    }
+
+    fn ipc_err_pct(&self) -> f64 {
+        (self.sampled_ipc - self.full_ipc).abs() / self.full_ipc.max(1e-12) * 100.0
+    }
+
+    fn mpki_err_pct(&self) -> f64 {
+        (self.sampled_mpki - self.full_mpki).abs() / self.full_mpki.max(1e-12) * 100.0
+    }
+}
+
+/// The ISSUE-3 acceptance cell: full-detail vs the documented default
+/// sampled schedule on a 20 M-instruction ACIC cell (trace
+/// materialized once, shared by both legs). Mirrors
+/// `tests/sampled_sim.rs::default_sampled_schedule_hits_10x_within_2pct`.
+fn measure_sampled() -> SampledRow {
+    let n = sampled_instructions();
+    let trace = VecTrace::from_source(&SyntheticWorkload::with_instructions(
+        AppProfile::web_search(),
+        n,
+    ));
+    let cfg = SimConfig::default().with_org(IcacheOrg::acic_default());
+    let (full_secs, full) = time(|| Simulator::run(&cfg, &trace));
+    let sampled_cfg = cfg.with_schedule(SampleSchedule::default_sampled());
+    // Best-of-2 on the short leg: the simulated results are
+    // deterministic, only the wall clock is noisy.
+    let (secs_a, sampled) = time(|| Simulator::run(&sampled_cfg, &trace));
+    let (secs_b, _) = time(|| Simulator::run(&sampled_cfg, &trace));
+    let sampled_secs = secs_a.min(secs_b);
+    SampledRow {
+        label: "acic_web_search_default_schedule",
+        instructions: n,
+        full_secs,
+        sampled_secs,
+        windows: sampled.sampled.map_or(0, |s| s.windows),
+        full_ipc: full.ipc(),
+        sampled_ipc: sampled.ipc(),
+        full_mpki: full.l1i_mpki(),
+        sampled_mpki: sampled.l1i_mpki(),
+    }
+}
+
 /// Runs the baseline measurement and renders it as a JSON document.
 pub fn measure_baseline() -> String {
     let instructions = baseline_instructions();
@@ -202,7 +269,15 @@ pub fn measure_baseline() -> String {
         ),
     ];
     let (mt_trace, mt_rows) = measure_multi_tenant(instructions);
-    render_json(instructions, &workload, &rows, &mt_trace, &mt_rows)
+    let sampled = measure_sampled();
+    render_json(
+        instructions,
+        &workload,
+        &rows,
+        &mt_trace,
+        &mt_rows,
+        &sampled,
+    )
 }
 
 fn render_json(
@@ -211,9 +286,10 @@ fn render_json(
     rows: &[OrgRow],
     mt_trace: &VecTrace,
     mt_rows: &[MtRow],
+    sampled: &SampledRow,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"acic-throughput-baseline/v2\",\n");
+    out.push_str("  \"schema\": \"acic-throughput-baseline/v3\",\n");
     out.push_str(&format!("  \"instructions\": {instructions},\n"));
     out.push_str(&format!("  \"workload\": \"{}\",\n", workload.name()));
     out.push_str("  \"trace_materialized\": true,\n");
@@ -264,7 +340,43 @@ fn render_json(
             "      },\n"
         });
     }
-    out.push_str("    }\n  }\n}\n");
+    out.push_str("    }\n  },\n");
+    out.push_str("  \"sampled\": {\n");
+    out.push_str(&format!("    \"cell\": \"{}\",\n", sampled.label));
+    out.push_str(&format!(
+        "    \"instructions\": {},\n",
+        sampled.instructions
+    ));
+    out.push_str("    \"schedule\": \"default_sampled (period 700k, warmup 185k, detailed 22k, adaptive ff)\",\n");
+    out.push_str(&format!(
+        "    \"full_detail_secs\": {:.3},\n",
+        sampled.full_secs
+    ));
+    out.push_str(&format!(
+        "    \"sampled_secs\": {:.3},\n",
+        sampled.sampled_secs
+    ));
+    out.push_str(&format!("    \"speedup\": {:.2},\n", sampled.speedup()));
+    out.push_str(&format!("    \"windows\": {},\n", sampled.windows));
+    out.push_str(&format!("    \"full_ipc\": {:.4},\n", sampled.full_ipc));
+    out.push_str(&format!(
+        "    \"sampled_ipc\": {:.4},\n",
+        sampled.sampled_ipc
+    ));
+    out.push_str(&format!(
+        "    \"ipc_err_pct\": {:.2},\n",
+        sampled.ipc_err_pct()
+    ));
+    out.push_str(&format!("    \"full_mpki\": {:.4},\n", sampled.full_mpki));
+    out.push_str(&format!(
+        "    \"sampled_mpki\": {:.4},\n",
+        sampled.sampled_mpki
+    ));
+    out.push_str(&format!(
+        "    \"mpki_err_pct\": {:.2}\n",
+        sampled.mpki_err_pct()
+    ));
+    out.push_str("  }\n}\n");
     out
 }
 
@@ -292,17 +404,49 @@ mod tests {
             mpki: 12.0,
             context_switches: 9,
         }];
-        let j = render_json(1_000, &wl, &rows, &wl, &mt_rows);
-        assert!(j.contains("\"schema\": \"acic-throughput-baseline/v2\""));
+        let sampled = SampledRow {
+            label: "acic_web_search_default_schedule",
+            instructions: 20_000_000,
+            full_secs: 3.5,
+            sampled_secs: 0.35,
+            windows: 26,
+            full_ipc: 3.32,
+            sampled_ipc: 3.31,
+            full_mpki: 2.20,
+            sampled_mpki: 2.20,
+        };
+        let j = render_json(1_000, &wl, &rows, &wl, &mt_rows, &sampled);
+        assert!(j.contains("\"schema\": \"acic-throughput-baseline/v3\""));
         assert!(j.contains("\"multi_tenant\""));
         assert!(j.contains("\"context_switches\": 9"));
         assert!(j.contains("\"naive_path\": \"boxed_unbatched\""));
         assert!(j.contains("\"devirt_batched_ips\": 2500000"));
+        assert!(j.contains("\"sampled\""));
+        assert!(j.contains("\"speedup\": 10.00"));
+        assert!(j.contains("\"windows\": 26"));
         assert_eq!(
             j.matches('{').count(),
             j.matches('}').count(),
             "balanced braces"
         );
+    }
+
+    #[test]
+    fn sampled_row_math() {
+        let r = SampledRow {
+            label: "x",
+            instructions: 1,
+            full_secs: 2.0,
+            sampled_secs: 0.2,
+            windows: 1,
+            full_ipc: 2.0,
+            sampled_ipc: 2.1,
+            full_mpki: 4.0,
+            sampled_mpki: 3.9,
+        };
+        assert!((r.speedup() - 10.0).abs() < 1e-9);
+        assert!((r.ipc_err_pct() - 5.0).abs() < 1e-9);
+        assert!((r.mpki_err_pct() - 2.5).abs() < 1e-9);
     }
 
     #[test]

@@ -6,12 +6,16 @@
 //! cargo run --release -p acic-bench --bin experiments              # all
 //! cargo run --release -p acic-bench --bin experiments --list      # names only
 //! cargo run --release -p acic-bench --bin experiments --only fig13_admit_rate
+//! cargo run --release -p acic-bench --bin experiments --smoke     # tiny grid, all figures
 //! cargo run --release -p acic-bench --bin experiments fig1        # substring filter
 //! ```
 //!
 //! `--only` matches one figure by exact name (and fails loudly on a
 //! typo, unlike the substring filter); `--list` prints the runnable
-//! names without simulating anything.
+//! names without simulating anything; `--smoke` runs every registered
+//! figure on a tiny grid (50 k instructions per cell, honoring an
+//! explicit `ACIC_EXP_INSTRUCTIONS` if smaller) so the figure wiring
+//! is exercisable in seconds — CI runs exactly this.
 
 type Experiment = (&'static str, fn() -> String);
 
@@ -56,9 +60,15 @@ fn all_experiments() -> Vec<Experiment> {
             acic_bench::figures::fig20_21_entangling,
         ),
         ("multi_tenant", acic_bench::figures::multi_tenant),
+        ("sampling_error", acic_bench::figures::sampling_error),
         ("energy_summary", acic_bench::figures::energy_summary),
     ]
 }
+
+/// Instructions per cell in `--smoke` mode: small enough that the
+/// whole figure suite runs in seconds, honoring an explicitly smaller
+/// `ACIC_EXP_INSTRUCTIONS`.
+const SMOKE_INSTRUCTIONS: u64 = 50_000;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +79,19 @@ fn main() {
             println!("{name}");
         }
         return;
+    }
+
+    if args.iter().any(|a| a == "--smoke") {
+        let budget = std::env::var("ACIC_EXP_INSTRUCTIONS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(u64::MAX)
+            .min(SMOKE_INSTRUCTIONS);
+        // The figures read the budget through the environment; pin it
+        // before any simulation starts (single-threaded here, workers
+        // only spawn inside figures).
+        std::env::set_var("ACIC_EXP_INSTRUCTIONS", budget.to_string());
+        eprintln!("[smoke: every figure at {budget} instructions/cell]");
     }
 
     let selected: Vec<Experiment> = if let Some(pos) = args.iter().position(|a| a == "--only") {
@@ -87,8 +110,13 @@ fn main() {
             }
         }
     } else {
-        // Legacy positional substring filter (empty = everything).
-        let filter = args.first().cloned().unwrap_or_default();
+        // Legacy positional substring filter (empty = everything;
+        // flags are not filters).
+        let filter = args
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_default();
         all.into_iter()
             .filter(|(name, _)| filter.is_empty() || name.contains(&filter))
             .collect()

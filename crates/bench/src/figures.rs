@@ -785,3 +785,87 @@ pub fn multi_tenant() -> String {
         markdown_table(&header, &rows)
     )
 }
+
+/// Sampling-error sweep: MPKI/IPC error and wall-clock speedup of the
+/// sampled engine versus full detail, over period × detailed-window
+/// size, for LRU and ACIC on single- and multi-tenant workloads.
+///
+/// Periods scale with the instruction budget (`total/8`, `total/4`)
+/// so the sweep stays meaningful at any `ACIC_EXP_INSTRUCTIONS`;
+/// warmup is a quarter period (the rest of the gap is
+/// convergence-gated fast-forward). The documented default schedule's
+/// full-scale numbers live in `BENCH_baseline.json`'s `sampled`
+/// section.
+pub fn sampling_error() -> String {
+    use std::time::Instant;
+    let n = instruction_budget();
+    let orgs = [IcacheOrg::Lru, IcacheOrg::acic_default()];
+    let specs = [
+        WorkloadSpec::Single(AppProfile::web_search()),
+        WorkloadSpec::MultiTenant {
+            profiles: vec![AppProfile::web_search(), AppProfile::tpc_c()],
+            quantum: 20_000,
+        },
+    ];
+    // Clamp so tiny budgets still produce a valid schedule: the
+    // detailed window never exceeds half the period, warmup fills at
+    // most the remainder.
+    let periods = [(n / 8).max(4), (n / 4).max(4)];
+    let detail_divs = [20u64, 10];
+
+    let header: Vec<String> = [
+        "config", "workload", "period", "detailed", "windows", "ipc err", "mpki err", "speedup",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for spec in &specs {
+        for org in &orgs {
+            let cfg = SimConfig::default().with_org(org.clone());
+            let t0 = Instant::now();
+            let full = spec.run(&cfg, n);
+            let full_secs = t0.elapsed().as_secs_f64();
+            for &period in &periods {
+                for &div in &detail_divs {
+                    let detailed_len = (period / div).max(1_000).min(period / 2);
+                    let warmup_len = (period / 4).min(period - detailed_len);
+                    let sched = acic_sim::SampleSchedule::Periodic {
+                        period,
+                        warmup_len,
+                        detailed_len,
+                    };
+                    let t1 = Instant::now();
+                    let sampled = spec.run(&cfg.with_schedule(sched), n);
+                    let secs = t1.elapsed().as_secs_f64();
+                    let ipc_err = if full.ipc() > 0.0 {
+                        (sampled.ipc() - full.ipc()).abs() / full.ipc() * 100.0
+                    } else {
+                        0.0
+                    };
+                    let mpki_err = if full.l1i_mpki() > 0.0 {
+                        (sampled.l1i_mpki() - full.l1i_mpki()).abs() / full.l1i_mpki() * 100.0
+                    } else {
+                        0.0
+                    };
+                    rows.push(vec![
+                        org.label().to_string(),
+                        spec.label(),
+                        format!("{}k", period / 1000),
+                        format!("{}k", detailed_len / 1000),
+                        sampled.sampled.map_or(0, |s| s.windows).to_string(),
+                        format!("{ipc_err:.2}%"),
+                        format!("{mpki_err:.2}%"),
+                        format!("{:.1}x", full_secs / secs.max(1e-9)),
+                    ]);
+                }
+            }
+        }
+    }
+    format!(
+        "Sampling error — sampled engine vs full detail ({} instructions/cell)\n\
+         (periods scale with the budget; warmup = period/4, remainder adaptive fast-forward)\n{}",
+        n,
+        markdown_table(&header, &rows)
+    )
+}

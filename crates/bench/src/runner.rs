@@ -1,7 +1,7 @@
 //! Shared experiment plumbing: instruction budgets, parallel
 //! simulation fan-out, and markdown rendering.
 
-use acic_sim::{IcacheOrg, PrefetcherKind, SimConfig, SimReport, Simulator};
+use acic_sim::{IcacheOrg, PrefetcherKind, SampleSchedule, SimConfig, SimReport, Simulator};
 use acic_workloads::{AppProfile, MultiTenantWorkload, SyntheticWorkload};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -13,6 +13,29 @@ pub fn instruction_budget() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1_000_000)
+}
+
+/// Resolves the grid worker count from an `ACIC_BENCH_THREADS`-style
+/// override and the machine's available parallelism: a parseable
+/// positive override wins (clamped to ≥ 1 by construction — zero and
+/// garbage fall back), otherwise `available`. Pure so the policy is
+/// testable without touching the process environment.
+pub fn bench_threads_from(var: Option<&str>, available: usize) -> usize {
+    var.and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(available)
+        .max(1)
+}
+
+/// Grid worker count: `ACIC_BENCH_THREADS` (clamped to ≥ 1) or the
+/// machine's available parallelism.
+pub fn bench_threads() -> usize {
+    bench_threads_from(
+        std::env::var("ACIC_BENCH_THREADS").ok().as_deref(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2),
+    )
 }
 
 /// One cell's workload in an experiment grid: a single application,
@@ -122,13 +145,25 @@ impl Runner {
         }
     }
 
+    /// Creates a runner whose baseline (and therefore every config
+    /// derived from it through [`Runner::run_orgs`]) simulates under
+    /// the given fidelity schedule.
+    pub fn with_schedule(schedule: SampleSchedule) -> Self {
+        Runner {
+            instructions: instruction_budget(),
+            baseline: SimConfig::default().with_schedule(schedule),
+        }
+    }
+
     /// Runs every (config, workload spec) pair in parallel, returning
     /// results in `configs x specs` order.
     ///
     /// Scheduling is work-stealing (an atomic cursor over the cell
     /// list) so long cells (OPT, oracle pre-passes) don't serialize
     /// behind static chunking; thread count follows available
-    /// parallelism. Results are identical to a serial loop regardless
+    /// parallelism, overridable via `ACIC_BENCH_THREADS` (clamped to
+    /// ≥ 1 — handy for pinning CI or sharing a box). Results are
+    /// identical to a serial loop regardless
     /// of thread interleaving: each cell's workload seed derives only
     /// from its spec (profiles + quantum), and the simulator's
     /// internal seeds derive only from the workload name — never from
@@ -142,10 +177,7 @@ impl Runner {
             }
         }
         let next = AtomicUsize::new(0);
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(2)
-            .min(work.len().max(1));
+        let threads = bench_threads().min(work.len().max(1));
         let (tx, rx) = mpsc::channel::<(usize, SimReport)>();
         let work_ref = &work;
         let next_ref = &next;
@@ -230,6 +262,38 @@ mod tests {
     fn budget_reads_env() {
         // Default without env (other tests may set it; just bounds).
         assert!(instruction_budget() >= 1000);
+    }
+
+    #[test]
+    fn thread_override_policy() {
+        assert_eq!(bench_threads_from(None, 8), 8, "no override: available");
+        assert_eq!(bench_threads_from(Some("3"), 8), 3, "override wins");
+        assert_eq!(bench_threads_from(Some("0"), 8), 8, "zero rejected");
+        assert_eq!(bench_threads_from(Some("lots"), 8), 8, "garbage rejected");
+        assert_eq!(bench_threads_from(Some("16"), 8), 16, "may exceed cores");
+        assert_eq!(bench_threads_from(None, 0), 1, "clamped to >= 1");
+    }
+
+    #[test]
+    fn sampled_runner_produces_sampled_reports() {
+        let runner = Runner {
+            instructions: 400_000,
+            baseline: SimConfig::default().with_schedule(SampleSchedule::Periodic {
+                period: 100_000,
+                warmup_len: 30_000,
+                detailed_len: 10_000,
+            }),
+        };
+        let apps = vec![AppProfile::sibench()];
+        let grid = runner.run_grid(
+            std::slice::from_ref(&runner.baseline),
+            &WorkloadSpec::singles(&apps),
+        );
+        assert!(grid[0][0].sampled.is_some(), "schedule threads through");
+        assert!(Runner::with_schedule(SampleSchedule::default_sampled())
+            .baseline
+            .schedule
+            .is_sampled());
     }
 
     #[test]

@@ -29,6 +29,19 @@ use acic_types::{Asid, BlockAddr, TaggedBlock};
 /// Asserted on every fill in debug builds.
 const INVALID_IDENT: u64 = u64::MAX;
 
+/// Host-side prefetch hint (no-op off x86_64): warm loops use this to
+/// overlap the simulated tag arrays' memory latency instead of paying
+/// serial dependent misses.
+#[inline(always)]
+pub(crate) fn host_prefetch<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(ptr as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
+}
+
 /// Upper bound on associativity supported by the stack scratch
 /// buffers. The 16-way L3 is the widest geometry currently built on
 /// this tag store (the L1i organizations top out at 9-way); widen
@@ -188,10 +201,12 @@ impl SetAssocCache {
                 false
             }
         };
-        if ctx.is_prefetch {
-            self.stats.record_prefetch(hit);
-        } else {
-            self.stats.record_demand(hit);
+        if ctx.stats_enabled {
+            if ctx.is_prefetch {
+                self.stats.record_prefetch(hit);
+            } else {
+                self.stats.record_demand(hit);
+            }
         }
         hit
     }
@@ -211,10 +226,12 @@ impl SetAssocCache {
             self.policy.on_hit(set, way, ctx);
             return None;
         }
-        if ctx.is_prefetch {
-            self.stats.prefetch_fills += 1;
-        } else {
-            self.stats.demand_fills += 1;
+        if ctx.stats_enabled {
+            if ctx.is_prefetch {
+                self.stats.prefetch_fills += 1;
+            } else {
+                self.stats.demand_fills += 1;
+            }
         }
         let base = base0;
         // Prefer an invalid way.
@@ -228,17 +245,85 @@ impl SetAssocCache {
             return None;
         }
         let mut blocks = [TaggedBlock::untagged(BlockAddr::new(0)); MAX_WAYS];
-        for (w, slot) in blocks[..ways].iter_mut().enumerate() {
-            *slot = self.line(base + w).expect("all ways valid");
-        }
-        let way = self.policy.victim_way(set, &blocks[..ways], ctx);
+        let candidates: &[TaggedBlock] = if self.policy.wants_victim_blocks() {
+            for (w, slot) in blocks[..ways].iter_mut().enumerate() {
+                *slot = self.line(base + w).expect("all ways valid");
+            }
+            &blocks[..ways]
+        } else {
+            // Metadata-only policies never read the candidate list;
+            // skip reconstructing `ways` tagged identities per fill.
+            &[]
+        };
+        let way = self.policy.victim_way(set, candidates, ctx);
         debug_assert!(way < self.geom.ways(), "policy returned invalid way");
         let evicted = self.line(base + way).expect("victim way valid");
         self.policy.on_evict(set, way, evicted, ctx);
-        self.stats.evictions += 1;
+        if ctx.stats_enabled {
+            self.stats.evictions += 1;
+        }
         self.store_line(base + way, t);
         self.policy.on_fill(set, way, ctx);
         Some(evicted)
+    }
+
+    /// Hints the CPU to pull the set's tag words for `block` into
+    /// host cache — warm loops issue this a step ahead of the probe
+    /// so the (simulated-)L2/L3 array walk overlaps useful work.
+    /// No-op off x86_64.
+    #[inline]
+    pub fn prefetch_set(&self, block: impl Into<TaggedBlock>) {
+        let t = block.into();
+        let set = self.geom.set_of_tagged(t);
+        let base = self.geom.line_index(set, 0);
+        host_prefetch(&self.ids[base]);
+        self.policy.prefetch_hint(set);
+    }
+
+    /// Warm-path fused probe-or-fill: one set scan decides hit or
+    /// miss; a hit touches the policy, a miss installs the block
+    /// immediately (victim chosen as usual). Returns whether it hit.
+    ///
+    /// Statistics never move — this is the sampled engine's warming
+    /// primitive, equivalent to a quiet `access` + `fill` pair but
+    /// without the second scan the separate fill would pay. Not for
+    /// use on timing paths: fills there happen when the block
+    /// *arrives*, not when it is requested.
+    #[inline]
+    pub fn warm_touch(&mut self, block: impl Into<TaggedBlock>) -> bool {
+        let t = block.into();
+        let set = self.geom.set_of_tagged(t);
+        let base = self.geom.line_index(set, 0);
+        let ctx = AccessCtx::demand_tagged(t, 0).quiet();
+        if let Some(way) = self.scan(base, t) {
+            self.policy.on_hit(set, way, &ctx);
+            return true;
+        }
+        self.policy.on_miss(set, &ctx);
+        let ways = self.geom.ways();
+        if let Some(way) = self.ids[base..base + ways]
+            .iter()
+            .position(|&v| v == INVALID_IDENT)
+        {
+            self.store_line(base + way, t);
+            self.policy.on_fill(set, way, &ctx);
+            return false;
+        }
+        let mut blocks = [TaggedBlock::untagged(BlockAddr::new(0)); MAX_WAYS];
+        let candidates: &[TaggedBlock] = if self.policy.wants_victim_blocks() {
+            for (w, slot) in blocks[..ways].iter_mut().enumerate() {
+                *slot = self.line(base + w).expect("all ways valid");
+            }
+            &blocks[..ways]
+        } else {
+            &[]
+        };
+        let way = self.policy.victim_way(set, candidates, &ctx);
+        let evicted = self.line(base + way).expect("victim way valid");
+        self.policy.on_evict(set, way, evicted, &ctx);
+        self.store_line(base + way, t);
+        self.policy.on_fill(set, way, &ctx);
+        false
     }
 
     /// The block the policy would evict if `ctx`'s block were filled
@@ -248,12 +333,22 @@ impl SetAssocCache {
         let set = self.geom.set_of_tagged(ctx.tagged());
         let base = self.geom.line_index(set, 0);
         let ways = self.geom.ways();
-        let mut blocks = [TaggedBlock::untagged(BlockAddr::new(0)); MAX_WAYS];
-        for (w, slot) in blocks[..ways].iter_mut().enumerate() {
-            *slot = self.line(base + w)?;
-        }
-        let way = self.policy.peek_victim(set, &blocks[..ways], ctx);
-        Some(blocks[way])
+        let way = if self.policy.wants_victim_blocks() {
+            let mut blocks = [TaggedBlock::untagged(BlockAddr::new(0)); MAX_WAYS];
+            for (w, slot) in blocks[..ways].iter_mut().enumerate() {
+                *slot = self.line(base + w)?;
+            }
+            self.policy.peek_victim(set, &blocks[..ways], ctx)
+        } else {
+            // Metadata-only policy: just confirm every way is valid
+            // (an invalid way means no contender) without
+            // materializing the identities.
+            if self.ids[base..base + ways].contains(&INVALID_IDENT) {
+                return None;
+            }
+            self.policy.peek_victim(set, &[], ctx)
+        };
+        self.line(base + way)
     }
 
     /// Removes `block` if resident; returns whether it was present.
@@ -381,6 +476,28 @@ mod tests {
         assert!(c.invalidate(BlockAddr::new(3)));
         assert!(!c.contains(BlockAddr::new(3)));
         assert!(!c.invalidate(BlockAddr::new(3)));
+    }
+
+    #[test]
+    fn quiet_access_learns_without_counting() {
+        let mut c = small();
+        assert!(!c.access(&ctx(1, 0).quiet()));
+        c.fill(&ctx(1, 0).quiet());
+        assert_eq!(*c.stats(), CacheStats::default(), "warmup is uncounted");
+        // The quiet fill still installed the line and trained LRU: a
+        // counted access now hits.
+        assert!(c.access(&ctx(1, 1)));
+        assert_eq!(c.stats().demand_accesses, 1);
+        assert_eq!(c.stats().demand_misses, 0);
+    }
+
+    #[test]
+    fn quiet_eviction_is_uncounted() {
+        let mut c = small();
+        c.fill(&ctx(0, 0));
+        c.fill(&ctx(4, 1));
+        assert!(c.fill(&ctx(8, 2).quiet()).is_some(), "eviction happens");
+        assert_eq!(c.stats().evictions, 0, "but is not recorded");
     }
 
     #[test]

@@ -51,6 +51,12 @@ impl AccessOutcome {
 }
 
 /// An L1i contents organization.
+///
+/// Every implementation honors the stats-gated access mode: when
+/// `ctx.stats_enabled` is false (warmup phase of a sampled
+/// simulation), the access mutates state exactly as usual — tags
+/// fill, policies and predictors train — but no [`CacheStats`] or
+/// organization-level counters move.
 pub trait IcacheContents {
     /// Handles one access (demand fetch or prefetch probe, per
     /// `ctx.is_prefetch`).
@@ -257,22 +263,28 @@ impl IcacheContents for VictimCachedIcache {
         } else {
             AccessOutcome::miss()
         };
-        if ctx.is_prefetch {
-            self.stats.record_prefetch(outcome.hit);
-        } else {
-            self.stats.record_demand(outcome.hit);
+        if ctx.stats_enabled {
+            if ctx.is_prefetch {
+                self.stats.record_prefetch(outcome.hit);
+            } else {
+                self.stats.record_demand(outcome.hit);
+            }
         }
         outcome
     }
 
     fn fill(&mut self, ctx: &AccessCtx<'_>) {
-        if ctx.is_prefetch {
-            self.stats.prefetch_fills += 1;
-        } else {
-            self.stats.demand_fills += 1;
+        if ctx.stats_enabled {
+            if ctx.is_prefetch {
+                self.stats.prefetch_fills += 1;
+            } else {
+                self.stats.demand_fills += 1;
+            }
         }
         if let Some(evicted) = self.cache.fill(ctx) {
-            self.stats.evictions += 1;
+            if ctx.stats_enabled {
+                self.stats.evictions += 1;
+            }
             let _ = self.victim.insert(evicted);
         }
     }

@@ -28,6 +28,13 @@ pub struct AccessCtx<'a> {
     pub next_use: u64,
     /// Whether this access originates from a prefetcher.
     pub is_prefetch: bool,
+    /// Whether this access is counted in [`crate::CacheStats`] (and
+    /// the organization-level admission statistics). Warmup-phase
+    /// accesses in a sampled simulation clear this: every structure
+    /// still learns — tags fill, policies train, ACIC's predictor
+    /// updates — but nothing is recorded, so detailed-window deltas
+    /// measure only detailed-window traffic.
+    pub stats_enabled: bool,
     /// Optional oracle cursor for policies that need future knowledge
     /// about *other* blocks (OPT-bypass). The oracle is keyed by
     /// flattened tagged identity ([`TaggedBlock::oracle_key`]).
@@ -45,6 +52,7 @@ impl<'a> AccessCtx<'a> {
             access_index,
             next_use: NO_NEXT_USE,
             is_prefetch: false,
+            stats_enabled: true,
             oracle: None,
         }
     }
@@ -79,6 +87,14 @@ impl<'a> AccessCtx<'a> {
     #[inline]
     pub fn with_next_use(mut self, next_use: u64) -> Self {
         self.next_use = next_use;
+        self
+    }
+
+    /// Marks the access as uncounted (warmup phase): state learns,
+    /// statistics do not move.
+    #[inline]
+    pub fn quiet(mut self) -> Self {
+        self.stats_enabled = false;
         self
     }
 
@@ -122,6 +138,7 @@ impl core::fmt::Debug for AccessCtx<'_> {
             .field("access_index", &self.access_index)
             .field("next_use", &self.next_use)
             .field("is_prefetch", &self.is_prefetch)
+            .field("stats_enabled", &self.stats_enabled)
             .field("oracle", &self.oracle.is_some())
             .finish()
     }
@@ -149,6 +166,13 @@ mod tests {
     fn prefetch_flag() {
         let ctx = AccessCtx::prefetch(BlockAddr::new(5), 0);
         assert!(ctx.is_prefetch);
+    }
+
+    #[test]
+    fn quiet_clears_stats_enabled() {
+        let ctx = AccessCtx::demand(BlockAddr::new(5), 0);
+        assert!(ctx.stats_enabled, "accesses count by default");
+        assert!(!ctx.quiet().stats_enabled);
     }
 
     #[test]

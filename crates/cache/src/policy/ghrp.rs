@@ -168,6 +168,10 @@ impl ReplacementPolicy for GhrpPolicy {
             None => self.lru[set].lru_way(),
         }
     }
+
+    fn wants_victim_blocks(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

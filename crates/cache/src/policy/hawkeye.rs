@@ -226,6 +226,10 @@ impl ReplacementPolicy for HawkeyePolicy {
             .map(|(i, _)| i)
             .expect("at least one way")
     }
+
+    fn wants_victim_blocks(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

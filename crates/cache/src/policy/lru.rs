@@ -6,7 +6,15 @@ use crate::geometry::CacheGeometry;
 use crate::policy::ReplacementPolicy;
 use acic_types::{LruStamps, TaggedBlock};
 
-/// True-LRU replacement using per-set recency stamps.
+/// True-LRU replacement using recency stamps.
+///
+/// Stamps live in one flat `sets * ways` array ordered by a single
+/// global clock — victim selection only ever compares stamps *within*
+/// a set, so a global clock produces the identical relative order a
+/// per-set clock would (same victims, bit for bit) while keeping the
+/// whole policy in one allocation. The L2/L3 tag stores probe this on
+/// every simulated miss; per-set `Vec`s cost a pointer chase per
+/// touch at thousands of sets.
 ///
 /// # Examples
 ///
@@ -26,23 +34,41 @@ use acic_types::{LruStamps, TaggedBlock};
 /// ```
 #[derive(Debug)]
 pub struct LruPolicy {
-    sets: Vec<LruStamps>,
+    ways: usize,
+    /// Per-line stamps; 0 means "never touched" (preferred victim).
+    stamps: Vec<u64>,
+    clock: u64,
 }
 
 impl LruPolicy {
     /// Creates LRU state for the geometry.
     pub fn new(geom: CacheGeometry) -> Self {
         LruPolicy {
-            sets: (0..geom.sets())
-                .map(|_| LruStamps::new(geom.ways()))
-                .collect(),
+            ways: geom.ways(),
+            stamps: vec![0; geom.lines()],
+            clock: 0,
         }
     }
 
-    /// Recency stamps of one set (exposed for tests and the storage
-    /// model).
-    pub fn stamps(&self, set: usize) -> &LruStamps {
-        &self.sets[set]
+    /// Recency stamps of one set, materialized as [`LruStamps`]
+    /// (exposed for tests and the storage model).
+    pub fn stamps(&self, set: usize) -> LruStamps {
+        let base = set * self.ways;
+        LruStamps::from_stamps(&self.stamps[base..base + self.ways])
+    }
+
+    #[inline]
+    fn lru_way(&self, set: usize) -> usize {
+        let base = set * self.ways;
+        let mut way = 0;
+        let mut best = u64::MAX;
+        for (w, &s) in self.stamps[base..base + self.ways].iter().enumerate() {
+            if s < best {
+                best = s;
+                way = w;
+            }
+        }
+        way
     }
 }
 
@@ -51,24 +77,38 @@ impl ReplacementPolicy for LruPolicy {
         "lru"
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessCtx<'_>) {
-        self.sets[set].touch(way);
+        self.clock += 1;
+        self.stamps[set * self.ways + way] = self.clock;
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessCtx<'_>) {
-        self.sets[set].touch(way);
+        self.clock += 1;
+        self.stamps[set * self.ways + way] = self.clock;
     }
 
     fn on_invalidate(&mut self, set: usize, way: usize) {
-        self.sets[set].clear(way);
+        self.stamps[set * self.ways + way] = 0;
     }
 
+    #[inline]
     fn victim_way(&mut self, set: usize, _blocks: &[TaggedBlock], _ctx: &AccessCtx<'_>) -> usize {
-        self.sets[set].lru_way()
+        self.lru_way(set)
     }
 
+    #[inline]
     fn peek_victim(&self, set: usize, _blocks: &[TaggedBlock], _ctx: &AccessCtx<'_>) -> usize {
-        self.sets[set].lru_way()
+        self.lru_way(set)
+    }
+
+    fn wants_victim_blocks(&self) -> bool {
+        false
+    }
+
+    fn prefetch_hint(&self, set: usize) {
+        crate::cache::host_prefetch(&self.stamps[set * self.ways]);
     }
 }
 

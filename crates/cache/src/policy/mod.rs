@@ -61,6 +61,22 @@ pub trait ReplacementPolicy {
 
     /// Side-effect-free preview of [`ReplacementPolicy::victim_way`].
     fn peek_victim(&self, set: usize, blocks: &[TaggedBlock], ctx: &AccessCtx<'_>) -> usize;
+
+    /// Host-side prefetch hint for the policy's per-set metadata
+    /// (warm loops overlap the simulated arrays' memory latency).
+    /// Default no-op.
+    fn prefetch_hint(&self, _set: usize) {}
+
+    /// Whether [`ReplacementPolicy::victim_way`]/`peek_victim`
+    /// actually read the `blocks` slice. Policies that pick victims
+    /// from their own metadata alone (LRU, random, RRIP counters)
+    /// return `false`, letting the tag store skip materializing the
+    /// per-way block list on every eviction — a measurable share of
+    /// the simulated-miss hot path. Defaults to `true` (safe for any
+    /// policy that inspects candidate blocks, e.g. OPT).
+    fn wants_victim_blocks(&self) -> bool {
+        true
+    }
 }
 
 /// Runtime-selectable policy constructors.
@@ -248,6 +264,16 @@ impl ReplacementPolicy for AnyPolicy {
     #[inline]
     fn peek_victim(&self, set: usize, blocks: &[TaggedBlock], ctx: &AccessCtx<'_>) -> usize {
         dispatch!(self, p => p.peek_victim(set, blocks, ctx))
+    }
+
+    #[inline]
+    fn wants_victim_blocks(&self) -> bool {
+        dispatch!(self, p => p.wants_victim_blocks())
+    }
+
+    #[inline]
+    fn prefetch_hint(&self, set: usize) {
+        dispatch!(self, p => p.prefetch_hint(set))
     }
 }
 

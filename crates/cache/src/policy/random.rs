@@ -47,6 +47,10 @@ impl ReplacementPolicy for RandomPolicy {
         // (identical to the raw block address for the host space).
         (acic_types::hash::mix64(ctx.ident()) % self.ways as u64) as usize
     }
+
+    fn wants_victim_blocks(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -134,6 +134,10 @@ impl ReplacementPolicy for ShipPolicy {
             .map(|(i, _)| i)
             .expect("at least one way")
     }
+
+    fn wants_victim_blocks(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

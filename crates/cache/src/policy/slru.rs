@@ -104,6 +104,10 @@ impl ReplacementPolicy for SlruPolicy {
             .or_else(|| self.victim_in_segment(set, Segment::Protected))
             .expect("at least one way")
     }
+
+    fn wants_victim_blocks(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

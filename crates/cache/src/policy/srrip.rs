@@ -103,6 +103,10 @@ impl ReplacementPolicy for SrripPolicy {
             .map(|(i, _)| i)
             .expect("at least one way")
     }
+
+    fn wants_victim_blocks(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -191,10 +191,12 @@ impl IcacheContents for VvcIcache {
                 _ => AccessOutcome::miss(),
             }
         };
-        if ctx.is_prefetch {
-            self.stats.record_prefetch(outcome.hit);
-        } else {
-            self.stats.record_demand(outcome.hit);
+        if ctx.stats_enabled {
+            if ctx.is_prefetch {
+                self.stats.record_prefetch(outcome.hit);
+            } else {
+                self.stats.record_demand(outcome.hit);
+            }
         }
         outcome
     }
@@ -205,10 +207,12 @@ impl IcacheContents for VvcIcache {
         if self.find(set, t).is_some() {
             return;
         }
-        if ctx.is_prefetch {
-            self.stats.prefetch_fills += 1;
-        } else {
-            self.stats.demand_fills += 1;
+        if ctx.stats_enabled {
+            if ctx.is_prefetch {
+                self.stats.prefetch_fills += 1;
+            } else {
+                self.stats.demand_fills += 1;
+            }
         }
         // Victim priority: invalid, then parked victims, then LRU.
         let way = (0..self.geom.ways())
@@ -221,7 +225,9 @@ impl IcacheContents for VvcIcache {
             .unwrap_or_else(|| self.lru[set].lru_way());
         let i = self.idx(set, way);
         if let Some(evicted) = self.lines[i].block {
-            self.stats.evictions += 1;
+            if ctx.stats_enabled {
+                self.stats.evictions += 1;
+            }
             let was_victim = self.lines[i].is_victim;
             let trace = self.lines[i].trace;
             if !was_victim {

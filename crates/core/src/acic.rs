@@ -189,16 +189,20 @@ impl AcicIcache {
         let Some(contender) = self.cache.contender(&ictx) else {
             // Invalid way available: admission is free (no comparison).
             self.cache.fill(&ictx);
-            self.acic_stats.free_admissions += 1;
+            if ctx.stats_enabled {
+                self.acic_stats.free_admissions += 1;
+            }
             return;
         };
         let vtag = self.ptag(incoming);
         let admit = self.predictor.predict(vtag);
-        self.acic_stats.decisions += 1;
+        if ctx.stats_enabled {
+            self.acic_stats.decisions += 1;
+        }
 
         // Oracle instrumentation (Figure 12a): was the decision right?
         // The oracle is keyed by flattened tagged identity.
-        if let Some(cur) = ctx.oracle {
+        if let Some(cur) = ctx.oracle.filter(|_| ctx.stats_enabled) {
             let oracle_admit =
                 cur.next_use_of(incoming.oracle_key()) <= cur.next_use_of(contender.oracle_key());
             self.acic_stats.oracle_admits.record(oracle_admit);
@@ -220,11 +224,13 @@ impl AcicIcache {
         }
 
         if admit {
-            self.acic_stats.admitted += 1;
+            if ctx.stats_enabled {
+                self.acic_stats.admitted += 1;
+            }
             if let Some(evicted) = self.cache.fill(&ictx) {
                 debug_assert_eq!(evicted, contender, "LRU contender must be the victim");
             }
-        } else {
+        } else if ctx.stats_enabled {
             self.acic_stats.bypassed += 1;
             self.stats.bypasses += 1;
         }
@@ -257,10 +263,12 @@ impl IcacheContents for AcicIcache {
         }
         let filter_hit = self.filter.as_mut().is_some_and(|f| f.access(ctx.tagged()));
         let hit = filter_hit || self.cache.access(ctx);
-        if ctx.is_prefetch {
-            self.stats.record_prefetch(hit);
-        } else {
-            self.stats.record_demand(hit);
+        if ctx.stats_enabled {
+            if ctx.is_prefetch {
+                self.stats.record_prefetch(hit);
+            } else {
+                self.stats.record_demand(hit);
+            }
         }
         if hit {
             AccessOutcome::hit()
@@ -273,10 +281,12 @@ impl IcacheContents for AcicIcache {
         if self.contains_block(ctx.tagged()) {
             return; // a prefetch raced the demand miss
         }
-        if ctx.is_prefetch {
-            self.stats.prefetch_fills += 1;
-        } else {
-            self.stats.demand_fills += 1;
+        if ctx.stats_enabled {
+            if ctx.is_prefetch {
+                self.stats.prefetch_fills += 1;
+            } else {
+                self.stats.demand_fills += 1;
+            }
         }
         match self.filter.as_mut() {
             Some(filter) => {
@@ -489,6 +499,25 @@ mod tests {
         assert!(a.filter().is_none());
         assert!(a.acic_stats().decisions > 0);
         assert!(a.label().contains("no-filter"));
+    }
+
+    #[test]
+    fn quiet_accesses_learn_without_counting_admissions() {
+        let mut a = AcicIcache::new(tiny_cfg());
+        for i in 0..200u64 {
+            let c = ctx(i % 23, i).quiet();
+            if !a.access(&c).hit {
+                a.fill(&c);
+            }
+        }
+        // Warmup-mode traffic trains the machinery (comparisons open,
+        // blocks place) without moving a single reported counter.
+        assert!(a.cshr_stats().inserted > 0, "CSHR keeps learning");
+        assert!(!a.cache().resident_blocks().is_empty(), "cache warmed");
+        assert_eq!(a.stats(), CacheStats::default());
+        let s = *a.acic_stats();
+        assert_eq!(s.decisions, 0);
+        assert_eq!(s.admitted + s.bypassed + s.free_admissions, 0);
     }
 
     #[test]

@@ -72,10 +72,12 @@ impl IcacheContents for FilteredIcache {
             self.admission.on_demand_access(ctx.tagged(), ctx);
         }
         let hit = self.filter.access(ctx.tagged()) || self.cache.access(ctx);
-        if ctx.is_prefetch {
-            self.stats.record_prefetch(hit);
-        } else {
-            self.stats.record_demand(hit);
+        if ctx.stats_enabled {
+            if ctx.is_prefetch {
+                self.stats.record_prefetch(hit);
+            } else {
+                self.stats.record_demand(hit);
+            }
         }
         if hit {
             AccessOutcome::hit()
@@ -88,10 +90,12 @@ impl IcacheContents for FilteredIcache {
         if self.contains_block(ctx.tagged()) {
             return;
         }
-        if ctx.is_prefetch {
-            self.stats.prefetch_fills += 1;
-        } else {
-            self.stats.demand_fills += 1;
+        if ctx.stats_enabled {
+            if ctx.is_prefetch {
+                self.stats.prefetch_fills += 1;
+            } else {
+                self.stats.demand_fills += 1;
+            }
         }
         let Some(victim) = self.filter.insert(ctx.tagged()) else {
             return;
@@ -106,10 +110,12 @@ impl IcacheContents for FilteredIcache {
         };
         let contender = self.cache.contender(&vctx);
         if contender.is_none() || self.admission.should_admit(victim, contender, &vctx) {
-            self.admitted += 1;
+            if ctx.stats_enabled {
+                self.admitted += 1;
+            }
             let evicted = self.cache.fill(&vctx);
             self.admission.on_fill(victim, evicted, &vctx);
-        } else {
+        } else if ctx.stats_enabled {
             self.bypassed += 1;
             self.stats.bypasses += 1;
         }

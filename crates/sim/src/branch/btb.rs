@@ -42,6 +42,7 @@ pub struct Btb {
     entries: Vec<Entry>,
     lru: Vec<LruStamps>,
     stats: BtbStats,
+    stats_enabled: bool,
 }
 
 impl Btb {
@@ -61,12 +62,20 @@ impl Btb {
             entries: vec![Entry::default(); entries],
             lru: (0..sets).map(|_| LruStamps::new(ways)).collect(),
             stats: BtbStats::default(),
+            stats_enabled: true,
         }
     }
 
     /// Accumulated statistics.
     pub fn stats(&self) -> BtbStats {
         self.stats
+    }
+
+    /// Gates statistics recording (warmup phase of a sampled
+    /// simulation): lookups still touch LRU state and updates still
+    /// install targets, but the counters hold still.
+    pub fn set_stats_enabled(&mut self, enabled: bool) {
+        self.stats_enabled = enabled;
     }
 
     /// Invalidates every entry while keeping the accumulated
@@ -87,7 +96,9 @@ impl Btb {
     /// Looks up the predicted target for the branch at `pc`
     /// (recording stats).
     pub fn lookup(&mut self, pc: Addr) -> Option<Addr> {
-        self.stats.lookups += 1;
+        if self.stats_enabled {
+            self.stats.lookups += 1;
+        }
         let set = self.set_of(pc);
         let tag = self.tag_of(pc);
         for w in 0..self.ways {
@@ -97,13 +108,17 @@ impl Btb {
                 return Some(Addr::new(e.target));
             }
         }
-        self.stats.misses += 1;
+        if self.stats_enabled {
+            self.stats.misses += 1;
+        }
         None
     }
 
     /// Records a wrong-target event (indirect branch retargeting).
     pub fn record_wrong_target(&mut self) {
-        self.stats.wrong_target += 1;
+        if self.stats_enabled {
+            self.stats.wrong_target += 1;
+        }
     }
 
     /// Installs or updates the target for the branch at `pc`.

@@ -115,6 +115,7 @@ pub struct Tage {
     ghist: Vec<bool>, // ring buffer, newest at head
     head: usize,
     stats: TageStats,
+    stats_enabled: bool,
     alloc_tick: u64,
 }
 
@@ -140,6 +141,7 @@ impl Tage {
             ghist: vec![false; GHIST_LEN],
             head: 0,
             stats: TageStats::default(),
+            stats_enabled: true,
             alloc_tick: 0,
         }
     }
@@ -149,13 +151,22 @@ impl Tage {
         self.stats
     }
 
+    /// Gates statistics recording (warmup phase of a sampled
+    /// simulation): predictions still train every table, but the
+    /// accuracy counters hold still.
+    pub fn set_stats_enabled(&mut self, enabled: bool) {
+        self.stats_enabled = enabled;
+    }
+
     /// Drops all learned state (tables, histories) while keeping the
     /// accumulated statistics — a context switch with untagged
     /// predictor hardware.
     pub fn flush(&mut self) {
         let stats = self.stats;
+        let stats_enabled = self.stats_enabled;
         *self = Tage::new();
         self.stats = stats;
+        self.stats_enabled = stats_enabled;
     }
 
     fn index(&self, t: usize, pc: Addr) -> usize {
@@ -207,9 +218,11 @@ impl Tage {
             None => alt_pred,
         };
         let correct = pred == taken;
-        self.stats.predictions += 1;
-        if !correct {
-            self.stats.mispredictions += 1;
+        if self.stats_enabled {
+            self.stats.predictions += 1;
+            if !correct {
+                self.stats.mispredictions += 1;
+            }
         }
 
         // Update provider (or bimodal).

@@ -32,6 +32,95 @@ pub enum BranchSwitchMode {
     Tag,
 }
 
+/// How the engine distributes simulation fidelity over the trace
+/// (SMARTS-style systematic sampling).
+///
+/// [`SampleSchedule::Full`] runs the whole trace at detailed fidelity
+/// and reproduces the pre-sampling simulator bit for bit. A
+/// [`SampleSchedule::Periodic`] schedule divides the trace into
+/// periods of `period` instructions, each simulated as three phases:
+///
+/// ```text
+/// |-- fast-forward --------------|-- warmup ----|-- detailed --|
+///    period - warmup - detailed     warmup_len     detailed_len
+/// ```
+///
+/// Fast-forward advances the trace without touching any simulator
+/// state; warmup lets caches, predictors, and ACIC's admission
+/// machinery learn with statistics gated off; detailed runs the full
+/// cycle loop with statistics on. Reports from a periodic schedule
+/// extrapolate the detailed windows to the whole trace
+/// ([`crate::report::SampledStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SampleSchedule {
+    /// Detailed simulation of every instruction (today's behavior).
+    #[default]
+    Full,
+    /// Systematic sampling: one warmup+detailed window per `period`
+    /// instructions.
+    Periodic {
+        /// Instructions per sampling period.
+        period: u64,
+        /// Functional-warming instructions before each detailed
+        /// window.
+        warmup_len: u64,
+        /// Detailed-simulation instructions per window.
+        detailed_len: u64,
+    },
+}
+
+impl SampleSchedule {
+    /// The documented default sampled schedule: 700 k-instruction
+    /// periods with a 185 k warmup reheat and a 22 k detailed window.
+    /// The ~493 k gap per period is *adaptive* fast-forward: the
+    /// engine warms it functionally until the memory hierarchy
+    /// converges (L3 warm-fill rate below
+    /// [`crate::engine::L3_CONVERGED_FILLS_PER_MI`]) and only then
+    /// starts skipping, so the deep L2/L3 state never goes stale
+    /// while it still matters. On a 20 M-instruction detailed ACIC
+    /// cell this holds MPKI and IPC within 2% of full detail at a
+    /// ≥10× wall-clock win (asserted by `tests/sampled_sim.rs`,
+    /// recorded in `BENCH_baseline.json`). Wider periods are faster
+    /// but under-sample phase-varying traces; the `sampling_error`
+    /// figure sweeps the trade-off.
+    pub fn default_sampled() -> SampleSchedule {
+        SampleSchedule::Periodic {
+            period: 700_000,
+            warmup_len: 185_000,
+            detailed_len: 22_000,
+        }
+    }
+
+    /// Whether this schedule samples (i.e. is not `Full`).
+    pub fn is_sampled(&self) -> bool {
+        !matches!(self, SampleSchedule::Full)
+    }
+
+    /// Validates the schedule's arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detailed_len` is zero or `warmup_len +
+    /// detailed_len` exceeds `period` (the period must fit both).
+    pub fn validate(&self) {
+        if let SampleSchedule::Periodic {
+            period,
+            warmup_len,
+            detailed_len,
+        } = self
+        {
+            assert!(*detailed_len > 0, "detailed_len must be positive");
+            assert!(
+                warmup_len.saturating_add(*detailed_len) <= *period,
+                "warmup_len + detailed_len ({} + {}) exceeds period ({})",
+                warmup_len,
+                detailed_len,
+                period
+            );
+        }
+    }
+}
+
 /// Core and hierarchy parameters, defaulting to Table II.
 ///
 /// # Examples
@@ -94,6 +183,10 @@ pub struct SimConfig {
     pub attach_oracle: bool,
     /// Enable unbounded-CSHR instrumentation (Figure 6; ACIC only).
     pub unbounded_cshr: bool,
+    /// Fidelity schedule driving the engine's phase machine.
+    /// [`SampleSchedule::Full`] (the default) reproduces the
+    /// unsampled simulator bit for bit.
+    pub schedule: SampleSchedule,
 }
 
 impl Default for SimConfig {
@@ -122,6 +215,7 @@ impl Default for SimConfig {
             warmup_fraction: 0.10,
             attach_oracle: false,
             unbounded_cshr: false,
+            schedule: SampleSchedule::Full,
         }
     }
 }
@@ -153,6 +247,15 @@ impl SimConfig {
             ..self.clone()
         }
     }
+
+    /// Convenience: the same configuration with a different fidelity
+    /// schedule.
+    pub fn with_schedule(&self, schedule: SampleSchedule) -> SimConfig {
+        SimConfig {
+            schedule,
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -176,5 +279,43 @@ mod tests {
         let c = SimConfig::default().with_org(IcacheOrg::Opt);
         assert_eq!(c.icache_org, IcacheOrg::Opt);
         assert_eq!(c.rob_entries, 352);
+    }
+
+    #[test]
+    fn default_schedule_is_full() {
+        assert_eq!(SimConfig::default().schedule, SampleSchedule::Full);
+        assert!(!SampleSchedule::Full.is_sampled());
+        assert!(SampleSchedule::default_sampled().is_sampled());
+        SampleSchedule::default_sampled().validate();
+        SampleSchedule::Full.validate();
+    }
+
+    #[test]
+    fn with_schedule_preserves_other_fields() {
+        let c = SimConfig::default().with_schedule(SampleSchedule::default_sampled());
+        assert!(c.schedule.is_sampled());
+        assert_eq!(c.rob_entries, 352);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds period")]
+    fn overfull_period_rejected() {
+        SampleSchedule::Periodic {
+            period: 100,
+            warmup_len: 80,
+            detailed_len: 30,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "detailed_len must be positive")]
+    fn zero_detailed_rejected() {
+        SampleSchedule::Periodic {
+            period: 100,
+            warmup_len: 10,
+            detailed_len: 0,
+        }
+        .validate();
     }
 }

@@ -1,0 +1,1019 @@
+//! The phase-scheduled simulation engine.
+//!
+//! One engine owns all simulator state — contents model, decoupled
+//! front end, backend, memory hierarchy, prefetcher — and drives it
+//! over the trace at the fidelity the [`SampleSchedule`] dictates,
+//! SMARTS-style:
+//!
+//! * [`Phase::FastForward`] advances the trace without touching any
+//!   simulator state. Exact-sized sources skip in O(1)
+//!   ([`TraceSource::skip`]); generated sources produce-and-discard.
+//!   When a reuse oracle is attached the engine walks runs instead so
+//!   the oracle cursor stays in lockstep with the access sequence.
+//!   Fast-forwarding is **convergence-gated**: until the warmup
+//!   traffic stops installing new L3 lines
+//!   ([`L3_CONVERGED_FILLS_PER_MI`]), the gap is warmed instead of
+//!   skipped — skipping while the multi-megabyte hierarchy is still
+//!   filling is precisely when staleness bites.
+//! * [`Phase::Warmup`] is functional warming with statistics gated
+//!   off, two-tiered: the streamed bulk warms the deep, slow state
+//!   (L1d/L2/L3 contents through a shadow-filtered walk, TAGE, BTB,
+//!   ITP), and the last [`WARM_TAIL`] instructions additionally run
+//!   the real L1i organization (tags, policies, ACIC's
+//!   i-Filter/CSHR/predictor pipeline). Everything learns; no
+//!   counter moves. The prefetcher and MSHRs are timing mechanisms
+//!   and stay idle.
+//! * [`Phase::Detailed`] is the full cycle loop with statistics on.
+//!   Bounded windows measure only their steady-state interior for
+//!   IPC and the whole window for MPKI (see `WindowSample`).
+//!
+//! A [`SampleSchedule::Full`] run is a single unbounded detailed
+//! phase and reproduces the pre-sampling simulator bit for bit
+//! (pinned by `tests/engine_equivalence.rs`). A periodic schedule
+//! functionally warms the §IV-A cold-start fraction, then repeats
+//! (fast-forward|warm) → warmup → detailed each period — the first
+//! period halved so windows sit at period midpoints, an unbiased
+//! systematic sample — and extrapolates the windows to the whole
+//! trace ([`SampledStats`]). `ACIC_ENGINE_DEBUG=1` dumps per-window
+//! samples; `ACIC_PHASE_TIMES=1` prints per-phase wall time.
+//!
+//! # Examples
+//!
+//! ```
+//! use acic_sim::{Engine, SampleSchedule, SimConfig};
+//! use acic_workloads::{AppProfile, SyntheticWorkload};
+//!
+//! let wl = SyntheticWorkload::with_instructions(AppProfile::sibench(), 400_000);
+//! let cfg = SimConfig::default().with_schedule(SampleSchedule::Periodic {
+//!     period: 100_000,
+//!     warmup_len: 20_000,
+//!     detailed_len: 10_000,
+//! });
+//! let r = Engine::run(&cfg, &wl);
+//! let s = r.sampled.expect("periodic schedules extrapolate");
+//! assert_eq!(s.windows, 4);
+//! assert!(r.ipc() > 0.0);
+//! ```
+
+use crate::backend::{Backend, DecodedInstr};
+use crate::config::{PrefetcherKind, SampleSchedule, SimConfig};
+use crate::frontend::FrontEnd;
+use crate::mem::{MemoryHierarchy, MissTracker};
+use crate::prefetch::{Entangling, Prefetcher};
+use crate::report::{mean_ci95, PrefetchStats, SampledStats, SimReport};
+use acic_cache::{AccessCtx, CacheStats, IcacheContents};
+use acic_core::AcicIcache;
+use acic_trace::{
+    BlockRuns, GroupedRuns, Instr, InstrKind, OracleCursor, ReuseOracle, RunInstrs, TraceSource,
+    NO_NEXT_USE,
+};
+use acic_types::{Addr, Asid, Cycle, TaggedBlock};
+
+/// Instructions at the end of each warmup segment that receive full
+/// warming — the real L1i organization (tags, policies, ACIC's
+/// i-Filter/CSHR/predictor pipeline) with run grouping and ITP path
+/// history — on top of the bulk tier's streamed warming. Everything
+/// unique to this tier has a short state memory (a 32 KB L1i, the
+/// CSHR's 256 comparisons) and converges well within the span, so
+/// the expensive per-run machinery only runs on a small slice of
+/// each warmup segment.
+pub const WARM_TAIL: u64 = 100_000;
+
+/// Adaptive fast-forward gate: a period's fast-forward gap is warmed
+/// functionally (never skipped) until the warmup traffic installs
+/// fewer than this many new L3 lines per million instructions.
+/// Below the threshold the deep hierarchy has converged — its
+/// contents barely change per period — and skipping the gap trades
+/// no accuracy the warmup could recover anyway.
+pub const L3_CONVERGED_FILLS_PER_MI: u64 = 500;
+
+/// Minimum detailed-window ramp exclusion (instructions). See
+/// `EngineState::detailed_window`.
+const RAMP_FLOOR: u64 = 5_000;
+
+/// Simulation fidelity phases of the engine's schedule machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Advance the trace; touch no simulator state.
+    FastForward,
+    /// Functional warming: caches, predictors, and ACIC's admission
+    /// machinery learn; statistics are gated off.
+    Warmup,
+    /// Full cycle-accurate simulation with statistics on.
+    Detailed,
+}
+
+/// One measured detailed window.
+///
+/// IPC derives from the steady-state interior (`instructions`,
+/// `cycles`); MPKI derives from the whole window (`full_instructions`,
+/// `full_demand_misses`) — the window edges run at unrepresentative
+/// IPC, but their miss counts are real traffic whose start/drain
+/// biases largely cancel, and the wider span more than halves the
+/// miss-count noise of a small window.
+#[derive(Clone, Copy, Debug, Default)]
+struct WindowSample {
+    instructions: u64,
+    cycles: Cycle,
+    full_instructions: u64,
+    full_demand_misses: u64,
+}
+
+/// A measurement snapshot inside a detailed window.
+#[derive(Clone, Copy, Debug)]
+struct Snapshot {
+    retired: u64,
+    cycles: Cycle,
+}
+
+/// One functional contents access: oracle-cursor advance, context
+/// build, access + fill-on-miss. Shared verbatim between the
+/// functional simulator's hot loop and the engine's warmup phase so
+/// the two cannot drift. Returns whether the access hit. The caller
+/// owns context-switch notification and `tick`.
+pub(crate) fn contents_step(
+    contents: &mut dyn IcacheContents,
+    cursor: &mut Option<OracleCursor<'_>>,
+    tagged: TaggedBlock,
+    access_index: u64,
+    quiet: bool,
+) -> bool {
+    let next_use = match cursor.as_mut() {
+        Some(c) => {
+            c.advance(tagged.oracle_key());
+            c.next_use_of(tagged.oracle_key())
+        }
+        None => NO_NEXT_USE,
+    };
+    let mut ctx = AccessCtx::demand_tagged(tagged, access_index).with_next_use(next_use);
+    if quiet {
+        ctx = ctx.quiet();
+    }
+    if let Some(c) = cursor.as_ref() {
+        ctx = ctx.with_oracle(c);
+    }
+    let hit = contents.access(&ctx).hit;
+    if !hit {
+        contents.fill(&ctx);
+    }
+    hit
+}
+
+/// All mutable simulator state, persistent across phases: caches and
+/// predictors warm monotonically over the whole run, exactly like the
+/// hardware they model; only statistics are phase-gated.
+struct EngineState<'o> {
+    contents: Box<dyn IcacheContents>,
+    cursor: Option<OracleCursor<'o>>,
+    frontend: FrontEnd,
+    backend: Backend,
+    mem: MemoryHierarchy,
+    l1i_mshr: MissTracker,
+    prefetcher: Prefetcher,
+    prefetch_stats: PrefetchStats,
+    pending_prefetches: Vec<(Cycle, TaggedBlock)>,
+    candidates: Vec<TaggedBlock>,
+    fetch_asid: Asid,
+    context_switches: u64,
+    access_index: u64,
+    now: Cycle,
+    wants_tick: bool,
+    max_cycles: Cycle,
+    /// Instructions consumed from the trace by any phase.
+    consumed: u64,
+    /// Latched when the trace itself (not a window budget) ran out.
+    trace_over: bool,
+    /// Instructions spent fast-forwarding / warming (for the report).
+    fastforwarded: u64,
+    warmed: u64,
+    /// Bulk-warmup miss filter: a plain LRU tag store with the L1i's
+    /// geometry that stands in for the real organization during the
+    /// cheap warming tier, deciding which instruction blocks the
+    /// L2/L3 would have seen. Probed quiet; never reported.
+    shadow_l1i: acic_cache::SetAssocCache,
+    /// Full-schedule warm-up bookkeeping (§IV-A first-10% exclusion).
+    warmup_instrs: u64,
+    warm_snapshot: Option<(Cycle, u64, CacheStats)>,
+    t_ff: f64,
+    t_warm: f64,
+    t_detail: f64,
+}
+
+impl EngineState<'_> {
+    /// Runs one detailed window: the cycle loop, feeding the BPU at
+    /// most `budget` instructions (run-granular, so the window may
+    /// overshoot by a partial run), then draining the pipeline. A
+    /// `u64::MAX` budget with a fresh engine is exactly the unsampled
+    /// simulator (and returns no sample).
+    ///
+    /// Bounded windows measure only their steady-state interior: the
+    /// first `budget / 10` retired instructions (pipeline and
+    /// prefetch-stream ramp after an empty-queue start) and the
+    /// end-of-window drain (the pipeline emptying with the BPU
+    /// already out of budget) are simulated but excluded from the
+    /// returned sample — both run at structurally unrepresentative
+    /// IPC and would bias the extrapolation low.
+    fn detailed_window<I: Iterator<Item = Instr>>(
+        &mut self,
+        runs: &mut GroupedRuns<I>,
+        budget: u64,
+        cfg: &SimConfig,
+    ) -> Option<WindowSample> {
+        let EngineState {
+            contents,
+            cursor,
+            frontend,
+            backend,
+            mem,
+            l1i_mshr,
+            prefetcher,
+            prefetch_stats,
+            pending_prefetches,
+            candidates,
+            fetch_asid,
+            context_switches,
+            access_index,
+            now,
+            wants_tick,
+            max_cycles,
+            consumed,
+            trace_over,
+            warmup_instrs,
+            warm_snapshot,
+            ..
+        } = self;
+        let mut fed = 0u64;
+        let mut budget_hit = false;
+        let sampling = budget != u64::MAX;
+        // Proportional ramp with a floor: the post-handoff artifact
+        // (prefetch-stream restart, L1i content settling) spans a
+        // roughly constant number of instructions, so tiny windows
+        // must not scale the exclusion down past it.
+        let ramp = (budget / 10).max(RAMP_FLOOR.min(budget / 2));
+        let retired0 = backend.retired;
+        let entry_misses = contents.stats().demand_misses;
+        let entry = Snapshot {
+            retired: backend.retired,
+            cycles: *now,
+        };
+        let mut measure_start: Option<Snapshot> = None;
+        let mut measure_end: Option<Snapshot> = None;
+
+        loop {
+            *now += 1;
+            assert!(
+                *now < *max_cycles,
+                "simulation exceeded cycle bound (deadlock?)"
+            );
+
+            // Backend: retire, then dispatch.
+            backend.retire(*now);
+            backend.dispatch(*now, mem);
+            for (index, done) in backend.resolved_branches.drain(..) {
+                frontend.on_branch_resolved(index, done);
+            }
+
+            // Fetch: service the FTQ head.
+            if let Some(head) = frontend.ftq.front_mut() {
+                if !head.accessed {
+                    head.accessed = true;
+                    *access_index += 1;
+                    let tagged = head.block.with_asid(head.asid);
+                    // The fetch stream crossed into another address
+                    // space: tell the contents model (flush-on-switch
+                    // organizations gut themselves here).
+                    if head.asid != *fetch_asid {
+                        *fetch_asid = head.asid;
+                        *context_switches += 1;
+                        contents.on_context_switch(head.asid);
+                    }
+                    let next_use = match cursor.as_mut() {
+                        Some(c) => {
+                            c.advance(tagged.oracle_key());
+                            c.next_use_of(tagged.oracle_key())
+                        }
+                        None => NO_NEXT_USE,
+                    };
+                    head.next_use = next_use;
+                    let outcome = {
+                        let mut ctx =
+                            AccessCtx::demand_tagged(tagged, *access_index).with_next_use(next_use);
+                        if let Some(c) = cursor.as_ref() {
+                            ctx = ctx.with_oracle(c);
+                        }
+                        contents.access(&ctx)
+                    };
+                    prefetcher.on_demand_fetch(tagged, *now);
+                    if outcome.hit {
+                        head.ready_at = *now + outcome.extra_latency as u64;
+                    } else {
+                        head.needs_fill = true;
+                        head.ready_at = match l1i_mshr.lookup(tagged, *now) {
+                            // A prefetch already has the block in flight.
+                            Some(ready) => ready,
+                            None => {
+                                let start = if l1i_mshr.full(*now) {
+                                    l1i_mshr
+                                        .earliest_ready()
+                                        .expect("full tracker has entries")
+                                        .max(*now)
+                                } else {
+                                    *now
+                                };
+                                let ready = mem.fetch_instr_block(tagged, start);
+                                l1i_mshr.insert(tagged, ready);
+                                prefetcher.on_demand_miss(tagged, *now, ready - *now);
+                                ready
+                            }
+                        };
+                    }
+                }
+                if *now >= head.ready_at {
+                    if head.needs_fill {
+                        head.needs_fill = false;
+                        let mut ctx = AccessCtx::demand_tagged(
+                            head.block.with_asid(head.asid),
+                            *access_index,
+                        )
+                        .with_next_use(head.next_use);
+                        if let Some(c) = cursor.as_ref() {
+                            ctx = ctx.with_oracle(c);
+                        }
+                        contents.fill(&ctx);
+                    }
+                    // Deliver instructions into the decode queue.
+                    let space = backend.dq_space();
+                    let remaining = head.instrs.len() - head.delivered;
+                    let n = remaining.min(space).min(cfg.fetch_width as usize);
+                    for k in 0..n {
+                        let at = head.delivered + k;
+                        backend.dq.push_back(DecodedInstr {
+                            instr: head.instrs[at],
+                            index: head.first_index + at as u64,
+                        });
+                    }
+                    head.delivered += n;
+                    if head.delivered == head.instrs.len() {
+                        frontend.ftq.pop_front();
+                    }
+                }
+            }
+
+            // BPU: run ahead of fetch, within the window's budget.
+            frontend.bpu_cycle(*now, || {
+                if fed >= budget {
+                    budget_hit = true;
+                    return None;
+                }
+                match runs.next() {
+                    Some(r) => {
+                        let len = r.instrs.len() as u64;
+                        fed += len;
+                        *consumed += len;
+                        Some(r)
+                    }
+                    None => {
+                        *trace_over = true;
+                        None
+                    }
+                }
+            });
+            if sampling {
+                if measure_start.is_none() && backend.retired >= retired0 + ramp {
+                    measure_start = Some(Snapshot {
+                        retired: backend.retired,
+                        cycles: *now,
+                    });
+                }
+                if budget_hit && measure_end.is_none() {
+                    measure_end = Some(Snapshot {
+                        retired: backend.retired,
+                        cycles: *now,
+                    });
+                }
+            }
+
+            // Prefetch: gather candidates, filter, issue, fill.
+            candidates.clear();
+            prefetcher.candidates(&frontend.ftq, candidates);
+            let mut issued = 0;
+            for &block in candidates.iter() {
+                if issued >= cfg.prefetch_width {
+                    break;
+                }
+                // Never prefetch into an address space the core has
+                // not switched to yet: its translations are not
+                // active, and for flush-on-switch organizations the
+                // lines would be installed only to be flushed the
+                // moment the switch is crossed. (No-op single-tenant:
+                // every candidate carries the host ASID.)
+                if block.asid != *fetch_asid {
+                    prefetch_stats.filtered += 1;
+                    continue;
+                }
+                if contents.contains_block(block) || l1i_mshr.lookup(block, *now).is_some() {
+                    prefetch_stats.filtered += 1;
+                    continue;
+                }
+                if l1i_mshr.full(*now) {
+                    prefetch_stats.filtered += 1;
+                    break;
+                }
+                let ready = mem.fetch_instr_block(block, *now);
+                l1i_mshr.insert(block, ready);
+                pending_prefetches.push((ready, block));
+                prefetch_stats.issued += 1;
+                issued += 1;
+            }
+            if !pending_prefetches.is_empty() {
+                let due: Vec<TaggedBlock> = {
+                    let mut v = Vec::new();
+                    pending_prefetches.retain(|&(ready, block)| {
+                        if ready <= *now {
+                            v.push(block);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    v
+                };
+                for block in due {
+                    let future = cursor
+                        .as_ref()
+                        .map_or(NO_NEXT_USE, |c| c.future_use_of(block.oracle_key()));
+                    let mut ctx = AccessCtx::prefetch(block.block, *access_index)
+                        .with_asid(block.asid)
+                        .with_next_use(future);
+                    if let Some(c) = cursor.as_ref() {
+                        ctx = ctx.with_oracle(c);
+                    }
+                    contents.fill(&ctx);
+                }
+            }
+
+            if *wants_tick {
+                contents.tick(*now);
+            }
+
+            // Warm-up snapshot (Full-schedule §IV-A accounting).
+            if warm_snapshot.is_none() && backend.retired >= *warmup_instrs {
+                *warm_snapshot = Some((*now, backend.retired, contents.stats()));
+            }
+
+            if frontend.drained() && backend.drained() {
+                break;
+            }
+        }
+
+        if !sampling {
+            return None;
+        }
+        // The trace (or a tiny budget) may have ended before either
+        // snapshot landed; fall back to the widest valid interval.
+        let end = measure_end.unwrap_or(Snapshot {
+            retired: backend.retired,
+            cycles: *now,
+        });
+        let start = measure_start
+            .filter(|s| s.retired <= end.retired && s.cycles <= end.cycles)
+            .unwrap_or(entry);
+        (end.retired > start.retired && end.cycles > start.cycles).then(|| WindowSample {
+            instructions: end.retired - start.retired,
+            cycles: end.cycles - start.cycles,
+            full_instructions: backend.retired - entry.retired,
+            full_demand_misses: contents.stats().demand_misses - entry_misses,
+        })
+    }
+
+    /// Runs the warmup phase over `budget` instructions: functional
+    /// warming with statistics gated, two-tiered by state memory
+    /// depth.
+    ///
+    /// The **bulk** of the segment warms only the deep state — the
+    /// L1d/L2/L3 data contents, whose multi-megabyte capacity takes
+    /// millions of instructions to converge — at a few nanoseconds
+    /// per instruction. The final [`WARM_TAIL`] instructions
+    /// additionally run the full functional L1i loop (tags, policies,
+    /// ACIC's i-Filter/CSHR/predictor) and train the branch
+    /// predictors; all of that state has a short memory and is fully
+    /// warm within the tail. Time advances one cycle per tail block
+    /// access so delayed-update pipelines (ACIC's HRT-PT) keep
+    /// draining.
+    fn warmup_segment<I: Iterator<Item = Instr>>(
+        &mut self,
+        runs: &mut GroupedRuns<I>,
+        budget: u64,
+    ) {
+        self.frontend.set_stats_enabled(false);
+        let bulk_budget = budget.saturating_sub(WARM_TAIL);
+
+        // Bulk tier: stream instructions with no run materialization.
+        // The shadow LRU store decides which instruction blocks the
+        // unified levels would have seen; loads and stores warm the
+        // data hierarchy directly.
+        if bulk_budget > 0 {
+            let EngineState {
+                cursor,
+                mem,
+                shadow_l1i,
+                frontend,
+                ..
+            } = self;
+            // Data warms run through a small FIFO: the host-prefetch
+            // hint fires at enqueue and the simulated walk at dequeue
+            // a few memory operations later, giving the hint real
+            // latency to cover. Data-warm order is preserved (FIFO);
+            // only the interleaving with instruction-side warms
+            // shifts by a few operations — an equally valid warming
+            // order, and deterministic.
+            const DATA_LAG: usize = 4;
+            let mut data_fifo: [(Addr, Asid); DATA_LAG] = [(Addr::new(0), Asid::HOST); DATA_LAG];
+            let mut head = 0usize;
+            let mut queued = 0usize;
+            let streamed = runs.stream_instrs(bulk_budget, |instr, run_start| {
+                if run_start {
+                    let tagged = instr.tagged_block();
+                    if let Some(c) = cursor.as_mut() {
+                        // No real L1i probe here, but the oracle
+                        // cursor still advances one position per run.
+                        c.advance(tagged.oracle_key());
+                    }
+                    if !shadow_l1i.warm_touch(tagged) {
+                        mem.warm_instr_block(tagged);
+                    }
+                }
+                match instr.kind {
+                    InstrKind::Load { addr } | InstrKind::Store { addr } => {
+                        mem.hint_data(addr, instr.asid());
+                        if queued == DATA_LAG {
+                            let (a, s) = data_fifo[head];
+                            mem.warm_data(a, s);
+                        } else {
+                            queued += 1;
+                        }
+                        data_fifo[head] = (addr, instr.asid());
+                        head = (head + 1) % DATA_LAG;
+                    }
+                    InstrKind::Branch { .. } => frontend.warm_branches(&instr),
+                    _ => {}
+                }
+            });
+            // Drain the lagged warms (oldest first).
+            let start = (head + DATA_LAG - queued) % DATA_LAG;
+            for k in 0..queued {
+                let (a, s) = data_fifo[(start + k) % DATA_LAG];
+                mem.warm_data(a, s);
+            }
+            self.consumed += streamed;
+            self.warmed += streamed;
+            if streamed < bulk_budget {
+                self.trace_over = true;
+                self.frontend.set_stats_enabled(true);
+                return;
+            }
+        }
+
+        // Tail tier: full functional warming of the real L1i
+        // organization plus branch-predictor training, streamed the
+        // same way as the bulk (no run materialization).
+        let tail_budget = budget - bulk_budget;
+        if tail_budget > 0 {
+            let EngineState {
+                contents,
+                cursor,
+                mem,
+                frontend,
+                fetch_asid,
+                access_index,
+                now,
+                wants_tick,
+                ..
+            } = self;
+            let streamed = runs.stream_instrs(tail_budget, |instr, run_start| {
+                if run_start {
+                    let tagged = instr.tagged_block();
+                    if instr.asid() != *fetch_asid {
+                        // Uncounted: context_switches reports
+                        // detailed-window traffic only, like every
+                        // other statistic.
+                        *fetch_asid = instr.asid();
+                        contents.on_context_switch(instr.asid());
+                    }
+                    *access_index += 1;
+                    let hit = contents_step(contents.as_mut(), cursor, tagged, *access_index, true);
+                    if !hit {
+                        mem.warm_instr_block(tagged);
+                    }
+                    // One cycle per block access so delayed-update
+                    // pipelines (ACIC's HRT-PT) keep draining.
+                    *now += 1;
+                    if *wants_tick {
+                        contents.tick(*now);
+                    }
+                }
+                match instr.kind {
+                    InstrKind::Load { addr } | InstrKind::Store { addr } => {
+                        mem.warm_data(addr, instr.asid());
+                    }
+                    InstrKind::Branch { .. } => frontend.warm_branches(&instr),
+                    _ => {}
+                }
+            });
+            self.consumed += streamed;
+            self.warmed += streamed;
+            if streamed < tail_budget {
+                self.trace_over = true;
+            }
+        }
+        self.frontend.set_stats_enabled(true);
+    }
+
+    /// Fast-forwards `budget` instructions. Without an oracle this
+    /// delegates to the source's [`TraceSource::skip`] fast path;
+    /// with one it walks runs so the cursor stays in sync with the
+    /// block-access sequence.
+    fn fast_forward<I: Iterator<Item = Instr>>(
+        &mut self,
+        runs: &mut GroupedRuns<I>,
+        budget: u64,
+        skip: impl FnOnce(&mut I, u64) -> u64,
+    ) {
+        if budget == 0 {
+            return;
+        }
+        if self.cursor.is_some() {
+            let mut done = 0u64;
+            let mut scratch = RunInstrs {
+                block: acic_types::BlockAddr::new(0),
+                asid: Asid::HOST,
+                instrs: Vec::new(),
+            };
+            while done < budget {
+                if !runs.next_into(&mut scratch) {
+                    self.trace_over = true;
+                    break;
+                }
+                let len = scratch.instrs.len() as u64;
+                done += len;
+                self.consumed += len;
+                self.fastforwarded += len;
+                if let Some(c) = self.cursor.as_mut() {
+                    c.advance(scratch.tagged().oracle_key());
+                }
+            }
+        } else {
+            let skipped = runs.skip_instrs_with(budget, skip);
+            self.consumed += skipped;
+            self.fastforwarded += skipped;
+            if skipped < budget {
+                self.trace_over = true;
+            }
+        }
+    }
+
+    /// Dispatches one phase segment. Detailed segments with a
+    /// bounded budget return their measured interior sample.
+    fn segment<I: Iterator<Item = Instr>>(
+        &mut self,
+        phase: Phase,
+        runs: &mut GroupedRuns<I>,
+        budget: u64,
+        cfg: &SimConfig,
+        skip: impl FnOnce(&mut I, u64) -> u64,
+    ) -> Option<WindowSample> {
+        let t0 = std::time::Instant::now();
+        let out = match phase {
+            Phase::FastForward => {
+                self.fast_forward(runs, budget, skip);
+                None
+            }
+            Phase::Warmup => {
+                self.warmup_segment(runs, budget);
+                None
+            }
+            Phase::Detailed => self.detailed_window(runs, budget, cfg),
+        };
+        let dt = t0.elapsed().as_secs_f64();
+        match phase {
+            Phase::FastForward => self.t_ff += dt,
+            Phase::Warmup => self.t_warm += dt,
+            Phase::Detailed => self.t_detail += dt,
+        }
+        out
+    }
+}
+
+/// The phase-scheduled simulation engine: one state machine serving
+/// full-detail runs (bit-identical to the pre-sampling simulator) and
+/// SMARTS-style sampled runs from the same code path.
+#[derive(Debug)]
+pub struct Engine;
+
+impl Engine {
+    /// Runs `workload` under `cfg` and returns the report.
+    ///
+    /// Performs a functional pre-pass when the organization needs the
+    /// reuse oracle (OPT, OPT-bypass) or when
+    /// [`SimConfig::attach_oracle`] requests instrumentation.
+    ///
+    /// Traces shorter than one warmup+detailed window are simulated
+    /// in full regardless of the schedule (sampling a trace that
+    /// small would measure nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is inconsistent
+    /// ([`SampleSchedule::validate`]) or the simulation exceeds a
+    /// generous cycle bound (indicates a pipeline deadlock — a bug,
+    /// not a workload property).
+    pub fn run<W: TraceSource>(cfg: &SimConfig, workload: &W) -> SimReport {
+        cfg.schedule.validate();
+        let needs_oracle = cfg.icache_org.needs_oracle() || cfg.attach_oracle;
+        let (oracle, total_instructions) = if needs_oracle {
+            // The oracle pre-pass has to walk the trace anyway; count
+            // instructions while materializing the block sequence.
+            let mut total = 0u64;
+            let mut seq = Vec::new();
+            for r in BlockRuns::new(workload.iter()) {
+                // Oracle keys are flattened tagged identities, so
+                // tenants' overlapping VAs stay distinct.
+                seq.push(r.oracle_key());
+                total += r.len as u64;
+            }
+            (Some(ReuseOracle::from_sequence(&seq)), total)
+        } else {
+            // No oracle: take the source's exact length when it knows
+            // it (synthetic workloads and in-memory traces do), and
+            // only fall back to a counting pass for sources that
+            // cannot answer without walking.
+            let total = workload
+                .len_hint()
+                .unwrap_or_else(|| workload.iter().count() as u64);
+            (None, total)
+        };
+
+        let mut contents = cfg.icache_org.build(workload.seed());
+        if cfg.unbounded_cshr {
+            if let crate::icache::IcacheOrg::Acic(acic_cfg) = &cfg.icache_org {
+                contents = Box::new(AcicIcache::new(*acic_cfg).with_unbounded_instrumentation());
+            }
+        }
+        let wants_tick = contents.wants_tick();
+        let mut state = EngineState {
+            contents,
+            cursor: oracle.as_ref().map(|o| o.cursor()),
+            frontend: FrontEnd::new(cfg),
+            backend: Backend::new(cfg),
+            mem: MemoryHierarchy::new(cfg),
+            l1i_mshr: MissTracker::new(cfg.l1i_mshrs),
+            prefetcher: match cfg.prefetcher {
+                PrefetcherKind::None => Prefetcher::None,
+                PrefetcherKind::Fdp => Prefetcher::Fdp,
+                PrefetcherKind::Entangling => Prefetcher::Entangling(Entangling::new()),
+            },
+            prefetch_stats: PrefetchStats::default(),
+            pending_prefetches: Vec::new(),
+            candidates: Vec::new(),
+            fetch_asid: Asid::HOST,
+            context_switches: 0,
+            access_index: 0,
+            now: 0,
+            wants_tick,
+            max_cycles: 400 * total_instructions + 1_000_000,
+            consumed: 0,
+            trace_over: false,
+            fastforwarded: 0,
+            warmed: 0,
+            shadow_l1i: {
+                let geom = acic_cache::CacheGeometry::l1i_32k();
+                acic_cache::SetAssocCache::new(
+                    geom,
+                    acic_cache::policy::PolicyKind::Lru.build(geom),
+                )
+            },
+            warmup_instrs: (total_instructions as f64 * cfg.warmup_fraction) as u64,
+            warm_snapshot: None,
+            t_ff: 0.0,
+            t_warm: 0.0,
+            t_detail: 0.0,
+        };
+
+        let mut runs = GroupedRuns::new(workload.iter());
+        let mut windows: Vec<WindowSample> = Vec::new();
+
+        // A schedule that cannot fit the initial warmup plus a single
+        // warmup+detailed window degenerates to full detail —
+        // sampling a trace that small would measure nothing.
+        let initial_warmup = (total_instructions as f64 * cfg.warmup_fraction) as u64;
+        let schedule = match cfg.schedule {
+            SampleSchedule::Periodic {
+                warmup_len,
+                detailed_len,
+                ..
+            } if total_instructions <= initial_warmup + warmup_len + detailed_len => {
+                SampleSchedule::Full
+            }
+            s => s,
+        };
+
+        match schedule {
+            SampleSchedule::Full => {
+                state.segment(Phase::Detailed, &mut runs, u64::MAX, cfg, W::skip);
+            }
+            SampleSchedule::Periodic {
+                period,
+                warmup_len,
+                detailed_len,
+            } => {
+                // The cold-start transient (§IV-A's excluded first
+                // 10%) is warmed functionally, never measured —
+                // mirroring the Full schedule's measured region.
+                state.segment(Phase::Warmup, &mut runs, initial_warmup, cfg, W::skip);
+                let ff_len = period - warmup_len - detailed_len;
+                let mut first_period = true;
+                let mut converged = false;
+                let mut last_l3_fills = state.mem.warm_l3_fills;
+                let mut last_warmed = state.warmed;
+                while !state.trace_over && state.consumed < total_instructions {
+                    let remaining = total_instructions - state.consumed;
+                    // Halve the first period so windows land at
+                    // period midpoints — an unbiased systematic
+                    // sample of the measured range rather than its
+                    // right edges (IPC trends along the trace would
+                    // otherwise skew the extrapolation).
+                    let (ff_want, warmup) = if first_period {
+                        first_period = false;
+                        (ff_len / 2, warmup_len / 2)
+                    } else {
+                        (ff_len, warmup_len)
+                    };
+                    // Never skip so far that the trace tail cannot fit
+                    // a final warmup+detailed window.
+                    let ff = ff_want.min(remaining.saturating_sub(warmup + detailed_len));
+                    if converged && ff > 0 {
+                        state.segment(Phase::FastForward, &mut runs, ff, cfg, W::skip);
+                        if state.trace_over {
+                            break;
+                        }
+                        state.segment(Phase::Warmup, &mut runs, warmup, cfg, W::skip);
+                    } else {
+                        // Deep state still converging: warm the gap
+                        // instead of skipping it (adaptive
+                        // fast-forward; see `L3_CONVERGED_FILLS_PER_MI`).
+                        state.segment(Phase::Warmup, &mut runs, ff + warmup, cfg, W::skip);
+                    }
+                    if state.trace_over {
+                        break;
+                    }
+                    if let Some(w) =
+                        state.segment(Phase::Detailed, &mut runs, detailed_len, cfg, W::skip)
+                    {
+                        windows.push(w);
+                    }
+                    if !state.trace_over {
+                        state.frontend.resume_stream();
+                    }
+                    // Re-evaluate convergence from this period's
+                    // warm-traffic fill rate (hysteresis-free: a phase
+                    // change that reheats the L3 flips the gate back).
+                    let fills = state.mem.warm_l3_fills - last_l3_fills;
+                    let warmed = state.warmed - last_warmed;
+                    last_l3_fills = state.mem.warm_l3_fills;
+                    last_warmed = state.warmed;
+                    converged =
+                        warmed > 0 && fills * 1_000_000 < warmed * L3_CONVERGED_FILLS_PER_MI;
+                }
+            }
+        }
+
+        if std::env::var_os("ACIC_PHASE_TIMES").is_some() {
+            eprintln!(
+                "phase times: ff={:.3}s warm={:.3}s detailed={:.3}s (ff {} instrs, warmed {}, windows {})",
+                state.t_ff, state.t_warm, state.t_detail, state.fastforwarded, state.warmed,
+                windows.len()
+            );
+        }
+        if std::env::var_os("ACIC_ENGINE_DEBUG").is_some() {
+            for (i, w) in windows.iter().enumerate() {
+                eprintln!(
+                    "window {i}: instrs={} cycles={} ipc={:.3} mpki={:.3}",
+                    w.instructions,
+                    w.cycles,
+                    w.instructions as f64 / w.cycles as f64,
+                    w.full_demand_misses as f64 * 1000.0 / w.full_instructions.max(1) as f64
+                );
+            }
+        }
+        Self::assemble_report(cfg, workload.name(), schedule, state, &windows)
+    }
+
+    fn assemble_report(
+        cfg: &SimConfig,
+        app: &str,
+        schedule: SampleSchedule,
+        state: EngineState<'_>,
+        windows: &[WindowSample],
+    ) -> SimReport {
+        let acic = state
+            .contents
+            .as_any()
+            .downcast_ref::<AcicIcache>()
+            .map(|a| *a.acic_stats());
+        let cshr = state
+            .contents
+            .as_any()
+            .downcast_ref::<AcicIcache>()
+            .map(|a| a.cshr_stats());
+        let cshr_lifetimes = state
+            .contents
+            .as_any()
+            .downcast_ref::<AcicIcache>()
+            .and_then(|a| a.unbounded_cshr())
+            .map(|u| u.fractions_with_unresolved());
+
+        let mut report = SimReport {
+            app: app.to_string(),
+            org: cfg.icache_org.label().to_string(),
+            total_instructions: state.backend.retired,
+            total_cycles: state.now,
+            measured_instructions: state.backend.retired,
+            measured_cycles: state.now,
+            l1i: state.contents.stats(),
+            l1d: state.mem.l1d_stats(),
+            l2: state.mem.l2_stats(),
+            l3: state.mem.l3_stats(),
+            dram_accesses: state.mem.dram_accesses,
+            branch: state.frontend.stats(),
+            prefetch: state.prefetch_stats,
+            context_switches: state.context_switches,
+            acic,
+            cshr,
+            cshr_lifetimes,
+            sampled: None,
+        };
+
+        match schedule {
+            SampleSchedule::Full => {
+                let (warm_cycle, warm_retired, warm_l1i) =
+                    state.warm_snapshot.unwrap_or((0, 0, CacheStats::default()));
+                report.measured_instructions = state.backend.retired - warm_retired;
+                report.measured_cycles = state.now - warm_cycle;
+                report.l1i = report.l1i.delta_from(&warm_l1i);
+            }
+            SampleSchedule::Periodic { .. } => {
+                let detailed_instructions: u64 = windows.iter().map(|w| w.instructions).sum();
+                let detailed_cycles: Cycle = windows.iter().map(|w| w.cycles).sum();
+                let full_instructions: u64 = windows.iter().map(|w| w.full_instructions).sum();
+                let detailed_misses: u64 = windows.iter().map(|w| w.full_demand_misses).sum();
+                let ipc_samples: Vec<f64> = windows
+                    .iter()
+                    .filter(|w| w.cycles > 0)
+                    .map(|w| w.instructions as f64 / w.cycles as f64)
+                    .collect();
+                let mpki_samples: Vec<f64> = windows
+                    .iter()
+                    .filter(|w| w.full_instructions > 0)
+                    .map(|w| w.full_demand_misses as f64 * 1000.0 / w.full_instructions as f64)
+                    .collect();
+                let (ipc_mean, ipc_ci95) = mean_ci95(&ipc_samples);
+                let (mpki_mean, mpki_ci95) = mean_ci95(&mpki_samples);
+                let total = state.consumed;
+                let ipc_hat = if detailed_cycles > 0 {
+                    detailed_instructions as f64 / detailed_cycles as f64
+                } else {
+                    0.0
+                };
+                let mpki_hat = if full_instructions > 0 {
+                    detailed_misses as f64 * 1000.0 / full_instructions as f64
+                } else {
+                    0.0
+                };
+                let est_total_cycles = if ipc_hat > 0.0 {
+                    total as f64 / ipc_hat
+                } else {
+                    0.0
+                };
+                // The trace really ran start to finish; report the
+                // population size, with cycles extrapolated.
+                report.total_instructions = total;
+                report.total_cycles = est_total_cycles.round() as u64;
+                report.measured_instructions = detailed_instructions;
+                report.measured_cycles = detailed_cycles;
+                report.sampled = Some(SampledStats {
+                    windows: windows.len() as u64,
+                    detailed_instructions,
+                    warmup_instructions: state.warmed,
+                    fastforward_instructions: state.fastforwarded,
+                    ipc_mean,
+                    ipc_ci95,
+                    mpki_mean,
+                    mpki_ci95,
+                    est_total_cycles,
+                    est_total_misses: mpki_hat * total as f64 / 1000.0,
+                });
+            }
+        }
+        report
+    }
+}

@@ -188,6 +188,75 @@ impl FrontEnd {
         }
     }
 
+    /// Gates statistics recording across the front end's prediction
+    /// structures (warmup phase of a sampled simulation): TAGE and
+    /// the BTB keep training, but their accuracy counters hold still.
+    pub fn set_stats_enabled(&mut self, enabled: bool) {
+        self.tage.set_stats_enabled(enabled);
+        self.btb.set_stats_enabled(enabled);
+    }
+
+    /// Re-opens the fetch stream after a detailed window exhausted
+    /// its instruction budget: the feeding closure returned `None`
+    /// without the trace being over, so the engine clears the
+    /// end-of-trace latch before the next window.
+    pub fn resume_stream(&mut self) {
+        self.trace_done = false;
+    }
+
+    /// Bulk-warmup training of every prediction structure, one
+    /// instruction at a time — TAGE direction state plus the BTB and
+    /// indirect-target predictor (the front end's large, slowest
+    /// tables: a wide code footprint needs on the order of a million
+    /// instructions to cover 8192 BTB entries). Equivalent to
+    /// [`FrontEnd::train_run`] without run grouping; handles context
+    /// switches per the configured switch mode.
+    pub fn warm_branches(&mut self, instr: &Instr) {
+        let InstrKind::Branch {
+            target,
+            taken,
+            class,
+        } = instr.kind
+        else {
+            return;
+        };
+        if instr.asid() != self.cur_asid {
+            self.on_context_switch(instr.asid());
+        }
+        let key = self.pc_key(instr.pc());
+        match class {
+            BranchClass::Conditional => {
+                self.tage.predict_and_train(key, taken);
+                if taken && self.btb.lookup(key) != Some(target) {
+                    self.btb.update(key, target);
+                }
+            }
+            BranchClass::Direct | BranchClass::Call => {
+                if self.btb.lookup(key) != Some(target) {
+                    self.btb.update(key, target);
+                }
+            }
+            BranchClass::Return => {}
+            BranchClass::Indirect => {
+                self.itp_update(key, target);
+                self.btb.update(key, target);
+                self.push_path_history(target);
+            }
+        }
+    }
+
+    /// Warmup-phase training: runs the prediction structures over one
+    /// fetch run with no timing — no FTQ entry, no stall modeling, no
+    /// global indices. Context switches still flush or re-key state
+    /// per the configured switch mode. Call between
+    /// [`FrontEnd::set_stats_enabled`]`(false)`/`(true)` so warmup
+    /// traffic stays uncounted.
+    pub fn train_run(&mut self, run: &RunInstrs) {
+        for instr in run.instrs.iter() {
+            self.warm_branches(instr);
+        }
+    }
+
     /// The backend resolved the branch with global `index` at `done`;
     /// unstall the BPU if it was the one being waited on.
     pub fn on_branch_resolved(&mut self, index: u64, done: Cycle) {
@@ -423,6 +492,36 @@ mod tests {
         fe.bpu_cycle(20, || Some(run_of(vec![br])));
         assert_eq!(fe.stats().mispredicts, before);
         assert_eq!(fe.ftq.len(), 2);
+    }
+
+    #[test]
+    fn train_run_warms_predictors_without_stats() {
+        let cfg = SimConfig::default();
+        let mut fe = FrontEnd::new(&cfg);
+        let br = Instr::branch(Addr::new(0), Addr::new(0x100), true, BranchClass::Indirect);
+        fe.set_stats_enabled(false);
+        fe.train_run(&run_of(vec![br]));
+        fe.set_stats_enabled(true);
+        let s = fe.stats();
+        assert_eq!(s.mispredicts, 0);
+        assert_eq!(s.btb.lookups, 0, "warmup lookups are uncounted");
+        // The trained target now predicts: no mispredict, no stall.
+        fe.bpu_cycle(0, || Some(run_of(vec![br])));
+        assert_eq!(fe.stats().mispredicts, 0);
+        fe.bpu_cycle(1, || Some(run_of(vec![Instr::alu(Addr::new(64))])));
+        assert_eq!(fe.ftq.len(), 2, "BPU not stalled");
+    }
+
+    #[test]
+    fn resume_stream_reopens_after_window_budget() {
+        let cfg = SimConfig::default();
+        let mut fe = FrontEnd::new(&cfg);
+        fe.bpu_cycle(0, || None);
+        assert!(fe.trace_done());
+        fe.resume_stream();
+        assert!(!fe.trace_done());
+        fe.bpu_cycle(1, || Some(run_of(vec![Instr::alu(Addr::new(0))])));
+        assert_eq!(fe.ftq.len(), 1);
     }
 
     #[test]

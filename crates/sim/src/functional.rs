@@ -13,6 +13,11 @@
 //! by the oracle and the timing simulator — for the same trace, the
 //! functional and timing paths see the identical access sequence.
 //!
+//! The per-access step itself (oracle-cursor advance, context build,
+//! access + fill-on-miss) is `engine::contents_step`, shared with the
+//! [`Engine`](crate::Engine)'s warmup phase — the functional loop and
+//! the sampled engine's functional warming are the same code.
+//!
 //! [`run_unbatched`] keeps the naive one-probe-per-instruction loop as
 //! a reference baseline so throughput benchmarks (and the committed
 //! `BENCH_*.json` trajectory) can quantify what batching buys.
@@ -121,22 +126,13 @@ pub fn run_functional<W: TraceSource>(org: &IcacheOrg, workload: &W) -> Function
             context_switches += 1;
             contents.on_context_switch(run.asid);
         }
-        let next_use = match cursor.as_mut() {
-            Some(c) => {
-                c.advance(run.oracle_key());
-                c.next_use_of(run.oracle_key())
-            }
-            None => NO_NEXT_USE,
-        };
-        let mut ctx = AccessCtx::demand(run.block, accesses)
-            .with_asid(run.asid)
-            .with_next_use(next_use);
-        if let Some(c) = cursor.as_ref() {
-            ctx = ctx.with_oracle(c);
-        }
-        if !contents.access(&ctx).hit {
-            contents.fill(&ctx);
-        }
+        crate::engine::contents_step(
+            contents.as_mut(),
+            &mut cursor,
+            run.tagged(),
+            accesses,
+            false,
+        );
         // Use the access index as the clock for organizations with
         // delayed predictor-update pipelines.
         if wants_tick {

@@ -33,6 +33,7 @@
 pub mod backend;
 pub mod branch;
 pub mod config;
+pub mod engine;
 pub mod frontend;
 pub mod functional;
 pub mod icache;
@@ -43,8 +44,9 @@ pub mod simulator;
 
 pub use branch::btb::Btb;
 pub use branch::tage::Tage;
-pub use config::{BranchSwitchMode, PrefetcherKind, SimConfig};
+pub use config::{BranchSwitchMode, PrefetcherKind, SampleSchedule, SimConfig};
+pub use engine::{Engine, Phase};
 pub use functional::{run_functional, run_unbatched, FunctionalReport};
 pub use icache::IcacheOrg;
-pub use report::{BranchStats, PrefetchStats, SimReport};
+pub use report::{mean_ci95, BranchStats, PrefetchStats, SampledStats, SimReport};
 pub use simulator::Simulator;

@@ -86,6 +86,11 @@ pub struct MemoryHierarchy {
     dram_next_free: Cycle,
     /// Total DRAM accesses (for the energy model).
     pub dram_accesses: u64,
+    /// Lines newly installed into the L3 by warmup-phase traffic.
+    /// Never reported: the sampled engine reads the rate of change to
+    /// decide when the hierarchy has converged and fast-forwarding
+    /// becomes safe.
+    pub warm_l3_fills: u64,
     seq: u64,
     l1d_hit_latency: u64,
     l2_latency: u64,
@@ -107,6 +112,7 @@ impl MemoryHierarchy {
             l3: SetAssocCache::new(l3_geom, PolicyKind::Lru.build(l3_geom)),
             dram_next_free: 0,
             dram_accesses: 0,
+            warm_l3_fills: 0,
             seq: 0,
             l1d_hit_latency: cfg.l1d_hit_latency,
             l2_latency: cfg.l2_latency,
@@ -150,6 +156,47 @@ impl MemoryHierarchy {
     pub fn fetch_instr_block(&mut self, block: impl Into<TaggedBlock>, now: Cycle) -> Cycle {
         let block = block.into();
         now + self.below_l1(block, now)
+    }
+
+    /// Warmup-phase walk of the unified levels: updates L2/L3
+    /// contents (tags, LRU state) like a real miss, but with
+    /// statistics gated, no DRAM timing or bandwidth accounting, and
+    /// fused probe-or-fill scans ([`SetAssocCache::warm_touch`]).
+    #[inline]
+    fn warm_below_l1(&mut self, block: TaggedBlock) {
+        if !self.l2.warm_touch(block) && !self.l3.warm_touch(block) {
+            self.warm_l3_fills += 1;
+        }
+    }
+
+    /// Warmup-phase instruction fetch: warms L2/L3 contents for an
+    /// L1i miss without timing or statistics.
+    pub fn warm_instr_block(&mut self, block: impl Into<TaggedBlock>) {
+        let block = block.into();
+        self.warm_below_l1(block);
+    }
+
+    /// Warmup-phase data access: warms L1d/L2/L3 contents without
+    /// MSHR or latency modeling; statistics stay gated.
+    #[inline]
+    pub fn warm_data(&mut self, addr: Addr, asid: Asid) {
+        let block = addr.block().with_asid(asid);
+        if !self.l1d.warm_touch(block) {
+            self.warm_below_l1(block);
+        }
+    }
+
+    /// Host-side prefetch of every tag/stamp array line the warm walk
+    /// for `addr` could touch. Bulk warming issues this a few memory
+    /// operations ahead of the matching [`MemoryHierarchy::warm_data`]
+    /// so the simulated arrays' host-memory latency overlaps useful
+    /// work instead of serializing the walk.
+    #[inline]
+    pub fn hint_data(&self, addr: Addr, asid: Asid) {
+        let block = addr.block().with_asid(asid);
+        self.l1d.prefetch_set(block);
+        self.l2.prefetch_set(block);
+        self.l3.prefetch_set(block);
     }
 
     /// Performs a data access (load or store) and returns its
@@ -271,6 +318,23 @@ mod tests {
         let r2 = h.fetch_instr_block(BlockAddr::new(0x20_0000), 0);
         assert!(r2 >= r1.min(r2), "both complete");
         assert!(r2 > r1 || r1 > r2, "gap separates them");
+    }
+
+    #[test]
+    fn warming_fills_contents_without_counting() {
+        let mut h = hierarchy();
+        let b = BlockAddr::new(0x9000);
+        h.warm_instr_block(b);
+        h.warm_data(Addr::new(0x5000_0000), Asid::HOST);
+        assert_eq!(h.dram_accesses, 0, "warmup pays no DRAM accounting");
+        assert_eq!(h.l2_stats(), CacheStats::default());
+        assert_eq!(h.l3_stats(), CacheStats::default());
+        assert_eq!(h.l1d_stats(), CacheStats::default());
+        // But the contents are warm: a timed fetch now hits L2.
+        let ready = h.fetch_instr_block(b, 1000);
+        assert_eq!(ready, 1000 + 15);
+        let done = h.access_data(Addr::new(0x5000_0000), Asid::HOST, 1000, false);
+        assert_eq!(done, 1000 + 5, "L1d warmed");
     }
 
     #[test]

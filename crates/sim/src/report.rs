@@ -28,6 +28,59 @@ pub struct PrefetchStats {
     pub filtered: u64,
 }
 
+/// Sample mean and its 95% confidence half-width.
+///
+/// The half-width is the normal-approximation interval
+/// `1.96 * s / sqrt(n)` with `s` the Bessel-corrected sample standard
+/// deviation — the SMARTS-style per-metric error bar for systematic
+/// sampling. Returns `(mean, 0.0)` for fewer than two samples (no
+/// variance estimate exists) and `(0.0, 0.0)` for none.
+pub fn mean_ci95(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    if n < 2 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+    (mean, 1.96 * (var / n as f64).sqrt())
+}
+
+/// Extrapolation of a sampled run's detailed windows to the whole
+/// trace, with per-metric confidence intervals.
+///
+/// Population estimates treat each detailed window as one sample of a
+/// systematic design: `est_total_cycles = N / ipc_hat` where
+/// `ipc_hat` is the pooled IPC over all windows and `N` the full
+/// instruction count; `est_total_misses = mpki_hat * N / 1000`
+/// likewise. The `*_mean`/`*_ci95` pairs are per-window statistics
+/// from [`mean_ci95`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SampledStats {
+    /// Detailed windows measured.
+    pub windows: u64,
+    /// Instructions simulated at detailed fidelity.
+    pub detailed_instructions: u64,
+    /// Instructions spent in functional warmup.
+    pub warmup_instructions: u64,
+    /// Instructions fast-forwarded (no simulator state touched).
+    pub fastforward_instructions: u64,
+    /// Mean per-window IPC.
+    pub ipc_mean: f64,
+    /// 95% confidence half-width of the per-window IPC.
+    pub ipc_ci95: f64,
+    /// Mean per-window L1i demand MPKI.
+    pub mpki_mean: f64,
+    /// 95% confidence half-width of the per-window MPKI.
+    pub mpki_ci95: f64,
+    /// Whole-trace cycle estimate (`total_instructions / ipc_hat`).
+    pub est_total_cycles: f64,
+    /// Whole-trace L1i demand-miss estimate.
+    pub est_total_misses: f64,
+}
+
 /// Result of one simulation run.
 ///
 /// Statistics prefixed `measured_` exclude the warm-up window
@@ -71,6 +124,15 @@ pub struct SimReport {
     /// Figure-6 lifetime histogram fractions, when unbounded-CSHR
     /// instrumentation was enabled.
     pub cshr_lifetimes: Option<[f64; acic_core::cshr::LIFETIME_BUCKETS]>,
+    /// Sampled-run extrapolation, when the engine ran a
+    /// [`crate::SampleSchedule::Periodic`] schedule. `None` for a
+    /// `Full` run (whose report is exact, not estimated). In a
+    /// sampled report the `measured_*` fields cover the measured
+    /// window interiors, the statistics blocks cover everything
+    /// simulated at detailed fidelity (interiors plus ramp/drain
+    /// edges), and `total_cycles` holds the rounded whole-trace
+    /// extrapolation.
+    pub sampled: Option<SampledStats>,
 }
 
 impl SimReport {
@@ -84,27 +146,76 @@ impl SimReport {
     }
 
     /// Post-warm-up L1i demand misses per kilo-instruction.
+    ///
+    /// For a sampled run this is the pooled window estimator
+    /// (`est_total_misses * 1000 / total_instructions`), keeping the
+    /// metric consistent with the measured window interiors — the raw
+    /// `l1i` block also counts the unmeasured ramp/drain traffic.
     pub fn l1i_mpki(&self) -> f64 {
-        self.l1i.mpki(self.measured_instructions)
+        match &self.sampled {
+            Some(s) if self.total_instructions > 0 => {
+                s.est_total_misses * 1000.0 / self.total_instructions as f64
+            }
+            _ => self.l1i.mpki(self.measured_instructions),
+        }
     }
 
     /// Speedup of this run over a baseline run of the same workload
     /// (ratio of post-warm-up cycles).
     ///
+    /// When either report is sampled the comparison is the ratio of
+    /// cycles-per-instruction over the measured windows: window
+    /// boundaries are trace-aligned across organizations, but the
+    /// interior snapshots land at retire granularity, so the
+    /// instruction counts may differ by a few per window and an
+    /// exact-window cycle ratio would be ill-defined.
+    ///
+    /// Zero-cycle edge cases are defined rather than dividing blind:
+    /// two empty windows compare as `1.0` (equally fast), an empty
+    /// window over a non-empty baseline is `f64::INFINITY`, and a
+    /// non-empty window over an empty baseline is `0.0`. The result
+    /// is always non-NaN.
+    ///
     /// # Panics
     ///
-    /// Panics if the two reports cover different instruction counts
-    /// (they would not be comparable).
+    /// Panics if two *exact* (non-sampled) reports cover different
+    /// instruction counts (they would not be comparable).
     pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        if self.sampled.is_some() || baseline.sampled.is_some() {
+            // Sampled windows are trace-determined, so two reports of
+            // the same workload agree on the population to within
+            // run-granularity noise; anything larger means the
+            // reports are not comparable at all.
+            let (a, b) = (self.total_instructions, baseline.total_instructions);
+            assert!(
+                a.abs_diff(b) * 100 <= a.max(b),
+                "speedup requires reports over the same trace ({a} vs {b} instructions)"
+            );
+            let own = self.measured_cycles as f64 / self.measured_instructions.max(1) as f64;
+            let base =
+                baseline.measured_cycles as f64 / baseline.measured_instructions.max(1) as f64;
+            return match (base == 0.0, own == 0.0) {
+                (true, true) => 1.0,
+                (false, true) => f64::INFINITY,
+                (true, false) => 0.0,
+                (false, false) => base / own,
+            };
+        }
         assert_eq!(
             self.measured_instructions, baseline.measured_instructions,
             "speedup requires identical instruction windows"
         );
-        baseline.measured_cycles as f64 / self.measured_cycles as f64
+        match (baseline.measured_cycles, self.measured_cycles) {
+            (0, 0) => 1.0,
+            (_, 0) => f64::INFINITY,
+            (0, _) => 0.0,
+            (b, s) => b as f64 / s as f64,
+        }
     }
 
     /// MPKI reduction relative to a baseline (positive = fewer
-    /// misses).
+    /// misses). A zero-MPKI baseline yields `0.0` — there is nothing
+    /// to reduce, and the result stays non-NaN.
     pub fn mpki_reduction_over(&self, baseline: &SimReport) -> f64 {
         let b = baseline.l1i_mpki();
         if b == 0.0 {
@@ -154,5 +265,41 @@ mod tests {
         let a = report(1, 100, 0);
         let b = report(1, 200, 0);
         let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn zero_cycle_speedups_are_defined() {
+        let empty = report(0, 0, 0);
+        let busy = report(100, 0, 0);
+        assert_eq!(empty.speedup_over(&empty), 1.0, "empty vs empty");
+        assert_eq!(busy.speedup_over(&empty), 0.0, "baseline was empty");
+        assert_eq!(empty.speedup_over(&busy), f64::INFINITY);
+        assert!(!empty.speedup_over(&empty).is_nan());
+    }
+
+    #[test]
+    fn zero_baseline_mpki_reduction_is_zero() {
+        let clean = report(100, 1000, 0);
+        let missy = report(100, 1000, 10);
+        assert_eq!(missy.mpki_reduction_over(&clean), 0.0);
+        assert_eq!(clean.mpki_reduction_over(&clean), 0.0);
+        assert!((clean.mpki_reduction_over(&missy) - 1.0).abs() < 1e-12);
+        assert!(!missy.mpki_reduction_over(&clean).is_nan());
+    }
+
+    #[test]
+    fn mean_ci95_formula() {
+        assert_eq!(mean_ci95(&[]), (0.0, 0.0));
+        assert_eq!(mean_ci95(&[3.5]), (3.5, 0.0));
+        let (m, ci) = mean_ci95(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((m - 2.5).abs() < 1e-12);
+        // s = sqrt(5/3), ci = 1.96 * s / 2
+        let s = (5.0f64 / 3.0).sqrt();
+        assert!((ci - 1.96 * s / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_field_defaults_to_none() {
+        assert!(SimReport::default().sampled.is_none());
     }
 }

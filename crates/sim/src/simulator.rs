@@ -1,16 +1,20 @@
-//! The cycle loop tying front end, backend, hierarchy, prefetcher and
-//! the L1i organization together.
+//! The classic simulator entry point, now a thin veneer over the
+//! phase-scheduled [`Engine`](crate::Engine).
+//!
+//! [`Simulator::run`] is API-stable: every pre-engine caller keeps
+//! working, and with the default [`SampleSchedule::Full`] schedule the
+//! engine reproduces the original cycle loop bit for bit (pinned by
+//! `tests/engine_equivalence.rs`). Set
+//! [`SimConfig::schedule`](crate::SimConfig) to a periodic schedule to
+//! run SMARTS-style sampled simulation through the same entry point.
 
-use crate::backend::{Backend, DecodedInstr};
-use crate::config::{PrefetcherKind, SimConfig};
-use crate::frontend::FrontEnd;
-use crate::mem::{MemoryHierarchy, MissTracker};
-use crate::prefetch::{Entangling, Prefetcher};
-use crate::report::{PrefetchStats, SimReport};
-use acic_cache::{AccessCtx, CacheStats};
-use acic_core::AcicIcache;
-use acic_trace::{BlockRuns, GroupedRuns, ReuseOracle, TraceSource, NO_NEXT_USE};
-use acic_types::{Asid, Cycle, TaggedBlock};
+use crate::config::SimConfig;
+use crate::engine::Engine;
+use crate::report::SimReport;
+use acic_trace::TraceSource;
+
+#[allow(unused_imports)] // referenced by the module docs
+use crate::config::SampleSchedule;
 
 /// Entry point for running simulations.
 #[derive(Debug)]
@@ -19,288 +23,23 @@ pub struct Simulator;
 impl Simulator {
     /// Runs `workload` under `cfg` and returns the report.
     ///
-    /// Performs a functional pre-pass when the organization needs the
-    /// reuse oracle (OPT, OPT-bypass) or when
-    /// [`SimConfig::attach_oracle`] requests instrumentation.
+    /// Delegates to [`Engine::run`]; see there for phase and
+    /// sampling semantics.
     ///
     /// # Panics
     ///
     /// Panics if the simulation exceeds a generous cycle bound
     /// (indicates a pipeline deadlock — a bug, not a workload
-    /// property).
+    /// property) or the configured schedule is inconsistent.
     pub fn run<W: TraceSource>(cfg: &SimConfig, workload: &W) -> SimReport {
-        let needs_oracle = cfg.icache_org.needs_oracle() || cfg.attach_oracle;
-        let (oracle, total_instructions) = if needs_oracle {
-            // The oracle pre-pass has to walk the trace anyway; count
-            // instructions while materializing the block sequence.
-            let mut total = 0u64;
-            let mut seq = Vec::new();
-            for r in BlockRuns::new(workload.iter()) {
-                // Oracle keys are flattened tagged identities, so
-                // tenants' overlapping VAs stay distinct.
-                seq.push(r.oracle_key());
-                total += r.len as u64;
-            }
-            (Some(ReuseOracle::from_sequence(&seq)), total)
-        } else {
-            // No oracle: take the source's exact length when it knows
-            // it (synthetic workloads and in-memory traces do), and
-            // only fall back to a counting pass for sources that
-            // cannot answer without walking. Regenerating a synthetic
-            // trace just to count it used to double the cost of every
-            // non-oracle simulation.
-            let total = workload
-                .len_hint()
-                .unwrap_or_else(|| workload.iter().count() as u64);
-            (None, total)
-        };
-        let mut cursor = oracle.as_ref().map(|o| o.cursor());
-
-        let mut contents = cfg.icache_org.build(workload.seed());
-        if cfg.unbounded_cshr {
-            if let crate::icache::IcacheOrg::Acic(acic_cfg) = &cfg.icache_org {
-                contents = Box::new(AcicIcache::new(*acic_cfg).with_unbounded_instrumentation());
-            }
-        }
-        let wants_tick = contents.wants_tick();
-        let mut frontend = FrontEnd::new(cfg);
-        let mut backend = Backend::new(cfg);
-        let mut mem = MemoryHierarchy::new(cfg);
-        let mut l1i_mshr = MissTracker::new(cfg.l1i_mshrs);
-        let mut prefetcher = match cfg.prefetcher {
-            PrefetcherKind::None => Prefetcher::None,
-            PrefetcherKind::Fdp => Prefetcher::Fdp,
-            PrefetcherKind::Entangling => Prefetcher::Entangling(Entangling::new()),
-        };
-        let mut prefetch_stats = PrefetchStats::default();
-        let mut pending_prefetches: Vec<(Cycle, TaggedBlock)> = Vec::new();
-        let mut candidates: Vec<TaggedBlock> = Vec::new();
-        let mut fetch_asid = Asid::HOST;
-        let mut context_switches = 0u64;
-
-        let mut runs = GroupedRuns::new(workload.iter());
-        let warmup_instrs = (total_instructions as f64 * cfg.warmup_fraction) as u64;
-        let mut warm_snapshot: Option<(Cycle, u64, CacheStats)> = None;
-        let mut access_index: u64 = 0;
-
-        let max_cycles = 400 * total_instructions + 1_000_000;
-        let mut now: Cycle = 0;
-
-        loop {
-            now += 1;
-            assert!(
-                now < max_cycles,
-                "simulation exceeded cycle bound (deadlock?)"
-            );
-
-            // Backend: retire, then dispatch.
-            backend.retire(now);
-            backend.dispatch(now, &mut mem);
-            for (index, done) in backend.resolved_branches.drain(..) {
-                frontend.on_branch_resolved(index, done);
-            }
-
-            // Fetch: service the FTQ head.
-            if let Some(head) = frontend.ftq.front_mut() {
-                if !head.accessed {
-                    head.accessed = true;
-                    access_index += 1;
-                    let tagged = head.block.with_asid(head.asid);
-                    // The fetch stream crossed into another address
-                    // space: tell the contents model (flush-on-switch
-                    // organizations gut themselves here).
-                    if head.asid != fetch_asid {
-                        fetch_asid = head.asid;
-                        context_switches += 1;
-                        contents.on_context_switch(head.asid);
-                    }
-                    let next_use = match cursor.as_mut() {
-                        Some(c) => {
-                            c.advance(tagged.oracle_key());
-                            c.next_use_of(tagged.oracle_key())
-                        }
-                        None => NO_NEXT_USE,
-                    };
-                    head.next_use = next_use;
-                    let outcome = {
-                        let mut ctx =
-                            AccessCtx::demand_tagged(tagged, access_index).with_next_use(next_use);
-                        if let Some(c) = cursor.as_ref() {
-                            ctx = ctx.with_oracle(c);
-                        }
-                        contents.access(&ctx)
-                    };
-                    prefetcher.on_demand_fetch(tagged, now);
-                    if outcome.hit {
-                        head.ready_at = now + outcome.extra_latency as u64;
-                    } else {
-                        head.needs_fill = true;
-                        head.ready_at = match l1i_mshr.lookup(tagged, now) {
-                            // A prefetch already has the block in flight.
-                            Some(ready) => ready,
-                            None => {
-                                let start = if l1i_mshr.full(now) {
-                                    l1i_mshr
-                                        .earliest_ready()
-                                        .expect("full tracker has entries")
-                                        .max(now)
-                                } else {
-                                    now
-                                };
-                                let ready = mem.fetch_instr_block(tagged, start);
-                                l1i_mshr.insert(tagged, ready);
-                                prefetcher.on_demand_miss(tagged, now, ready - now);
-                                ready
-                            }
-                        };
-                    }
-                }
-                if now >= head.ready_at {
-                    if head.needs_fill {
-                        head.needs_fill = false;
-                        let mut ctx =
-                            AccessCtx::demand_tagged(head.block.with_asid(head.asid), access_index)
-                                .with_next_use(head.next_use);
-                        if let Some(c) = cursor.as_ref() {
-                            ctx = ctx.with_oracle(c);
-                        }
-                        contents.fill(&ctx);
-                    }
-                    // Deliver instructions into the decode queue.
-                    let space = backend.dq_space();
-                    let remaining = head.instrs.len() - head.delivered;
-                    let n = remaining.min(space).min(cfg.fetch_width as usize);
-                    for k in 0..n {
-                        let at = head.delivered + k;
-                        backend.dq.push_back(DecodedInstr {
-                            instr: head.instrs[at],
-                            index: head.first_index + at as u64,
-                        });
-                    }
-                    head.delivered += n;
-                    if head.delivered == head.instrs.len() {
-                        frontend.ftq.pop_front();
-                    }
-                }
-            }
-
-            // BPU: run ahead of fetch.
-            frontend.bpu_cycle(now, || runs.next());
-
-            // Prefetch: gather candidates, filter, issue, fill.
-            candidates.clear();
-            prefetcher.candidates(&frontend.ftq, &mut candidates);
-            let mut issued = 0;
-            for &block in candidates.iter() {
-                if issued >= cfg.prefetch_width {
-                    break;
-                }
-                // Never prefetch into an address space the core has
-                // not switched to yet: its translations are not
-                // active, and for flush-on-switch organizations the
-                // lines would be installed only to be flushed the
-                // moment the switch is crossed. (No-op single-tenant:
-                // every candidate carries the host ASID.)
-                if block.asid != fetch_asid {
-                    prefetch_stats.filtered += 1;
-                    continue;
-                }
-                if contents.contains_block(block) || l1i_mshr.lookup(block, now).is_some() {
-                    prefetch_stats.filtered += 1;
-                    continue;
-                }
-                if l1i_mshr.full(now) {
-                    prefetch_stats.filtered += 1;
-                    break;
-                }
-                let ready = mem.fetch_instr_block(block, now);
-                l1i_mshr.insert(block, ready);
-                pending_prefetches.push((ready, block));
-                prefetch_stats.issued += 1;
-                issued += 1;
-            }
-            if !pending_prefetches.is_empty() {
-                let due: Vec<TaggedBlock> = {
-                    let mut v = Vec::new();
-                    pending_prefetches.retain(|&(ready, block)| {
-                        if ready <= now {
-                            v.push(block);
-                            false
-                        } else {
-                            true
-                        }
-                    });
-                    v
-                };
-                for block in due {
-                    let future = cursor
-                        .as_ref()
-                        .map_or(NO_NEXT_USE, |c| c.future_use_of(block.oracle_key()));
-                    let mut ctx = AccessCtx::prefetch(block.block, access_index)
-                        .with_asid(block.asid)
-                        .with_next_use(future);
-                    if let Some(c) = cursor.as_ref() {
-                        ctx = ctx.with_oracle(c);
-                    }
-                    contents.fill(&ctx);
-                }
-            }
-
-            if wants_tick {
-                contents.tick(now);
-            }
-
-            // Warm-up snapshot.
-            if warm_snapshot.is_none() && backend.retired >= warmup_instrs {
-                warm_snapshot = Some((now, backend.retired, contents.stats()));
-            }
-
-            if frontend.drained() && backend.drained() {
-                break;
-            }
-        }
-
-        let (warm_cycle, warm_retired, warm_l1i) =
-            warm_snapshot.unwrap_or((0, 0, CacheStats::default()));
-        let acic = contents
-            .as_any()
-            .downcast_ref::<AcicIcache>()
-            .map(|a| *a.acic_stats());
-        let cshr = contents
-            .as_any()
-            .downcast_ref::<AcicIcache>()
-            .map(|a| a.cshr_stats());
-        let cshr_lifetimes = contents
-            .as_any()
-            .downcast_ref::<AcicIcache>()
-            .and_then(|a| a.unbounded_cshr())
-            .map(|u| u.fractions_with_unresolved());
-
-        SimReport {
-            app: workload.name().to_string(),
-            org: cfg.icache_org.label().to_string(),
-            total_instructions: backend.retired,
-            total_cycles: now,
-            measured_instructions: backend.retired - warm_retired,
-            measured_cycles: now - warm_cycle,
-            l1i: contents.stats().delta_from(&warm_l1i),
-            l1d: mem.l1d_stats(),
-            l2: mem.l2_stats(),
-            l3: mem.l3_stats(),
-            dram_accesses: mem.dram_accesses,
-            branch: frontend.stats(),
-            prefetch: prefetch_stats,
-            context_switches,
-            acic,
-            cshr,
-            cshr_lifetimes,
-        }
+        Engine::run(cfg, workload)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::PrefetcherKind;
     use crate::icache::IcacheOrg;
     use acic_trace::Instr;
     use acic_types::Addr;

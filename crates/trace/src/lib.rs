@@ -45,5 +45,5 @@ pub use interleave::{InterleavedIter, InterleavedTrace};
 pub use markov::{MarkovChain, ReuseBucket};
 pub use oracle::{OracleCursor, ReuseOracle, NO_NEXT_USE};
 pub use runs::{BlockRun, BlockRuns, GroupedRuns, RunInstrs};
-pub use source::{TraceSource, VecTrace};
+pub use source::{skip_instrs, TraceSource, VecTrace};
 pub use stack_distance::{ReuseHistogram, StackDistanceAnalyzer};

@@ -165,6 +165,102 @@ impl<I: Iterator<Item = Instr>> GroupedRuns<I> {
             pending: None,
         }
     }
+
+    /// Allocation-free variant of [`Iterator::next`]: writes the next
+    /// run into `out`, reusing its `instrs` buffer, and returns
+    /// whether a run was produced. Run boundaries are identical to
+    /// `next()`'s — warmup-phase loops use this to avoid a `Vec`
+    /// allocation per run.
+    pub fn next_into(&mut self, out: &mut RunInstrs) -> bool {
+        let Some(first) = self.pending.take().or_else(|| self.inner.next()) else {
+            return false;
+        };
+        out.block = first.pc().block();
+        out.asid = first.asid();
+        out.instrs.clear();
+        out.instrs.push(first);
+        if !first.is_taken_branch() {
+            loop {
+                match self.inner.next() {
+                    None => break,
+                    Some(i) => {
+                        if i.pc().block() != out.block || i.asid() != out.asid {
+                            self.pending = Some(i);
+                            break;
+                        }
+                        let taken = i.is_taken_branch();
+                        out.instrs.push(i);
+                        if taken {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Streams instructions to `f` without materializing runs,
+    /// flagging each instruction that begins a new fetch run (the
+    /// boundary rule is identical to [`Iterator::next`]'s). Delivers
+    /// at least `n` instructions, then keeps going to the end of the
+    /// current run so the stream always stops on a true run boundary
+    /// — the next `next()`/`next_into()` call starts a genuine run
+    /// and per-run bookkeeping (e.g. an oracle cursor advanced once
+    /// per run-start flag) stays exact across the hand-off. Returns
+    /// the number delivered (fewer than `n` only at trace end).
+    ///
+    /// This is the warming-tier fast path: no `Vec` per run, no
+    /// materialized `RunInstrs` — one callback per instruction.
+    pub fn stream_instrs<F>(&mut self, n: u64, mut f: F) -> u64
+    where
+        F: FnMut(Instr, bool),
+    {
+        let mut delivered = 0u64;
+        let mut prev: Option<Instr> = None;
+        while let Some(i) = self.pending.take().or_else(|| self.inner.next()) {
+            // `pending` only ever holds an instruction that started a
+            // new run, and a drained `pending` means the previous run
+            // ended at a taken branch or the stream start — so the
+            // first instruction is always a true run start, and later
+            // boundaries derive from the previous instruction.
+            let start = match prev {
+                None => true,
+                Some(p) => {
+                    p.is_taken_branch() || p.pc().block() != i.pc().block() || p.asid() != i.asid()
+                }
+            };
+            if delivered >= n && start {
+                self.pending = Some(i);
+                break;
+            }
+            f(i, start);
+            prev = Some(i);
+            delivered += 1;
+        }
+        delivered
+    }
+
+    /// FastForward support: drops up to `n` instructions from the
+    /// stream — including a buffered lookahead instruction — without
+    /// grouping them into runs, delegating the bulk skip to `skip`
+    /// (pass [`TraceSource::skip`][crate::TraceSource::skip] of the
+    /// source that produced `I`). Returns the number of instructions
+    /// actually dropped; the next [`Iterator::next`] call resumes run
+    /// grouping at the new position.
+    pub fn skip_instrs_with<F>(&mut self, n: u64, skip: F) -> u64
+    where
+        F: FnOnce(&mut I, u64) -> u64,
+    {
+        if n == 0 {
+            return 0;
+        }
+        let mut dropped = 0;
+        if self.pending.take().is_some() {
+            dropped = 1;
+        }
+        dropped + skip(&mut self.inner, n - dropped)
+    }
 }
 
 impl<I: Iterator<Item = Instr>> Iterator for GroupedRuns<I> {
@@ -307,6 +403,94 @@ mod grouped_tests {
     use super::*;
     use crate::instr::BranchClass;
     use acic_types::Addr;
+
+    #[test]
+    fn stream_instrs_boundaries_match_block_runs() {
+        let mut instrs = Vec::new();
+        let mut x: u64 = 11;
+        for i in 0..400u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(13);
+            if x.is_multiple_of(5) {
+                instrs.push(Instr::branch(
+                    Addr::new(i * 4),
+                    Addr::new((x >> 17) % 1024 * 4),
+                    x.is_multiple_of(3),
+                    BranchClass::Conditional,
+                ));
+            } else {
+                instrs.push(Instr::alu(Addr::new(i * 4)));
+            }
+        }
+        let expect: Vec<BlockRun> = BlockRuns::new(instrs.iter().copied()).collect();
+        // Stream in two chunks with an odd split: boundaries must
+        // still match, and the hand-off must land on a run boundary.
+        let mut runs = GroupedRuns::new(instrs.iter().copied());
+        let mut starts = 0u64;
+        let mut seen = 0u64;
+        let first = runs.stream_instrs(137, |_, s| {
+            if s {
+                starts += 1;
+            }
+        });
+        seen += first;
+        assert!(first >= 137, "overshoots to the end of the run");
+        seen += runs.stream_instrs(u64::MAX, |_, s| {
+            if s {
+                starts += 1;
+            }
+        });
+        assert_eq!(seen as usize, instrs.len());
+        assert_eq!(starts as usize, expect.len(), "one start per run");
+    }
+
+    #[test]
+    fn next_into_matches_next() {
+        let mut x: u64 = 3;
+        let mut instrs = Vec::new();
+        for i in 0..300u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+            if x.is_multiple_of(7) {
+                instrs.push(Instr::branch(
+                    Addr::new(i * 4),
+                    Addr::new((x >> 20) % 2048 * 4),
+                    x.is_multiple_of(2),
+                    BranchClass::Conditional,
+                ));
+            } else {
+                instrs.push(Instr::alu(Addr::new(i * 4)));
+            }
+        }
+        let by_next: Vec<RunInstrs> = GroupedRuns::new(instrs.iter().copied()).collect();
+        let mut by_into = Vec::new();
+        let mut it = GroupedRuns::new(instrs.iter().copied());
+        let mut scratch = RunInstrs {
+            block: acic_types::BlockAddr::new(0),
+            asid: acic_types::Asid::HOST,
+            instrs: Vec::new(),
+        };
+        while it.next_into(&mut scratch) {
+            by_into.push(scratch.clone());
+        }
+        assert_eq!(by_next, by_into);
+    }
+
+    #[test]
+    fn skip_instrs_drops_pending_and_resumes_grouping() {
+        let instrs: Vec<Instr> = (0..40).map(|i| Instr::alu(Addr::new(i * 4))).collect();
+        let mut runs = GroupedRuns::new(instrs.iter().copied());
+        // Consume one run (16 instrs) — this buffers instruction 16 as
+        // the pending lookahead.
+        assert_eq!(runs.next().unwrap().instrs.len(), 16);
+        // Skip 10 (the pending one + 9 more): resume at instr 26.
+        assert_eq!(runs.skip_instrs_with(10, crate::source::skip_instrs), 10);
+        let resumed = runs.next().unwrap();
+        assert_eq!(resumed.instrs[0].pc(), Addr::new(26 * 4));
+        // Remaining instructions all accounted for.
+        let rest: usize = core::iter::once(resumed.instrs.len())
+            .chain(runs.map(|r| r.instrs.len()))
+            .sum();
+        assert_eq!(rest, 40 - 16 - 10);
+    }
 
     #[test]
     fn grouped_runs_match_block_runs_boundaries() {

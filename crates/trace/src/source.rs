@@ -55,6 +55,20 @@ pub trait TraceSource {
         None
     }
 
+    /// Skips up to `n` instructions on an open pass, returning how
+    /// many were actually skipped (fewer only when the trace ends
+    /// first).
+    ///
+    /// This is the sampled engine's FastForward path: the default
+    /// implementation advances the iterator via [`skip_instrs`],
+    /// which exact-sized, slice-backed sources (e.g. [`VecTrace`])
+    /// satisfy in O(1) — no per-instruction decode work. Generated
+    /// sources fall back to generate-and-discard; an implementation
+    /// with a cheaper state jump may override.
+    fn skip(iter: &mut Self::Iter<'_>, n: u64) -> u64 {
+        skip_instrs(iter, n)
+    }
+
     /// Deterministic seed derived from the trace's name.
     ///
     /// Every simulation path (timing and functional) seeds stochastic
@@ -68,6 +82,32 @@ pub trait TraceSource {
                 .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64)),
         )
     }
+}
+
+/// Advances `iter` past up to `n` items, returning the exact number
+/// consumed.
+///
+/// Exact-sized iterators (`size_hint` with equal bounds, e.g. slice
+/// iterators) are skipped with a single [`Iterator::nth`] call —
+/// O(1) for slices; everything else walks item by item so the count
+/// stays exact even when the iterator ends mid-skip.
+pub fn skip_instrs<I: Iterator>(iter: &mut I, n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let (lo, hi) = iter.size_hint();
+    if hi == Some(lo) {
+        let k = n.min(lo as u64);
+        if k > 0 {
+            iter.nth(k as usize - 1);
+        }
+        return k;
+    }
+    let mut skipped = 0;
+    while skipped < n && iter.next().is_some() {
+        skipped += 1;
+    }
+    skipped
 }
 
 /// An in-memory trace, mainly for tests and examples.
@@ -129,11 +169,82 @@ impl VecTrace {
     }
 }
 
+/// Streaming iterator over a materialized trace.
+///
+/// Yields by copy like `slice::iter().copied()`, but every cache
+/// line's worth of instructions it issues a *non-temporal* host
+/// prefetch a couple of kilobytes ahead. A long trace (hundreds of
+/// megabytes) read at warm-phase rates is a firehose that would
+/// otherwise evict the simulator's tag and predictor arrays from the
+/// host's LLC on every pass; the NTA hint keeps the stream out of the
+/// way. Values are identical to plain slice iteration — the hint has
+/// no architectural effect — and `nth` stays O(1), which is what
+/// [`TraceSource::skip`] relies on.
+#[derive(Clone, Debug)]
+pub struct VecTraceIter<'a> {
+    instrs: &'a [Instr],
+    at: usize,
+}
+
+/// Bytes of lookahead for the streaming prefetch (amortized one hint
+/// per 64 B line).
+const STREAM_AHEAD_BYTES: usize = 2048;
+
+#[inline(always)]
+fn stream_hint(instrs: &[Instr], at: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let per_line = (64 / core::mem::size_of::<Instr>()).max(1);
+        if at.is_multiple_of(per_line) {
+            let ahead = at + STREAM_AHEAD_BYTES / core::mem::size_of::<Instr>();
+            if ahead < instrs.len() {
+                unsafe {
+                    core::arch::x86_64::_mm_prefetch(
+                        instrs.as_ptr().add(ahead) as *const i8,
+                        core::arch::x86_64::_MM_HINT_NTA,
+                    );
+                }
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (instrs, at);
+}
+
+impl Iterator for VecTraceIter<'_> {
+    type Item = Instr;
+
+    #[inline(always)]
+    fn next(&mut self) -> Option<Instr> {
+        let i = self.instrs.get(self.at).copied()?;
+        stream_hint(self.instrs, self.at);
+        self.at += 1;
+        Some(i)
+    }
+
+    #[inline]
+    fn nth(&mut self, n: usize) -> Option<Instr> {
+        self.at = self.at.saturating_add(n);
+        self.next()
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.instrs.len() - self.at.min(self.instrs.len());
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for VecTraceIter<'_> {}
+
 impl TraceSource for VecTrace {
-    type Iter<'a> = core::iter::Copied<core::slice::Iter<'a, Instr>>;
+    type Iter<'a> = VecTraceIter<'a>;
 
     fn iter(&self) -> Self::Iter<'_> {
-        self.instrs.iter().copied()
+        VecTraceIter {
+            instrs: &self.instrs,
+            at: 0,
+        }
     }
 
     fn name(&self) -> &str {
@@ -183,5 +294,36 @@ mod tests {
         let mut t = VecTrace::new(vec![Instr::alu(Addr::new(0))]);
         t.extend([Instr::alu(Addr::new(4))]);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn skip_lands_exactly_where_a_walk_would() {
+        let t: VecTrace = (0..100).map(|i| Instr::alu(Addr::new(i * 4))).collect();
+        let mut fast = t.iter();
+        assert_eq!(VecTrace::skip(&mut fast, 37), 37);
+        let mut slow = t.iter();
+        for _ in 0..37 {
+            slow.next();
+        }
+        assert_eq!(fast.next(), slow.next());
+    }
+
+    #[test]
+    fn skip_past_end_reports_shortfall() {
+        let t: VecTrace = (0..10).map(|i| Instr::alu(Addr::new(i * 4))).collect();
+        let mut it = t.iter();
+        assert_eq!(VecTrace::skip(&mut it, 25), 10);
+        assert_eq!(it.next(), None);
+        // Unsized iterators count exactly too.
+        let mut gen = (0..10u64).map(|i| Instr::alu(Addr::new(i * 4))).fuse();
+        assert_eq!(skip_instrs(&mut gen.by_ref().filter(|_| true), 25), 10);
+    }
+
+    #[test]
+    fn skip_zero_is_a_no_op() {
+        let t: VecTrace = (0..3).map(|i| Instr::alu(Addr::new(i * 4))).collect();
+        let mut it = t.iter();
+        assert_eq!(VecTrace::skip(&mut it, 0), 0);
+        assert_eq!(it.count(), 3);
     }
 }

@@ -47,6 +47,20 @@ impl LruStamps {
         self.stamps.len()
     }
 
+    /// Builds a view from raw per-way stamps (used by flat-array LRU
+    /// policies to materialize one set for inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stamps` is empty.
+    pub fn from_stamps(stamps: &[u64]) -> Self {
+        assert!(!stamps.is_empty(), "need at least one way");
+        LruStamps {
+            clock: stamps.iter().copied().max().unwrap_or(0),
+            stamps: stamps.to_vec(),
+        }
+    }
+
     /// Marks `way` as most recently used.
     ///
     /// # Panics

@@ -1,0 +1,65 @@
+//! Prints the pinned report fields used by `tests/engine_equivalence.rs`.
+//!
+//! Run on a known-good tree to regenerate the golden table:
+//!
+//! ```text
+//! cargo run --release --example golden_capture
+//! ```
+
+use acic_sim::{functional, IcacheOrg, SimConfig, Simulator};
+use acic_trace::TraceSource;
+use acic_workloads::{AppProfile, MultiTenantWorkload, SyntheticWorkload};
+
+fn orgs() -> Vec<(&'static str, IcacheOrg)> {
+    vec![
+        ("lru", IcacheOrg::Lru),
+        ("srrip", IcacheOrg::Srrip),
+        ("acic", IcacheOrg::acic_default()),
+    ]
+}
+
+fn run_one<W: TraceSource>(tag: &str, wl: &W) {
+    for (name, org) in orgs() {
+        let r = Simulator::run(&SimConfig::default().with_org(org.clone()), wl);
+        println!(
+            "(\"{tag}/{name}/timing\", [{}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}]),",
+            r.total_instructions,
+            r.total_cycles,
+            r.measured_instructions,
+            r.measured_cycles,
+            r.l1i.demand_accesses,
+            r.l1i.demand_misses,
+            r.l1i.demand_fills,
+            r.l1i.evictions,
+            r.branch.mispredicts,
+            r.prefetch.issued,
+            r.dram_accesses,
+            r.context_switches,
+            r.acic.map_or(0, |a| a.decisions),
+        );
+        let f = functional::run_functional(&org, wl);
+        println!(
+            "(\"{tag}/{name}/functional\", [{}, {}, {}, {}, {}, {}, 0, 0, 0, 0, 0, {}, {}]),",
+            f.instructions,
+            f.accesses,
+            0,
+            0,
+            f.l1i.demand_accesses,
+            f.l1i.demand_misses,
+            f.context_switches,
+            f.acic.map_or(0, |a| a.decisions),
+        );
+    }
+}
+
+fn main() {
+    let single = SyntheticWorkload::with_instructions(AppProfile::web_search(), 200_000);
+    run_one("1ten", &single);
+    let multi = MultiTenantWorkload::new(10_000)
+        .tenant(AppProfile::web_search(), 50_000)
+        .tenant(AppProfile::tpc_c(), 50_000)
+        .tenant(AppProfile::media_streaming(), 50_000)
+        .tenant(AppProfile::data_serving(), 50_000)
+        .build();
+    run_one("4ten", &multi);
+}
