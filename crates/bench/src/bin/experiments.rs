@@ -8,6 +8,7 @@
 //! cargo run --release -p acic-bench --bin experiments --only fig13_admit_rate
 //! cargo run --release -p acic-bench --bin experiments --smoke     # tiny grid, all figures
 //! cargo run --release -p acic-bench --bin experiments fig1        # substring filter
+//! cargo run --release -p acic-bench --bin experiments --bench-delta  # perf vs baseline
 //! ```
 //!
 //! `--only` matches one figure by exact name (and fails loudly on a
@@ -16,6 +17,13 @@
 //! figure on a tiny grid (50 k instructions per cell, honoring an
 //! explicit `ACIC_EXP_INSTRUCTIONS` if smaller) so the figure wiring
 //! is exercisable in seconds — CI runs exactly this.
+//!
+//! `--bench-delta` skips the figures entirely: it re-measures the
+//! committed `BENCH_baseline.json` throughput cells and prints a JSON
+//! report of percentage deltas, exiting non-zero on a missing/
+//! malformed baseline or a non-finite delta. Combined with `--smoke`
+//! it shrinks the budget to a CI-sized tripwire (deltas then are
+//! noise; the job checks the harness, not the numbers).
 
 type Experiment = (&'static str, fn() -> String);
 
@@ -77,6 +85,18 @@ fn main() {
     if args.iter().any(|a| a == "--list") {
         for (name, _) in &all {
             println!("{name}");
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--bench-delta") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        match acic_bench::delta::bench_delta(smoke) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("bench-delta failed: {e}");
+                std::process::exit(1);
+            }
         }
         return;
     }

@@ -8,8 +8,14 @@ fn main() {
     let path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_baseline.json".to_string());
-    let json = acic_bench::baseline::measure_baseline();
+    // The `vs_prior` reference: an explicit `ACIC_BASELINE_PATH` (the
+    // same override the bench-delta harness honors), else the file
+    // being regenerated — so rewriting a baseline in place records
+    // its own trajectory.
+    let prior_path = std::env::var("ACIC_BASELINE_PATH").unwrap_or_else(|_| path.clone());
+    let prior = std::fs::read_to_string(&prior_path).ok();
+    let json = acic_bench::baseline::measure_baseline_with_prior(prior.as_deref());
     std::fs::write(&path, &json).expect("write baseline file");
     println!("{json}");
-    eprintln!("wrote {path}");
+    eprintln!("wrote {path} (vs_prior reference: {prior_path})");
 }

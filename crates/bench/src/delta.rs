@@ -1,0 +1,131 @@
+//! Perf-regression harness: re-measures the committed throughput
+//! baseline's cells and reports percentage deltas.
+//!
+//! `experiments --bench-delta` re-runs the org rows (naive / batched /
+//! timing for LRU, SRRIP, ACIC) and the multi-tenant functional rows
+//! of `BENCH_baseline.json`, then emits a JSON report with one
+//! `delta_pct` per cell — positive means the working tree is faster
+//! than the committed baseline. `--smoke` shrinks the instruction
+//! budget so CI can exercise the whole path in seconds (the deltas it
+//! prints are then noise; the run only checks for panics and NaNs).
+//!
+//! The committed baseline is read with [`Json`], the crate's
+//! dependency-free recursive-descent parser (`json.rs`).
+
+use crate::baseline::{measure_multi_tenant, measure_org_rows};
+
+pub use crate::json::Json;
+
+/// One re-measured baseline cell.
+struct DeltaCell {
+    /// Dotted path inside the baseline document.
+    path: String,
+    baseline: f64,
+    measured: f64,
+}
+
+impl DeltaCell {
+    fn delta_pct(&self) -> f64 {
+        (self.measured - self.baseline) / self.baseline * 100.0
+    }
+}
+
+/// Instruction budget for `--bench-delta --smoke` (honoring a smaller
+/// explicit `ACIC_BASELINE_INSTRUCTIONS`).
+const SMOKE_INSTRUCTIONS: u64 = 100_000;
+
+/// Re-measures the committed baseline's throughput cells and renders
+/// the delta report. `smoke` shrinks the budget for CI.
+///
+/// # Errors
+///
+/// Returns an error when the baseline file is missing or malformed, a
+/// baseline cell re-measured here is absent from it, or any computed
+/// delta is NaN — `experiments --bench-delta` exits non-zero on all
+/// of these, which is what makes the CI job a regression tripwire.
+pub fn bench_delta(smoke: bool) -> Result<String, String> {
+    let path = std::env::var("ACIC_BASELINE_PATH").unwrap_or_else(|_| "BENCH_baseline.json".into());
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::str_val)
+        .unwrap_or("unknown");
+
+    let instructions = if smoke {
+        crate::baseline::baseline_instructions().min(SMOKE_INSTRUCTIONS)
+    } else {
+        crate::baseline::baseline_instructions()
+    };
+
+    let mut cells: Vec<DeltaCell> = Vec::new();
+    let mut cell = |path: Vec<&str>, measured: f64| -> Result<(), String> {
+        let dotted = path.join(".");
+        let baseline = doc
+            .path(&path)
+            .and_then(Json::num)
+            .ok_or_else(|| format!("baseline cell {dotted} missing from {schema}"))?;
+        cells.push(DeltaCell {
+            path: dotted,
+            baseline,
+            measured,
+        });
+        Ok(())
+    };
+
+    let rows = measure_org_rows(instructions);
+    for r in &rows {
+        cell(vec!["orgs", r.label, "naive_ips"], r.naive_ips)?;
+        cell(vec!["orgs", r.label, "devirt_batched_ips"], r.batched_ips)?;
+        cell(vec!["orgs", r.label, "timing_sim_ips"], r.timing_ips)?;
+    }
+    let (_, mt_rows) = measure_multi_tenant(instructions);
+    for r in &mt_rows {
+        cell(
+            vec!["multi_tenant", "orgs", r.label, "functional_ips"],
+            r.functional_ips,
+        )?;
+    }
+
+    for c in &cells {
+        if !c.delta_pct().is_finite() {
+            return Err(format!("cell {} produced a non-finite delta", c.path));
+        }
+    }
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"acic-bench-delta/v1\",\n");
+    out.push_str(&format!("  \"baseline_schema\": \"{schema}\",\n"));
+    out.push_str(&format!("  \"instructions\": {instructions},\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"cells\": {\n");
+    for (i, c) in cells.iter().enumerate() {
+        // Plain `{:.1}` — a `+` sign prefix would be invalid strict
+        // JSON (negative deltas carry their `-` naturally).
+        out.push_str(&format!(
+            "    \"{}\": {{ \"baseline_ips\": {:.0}, \"measured_ips\": {:.0}, \"delta_pct\": {:.1} }}{}\n",
+            c.path,
+            c.baseline,
+            c.measured,
+            c.delta_pct(),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_cell_math() {
+        let c = DeltaCell {
+            path: "x".into(),
+            baseline: 100.0,
+            measured: 140.0,
+        };
+        assert!((c.delta_pct() - 40.0).abs() < 1e-9);
+    }
+}

@@ -16,7 +16,9 @@
 //! ```
 
 pub mod baseline;
+pub mod delta;
 pub mod figures;
+pub mod json;
 pub mod runner;
 
 pub use runner::{instruction_budget, run_config, run_pair, Runner};

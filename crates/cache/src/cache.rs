@@ -82,6 +82,13 @@ pub struct SetAssocCache {
     /// pathological block addresses) and reconstructs the block on
     /// eviction.
     asids: Vec<u16>,
+    /// Per-set memo of the most recently hit/filled way. Purely a
+    /// probe accelerator: the memoized way's identity is re-verified
+    /// on every use, so a stale memo (after invalidate/flush or an
+    /// eviction that retargeted the way) costs one extra compare and
+    /// nothing else. Run-batched loops revisiting a block shortly
+    /// after its last touch skip the full way scan.
+    mru: Vec<u8>,
     policy: AnyPolicy,
     stats: CacheStats,
 }
@@ -104,6 +111,7 @@ impl SetAssocCache {
             geom,
             ids: vec![INVALID_IDENT; geom.lines()],
             asids: vec![0; geom.lines()],
+            mru: vec![0; geom.sets()],
             policy: policy.into(),
             stats: CacheStats::default(),
         }
@@ -177,6 +185,19 @@ impl SetAssocCache {
         self.find(block).is_some()
     }
 
+    /// MRU-way memo probe: re-verify the last hit/filled way before
+    /// paying the full scan (repeated-set hits short-circuit; a stale
+    /// memo costs one compare and falls through to the scan).
+    #[inline(always)]
+    fn scan_with_memo(&self, set: usize, base: usize, t: TaggedBlock) -> Option<usize> {
+        let m = self.mru[set] as usize;
+        if self.ids[base + m] == t.ident() && self.asids[base + m] == t.asid.raw() {
+            Some(m)
+        } else {
+            self.scan(base, t)
+        }
+    }
+
     /// Performs an access; returns `true` on hit. On hit the policy's
     /// recency/prediction state is updated; on miss the policy
     /// observes the miss but no fill happens (call
@@ -191,8 +212,10 @@ impl SetAssocCache {
     pub fn access(&mut self, ctx: &AccessCtx<'_>) -> bool {
         let t = ctx.tagged();
         let set = self.geom.set_of_tagged(t);
-        let hit = match self.scan(self.geom.line_index(set, 0), t) {
+        let base = self.geom.line_index(set, 0);
+        let hit = match self.scan_with_memo(set, base, t) {
             Some(way) => {
+                self.mru[set] = way as u8;
                 self.policy.on_hit(set, way, ctx);
                 true
             }
@@ -223,6 +246,7 @@ impl SetAssocCache {
         let base0 = self.geom.line_index(set, 0);
         if let Some(way) = self.scan(base0, t) {
             // Duplicate fill (e.g. prefetch raced a demand miss).
+            self.mru[set] = way as u8;
             self.policy.on_hit(set, way, ctx);
             return None;
         }
@@ -241,6 +265,7 @@ impl SetAssocCache {
             .position(|&v| v == INVALID_IDENT)
         {
             self.store_line(base + way, t);
+            self.mru[set] = way as u8;
             self.policy.on_fill(set, way, ctx);
             return None;
         }
@@ -263,6 +288,7 @@ impl SetAssocCache {
             self.stats.evictions += 1;
         }
         self.store_line(base + way, t);
+        self.mru[set] = way as u8;
         self.policy.on_fill(set, way, ctx);
         Some(evicted)
     }
@@ -295,7 +321,8 @@ impl SetAssocCache {
         let set = self.geom.set_of_tagged(t);
         let base = self.geom.line_index(set, 0);
         let ctx = AccessCtx::demand_tagged(t, 0).quiet();
-        if let Some(way) = self.scan(base, t) {
+        if let Some(way) = self.scan_with_memo(set, base, t) {
+            self.mru[set] = way as u8;
             self.policy.on_hit(set, way, &ctx);
             return true;
         }
@@ -306,6 +333,7 @@ impl SetAssocCache {
             .position(|&v| v == INVALID_IDENT)
         {
             self.store_line(base + way, t);
+            self.mru[set] = way as u8;
             self.policy.on_fill(set, way, &ctx);
             return false;
         }
@@ -322,6 +350,7 @@ impl SetAssocCache {
         let evicted = self.line(base + way).expect("victim way valid");
         self.policy.on_evict(set, way, evicted, &ctx);
         self.store_line(base + way, t);
+        self.mru[set] = way as u8;
         self.policy.on_fill(set, way, &ctx);
         false
     }
@@ -384,19 +413,29 @@ impl SetAssocCache {
         dropped
     }
 
-    /// All resident blocks (for tests and invariant checks).
-    pub fn resident_blocks(&self) -> Vec<TaggedBlock> {
-        (0..self.geom.lines())
-            .filter_map(|i| self.line(i))
-            .collect()
+    /// All resident blocks, lazily (line order). Prefer this over
+    /// [`SetAssocCache::resident_blocks`] in per-access loops — it
+    /// materializes nothing.
+    pub fn iter_resident(&self) -> impl Iterator<Item = TaggedBlock> + '_ {
+        (0..self.geom.lines()).filter_map(|i| self.line(i))
     }
 
-    /// Blocks resident in one set (for tests).
-    pub fn set_blocks(&self, set: usize) -> Vec<TaggedBlock> {
+    /// Blocks resident in one set, lazily (way order).
+    pub fn iter_set_blocks(&self, set: usize) -> impl Iterator<Item = TaggedBlock> + '_ {
         let base = self.geom.line_index(set, 0);
-        (0..self.geom.ways())
-            .filter_map(|w| self.line(base + w))
-            .collect()
+        (0..self.geom.ways()).filter_map(move |w| self.line(base + w))
+    }
+
+    /// All resident blocks (for tests and invariant checks); allocates
+    /// — see [`SetAssocCache::iter_resident`] for warm paths.
+    pub fn resident_blocks(&self) -> Vec<TaggedBlock> {
+        self.iter_resident().collect()
+    }
+
+    /// Blocks resident in one set (for tests); allocates — see
+    /// [`SetAssocCache::iter_set_blocks`] for warm paths.
+    pub fn set_blocks(&self, set: usize) -> Vec<TaggedBlock> {
+        self.iter_set_blocks(set).collect()
     }
 }
 

@@ -13,6 +13,18 @@
 //! Adaptation note: as with SHiP and GHRP, the fetch stream has no
 //! load PC, so signatures are hashes of the block address (plus a
 //! prefetch bit in Harmony mode).
+//!
+//! # Hot-path layout
+//!
+//! The OPTgen sampler used to live in a `HashMap<usize, SampledSet>`
+//! keyed by set index, each set holding a `VecDeque` occupancy vector
+//! and a `HashMap` of last-access times. All three are flat now:
+//! sampled sets sit in a dense `Vec` indexed by `set / stride`, the
+//! occupancy vector is a fixed ring, and last-access times live in a
+//! small open-addressed table ([`BlockTimeMap`]) with exact-key
+//! semantics — behaviorally identical to the map it replaces (pinned
+//! by proptest in `tests/hot_structs_equivalence.rs` against
+//! [`LegacySampledSet`]).
 
 use crate::ctx::AccessCtx;
 use crate::geometry::CacheGeometry;
@@ -30,18 +42,261 @@ const PREDICTOR_ENTRIES: usize = 8192;
 const RRPV_BITS: u32 = 3;
 const RRPV_MAX: u8 = (1 << RRPV_BITS) - 1;
 
-/// One sampled set's OPTgen state.
-#[derive(Debug, Default)]
-struct SampledSet {
-    /// Occupancy per time quantum, oldest first; index 0 corresponds
-    /// to time `base_time`.
-    occupancy: VecDeque<u8>,
+/// Sentinel for an empty [`BlockTimeMap`] slot (unreachable by real
+/// identities; see the tag store's encoding argument).
+const EMPTY_IDENT: u64 = u64::MAX;
+
+/// Open-addressed (block -> last access time, signature) table with
+/// exact-key semantics — a drop-in for the sampler's former
+/// `HashMap<TaggedBlock, (u64, u16)>`. Sized so the sampler's trim
+/// bound (`4 * WINDOW` entries plus the one being inserted) keeps the
+/// load factor near 25%; deletion happens only through wholesale
+/// [`BlockTimeMap::trim`] rebuilds, so probing never meets tombstones.
+#[derive(Debug, Clone)]
+pub struct BlockTimeMap {
+    ids: Vec<u64>,
+    asids: Vec<u16>,
+    times: Vec<u64>,
+    sigs: Vec<u16>,
+    mask: usize,
+    len: usize,
+}
+
+impl BlockTimeMap {
+    /// Slot count: next power of two comfortably above the sampler's
+    /// maximum occupancy (`4 * WINDOW + 1`).
+    const SLOTS: usize = 1024;
+
+    /// The sampler trims at `4 * WINDOW` entries and the insert guard
+    /// fires at half the table; tie the two at compile time so a
+    /// larger `WINDOW` cannot silently turn into a runtime panic.
+    const _SLOTS_COVER_TRIM_BOUND: () = assert!(4 * WINDOW < Self::SLOTS / 2);
+
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        BlockTimeMap {
+            ids: vec![EMPTY_IDENT; Self::SLOTS],
+            asids: vec![0; Self::SLOTS],
+            times: vec![0; Self::SLOTS],
+            sigs: vec![0; Self::SLOTS],
+            mask: Self::SLOTS - 1,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn probe(&self, id: u64, asid: u16) -> (usize, bool) {
+        let mut slot = mix64(id) as usize & self.mask;
+        loop {
+            if self.ids[slot] == EMPTY_IDENT {
+                return (slot, false);
+            }
+            if self.ids[slot] == id && self.asids[slot] == asid {
+                return (slot, true);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Last access time and signature recorded for `block`.
+    #[inline]
+    pub fn get(&self, block: TaggedBlock) -> Option<(u64, u16)> {
+        let (slot, found) = self.probe(block.ident(), block.asid.raw());
+        found.then(|| (self.times[slot], self.sigs[slot]))
+    }
+
+    /// Records `block`'s access time and signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller exceeds the sampler's trim bound (the
+    /// sampler trims at `4 * WINDOW` entries, far below capacity).
+    pub fn insert(&mut self, block: TaggedBlock, time: u64, sig: u16) {
+        let id = block.ident();
+        let asid = block.asid.raw();
+        let (slot, found) = self.probe(id, asid);
+        if !found {
+            assert!(self.len < Self::SLOTS / 2, "BlockTimeMap over-filled");
+            self.ids[slot] = id;
+            self.asids[slot] = asid;
+            self.len += 1;
+        }
+        self.times[slot] = time;
+        self.sigs[slot] = sig;
+    }
+
+    /// Number of blocks tracked.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops every entry with time below `cutoff` (the sampler's lazy
+    /// staleness trim), rebuilding the table in place: survivors
+    /// (bounded by the trim threshold, far fewer than the slot count)
+    /// move through a small scratch buffer and the existing lanes are
+    /// reused — no slot-array reallocation.
+    pub fn trim(&mut self, cutoff: u64) {
+        let mut survivors: Vec<(u64, u16, u64, u16)> = Vec::with_capacity(self.len);
+        for i in 0..self.ids.len() {
+            if self.ids[i] != EMPTY_IDENT && self.times[i] >= cutoff {
+                survivors.push((self.ids[i], self.asids[i], self.times[i], self.sigs[i]));
+            }
+        }
+        self.ids.fill(EMPTY_IDENT);
+        self.len = survivors.len();
+        for &(id, asid, time, sig) in &survivors {
+            let (slot, _) = self.probe(id, asid);
+            self.ids[slot] = id;
+            self.asids[slot] = asid;
+            self.times[slot] = time;
+            self.sigs[slot] = sig;
+        }
+    }
+}
+
+impl Default for BlockTimeMap {
+    fn default() -> Self {
+        BlockTimeMap::new()
+    }
+}
+
+/// One sampled set's OPTgen state, all-flat: a fixed ring for the
+/// occupancy vector and a [`BlockTimeMap`] for last-access times.
+#[derive(Debug, Clone)]
+pub struct SampledSet {
+    /// Occupancy ring; logical index 0 is the oldest quantum.
+    occ: [u8; WINDOW + 1],
+    occ_start: usize,
+    occ_len: usize,
     /// Set-local logical time of the next access.
     time: u64,
     /// Block identity -> (last access time, signature used at that
     /// access). Keyed by tagged identity so tenants' overlapping VAs
     /// never merge OPTgen generations.
+    last: BlockTimeMap,
+}
+
+impl Default for SampledSet {
+    fn default() -> Self {
+        SampledSet::new()
+    }
+}
+
+impl SampledSet {
+    /// Creates an empty sampled set.
+    pub fn new() -> Self {
+        SampledSet {
+            occ: [0; WINDOW + 1],
+            occ_start: 0,
+            occ_len: 0,
+            time: 0,
+            last: BlockTimeMap::new(),
+        }
+    }
+
+    #[inline]
+    fn occ_idx(&self, logical: usize) -> usize {
+        (self.occ_start + logical) % (WINDOW + 1)
+    }
+
+    /// Occupancy-vector length (test hook).
+    pub fn occ_len(&self) -> usize {
+        self.occ_len
+    }
+
+    /// Tracked-block count (test hook).
+    pub fn last_len(&self) -> usize {
+        self.last.len()
+    }
+
+    /// Runs one OPTgen access for `block` with signature `sig`;
+    /// returns the (signature, cache-friendly) training outcome, if
+    /// this access closed a reuse interval inside the window.
+    pub fn optgen_step(&mut self, block: TaggedBlock, sig: u16, ways: u8) -> Option<(u16, bool)> {
+        let now = self.time;
+        self.time += 1;
+
+        let mut train: Option<(u16, bool)> = None;
+        if let Some((t_prev, prev_sig)) = self.last.get(block) {
+            let window_start = now.saturating_sub(self.occ_len as u64);
+            if t_prev >= window_start {
+                let start = (t_prev - window_start) as usize;
+                let fits = (start..self.occ_len).all(|i| self.occ[self.occ_idx(i)] < ways);
+                if fits {
+                    for i in start..self.occ_len {
+                        self.occ[self.occ_idx(i)] += 1;
+                    }
+                }
+                train = Some((prev_sig, fits));
+            }
+        }
+        self.last.insert(block, now, sig);
+        // push_back(0)
+        let tail = self.occ_idx(self.occ_len);
+        self.occ[tail] = 0;
+        self.occ_len += 1;
+        if self.occ_len > WINDOW {
+            // pop_front
+            self.occ_start = (self.occ_start + 1) % (WINDOW + 1);
+            self.occ_len -= 1;
+            // Lazily trim stale block entries to bound memory.
+            if self.last.len() > 4 * WINDOW {
+                let cutoff = now.saturating_sub(WINDOW as u64);
+                self.last.trim(cutoff);
+            }
+        }
+        train
+    }
+}
+
+/// The original map/deque-backed sampled set, retained as the
+/// behavioral reference for [`SampledSet`] (equivalence-pinned by
+/// proptest).
+#[derive(Debug, Default)]
+pub struct LegacySampledSet {
+    occupancy: VecDeque<u8>,
+    time: u64,
     last: HashMap<TaggedBlock, (u64, u16)>,
+}
+
+impl LegacySampledSet {
+    /// Runs one OPTgen access (same contract as
+    /// [`SampledSet::optgen_step`]).
+    pub fn optgen_step(&mut self, block: TaggedBlock, sig: u16, ways: u8) -> Option<(u16, bool)> {
+        let now = self.time;
+        self.time += 1;
+
+        let mut train: Option<(u16, bool)> = None;
+        if let Some(&(t_prev, prev_sig)) = self.last.get(&block) {
+            let window_start = now.saturating_sub(self.occupancy.len() as u64);
+            if t_prev >= window_start {
+                let start = (t_prev - window_start) as usize;
+                let fits = self.occupancy.iter().skip(start).all(|&o| o < ways);
+                if fits {
+                    for o in self.occupancy.iter_mut().skip(start) {
+                        *o += 1;
+                    }
+                }
+                train = Some((prev_sig, fits));
+            }
+        }
+        self.last.insert(block, (now, sig));
+        self.occupancy.push_back(0);
+        if self.occupancy.len() > WINDOW {
+            self.occupancy.pop_front();
+            if self.last.len() > 4 * WINDOW {
+                let cutoff = now.saturating_sub(WINDOW as u64);
+                self.last.retain(|_, &mut (t, _)| t >= cutoff);
+            }
+        }
+        train
+    }
 }
 
 /// Per-line replacement metadata.
@@ -60,7 +315,9 @@ pub struct HawkeyePolicy {
     prefetch_aware: bool,
     lines: Vec<LineMeta>,
     predictor: Vec<SatCounter>,
-    sampled: HashMap<usize, SampledSet>,
+    /// Dense sampler array: sampled set `s` (where
+    /// `s % sample_mask == 0`) lives at index `s / sample_mask`.
+    sampled: Vec<SampledSet>,
 }
 
 impl HawkeyePolicy {
@@ -68,13 +325,14 @@ impl HawkeyePolicy {
     pub fn new(geom: CacheGeometry, prefetch_aware: bool) -> Self {
         // Sample roughly one in eight sets (at least one).
         let stride = (geom.sets() / 8).max(1);
+        let sampled_sets = (geom.sets().saturating_sub(1)) / stride + 1;
         HawkeyePolicy {
             ways: geom.ways(),
             sample_mask: stride,
             prefetch_aware,
             lines: vec![LineMeta::default(); geom.lines()],
             predictor: vec![SatCounter::new(3, 4); PREDICTOR_ENTRIES],
-            sampled: HashMap::new(),
+            sampled: vec![SampledSet::new(); sampled_sets],
         }
     }
 
@@ -87,6 +345,7 @@ impl HawkeyePolicy {
         fold(hashed, 13) as u16
     }
 
+    #[inline]
     fn is_sampled(&self, set: usize) -> bool {
         set.is_multiple_of(self.sample_mask)
     }
@@ -104,35 +363,8 @@ impl HawkeyePolicy {
     fn optgen_access(&mut self, set: usize, ctx: &AccessCtx<'_>) {
         let ways = self.ways as u8;
         let sig = self.signature(ctx.tagged(), ctx.is_prefetch);
-        let entry = self.sampled.entry(set).or_default();
-        let now = entry.time;
-        entry.time += 1;
-
-        let mut train: Option<(u16, bool)> = None;
-        if let Some(&(t_prev, prev_sig)) = entry.last.get(&ctx.tagged()) {
-            let window_start = now.saturating_sub(entry.occupancy.len() as u64);
-            if t_prev >= window_start {
-                let start = (t_prev - window_start) as usize;
-                let fits = entry.occupancy.iter().skip(start).all(|&o| o < ways);
-                if fits {
-                    for o in entry.occupancy.iter_mut().skip(start) {
-                        *o += 1;
-                    }
-                }
-                train = Some((prev_sig, fits));
-            }
-        }
-        entry.last.insert(ctx.tagged(), (now, sig));
-        entry.occupancy.push_back(0);
-        if entry.occupancy.len() > WINDOW {
-            entry.occupancy.pop_front();
-            // Lazily trim stale block entries to bound memory.
-            if entry.last.len() > 4 * WINDOW {
-                let cutoff = now.saturating_sub(WINDOW as u64);
-                entry.last.retain(|_, &mut (t, _)| t >= cutoff);
-            }
-        }
-        if let Some((sig, friendly)) = train {
+        let entry = &mut self.sampled[set / self.sample_mask];
+        if let Some((sig, friendly)) = entry.optgen_step(ctx.tagged(), sig, ways) {
             self.train(sig, friendly);
         }
     }
@@ -308,8 +540,40 @@ mod tests {
         for i in 0..1000u64 {
             p.on_miss(0, &ctx(i % 100, i));
         }
-        let s = p.sampled.get(&0).unwrap();
-        assert!(s.occupancy.len() <= WINDOW);
-        assert!(s.last.len() <= 4 * WINDOW + 1);
+        let s = &p.sampled[0];
+        assert!(s.occ_len() <= WINDOW);
+        assert!(s.last_len() <= 4 * WINDOW + 1);
+    }
+
+    #[test]
+    fn sampler_matches_legacy_on_a_dense_sequence() {
+        // Deterministic spot-check of the proptest pin: the flat
+        // sampler must emit the exact training sequence of the
+        // map/deque one.
+        let mut flat = SampledSet::new();
+        let mut legacy = LegacySampledSet::default();
+        let mut seq = 0u64;
+        for i in 0..2000u64 {
+            seq = seq.wrapping_mul(6364136223846793005).wrapping_add(i);
+            let b = tb(seq % 90);
+            let sig = (seq % 512) as u16;
+            assert_eq!(
+                flat.optgen_step(b, sig, 2),
+                legacy.optgen_step(b, sig, 2),
+                "step {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_time_map_trim_drops_stale_entries() {
+        let mut m = BlockTimeMap::new();
+        for t in 0..10u64 {
+            m.insert(tb(t), t, t as u16);
+        }
+        m.trim(5);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.get(tb(9)), Some((9, 9)));
+        assert_eq!(m.get(tb(1)), None);
     }
 }

@@ -8,7 +8,7 @@
 //! opened either way so the predictor keeps learning.
 
 use crate::config::AcicConfig;
-use crate::cshr::{Cshr, CshrStats, UnboundedCshr};
+use crate::cshr::{Cshr, CshrStats, ResolutionBuf, UnboundedCshr};
 use crate::filter::IFilter;
 use crate::partial_tag;
 use crate::predictor::AdmissionPredictor;
@@ -101,7 +101,13 @@ pub struct AcicIcache {
     cache: SetAssocCache,
     predictor: AdmissionPredictor,
     cshr: Cshr,
-    unbounded: Option<UnboundedCshr>,
+    /// Reused CSHR search buffer — the access path never allocates.
+    resolutions: ResolutionBuf,
+    /// Figure-6 instrumentation, gated behind
+    /// [`AcicIcache::with_unbounded_instrumentation`]: boxed so a
+    /// default run carries one cold pointer instead of three inline
+    /// `HashMap` headers in the middle of the hot fields.
+    unbounded: Option<Box<UnboundedCshr>>,
     now: Cycle,
     stats: CacheStats,
     acic_stats: AcicStats,
@@ -122,6 +128,7 @@ impl AcicIcache {
             cache: SetAssocCache::new(cfg.icache, PolicyKind::Lru.build(cfg.icache)),
             predictor: AdmissionPredictor::new(&cfg),
             cshr: Cshr::new(cfg.cshr_sets, cfg.cshr_ways(), cfg.icache.sets()),
+            resolutions: ResolutionBuf::new(),
             unbounded: None,
             now: 0,
             stats: CacheStats::default(),
@@ -131,8 +138,10 @@ impl AcicIcache {
     }
 
     /// Enables the unbounded-CSHR instrumentation used by Figure 6.
+    /// This is the only way its bookkeeping maps come into existence —
+    /// default runs pay nothing for them.
     pub fn with_unbounded_instrumentation(mut self) -> Self {
-        self.unbounded = Some(UnboundedCshr::new());
+        self.unbounded = Some(Box::new(UnboundedCshr::new()));
         self
     }
 
@@ -148,7 +157,7 @@ impl AcicIcache {
 
     /// Unbounded-CSHR instrumentation results, if enabled.
     pub fn unbounded_cshr(&self) -> Option<&UnboundedCshr> {
-        self.unbounded.as_ref()
+        self.unbounded.as_deref()
     }
 
     /// The configuration in effect.
@@ -251,10 +260,11 @@ impl IcacheContents for AcicIcache {
     fn access(&mut self, ctx: &AccessCtx<'_>) -> AccessOutcome {
         if !ctx.is_prefetch {
             // Fetch requests search the CSHR (§III-B) and resolve
-            // outstanding comparisons.
+            // outstanding comparisons into the reused buffer.
             let set = self.cfg.icache.set_of_tagged(ctx.tagged());
-            let resolutions = self.cshr.search(self.ptag(ctx.tagged()), set);
-            for r in resolutions {
+            self.cshr
+                .search_into(self.ptag(ctx.tagged()), set, &mut self.resolutions);
+            for &r in self.resolutions.as_slice() {
                 self.predictor.train(r.victim_ptag, r.victim_won, self.now);
             }
             if let Some(u) = self.unbounded.as_mut() {

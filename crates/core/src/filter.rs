@@ -6,9 +6,19 @@
 //! the filter overflows, its LRU block becomes the *i-Filter victim*
 //! whose admission into the i-cache ACIC decides.
 
-use acic_types::{LruStamps, TaggedBlock};
+use acic_types::{Asid, LruStamps, TaggedBlock};
+
+/// Sentinel identity marking an empty slot; unreachable by real
+/// identities (see `acic_cache`'s tag store, which uses the same
+/// encoding argument).
+const EMPTY_IDENT: u64 = u64::MAX;
 
 /// A fully-associative LRU buffer of instruction blocks.
+///
+/// Probed on every fetch, so slots are stored structure-of-arrays:
+/// one flattened-ident `u64` lane scanned as a straight single-word
+/// loop (the ASID lane confirms matches and reconstructs victims),
+/// exactly like the main tag store.
 ///
 /// # Examples
 ///
@@ -27,7 +37,8 @@ use acic_types::{LruStamps, TaggedBlock};
 /// ```
 #[derive(Debug)]
 pub struct IFilter {
-    slots: Vec<Option<TaggedBlock>>,
+    ids: Vec<u64>,
+    asids: Vec<u16>,
     lru: LruStamps,
 }
 
@@ -41,19 +52,20 @@ impl IFilter {
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0, "i-Filter needs at least one slot");
         IFilter {
-            slots: vec![None; entries],
+            ids: vec![EMPTY_IDENT; entries],
+            asids: vec![0; entries],
             lru: LruStamps::new(entries),
         }
     }
 
     /// Number of slots.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.ids.len()
     }
 
     /// Number of blocks currently buffered.
     pub fn len(&self) -> usize {
-        self.slots.iter().flatten().count()
+        self.ids.iter().filter(|&&id| id != EMPTY_IDENT).count()
     }
 
     /// Whether the filter holds no blocks.
@@ -61,16 +73,45 @@ impl IFilter {
         self.len() == 0
     }
 
+    /// The block stored in `slot`, if any.
+    #[inline]
+    fn slot_block(&self, slot: usize) -> Option<TaggedBlock> {
+        (self.ids[slot] != EMPTY_IDENT)
+            .then(|| TaggedBlock::from_ident(self.ids[slot], Asid::new(self.asids[slot])))
+    }
+
+    /// Slot holding `t`, if buffered. Single-word ident scan with an
+    /// ASID confirm on match (same soundness argument as the tag
+    /// store's scan).
+    // Explicit slice loop (not `Iterator::find` over indices) so the
+    // ident compare compiles to a straight bounds-check-free scan —
+    // this runs once per fetch in the ACIC hot path.
+    #[allow(clippy::manual_find)]
+    #[inline]
+    fn find(&self, t: TaggedBlock) -> Option<usize> {
+        let id = t.ident();
+        let asid = t.asid.raw();
+        let ids = self.ids.as_slice();
+        let asids = self.asids.as_slice();
+        for s in 0..ids.len() {
+            if ids[s] == id && asids[s] == asid {
+                return Some(s);
+            }
+        }
+        None
+    }
+
     /// Whether `block` is buffered (no state change).
+    #[inline]
     pub fn contains(&self, block: impl Into<TaggedBlock>) -> bool {
-        self.slots.contains(&Some(block.into()))
+        self.find(block.into()).is_some()
     }
 
     /// Looks up `block`; on hit refreshes its recency and returns
     /// `true`.
+    #[inline]
     pub fn access(&mut self, block: impl Into<TaggedBlock>) -> bool {
-        let block = block.into();
-        if let Some(slot) = self.slots.iter().position(|&s| s == Some(block)) {
+        if let Some(slot) = self.find(block.into()) {
             self.lru.touch(slot);
             true
         } else {
@@ -88,12 +129,14 @@ impl IFilter {
     pub fn insert(&mut self, block: impl Into<TaggedBlock>) -> Option<TaggedBlock> {
         let block = block.into();
         debug_assert!(!self.contains(block), "duplicate i-Filter insert");
-        let slot = match self.slots.iter().position(|s| s.is_none()) {
+        debug_assert_ne!(block.ident(), EMPTY_IDENT, "block collides with sentinel");
+        let slot = match self.ids.iter().position(|&id| id == EMPTY_IDENT) {
             Some(free) => free,
             None => self.lru.lru_way(),
         };
-        let victim = self.slots[slot].take();
-        self.slots[slot] = Some(block);
+        let victim = self.slot_block(slot);
+        self.ids[slot] = block.ident();
+        self.asids[slot] = block.asid.raw();
         self.lru.touch(slot);
         victim
     }
@@ -101,9 +144,8 @@ impl IFilter {
     /// Removes `block` if present (used when a block is promoted or
     /// invalidated externally).
     pub fn remove(&mut self, block: impl Into<TaggedBlock>) -> bool {
-        let block = block.into();
-        if let Some(slot) = self.slots.iter().position(|&s| s == Some(block)) {
-            self.slots[slot] = None;
+        if let Some(slot) = self.find(block.into()) {
+            self.ids[slot] = EMPTY_IDENT;
             self.lru.clear(slot);
             true
         } else {
@@ -113,11 +155,8 @@ impl IFilter {
 
     /// Blocks currently buffered, MRU first (for tests).
     pub fn resident_blocks(&self) -> Vec<TaggedBlock> {
-        let mut with_stamp: Vec<(u64, TaggedBlock)> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &b)| b.map(|b| (self.lru.stamp(i), b)))
+        let mut with_stamp: Vec<(u64, TaggedBlock)> = (0..self.ids.len())
+            .filter_map(|i| self.slot_block(i).map(|b| (self.lru.stamp(i), b)))
             .collect();
         with_stamp.sort_by_key(|&(s, _)| u64::MAX - s);
         with_stamp.into_iter().map(|(_, b)| b).collect()

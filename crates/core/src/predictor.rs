@@ -10,6 +10,19 @@
 //! per-entry queue) before becoming visible, so predictions can read
 //! slightly stale state — Figure 14 shows this costs almost nothing,
 //! which this implementation reproduces.
+//!
+//! # Hot-path layout
+//!
+//! [`TwoLevelPredictor::tick`] runs once per simulated cycle (timing)
+//! or block access (functional). The PT update queues are therefore
+//! flat fixed-capacity ring buffers carved out of one contiguous
+//! allocation (`queue_slots` slots per PT entry) instead of per-entry
+//! `VecDeque`s, and the predictor tracks the total number of pending
+//! updates plus the earliest due cycle — the overwhelmingly common
+//! "nothing is due" tick is a two-compare early exit that never walks
+//! the queues. [`LegacyTwoLevelPredictor`] retains the `VecDeque`
+//! implementation as the behavioral reference, pinned by an
+//! equivalence proptest (`tests/hot_structs_equivalence.rs`).
 
 use crate::config::{AcicConfig, PredictorKind, UpdateMode};
 use acic_types::hash::{mix64, SplitMix64};
@@ -27,12 +40,31 @@ struct PendingUpdate {
     increment: bool,
 }
 
-/// The paper's two-level HRT + PT admission predictor.
+impl PendingUpdate {
+    const EMPTY: PendingUpdate = PendingUpdate {
+        apply_at: 0,
+        increment: false,
+    };
+}
+
+/// The paper's two-level HRT + PT admission predictor, with the PT
+/// update queues packed into one flat ring-buffer arena.
 #[derive(Debug)]
 pub struct TwoLevelPredictor {
     hrt: Vec<HistoryReg>,
     pt: Vec<SatCounter>,
-    queues: Vec<VecDeque<PendingUpdate>>,
+    /// Ring-buffer arena: `queue_slots` contiguous slots per PT entry.
+    ring: Vec<PendingUpdate>,
+    /// Per-entry ring head index (slot of the oldest pending update).
+    head: Vec<u8>,
+    /// Per-entry ring occupancy.
+    qlen: Vec<u8>,
+    /// Pending updates across all queues — lets `tick` exit without
+    /// touching the arena when the pipeline is drained.
+    pending_total: u32,
+    /// Earliest `apply_at` among all queue heads (`Cycle::MAX` when
+    /// drained); a tick before this cycle cannot apply anything.
+    earliest_apply: Cycle,
     queue_slots: usize,
     mode: UpdateMode,
     /// Last cycle each HRT entry was written (enforces the paper's
@@ -44,11 +76,25 @@ pub struct TwoLevelPredictor {
 
 impl TwoLevelPredictor {
     /// Builds the predictor from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pt_queue_slots` exceeds the ring occupancy counter's
+    /// range (255 — the paper uses 10).
     pub fn new(cfg: &AcicConfig) -> Self {
+        assert!(
+            cfg.pt_queue_slots <= u8::MAX as usize,
+            "pt_queue_slots {} exceeds ring counter range",
+            cfg.pt_queue_slots
+        );
         TwoLevelPredictor {
             hrt: vec![HistoryReg::new(cfg.history_bits); cfg.hrt_entries],
             pt: vec![SatCounter::new_weakly_high(cfg.pt_counter_bits); cfg.pt_entries()],
-            queues: vec![VecDeque::new(); cfg.pt_entries()],
+            ring: vec![PendingUpdate::EMPTY; cfg.pt_entries() * cfg.pt_queue_slots],
+            head: vec![0; cfg.pt_entries()],
+            qlen: vec![0; cfg.pt_entries()],
+            pending_total: 0,
+            earliest_apply: Cycle::MAX,
             queue_slots: cfg.pt_queue_slots,
             mode: cfg.update_mode,
             hrt_last_write: vec![Cycle::MAX; cfg.hrt_entries],
@@ -89,13 +135,19 @@ impl TwoLevelPredictor {
                 // (read in cycle 1, PT written in cycle 2 at the
                 // earliest, later if queued behind other updates).
                 let pattern = self.hrt[idx].value() as usize;
-                if self.queues[pattern].len() >= self.queue_slots {
+                if self.qlen[pattern] as usize >= self.queue_slots {
                     self.dropped_updates += 1;
                 } else {
-                    self.queues[pattern].push_back(PendingUpdate {
-                        apply_at: now + UPDATE_LATENCY,
+                    let slot = (self.head[pattern] as usize + self.qlen[pattern] as usize)
+                        % self.queue_slots;
+                    let apply_at = now + UPDATE_LATENCY;
+                    self.ring[pattern * self.queue_slots + slot] = PendingUpdate {
+                        apply_at,
                         increment: victim_won,
-                    });
+                    };
+                    self.qlen[pattern] += 1;
+                    self.pending_total += 1;
+                    self.earliest_apply = self.earliest_apply.min(apply_at);
                 }
                 // The history register itself is updated right after
                 // its value is handed to the PT updater.
@@ -106,7 +158,142 @@ impl TwoLevelPredictor {
 
     /// Advances the update pipeline: each PT entry's queue head is
     /// applied once its latency has elapsed (one pop per entry per
-    /// cycle, as in Figure 8).
+    /// cycle, as in Figure 8). When nothing can be due — the usual
+    /// case on both simulation hot loops — this returns after two
+    /// compares without touching the queues.
+    #[inline]
+    pub fn tick(&mut self, now: Cycle) {
+        if self.pending_total == 0 || now < self.earliest_apply {
+            return;
+        }
+        self.tick_slow(now);
+    }
+
+    fn tick_slow(&mut self, now: Cycle) {
+        let mut next_earliest = Cycle::MAX;
+        for pattern in 0..self.pt.len() {
+            if self.qlen[pattern] == 0 {
+                continue;
+            }
+            let base = pattern * self.queue_slots;
+            let h = self.head[pattern] as usize;
+            let upd = self.ring[base + h];
+            if upd.apply_at <= now {
+                self.pt[pattern].update(upd.increment);
+                self.head[pattern] = ((h + 1) % self.queue_slots) as u8;
+                self.qlen[pattern] -= 1;
+                self.pending_total -= 1;
+                if self.qlen[pattern] > 0 {
+                    let nh = self.head[pattern] as usize;
+                    next_earliest = next_earliest.min(self.ring[base + nh].apply_at);
+                }
+            } else {
+                next_earliest = next_earliest.min(upd.apply_at);
+            }
+        }
+        self.earliest_apply = next_earliest;
+    }
+
+    /// Drains all pending updates (end-of-simulation bookkeeping).
+    pub fn flush(&mut self) {
+        for pattern in 0..self.pt.len() {
+            let base = pattern * self.queue_slots;
+            while self.qlen[pattern] > 0 {
+                let h = self.head[pattern] as usize;
+                let upd = self.ring[base + h];
+                self.pt[pattern].update(upd.increment);
+                self.head[pattern] = ((h + 1) % self.queue_slots) as u8;
+                self.qlen[pattern] -= 1;
+                self.pending_total -= 1;
+            }
+        }
+        self.earliest_apply = Cycle::MAX;
+    }
+
+    /// PT counter value for a pattern (test hook).
+    pub fn pt_value(&self, pattern: usize) -> u16 {
+        self.pt[pattern].value()
+    }
+
+    /// History value currently associated with `ptag` (test hook).
+    pub fn history_of(&self, ptag: u16) -> u32 {
+        self.hrt[self.hrt_index(ptag)].value()
+    }
+}
+
+/// The original `VecDeque`-queued two-level predictor, retained as the
+/// behavioral reference for the ring-buffered [`TwoLevelPredictor`]
+/// (equivalence-pinned by proptest, measured against by the
+/// `hot_structs` bench group).
+#[derive(Debug)]
+pub struct LegacyTwoLevelPredictor {
+    hrt: Vec<HistoryReg>,
+    pt: Vec<SatCounter>,
+    queues: Vec<VecDeque<PendingUpdate>>,
+    queue_slots: usize,
+    mode: UpdateMode,
+    hrt_last_write: Vec<Cycle>,
+    /// Updates dropped due to queue overflow or HRT write conflicts.
+    pub dropped_updates: u64,
+}
+
+impl LegacyTwoLevelPredictor {
+    /// Builds the reference predictor from a configuration.
+    pub fn new(cfg: &AcicConfig) -> Self {
+        LegacyTwoLevelPredictor {
+            hrt: vec![HistoryReg::new(cfg.history_bits); cfg.hrt_entries],
+            pt: vec![SatCounter::new_weakly_high(cfg.pt_counter_bits); cfg.pt_entries()],
+            queues: vec![VecDeque::new(); cfg.pt_entries()],
+            queue_slots: cfg.pt_queue_slots,
+            mode: cfg.update_mode,
+            hrt_last_write: vec![Cycle::MAX; cfg.hrt_entries],
+            dropped_updates: 0,
+        }
+    }
+
+    fn hrt_index(&self, ptag: u16) -> usize {
+        (mix64(ptag as u64) as usize) & (self.hrt.len() - 1)
+    }
+
+    /// Predicts admission for `ptag` (same contract as
+    /// [`TwoLevelPredictor::predict`]).
+    pub fn predict(&self, ptag: u16) -> bool {
+        let pattern = self.hrt[self.hrt_index(ptag)].value() as usize;
+        self.pt[pattern].is_high()
+    }
+
+    /// Trains with a resolved comparison (same contract as
+    /// [`TwoLevelPredictor::train`]).
+    pub fn train(&mut self, ptag: u16, victim_won: bool, now: Cycle) {
+        let idx = self.hrt_index(ptag);
+        match self.mode {
+            UpdateMode::Instant => {
+                let pattern = self.hrt[idx].value() as usize;
+                self.pt[pattern].update(victim_won);
+                self.hrt[idx].push(victim_won);
+            }
+            UpdateMode::Pipelined => {
+                if self.hrt_last_write[idx] == now {
+                    self.dropped_updates += 1;
+                    return;
+                }
+                self.hrt_last_write[idx] = now;
+                let pattern = self.hrt[idx].value() as usize;
+                if self.queues[pattern].len() >= self.queue_slots {
+                    self.dropped_updates += 1;
+                } else {
+                    self.queues[pattern].push_back(PendingUpdate {
+                        apply_at: now + UPDATE_LATENCY,
+                        increment: victim_won,
+                    });
+                }
+                self.hrt[idx].push(victim_won);
+            }
+        }
+    }
+
+    /// Advances the update pipeline (same contract as
+    /// [`TwoLevelPredictor::tick`]).
     pub fn tick(&mut self, now: Cycle) {
         if self.mode == UpdateMode::Instant {
             return;
@@ -121,7 +308,8 @@ impl TwoLevelPredictor {
         }
     }
 
-    /// Drains all pending updates (end-of-simulation bookkeeping).
+    /// Drains all pending updates (same contract as
+    /// [`TwoLevelPredictor::flush`]).
     pub fn flush(&mut self) {
         for (pattern, queue) in self.queues.iter_mut().enumerate() {
             while let Some(upd) = queue.pop_front() {
@@ -231,6 +419,7 @@ impl AdmissionPredictor {
     }
 
     /// Advances pipelined updates.
+    #[inline]
     pub fn tick(&mut self, now: Cycle) {
         if let AdmissionPredictor::TwoLevel(p) = self {
             p.tick(now);
@@ -332,6 +521,33 @@ mod tests {
         p.train(2, true, 1);
         p.train(3, true, 2);
         assert_eq!(p.dropped_updates, 1);
+    }
+
+    #[test]
+    fn ring_wraps_across_many_trains_and_ticks() {
+        // Force the ring head around its capacity several times: one
+        // update per cycle with a tick each cycle keeps occupancy low
+        // while the head index wraps repeatedly.
+        let cfg = AcicConfig {
+            pt_queue_slots: 3,
+            ..AcicConfig::default()
+        };
+        let mut p = TwoLevelPredictor::new(&cfg);
+        let mut legacy = LegacyTwoLevelPredictor::new(&cfg);
+        for now in 0..200u64 {
+            let tag = (now % 17) as u16;
+            let won = now % 3 == 0;
+            p.train(tag, won, now);
+            legacy.train(tag, won, now);
+            p.tick(now);
+            legacy.tick(now);
+        }
+        p.flush();
+        legacy.flush();
+        for pattern in 0..16 {
+            assert_eq!(p.pt_value(pattern), legacy.pt_value(pattern));
+        }
+        assert_eq!(p.dropped_updates, legacy.dropped_updates);
     }
 
     #[test]

@@ -77,17 +77,27 @@ fn bench_impl(
     throughput: Option<Throughput>,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
+    // Quick mode (`ACIC_BENCH_QUICK=1`): a smoke pass that exercises
+    // every benchmark body with drastically smaller samples — CI uses
+    // it to keep bench code from rotting without paying measurement-
+    // grade wall time. Numbers printed in quick mode are noisy.
+    let quick = std::env::var_os("ACIC_BENCH_QUICK").is_some();
+    let (calib_ms, sample_ns, sample_size) = if quick {
+        (2, 1e7, sample_size.min(3))
+    } else {
+        (50, 3e8, sample_size)
+    };
     // Calibrate: grow the iteration count until one sample takes at
-    // least ~50 ms, then size samples to ~300 ms each.
+    // least the calibration floor, then size samples to the budget.
     let mut iters = 1u64;
     let per_iter_ns = loop {
         let t = run_one(f, iters);
-        if t >= Duration::from_millis(50) || iters >= 1 << 24 {
+        if t >= Duration::from_millis(calib_ms) || iters >= 1 << 24 {
             break (t.as_nanos() as f64 / iters as f64).max(0.1);
         }
         iters = iters.saturating_mul(4);
     };
-    let sample_iters = ((3e8 / per_iter_ns) as u64).clamp(1, 1 << 24);
+    let sample_iters = ((sample_ns / per_iter_ns) as u64).clamp(1, 1 << 24);
     let mut samples: Vec<f64> = (0..sample_size.max(1))
         .map(|_| run_one(f, sample_iters).as_nanos() as f64 / sample_iters as f64)
         .collect();

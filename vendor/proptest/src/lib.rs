@@ -45,6 +45,90 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (mirrors proptest's
+    /// `Strategy::prop_map`).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value (mirrors
+/// proptest's `Just`).
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Equal-weight union of strategies over one value type; built by
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Creates an empty union (generation panics until an option is
+    /// added).
+    pub fn new() -> Self {
+        Union {
+            options: Vec::new(),
+        }
+    }
+
+    /// Adds one alternative.
+    pub fn or(mut self, s: impl Strategy<Value = T> + 'static) -> Self {
+        self.options.push(Box::new(s));
+        self
+    }
+}
+
+impl<T> Default for Union<T> {
+    fn default() -> Self {
+        Union::new()
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "empty prop_oneof!");
+        let idx = (rng.next_u64() as usize) % self.options.len();
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Equal-weight choice between strategies yielding the same type
+/// (mirrors proptest's `prop_oneof!`, without weight syntax).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new()$(.or($s))+
+    };
 }
 
 macro_rules! impl_int_strategy {
@@ -158,8 +242,8 @@ pub mod collection {
 
 /// The usual glob-import surface.
 pub mod prelude {
-    pub use crate::{collection, Any, Strategy, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{collection, Any, Just, Map, Strategy, TestRng, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// Strategy generating arbitrary values of `T`.
     pub fn any<T>() -> Any<T>
