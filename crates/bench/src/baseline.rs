@@ -13,6 +13,7 @@
 //!
 //! Scale with `ACIC_BASELINE_INSTRUCTIONS` (default 1 M).
 
+use crate::runner::{Runner, WorkloadSpec};
 use acic_cache::policy::PolicyKind;
 use acic_cache::{AccessCtx, CacheGeometry, SetAssocCache};
 use acic_sim::{functional, IcacheOrg, SampleSchedule, SimConfig, Simulator};
@@ -210,6 +211,149 @@ pub fn measure_multi_tenant(instructions: u64) -> (VecTrace, Vec<MtRow>) {
     (trace, rows)
 }
 
+/// The `trace` section: packed-replay vs generator-decode throughput
+/// and the spec-deduplicated grid's wall-clock win (shared with the
+/// `--bench-delta` regression harness).
+pub struct TraceSection {
+    /// Workload the throughput legs freeze/replay.
+    pub workload: &'static str,
+    /// Instructions per throughput leg and per grid cell.
+    pub instructions: u64,
+    /// Encoded size of the frozen trace (bytes per instruction; the
+    /// `Instr` record is 24).
+    pub packed_bytes_per_instr: f64,
+    /// Instructions per second producing the stream from the Markov
+    /// walker (what every grid cell used to pay).
+    pub generator_ips: f64,
+    /// Instructions per second replaying the frozen arena.
+    pub packed_replay_ips: f64,
+    /// `packed_replay_ips / generator_ips`.
+    pub replay_over_generate: f64,
+    /// Instructions per grid cell in the wall-clock comparison.
+    pub grid_instructions: u64,
+    /// Configurations in the measured figure grid.
+    pub grid_configs: usize,
+    /// Workload specs in the measured figure grid.
+    pub grid_specs: usize,
+    /// Wall seconds for the grid with per-cell regeneration (the
+    /// pre-freeze scheduler).
+    pub grid_regen_secs: f64,
+    /// Wall seconds for the same grid with spec-deduplicated frozen
+    /// traces.
+    pub grid_frozen_secs: f64,
+    /// `grid_regen_secs / grid_frozen_secs` — the ISSUE-5 acceptance
+    /// cell (target ≥ 2).
+    pub grid_wall_ratio: f64,
+}
+
+/// Instruction budget per grid cell for the trace section's
+/// wall-clock comparison: `ACIC_TRACE_GRID_INSTRUCTIONS` or 20 M
+/// (matching the sampled leg's scale — the regime full-scale figure
+/// grids run in, where fast-forward dominates each cell).
+pub fn trace_grid_instructions() -> u64 {
+    std::env::var("ACIC_TRACE_GRID_INSTRUCTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000_000)
+}
+
+/// Orgs of the measured figure grid: a Figure-15-style sensitivity
+/// column (baseline schemes plus ACIC parameter variants — the shape
+/// where one frozen spec is replayed by the most configuration rows).
+fn trace_grid_orgs() -> Vec<IcacheOrg> {
+    use acic_core::AcicConfig;
+    vec![
+        IcacheOrg::Lru,
+        IcacheOrg::Srrip,
+        IcacheOrg::Larger36k,
+        IcacheOrg::IFilterAlways,
+        IcacheOrg::Ghrp,
+        IcacheOrg::acic_default(),
+        IcacheOrg::Acic(AcicConfig {
+            hrt_entries: 2048,
+            ..AcicConfig::default()
+        }),
+        IcacheOrg::Acic(AcicConfig {
+            filter_entries: 32,
+            ..AcicConfig::default()
+        }),
+        IcacheOrg::Acic(AcicConfig {
+            history_bits: 8,
+            ..AcicConfig::default()
+        }),
+        IcacheOrg::Acic(AcicConfig {
+            pt_counter_bits: 2,
+            ..AcicConfig::default()
+        }),
+    ]
+}
+
+/// Measures the trace-layer cells: packed-replay vs generator-decode
+/// throughput at `instructions`, and the same (10 orgs × 2 SPEC apps)
+/// sampled figure grid run twice at `grid_instructions` — once
+/// regenerating each cell's workload from its spec (the pre-freeze
+/// scheduler, kept as [`Runner::run_grid_regenerating`]) and once
+/// through the frozen spec-keyed scheduler. The grid legs run once
+/// each (the simulated work is deterministic and the expected gap is
+/// ~2×, far above wall noise); the per-instruction legs keep
+/// best-of-3.
+pub fn measure_trace(instructions: u64, grid_instructions: u64) -> TraceSection {
+    let spec = WorkloadSpec::Single(AppProfile::web_search());
+    let n = instructions as f64;
+    // Consume the streams into a fold the optimizer cannot drop.
+    let (gen_secs, _) = best_of(|| {
+        spec.generator(instructions)
+            .iter()
+            .fold(0u64, |a, i| a ^ i.pc().raw())
+    });
+    let packed = spec.materialize(instructions);
+    let (replay_secs, _) = best_of(|| packed.iter().fold(0u64, |a, i| a ^ i.pc().raw()));
+
+    // The documented sampled schedule when the budget can hold it; a
+    // proportionally scaled one for smoke-sized budgets.
+    let schedule = if grid_instructions >= 2_800_000 {
+        SampleSchedule::Periodic {
+            period: 700_000,
+            warmup_len: 90_000,
+            detailed_len: 22_000,
+        }
+    } else {
+        SampleSchedule::Periodic {
+            period: (grid_instructions / 4).max(4),
+            warmup_len: (grid_instructions / 16).max(1),
+            detailed_len: (grid_instructions / 32).max(1),
+        }
+    };
+    let runner = Runner {
+        instructions: grid_instructions,
+        baseline: SimConfig::default().with_schedule(schedule),
+    };
+    let configs: Vec<SimConfig> = trace_grid_orgs()
+        .into_iter()
+        .map(|o| runner.baseline.with_org(o))
+        .collect();
+    let specs = vec![
+        WorkloadSpec::Single(AppProfile::sibench()),
+        WorkloadSpec::Single(AppProfile::x264()),
+    ];
+    let (regen_secs, _) = time(|| runner.run_grid_regenerating(&configs, &specs));
+    let (frozen_secs, _) = time(|| runner.run_grid(&configs, &specs));
+    TraceSection {
+        workload: "web-search",
+        instructions,
+        packed_bytes_per_instr: packed.bytes_per_instr(),
+        generator_ips: n / gen_secs,
+        packed_replay_ips: n / replay_secs,
+        replay_over_generate: gen_secs / replay_secs,
+        grid_instructions,
+        grid_configs: configs.len(),
+        grid_specs: specs.len(),
+        grid_regen_secs: regen_secs,
+        grid_frozen_secs: frozen_secs,
+        grid_wall_ratio: regen_secs / frozen_secs,
+    }
+}
+
 /// One sampled-vs-full comparison cell for the `sampled` section.
 struct SampledRow {
     label: &'static str,
@@ -316,6 +460,7 @@ pub fn measure_baseline_with_prior(prior: Option<&str>) -> String {
     ));
     let rows = measure_org_rows(instructions);
     let (mt_trace, mt_rows) = measure_multi_tenant(instructions);
+    let trace = measure_trace(instructions, trace_grid_instructions());
     let sampled = measure_sampled();
     render_json(
         instructions,
@@ -323,6 +468,7 @@ pub fn measure_baseline_with_prior(prior: Option<&str>) -> String {
         &rows,
         &mt_trace,
         &mt_rows,
+        &trace,
         &sampled,
         prior,
     )
@@ -385,17 +531,19 @@ fn render_vs_prior(out: &mut String, rows: &[OrgRow], mt_rows: &[MtRow], prior: 
     out.push_str("  },\n");
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     instructions: u64,
     workload: &VecTrace,
     rows: &[OrgRow],
     mt_trace: &VecTrace,
     mt_rows: &[MtRow],
+    trace: &TraceSection,
     sampled: &SampledRow,
     prior: Option<&str>,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"acic-throughput-baseline/v4\",\n");
+    out.push_str("  \"schema\": \"acic-throughput-baseline/v5\",\n");
     out.push_str(&format!("  \"instructions\": {instructions},\n"));
     out.push_str(&format!("  \"workload\": \"{}\",\n", workload.name()));
     out.push_str("  \"trace_materialized\": true,\n");
@@ -446,6 +594,48 @@ fn render_json(
             "      },\n"
         });
     }
+    out.push_str("    }\n  },\n");
+    out.push_str("  \"trace\": {\n");
+    out.push_str(&format!("    \"workload\": \"{}\",\n", trace.workload));
+    out.push_str(&format!("    \"instructions\": {},\n", trace.instructions));
+    out.push_str(&format!(
+        "    \"packed_bytes_per_instr\": {:.2},\n",
+        trace.packed_bytes_per_instr
+    ));
+    out.push_str(&format!(
+        "    \"generator_ips\": {:.0},\n",
+        trace.generator_ips
+    ));
+    out.push_str(&format!(
+        "    \"packed_replay_ips\": {:.0},\n",
+        trace.packed_replay_ips
+    ));
+    out.push_str(&format!(
+        "    \"replay_over_generate\": {:.2},\n",
+        trace.replay_over_generate
+    ));
+    out.push_str("    \"grid\": {\n");
+    out.push_str(&format!(
+        "      \"instructions\": {},\n",
+        trace.grid_instructions
+    ));
+    out.push_str(&format!("      \"configs\": {},\n", trace.grid_configs));
+    out.push_str(&format!("      \"specs\": {},\n", trace.grid_specs));
+    out.push_str(
+        "      \"schedule\": \"periodic (700k period, 90k warmup, 22k detailed; scaled below 2.8M)\",\n",
+    );
+    out.push_str(&format!(
+        "      \"regen_secs\": {:.3},\n",
+        trace.grid_regen_secs
+    ));
+    out.push_str(&format!(
+        "      \"frozen_secs\": {:.3},\n",
+        trace.grid_frozen_secs
+    ));
+    out.push_str(&format!(
+        "      \"wall_ratio\": {:.2}\n",
+        trace.grid_wall_ratio
+    ));
     out.push_str("    }\n  },\n");
     if let Some(prior) = prior {
         render_vs_prior(&mut out, rows, mt_rows, prior);
@@ -513,6 +703,20 @@ mod tests {
             mpki: 12.0,
             context_switches: 9,
         }];
+        let trace = TraceSection {
+            workload: "web-search",
+            instructions: 1_000,
+            packed_bytes_per_instr: 2.5,
+            generator_ips: 5e7,
+            packed_replay_ips: 2.5e8,
+            replay_over_generate: 5.0,
+            grid_instructions: 20_000_000,
+            grid_configs: 10,
+            grid_specs: 2,
+            grid_regen_secs: 10.0,
+            grid_frozen_secs: 4.0,
+            grid_wall_ratio: 2.5,
+        };
         let sampled = SampledRow {
             label: "acic_web_search_default_schedule",
             instructions: 20_000_000,
@@ -524,12 +728,15 @@ mod tests {
             full_mpki: 2.20,
             sampled_mpki: 2.20,
         };
-        let j = render_json(1_000, &wl, &rows, &wl, &mt_rows, &sampled, None);
-        assert!(j.contains("\"schema\": \"acic-throughput-baseline/v4\""));
+        let j = render_json(1_000, &wl, &rows, &wl, &mt_rows, &trace, &sampled, None);
+        assert!(j.contains("\"schema\": \"acic-throughput-baseline/v5\""));
         assert!(j.contains("\"multi_tenant\""));
         assert!(j.contains("\"context_switches\": 9"));
         assert!(j.contains("\"naive_path\": \"boxed_unbatched\""));
         assert!(j.contains("\"devirt_batched_ips\": 2500000"));
+        assert!(j.contains("\"trace\""));
+        assert!(j.contains("\"packed_replay_ips\": 250000000"));
+        assert!(j.contains("\"wall_ratio\": 2.50"));
         assert!(j.contains("\"sampled\""));
         assert!(j.contains("\"speedup\": 10.00"));
         assert!(j.contains("\"windows\": 26"));
@@ -547,7 +754,16 @@ mod tests {
   "orgs": { "lru": { "devirt_batched_ips": 1250000, "timing_sim_ips": 250000 } },
   "multi_tenant": { "orgs": { "lru_flush": { "functional_ips": 500000 } } }
 }"#;
-        let j = render_json(1_000, &wl, &rows, &wl, &mt_rows, &sampled, Some(prior));
+        let j = render_json(
+            1_000,
+            &wl,
+            &rows,
+            &wl,
+            &mt_rows,
+            &trace,
+            &sampled,
+            Some(prior),
+        );
         assert!(j.contains("\"vs_prior\""));
         assert!(j.contains("\"prior_schema\": \"acic-throughput-baseline/v3\""));
         assert!(j.contains("\"lru_devirt_batched_ips\": 2.00"));

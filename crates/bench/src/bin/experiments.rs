@@ -24,6 +24,24 @@
 //! malformed baseline or a non-finite delta. Combined with `--smoke`
 //! it shrinks the budget to a CI-sized tripwire (deltas then are
 //! noise; the job checks the harness, not the numbers).
+//!
+//! Record/replay:
+//!
+//! ```text
+//! cargo run --release -p acic-bench --bin experiments -- --record-traces traces/ fig11
+//! cargo run --release -p acic-bench --bin experiments -- --traces traces/ fig11
+//! cargo run --release -p acic-bench --bin experiments -- --trace-smoke
+//! ```
+//!
+//! `--record-traces <dir>` freezes every workload the selected
+//! figures touch into `<dir>/<spec>-<budget>.acictrace` containers;
+//! `--traces <dir>` replays those containers instead of re-running
+//! the generator (specs with no recorded container fall back to
+//! generation with a note) — drop in externally recorded traces under
+//! the right key and they become first-class workloads. The two flags
+//! are mutually exclusive. `--trace-smoke` runs the record → replay →
+//! bit-identity check CI relies on and exits non-zero on the first
+//! divergence.
 
 type Experiment = (&'static str, fn() -> String);
 
@@ -78,8 +96,20 @@ fn all_experiments() -> Vec<Experiment> {
 /// `ACIC_EXP_INSTRUCTIONS`.
 const SMOKE_INSTRUCTIONS: u64 = 50_000;
 
+/// Extracts `--flag <value>` from the argument list, returning the
+/// value and removing both tokens.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{flag} requires a directory argument");
+        std::process::exit(2);
+    }
+    args.remove(pos);
+    Some(args.remove(pos))
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let all = all_experiments();
 
     if args.iter().any(|a| a == "--list") {
@@ -87,6 +117,41 @@ fn main() {
             println!("{name}");
         }
         return;
+    }
+
+    if args.iter().any(|a| a == "--trace-smoke") {
+        match acic_bench::trace_store::trace_smoke(SMOKE_INSTRUCTIONS) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("trace-smoke failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let record = take_flag_value(&mut args, "--record-traces");
+    let replay = take_flag_value(&mut args, "--traces");
+    match (record, replay) {
+        (Some(_), Some(_)) => {
+            eprintln!("--record-traces and --traces are mutually exclusive");
+            std::process::exit(2);
+        }
+        (Some(dir), None) => {
+            eprintln!("[recording frozen traces into {dir}]");
+            acic_bench::trace_store::configure(acic_bench::trace_store::TraceStoreMode::Record(
+                dir.into(),
+            ))
+            .expect("trace store configured before first use");
+        }
+        (None, Some(dir)) => {
+            eprintln!("[replaying recorded traces from {dir}]");
+            acic_bench::trace_store::configure(acic_bench::trace_store::TraceStoreMode::Replay(
+                dir.into(),
+            ))
+            .expect("trace store configured before first use");
+        }
+        (None, None) => {}
     }
 
     if args.iter().any(|a| a == "--bench-delta") {

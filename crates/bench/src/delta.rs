@@ -2,8 +2,10 @@
 //! baseline's cells and reports percentage deltas.
 //!
 //! `experiments --bench-delta` re-runs the org rows (naive / batched /
-//! timing for LRU, SRRIP, ACIC) and the multi-tenant functional rows
-//! of `BENCH_baseline.json`, then emits a JSON report with one
+//! timing for LRU, SRRIP, ACIC), the multi-tenant functional rows,
+//! and the trace-layer cells (generator vs packed-replay throughput,
+//! spec-deduplicated grid wall ratio) of `BENCH_baseline.json`, then
+//! emits a JSON report with one
 //! `delta_pct` per cell — positive means the working tree is faster
 //! than the committed baseline. `--smoke` shrinks the instruction
 //! budget so CI can exercise the whole path in seconds (the deltas it
@@ -12,7 +14,7 @@
 //! The committed baseline is read with [`Json`], the crate's
 //! dependency-free recursive-descent parser (`json.rs`).
 
-use crate::baseline::{measure_multi_tenant, measure_org_rows};
+use crate::baseline::{measure_multi_tenant, measure_org_rows, measure_trace};
 
 pub use crate::json::Json;
 
@@ -86,6 +88,19 @@ pub fn bench_delta(smoke: bool) -> Result<String, String> {
             r.functional_ips,
         )?;
     }
+    let tr = measure_trace(
+        instructions,
+        if smoke {
+            instructions
+        } else {
+            crate::baseline::trace_grid_instructions()
+        },
+    );
+    cell(vec!["trace", "generator_ips"], tr.generator_ips)?;
+    cell(vec!["trace", "packed_replay_ips"], tr.packed_replay_ips)?;
+    // A ratio, not an IPS — still a higher-is-better throughput cell,
+    // so the same delta convention (positive = improvement) applies.
+    cell(vec!["trace", "grid", "wall_ratio"], tr.grid_wall_ratio)?;
 
     for c in &cells {
         if !c.delta_pct().is_finite() {

@@ -4,13 +4,14 @@
 use crate::runner::{
     instruction_budget, markdown_table, run_config, short_name, Runner, WorkloadSpec,
 };
+use crate::trace_store;
 use acic_core::acic::{ACCURACY_BOUNDS, INSERT_DELTA_LABELS};
 use acic_core::{AcicConfig, PredictorKind, UpdateMode};
 use acic_energy::{storage_table_rows, EnergyModel};
-use acic_sim::{IcacheOrg, PrefetcherKind, SimConfig, SimReport};
+use acic_sim::{IcacheOrg, PrefetcherKind, SimConfig, SimReport, Simulator};
 use acic_trace::{BlockRuns, MarkovChain, ReuseBucket, StackDistanceAnalyzer, TraceSource};
 use acic_types::stats::{gmean, mean};
-use acic_workloads::{AppProfile, SyntheticWorkload};
+use acic_workloads::AppProfile;
 
 fn dc_apps() -> Vec<AppProfile> {
     AppProfile::datacenter_suite()
@@ -43,7 +44,7 @@ pub fn fig01a_reuse_hist() -> String {
     let n = instruction_budget();
     let mut rows = Vec::new();
     for p in dc_apps() {
-        let wl = SyntheticWorkload::with_instructions(p, n);
+        let wl = trace_store::freeze(&WorkloadSpec::Single(p), n);
         let blocks: Vec<_> = wl.iter().map(|i| i.pc().block()).collect();
         let h = StackDistanceAnalyzer::histogram(&blocks);
         let f = h.fractions();
@@ -67,8 +68,10 @@ pub fn fig01a_reuse_hist() -> String {
 /// Figure 1b: Markov chain of reuse-distance buckets in media
 /// streaming.
 pub fn fig01b_markov() -> String {
-    let wl =
-        SyntheticWorkload::with_instructions(AppProfile::media_streaming(), instruction_budget());
+    let wl = trace_store::freeze(
+        &WorkloadSpec::Single(AppProfile::media_streaming()),
+        instruction_budget(),
+    );
     let seq: Vec<_> = BlockRuns::new(wl.iter()).map(|r| r.block).collect();
     let chain = MarkovChain::from_sequence(&seq);
     let mut header = vec!["from \\ to".to_string()];
@@ -821,10 +824,12 @@ pub fn sampling_error() -> String {
     .collect();
     let mut rows = Vec::new();
     for spec in &specs {
+        // One freeze per spec; every (org, schedule) cell replays it.
+        let trace = trace_store::freeze(spec, n);
         for org in &orgs {
             let cfg = SimConfig::default().with_org(org.clone());
             let t0 = Instant::now();
-            let full = spec.run(&cfg, n);
+            let full = Simulator::run(&cfg, trace.as_ref());
             let full_secs = t0.elapsed().as_secs_f64();
             for &period in &periods {
                 for &div in &detail_divs {
@@ -836,7 +841,7 @@ pub fn sampling_error() -> String {
                         detailed_len,
                     };
                     let t1 = Instant::now();
-                    let sampled = spec.run(&cfg.with_schedule(sched), n);
+                    let sampled = Simulator::run(&cfg.with_schedule(sched), trace.as_ref());
                     let secs = t1.elapsed().as_secs_f64();
                     let ipc_err = if full.ipc() > 0.0 {
                         (sampled.ipc() - full.ipc()).abs() / full.ipc() * 100.0

@@ -20,5 +20,6 @@ pub mod delta;
 pub mod figures;
 pub mod json;
 pub mod runner;
+pub mod trace_store;
 
-pub use runner::{instruction_budget, run_config, run_pair, Runner};
+pub use runner::{instruction_budget, run_config, run_pair, run_spec, Runner, WorkloadSpec};

@@ -1,10 +1,25 @@
-//! Shared experiment plumbing: instruction budgets, parallel
-//! simulation fan-out, and markdown rendering.
+//! Shared experiment plumbing: instruction budgets, spec-keyed frozen
+//! traces, parallel simulation fan-out, and markdown rendering.
+//!
+//! Every experiment path acquires instructions the same way now: a
+//! [`WorkloadSpec`] is frozen **once** into an immutable
+//! [`PackedTrace`] (via [`crate::trace_store::freeze`], which also
+//! serves `--record-traces`/`--traces`), and every configuration row,
+//! thread, and repeat replays the shared `Arc` zero-copy. A
+//! C-config × A-spec grid therefore pays A generation passes instead
+//! of C × A — the generation cost that used to dominate figure wall
+//! time after the simulators got fast. Replay is bit-identical to
+//! generation (same stream, same name-derived seeds), pinned by
+//! `frozen_grid_matches_generator_backed_runs` below.
 
 use acic_sim::{IcacheOrg, PrefetcherKind, SampleSchedule, SimConfig, SimReport, Simulator};
-use acic_workloads::{AppProfile, MultiTenantWorkload, SyntheticWorkload};
+use acic_trace::PackedTrace;
+use acic_workloads::AppProfile;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
+
+pub use acic_workloads::{short_name, split_budget, WorkloadSpec};
 
 /// Instructions simulated per application: `ACIC_EXP_INSTRUCTIONS` or
 /// 1 M (the paper runs 500 M–1 B; shapes stabilize well below that).
@@ -38,85 +53,99 @@ pub fn bench_threads() -> usize {
     )
 }
 
-/// One cell's workload in an experiment grid: a single application,
-/// or a quantum-scheduled multi-tenant interleave.
-///
-/// The grid instruction budget is the *total* per cell either way —
-/// a multi-tenant cell splits it evenly across its tenants so cells
-/// stay cycle-comparable.
-#[derive(Clone, Debug)]
-pub enum WorkloadSpec {
-    /// One application, the whole budget.
-    Single(AppProfile),
-    /// `profiles` interleaved with `quantum` instructions per
-    /// timeslice.
-    MultiTenant {
-        /// Tenant profiles (PCs overlap across tenants by design).
-        profiles: Vec<AppProfile>,
-        /// Context-switch quantum in instructions.
-        quantum: u64,
-    },
-}
-
-impl WorkloadSpec {
-    /// Wraps a list of applications as single-tenant specs.
-    pub fn singles(apps: &[AppProfile]) -> Vec<WorkloadSpec> {
-        apps.iter().cloned().map(WorkloadSpec::Single).collect()
+/// Work-stealing parallel map over `0..work`: an atomic cursor hands
+/// out indices so long items (OPT cells, oracle pre-passes) don't
+/// serialize behind static chunking. Results come back in index
+/// order; `f` runs on worker threads.
+fn fan_out<T: Send>(work: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if work == 0 {
+        return Vec::new();
     }
-
-    /// Short label for figure columns.
-    pub fn label(&self) -> String {
-        match self {
-            WorkloadSpec::Single(p) => short_name(&p.name),
-            WorkloadSpec::MultiTenant { profiles, quantum } => {
-                format!("{}ten/q{}k", profiles.len(), quantum / 1000)
-            }
-        }
-    }
-
-    /// Runs this spec under `cfg` with a total budget of
-    /// `instructions`.
-    pub fn run(&self, cfg: &SimConfig, instructions: u64) -> SimReport {
-        match self {
-            WorkloadSpec::Single(profile) => {
-                let wl = SyntheticWorkload::with_instructions(profile.clone(), instructions);
-                Simulator::run(cfg, &wl)
-            }
-            WorkloadSpec::MultiTenant { profiles, quantum } => {
-                let per_tenant = instructions / profiles.len().max(1) as u64;
-                let mut builder = MultiTenantWorkload::new(*quantum);
-                for p in profiles {
-                    builder = builder.tenant(p.clone(), per_tenant);
+    let threads = bench_threads().min(work);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let next_ref = &next;
+    let f_ref = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= work {
+                    break;
                 }
-                let wl = builder.build();
-                Simulator::run(cfg, &wl)
+                tx.send((i, f_ref(i))).expect("collector outlives workers");
+            });
+        }
+    });
+    drop(tx);
+    let mut out: Vec<Option<T>> = (0..work).map(|_| None).collect();
+    for (i, v) in rx {
+        out[i] = Some(v);
+    }
+    out.into_iter()
+        .map(|v| v.expect("all work completed"))
+        .collect()
+}
+
+/// Freezes every spec in `specs` exactly once (structurally equal
+/// specs share one frozen trace) and returns the per-spec shared
+/// handles, in input order. Freezing fans out across the bench worker
+/// pool — each distinct spec is one generation+encode pass.
+pub fn freeze_specs(specs: &[WorkloadSpec], instructions: u64) -> Vec<Arc<PackedTrace>> {
+    // Dedup by structural equality: map every spec to the ordinal of
+    // its first occurrence.
+    let mut unique: Vec<usize> = Vec::new();
+    let mut to_unique: Vec<usize> = Vec::with_capacity(specs.len());
+    for (i, s) in specs.iter().enumerate() {
+        match specs[..i].iter().position(|t| t == s) {
+            Some(j) => to_unique.push(to_unique[j]),
+            None => {
+                to_unique.push(unique.len());
+                unique.push(i);
             }
         }
     }
+    let frozen = fan_out(unique.len(), |u| {
+        crate::trace_store::freeze(&specs[unique[u]], instructions)
+    });
+    to_unique.into_iter().map(|u| frozen[u].clone()).collect()
 }
 
-impl From<AppProfile> for WorkloadSpec {
-    fn from(p: AppProfile) -> Self {
-        WorkloadSpec::Single(p)
-    }
+/// Runs one spec under `cfg` by replaying its frozen trace.
+pub fn run_spec(cfg: &SimConfig, spec: &WorkloadSpec, instructions: u64) -> SimReport {
+    let trace = crate::trace_store::freeze(spec, instructions);
+    Simulator::run(cfg, trace.as_ref())
 }
 
-/// Runs one (configuration, application) pair.
+/// Runs one spec under `cfg` straight off the generator — the
+/// pre-freeze path, kept (a) as the reference the bit-identity tests
+/// pin packed replay against and (b) as the regeneration leg the perf
+/// harness measures the frozen grid's win over.
+pub fn run_spec_generated(cfg: &SimConfig, spec: &WorkloadSpec, instructions: u64) -> SimReport {
+    Simulator::run(cfg, &spec.generator(instructions))
+}
+
+/// Runs one (configuration, application) pair over the app's frozen
+/// trace.
 pub fn run_config(cfg: &SimConfig, profile: &AppProfile, instructions: u64) -> SimReport {
-    let wl = SyntheticWorkload::with_instructions(profile.clone(), instructions);
-    Simulator::run(cfg, &wl)
+    run_spec(cfg, &WorkloadSpec::Single(profile.clone()), instructions)
 }
 
 /// Runs a candidate configuration and the matching baseline on the
-/// same workload; returns `(candidate, baseline)`.
+/// same frozen workload (one freeze, two replays); returns
+/// `(candidate, baseline)`.
 pub fn run_pair(
     cfg: &SimConfig,
     baseline: &SimConfig,
     profile: &AppProfile,
     instructions: u64,
 ) -> (SimReport, SimReport) {
-    let wl = SyntheticWorkload::with_instructions(profile.clone(), instructions);
-    (Simulator::run(cfg, &wl), Simulator::run(baseline, &wl))
+    let trace = crate::trace_store::freeze(&WorkloadSpec::Single(profile.clone()), instructions);
+    (
+        Simulator::run(cfg, trace.as_ref()),
+        Simulator::run(baseline, trace.as_ref()),
+    )
 }
 
 /// A parallel fan-out over (organization x application) grids.
@@ -158,55 +187,55 @@ impl Runner {
     /// Runs every (config, workload spec) pair in parallel, returning
     /// results in `configs x specs` order.
     ///
-    /// Scheduling is work-stealing (an atomic cursor over the cell
-    /// list) so long cells (OPT, oracle pre-passes) don't serialize
-    /// behind static chunking; thread count follows available
-    /// parallelism, overridable via `ACIC_BENCH_THREADS` (clamped to
-    /// ≥ 1 — handy for pinning CI or sharing a box). Results are
-    /// identical to a serial loop regardless
-    /// of thread interleaving: each cell's workload seed derives only
-    /// from its spec (profiles + quantum), and the simulator's
-    /// internal seeds derive only from the workload name — never from
-    /// cell order, thread identity, or wall-clock time (asserted by
-    /// `grid_is_deterministic_and_matches_serial`).
+    /// Scheduling is spec-keyed: each distinct spec is frozen into a
+    /// [`PackedTrace`] exactly once (in parallel), then the
+    /// config × spec cells replay the shared `Arc`s under
+    /// work-stealing (an atomic cursor over the cell list) so long
+    /// cells (OPT, oracle pre-passes) don't serialize behind static
+    /// chunking. Thread count follows available parallelism,
+    /// overridable via `ACIC_BENCH_THREADS` (clamped to ≥ 1 — handy
+    /// for pinning CI or sharing a box). Results are identical to a
+    /// serial generator-backed loop regardless of thread
+    /// interleaving: packed replay is bit-identical to generation,
+    /// each cell's workload seed derives only from its spec (profiles
+    /// and quantum), and the simulator's internal seeds derive only
+    /// from the workload name — never from cell order, thread
+    /// identity, or wall-clock time (asserted by
+    /// `frozen_grid_matches_generator_backed_runs`).
     pub fn run_grid(&self, configs: &[SimConfig], specs: &[WorkloadSpec]) -> Vec<Vec<SimReport>> {
-        let mut work: Vec<(usize, usize)> = Vec::new();
-        for c in 0..configs.len() {
-            for a in 0..specs.len() {
-                work.push((c, a));
-            }
-        }
-        let next = AtomicUsize::new(0);
-        let threads = bench_threads().min(work.len().max(1));
-        let (tx, rx) = mpsc::channel::<(usize, SimReport)>();
-        let work_ref = &work;
-        let next_ref = &next;
-        let instructions = self.instructions;
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let tx = tx.clone();
-                scope.spawn(move || loop {
-                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
-                    if i >= work_ref.len() {
-                        break;
-                    }
-                    let (c, a) = work_ref[i];
-                    let report = specs[a].run(&configs[c], instructions);
-                    tx.send((i, report)).expect("collector outlives workers");
-                });
-            }
+        let traces = freeze_specs(specs, self.instructions);
+        let flat = fan_out(configs.len() * specs.len(), |i| {
+            let (c, a) = (i / specs.len(), i % specs.len());
+            Simulator::run(&configs[c], traces[a].as_ref())
         });
-        drop(tx);
-        let mut flat: Vec<Option<SimReport>> = vec![None; work.len()];
-        for (i, report) in rx {
-            flat[i] = Some(report);
-        }
-        let mut grid: Vec<Vec<SimReport>> = Vec::with_capacity(configs.len());
+        Self::into_rows(flat, specs.len())
+    }
+
+    /// The pre-freeze grid: every cell regenerates its workload from
+    /// the spec. Kept only so the perf harness can measure the frozen
+    /// grid's improvement against it (`BENCH_baseline.json`'s
+    /// `trace.grid` section) — experiments should use
+    /// [`Runner::run_grid`].
+    pub fn run_grid_regenerating(
+        &self,
+        configs: &[SimConfig],
+        specs: &[WorkloadSpec],
+    ) -> Vec<Vec<SimReport>> {
+        let instructions = self.instructions;
+        let flat = fan_out(configs.len() * specs.len(), |i| {
+            let (c, a) = (i / specs.len(), i % specs.len());
+            run_spec_generated(&configs[c], &specs[a], instructions)
+        });
+        Self::into_rows(flat, specs.len())
+    }
+
+    fn into_rows(flat: Vec<SimReport>, row_len: usize) -> Vec<Vec<SimReport>> {
+        let mut grid: Vec<Vec<SimReport>> = Vec::new();
         let mut it = flat.into_iter();
-        for _ in 0..configs.len() {
-            let mut row = Vec::with_capacity(specs.len());
-            for _ in 0..specs.len() {
-                row.push(it.next().flatten().expect("all work completed"));
+        loop {
+            let row: Vec<SimReport> = it.by_ref().take(row_len).collect();
+            if row.is_empty() {
+                break;
             }
             grid.push(row);
         }
@@ -247,11 +276,6 @@ pub fn markdown_table(header: &[String], rows: &[Vec<String>]) -> String {
         out.push_str(&format!("| {} |\n", row.join(" | ")));
     }
     out
-}
-
-/// Short names used as figure columns.
-pub fn short_name(app: &str) -> String {
-    app.replace("-analytics", "").replace("-http", "")
 }
 
 #[cfg(test)]
@@ -316,24 +340,49 @@ mod tests {
     }
 
     #[test]
-    fn grid_is_deterministic_and_matches_serial() {
+    fn freeze_specs_shares_structurally_equal_specs() {
+        let a = WorkloadSpec::Single(AppProfile::sibench());
+        let specs = vec![a.clone(), WorkloadSpec::Single(AppProfile::x264()), a];
+        let traces = freeze_specs(&specs, 1_000);
+        assert_eq!(traces.len(), 3);
+        assert!(
+            Arc::ptr_eq(&traces[0], &traces[2]),
+            "equal specs share one frozen arena"
+        );
+        assert!(!Arc::ptr_eq(&traces[0], &traces[1]));
+    }
+
+    /// The acceptance pin: a frozen, spec-deduplicated grid is
+    /// bit-identical to serial generator-backed runs — across
+    /// configs, single- and multi-tenant specs, and repeats.
+    #[test]
+    fn frozen_grid_matches_generator_backed_runs() {
         let runner = Runner {
             instructions: 4_000,
             baseline: SimConfig::default(),
         };
-        let apps = vec![AppProfile::sibench(), AppProfile::x264()];
+        let specs = vec![
+            WorkloadSpec::Single(AppProfile::sibench()),
+            WorkloadSpec::MultiTenant {
+                profiles: vec![AppProfile::sibench(), AppProfile::x264()],
+                quantum: 500,
+            },
+        ];
         let configs = vec![
             SimConfig::default(),
             SimConfig::default().with_org(IcacheOrg::Srrip),
         ];
-        let parallel_a = runner.run_grid(&configs, &WorkloadSpec::singles(&apps));
-        let parallel_b = runner.run_grid(&configs, &WorkloadSpec::singles(&apps));
+        let parallel_a = runner.run_grid(&configs, &specs);
+        let parallel_b = runner.run_grid(&configs, &specs);
         for (c, cfg) in configs.iter().enumerate() {
-            for (a, app) in apps.iter().enumerate() {
-                let serial = run_config(cfg, app, runner.instructions);
+            for (a, spec) in specs.iter().enumerate() {
+                let serial = run_spec_generated(cfg, spec, runner.instructions);
                 for r in [&parallel_a[c][a], &parallel_b[c][a]] {
                     assert_eq!(r.total_cycles, serial.total_cycles);
+                    assert_eq!(r.total_instructions, serial.total_instructions);
                     assert_eq!(r.l1i.demand_misses, serial.l1i.demand_misses);
+                    assert_eq!(r.branch.mispredicts, serial.branch.mispredicts);
+                    assert_eq!(r.context_switches, serial.context_switches);
                     assert_eq!(r.app, serial.app);
                 }
             }

@@ -1,0 +1,203 @@
+//! On-disk record/replay store for frozen workload traces.
+//!
+//! `experiments --record-traces <dir>` freezes every workload spec the
+//! selected figures touch and writes each one as a `.acictrace`
+//! container named by [`WorkloadSpec::store_key`];
+//! `experiments --traces <dir>` replays those containers instead of
+//! re-running the Markov walker — which also makes *externally*
+//! recorded traces a first-class scenario: any valid container dropped
+//! into the directory under the right key is picked up verbatim.
+//!
+//! The store is process-global (configured once from the CLI before
+//! any simulation starts) because freezing happens deep inside the
+//! grid scheduler, several layers below anything that could thread a
+//! handle through. [`freeze`] is the single entry point every
+//! experiment path uses to turn a spec into a shared
+//! [`Arc<PackedTrace>`].
+
+use acic_trace::PackedTrace;
+use acic_workloads::WorkloadSpec;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+/// How [`freeze`] interacts with the filesystem.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum TraceStoreMode {
+    /// Generate in memory only (the default).
+    #[default]
+    Off,
+    /// Generate, then persist each frozen spec into the directory.
+    Record(PathBuf),
+    /// Replay containers from the directory; fall back to generation
+    /// (with a note on stderr) for specs with no recorded file.
+    Replay(PathBuf),
+}
+
+static MODE: OnceLock<TraceStoreMode> = OnceLock::new();
+
+/// Configures the global store. Call at most once, before any
+/// simulation; later calls (and configuration after first use) are
+/// rejected so mid-run mode flips cannot mix provenances.
+///
+/// # Errors
+///
+/// Returns the already-active mode when the store was configured (or
+/// defaulted by first use) before.
+pub fn configure(mode: TraceStoreMode) -> Result<(), TraceStoreMode> {
+    MODE.set(mode).map_err(|_| current().clone())
+}
+
+/// The active mode (defaults to [`TraceStoreMode::Off`] on first use).
+pub fn current() -> &'static TraceStoreMode {
+    MODE.get_or_init(TraceStoreMode::default)
+}
+
+fn container_path(dir: &Path, spec: &WorkloadSpec, instructions: u64) -> PathBuf {
+    dir.join(format!("{}.acictrace", spec.store_key(instructions)))
+}
+
+/// Freezes one spec at the given budget, honoring the global store
+/// mode. This is the only way experiment code should materialize a
+/// workload: it keeps every path — in-memory grids, recording runs,
+/// and replays of traces we didn't synthesize — behaviorally
+/// identical.
+///
+/// # Panics
+///
+/// Panics when a recorded container exists but is corrupt or frozen
+/// at a different instruction budget (replaying the wrong trace would
+/// silently invalidate every number downstream), or when recording
+/// cannot write the container.
+pub fn freeze(spec: &WorkloadSpec, instructions: u64) -> Arc<PackedTrace> {
+    match current() {
+        TraceStoreMode::Off => Arc::new(spec.materialize(instructions)),
+        TraceStoreMode::Record(dir) => {
+            let trace = spec.materialize(instructions);
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("--record-traces: create {}: {e}", dir.display()));
+            let path = container_path(dir, spec, instructions);
+            trace
+                .write_to(&path)
+                .unwrap_or_else(|e| panic!("--record-traces: write {}: {e}", path.display()));
+            Arc::new(trace)
+        }
+        TraceStoreMode::Replay(dir) => {
+            let path = container_path(dir, spec, instructions);
+            if !path.exists() {
+                eprintln!(
+                    "[traces: no container for '{}' ({}), generating]",
+                    spec.label(),
+                    path.display()
+                );
+                return Arc::new(spec.materialize(instructions));
+            }
+            let trace = PackedTrace::read_from(&path)
+                .unwrap_or_else(|e| panic!("--traces: {}: {e}", path.display()));
+            assert_eq!(
+                trace.len(),
+                instructions,
+                "--traces: {} holds {} instructions but the experiment asked for {}",
+                path.display(),
+                trace.len(),
+                instructions
+            );
+            Arc::new(trace)
+        }
+    }
+}
+
+/// The CI trace-smoke check (`experiments --trace-smoke`): records a
+/// trace per representative spec, replays it through the full
+/// container round-trip, and demands the replayed [`SimReport`] be
+/// **bit-identical** to the generator-backed run. Runs independently
+/// of the global store mode (it drives the container API directly),
+/// so it composes with any CLI configuration.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence: container
+/// round-trip mismatch, or any field of the replayed report differing
+/// from the generated one.
+pub fn trace_smoke(instructions: u64) -> Result<String, String> {
+    use acic_sim::{IcacheOrg, SimConfig, SimReport, Simulator};
+    use acic_workloads::AppProfile;
+
+    let dir = std::env::temp_dir().join(format!("acic-trace-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let cells: Vec<(WorkloadSpec, SimConfig)> = vec![
+        (
+            WorkloadSpec::Single(AppProfile::web_search()),
+            SimConfig::default().with_org(IcacheOrg::acic_default()),
+        ),
+        (
+            WorkloadSpec::MultiTenant {
+                profiles: vec![AppProfile::web_search(), AppProfile::tpc_c()],
+                quantum: instructions / 8,
+            },
+            SimConfig::default(),
+        ),
+    ];
+    let mut out = format!("trace-smoke: {instructions} instructions/cell\n");
+    for (spec, cfg) in &cells {
+        let frozen = spec.materialize(instructions);
+        let path = container_path(&dir, spec, instructions);
+        frozen
+            .write_to(&path)
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        let loaded =
+            PackedTrace::read_from(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        if loaded != frozen {
+            return Err(format!(
+                "container round-trip diverged for '{}'",
+                spec.label()
+            ));
+        }
+        let generated: SimReport = Simulator::run(cfg, &spec.generator(instructions));
+        let replayed: SimReport = Simulator::run(cfg, &loaded);
+        let (g, r) = (format!("{generated:?}"), format!("{replayed:?}"));
+        if g != r {
+            return Err(format!(
+                "replayed report diverged from generated for '{}':\n  generated: {g}\n  replayed:  {r}",
+                spec.label()
+            ));
+        }
+        out.push_str(&format!(
+            "  {}: {} instrs, {:.2} B/instr packed, replay bit-identical (cycles {}, L1i misses {})\n",
+            spec.label(),
+            loaded.len(),
+            loaded.bytes_per_instr(),
+            replayed.total_cycles,
+            replayed.l1i.demand_misses,
+        ));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic_trace::TraceSource;
+    use acic_workloads::AppProfile;
+
+    // The global mode is a process-wide singleton; tests here must
+    // not configure it (other tests share the process). Exercise the
+    // path logic and the default mode only — the record/replay file
+    // cycle is covered end-to-end by `experiments --trace-smoke`.
+
+    #[test]
+    fn default_mode_freezes_in_memory() {
+        let spec = WorkloadSpec::Single(AppProfile::sibench());
+        let a = freeze(&spec, 2_000);
+        let b = freeze(&spec, 2_000);
+        assert_eq!(a.len(), 2_000);
+        assert!(a.iter().eq(b.iter()), "freezing is deterministic");
+    }
+
+    #[test]
+    fn container_paths_embed_key_and_extension() {
+        let spec = WorkloadSpec::Single(AppProfile::web_search());
+        let p = container_path(Path::new("/tmp/td"), &spec, 1_000);
+        assert_eq!(p, PathBuf::from("/tmp/td/web-search-1000.acictrace"));
+    }
+}

@@ -7,7 +7,10 @@
 //!
 //! * [`Phase::FastForward`] advances the trace without touching any
 //!   simulator state. Exact-sized sources skip in O(1)
-//!   ([`TraceSource::skip`]); generated sources produce-and-discard.
+//!   ([`TraceSource::skip`] — `VecTrace` by slice `nth`, frozen
+//!   `PackedTrace`s by their skip index); generated sources
+//!   produce-and-discard, which is why grid experiments freeze each
+//!   spec once and replay the packed form.
 //!   When a reuse oracle is attached the engine walks runs instead so
 //!   the oracle cursor stays in lockstep with the access sequence.
 //!   Fast-forwarding is **convergence-gated**: until the warmup

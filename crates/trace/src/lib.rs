@@ -9,6 +9,10 @@
 //! * [`Instr`] / [`InstrKind`] — the trace record.
 //! * [`TraceSource`] — a resettable, deterministic stream of
 //!   instructions (synthetic workloads implement this).
+//! * [`PackedTrace`] — the frozen form of any source: a delta/RLE
+//!   byte arena with a skip index and a versioned on-disk container,
+//!   replayed zero-copy and bit-identically by any number of
+//!   consumers.
 //! * [`BlockRuns`] — groups consecutive same-block instructions into
 //!   i-cache accesses, the granularity every cache model operates on.
 //! * [`StackDistanceAnalyzer`] — exact LRU stack distances over block
@@ -36,6 +40,7 @@ pub mod instr;
 pub mod interleave;
 pub mod markov;
 pub mod oracle;
+pub mod packed;
 pub mod runs;
 pub mod source;
 pub mod stack_distance;
@@ -44,6 +49,7 @@ pub use instr::{BranchClass, Instr, InstrKind};
 pub use interleave::{InterleavedIter, InterleavedTrace};
 pub use markov::{MarkovChain, ReuseBucket};
 pub use oracle::{OracleCursor, ReuseOracle, NO_NEXT_USE};
+pub use packed::{PackedCursor, PackedTrace, PackedTraceBuilder, TraceFileError, SKIP_STRIDE};
 pub use runs::{BlockRun, BlockRuns, GroupedRuns, RunInstrs};
 pub use source::{skip_instrs, TraceSource, VecTrace};
 pub use stack_distance::{ReuseHistogram, StackDistanceAnalyzer};

@@ -1,0 +1,1292 @@
+//! The frozen trace format: immutable, compact, shareable, replayable.
+//!
+//! Every grid experiment replays the same workloads many times — once
+//! per configuration row, plus oracle pre-passes — and until this
+//! module existed each replay re-ran the Markov walker or re-read
+//! 24-byte [`Instr`] records. [`PackedTrace`] freezes a workload once
+//! into a delta/run-length byte stream (typically 1–6 B per
+//! instruction against `Instr`'s 24) that every consumer then shares
+//! read-only: the cursor borrows the arena (`&[u8]`), so N threads
+//! replaying one `Arc<PackedTrace>` touch one copy of the bytes.
+//!
+//! # Encoding
+//!
+//! The stream is a sequence of records decoded against three words of
+//! cursor state — the *expected* next PC (the fall-through/taken-path
+//! successor of the previous instruction), the current ASID, and the
+//! last data address:
+//!
+//! * **`AluRun`** — N sequential 1-cycle ALU instructions at the
+//!   expected PC. One or two bytes for a whole fetch run; the walker's
+//!   straight-line bursts (the ~85% distance-0 mass of Figure 1a)
+//!   collapse into these.
+//! * **`Alu`/`LongAlu`/`Load`/`Store`/`Branch`** — one header byte
+//!   (kind, PC-sequential flag, and for branches taken + class) plus
+//!   zigzag-varint deltas for whatever the header cannot imply: the
+//!   PC (vs the expected PC), the data address (vs the previous one),
+//!   the branch target (vs the PC).
+//! * **`AsidSwitch`** — an *explicit* context-switch record. ASIDs are
+//!   never carried per instruction; a switch record updates the cursor
+//!   ASID and every following instruction is stamped with it. This is
+//!   what keeps [`crate::BlockRuns`]/[`crate::GroupedRuns`] semantics
+//!   bit-for-bit: a run can only break at an ASID change if the change
+//!   is visible in the stream, and here it is a first-class record at
+//!   exactly the original boundary.
+//!
+//! # Skip index
+//!
+//! Every [`SKIP_STRIDE`] instructions the encoder flushes any pending
+//! run and snapshots `(byte offset, expected PC, last data address,
+//! ASID)`. [`TraceSource::skip`] jumps to the nearest snapshot at or
+//! before the target and decodes at most one stride forward — O(1) by
+//! construction (stride-bounded, independent of trace length), which
+//! is what makes SMARTS-style fast-forward over frozen traces free.
+//! Generated sources must produce-and-discard the same gap.
+//!
+//! # On-disk container
+//!
+//! [`PackedTrace::write_to`]/[`PackedTrace::read_from`] serialize the
+//! arena as a versioned `.acictrace` container: magic, header,
+//! name/payload/index sections, and an FNV-1a checksum over the
+//! header fields *and* all sections. The reader rejects bad magic,
+//! unknown versions, truncation, trailing bytes, and checksum
+//! mismatches, then runs one bounds-checked validation decode of the
+//! payload (record stream must encode exactly the claimed number of
+//! in-range instructions and every skip-index snapshot must match
+//! the true decoder state) so even a checksum-colliding container is
+//! rejected at load instead of panicking mid-experiment — a recorded
+//! trace either replays bit-for-bit or fails loudly.
+//!
+//! # Examples
+//!
+//! ```
+//! use acic_trace::{Instr, PackedTrace, TraceSource, VecTrace};
+//! use acic_types::Addr;
+//!
+//! let v: VecTrace = (0..100).map(|i| Instr::alu(Addr::new(i * 4))).collect();
+//! let p = PackedTrace::from_source(&v);
+//! assert_eq!(p.len(), 100);
+//! assert!(p.iter().eq(v.iter())); // bit-identical replay
+//! assert!(p.payload_bytes() < 100); // straight-line code packs into runs
+//! ```
+
+use crate::instr::{BranchClass, Instr, InstrKind};
+use crate::source::TraceSource;
+use acic_types::{Addr, Asid};
+
+/// Instructions per skip-index snapshot. Every entry starts at a
+/// record boundary (pending runs are flushed), so a skip decodes at
+/// most this many instructions after the index jump.
+pub const SKIP_STRIDE: u64 = 4096;
+
+// Record opcodes (low 3 bits of the header byte).
+const OP_ALU: u8 = 0;
+const OP_LONG_ALU: u8 = 1;
+const OP_LOAD: u8 = 2;
+const OP_STORE: u8 = 3;
+const OP_BRANCH: u8 = 4;
+const OP_ALU_RUN: u8 = 5;
+const OP_ASID: u8 = 6;
+const OP_MASK: u8 = 0b111;
+
+/// Header flag: an explicit zigzag-varint PC delta follows (the PC is
+/// not the expected fall-through/taken-path successor).
+const FLAG_PC: u8 = 0x08;
+/// Load/store header flag: the data address equals the previous one
+/// (no delta follows).
+const FLAG_DATA_SAME: u8 = 0x10;
+/// Branch header flag: the branch was taken.
+const FLAG_TAKEN: u8 = 0x10;
+/// Branch class lives in bits 5..8 of the header byte.
+const CLASS_SHIFT: u8 = 5;
+
+/// `AluRun` header: run length in bits 3..8 (1..=31); 0 means a
+/// varint length follows.
+const RUN_SHIFT: u8 = 3;
+const RUN_INLINE_MAX: u64 = 31;
+
+#[inline]
+fn class_code(c: BranchClass) -> u8 {
+    match c {
+        BranchClass::Conditional => 0,
+        BranchClass::Direct => 1,
+        BranchClass::Call => 2,
+        BranchClass::Return => 3,
+        BranchClass::Indirect => 4,
+    }
+}
+
+#[inline]
+fn code_class(c: u8) -> BranchClass {
+    match c {
+        0 => BranchClass::Conditional,
+        1 => BranchClass::Direct,
+        2 => BranchClass::Call,
+        3 => BranchClass::Return,
+        _ => BranchClass::Indirect,
+    }
+}
+
+#[inline]
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+#[inline]
+fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Wrapping difference of two addresses as a signed delta (round-trips
+/// through [`zigzag`] for any pair of `u64`s).
+#[inline]
+fn delta(new: u64, old: u64) -> i64 {
+    new.wrapping_sub(old) as i64
+}
+
+/// One skip-index snapshot: full decoder state at an
+/// instruction-count multiple of [`SKIP_STRIDE`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct IndexEntry {
+    /// Byte offset of the next record in the payload.
+    byte_pos: u64,
+    /// Expected PC of the next instruction.
+    expect_pc: u64,
+    /// Last data address seen (delta base for the next load/store).
+    last_data: u64,
+    /// Current address space.
+    asid: u16,
+}
+
+/// An immutable, compact, replayable instruction trace.
+///
+/// Built once ([`PackedTrace::from_source`], [`PackedTraceBuilder`],
+/// or [`PackedTrace::read_from`]) and then shared read-only — clone an
+/// `Arc<PackedTrace>` per consumer; the cursor borrows the byte arena
+/// directly. Replay is bit-identical to the encoded source: the same
+/// `Instr` values, the same ASID boundaries, the same
+/// [`TraceSource::seed`] (the name is preserved).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedTrace {
+    bytes: Vec<u8>,
+    index: Vec<IndexEntry>,
+    len: u64,
+    name: String,
+}
+
+/// Streaming encoder for [`PackedTrace`].
+///
+/// Feed instructions in trace order via [`PackedTraceBuilder::push`];
+/// [`PackedTraceBuilder::finish`] seals the arena. Sequential ALU
+/// instructions are accumulated into `AluRun` records; ASID changes
+/// emit explicit switch records; skip-index snapshots are taken every
+/// [`SKIP_STRIDE`] instructions at record boundaries.
+#[derive(Debug)]
+pub struct PackedTraceBuilder {
+    bytes: Vec<u8>,
+    index: Vec<IndexEntry>,
+    count: u64,
+    expect_pc: u64,
+    last_data: u64,
+    asid: u16,
+    pending_run: u64,
+    name: String,
+}
+
+impl PackedTraceBuilder {
+    /// Starts an empty trace with the given report name (the name
+    /// feeds [`TraceSource::seed`], so replay seeds match the source).
+    pub fn new(name: impl Into<String>) -> Self {
+        PackedTraceBuilder {
+            bytes: Vec::new(),
+            index: Vec::new(),
+            count: 0,
+            expect_pc: 0,
+            last_data: 0,
+            asid: 0,
+            pending_run: 0,
+            name: name.into(),
+        }
+    }
+
+    fn flush_run(&mut self) {
+        if self.pending_run == 0 {
+            return;
+        }
+        let n = self.pending_run;
+        self.pending_run = 0;
+        if n <= RUN_INLINE_MAX {
+            self.bytes.push(OP_ALU_RUN | ((n as u8) << RUN_SHIFT));
+        } else {
+            self.bytes.push(OP_ALU_RUN);
+            write_varint(&mut self.bytes, n);
+        }
+    }
+
+    /// Appends one instruction.
+    pub fn push(&mut self, instr: Instr) {
+        if self.count.is_multiple_of(SKIP_STRIDE) {
+            // Snapshot full decoder state at a record boundary; any
+            // pending run must not straddle the entry.
+            self.flush_run();
+            self.index.push(IndexEntry {
+                byte_pos: self.bytes.len() as u64,
+                expect_pc: self.expect_pc,
+                last_data: self.last_data,
+                asid: self.asid,
+            });
+        }
+        let asid = instr.asid().raw();
+        if asid != self.asid {
+            self.flush_run();
+            self.bytes.push(OP_ASID);
+            write_varint(&mut self.bytes, asid as u64);
+            self.asid = asid;
+        }
+        let pc = instr.pc().raw();
+        let seq = pc == self.expect_pc;
+        if seq && matches!(instr.kind, InstrKind::Alu) {
+            self.pending_run += 1;
+            self.expect_pc = pc + 4;
+            self.count += 1;
+            return;
+        }
+        self.flush_run();
+        let (op, imm) = match instr.kind {
+            InstrKind::Alu => (OP_ALU, None),
+            InstrKind::LongAlu => (OP_LONG_ALU, None),
+            InstrKind::Load { addr } => (OP_LOAD, Some(addr.raw())),
+            InstrKind::Store { addr } => (OP_STORE, Some(addr.raw())),
+            InstrKind::Branch {
+                target,
+                taken,
+                class,
+            } => {
+                let mut h = OP_BRANCH | (class_code(class) << CLASS_SHIFT);
+                if taken {
+                    h |= FLAG_TAKEN;
+                }
+                (h, Some(target.raw()))
+            }
+        };
+        let mut header = op;
+        if !seq {
+            header |= FLAG_PC;
+        }
+        let data_same = matches!(instr.kind, InstrKind::Load { .. } | InstrKind::Store { .. })
+            && imm == Some(self.last_data);
+        if data_same {
+            header |= FLAG_DATA_SAME;
+        }
+        self.bytes.push(header);
+        if !seq {
+            write_varint(&mut self.bytes, zigzag(delta(pc, self.expect_pc)));
+        }
+        match instr.kind {
+            InstrKind::Load { addr } | InstrKind::Store { addr } if !data_same => {
+                write_varint(&mut self.bytes, zigzag(delta(addr.raw(), self.last_data)));
+                self.last_data = addr.raw();
+            }
+            InstrKind::Branch { target, .. } => {
+                write_varint(&mut self.bytes, zigzag(delta(target.raw(), pc)));
+            }
+            _ => {}
+        }
+        self.expect_pc = instr.next_pc().raw();
+        self.count += 1;
+    }
+
+    /// Seals the trace.
+    pub fn finish(mut self) -> PackedTrace {
+        self.flush_run();
+        self.bytes.shrink_to_fit();
+        self.index.shrink_to_fit();
+        PackedTrace {
+            bytes: self.bytes,
+            index: self.index,
+            len: self.count,
+            name: self.name,
+        }
+    }
+}
+
+impl Extend<Instr> for PackedTraceBuilder {
+    fn extend<T: IntoIterator<Item = Instr>>(&mut self, iter: T) {
+        for i in iter {
+            self.push(i);
+        }
+    }
+}
+
+impl PackedTrace {
+    /// Freezes an instruction stream under the given name.
+    pub fn from_instrs(name: impl Into<String>, instrs: impl IntoIterator<Item = Instr>) -> Self {
+        let mut b = PackedTraceBuilder::new(name);
+        b.extend(instrs);
+        b.finish()
+    }
+
+    /// Freezes another source (one full generation/decode pass),
+    /// keeping its name so replay derives identical component seeds.
+    pub fn from_source<S: TraceSource>(source: &S) -> Self {
+        Self::from_instrs(source.name().to_string(), source.iter())
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size of the encoded record stream in bytes (excluding the skip
+    /// index and name).
+    pub fn payload_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Average encoded bytes per instruction (0 for an empty trace).
+    pub fn bytes_per_instr(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.bytes.len() as f64 / self.len as f64
+        }
+    }
+}
+
+/// Zero-copy decoding cursor over a [`PackedTrace`].
+///
+/// Borrows the arena; yields exactly the encoded `Instr` sequence.
+/// [`TraceSource::skip`] on a `PackedTrace` jumps through the skip
+/// index instead of decoding the gap.
+#[derive(Clone, Debug)]
+pub struct PackedCursor<'a> {
+    trace: &'a PackedTrace,
+    /// Byte position of the next record.
+    pos: usize,
+    /// Instructions already yielded.
+    done: u64,
+    expect_pc: u64,
+    last_data: u64,
+    asid: u16,
+    /// Remaining instructions of the current `AluRun` record.
+    run_left: u64,
+}
+
+impl<'a> PackedCursor<'a> {
+    fn new(trace: &'a PackedTrace) -> Self {
+        PackedCursor {
+            trace,
+            pos: 0,
+            done: 0,
+            expect_pc: 0,
+            last_data: 0,
+            asid: 0,
+            run_left: 0,
+        }
+    }
+
+    #[inline]
+    fn stamp(&self, i: Instr) -> Instr {
+        if self.asid == 0 {
+            i
+        } else {
+            i.with_asid(Asid::new(self.asid))
+        }
+    }
+
+    /// Decodes the next instruction (`None` at end of trace).
+    #[inline]
+    fn decode_next(&mut self) -> Option<Instr> {
+        if self.run_left > 0 {
+            self.run_left -= 1;
+            self.done += 1;
+            let i = Instr::alu(Addr::new(self.expect_pc));
+            self.expect_pc += 4;
+            return Some(self.stamp(i));
+        }
+        let bytes = &self.trace.bytes;
+        loop {
+            if self.done == self.trace.len {
+                return None;
+            }
+            let header = bytes[self.pos];
+            self.pos += 1;
+            let op = header & OP_MASK;
+            match op {
+                OP_ASID => {
+                    self.asid = read_varint(bytes, &mut self.pos) as u16;
+                    continue;
+                }
+                OP_ALU_RUN => {
+                    let inline = (header >> RUN_SHIFT) as u64;
+                    let n = if inline == 0 {
+                        read_varint(bytes, &mut self.pos)
+                    } else {
+                        inline
+                    };
+                    self.run_left = n - 1;
+                    self.done += 1;
+                    let i = Instr::alu(Addr::new(self.expect_pc));
+                    self.expect_pc += 4;
+                    return Some(self.stamp(i));
+                }
+                _ => {}
+            }
+            let pc = if header & FLAG_PC != 0 {
+                let d = unzigzag(read_varint(bytes, &mut self.pos));
+                self.expect_pc.wrapping_add(d as u64)
+            } else {
+                self.expect_pc
+            };
+            let instr = match op {
+                OP_ALU => Instr::alu(Addr::new(pc)),
+                OP_LONG_ALU => Instr::long_alu(Addr::new(pc)),
+                OP_LOAD | OP_STORE => {
+                    let addr = if header & FLAG_DATA_SAME != 0 {
+                        self.last_data
+                    } else {
+                        let d = unzigzag(read_varint(bytes, &mut self.pos));
+                        self.last_data = self.last_data.wrapping_add(d as u64);
+                        self.last_data
+                    };
+                    if op == OP_LOAD {
+                        Instr::load(Addr::new(pc), Addr::new(addr))
+                    } else {
+                        Instr::store(Addr::new(pc), Addr::new(addr))
+                    }
+                }
+                _ => {
+                    let d = unzigzag(read_varint(bytes, &mut self.pos));
+                    let target = pc.wrapping_add(d as u64);
+                    Instr::branch(
+                        Addr::new(pc),
+                        Addr::new(target),
+                        header & FLAG_TAKEN != 0,
+                        code_class(header >> CLASS_SHIFT),
+                    )
+                }
+            };
+            self.expect_pc = instr.next_pc().raw();
+            self.done += 1;
+            return Some(self.stamp(instr));
+        }
+    }
+
+    /// Advances past up to `n` instructions via the skip index,
+    /// returning how many were skipped (fewer only at trace end).
+    ///
+    /// Jumps to the last index snapshot at or before the target and
+    /// decode-discards the remainder — at most [`SKIP_STRIDE`]
+    /// instructions of work regardless of `n` or trace length.
+    pub fn skip_fast(&mut self, n: u64) -> u64 {
+        let target = (self.done + n).min(self.trace.len);
+        let skipped = target - self.done;
+        // A target at the trace end can land one stride bucket past
+        // the last snapshot (len a multiple of the stride): clamp to
+        // the last entry so the tail decode stays stride-bounded.
+        let entry_no =
+            ((target / SKIP_STRIDE) as usize).min(self.trace.index.len().saturating_sub(1));
+        if let Some(e) = self.trace.index.get(entry_no) {
+            let entry_instr = entry_no as u64 * SKIP_STRIDE;
+            if entry_instr > self.done {
+                self.pos = e.byte_pos as usize;
+                self.done = entry_instr;
+                self.expect_pc = e.expect_pc;
+                self.last_data = e.last_data;
+                self.asid = e.asid;
+                self.run_left = 0;
+            }
+        }
+        while self.done < target {
+            // Consume whole pending runs without materializing them.
+            if self.run_left > 0 {
+                let take = self.run_left.min(target - self.done);
+                self.run_left -= take;
+                self.done += take;
+                self.expect_pc += 4 * take;
+                continue;
+            }
+            if self.decode_next().is_none() {
+                break;
+            }
+        }
+        skipped
+    }
+}
+
+impl Iterator for PackedCursor<'_> {
+    type Item = Instr;
+
+    #[inline]
+    fn next(&mut self) -> Option<Instr> {
+        self.decode_next()
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.trace.len - self.done) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for PackedCursor<'_> {}
+
+impl TraceSource for PackedTrace {
+    type Iter<'a> = PackedCursor<'a>;
+
+    fn iter(&self) -> Self::Iter<'_> {
+        PackedCursor::new(self)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.len)
+    }
+
+    fn skip(iter: &mut Self::Iter<'_>, n: u64) -> u64 {
+        iter.skip_fast(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// On-disk container
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of a `.acictrace` container (version rides separately
+/// so future revisions stay recognizable).
+pub const TRACE_MAGIC: &[u8; 8] = b"ACICTRC\0";
+/// Current container format version.
+pub const TRACE_VERSION: u32 = 1;
+
+/// Why a `.acictrace` container was rejected.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural rejection: bad magic/version, truncation, trailing
+    /// bytes, or checksum mismatch.
+    Format(String),
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace file I/O: {e}"),
+            TraceFileError::Format(m) => write!(f, "trace file rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl From<std::io::Error> for TraceFileError {
+    fn from(e: std::io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+/// FNV-1a 64 over a byte slice, continued from `h` (seed with
+/// [`FNV_OFFSET`]).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+const INDEX_ENTRY_BYTES: usize = 8 + 8 + 8 + 2;
+
+fn index_section(index: &[IndexEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(index.len() * INDEX_ENTRY_BYTES);
+    for e in index {
+        out.extend_from_slice(&e.byte_pos.to_le_bytes());
+        out.extend_from_slice(&e.expect_pc.to_le_bytes());
+        out.extend_from_slice(&e.last_data.to_le_bytes());
+        out.extend_from_slice(&e.asid.to_le_bytes());
+    }
+    out
+}
+
+fn take<'a>(
+    bytes: &'a [u8],
+    pos: &mut usize,
+    n: usize,
+    what: &str,
+) -> Result<&'a [u8], TraceFileError> {
+    let end = pos.checked_add(n).filter(|&e| e <= bytes.len());
+    match end {
+        Some(end) => {
+            let s = &bytes[*pos..end];
+            *pos = end;
+            Ok(s)
+        }
+        None => Err(TraceFileError::Format(format!(
+            "truncated reading {what} ({n} bytes at offset {pos})"
+        ))),
+    }
+}
+
+fn le_u32(s: &[u8]) -> u32 {
+    u32::from_le_bytes(s.try_into().expect("4-byte slice"))
+}
+
+fn le_u64(s: &[u8]) -> u64 {
+    u64::from_le_bytes(s.try_into().expect("8-byte slice"))
+}
+
+impl PackedTrace {
+    /// Serializes the container to bytes (the `.acictrace` layout).
+    ///
+    /// Layout: magic, version `u32`, stride `u32`, instruction count
+    /// `u64`, payload length `u64`, index entry count `u64`, name
+    /// length `u32`, checksum `u64` (FNV-1a over every header field
+    /// after the magic **and** the name + payload + index sections —
+    /// a flipped header bit must fail the same way as a flipped
+    /// payload bit), then the three sections in that order.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let index = index_section(&self.index);
+        let mut out = Vec::with_capacity(48 + self.name.len() + self.bytes.len() + index.len());
+        out.extend_from_slice(TRACE_MAGIC);
+        out.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        out.extend_from_slice(&(SKIP_STRIDE as u32).to_le_bytes());
+        out.extend_from_slice(&self.len.to_le_bytes());
+        out.extend_from_slice(&(self.bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.index.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.name.len() as u32).to_le_bytes());
+        let mut checksum = fnv1a(FNV_OFFSET, &out[8..]);
+        checksum = fnv1a(checksum, self.name.as_bytes());
+        checksum = fnv1a(checksum, &self.bytes);
+        checksum = fnv1a(checksum, &index);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out.extend_from_slice(self.name.as_bytes());
+        out.extend_from_slice(&self.bytes);
+        out.extend_from_slice(&index);
+        out
+    }
+
+    /// Parses a container produced by [`PackedTrace::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects bad magic, unknown versions, mismatched stride,
+    /// truncation, trailing bytes, and checksum mismatches.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceFileError> {
+        let mut pos = 0usize;
+        let magic = take(bytes, &mut pos, 8, "magic")?;
+        if magic != TRACE_MAGIC {
+            return Err(TraceFileError::Format("bad magic".into()));
+        }
+        let version = le_u32(take(bytes, &mut pos, 4, "version")?);
+        if version != TRACE_VERSION {
+            return Err(TraceFileError::Format(format!(
+                "unsupported version {version} (expected {TRACE_VERSION})"
+            )));
+        }
+        let stride = le_u32(take(bytes, &mut pos, 4, "stride")?) as u64;
+        if stride != SKIP_STRIDE {
+            return Err(TraceFileError::Format(format!(
+                "stride {stride} does not match this build's {SKIP_STRIDE}"
+            )));
+        }
+        let len = le_u64(take(bytes, &mut pos, 8, "instruction count")?);
+        let payload_len = le_u64(take(bytes, &mut pos, 8, "payload length")?) as usize;
+        let index_count = le_u64(take(bytes, &mut pos, 8, "index count")?) as usize;
+        let name_len = le_u32(take(bytes, &mut pos, 4, "name length")?) as usize;
+        // Everything between the magic and the checksum field is
+        // covered by the checksum.
+        let header_sum = fnv1a(FNV_OFFSET, &bytes[8..pos]);
+        let checksum = le_u64(take(bytes, &mut pos, 8, "checksum")?);
+        let name_bytes = take(bytes, &mut pos, name_len, "name")?;
+        let payload = take(bytes, &mut pos, payload_len, "payload")?;
+        let index_bytes = take(
+            bytes,
+            &mut pos,
+            index_count
+                .checked_mul(INDEX_ENTRY_BYTES)
+                .ok_or_else(|| TraceFileError::Format("index count overflow".into()))?,
+            "skip index",
+        )?;
+        if pos != bytes.len() {
+            return Err(TraceFileError::Format(format!(
+                "{} trailing bytes after the index section",
+                bytes.len() - pos
+            )));
+        }
+        let mut h = fnv1a(header_sum, name_bytes);
+        h = fnv1a(h, payload);
+        h = fnv1a(h, index_bytes);
+        if h != checksum {
+            return Err(TraceFileError::Format(format!(
+                "checksum mismatch (stored {checksum:#018x}, computed {h:#018x})"
+            )));
+        }
+        let name = String::from_utf8(name_bytes.to_vec())
+            .map_err(|_| TraceFileError::Format("name is not UTF-8".into()))?;
+        let expected_entries = if len == 0 {
+            0
+        } else {
+            (len - 1) / SKIP_STRIDE + 1
+        };
+        if index_count as u64 != expected_entries {
+            return Err(TraceFileError::Format(format!(
+                "index has {index_count} entries, {expected_entries} expected for {len} instructions"
+            )));
+        }
+        let mut index = Vec::with_capacity(index_count);
+        for chunk in index_bytes.chunks_exact(INDEX_ENTRY_BYTES) {
+            index.push(IndexEntry {
+                byte_pos: le_u64(&chunk[0..8]),
+                expect_pc: le_u64(&chunk[8..16]),
+                last_data: le_u64(&chunk[16..24]),
+                asid: u16::from_le_bytes(chunk[24..26].try_into().expect("2-byte slice")),
+            });
+        }
+        let trace = PackedTrace {
+            bytes: payload.to_vec(),
+            index,
+            len,
+            name,
+        };
+        trace.validate_payload()?;
+        Ok(trace)
+    }
+
+    /// Bounds-checked decode of the whole payload, run once at load:
+    /// proves the record stream encodes exactly `len` in-range
+    /// instructions, never crosses a stride boundary mid-run, leaves
+    /// no trailing payload bytes, and that every skip-index snapshot
+    /// matches the true decoder state at its boundary. After this, the
+    /// unchecked fast cursor — sequential or index-jumping — cannot
+    /// read out of bounds, so a checksum-colliding (or hand-crafted)
+    /// container is rejected here instead of panicking mid-experiment.
+    fn validate_payload(&self) -> Result<(), TraceFileError> {
+        let err = |m: String| Err(TraceFileError::Format(m));
+        let bytes = &self.bytes;
+        let mut pos = 0usize;
+        let byte = |pos: &mut usize| -> Result<u8, TraceFileError> {
+            let b = bytes
+                .get(*pos)
+                .copied()
+                .ok_or_else(|| TraceFileError::Format("payload ends mid-record".into()))?;
+            *pos += 1;
+            Ok(b)
+        };
+        let varint = |pos: &mut usize| -> Result<u64, TraceFileError> {
+            let mut v = 0u64;
+            let mut shift = 0u32;
+            loop {
+                let b = byte(pos)?;
+                if shift >= 64 {
+                    return Err(TraceFileError::Format("varint longer than 64 bits".into()));
+                }
+                v |= ((b & 0x7f) as u64) << shift;
+                if b & 0x80 == 0 {
+                    return Ok(v);
+                }
+                shift += 7;
+            }
+        };
+        const PC_LIMIT: u64 = 1 << 48;
+        let mut done = 0u64;
+        let mut expect_pc = 0u64;
+        let mut last_data = 0u64;
+        let mut asid = 0u16;
+        let mut next_entry = 0usize;
+        while done < self.len {
+            if done == next_entry as u64 * SKIP_STRIDE {
+                let Some(e) = self.index.get(next_entry) else {
+                    return err(format!("missing skip-index entry {next_entry}"));
+                };
+                if e.byte_pos as usize != pos
+                    || e.expect_pc != expect_pc
+                    || e.last_data != last_data
+                    || e.asid != asid
+                {
+                    return err(format!(
+                        "skip-index entry {next_entry} does not match the decoded state at instruction {done}"
+                    ));
+                }
+                next_entry += 1;
+            }
+            let header = byte(&mut pos)?;
+            let op = header & OP_MASK;
+            match op {
+                OP_ASID => {
+                    asid = varint(&mut pos)? as u16;
+                    continue;
+                }
+                OP_ALU_RUN => {
+                    let inline = (header >> RUN_SHIFT) as u64;
+                    let n = if inline == 0 {
+                        varint(&mut pos)?
+                    } else {
+                        inline
+                    };
+                    if n == 0 || done + n > self.len {
+                        return err(format!("run of {n} overruns the trace at {done}"));
+                    }
+                    // Runs never straddle a stride boundary (the
+                    // encoder flushes there; the jump decode relies
+                    // on it).
+                    if (done / SKIP_STRIDE) != (done + n - 1) / SKIP_STRIDE {
+                        return err(format!("run of {n} crosses a stride boundary at {done}"));
+                    }
+                    // Every PC the run materializes must stay packable
+                    // (strictly below 2^48).
+                    let last_pc = 4u64
+                        .checked_mul(n - 1)
+                        .and_then(|d| expect_pc.checked_add(d))
+                        .filter(|&p| p < PC_LIMIT);
+                    if last_pc.is_none() {
+                        return err(format!("run PC leaves the 48-bit space at {done}"));
+                    }
+                    expect_pc += 4 * n;
+                    done += n;
+                    continue;
+                }
+                OP_ALU | OP_LONG_ALU | OP_LOAD | OP_STORE | OP_BRANCH => {}
+                _ => return err(format!("unknown opcode {op} at instruction {done}")),
+            }
+            let pc = if header & FLAG_PC != 0 {
+                let d = unzigzag(varint(&mut pos)?);
+                expect_pc.wrapping_add(d as u64)
+            } else {
+                expect_pc
+            };
+            if pc >= PC_LIMIT {
+                return err(format!("PC {pc:#x} leaves the 48-bit space at {done}"));
+            }
+            expect_pc = match op {
+                OP_LOAD | OP_STORE => {
+                    if header & FLAG_DATA_SAME == 0 {
+                        let d = unzigzag(varint(&mut pos)?);
+                        last_data = last_data.wrapping_add(d as u64);
+                    }
+                    pc + 4
+                }
+                OP_BRANCH => {
+                    let d = unzigzag(varint(&mut pos)?);
+                    let target = pc.wrapping_add(d as u64);
+                    if header & FLAG_TAKEN != 0 {
+                        target
+                    } else {
+                        pc + 4
+                    }
+                }
+                _ => pc + 4,
+            };
+            // `expect_pc` itself is only a prediction (a taken branch
+            // may legally point anywhere); each materialized PC is
+            // range-checked where it is produced.
+            done += 1;
+        }
+        if pos != bytes.len() {
+            return err(format!(
+                "{} payload bytes remain after the last instruction",
+                bytes.len() - pos
+            ));
+        }
+        if next_entry != self.index.len() {
+            return err(format!(
+                "{} unused skip-index entries",
+                self.index.len() - next_entry
+            ));
+        }
+        Ok(())
+    }
+
+    /// Writes the container to a file (atomically via a sibling
+    /// temporary so a crashed writer never leaves a torn trace).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("acictrace.tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads a container from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and every structural rejection of
+    /// [`PackedTrace::from_bytes`].
+    pub fn read_from(path: impl AsRef<std::path::Path>) -> Result<Self, TraceFileError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecTrace;
+
+    /// Deterministic pseudo-random instruction mix with branches,
+    /// loads, stores and ASID switches.
+    fn mixed_instrs(n: u64, seed: u64, switch_every: u64) -> Vec<Instr> {
+        let mut x = seed | 1;
+        let mut pc = 0x1000u64;
+        let mut out = Vec::new();
+        for i in 0..n {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let asid = i
+                .checked_div(switch_every)
+                .map_or(Asid::HOST, |q| Asid::new((q % 3) as u16));
+            let r = x >> 59;
+            let instr = match r {
+                0 | 1 => {
+                    let addr = (x >> 13) % (1 << 20);
+                    if r == 0 {
+                        Instr::load(Addr::new(pc), Addr::new(addr))
+                    } else {
+                        Instr::store(Addr::new(pc), Addr::new(addr))
+                    }
+                }
+                2 => Instr::long_alu(Addr::new(pc)),
+                3 | 4 => {
+                    let target = (x >> 21) % (1 << 18) * 4;
+                    let taken = x & 2 != 0;
+                    let class = code_class(((x >> 33) % 5) as u8);
+                    Instr::branch(Addr::new(pc), Addr::new(target), taken, class)
+                }
+                _ => Instr::alu(Addr::new(pc)),
+            };
+            pc = instr.next_pc().raw();
+            out.push(instr.with_asid(asid));
+        }
+        out
+    }
+
+    #[test]
+    fn round_trips_a_mixed_stream_bit_for_bit() {
+        let instrs = mixed_instrs(20_000, 7, 997);
+        let p = PackedTrace::from_instrs("mixed", instrs.clone());
+        assert_eq!(p.len(), 20_000);
+        let decoded: Vec<Instr> = p.iter().collect();
+        assert_eq!(decoded, instrs);
+        // Re-openable: a second pass is identical.
+        let again: Vec<Instr> = p.iter().collect();
+        assert_eq!(again, instrs);
+    }
+
+    #[test]
+    fn straight_line_code_packs_below_one_byte_per_instr() {
+        let instrs: Vec<Instr> = (0..100_000u64)
+            .map(|i| Instr::alu(Addr::new(i * 4)))
+            .collect();
+        let p = PackedTrace::from_instrs("line", instrs);
+        assert!(
+            p.bytes_per_instr() < 0.1,
+            "runs should collapse: {} B/instr",
+            p.bytes_per_instr()
+        );
+    }
+
+    #[test]
+    fn mixed_stream_stays_compact() {
+        let instrs = mixed_instrs(50_000, 3, 0);
+        let p = PackedTrace::from_instrs("mixed", instrs);
+        assert!(
+            p.bytes_per_instr() < 6.0,
+            "{} B/instr exceeds the format's budget",
+            p.bytes_per_instr()
+        );
+    }
+
+    #[test]
+    fn skip_lands_exactly_where_a_walk_would() {
+        let instrs = mixed_instrs(3 * SKIP_STRIDE + 123, 11, 513);
+        let p = PackedTrace::from_instrs("skippy", instrs);
+        for &n in &[
+            0u64,
+            1,
+            17,
+            SKIP_STRIDE - 1,
+            SKIP_STRIDE,
+            SKIP_STRIDE + 1,
+            2 * SKIP_STRIDE + 7,
+        ] {
+            let mut fast = p.iter();
+            assert_eq!(PackedTrace::skip(&mut fast, n), n);
+            let mut slow = p.iter();
+            for _ in 0..n {
+                slow.next();
+            }
+            assert_eq!(fast.next(), slow.next(), "diverged after skip({n})");
+            // And the rest of the stream matches too.
+            assert!(fast.eq(slow), "tail diverged after skip({n})");
+        }
+    }
+
+    #[test]
+    fn skip_past_end_reports_shortfall() {
+        let p = PackedTrace::from_instrs("short", mixed_instrs(100, 5, 0));
+        let mut it = p.iter();
+        assert_eq!(PackedTrace::skip(&mut it, 250), 100);
+        assert_eq!(it.next(), None);
+    }
+
+    #[test]
+    fn chained_skips_accumulate() {
+        let instrs = mixed_instrs(2 * SKIP_STRIDE + 50, 23, 0);
+        let p = PackedTrace::from_instrs("chain", instrs.clone());
+        let mut it = p.iter();
+        assert_eq!(PackedTrace::skip(&mut it, 100), 100);
+        assert_eq!(it.next(), Some(instrs[100]));
+        assert_eq!(PackedTrace::skip(&mut it, SKIP_STRIDE), SKIP_STRIDE);
+        assert_eq!(it.next(), Some(instrs[101 + SKIP_STRIDE as usize]));
+    }
+
+    #[test]
+    fn asid_switches_are_explicit_and_preserved() {
+        let instrs = mixed_instrs(6_000, 9, 100);
+        let p = PackedTrace::from_instrs("mt", instrs.clone());
+        let decoded: Vec<Instr> = p.iter().collect();
+        assert_eq!(decoded, instrs);
+        // The run grouping downstream sees identical boundaries.
+        let a: Vec<_> = crate::BlockRuns::new(instrs.iter().copied()).collect();
+        let b: Vec<_> = crate::BlockRuns::new(p.iter()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vec_trace_round_trip_preserves_name_and_seed() {
+        let v = VecTrace::with_name(mixed_instrs(1_000, 2, 0), "web-search");
+        let p = PackedTrace::from_source(&v);
+        assert_eq!(p.name(), "web-search");
+        assert_eq!(p.seed(), v.seed());
+        assert!(p.iter().eq(v.iter()));
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let p = PackedTrace::from_instrs("empty", Vec::new());
+        assert!(p.is_empty());
+        assert_eq!(p.iter().count(), 0);
+        let mut it = p.iter();
+        assert_eq!(PackedTrace::skip(&mut it, 5), 0);
+        let back = PackedTrace::from_bytes(&p.to_bytes()).expect("serializes");
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let p = PackedTrace::from_instrs("disk", mixed_instrs(10_000, 31, 777));
+        let bytes = p.to_bytes();
+        let back = PackedTrace::from_bytes(&bytes).expect("valid container");
+        assert_eq!(back, p);
+        assert!(back.iter().eq(p.iter()));
+    }
+
+    #[test]
+    fn container_rejects_corruption() {
+        let p = PackedTrace::from_instrs("disk", mixed_instrs(5_000, 13, 333));
+        let good = p.to_bytes();
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0x40;
+        assert!(matches!(
+            PackedTrace::from_bytes(&bad),
+            Err(TraceFileError::Format(_))
+        ));
+
+        // Unknown version.
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            PackedTrace::from_bytes(&bad),
+            Err(TraceFileError::Format(_))
+        ));
+
+        // Truncation at every section boundary and mid-payload.
+        for cut in [4usize, 20, 47, good.len() / 2, good.len() - 1] {
+            assert!(
+                PackedTrace::from_bytes(&good[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+
+        // Flipped payload byte: checksum mismatch.
+        let mut bad = good.clone();
+        let mid = 60 + (good.len() - 60) / 2;
+        bad[mid] ^= 0x01;
+        assert!(matches!(
+            PackedTrace::from_bytes(&bad),
+            Err(TraceFileError::Format(m)) if m.contains("checksum")
+        ));
+
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(matches!(
+            PackedTrace::from_bytes(&bad),
+            Err(TraceFileError::Format(m)) if m.contains("trailing")
+        ));
+    }
+
+    /// Recomputes a (possibly tampered) container's checksum field so
+    /// tests can reach the post-checksum validation layers.
+    fn reforge_checksum(mut bytes: Vec<u8>) -> Vec<u8> {
+        let mut h = fnv1a(FNV_OFFSET, &bytes[8..44]);
+        h = fnv1a(h, &bytes[52..]);
+        bytes[44..52].copy_from_slice(&h.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn header_field_corruption_is_rejected() {
+        // The regression the checksum-over-header fix pins: a flipped
+        // low bit of the instruction-count field used to parse fine
+        // and then panic (or silently truncate) at replay time.
+        let p = PackedTrace::from_instrs("hdr", mixed_instrs(300, 41, 0));
+        let good = p.to_bytes();
+        for byte_off in 8..52 {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[byte_off] ^= 1 << bit;
+                assert!(
+                    PackedTrace::from_bytes(&bad).is_err(),
+                    "header flip at byte {byte_off} bit {bit} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_valid_but_malformed_payloads_are_rejected() {
+        let p = PackedTrace::from_instrs("forge", mixed_instrs(6_000, 29, 700));
+        let good = p.to_bytes();
+
+        // Shrink the claimed instruction count (checksum re-forged so
+        // only the validation decode can catch the mismatch).
+        let mut bad = good.clone();
+        bad[16..24].copy_from_slice(&(p.len() - 7).to_le_bytes());
+        assert!(
+            PackedTrace::from_bytes(&reforge_checksum(bad)).is_err(),
+            "shrunken len accepted: replay would silently truncate"
+        );
+
+        // Grow it: the decode must run out of payload, not out of
+        // bounds.
+        let mut bad = good.clone();
+        bad[16..24].copy_from_slice(&(p.len() + 1).to_le_bytes());
+        assert!(
+            PackedTrace::from_bytes(&reforge_checksum(bad)).is_err(),
+            "inflated len accepted: replay would index out of bounds"
+        );
+
+        // Tamper with a skip-index snapshot: an index jump would
+        // otherwise decode garbage from a mid-record offset.
+        let mut bad = good.clone();
+        let idx_start = bad.len() - p.index.len() * INDEX_ENTRY_BYTES;
+        bad[idx_start + INDEX_ENTRY_BYTES] ^= 0x01; // entry 1 byte_pos
+        assert!(
+            PackedTrace::from_bytes(&reforge_checksum(bad)).is_err(),
+            "forged index entry accepted"
+        );
+
+        // Drop the last payload record byte (lengths fixed up): the
+        // stream now ends mid-record.
+        let mut bad = good.clone();
+        let payload_len = p.payload_bytes() as u64;
+        let name_len = p.name().len();
+        bad.remove(52 + name_len + p.payload_bytes() - 1);
+        bad[24..32].copy_from_slice(&(payload_len - 1).to_le_bytes());
+        assert!(
+            PackedTrace::from_bytes(&reforge_checksum(bad)).is_err(),
+            "truncated payload accepted"
+        );
+    }
+
+    #[test]
+    fn skip_to_end_is_stride_bounded_when_len_is_a_stride_multiple() {
+        // Regression: len = k*SKIP_STRIDE has no snapshot at the end
+        // bucket; the skip must clamp to the last entry instead of
+        // decoding the whole trace from the cursor position.
+        let instrs = mixed_instrs(2 * SKIP_STRIDE, 47, 0);
+        let p = PackedTrace::from_instrs("edge", instrs.clone());
+        let mut it = p.iter();
+        assert_eq!(PackedTrace::skip(&mut it, 2 * SKIP_STRIDE), 2 * SKIP_STRIDE);
+        assert_eq!(it.next(), None);
+        // And to one-before-end.
+        let mut it = p.iter();
+        assert_eq!(
+            PackedTrace::skip(&mut it, 2 * SKIP_STRIDE - 1),
+            2 * SKIP_STRIDE - 1
+        );
+        assert_eq!(it.next(), Some(instrs[instrs.len() - 1]));
+    }
+
+    #[test]
+    fn file_round_trip_and_rejection() {
+        let dir = std::env::temp_dir().join("acic-packed-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("t.acictrace");
+        let p = PackedTrace::from_instrs("file", mixed_instrs(2_000, 17, 0));
+        p.write_to(&path).expect("write");
+        let back = PackedTrace::read_from(&path).expect("read");
+        assert_eq!(back, p);
+        // Truncate the file on disk: the reader must reject it.
+        let bytes = std::fs::read(&path).expect("re-read");
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).expect("truncate");
+        assert!(PackedTrace::read_from(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn varint_zigzag_round_trip() {
+        for v in [0i64, 1, -1, 63, -64, 4096, -4096, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, zigzag(v));
+            let mut pos = 0;
+            assert_eq!(unzigzag(read_varint(&buf, &mut pos)), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+}

@@ -42,14 +42,21 @@
 pub mod multi_tenant;
 pub mod profile;
 pub mod program;
+pub mod spec;
 pub mod walker;
 
 pub use multi_tenant::MultiTenantWorkload;
 pub use profile::AppProfile;
 pub use program::{Program, Terminator};
+pub use spec::{split_budget, GeneratedWorkload, WorkloadSpec};
 pub use walker::Walker;
 
 use acic_trace::TraceSource;
+
+/// Short names used as figure columns.
+pub fn short_name(app: &str) -> String {
+    app.replace("-analytics", "").replace("-http", "")
+}
 
 /// A generated program plus a fixed instruction budget, usable as a
 /// [`TraceSource`].

@@ -1,0 +1,179 @@
+//! Property tests pinning the packed trace format: `VecTrace` ↔
+//! `PackedTrace` round-trips bit for bit (including ASID switch
+//! boundaries), index-jump `skip` is equivalent to walking, and the
+//! on-disk container rejects corruption and truncation at arbitrary
+//! offsets.
+
+use acic_repro::trace::{
+    BlockRuns, BranchClass, GroupedRuns, Instr, PackedTrace, TraceSource, VecTrace, SKIP_STRIDE,
+};
+use acic_repro::types::{Addr, Asid};
+use proptest::prelude::*;
+
+/// Builds a plausible instruction stream from raw fuzz words: mostly
+/// sequential PCs with branch redirects, loads/stores with mixed
+/// locality, and ASID switches at fuzz-chosen points.
+fn stream_from_words(words: &[u64], switch_mask: u64) -> Vec<Instr> {
+    let mut pc = 0x40_0000u64;
+    let mut asid = Asid::HOST;
+    let mut out = Vec::with_capacity(words.len());
+    for (k, &w) in words.iter().enumerate() {
+        if switch_mask != 0 && k as u64 % switch_mask == switch_mask - 1 {
+            asid = Asid::new((w % 5) as u16);
+        }
+        let instr = match w % 10 {
+            0 | 1 => Instr::load(Addr::new(pc), Addr::new((w >> 8) % (1 << 34))),
+            2 => Instr::store(Addr::new(pc), Addr::new((w >> 8) % (1 << 34))),
+            3 => Instr::long_alu(Addr::new(pc)),
+            4 | 5 => {
+                let class = match (w >> 16) % 5 {
+                    0 => BranchClass::Conditional,
+                    1 => BranchClass::Direct,
+                    2 => BranchClass::Call,
+                    3 => BranchClass::Return,
+                    _ => BranchClass::Indirect,
+                };
+                Instr::branch(
+                    Addr::new(pc),
+                    Addr::new((w >> 20) % (1 << 30)),
+                    w & 4 != 0,
+                    class,
+                )
+            }
+            _ => Instr::alu(Addr::new(pc)),
+        };
+        pc = instr.next_pc().raw();
+        out.push(instr.with_asid(asid));
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn vec_and_packed_traces_are_interchangeable(
+        words in proptest::collection::vec(any::<u64>(), 0..600),
+        switch_mask in 0u64..40,
+    ) {
+        let instrs = stream_from_words(&words, switch_mask);
+        let vec_trace = VecTrace::with_name(instrs.clone(), "prop");
+        let packed = PackedTrace::from_source(&vec_trace);
+        prop_assert_eq!(packed.len(), instrs.len() as u64);
+        prop_assert_eq!(packed.len_hint(), vec_trace.len_hint());
+        // Identical Instr streams, including every ASID boundary.
+        let decoded: Vec<Instr> = packed.iter().collect();
+        prop_assert_eq!(&decoded, &instrs);
+        // And therefore identical run grouping (the unit every cache
+        // model consumes) — ASID changes split runs in both.
+        let a: Vec<_> = BlockRuns::new(vec_trace.iter()).collect();
+        let b: Vec<_> = BlockRuns::new(packed.iter()).collect();
+        prop_assert_eq!(a, b);
+        // Closing the loop: re-materializing the packed stream into a
+        // VecTrace reproduces the original.
+        let back: VecTrace = packed.iter().collect();
+        prop_assert_eq!(back.iter().collect::<Vec<_>>(), instrs);
+    }
+
+    #[test]
+    fn skip_then_iter_matches_the_walked_generator_path(
+        words in proptest::collection::vec(any::<u64>(), 1..400),
+        reps in 1usize..40,
+        skip_to in any::<u64>(),
+    ) {
+        // Tile the fuzz stream so skips regularly cross index-stride
+        // boundaries.
+        let tile = stream_from_words(&words, 7);
+        let instrs: Vec<Instr> = std::iter::repeat_with(|| tile.clone())
+            .take(reps)
+            .flatten()
+            .collect();
+        let packed = PackedTrace::from_instrs("skip-prop", instrs.clone());
+        let n = skip_to % (instrs.len() as u64 + 10);
+        // Index-jump path...
+        let mut fast = packed.iter();
+        let skipped = PackedTrace::skip(&mut fast, n);
+        prop_assert_eq!(skipped, n.min(instrs.len() as u64));
+        // ...must land exactly where the element-by-element walk does.
+        let walked: Vec<Instr> = instrs.iter().copied().skip(n as usize).collect();
+        prop_assert_eq!(fast.collect::<Vec<_>>(), walked);
+    }
+
+    #[test]
+    fn grouped_runs_skip_hand_off_is_boundary_exact(
+        words in proptest::collection::vec(any::<u64>(), 40..400),
+        consume in 0u64..40,
+        gap in 0u64..6000,
+    ) {
+        // The engine's fast-forward path: consume some runs, skip a
+        // gap through GroupedRuns, resume grouping. The resumed run
+        // boundaries must match a plain walk over the same stream.
+        let instrs = stream_from_words(&words, 11);
+        let tiled: Vec<Instr> = std::iter::repeat_with(|| instrs.clone())
+            .take(30)
+            .flatten()
+            .collect();
+        let packed = PackedTrace::from_instrs("ff-prop", tiled.clone());
+
+        let mut runs = GroupedRuns::new(packed.iter());
+        let mut consumed = 0u64;
+        for _ in 0..consume {
+            match runs.next() {
+                Some(r) => consumed += r.instrs.len() as u64,
+                None => break,
+            }
+        }
+        let dropped = runs.skip_instrs_with(gap, PackedTrace::skip);
+        prop_assert!(dropped <= gap);
+        let resumed = runs.next();
+
+        let mut slow = GroupedRuns::new(tiled.iter().copied());
+        let mut slow_consumed = 0u64;
+        while slow_consumed < consumed {
+            slow_consumed += slow.next().expect("same stream").instrs.len() as u64;
+        }
+        let slow_dropped = slow.skip_instrs_with(gap, acic_repro::trace::skip_instrs);
+        prop_assert_eq!(dropped, slow_dropped);
+        prop_assert_eq!(resumed, slow.next());
+    }
+
+    #[test]
+    fn container_survives_serialization_and_rejects_bit_flips(
+        words in proptest::collection::vec(any::<u64>(), 1..300),
+        flip in any::<u64>(),
+    ) {
+        let instrs = stream_from_words(&words, 13);
+        let packed = PackedTrace::from_instrs("disk-prop", instrs);
+        let bytes = packed.to_bytes();
+        let back = PackedTrace::from_bytes(&bytes).expect("own container parses");
+        prop_assert_eq!(&back, &packed);
+
+        // Any single bit flip must be rejected, except inside the
+        // stored checksum itself (still a mismatch) — i.e. everywhere.
+        let bit = flip % (bytes.len() as u64 * 8);
+        let mut corrupt = bytes.clone();
+        corrupt[(bit / 8) as usize] ^= 1 << (bit % 8);
+        prop_assert!(
+            PackedTrace::from_bytes(&corrupt).is_err(),
+            "bit flip at {} accepted", bit
+        );
+
+        // Any truncation must be rejected.
+        let cut = (flip % bytes.len() as u64) as usize;
+        prop_assert!(PackedTrace::from_bytes(&bytes[..cut]).is_err());
+    }
+}
+
+#[test]
+fn skip_strides_are_exercised() {
+    // Belt and braces for the property above: make sure the tiled
+    // streams actually cross SKIP_STRIDE so the index-jump path runs.
+    let tile = stream_from_words(&[1, 12, 23, 34, 45, 56, 67, 78, 89, 90], 3);
+    let instrs: Vec<Instr> = std::iter::repeat_with(|| tile.clone())
+        .take(2 * SKIP_STRIDE as usize / tile.len() + 2)
+        .flatten()
+        .collect();
+    assert!(instrs.len() as u64 > 2 * SKIP_STRIDE);
+    let packed = PackedTrace::from_instrs("stride", instrs.clone());
+    let mut it = packed.iter();
+    assert_eq!(PackedTrace::skip(&mut it, SKIP_STRIDE + 3), SKIP_STRIDE + 3);
+    assert_eq!(it.next(), Some(instrs[SKIP_STRIDE as usize + 3]));
+}
