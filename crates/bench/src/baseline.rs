@@ -327,6 +327,10 @@ pub fn measure_trace(instructions: u64, grid_instructions: u64) -> TraceSection 
     let runner = Runner {
         instructions: grid_instructions,
         baseline: SimConfig::default().with_schedule(schedule),
+        // Perf timing: a result store would replay cells and falsify
+        // the measurement; no watchdog for the same reason.
+        store: None,
+        cell_timeout: None,
     };
     let configs: Vec<SimConfig> = trace_grid_orgs()
         .into_iter()

@@ -25,23 +25,42 @@
 //! it shrinks the budget to a CI-sized tripwire (deltas then are
 //! noise; the job checks the harness, not the numbers).
 //!
-//! Record/replay:
+//! Record/replay and resume:
 //!
 //! ```text
 //! cargo run --release -p acic-bench --bin experiments -- --record-traces traces/ fig11
 //! cargo run --release -p acic-bench --bin experiments -- --traces traces/ fig11
 //! cargo run --release -p acic-bench --bin experiments -- --trace-smoke
+//! cargo run --release -p acic-bench --bin experiments -- --results results/ fig11
+//! cargo run --release -p acic-bench --bin experiments -- --results-smoke
 //! ```
 //!
 //! `--record-traces <dir>` freezes every workload the selected
 //! figures touch into `<dir>/<spec>-<budget>.acictrace` containers;
 //! `--traces <dir>` replays those containers instead of re-running
-//! the generator (specs with no recorded container fall back to
-//! generation with a note) — drop in externally recorded traces under
-//! the right key and they become first-class workloads. The two flags
-//! are mutually exclusive. `--trace-smoke` runs the record → replay →
-//! bit-identity check CI relies on and exits non-zero on the first
-//! divergence.
+//! the generator (specs whose container is missing or unusable fall
+//! back to generation with a note) — drop in externally recorded
+//! traces under the right key and they become first-class workloads.
+//! The two flags are mutually exclusive. `--trace-smoke` runs the
+//! record → replay → bit-identity check CI relies on and exits
+//! non-zero on the first divergence.
+//!
+//! `--results <dir>` journals every finished grid cell into
+//! `<dir>/results.jsonl`; an interrupted (or repeated) run replays
+//! finished cells from the journal and simulates only the rest, with
+//! output bit-identical to an uninterrupted run. `--results-smoke`
+//! runs the kill-and-resume round trip CI relies on.
+//!
+//! Failure handling: figures run in keep-going mode — a panicking
+//! figure (including a grid with failing cells, reported through the
+//! structured [`acic_bench::runner::GridError`]) is recorded, every
+//! other selected figure still runs, and the process exits non-zero
+//! after printing a failure summary. `--fail-fast` stops at the first
+//! failure instead; `--keep-going` is accepted for symmetry (it is
+//! the default). `ACIC_CELL_TIMEOUT_SECS=<secs>` arms a soft per-cell
+//! watchdog that fails wedged cells instead of hanging the sweep.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 type Experiment = (&'static str, fn() -> String);
 
@@ -97,29 +116,115 @@ fn all_experiments() -> Vec<Experiment> {
 const SMOKE_INSTRUCTIONS: u64 = 50_000;
 
 /// Extracts `--flag <value>` from the argument list, returning the
-/// value and removing both tokens.
-fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
-    let pos = args.iter().position(|a| a == flag)?;
-    if pos + 1 >= args.len() {
-        eprintln!("{flag} requires a directory argument");
-        std::process::exit(2);
-    }
+/// value and removing both tokens. A flag with no value — at the end
+/// of the line, or followed by another `--` option — is an error (it
+/// must never leak through to the figure-name substring filter).
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
     args.remove(pos);
-    Some(args.remove(pos))
+    match args.get(pos) {
+        None => Err(format!("{flag} requires a value")),
+        Some(next) if next.starts_with("--") => Err(format!(
+            "{flag} requires a value, but the next argument is the option '{next}'"
+        )),
+        Some(_) => Ok(Some(args.remove(pos))),
+    }
+}
+
+/// Removes a boolean `--switch`, reporting whether it was present.
+fn take_switch(args: &mut Vec<String>, name: &str) -> bool {
+    match args.iter().position(|a| a == name) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Parsed command line (see the module docs for flag semantics).
+#[derive(Debug, Default, PartialEq)]
+struct Cli {
+    list: bool,
+    trace_smoke: bool,
+    results_smoke: bool,
+    bench_delta: bool,
+    smoke: bool,
+    fail_fast: bool,
+    record: Option<String>,
+    replay: Option<String>,
+    results: Option<String>,
+    only: Option<String>,
+    filter: String,
+}
+
+fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
+    let record = take_flag_value(&mut args, "--record-traces")?;
+    let replay = take_flag_value(&mut args, "--traces")?;
+    let results = take_flag_value(&mut args, "--results")?;
+    let only = take_flag_value(&mut args, "--only")?;
+    if record.is_some() && replay.is_some() {
+        return Err("--record-traces and --traces are mutually exclusive".into());
+    }
+    let cli = Cli {
+        list: take_switch(&mut args, "--list"),
+        trace_smoke: take_switch(&mut args, "--trace-smoke"),
+        results_smoke: take_switch(&mut args, "--results-smoke"),
+        bench_delta: take_switch(&mut args, "--bench-delta"),
+        smoke: take_switch(&mut args, "--smoke"),
+        fail_fast: take_switch(&mut args, "--fail-fast"),
+        record,
+        replay,
+        results,
+        only,
+        filter: String::new(),
+    };
+    // --keep-going is the default; accept and discard it.
+    take_switch(&mut args, "--keep-going");
+    if let Some(unknown) = args.iter().find(|a| a.starts_with("--")) {
+        return Err(format!("unknown option '{unknown}'"));
+    }
+    let filter = args.first().cloned().unwrap_or_default();
+    Ok(Cli { filter, ..cli })
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(std::env::args().skip(1).collect()) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let all = all_experiments();
 
-    if args.iter().any(|a| a == "--list") {
+    if cli.list {
         for (name, _) in &all {
             println!("{name}");
         }
         return;
     }
 
-    if args.iter().any(|a| a == "--trace-smoke") {
+    // Failed cells and figures are reported structurally at the end
+    // of the run; keep each panic to one stderr line instead of the
+    // default multi-line hook output.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into());
+        let loc = info
+            .location()
+            .map(|l| format!(" at {}:{}", l.file(), l.line()))
+            .unwrap_or_default();
+        eprintln!("[panic{loc}] {}", msg.trim_end());
+    }));
+
+    if cli.trace_smoke {
         match acic_bench::trace_store::trace_smoke(SMOKE_INSTRUCTIONS) {
             Ok(report) => println!("{report}"),
             Err(e) => {
@@ -130,13 +235,18 @@ fn main() {
         return;
     }
 
-    let record = take_flag_value(&mut args, "--record-traces");
-    let replay = take_flag_value(&mut args, "--traces");
-    match (record, replay) {
-        (Some(_), Some(_)) => {
-            eprintln!("--record-traces and --traces are mutually exclusive");
-            std::process::exit(2);
+    if cli.results_smoke {
+        match acic_bench::result_store::results_smoke() {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("results-smoke failed: {e}");
+                std::process::exit(1);
+            }
         }
+        return;
+    }
+
+    match (&cli.record, &cli.replay) {
         (Some(dir), None) => {
             eprintln!("[recording frozen traces into {dir}]");
             acic_bench::trace_store::configure(acic_bench::trace_store::TraceStoreMode::Record(
@@ -151,12 +261,19 @@ fn main() {
             ))
             .expect("trace store configured before first use");
         }
-        (None, None) => {}
+        _ => {}
     }
 
-    if args.iter().any(|a| a == "--bench-delta") {
-        let smoke = args.iter().any(|a| a == "--smoke");
-        match acic_bench::delta::bench_delta(smoke) {
+    if let Some(dir) = &cli.results {
+        eprintln!("[resumable results in {dir}]");
+        if let Err(e) = acic_bench::result_store::configure(std::path::Path::new(dir)) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+
+    if cli.bench_delta {
+        match acic_bench::delta::bench_delta(cli.smoke) {
             Ok(report) => println!("{report}"),
             Err(e) => {
                 eprintln!("bench-delta failed: {e}");
@@ -166,7 +283,7 @@ fn main() {
         return;
     }
 
-    if args.iter().any(|a| a == "--smoke") {
+    if cli.smoke {
         let budget = std::env::var("ACIC_EXP_INSTRUCTIONS")
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
@@ -179,11 +296,7 @@ fn main() {
         eprintln!("[smoke: every figure at {budget} instructions/cell]");
     }
 
-    let selected: Vec<Experiment> = if let Some(pos) = args.iter().position(|a| a == "--only") {
-        let Some(wanted) = args.get(pos + 1) else {
-            eprintln!("--only requires a figure name (see --list)");
-            std::process::exit(2);
-        };
+    let selected: Vec<Experiment> = if let Some(wanted) = &cli.only {
         match all.iter().find(|(name, _)| name == wanted) {
             Some(&exp) => vec![exp],
             None => {
@@ -195,22 +308,127 @@ fn main() {
             }
         }
     } else {
-        // Legacy positional substring filter (empty = everything;
-        // flags are not filters).
-        let filter = args
-            .iter()
-            .find(|a| !a.starts_with("--"))
-            .cloned()
-            .unwrap_or_default();
+        // Legacy positional substring filter (empty = everything).
         all.into_iter()
-            .filter(|(name, _)| filter.is_empty() || name.contains(&filter))
+            .filter(|(name, _)| cli.filter.is_empty() || name.contains(&cli.filter))
             .collect()
     };
 
+    // Keep-going figure loop: one failing figure must not cost the
+    // rest of the sweep (its grid cells already journaled to
+    // --results are kept either way).
+    let mut failures: Vec<(&'static str, String)> = Vec::new();
     for (name, f) in selected {
         let start = std::time::Instant::now();
         println!("==== {name} ====");
-        println!("{}", f());
-        eprintln!("[{name} took {:.1}s]", start.elapsed().as_secs_f32());
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(text) => {
+                println!("{text}");
+                eprintln!("[{name} took {:.1}s]", start.elapsed().as_secs_f32());
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                eprintln!(
+                    "[{name} FAILED after {:.1}s]",
+                    start.elapsed().as_secs_f32()
+                );
+                failures.push((name, msg));
+                if cli.fail_fast {
+                    break;
+                }
+            }
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("==== failure summary ====");
+        eprintln!("{} figure(s) failed:", failures.len());
+        for (name, msg) in &failures {
+            eprintln!("--- {name} ---");
+            for line in msg.trim_end().lines() {
+                eprintln!("  {line}");
+            }
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_values_are_extracted_and_removed() {
+        let cli = parse_cli(argv(&["--record-traces", "td", "fig1"])).unwrap();
+        assert_eq!(cli.record.as_deref(), Some("td"));
+        assert_eq!(cli.filter, "fig1");
+    }
+
+    #[test]
+    fn trailing_flag_without_value_is_an_error_not_a_filter() {
+        let err = parse_cli(argv(&["--record-traces"])).unwrap_err();
+        assert!(err.contains("--record-traces requires a value"), "{err}");
+        let err = parse_cli(argv(&["fig1", "--results"])).unwrap_err();
+        assert!(err.contains("--results requires a value"), "{err}");
+    }
+
+    #[test]
+    fn flag_consuming_another_option_is_an_error() {
+        // Historically `--record-traces --smoke` silently recorded
+        // into a directory literally named `--smoke`.
+        let err = parse_cli(argv(&["--record-traces", "--smoke"])).unwrap_err();
+        assert!(err.contains("the option '--smoke'"), "{err}");
+    }
+
+    #[test]
+    fn record_and_replay_are_mutually_exclusive() {
+        let err = parse_cli(argv(&["--record-traces", "a", "--traces", "b"])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn unknown_options_are_rejected_not_ignored() {
+        let err = parse_cli(argv(&["--keep-gonig"])).unwrap_err();
+        assert!(err.contains("unknown option '--keep-gonig'"), "{err}");
+    }
+
+    #[test]
+    fn switches_and_filters_parse_together() {
+        let cli = parse_cli(argv(&[
+            "--smoke",
+            "--fail-fast",
+            "--keep-going",
+            "--results",
+            "rd",
+            "table",
+        ]))
+        .unwrap();
+        assert!(cli.smoke && cli.fail_fast);
+        assert_eq!(cli.results.as_deref(), Some("rd"));
+        assert_eq!(cli.filter, "table");
+        assert!(!cli.list && !cli.bench_delta);
+    }
+
+    #[test]
+    fn only_takes_an_exact_name() {
+        let cli = parse_cli(argv(&["--only", "fig11_mpki"])).unwrap();
+        assert_eq!(cli.only.as_deref(), Some("fig11_mpki"));
+        assert!(parse_cli(argv(&["--only"])).is_err());
+    }
+
+    #[test]
+    fn every_registered_name_is_unique() {
+        let names: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
     }
 }

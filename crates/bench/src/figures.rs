@@ -17,6 +17,12 @@ fn dc_apps() -> Vec<AppProfile> {
     AppProfile::datacenter_suite()
 }
 
+/// Freezes or dies: figure-level fault isolation (the keep-going loop
+/// in `experiments`) catches the panic and fails just this figure.
+fn must_freeze(spec: &WorkloadSpec, instructions: u64) -> std::sync::Arc<acic_trace::PackedTrace> {
+    trace_store::freeze(spec, instructions).unwrap_or_else(|e| panic!("{e}"))
+}
+
 fn fmt_speedup_rows(
     orgs: &[IcacheOrg],
     baseline: &[SimReport],
@@ -44,7 +50,7 @@ pub fn fig01a_reuse_hist() -> String {
     let n = instruction_budget();
     let mut rows = Vec::new();
     for p in dc_apps() {
-        let wl = trace_store::freeze(&WorkloadSpec::Single(p), n);
+        let wl = must_freeze(&WorkloadSpec::Single(p), n);
         let blocks: Vec<_> = wl.iter().map(|i| i.pc().block()).collect();
         let h = StackDistanceAnalyzer::histogram(&blocks);
         let f = h.fractions();
@@ -68,7 +74,7 @@ pub fn fig01a_reuse_hist() -> String {
 /// Figure 1b: Markov chain of reuse-distance buckets in media
 /// streaming.
 pub fn fig01b_markov() -> String {
-    let wl = trace_store::freeze(
+    let wl = must_freeze(
         &WorkloadSpec::Single(AppProfile::media_streaming()),
         instruction_budget(),
     );
@@ -825,7 +831,7 @@ pub fn sampling_error() -> String {
     let mut rows = Vec::new();
     for spec in &specs {
         // One freeze per spec; every (org, schedule) cell replays it.
-        let trace = trace_store::freeze(spec, n);
+        let trace = must_freeze(spec, n);
         for org in &orgs {
             let cfg = SimConfig::default().with_org(org.clone());
             let t0 = Instant::now();

@@ -17,8 +17,10 @@
 
 pub mod baseline;
 pub mod delta;
+pub mod fault;
 pub mod figures;
 pub mod json;
+pub mod result_store;
 pub mod runner;
 pub mod trace_store;
 

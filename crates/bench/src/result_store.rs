@@ -1,0 +1,827 @@
+//! Resumable on-disk store for finished experiment cells.
+//!
+//! `experiments --results <dir>` persists every computed
+//! [`SimReport`] into a checksummed JSON-lines journal
+//! (`results.jsonl`) keyed by [`cell_key`] — the cell's full identity
+//! `(spec store_key × config hash)`, where the store key embeds the
+//! instruction budget and the config hash covers the organization,
+//! prefetcher, fidelity schedule, and every other [`SimConfig`]
+//! field. A repeated or interrupted sweep replays finished cells from
+//! disk and simulates only the rest, exactly like the trace store
+//! replays frozen traces ([`crate::trace_store`]); the ROADMAP's DSE
+//! driver sits on this store.
+//!
+//! **Journal format** (`acic-results/v1`). Line 1 is the schema
+//! header `{"schema":"acic-results/v1"}`; every further line is one
+//! cell: `{"key":K,"crc":C,"report":R}` where `C` is the FNV-1a 64
+//! hash (16 hex digits) of `K`, a zero byte, and the serialized `R`.
+//! Reports serialize every `u64` as a decimal *string* (the workspace
+//! JSON reader models numbers as `f64`, which is lossy above 2^53)
+//! and every `f64` through its shortest round-trip form (non-finite
+//! values as the strings `"NaN"`/`"inf"`/`"-inf"`), so decoding is
+//! bit-exact — pinned by the round-trip tests below.
+//!
+//! **Failure model.** The journal is rewritten whole through
+//! [`crate::fault::write_atomic`] (sibling tmp + fsync + rename +
+//! directory fsync) on every [`ResultStore::put`], so a crash leaves
+//! either the previous journal or the new one, never a tear at the
+//! final path. Reading drops any line that fails to parse or
+//! checksum — loudly, on stderr — and the affected cells simply
+//! recompute (deterministically, so resume can lose wall-clock but
+//! never correctness). A failed journal write keeps the entry in
+//! memory, warns, and self-heals on the next successful put. The
+//! fault-injection proptests (`tests/fault_injection.rs`) pin the
+//! store invariant: loud failure or bit-identical success, never
+//! silent corruption, and a resumed sweep never loses or
+//! double-counts a completed cell.
+
+use crate::json::Json;
+use acic_cache::CacheStats;
+use acic_core::{AcicStats, CshrStats};
+use acic_sim::branch::btb::BtbStats;
+use acic_sim::branch::tage::TageStats;
+use acic_sim::{BranchStats, PrefetchStats, SampledStats, SimConfig, SimReport};
+use acic_types::stats::Ratio;
+use acic_workloads::WorkloadSpec;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Journal schema tag; bump on any encoding change so an old journal
+/// is rejected loudly instead of decoded wrong.
+pub const SCHEMA: &str = "acic-results/v1";
+
+const JOURNAL_NAME: &str = "results.jsonl";
+
+/// Why a result store could not be opened. Once open, the store
+/// never fails a sweep: read problems degrade to recomputation and
+/// write problems degrade to in-memory retention, both with stderr
+/// warnings.
+#[derive(Debug)]
+pub enum ResultStoreError {
+    /// Creating the store directory or reading the journal failed.
+    Io {
+        /// Path involved.
+        path: PathBuf,
+        /// Underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// The journal's schema header is missing or names a different
+    /// version — refusing to guess at an incompatible encoding.
+    Schema {
+        /// Journal path.
+        path: PathBuf,
+        /// What the header actually said.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for ResultStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResultStoreError::Io { path, source } => {
+                write!(f, "--results: {}: {source}", path.display())
+            }
+            ResultStoreError::Schema { path, found } => write!(
+                f,
+                "--results: {}: journal schema {found:?} is not {SCHEMA:?}; \
+                 refusing to reuse an incompatible journal",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResultStoreError {}
+
+/// The resumable cell store: an in-memory map mirrored to the
+/// on-disk journal on every insert.
+#[derive(Debug)]
+pub struct ResultStore {
+    journal: PathBuf,
+    entries: Mutex<BTreeMap<String, SimReport>>,
+}
+
+impl ResultStore {
+    /// Opens (or creates) the store under `dir`, loading every intact
+    /// journal entry. Corrupt or torn lines are dropped with a
+    /// warning — their cells recompute.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory cannot be created, the journal cannot
+    /// be read (existing but unreadable), or the journal belongs to a
+    /// different schema version.
+    pub fn open(dir: &Path) -> Result<ResultStore, ResultStoreError> {
+        std::fs::create_dir_all(dir).map_err(|source| ResultStoreError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let journal = dir.join(JOURNAL_NAME);
+        let mut entries = BTreeMap::new();
+        if journal.exists() {
+            let bytes = crate::fault::read(&journal).map_err(|source| ResultStoreError::Io {
+                path: journal.clone(),
+                source,
+            })?;
+            let text = String::from_utf8_lossy(&bytes);
+            let mut lines = text.lines().enumerate();
+            match lines.next() {
+                None => {} // empty journal: treat as fresh
+                Some((_, header)) => {
+                    let found = Json::parse(header)
+                        .ok()
+                        .and_then(|h| h.get("schema").and_then(Json::str_val).map(String::from))
+                        .unwrap_or_else(|| header.chars().take(64).collect());
+                    if found != SCHEMA {
+                        return Err(ResultStoreError::Schema {
+                            path: journal,
+                            found,
+                        });
+                    }
+                }
+            }
+            for (lineno, line) in lines {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match decode_entry(line) {
+                    Ok((key, report)) => {
+                        entries.insert(key, report);
+                    }
+                    Err(e) => eprintln!(
+                        "[results: dropping corrupt journal line {} ({e}); \
+                         the cell will recompute]",
+                        lineno + 1
+                    ),
+                }
+            }
+        }
+        Ok(ResultStore {
+            journal,
+            entries: Mutex::new(entries),
+        })
+    }
+
+    /// The journal path (diagnostics and tests).
+    pub fn journal_path(&self) -> &Path {
+        &self.journal
+    }
+
+    /// Finished cells currently known (on disk or retained in
+    /// memory after a failed write).
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether no finished cells are known.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The stored report for a cell, if that cell already finished.
+    pub fn get(&self, key: &str) -> Option<SimReport> {
+        self.entries.lock().unwrap().get(key).cloned()
+    }
+
+    /// Records a finished cell and rewrites the journal atomically.
+    /// On a write failure the entry is kept in memory (the warning is
+    /// the caller's to print — the sweep itself must go on) and the
+    /// next successful put persists it too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the journal write failure.
+    pub fn put(&self, key: &str, report: &SimReport) -> std::io::Result<()> {
+        let mut entries = self.entries.lock().unwrap();
+        entries.insert(key.to_string(), report.clone());
+        let mut out = String::new();
+        out.push_str("{\"schema\":\"");
+        out.push_str(SCHEMA);
+        out.push_str("\"}\n");
+        for (k, r) in entries.iter() {
+            out.push_str(&encode_entry(k, r));
+            out.push('\n');
+        }
+        crate::fault::write_atomic(&self.journal, out.as_bytes())
+    }
+}
+
+static STORE: OnceLock<Arc<ResultStore>> = OnceLock::new();
+
+/// Opens the process-global store (the `--results <dir>` singleton
+/// the [`crate::Runner`] constructors default to). Call at most once,
+/// before any simulation.
+///
+/// # Errors
+///
+/// Propagates [`ResultStore::open`] failures; a second call returns
+/// an IO error of kind [`std::io::ErrorKind::AlreadyExists`].
+pub fn configure(dir: &Path) -> Result<(), ResultStoreError> {
+    let store = Arc::new(ResultStore::open(dir)?);
+    STORE.set(store).map_err(|_| ResultStoreError::Io {
+        path: dir.to_path_buf(),
+        source: std::io::Error::new(
+            std::io::ErrorKind::AlreadyExists,
+            "result store already configured",
+        ),
+    })
+}
+
+/// The process-global store, when `--results` configured one.
+pub fn active() -> Option<Arc<ResultStore>> {
+    STORE.get().cloned()
+}
+
+/// The journal key of one grid cell: the spec's on-disk identity
+/// (which embeds the instruction budget) crossed with a hash of the
+/// *entire* simulator configuration — organization, prefetcher,
+/// fidelity schedule, oracle flags — so no two cells that could
+/// produce different reports ever share a key. The config hash goes
+/// through `Debug` formatting; [`SCHEMA`] guards against the
+/// rendering drifting across versions.
+pub fn cell_key(spec: &WorkloadSpec, instructions: u64, cfg: &SimConfig) -> String {
+    let cfg_hash = crate::fault::fnv1a(crate::fault::FNV_OFFSET, format!("{cfg:?}").as_bytes());
+    format!("{}-c{cfg_hash:016x}", spec.store_key(instructions))
+}
+
+fn line_crc(key: &str, report_json: &str) -> u64 {
+    let h = crate::fault::fnv1a(crate::fault::FNV_OFFSET, key.as_bytes());
+    let h = crate::fault::fnv1a(h, &[0]);
+    crate::fault::fnv1a(h, report_json.as_bytes())
+}
+
+fn encode_entry(key: &str, report: &SimReport) -> String {
+    let r = report_to_json(report);
+    format!(
+        "{{\"key\":{},\"crc\":\"{:016x}\",\"report\":{r}}}",
+        esc(key),
+        line_crc(key, &r)
+    )
+}
+
+fn decode_entry(line: &str) -> Result<(String, SimReport), String> {
+    // The CRC is computed over the serialized report substring, so
+    // re-extract it verbatim rather than re-encoding the parse.
+    let doc = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let key = doc
+        .get("key")
+        .and_then(Json::str_val)
+        .ok_or("missing key")?;
+    let crc = doc
+        .get("crc")
+        .and_then(Json::str_val)
+        .ok_or("missing crc")?;
+    let crc = u64::from_str_radix(crc, 16).map_err(|e| format!("bad crc: {e}"))?;
+    let marker = "\"report\":";
+    let at = line.find(marker).ok_or("missing report")?;
+    let report_json = line[at + marker.len()..]
+        .trim_end()
+        .strip_suffix('}')
+        .ok_or("unterminated entry")?;
+    if line_crc(key, report_json) != crc {
+        return Err("checksum mismatch".into());
+    }
+    let report = report_from_json(doc.get("report").ok_or("missing report")?)?;
+    Ok((key.to_string(), report))
+}
+
+// ---- SimReport <-> JSON (bit-exact, see the module docs) ----
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn ju(v: u64) -> String {
+    format!("\"{v}\"")
+}
+
+fn jf(v: f64) -> String {
+    if v.is_nan() {
+        "\"NaN\"".into()
+    } else if v == f64::INFINITY {
+        "\"inf\"".into()
+    } else if v == f64::NEG_INFINITY {
+        "\"-inf\"".into()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+fn jcache(c: &CacheStats) -> String {
+    format!(
+        "[{},{},{},{},{},{},{},{},{}]",
+        ju(c.demand_accesses),
+        ju(c.demand_misses),
+        ju(c.prefetch_accesses),
+        ju(c.prefetch_misses),
+        ju(c.demand_fills),
+        ju(c.prefetch_fills),
+        ju(c.evictions),
+        ju(c.bypasses),
+        ju(c.flushed_lines),
+    )
+}
+
+fn jratio(r: &Ratio) -> String {
+    format!("[{},{}]", ju(r.numerator()), ju(r.denominator()))
+}
+
+/// Serializes a report for the journal (compact single line).
+pub fn report_to_json(r: &SimReport) -> String {
+    let mut out = String::with_capacity(512);
+    out.push('{');
+    out.push_str(&format!("\"app\":{},", esc(&r.app)));
+    out.push_str(&format!("\"org\":{},", esc(&r.org)));
+    out.push_str(&format!("\"ti\":{},", ju(r.total_instructions)));
+    out.push_str(&format!("\"tc\":{},", ju(r.total_cycles)));
+    out.push_str(&format!("\"mi\":{},", ju(r.measured_instructions)));
+    out.push_str(&format!("\"mc\":{},", ju(r.measured_cycles)));
+    out.push_str(&format!("\"l1i\":{},", jcache(&r.l1i)));
+    out.push_str(&format!("\"l1d\":{},", jcache(&r.l1d)));
+    out.push_str(&format!("\"l2\":{},", jcache(&r.l2)));
+    out.push_str(&format!("\"l3\":{},", jcache(&r.l3)));
+    out.push_str(&format!("\"dram\":{},", ju(r.dram_accesses)));
+    out.push_str(&format!(
+        "\"br\":[{},{},{},{},{},{}],",
+        ju(r.branch.mispredicts),
+        ju(r.branch.tage.predictions),
+        ju(r.branch.tage.mispredictions),
+        ju(r.branch.btb.lookups),
+        ju(r.branch.btb.misses),
+        ju(r.branch.btb.wrong_target),
+    ));
+    out.push_str(&format!(
+        "\"pf\":[{},{}],",
+        ju(r.prefetch.issued),
+        ju(r.prefetch.filtered)
+    ));
+    out.push_str(&format!("\"cs\":{},", ju(r.context_switches)));
+    match &r.acic {
+        None => out.push_str("\"acic\":null,"),
+        Some(a) => {
+            let acc: Vec<String> = a.accuracy.iter().map(jratio).collect();
+            let deltas: Vec<String> = a.insert_delta.iter().map(|&d| ju(d)).collect();
+            out.push_str(&format!(
+                "\"acic\":{{\"d\":{},\"a\":{},\"b\":{},\"f\":{},\"acc\":[{}],\"oa\":{},\"id\":[{}]}},",
+                ju(a.decisions),
+                ju(a.admitted),
+                ju(a.bypassed),
+                ju(a.free_admissions),
+                acc.join(","),
+                jratio(&a.oracle_admits),
+                deltas.join(","),
+            ));
+        }
+    }
+    match &r.cshr {
+        None => out.push_str("\"cshr\":null,"),
+        Some(c) => out.push_str(&format!(
+            "\"cshr\":[{},{},{},{}],",
+            ju(c.inserted),
+            ju(c.victim_first),
+            ju(c.contender_first),
+            ju(c.evicted_unresolved),
+        )),
+    }
+    match &r.cshr_lifetimes {
+        None => out.push_str("\"life\":null,"),
+        Some(l) => {
+            let vals: Vec<String> = l.iter().map(|&v| jf(v)).collect();
+            out.push_str(&format!("\"life\":[{}],", vals.join(",")));
+        }
+    }
+    match &r.sampled {
+        None => out.push_str("\"sampled\":null"),
+        Some(s) => out.push_str(&format!(
+            "\"sampled\":[{},{},{},{},{},{},{},{},{},{}]",
+            ju(s.windows),
+            ju(s.detailed_instructions),
+            ju(s.warmup_instructions),
+            ju(s.fastforward_instructions),
+            jf(s.ipc_mean),
+            jf(s.ipc_ci95),
+            jf(s.mpki_mean),
+            jf(s.mpki_ci95),
+            jf(s.est_total_cycles),
+            jf(s.est_total_misses),
+        )),
+    }
+    out.push('}');
+    out
+}
+
+fn s_str(j: Option<&Json>, what: &str) -> Result<String, String> {
+    j.and_then(Json::str_val)
+        .map(String::from)
+        .ok_or_else(|| format!("{what}: expected string"))
+}
+
+fn s_u64(j: Option<&Json>, what: &str) -> Result<u64, String> {
+    j.and_then(Json::str_val)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("{what}: expected u64 string"))
+}
+
+fn s_f64(j: Option<&Json>, what: &str) -> Result<f64, String> {
+    match j {
+        Some(Json::Num(n)) => Ok(*n),
+        Some(Json::Str(s)) => match s.as_str() {
+            "NaN" => Ok(f64::NAN),
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            _ => Err(format!("{what}: bad f64 string {s:?}")),
+        },
+        _ => Err(format!("{what}: expected f64")),
+    }
+}
+
+fn s_arr<'a>(j: Option<&'a Json>, len: usize, what: &str) -> Result<&'a [Json], String> {
+    match j {
+        Some(Json::Arr(items)) if items.len() == len => Ok(items),
+        Some(Json::Arr(items)) => Err(format!("{what}: expected {len} items, got {}", items.len())),
+        _ => Err(format!("{what}: expected array")),
+    }
+}
+
+fn s_cache(j: Option<&Json>, what: &str) -> Result<CacheStats, String> {
+    let a = s_arr(j, 9, what)?;
+    let g = |i: usize| s_u64(Some(&a[i]), what);
+    Ok(CacheStats {
+        demand_accesses: g(0)?,
+        demand_misses: g(1)?,
+        prefetch_accesses: g(2)?,
+        prefetch_misses: g(3)?,
+        demand_fills: g(4)?,
+        prefetch_fills: g(5)?,
+        evictions: g(6)?,
+        bypasses: g(7)?,
+        flushed_lines: g(8)?,
+    })
+}
+
+fn s_ratio(j: Option<&Json>, what: &str) -> Result<Ratio, String> {
+    let a = s_arr(j, 2, what)?;
+    Ok(Ratio::from_parts(
+        s_u64(Some(&a[0]), what)?,
+        s_u64(Some(&a[1]), what)?,
+    ))
+}
+
+/// Decodes a report serialized by [`report_to_json`].
+///
+/// # Errors
+///
+/// Describes the first missing or ill-typed field.
+pub fn report_from_json(doc: &Json) -> Result<SimReport, String> {
+    let br = s_arr(doc.get("br"), 6, "br")?;
+    let pf = s_arr(doc.get("pf"), 2, "pf")?;
+    let acic = match doc.get("acic") {
+        None => return Err("missing acic".into()),
+        Some(Json::Null) => None,
+        Some(a) => {
+            let acc_items = s_arr(
+                a.get("acc"),
+                acic_core::acic::ACCURACY_BOUNDS.len(),
+                "acic.acc",
+            )?;
+            let mut accuracy = [Ratio::default(); acic_core::acic::ACCURACY_BOUNDS.len()];
+            for (slot, item) in accuracy.iter_mut().zip(acc_items) {
+                *slot = s_ratio(Some(item), "acic.acc")?;
+            }
+            let delta_items = s_arr(a.get("id"), 11, "acic.id")?;
+            let mut insert_delta = [0u64; 11];
+            for (slot, item) in insert_delta.iter_mut().zip(delta_items) {
+                *slot = s_u64(Some(item), "acic.id")?;
+            }
+            Some(AcicStats {
+                decisions: s_u64(a.get("d"), "acic.d")?,
+                admitted: s_u64(a.get("a"), "acic.a")?,
+                bypassed: s_u64(a.get("b"), "acic.b")?,
+                free_admissions: s_u64(a.get("f"), "acic.f")?,
+                accuracy,
+                oracle_admits: s_ratio(a.get("oa"), "acic.oa")?,
+                insert_delta,
+            })
+        }
+    };
+    let cshr = match doc.get("cshr") {
+        None => return Err("missing cshr".into()),
+        Some(Json::Null) => None,
+        Some(c) => {
+            let a = s_arr(Some(c), 4, "cshr")?;
+            Some(CshrStats {
+                inserted: s_u64(Some(&a[0]), "cshr")?,
+                victim_first: s_u64(Some(&a[1]), "cshr")?,
+                contender_first: s_u64(Some(&a[2]), "cshr")?,
+                evicted_unresolved: s_u64(Some(&a[3]), "cshr")?,
+            })
+        }
+    };
+    let cshr_lifetimes = match doc.get("life") {
+        None => return Err("missing life".into()),
+        Some(Json::Null) => None,
+        Some(l) => {
+            let a = s_arr(Some(l), acic_core::cshr::LIFETIME_BUCKETS, "life")?;
+            let mut out = [0.0; acic_core::cshr::LIFETIME_BUCKETS];
+            for (slot, item) in out.iter_mut().zip(a) {
+                *slot = s_f64(Some(item), "life")?;
+            }
+            Some(out)
+        }
+    };
+    let sampled = match doc.get("sampled") {
+        None => return Err("missing sampled".into()),
+        Some(Json::Null) => None,
+        Some(s) => {
+            let a = s_arr(Some(s), 10, "sampled")?;
+            Some(SampledStats {
+                windows: s_u64(Some(&a[0]), "sampled")?,
+                detailed_instructions: s_u64(Some(&a[1]), "sampled")?,
+                warmup_instructions: s_u64(Some(&a[2]), "sampled")?,
+                fastforward_instructions: s_u64(Some(&a[3]), "sampled")?,
+                ipc_mean: s_f64(Some(&a[4]), "sampled")?,
+                ipc_ci95: s_f64(Some(&a[5]), "sampled")?,
+                mpki_mean: s_f64(Some(&a[6]), "sampled")?,
+                mpki_ci95: s_f64(Some(&a[7]), "sampled")?,
+                est_total_cycles: s_f64(Some(&a[8]), "sampled")?,
+                est_total_misses: s_f64(Some(&a[9]), "sampled")?,
+            })
+        }
+    };
+    Ok(SimReport {
+        app: s_str(doc.get("app"), "app")?,
+        org: s_str(doc.get("org"), "org")?,
+        total_instructions: s_u64(doc.get("ti"), "ti")?,
+        total_cycles: s_u64(doc.get("tc"), "tc")?,
+        measured_instructions: s_u64(doc.get("mi"), "mi")?,
+        measured_cycles: s_u64(doc.get("mc"), "mc")?,
+        l1i: s_cache(doc.get("l1i"), "l1i")?,
+        l1d: s_cache(doc.get("l1d"), "l1d")?,
+        l2: s_cache(doc.get("l2"), "l2")?,
+        l3: s_cache(doc.get("l3"), "l3")?,
+        dram_accesses: s_u64(doc.get("dram"), "dram")?,
+        branch: BranchStats {
+            mispredicts: s_u64(Some(&br[0]), "br")?,
+            tage: TageStats {
+                predictions: s_u64(Some(&br[1]), "br")?,
+                mispredictions: s_u64(Some(&br[2]), "br")?,
+            },
+            btb: BtbStats {
+                lookups: s_u64(Some(&br[3]), "br")?,
+                misses: s_u64(Some(&br[4]), "br")?,
+                wrong_target: s_u64(Some(&br[5]), "br")?,
+            },
+        },
+        prefetch: PrefetchStats {
+            issued: s_u64(Some(&pf[0]), "pf")?,
+            filtered: s_u64(Some(&pf[1]), "pf")?,
+        },
+        context_switches: s_u64(doc.get("cs"), "cs")?,
+        acic,
+        cshr,
+        cshr_lifetimes,
+        sampled,
+    })
+}
+
+/// The CI kill-and-resume check (`experiments --results-smoke`): runs
+/// a small grid against a fresh store, tears the journal mid-file (a
+/// kill while rewriting would at worst leave the *previous* journal —
+/// this is strictly harsher), reopens, and reruns. The resumed grid
+/// must be bit-identical to an uninterrupted reference run, the torn
+/// journal must cost only recomputation, and a third run must replay
+/// every cell without simulating anything.
+///
+/// # Errors
+///
+/// Describes the first violated invariant.
+pub fn results_smoke() -> Result<String, String> {
+    use crate::runner::Runner;
+    use acic_sim::IcacheOrg;
+    use acic_workloads::AppProfile;
+
+    let dir = std::env::temp_dir().join(format!("acic-results-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let instructions = 20_000;
+    let configs = vec![
+        SimConfig::default(),
+        SimConfig::default().with_org(IcacheOrg::acic_default()),
+    ];
+    let specs = vec![
+        WorkloadSpec::Single(AppProfile::web_search()),
+        WorkloadSpec::Single(AppProfile::tpc_c()),
+    ];
+    let cells = (configs.len() * specs.len()) as u64;
+    let mut runner = Runner::new();
+    runner.instructions = instructions;
+    runner.store = None;
+    let reference = runner
+        .try_run_grid(&configs, &specs)
+        .map_err(|e| e.to_string())?;
+
+    runner.store = Some(Arc::new(
+        ResultStore::open(&dir).map_err(|e| e.to_string())?,
+    ));
+    let first = runner
+        .try_run_grid(&configs, &specs)
+        .map_err(|e| e.to_string())?;
+    if first.computed != cells {
+        return Err(format!(
+            "fresh store: expected {cells} computed cells, got {}",
+            first.computed
+        ));
+    }
+
+    // Tear the journal at 60% — mid-line, after several entries.
+    let journal = dir.join(JOURNAL_NAME);
+    let bytes = std::fs::read(&journal).map_err(|e| e.to_string())?;
+    std::fs::write(&journal, &bytes[..bytes.len() * 3 / 5]).map_err(|e| e.to_string())?;
+
+    runner.store = Some(Arc::new(
+        ResultStore::open(&dir).map_err(|e| e.to_string())?,
+    ));
+    let resumed = runner
+        .try_run_grid(&configs, &specs)
+        .map_err(|e| e.to_string())?;
+    if resumed.computed == 0 || resumed.computed == cells {
+        return Err(format!(
+            "torn journal: expected a partial recompute, got {} of {cells}",
+            resumed.computed
+        ));
+    }
+    if format!("{:?}", resumed.grid) != format!("{:?}", reference.grid) {
+        return Err("resumed grid diverged from the uninterrupted run".into());
+    }
+
+    runner.store = Some(Arc::new(
+        ResultStore::open(&dir).map_err(|e| e.to_string())?,
+    ));
+    let third = runner
+        .try_run_grid(&configs, &specs)
+        .map_err(|e| e.to_string())?;
+    if third.computed != 0 || third.replayed != cells {
+        return Err(format!(
+            "healed store: expected {cells} replayed / 0 computed, got {} / {}",
+            third.replayed, third.computed
+        ));
+    }
+    if format!("{:?}", third.grid) != format!("{:?}", reference.grid) {
+        return Err("replayed grid diverged from the uninterrupted run".into());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(format!(
+        "results-smoke: {cells} cells; torn journal kept {} cells, resume recomputed {}, \
+         final replay bit-identical\n",
+        cells - resumed.computed,
+        resumed.computed
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic_sim::{IcacheOrg, Simulator};
+    use acic_workloads::AppProfile;
+
+    fn tdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("acic-results-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_report(org: IcacheOrg) -> SimReport {
+        let spec = WorkloadSpec::Single(AppProfile::web_search());
+        let cfg = SimConfig {
+            attach_oracle: true,
+            ..SimConfig::default()
+        }
+        .with_org(org);
+        Simulator::run(&cfg, &spec.generator(4_000))
+    }
+
+    #[test]
+    fn report_json_round_trip_is_bit_exact() {
+        // An ACIC run exercises every optional block except sampled.
+        for report in [
+            sample_report(IcacheOrg::acic_default()),
+            sample_report(IcacheOrg::Lru),
+        ] {
+            let json = report_to_json(&report);
+            let back = report_from_json(&Json::parse(&json).unwrap()).unwrap();
+            assert_eq!(format!("{report:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn report_json_handles_extreme_values() {
+        let report = SimReport {
+            app: "weird \"name\"\n".into(),
+            org: "x\\y".into(),
+            total_instructions: u64::MAX,
+            total_cycles: (1 << 53) + 1, // above f64's exact-integer range
+            sampled: Some(SampledStats {
+                windows: 3,
+                ipc_mean: f64::NAN,
+                ipc_ci95: f64::INFINITY,
+                mpki_mean: f64::NEG_INFINITY,
+                mpki_ci95: 0.1 + 0.2, // not exactly 0.3
+                ..SampledStats::default()
+            }),
+            cshr_lifetimes: Some([0.125; acic_core::cshr::LIFETIME_BUCKETS]),
+            ..SimReport::default()
+        };
+        let json = report_to_json(&report);
+        let back = report_from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(format!("{report:?}"), format!("{back:?}"));
+        assert_eq!(back.total_cycles, (1 << 53) + 1, "u64 exactness above 2^53");
+    }
+
+    #[test]
+    fn store_round_trips_entries_across_reopen() {
+        let dir = tdir("reopen");
+        let report = sample_report(IcacheOrg::acic_default());
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        store.put("cell-a", &report).unwrap();
+        store.put("cell-b", &report).unwrap();
+        drop(store);
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        let back = store.get("cell-a").expect("persisted");
+        assert_eq!(format!("{back:?}"), format!("{report:?}"));
+        assert!(store.get("cell-missing").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_lines_are_dropped_not_decoded() {
+        let dir = tdir("corrupt");
+        let report = sample_report(IcacheOrg::Lru);
+        let store = ResultStore::open(&dir).unwrap();
+        store.put("good", &report).unwrap();
+        store.put("flipped", &report).unwrap();
+        drop(store);
+        // Flip one digit inside the *flipped* entry's report payload:
+        // its CRC must now reject the line.
+        let journal = dir.join(JOURNAL_NAME);
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let target = text
+            .lines()
+            .find(|l| l.contains("\"flipped\""))
+            .unwrap()
+            .to_string();
+        let tampered = {
+            let at = target.find("\"report\":").unwrap() + 20;
+            let mut bytes = target.clone().into_bytes();
+            let digit = (at..bytes.len())
+                .find(|&i| bytes[i].is_ascii_digit())
+                .unwrap();
+            bytes[digit] = if bytes[digit] == b'9' { b'8' } else { b'9' };
+            String::from_utf8(bytes).unwrap()
+        };
+        std::fs::write(&journal, text.replace(&target, &tampered)).unwrap();
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.get("flipped").is_none(), "tampered line dropped");
+        assert!(store.get("good").is_some(), "healthy line survives");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_schema_is_a_typed_error() {
+        let dir = tdir("schema");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(JOURNAL_NAME), "{\"schema\":\"acic-results/v0\"}\n").unwrap();
+        let err = ResultStore::open(&dir).expect_err("schema mismatch");
+        assert!(matches!(err, ResultStoreError::Schema { .. }));
+        assert!(err.to_string().contains("acic-results/v0"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_keys_separate_configs_and_budgets() {
+        let spec = WorkloadSpec::Single(AppProfile::web_search());
+        let lru = SimConfig::default();
+        let acic = SimConfig::default().with_org(IcacheOrg::acic_default());
+        let a = cell_key(&spec, 1_000, &lru);
+        let b = cell_key(&spec, 1_000, &acic);
+        let c = cell_key(&spec, 2_000, &lru);
+        assert_ne!(a, b, "config hash separates organizations");
+        assert_ne!(a, c, "store key separates budgets");
+        assert_eq!(a, cell_key(&spec, 1_000, &SimConfig::default()));
+    }
+}

@@ -1,5 +1,6 @@
 //! Shared experiment plumbing: instruction budgets, spec-keyed frozen
-//! traces, parallel simulation fan-out, and markdown rendering.
+//! traces, fault-isolated parallel simulation fan-out, resumable
+//! grids, and markdown rendering.
 //!
 //! Every experiment path acquires instructions the same way now: a
 //! [`WorkloadSpec`] is frozen **once** into an immutable
@@ -11,23 +12,56 @@
 //! time after the simulators got fast. Replay is bit-identical to
 //! generation (same stream, same name-derived seeds), pinned by
 //! `frozen_grid_matches_generator_backed_runs` below.
+//!
+//! **Fault isolation.** Grid cells run on the detached-thread
+//! executor [`run_cells`]: each cell is wrapped in `catch_unwind`, so
+//! one panicking cell becomes one [`CellError`] instead of tearing
+//! down the whole sweep, and a soft watchdog (`ACIC_CELL_TIMEOUT_SECS`)
+//! marks cells that exceed the budget failed without killing the
+//! process. [`Runner::try_run_grid`] surfaces the per-cell outcomes
+//! as a structured [`GridError`]; [`Runner::run_grid`] keeps the
+//! infallible signature for figure code and panics with that
+//! structured report (which the `experiments` keep-going loop then
+//! catches per figure).
+//!
+//! **Resume.** When a [`crate::result_store::ResultStore`] is
+//! attached (`experiments --results <dir>`, or [`Runner::store`]
+//! directly), every finished cell is journaled as soon as it
+//! completes and an interrupted sweep replays finished cells from
+//! disk, simulating only the rest.
 
+use crate::result_store::{cell_key, ResultStore};
 use acic_sim::{IcacheOrg, PrefetcherKind, SampleSchedule, SimConfig, SimReport, Simulator};
 use acic_trace::PackedTrace;
 use acic_workloads::AppProfile;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Once};
+use std::time::{Duration, Instant};
 
 pub use acic_workloads::{short_name, split_budget, WorkloadSpec};
 
+static BUDGET_WARNING: Once = Once::new();
+static THREADS_WARNING: Once = Once::new();
+static TIMEOUT_WARNING: Once = Once::new();
+
+fn warn_ignored(once: &'static Once, var: &str, raw: &str) {
+    once.call_once(|| {
+        eprintln!("[warning: {var}={raw:?} is not a valid value; override ignored]");
+    });
+}
+
 /// Instructions simulated per application: `ACIC_EXP_INSTRUCTIONS` or
 /// 1 M (the paper runs 500 M–1 B; shapes stabilize well below that).
+/// An unparseable override warns once on stderr and falls back.
 pub fn instruction_budget() -> u64 {
-    std::env::var("ACIC_EXP_INSTRUCTIONS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1_000_000)
+    match std::env::var("ACIC_EXP_INSTRUCTIONS") {
+        Ok(raw) => raw.parse().unwrap_or_else(|_| {
+            warn_ignored(&BUDGET_WARNING, "ACIC_EXP_INSTRUCTIONS", &raw);
+            1_000_000
+        }),
+        Err(_) => 1_000_000,
+    }
 }
 
 /// Resolves the grid worker count from an `ACIC_BENCH_THREADS`-style
@@ -43,20 +77,139 @@ pub fn bench_threads_from(var: Option<&str>, available: usize) -> usize {
 }
 
 /// Grid worker count: `ACIC_BENCH_THREADS` (clamped to ≥ 1) or the
-/// machine's available parallelism.
+/// machine's available parallelism. An override that parses to
+/// nothing usable warns once on stderr and is ignored.
 pub fn bench_threads() -> usize {
+    let raw = std::env::var("ACIC_BENCH_THREADS").ok();
+    if let Some(r) = raw.as_deref() {
+        if r.parse::<usize>().ok().filter(|&n| n >= 1).is_none() {
+            warn_ignored(&THREADS_WARNING, "ACIC_BENCH_THREADS", r);
+        }
+    }
     bench_threads_from(
-        std::env::var("ACIC_BENCH_THREADS").ok().as_deref(),
+        raw.as_deref(),
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(2),
     )
 }
 
+/// Resolves the per-cell soft watchdog from an
+/// `ACIC_CELL_TIMEOUT_SECS`-style value: a positive integer arms the
+/// watchdog, `0` (or unset) disables it. Pure for testability.
+pub fn cell_timeout_from(var: Option<&str>) -> Option<Duration> {
+    var.and_then(|v| v.parse::<u64>().ok())
+        .filter(|&s| s > 0)
+        .map(Duration::from_secs)
+}
+
+/// Per-cell soft watchdog: `ACIC_CELL_TIMEOUT_SECS` seconds, disabled
+/// when unset or `0`. An unparseable value warns once and is ignored.
+pub fn cell_timeout() -> Option<Duration> {
+    let raw = std::env::var("ACIC_CELL_TIMEOUT_SECS").ok();
+    if let Some(r) = raw.as_deref() {
+        if r.parse::<u64>().is_err() {
+            warn_ignored(&TIMEOUT_WARNING, "ACIC_CELL_TIMEOUT_SECS", r);
+        }
+    }
+    cell_timeout_from(raw.as_deref())
+}
+
+/// Why one grid cell failed while the rest of the sweep went on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CellError {
+    /// The cell's simulation panicked; the payload message.
+    Panicked(String),
+    /// The cell exceeded the soft watchdog budget.
+    TimedOut(Duration),
+    /// The cell never ran: every worker was wedged in a timed-out
+    /// cell (or the worker pool died), so no thread was left to pick
+    /// it up.
+    Starved,
+    /// The cell's workload could not be frozen (trace-store write
+    /// failure or a panic during materialization).
+    Freeze(String),
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::Panicked(msg) => write!(f, "panicked: {msg}"),
+            CellError::TimedOut(limit) => {
+                write!(f, "exceeded the {}s cell watchdog", limit.as_secs())
+            }
+            CellError::Starved => write!(f, "starved: no live worker left to run it"),
+            CellError::Freeze(msg) => write!(f, "workload freeze failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// One failed cell inside a [`GridError`], located by its labels.
+#[derive(Clone, Debug)]
+pub struct CellFailure {
+    /// Config row index and the organization's display label.
+    pub config: String,
+    /// The workload spec's display label.
+    pub spec: String,
+    /// What went wrong.
+    pub error: CellError,
+}
+
+/// The structured end-of-grid failure report: every cell that failed,
+/// plus how much of the sweep still completed. `Display` renders the
+/// human-readable summary the `experiments` binary prints.
+#[derive(Debug)]
+pub struct GridError {
+    /// Cells that produced a report.
+    pub completed: usize,
+    /// Total cells in the grid.
+    pub total: usize,
+    /// Every failed cell with its location and cause.
+    pub failures: Vec<CellFailure>,
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "grid failed: {} of {} cells completed, {} failed",
+            self.completed,
+            self.total,
+            self.failures.len()
+        )?;
+        for fail in &self.failures {
+            writeln!(f, "  [{} x {}]: {}", fail.config, fail.spec, fail.error)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// A successful grid sweep plus its provenance counters.
+pub struct GridRun {
+    /// Reports in `configs x specs` order.
+    pub grid: Vec<Vec<SimReport>>,
+    /// Cells served from the attached result store.
+    pub replayed: u64,
+    /// Cells actually simulated this run.
+    pub computed: u64,
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    p.downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
 /// Work-stealing parallel map over `0..work`: an atomic cursor hands
 /// out indices so long items (OPT cells, oracle pre-passes) don't
 /// serialize behind static chunking. Results come back in index
-/// order; `f` runs on worker threads.
+/// order; `f` runs on worker threads. Panics in `f` propagate —
+/// fault-isolated execution is [`run_cells`].
 fn fan_out<T: Send>(work: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     if work == 0 {
         return Vec::new();
@@ -88,11 +241,134 @@ fn fan_out<T: Send>(work: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
         .collect()
 }
 
+/// Fault-isolated parallel map over `0..work` on **detached** worker
+/// threads: each cell runs under `catch_unwind` (a panic fails that
+/// cell alone), and with `timeout` armed a soft watchdog marks cells
+/// that exceed it [`CellError::TimedOut`] without killing the worker
+/// — the thread is presumed wedged, and if *every* worker wedges, the
+/// not-yet-started cells resolve as [`CellError::Starved`] instead of
+/// hanging the process. A wedged worker that eventually finishes has
+/// its late result discarded (the cell already failed loudly) and
+/// goes back to stealing work.
+///
+/// Detached threads (not `thread::scope`) are the point: a scope
+/// join would block on a hung worker forever, which is exactly the
+/// dead-process failure mode this executor exists to remove.
+pub fn run_cells<T: Send + 'static>(
+    work: usize,
+    threads: usize,
+    timeout: Option<Duration>,
+    f: impl Fn(usize) -> T + Send + Sync + 'static,
+) -> Vec<Result<T, CellError>> {
+    enum Msg<T> {
+        Started(usize, Instant),
+        Finished(usize, Result<T, String>),
+    }
+    enum St<T> {
+        Pending,
+        Running(Instant),
+        Done(Result<T, CellError>),
+    }
+
+    if work == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, work);
+    let f = Arc::new(f);
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = mpsc::channel::<Msg<T>>();
+    for _ in 0..threads {
+        let tx = tx.clone();
+        let f = Arc::clone(&f);
+        let cursor = Arc::clone(&cursor);
+        std::thread::spawn(move || loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= work {
+                break;
+            }
+            if tx.send(Msg::Started(i, Instant::now())).is_err() {
+                break; // collector gone (grid already resolved)
+            }
+            let res = catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| panic_message(&*p));
+            if tx.send(Msg::Finished(i, res)).is_err() {
+                break;
+            }
+        });
+    }
+    drop(tx);
+
+    let mut states: Vec<St<T>> = (0..work).map(|_| St::Pending).collect();
+    let mut resolved = 0usize;
+    // Cells the watchdog failed whose worker hasn't reported back:
+    // each one pins a presumed-wedged worker thread.
+    let mut wedged: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    while resolved < work {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(Msg::Started(i, at)) => {
+                if !matches!(states[i], St::Done(_)) {
+                    states[i] = St::Running(at);
+                }
+            }
+            Ok(Msg::Finished(i, res)) => {
+                if wedged.remove(&i) {
+                    continue; // late result: the watchdog already failed this cell
+                }
+                if matches!(states[i], St::Done(_)) {
+                    continue;
+                }
+                states[i] = St::Done(res.map_err(CellError::Panicked));
+                resolved += 1;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // All workers exited; anything unresolved can never
+                // arrive.
+                for s in states.iter_mut() {
+                    if !matches!(s, St::Done(_)) {
+                        *s = St::Done(Err(CellError::Starved));
+                        resolved += 1;
+                    }
+                }
+            }
+        }
+        if let Some(limit) = timeout {
+            for (i, s) in states.iter_mut().enumerate() {
+                if matches!(s, St::Running(at) if at.elapsed() > limit) {
+                    *s = St::Done(Err(CellError::TimedOut(limit)));
+                    resolved += 1;
+                    wedged.insert(i);
+                }
+            }
+            if wedged.len() >= threads {
+                // Every worker is stuck inside a timed-out cell; the
+                // queue will never drain.
+                for s in states.iter_mut() {
+                    if matches!(s, St::Pending) {
+                        *s = St::Done(Err(CellError::Starved));
+                        resolved += 1;
+                    }
+                }
+            }
+        }
+    }
+    states
+        .into_iter()
+        .map(|s| match s {
+            St::Done(r) => r,
+            _ => Err(CellError::Starved),
+        })
+        .collect()
+}
+
 /// Freezes every spec in `specs` exactly once (structurally equal
-/// specs share one frozen trace) and returns the per-spec shared
-/// handles, in input order. Freezing fans out across the bench worker
-/// pool — each distinct spec is one generation+encode pass.
-pub fn freeze_specs(specs: &[WorkloadSpec], instructions: u64) -> Vec<Arc<PackedTrace>> {
+/// specs share one frozen trace) and returns the per-spec outcomes,
+/// in input order — a freeze failure (store write error or a panic
+/// during materialization) fails only the cells that need that spec.
+/// Freezing fans out across the bench worker pool.
+pub fn try_freeze_specs(
+    specs: &[WorkloadSpec],
+    instructions: u64,
+) -> Vec<Result<Arc<PackedTrace>, String>> {
     // Dedup by structural equality: map every spec to the ordinal of
     // its first occurrence.
     let mut unique: Vec<usize> = Vec::new();
@@ -107,14 +383,34 @@ pub fn freeze_specs(specs: &[WorkloadSpec], instructions: u64) -> Vec<Arc<Packed
         }
     }
     let frozen = fan_out(unique.len(), |u| {
-        crate::trace_store::freeze(&specs[unique[u]], instructions)
+        let spec = &specs[unique[u]];
+        match catch_unwind(AssertUnwindSafe(|| {
+            crate::trace_store::freeze(spec, instructions)
+        })) {
+            Ok(Ok(t)) => Ok(t),
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(p) => Err(panic_message(&*p)),
+        }
     });
     to_unique.into_iter().map(|u| frozen[u].clone()).collect()
 }
 
+/// [`try_freeze_specs`] for callers without a per-cell failure path;
+/// panics on the first freeze failure.
+pub fn freeze_specs(specs: &[WorkloadSpec], instructions: u64) -> Vec<Arc<PackedTrace>> {
+    try_freeze_specs(specs, instructions)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("workload freeze failed: {e}")))
+        .collect()
+}
+
+fn must_freeze(spec: &WorkloadSpec, instructions: u64) -> Arc<PackedTrace> {
+    crate::trace_store::freeze(spec, instructions).unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// Runs one spec under `cfg` by replaying its frozen trace.
 pub fn run_spec(cfg: &SimConfig, spec: &WorkloadSpec, instructions: u64) -> SimReport {
-    let trace = crate::trace_store::freeze(spec, instructions);
+    let trace = must_freeze(spec, instructions);
     Simulator::run(cfg, trace.as_ref())
 }
 
@@ -141,11 +437,35 @@ pub fn run_pair(
     profile: &AppProfile,
     instructions: u64,
 ) -> (SimReport, SimReport) {
-    let trace = crate::trace_store::freeze(&WorkloadSpec::Single(profile.clone()), instructions);
+    let trace = must_freeze(&WorkloadSpec::Single(profile.clone()), instructions);
     (
         Simulator::run(cfg, trace.as_ref()),
         Simulator::run(baseline, trace.as_ref()),
     )
+}
+
+/// Deliberate failure injection for crash-safety tests: the CLI and
+/// integration tests pin a single cell to panic, abort, or stall via
+/// `ACIC_PANIC_CELL`/`ACIC_ABORT_CELL`/`ACIC_STALL_CELL`
+/// (`"<config>:<spec>"`, stall with a `":<millis>"` suffix). No-ops
+/// unless the matching variable is set.
+fn injected_cell_failure(c: usize, a: usize) {
+    let matches_cell = |var: &str| -> Option<Vec<u64>> {
+        let raw = std::env::var(var).ok()?;
+        let parts: Vec<u64> = raw.split(':').filter_map(|p| p.parse().ok()).collect();
+        (parts.len() >= 2 && parts[0] == c as u64 && parts[1] == a as u64).then_some(parts)
+    };
+    if matches_cell("ACIC_PANIC_CELL").is_some() {
+        panic!("injected test panic in cell ({c},{a})");
+    }
+    if matches_cell("ACIC_ABORT_CELL").is_some() {
+        eprintln!("[injected abort in cell ({c},{a})]");
+        std::process::abort();
+    }
+    if let Some(parts) = matches_cell("ACIC_STALL_CELL") {
+        let millis = parts.get(2).copied().unwrap_or(60_000);
+        std::thread::sleep(Duration::from_millis(millis));
+    }
 }
 
 /// A parallel fan-out over (organization x application) grids.
@@ -154,6 +474,13 @@ pub struct Runner {
     pub instructions: u64,
     /// Baseline configuration (LRU + the chosen prefetcher).
     pub baseline: SimConfig,
+    /// Resumable cell store; finished cells are journaled as they
+    /// complete and replayed on the next run. Constructors default to
+    /// the `--results` global ([`crate::result_store::active`]).
+    pub store: Option<Arc<ResultStore>>,
+    /// Soft per-cell watchdog; constructors default to
+    /// `ACIC_CELL_TIMEOUT_SECS` ([`cell_timeout`]).
+    pub cell_timeout: Option<Duration>,
 }
 
 impl Runner {
@@ -162,6 +489,8 @@ impl Runner {
         Runner {
             instructions: instruction_budget(),
             baseline: SimConfig::default(),
+            store: crate::result_store::active(),
+            cell_timeout: cell_timeout(),
         }
     }
 
@@ -169,8 +498,8 @@ impl Runner {
     /// (Figures 20/21 use the entangling prefetcher).
     pub fn with_prefetcher(prefetcher: PrefetcherKind) -> Self {
         Runner {
-            instructions: instruction_budget(),
             baseline: SimConfig::default().with_prefetcher(prefetcher),
+            ..Runner::new()
         }
     }
 
@@ -179,8 +508,8 @@ impl Runner {
     /// the given fidelity schedule.
     pub fn with_schedule(schedule: SampleSchedule) -> Self {
         Runner {
-            instructions: instruction_budget(),
             baseline: SimConfig::default().with_schedule(schedule),
+            ..Runner::new()
         }
     }
 
@@ -202,20 +531,143 @@ impl Runner {
     /// from the workload name — never from cell order, thread
     /// identity, or wall-clock time (asserted by
     /// `frozen_grid_matches_generator_backed_runs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the structured [`GridError`] report when any cell
+    /// fails; callers with a failure path use [`Runner::try_run_grid`].
     pub fn run_grid(&self, configs: &[SimConfig], specs: &[WorkloadSpec]) -> Vec<Vec<SimReport>> {
-        let traces = freeze_specs(specs, self.instructions);
-        let flat = fan_out(configs.len() * specs.len(), |i| {
-            let (c, a) = (i / specs.len(), i % specs.len());
-            Simulator::run(&configs[c], traces[a].as_ref())
-        });
-        Self::into_rows(flat, specs.len())
+        match self.try_run_grid(configs, specs) {
+            Ok(run) => run.grid,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Runner::run_grid`] with per-cell fault isolation surfaced:
+    /// every cell runs under `catch_unwind` on the [`run_cells`]
+    /// executor, a failing cell becomes one entry in the returned
+    /// [`GridError`] while every other cell still completes (and is
+    /// journaled when a store is attached), and the soft watchdog
+    /// fails wedged cells instead of hanging the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns the structured failure report when at least one cell
+    /// failed; completed cells are still journaled to the store, so a
+    /// rerun resumes rather than restarts.
+    pub fn try_run_grid(
+        &self,
+        configs: &[SimConfig],
+        specs: &[WorkloadSpec],
+    ) -> Result<GridRun, GridError> {
+        let (n_cfg, n_spec) = (configs.len(), specs.len());
+        let n = n_cfg * n_spec;
+        if n == 0 {
+            return Ok(GridRun {
+                grid: vec![Vec::new(); n_cfg],
+                replayed: 0,
+                computed: 0,
+            });
+        }
+        let frozen = try_freeze_specs(specs, self.instructions);
+        let mut slots: Vec<Option<Result<SimReport, CellError>>> = (0..n).map(|_| None).collect();
+        let keys: Vec<String> = match &self.store {
+            Some(_) => (0..n)
+                .map(|i| cell_key(&specs[i % n_spec], self.instructions, &configs[i / n_spec]))
+                .collect(),
+            None => Vec::new(),
+        };
+        let mut replayed = 0u64;
+        if let Some(store) = &self.store {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if let Some(report) = store.get(&keys[i]) {
+                    *slot = Some(Ok(report));
+                    replayed += 1;
+                }
+            }
+        }
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                if let Err(e) = &frozen[i % n_spec] {
+                    *slot = Some(Err(CellError::Freeze(e.clone())));
+                }
+            }
+        }
+        let todo: Vec<usize> = (0..n).filter(|&i| slots[i].is_none()).collect();
+        let computed = todo.len() as u64;
+        if !todo.is_empty() {
+            let configs_arc: Arc<Vec<SimConfig>> = Arc::new(configs.to_vec());
+            let traces: Arc<Vec<Option<Arc<PackedTrace>>>> =
+                Arc::new(frozen.iter().map(|r| r.as_ref().ok().cloned()).collect());
+            let todo_arc = Arc::new(todo.clone());
+            let store = self.store.clone();
+            let keys_arc = Arc::new(keys);
+            let results = run_cells(
+                todo.len(),
+                bench_threads().min(todo.len()),
+                self.cell_timeout,
+                move |t| {
+                    let i = todo_arc[t];
+                    let (c, a) = (i / n_spec, i % n_spec);
+                    injected_cell_failure(c, a);
+                    let trace = traces[a]
+                        .as_ref()
+                        .expect("cell scheduled only for frozen spec");
+                    let report = Simulator::run(&configs_arc[c], trace.as_ref());
+                    if let Some(store) = &store {
+                        if let Err(e) = store.put(&keys_arc[i], &report) {
+                            eprintln!(
+                                "[results: failed to journal cell {} ({e}); kept in memory]",
+                                keys_arc[i]
+                            );
+                        }
+                    }
+                    report
+                },
+            );
+            for (t, res) in results.into_iter().enumerate() {
+                slots[todo[t]] = Some(res);
+            }
+        }
+        if self.store.is_some() {
+            eprintln!("[results: {replayed} replayed, {computed} computed]");
+        }
+        let mut failures = Vec::new();
+        let mut reports: Vec<SimReport> = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot.expect("every cell resolved") {
+                Ok(r) => reports.push(r),
+                Err(error) => {
+                    let (c, a) = (i / n_spec, i % n_spec);
+                    failures.push(CellFailure {
+                        config: format!("config {c} '{}'", configs[c].icache_org.label()),
+                        spec: format!("spec '{}'", specs[a].label()),
+                        error,
+                    });
+                }
+            }
+        }
+        if failures.is_empty() {
+            Ok(GridRun {
+                grid: Self::into_rows(reports, n_spec),
+                replayed,
+                computed,
+            })
+        } else {
+            Err(GridError {
+                completed: n - failures.len(),
+                total: n,
+                failures,
+            })
+        }
     }
 
     /// The pre-freeze grid: every cell regenerates its workload from
     /// the spec. Kept only so the perf harness can measure the frozen
     /// grid's improvement against it (`BENCH_baseline.json`'s
     /// `trace.grid` section) — experiments should use
-    /// [`Runner::run_grid`].
+    /// [`Runner::run_grid`]. No fault isolation or store on this
+    /// path: it exists to time raw simulation.
     pub fn run_grid_regenerating(
         &self,
         configs: &[SimConfig],
@@ -299,6 +751,111 @@ mod tests {
     }
 
     #[test]
+    fn cell_timeout_policy() {
+        assert_eq!(cell_timeout_from(None), None, "unset: disabled");
+        assert_eq!(cell_timeout_from(Some("0")), None, "zero: disabled");
+        assert_eq!(cell_timeout_from(Some("30")), Some(Duration::from_secs(30)));
+        assert_eq!(cell_timeout_from(Some("soon")), None, "garbage rejected");
+    }
+
+    #[test]
+    fn run_cells_isolates_a_panicking_cell() {
+        let results = run_cells(5, 2, None, |i| {
+            if i == 2 {
+                panic!("cell 2 exploded");
+            }
+            i * 10
+        });
+        assert_eq!(results.len(), 5);
+        for (i, r) in results.iter().enumerate() {
+            if i == 2 {
+                assert_eq!(
+                    r.as_ref().unwrap_err(),
+                    &CellError::Panicked("cell 2 exploded".into())
+                );
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 10, "other cells completed");
+            }
+        }
+    }
+
+    #[test]
+    fn run_cells_watchdog_fails_stuck_cells_and_starves_the_rest() {
+        // One worker, first cell sleeps far past the watchdog: cell 0
+        // times out, and with the only worker wedged, cells 1 and 2
+        // must resolve as starved instead of hanging the process.
+        let limit = Duration::from_millis(150);
+        let start = Instant::now();
+        let results = run_cells(3, 1, Some(limit), |i| {
+            if i == 0 {
+                std::thread::sleep(Duration::from_secs(20));
+            }
+            i
+        });
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "watchdog returned without waiting for the sleeper"
+        );
+        assert_eq!(
+            results[0].as_ref().unwrap_err(),
+            &CellError::TimedOut(limit)
+        );
+        assert_eq!(results[1].as_ref().unwrap_err(), &CellError::Starved);
+        assert_eq!(results[2].as_ref().unwrap_err(), &CellError::Starved);
+    }
+
+    #[test]
+    fn grid_failure_report_is_structured() {
+        let e = GridError {
+            completed: 3,
+            total: 4,
+            failures: vec![CellFailure {
+                config: "config 1 'ACIC'".into(),
+                spec: "spec 'sibench'".into(),
+                error: CellError::Panicked("boom".into()),
+            }],
+        };
+        let text = e.to_string();
+        assert!(text.contains("3 of 4 cells completed"));
+        assert!(text.contains("config 1 'ACIC'"));
+        assert!(text.contains("panicked: boom"));
+    }
+
+    #[test]
+    fn grid_with_store_resumes_without_recomputing() {
+        let dir = std::env::temp_dir().join(format!("acic-runner-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut runner = Runner {
+            instructions: 3_000,
+            baseline: SimConfig::default(),
+            store: Some(Arc::new(ResultStore::open(&dir).unwrap())),
+            cell_timeout: None,
+        };
+        let configs = vec![
+            SimConfig::default(),
+            SimConfig::default().with_org(IcacheOrg::Srrip),
+        ];
+        let specs = vec![
+            WorkloadSpec::Single(AppProfile::sibench()),
+            WorkloadSpec::Single(AppProfile::x264()),
+        ];
+        let first = runner.try_run_grid(&configs, &specs).unwrap();
+        assert_eq!((first.replayed, first.computed), (0, 4));
+        // A fresh store handle over the same directory: everything
+        // replays from the journal, nothing is recomputed, and the
+        // grid is bit-identical.
+        runner.store = Some(Arc::new(ResultStore::open(&dir).unwrap()));
+        let second = runner.try_run_grid(&configs, &specs).unwrap();
+        assert_eq!((second.replayed, second.computed), (4, 0));
+        assert_eq!(
+            format!("{:?}", first.grid),
+            format!("{:?}", second.grid),
+            "replayed grid bit-identical to computed grid"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn sampled_runner_produces_sampled_reports() {
         let runner = Runner {
             instructions: 400_000,
@@ -307,6 +864,8 @@ mod tests {
                 warmup_len: 30_000,
                 detailed_len: 10_000,
             }),
+            store: None,
+            cell_timeout: None,
         };
         let apps = vec![AppProfile::sibench()];
         let grid = runner.run_grid(
@@ -325,6 +884,8 @@ mod tests {
         let runner = Runner {
             instructions: 5_000,
             baseline: SimConfig::default(),
+            store: None,
+            cell_timeout: None,
         };
         let apps = vec![AppProfile::sibench(), AppProfile::x264()];
         let configs = vec![
@@ -360,6 +921,8 @@ mod tests {
         let runner = Runner {
             instructions: 4_000,
             baseline: SimConfig::default(),
+            store: None,
+            cell_timeout: None,
         };
         let specs = vec![
             WorkloadSpec::Single(AppProfile::sibench()),

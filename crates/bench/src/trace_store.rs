@@ -13,7 +13,20 @@
 //! grid scheduler, several layers below anything that could thread a
 //! handle through. [`freeze`] is the single entry point every
 //! experiment path uses to turn a spec into a shared
-//! [`Arc<PackedTrace>`].
+//! [`Arc<PackedTrace>`]; [`freeze_with`] is the explicit-mode variant
+//! tests and tools use to exercise record/replay without touching the
+//! process-global singleton, and it additionally reports the
+//! [`Provenance`] of each trace.
+//!
+//! **Failure model.** Replay never trusts a container it cannot fully
+//! validate: a missing, corrupt (checksum/format), unreadable, or
+//! wrong-budget file falls back to regeneration with a loud note on
+//! stderr — safe because the generator is ground truth and packed
+//! replay is bit-identical to it, so a fallback changes wall-clock
+//! only, never results. Recording routes every container write
+//! through [`crate::fault::write_atomic`] (sibling tmp + fsync +
+//! rename), so a killed `--record-traces` run never leaves a torn
+//! `.acictrace` at a final path.
 
 use acic_trace::PackedTrace;
 use acic_workloads::WorkloadSpec;
@@ -29,8 +42,82 @@ pub enum TraceStoreMode {
     /// Generate, then persist each frozen spec into the directory.
     Record(PathBuf),
     /// Replay containers from the directory; fall back to generation
-    /// (with a note on stderr) for specs with no recorded file.
+    /// (with a note on stderr) for specs whose container is missing
+    /// or unusable.
     Replay(PathBuf),
+}
+
+/// Why a [`freeze_with`] call failed. Only the *record* path can fail
+/// — replay degrades to regeneration instead (see the module docs).
+#[derive(Debug)]
+pub enum TraceStoreError {
+    /// Creating the record directory failed.
+    CreateDir {
+        /// Directory we tried to create.
+        dir: PathBuf,
+        /// Underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// Writing a container failed.
+    Write {
+        /// Container path we tried to write.
+        path: PathBuf,
+        /// Underlying filesystem error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for TraceStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceStoreError::CreateDir { dir, source } => {
+                write!(f, "--record-traces: create {}: {source}", dir.display())
+            }
+            TraceStoreError::Write { path, source } => {
+                write!(f, "--record-traces: write {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceStoreError::CreateDir { source, .. } | TraceStoreError::Write { source, .. } => {
+                Some(source)
+            }
+        }
+    }
+}
+
+/// Where a frozen trace's bytes actually came from — how replay's
+/// fall-back-to-generation decisions become observable (and
+/// assertable) instead of disappearing into stderr.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Provenance {
+    /// Generated in memory (mode [`TraceStoreMode::Off`]).
+    Generated,
+    /// Generated and persisted (mode [`TraceStoreMode::Record`]).
+    Recorded,
+    /// Decoded from a valid on-disk container.
+    Replayed,
+    /// Regenerated: no container under the spec's key.
+    RegeneratedMissing,
+    /// Regenerated: the container failed to read or validate
+    /// (IO error, bad magic, truncation, checksum mismatch, ...).
+    RegeneratedCorrupt,
+    /// Regenerated: the container is valid but frozen at a different
+    /// instruction budget than the experiment asked for.
+    RegeneratedBudget,
+}
+
+/// A frozen trace plus where its bytes came from.
+#[derive(Clone, Debug)]
+pub struct Frozen {
+    /// The shared immutable trace.
+    pub trace: Arc<PackedTrace>,
+    /// How the bytes were obtained.
+    pub provenance: Provenance,
 }
 
 static MODE: OnceLock<TraceStoreMode> = OnceLock::new();
@@ -62,46 +149,101 @@ fn container_path(dir: &Path, spec: &WorkloadSpec, instructions: u64) -> PathBuf
 /// and replays of traces we didn't synthesize — behaviorally
 /// identical.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when a recorded container exists but is corrupt or frozen
-/// at a different instruction budget (replaying the wrong trace would
-/// silently invalidate every number downstream), or when recording
-/// cannot write the container.
-pub fn freeze(spec: &WorkloadSpec, instructions: u64) -> Arc<PackedTrace> {
-    match current() {
-        TraceStoreMode::Off => Arc::new(spec.materialize(instructions)),
+/// Fails only in [`TraceStoreMode::Record`], when the container (or
+/// its directory) cannot be written; replay problems degrade to
+/// regeneration instead (see [`freeze_with`]).
+pub fn freeze(spec: &WorkloadSpec, instructions: u64) -> Result<Arc<PackedTrace>, TraceStoreError> {
+    freeze_with(current(), spec, instructions).map(|f| f.trace)
+}
+
+/// [`freeze`] with an explicit mode instead of the process-global
+/// one, reporting the trace's [`Provenance`]. Replay handles a
+/// missing, corrupt, unreadable, or wrong-budget container by
+/// regenerating from the spec — loudly on stderr, and visibly in the
+/// returned provenance — because the generator is ground truth and
+/// regeneration is bit-identical to a healthy replay.
+///
+/// # Errors
+///
+/// Fails only in [`TraceStoreMode::Record`], when the container (or
+/// its directory) cannot be written.
+pub fn freeze_with(
+    mode: &TraceStoreMode,
+    spec: &WorkloadSpec,
+    instructions: u64,
+) -> Result<Frozen, TraceStoreError> {
+    match mode {
+        TraceStoreMode::Off => Ok(Frozen {
+            trace: Arc::new(spec.materialize(instructions)),
+            provenance: Provenance::Generated,
+        }),
         TraceStoreMode::Record(dir) => {
             let trace = spec.materialize(instructions);
-            std::fs::create_dir_all(dir)
-                .unwrap_or_else(|e| panic!("--record-traces: create {}: {e}", dir.display()));
+            std::fs::create_dir_all(dir).map_err(|source| TraceStoreError::CreateDir {
+                dir: dir.clone(),
+                source,
+            })?;
             let path = container_path(dir, spec, instructions);
-            trace
-                .write_to(&path)
-                .unwrap_or_else(|e| panic!("--record-traces: write {}: {e}", path.display()));
-            Arc::new(trace)
+            crate::fault::write_atomic(&path, &trace.to_bytes()).map_err(|source| {
+                TraceStoreError::Write {
+                    path: path.clone(),
+                    source,
+                }
+            })?;
+            Ok(Frozen {
+                trace: Arc::new(trace),
+                provenance: Provenance::Recorded,
+            })
         }
         TraceStoreMode::Replay(dir) => {
             let path = container_path(dir, spec, instructions);
-            if !path.exists() {
+            let regenerate = |why: &str, provenance: Provenance| {
                 eprintln!(
-                    "[traces: no container for '{}' ({}), generating]",
+                    "[traces: {why} for '{}' ({}), regenerating]",
                     spec.label(),
                     path.display()
                 );
-                return Arc::new(spec.materialize(instructions));
+                Ok(Frozen {
+                    trace: Arc::new(spec.materialize(instructions)),
+                    provenance,
+                })
+            };
+            if !path.exists() {
+                return regenerate("no container", Provenance::RegeneratedMissing);
             }
-            let trace = PackedTrace::read_from(&path)
-                .unwrap_or_else(|e| panic!("--traces: {}: {e}", path.display()));
-            assert_eq!(
-                trace.len(),
-                instructions,
-                "--traces: {} holds {} instructions but the experiment asked for {}",
-                path.display(),
-                trace.len(),
-                instructions
-            );
-            Arc::new(trace)
+            let bytes = match crate::fault::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    return regenerate(
+                        &format!("unreadable container ({e})"),
+                        Provenance::RegeneratedCorrupt,
+                    )
+                }
+            };
+            let trace = match PackedTrace::from_bytes(&bytes) {
+                Ok(t) => t,
+                Err(e) => {
+                    return regenerate(
+                        &format!("invalid container ({e})"),
+                        Provenance::RegeneratedCorrupt,
+                    )
+                }
+            };
+            if trace.len() != instructions {
+                return regenerate(
+                    &format!(
+                        "budget mismatch ({} recorded vs {instructions} requested)",
+                        trace.len()
+                    ),
+                    Provenance::RegeneratedBudget,
+                );
+            }
+            Ok(Frozen {
+                trace: Arc::new(trace),
+                provenance: Provenance::Replayed,
+            })
         }
     }
 }
@@ -110,20 +252,22 @@ pub fn freeze(spec: &WorkloadSpec, instructions: u64) -> Arc<PackedTrace> {
 /// trace per representative spec, replays it through the full
 /// container round-trip, and demands the replayed [`SimReport`] be
 /// **bit-identical** to the generator-backed run. Runs independently
-/// of the global store mode (it drives the container API directly),
-/// so it composes with any CLI configuration.
+/// of the global store mode (it drives [`freeze_with`] directly), so
+/// it composes with any CLI configuration.
 ///
 /// # Errors
 ///
 /// Returns a description of the first divergence: container
-/// round-trip mismatch, or any field of the replayed report differing
-/// from the generated one.
+/// round-trip mismatch, unexpected provenance, or any field of the
+/// replayed report differing from the generated one.
 pub fn trace_smoke(instructions: u64) -> Result<String, String> {
     use acic_sim::{IcacheOrg, SimConfig, SimReport, Simulator};
     use acic_workloads::AppProfile;
 
     let dir = std::env::temp_dir().join(format!("acic-trace-smoke-{}", std::process::id()));
     std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let record = TraceStoreMode::Record(dir.clone());
+    let replay = TraceStoreMode::Replay(dir.clone());
     let cells: Vec<(WorkloadSpec, SimConfig)> = vec![
         (
             WorkloadSpec::Single(AppProfile::web_search()),
@@ -139,21 +283,23 @@ pub fn trace_smoke(instructions: u64) -> Result<String, String> {
     ];
     let mut out = format!("trace-smoke: {instructions} instructions/cell\n");
     for (spec, cfg) in &cells {
-        let frozen = spec.materialize(instructions);
-        let path = container_path(&dir, spec, instructions);
-        frozen
-            .write_to(&path)
-            .map_err(|e| format!("write {}: {e}", path.display()))?;
-        let loaded =
-            PackedTrace::read_from(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
-        if loaded != frozen {
+        let recorded = freeze_with(&record, spec, instructions).map_err(|e| e.to_string())?;
+        let loaded = freeze_with(&replay, spec, instructions).map_err(|e| e.to_string())?;
+        if loaded.provenance != Provenance::Replayed {
+            return Err(format!(
+                "expected a replayed container for '{}', got {:?}",
+                spec.label(),
+                loaded.provenance
+            ));
+        }
+        if loaded.trace.as_ref() != recorded.trace.as_ref() {
             return Err(format!(
                 "container round-trip diverged for '{}'",
                 spec.label()
             ));
         }
         let generated: SimReport = Simulator::run(cfg, &spec.generator(instructions));
-        let replayed: SimReport = Simulator::run(cfg, &loaded);
+        let replayed: SimReport = Simulator::run(cfg, loaded.trace.as_ref());
         let (g, r) = (format!("{generated:?}"), format!("{replayed:?}"));
         if g != r {
             return Err(format!(
@@ -164,8 +310,8 @@ pub fn trace_smoke(instructions: u64) -> Result<String, String> {
         out.push_str(&format!(
             "  {}: {} instrs, {:.2} B/instr packed, replay bit-identical (cycles {}, L1i misses {})\n",
             spec.label(),
-            loaded.len(),
-            loaded.bytes_per_instr(),
+            loaded.trace.len(),
+            loaded.trace.bytes_per_instr(),
             replayed.total_cycles,
             replayed.l1i.demand_misses,
         ));
@@ -181,15 +327,16 @@ mod tests {
     use acic_workloads::AppProfile;
 
     // The global mode is a process-wide singleton; tests here must
-    // not configure it (other tests share the process). Exercise the
-    // path logic and the default mode only — the record/replay file
-    // cycle is covered end-to-end by `experiments --trace-smoke`.
+    // not configure it (other tests share the process). The
+    // record/replay file cycle runs through `freeze_with`, which
+    // takes the mode explicitly; the fallback matrix lives in
+    // `tests/replay_fallback.rs`.
 
     #[test]
     fn default_mode_freezes_in_memory() {
         let spec = WorkloadSpec::Single(AppProfile::sibench());
-        let a = freeze(&spec, 2_000);
-        let b = freeze(&spec, 2_000);
+        let a = freeze(&spec, 2_000).unwrap();
+        let b = freeze(&spec, 2_000).unwrap();
         assert_eq!(a.len(), 2_000);
         assert!(a.iter().eq(b.iter()), "freezing is deterministic");
     }
@@ -199,5 +346,31 @@ mod tests {
         let spec = WorkloadSpec::Single(AppProfile::web_search());
         let p = container_path(Path::new("/tmp/td"), &spec, 1_000);
         assert_eq!(p, PathBuf::from("/tmp/td/web-search-1000.acictrace"));
+    }
+
+    #[test]
+    fn record_then_replay_reports_provenance() {
+        let dir = std::env::temp_dir().join(format!("acic-ts-prov-{}", std::process::id()));
+        let spec = WorkloadSpec::Single(AppProfile::sibench());
+        let rec = freeze_with(&TraceStoreMode::Record(dir.clone()), &spec, 1_500).unwrap();
+        assert_eq!(rec.provenance, Provenance::Recorded);
+        let rep = freeze_with(&TraceStoreMode::Replay(dir.clone()), &spec, 1_500).unwrap();
+        assert_eq!(rep.provenance, Provenance::Replayed);
+        assert!(rec.trace.iter().eq(rep.trace.iter()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_write_failure_is_a_typed_error() {
+        // A directory path that collides with an existing *file*
+        // cannot be created.
+        let blocker = std::env::temp_dir().join(format!("acic-ts-block-{}", std::process::id()));
+        std::fs::write(&blocker, b"in the way").unwrap();
+        let spec = WorkloadSpec::Single(AppProfile::sibench());
+        let err = freeze_with(&TraceStoreMode::Record(blocker.clone()), &spec, 1_000)
+            .expect_err("recording into a file must fail");
+        assert!(matches!(err, TraceStoreError::CreateDir { .. }));
+        assert!(err.to_string().contains("--record-traces"));
+        std::fs::remove_file(&blocker).ok();
     }
 }

@@ -935,17 +935,31 @@ impl PackedTrace {
         Ok(())
     }
 
-    /// Writes the container to a file (atomically via a sibling
-    /// temporary so a crashed writer never leaves a torn trace).
+    /// Writes the container to a file crash-safely: staged into a
+    /// sibling temporary, fsynced, then atomically renamed (with a
+    /// best-effort directory fsync) so a crashed writer never leaves
+    /// a torn trace at the final path.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        use std::io::Write;
         let path = path.as_ref();
         let tmp = path.with_extension("acictrace.tmp");
-        std::fs::write(&tmp, self.to_bytes())?;
-        std::fs::rename(&tmp, path)
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&self.to_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            // Durability of the rename itself; directories cannot be
+            // fsynced on every platform, so failures are ignored.
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
     }
 
     /// Reads a container from a file.

@@ -83,6 +83,13 @@ pub struct Ratio {
 }
 
 impl Ratio {
+    /// Reassembles a ratio from its raw sides — the inverse of
+    /// [`Ratio::numerator`]/[`Ratio::denominator`], for
+    /// deserializing persisted statistics.
+    pub fn from_parts(hits: u64, total: u64) -> Ratio {
+        Ratio { hits, total }
+    }
+
     /// Records one opportunity; `hit` says whether the event occurred.
     #[inline]
     pub fn record(&mut self, hit: bool) {
@@ -155,6 +162,15 @@ mod tests {
         a.merge(b);
         assert_eq!(a.numerator(), 2);
         assert_eq!(a.denominator(), 3);
+    }
+
+    #[test]
+    fn from_parts_round_trips_the_sides() {
+        let mut r = Ratio::default();
+        r.record(true);
+        r.record(false);
+        let rebuilt = Ratio::from_parts(r.numerator(), r.denominator());
+        assert_eq!(rebuilt, r);
     }
 
     #[test]
