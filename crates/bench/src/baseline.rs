@@ -328,9 +328,12 @@ pub fn measure_trace(instructions: u64, grid_instructions: u64) -> TraceSection 
         instructions: grid_instructions,
         baseline: SimConfig::default().with_schedule(schedule),
         // Perf timing: a result store would replay cells and falsify
-        // the measurement; no watchdog for the same reason.
+        // the measurement; no watchdog for the same reason. Serial
+        // cells — this section times the frozen-grid win, not
+        // window parallelism (that has its own section).
         store: None,
         cell_timeout: None,
+        window_threads: 0,
     };
     let configs: Vec<SimConfig> = trace_grid_orgs()
         .into_iter()
@@ -466,6 +469,7 @@ pub fn measure_baseline_with_prior(prior: Option<&str>) -> String {
     let (mt_trace, mt_rows) = measure_multi_tenant(instructions);
     let trace = measure_trace(instructions, trace_grid_instructions());
     let sampled = measure_sampled();
+    let window_parallel = crate::window_smoke::measure_window_parallel(sampled_instructions());
     render_json(
         instructions,
         &workload,
@@ -474,6 +478,7 @@ pub fn measure_baseline_with_prior(prior: Option<&str>) -> String {
         &mt_rows,
         &trace,
         &sampled,
+        &window_parallel,
         prior,
     )
 }
@@ -544,10 +549,11 @@ fn render_json(
     mt_rows: &[MtRow],
     trace: &TraceSection,
     sampled: &SampledRow,
+    window_parallel: &crate::window_smoke::WindowParallelRow,
     prior: Option<&str>,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"acic-throughput-baseline/v5\",\n");
+    out.push_str("  \"schema\": \"acic-throughput-baseline/v6\",\n");
     out.push_str(&format!("  \"instructions\": {instructions},\n"));
     out.push_str(&format!("  \"workload\": \"{}\",\n", workload.name()));
     out.push_str("  \"trace_materialized\": true,\n");
@@ -679,6 +685,21 @@ fn render_json(
         "    \"mpki_err_pct\": {:.2}\n",
         sampled.mpki_err_pct()
     ));
+    out.push_str("  },\n");
+    let wp = window_parallel;
+    out.push_str("  \"window_parallel\": {\n");
+    out.push_str(&format!("    \"cell\": \"{}\",\n", wp.label));
+    out.push_str(&format!("    \"instructions\": {},\n", wp.instructions));
+    out.push_str(&format!("    \"workers\": {},\n", wp.workers));
+    out.push_str(&format!("    \"serial_secs\": {:.3},\n", wp.serial_secs));
+    out.push_str(&format!(
+        "    \"parallel_secs\": {:.3},\n",
+        wp.parallel_secs
+    ));
+    out.push_str(&format!("    \"vs_serial\": {:.2},\n", wp.vs_serial()));
+    out.push_str(&format!("    \"windows\": {},\n", wp.windows));
+    out.push_str(&format!("    \"ipc\": {:.4},\n", wp.ipc));
+    out.push_str(&format!("    \"bit_identical\": {}\n", wp.bit_identical));
     out.push_str("  }\n}\n");
     out
 }
@@ -732,8 +753,20 @@ mod tests {
             full_mpki: 2.20,
             sampled_mpki: 2.20,
         };
-        let j = render_json(1_000, &wl, &rows, &wl, &mt_rows, &trace, &sampled, None);
-        assert!(j.contains("\"schema\": \"acic-throughput-baseline/v5\""));
+        let wp = crate::window_smoke::WindowParallelRow {
+            label: "acic_web_search_windowed_default_schedule",
+            instructions: 20_000_000,
+            workers: 4,
+            serial_secs: 1.2,
+            parallel_secs: 0.3,
+            windows: 26,
+            ipc: 3.30,
+            bit_identical: true,
+        };
+        let j = render_json(
+            1_000, &wl, &rows, &wl, &mt_rows, &trace, &sampled, &wp, None,
+        );
+        assert!(j.contains("\"schema\": \"acic-throughput-baseline/v6\""));
         assert!(j.contains("\"multi_tenant\""));
         assert!(j.contains("\"context_switches\": 9"));
         assert!(j.contains("\"naive_path\": \"boxed_unbatched\""));
@@ -744,6 +777,9 @@ mod tests {
         assert!(j.contains("\"sampled\""));
         assert!(j.contains("\"speedup\": 10.00"));
         assert!(j.contains("\"windows\": 26"));
+        assert!(j.contains("\"window_parallel\""));
+        assert!(j.contains("\"vs_serial\": 4.00"));
+        assert!(j.contains("\"bit_identical\": true"));
         assert!(!j.contains("vs_prior"), "no prior, no section");
         assert_eq!(
             j.matches('{').count(),
@@ -766,6 +802,7 @@ mod tests {
             &mt_rows,
             &trace,
             &sampled,
+            &wp,
             Some(prior),
         );
         assert!(j.contains("\"vs_prior\""));

@@ -9,6 +9,8 @@
 //! cargo run --release -p acic-bench --bin experiments --smoke     # tiny grid, all figures
 //! cargo run --release -p acic-bench --bin experiments fig1        # substring filter
 //! cargo run --release -p acic-bench --bin experiments --bench-delta  # perf vs baseline
+//! cargo run --release -p acic-bench --bin experiments -- --window-threads 4 fig11_mpki
+//! cargo run --release -p acic-bench --bin experiments -- --window-smoke
 //! ```
 //!
 //! `--only` matches one figure by exact name (and fails loudly on a
@@ -17,6 +19,17 @@
 //! figure on a tiny grid (50 k instructions per cell, honoring an
 //! explicit `ACIC_EXP_INSTRUCTIONS` if smaller) so the figure wiring
 //! is exercisable in seconds — CI runs exactly this.
+//!
+//! `--window-threads <n>` fans each sampled grid cell's detailed
+//! windows across `n` workers (`Engine::run_windowed`) instead of
+//! running the serial adaptive engine; grid-level parallelism is
+//! divided down so grid × window threads stay within the single
+//! `ACIC_BENCH_THREADS` budget. `0` is an explicit "serial engine".
+//! The two modes run different sampling structures, so their results
+//! journal under different `--results` keys; the worker count itself
+//! is not part of the key (windowed output is bit-identical across
+//! worker counts). `--window-smoke` runs the 1-worker-vs-2-worker
+//! bit-identity check CI relies on and exits non-zero on divergence.
 //!
 //! `--bench-delta` skips the figures entirely: it re-measures the
 //! committed `BENCH_baseline.json` throughput cells and prints a JSON
@@ -150,6 +163,7 @@ struct Cli {
     list: bool,
     trace_smoke: bool,
     results_smoke: bool,
+    window_smoke: bool,
     bench_delta: bool,
     smoke: bool,
     fail_fast: bool,
@@ -157,6 +171,7 @@ struct Cli {
     replay: Option<String>,
     results: Option<String>,
     only: Option<String>,
+    window_threads: Option<usize>,
     filter: String,
 }
 
@@ -165,6 +180,12 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
     let replay = take_flag_value(&mut args, "--traces")?;
     let results = take_flag_value(&mut args, "--results")?;
     let only = take_flag_value(&mut args, "--only")?;
+    let window_threads = match take_flag_value(&mut args, "--window-threads")? {
+        None => None,
+        Some(raw) => Some(raw.parse::<usize>().map_err(|_| {
+            format!("--window-threads requires a non-negative integer, got '{raw}'")
+        })?),
+    };
     if record.is_some() && replay.is_some() {
         return Err("--record-traces and --traces are mutually exclusive".into());
     }
@@ -172,6 +193,7 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
         list: take_switch(&mut args, "--list"),
         trace_smoke: take_switch(&mut args, "--trace-smoke"),
         results_smoke: take_switch(&mut args, "--results-smoke"),
+        window_smoke: take_switch(&mut args, "--window-smoke"),
         bench_delta: take_switch(&mut args, "--bench-delta"),
         smoke: take_switch(&mut args, "--smoke"),
         fail_fast: take_switch(&mut args, "--fail-fast"),
@@ -179,6 +201,7 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
         replay,
         results,
         only,
+        window_threads,
         filter: String::new(),
     };
     // --keep-going is the default; accept and discard it.
@@ -244,6 +267,27 @@ fn main() {
             }
         }
         return;
+    }
+
+    if cli.window_smoke {
+        match acic_bench::window_smoke::window_smoke() {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("window-smoke failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if let Some(n) = cli.window_threads {
+        // The runner reads this through the environment
+        // (acic_bench::runner::window_threads); pin it before any
+        // figure spawns workers. 0 is an explicit "serial engine".
+        std::env::set_var("ACIC_WINDOW_THREADS", n.to_string());
+        if n >= 1 {
+            eprintln!("[window-parallel: {n} workers per sampled cell]");
+        }
     }
 
     match (&cli.record, &cli.replay) {
@@ -414,6 +458,33 @@ mod tests {
         assert_eq!(cli.results.as_deref(), Some("rd"));
         assert_eq!(cli.filter, "table");
         assert!(!cli.list && !cli.bench_delta);
+    }
+
+    #[test]
+    fn window_threads_parse() {
+        let cli = parse_cli(argv(&["--window-threads", "4", "fig11"])).unwrap();
+        assert_eq!(cli.window_threads, Some(4));
+        assert_eq!(cli.filter, "fig11");
+        let cli = parse_cli(argv(&["--window-threads", "0"])).unwrap();
+        assert_eq!(cli.window_threads, Some(0), "explicit serial");
+        assert_eq!(
+            parse_cli(argv(&[])).unwrap().window_threads,
+            None,
+            "absent by default"
+        );
+        let err = parse_cli(argv(&["--window-threads", "many"])).unwrap_err();
+        assert!(err.contains("non-negative integer"), "{err}");
+        let err = parse_cli(argv(&["--window-threads"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+        let err = parse_cli(argv(&["--window-threads", "--smoke"])).unwrap_err();
+        assert!(err.contains("the option '--smoke'"), "{err}");
+    }
+
+    #[test]
+    fn window_smoke_switch_parses() {
+        let cli = parse_cli(argv(&["--window-smoke"])).unwrap();
+        assert!(cli.window_smoke);
+        assert!(!parse_cli(argv(&["--smoke"])).unwrap().window_smoke);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //!
 //! `experiments --bench-delta` re-runs the org rows (naive / batched /
 //! timing for LRU, SRRIP, ACIC), the multi-tenant functional rows,
-//! and the trace-layer cells (generator vs packed-replay throughput,
-//! spec-deduplicated grid wall ratio) of `BENCH_baseline.json`, then
+//! the trace-layer cells (generator vs packed-replay throughput,
+//! spec-deduplicated grid wall ratio), and the window-parallel
+//! `vs_serial` wall ratio of `BENCH_baseline.json`, then
 //! emits a JSON report with one
 //! `delta_pct` per cell — positive means the working tree is faster
 //! than the committed baseline. `--smoke` shrinks the instruction
@@ -101,6 +102,15 @@ pub fn bench_delta(smoke: bool) -> Result<String, String> {
     // A ratio, not an IPS — still a higher-is-better throughput cell,
     // so the same delta convention (positive = improvement) applies.
     cell(vec!["trace", "grid", "wall_ratio"], tr.grid_wall_ratio)?;
+    // Window-parallel fan-out speedup: same ratio convention. Smoke
+    // budgets degenerate the plan to a full run (ratio ~1; noise),
+    // which still exercises the whole path.
+    let wp = crate::window_smoke::measure_window_parallel(if smoke {
+        instructions
+    } else {
+        crate::baseline::sampled_instructions()
+    });
+    cell(vec!["window_parallel", "vs_serial"], wp.vs_serial())?;
 
     for c in &cells {
         if !c.delta_pct().is_finite() {

@@ -23,5 +23,6 @@ pub mod json;
 pub mod result_store;
 pub mod runner;
 pub mod trace_store;
+pub mod window_smoke;
 
 pub use runner::{instruction_budget, run_config, run_pair, run_spec, Runner, WorkloadSpec};

@@ -245,6 +245,21 @@ pub fn cell_key(spec: &WorkloadSpec, instructions: u64, cfg: &SimConfig) -> Stri
     format!("{}-c{cfg_hash:016x}", spec.store_key(instructions))
 }
 
+/// [`cell_key`] for cells simulated through the window-parallel
+/// engine (`Engine::run_windowed`): the serial key plus a `-w` mode
+/// suffix, because windowed execution runs a *different* sampling
+/// structure (independent mirror-replayed windows) than the serial
+/// adaptive engine, so the two modes must never share a journal
+/// entry.
+///
+/// The worker count is deliberately **not** part of the key: the
+/// windowed report is bit-identical for every worker count (pinned by
+/// `tests/window_parallel.rs`), so a journal written under
+/// `--window-threads 4` replays correctly under `--window-threads 2`.
+pub fn windowed_cell_key(spec: &WorkloadSpec, instructions: u64, cfg: &SimConfig) -> String {
+    format!("{}-w", cell_key(spec, instructions, cfg))
+}
+
 fn line_crc(key: &str, report_json: &str) -> u64 {
     let h = crate::fault::fnv1a(crate::fault::FNV_OFFSET, key.as_bytes());
     let h = crate::fault::fnv1a(h, &[0]);
@@ -823,5 +838,18 @@ mod tests {
         assert_ne!(a, b, "config hash separates organizations");
         assert_ne!(a, c, "store key separates budgets");
         assert_eq!(a, cell_key(&spec, 1_000, &SimConfig::default()));
+    }
+
+    #[test]
+    fn windowed_cell_keys_separate_the_mode_but_not_the_worker_count() {
+        let spec = WorkloadSpec::Single(AppProfile::web_search());
+        let cfg = SimConfig::default();
+        let serial = cell_key(&spec, 1_000, &cfg);
+        let windowed = windowed_cell_key(&spec, 1_000, &cfg);
+        assert_ne!(serial, windowed, "modes never share a journal entry");
+        assert_eq!(windowed, format!("{serial}-w"));
+        // No worker-count parameter exists: the same key serves every
+        // `--window-threads` value, because the windowed report is
+        // bit-identical across worker counts.
     }
 }

@@ -30,8 +30,10 @@
 //! completes and an interrupted sweep replays finished cells from
 //! disk, simulating only the rest.
 
-use crate::result_store::{cell_key, ResultStore};
-use acic_sim::{IcacheOrg, PrefetcherKind, SampleSchedule, SimConfig, SimReport, Simulator};
+use crate::result_store::{cell_key, windowed_cell_key, ResultStore};
+use acic_sim::{
+    Engine, IcacheOrg, PrefetcherKind, SampleSchedule, SimConfig, SimReport, Simulator,
+};
 use acic_trace::PackedTrace;
 use acic_workloads::AppProfile;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -44,6 +46,8 @@ pub use acic_workloads::{short_name, split_budget, WorkloadSpec};
 static BUDGET_WARNING: Once = Once::new();
 static THREADS_WARNING: Once = Once::new();
 static TIMEOUT_WARNING: Once = Once::new();
+static WINDOW_THREADS_WARNING: Once = Once::new();
+static OVERSUBSCRIPTION_WARNING: Once = Once::new();
 
 fn warn_ignored(once: &'static Once, var: &str, raw: &str) {
     once.call_once(|| {
@@ -92,6 +96,48 @@ pub fn bench_threads() -> usize {
             .map(|n| n.get())
             .unwrap_or(2),
     )
+}
+
+/// Resolves the window-parallel worker count from an
+/// `ACIC_WINDOW_THREADS`-style override: a parseable positive value
+/// enables windowed execution with that many workers per cell, `0`
+/// (or unset, or garbage) keeps the serial engine. Pure for
+/// testability.
+pub fn window_threads_from(var: Option<&str>) -> usize {
+    var.and_then(|v| v.parse::<usize>().ok()).unwrap_or(0)
+}
+
+/// Window-parallel workers per grid cell: `ACIC_WINDOW_THREADS`
+/// (also set by `experiments --window-threads <n>`), `0` or unset
+/// meaning off (cells run the serial engine). An unparseable value
+/// warns once on stderr and is ignored.
+pub fn window_threads() -> usize {
+    let raw = std::env::var("ACIC_WINDOW_THREADS").ok();
+    if let Some(r) = raw.as_deref() {
+        if r.parse::<usize>().is_err() {
+            warn_ignored(&WINDOW_THREADS_WARNING, "ACIC_WINDOW_THREADS", r);
+        }
+    }
+    window_threads_from(raw.as_deref())
+}
+
+/// Composes the grid worker count and the per-cell window worker
+/// count out of **one** thread budget (`ACIC_BENCH_THREADS` /
+/// available parallelism), so grid × window parallelism never
+/// oversubscribes the machine: with windowed execution off
+/// (`window_threads <= 1` adds no concurrency per cell) the whole
+/// budget goes to grid cells; otherwise each cell spends
+/// `window_threads` threads, so only `budget / window_threads` cells
+/// run at once (at least one). Returns `(grid_workers,
+/// oversubscribed)`, the flag set when a single cell alone exceeds
+/// the budget — the one composition that cannot be satisfied without
+/// oversubscribing. Pure for testability.
+pub fn split_thread_budget(budget: usize, window_threads: usize) -> (usize, bool) {
+    if window_threads <= 1 {
+        (budget.max(1), false)
+    } else {
+        ((budget / window_threads).max(1), window_threads > budget)
+    }
 }
 
 /// Resolves the per-cell soft watchdog from an
@@ -481,6 +527,14 @@ pub struct Runner {
     /// Soft per-cell watchdog; constructors default to
     /// `ACIC_CELL_TIMEOUT_SECS` ([`cell_timeout`]).
     pub cell_timeout: Option<Duration>,
+    /// Window-parallel workers per cell: `0` runs the serial engine
+    /// ([`Simulator::run`]), `>= 1` fans each sampled cell's detailed
+    /// windows across this many workers
+    /// ([`Engine::run_windowed`]). Constructors default to
+    /// `ACIC_WINDOW_THREADS` ([`window_threads`]); grid parallelism
+    /// is divided down so grid × window threads stay within the one
+    /// [`bench_threads`] budget ([`split_thread_budget`]).
+    pub window_threads: usize,
 }
 
 impl Runner {
@@ -491,6 +545,7 @@ impl Runner {
             baseline: SimConfig::default(),
             store: crate::result_store::active(),
             cell_timeout: cell_timeout(),
+            window_threads: window_threads(),
         }
     }
 
@@ -571,9 +626,16 @@ impl Runner {
         }
         let frozen = try_freeze_specs(specs, self.instructions);
         let mut slots: Vec<Option<Result<SimReport, CellError>>> = (0..n).map(|_| None).collect();
+        let key_of = |spec: &WorkloadSpec, cfg: &SimConfig| {
+            if self.window_threads >= 1 {
+                windowed_cell_key(spec, self.instructions, cfg)
+            } else {
+                cell_key(spec, self.instructions, cfg)
+            }
+        };
         let keys: Vec<String> = match &self.store {
             Some(_) => (0..n)
-                .map(|i| cell_key(&specs[i % n_spec], self.instructions, &configs[i / n_spec]))
+                .map(|i| key_of(&specs[i % n_spec], &configs[i / n_spec]))
                 .collect(),
             None => Vec::new(),
         };
@@ -602,9 +664,21 @@ impl Runner {
             let todo_arc = Arc::new(todo.clone());
             let store = self.store.clone();
             let keys_arc = Arc::new(keys);
+            let budget = bench_threads();
+            let (grid_workers, oversubscribed) = split_thread_budget(budget, self.window_threads);
+            if oversubscribed {
+                let wt = self.window_threads;
+                OVERSUBSCRIPTION_WARNING.call_once(|| {
+                    eprintln!(
+                        "[warning: window-threads {wt} exceeds the thread budget {budget}; \
+                         a single cell already oversubscribes the machine]"
+                    );
+                });
+            }
+            let window_threads = self.window_threads;
             let results = run_cells(
                 todo.len(),
-                bench_threads().min(todo.len()),
+                grid_workers.min(todo.len()),
                 self.cell_timeout,
                 move |t| {
                     let i = todo_arc[t];
@@ -613,7 +687,11 @@ impl Runner {
                     let trace = traces[a]
                         .as_ref()
                         .expect("cell scheduled only for frozen spec");
-                    let report = Simulator::run(&configs_arc[c], trace.as_ref());
+                    let report = if window_threads >= 1 {
+                        Engine::run_windowed(&configs_arc[c], trace.as_ref(), window_threads)
+                    } else {
+                        Simulator::run(&configs_arc[c], trace.as_ref())
+                    };
                     if let Some(store) = &store {
                         if let Err(e) = store.put(&keys_arc[i], &report) {
                             eprintln!(
@@ -759,6 +837,31 @@ mod tests {
     }
 
     #[test]
+    fn window_threads_policy() {
+        assert_eq!(window_threads_from(None), 0, "unset: serial engine");
+        assert_eq!(window_threads_from(Some("0")), 0, "explicit off");
+        assert_eq!(window_threads_from(Some("1")), 1, "windowed, one worker");
+        assert_eq!(window_threads_from(Some("4")), 4);
+        assert_eq!(window_threads_from(Some("many")), 0, "garbage rejected");
+    }
+
+    #[test]
+    fn thread_budget_splits_between_grid_and_windows() {
+        // Windowed off (or one worker per cell): the whole budget
+        // goes to grid cells.
+        assert_eq!(split_thread_budget(8, 0), (8, false));
+        assert_eq!(split_thread_budget(8, 1), (8, false));
+        // Grid × window must stay within the one budget.
+        assert_eq!(split_thread_budget(8, 4), (2, false));
+        assert_eq!(split_thread_budget(8, 3), (2, false), "rounds down");
+        assert_eq!(split_thread_budget(4, 4), (1, false), "exact fit");
+        // One cell alone exceeds the budget: run it anyway (grid
+        // serializes to 1) but flag the oversubscription.
+        assert_eq!(split_thread_budget(2, 4), (1, true));
+        assert_eq!(split_thread_budget(0, 0), (1, false), "clamped to >= 1");
+    }
+
+    #[test]
     fn run_cells_isolates_a_panicking_cell() {
         let results = run_cells(5, 2, None, |i| {
             if i == 2 {
@@ -830,6 +933,7 @@ mod tests {
             baseline: SimConfig::default(),
             store: Some(Arc::new(ResultStore::open(&dir).unwrap())),
             cell_timeout: None,
+            window_threads: 0,
         };
         let configs = vec![
             SimConfig::default(),
@@ -866,6 +970,7 @@ mod tests {
             }),
             store: None,
             cell_timeout: None,
+            window_threads: 0,
         };
         let apps = vec![AppProfile::sibench()];
         let grid = runner.run_grid(
@@ -880,12 +985,87 @@ mod tests {
     }
 
     #[test]
+    fn windowed_grid_matches_direct_windowed_runs() {
+        // A runner with window_threads >= 1 must produce, cell for
+        // cell, exactly what Engine::run_windowed produces on the
+        // same frozen trace — the runner adds scheduling and
+        // journaling, never simulation semantics.
+        let sched = SampleSchedule::Periodic {
+            period: 100_000,
+            warmup_len: 30_000,
+            detailed_len: 10_000,
+        };
+        let runner = Runner {
+            instructions: 400_000,
+            baseline: SimConfig::default().with_schedule(sched),
+            store: None,
+            cell_timeout: None,
+            window_threads: 2,
+        };
+        let configs = vec![
+            runner.baseline.clone(),
+            runner.baseline.with_org(IcacheOrg::acic_default()),
+        ];
+        let specs = vec![WorkloadSpec::Single(AppProfile::sibench())];
+        let grid = runner.run_grid(&configs, &specs);
+        let trace = must_freeze(&specs[0], runner.instructions);
+        for (c, cfg) in configs.iter().enumerate() {
+            let direct = Engine::run_windowed(cfg, trace.as_ref(), 1);
+            assert_eq!(grid[c][0].sampled, direct.sampled, "pooled stats");
+            assert_eq!(grid[c][0].total_cycles, direct.total_cycles);
+            assert_eq!(grid[c][0].l1i.demand_misses, direct.l1i.demand_misses);
+            assert!(grid[c][0].sampled.is_some(), "windowed cells are sampled");
+        }
+    }
+
+    #[test]
+    fn windowed_journal_replays_across_worker_counts_but_not_modes() {
+        // The windowed cell key excludes the worker count (reports
+        // are bit-identical across counts) but includes the mode, so
+        // a serial sweep never replays a windowed journal entry.
+        let dir = std::env::temp_dir().join(format!("acic-runner-wstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sched = SampleSchedule::Periodic {
+            period: 100_000,
+            warmup_len: 30_000,
+            detailed_len: 10_000,
+        };
+        let mut runner = Runner {
+            instructions: 400_000,
+            baseline: SimConfig::default().with_schedule(sched),
+            store: Some(Arc::new(ResultStore::open(&dir).unwrap())),
+            cell_timeout: None,
+            window_threads: 2,
+        };
+        let configs = vec![runner.baseline.clone()];
+        let specs = vec![WorkloadSpec::Single(AppProfile::sibench())];
+        let first = runner.try_run_grid(&configs, &specs).unwrap();
+        assert_eq!((first.replayed, first.computed), (0, 1));
+        runner.window_threads = 4;
+        let second = runner.try_run_grid(&configs, &specs).unwrap();
+        assert_eq!(
+            (second.replayed, second.computed),
+            (1, 0),
+            "worker count does not invalidate the journal"
+        );
+        runner.window_threads = 0;
+        let serial = runner.try_run_grid(&configs, &specs).unwrap();
+        assert_eq!(
+            (serial.replayed, serial.computed),
+            (0, 1),
+            "serial mode never replays windowed cells"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn grid_runs_in_config_by_app_order() {
         let runner = Runner {
             instructions: 5_000,
             baseline: SimConfig::default(),
             store: None,
             cell_timeout: None,
+            window_threads: 0,
         };
         let apps = vec![AppProfile::sibench(), AppProfile::x264()];
         let configs = vec![
@@ -923,6 +1103,7 @@ mod tests {
             baseline: SimConfig::default(),
             store: None,
             cell_timeout: None,
+            window_threads: 0,
         };
         let specs = vec![
             WorkloadSpec::Single(AppProfile::sibench()),

@@ -45,7 +45,7 @@ pub fn insert_delta_bucket(delta: i128) -> usize {
 }
 
 /// ACIC-specific statistics (Figures 12a, 13, and CSHR health).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AcicStats {
     /// i-Filter victims subjected to an admission decision.
     pub decisions: u64,
@@ -74,6 +74,23 @@ impl AcicStats {
             0.0
         } else {
             self.admitted as f64 / self.decisions as f64
+        }
+    }
+
+    /// Adds another instance's counters into this one. Every field is
+    /// a sum or a [`Ratio`], so merging per-window statistics in any
+    /// grouping yields the same totals as one sequential run.
+    pub fn merge(&mut self, other: &AcicStats) {
+        self.decisions += other.decisions;
+        self.admitted += other.admitted;
+        self.bypassed += other.bypassed;
+        self.free_admissions += other.free_admissions;
+        for (mine, theirs) in self.accuracy.iter_mut().zip(other.accuracy.iter()) {
+            mine.merge(*theirs);
+        }
+        self.oracle_admits.merge(other.oracle_admits);
+        for (mine, theirs) in self.insert_delta.iter_mut().zip(other.insert_delta.iter()) {
+            *mine += *theirs;
         }
     }
 }

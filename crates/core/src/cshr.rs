@@ -65,6 +65,17 @@ pub struct CshrStats {
     pub evicted_unresolved: u64,
 }
 
+impl CshrStats {
+    /// Adds another instance's counters into this one (pure sums, so
+    /// per-window merges are order-independent).
+    pub fn merge(&mut self, other: &CshrStats) {
+        self.inserted += other.inserted;
+        self.victim_first += other.victim_first;
+        self.contender_first += other.contender_first;
+        self.evicted_unresolved += other.evicted_unresolved;
+    }
+}
+
 /// Upper bound on CSHR associativity supported by the packed layout
 /// (validity is a per-set `u64` bitmask). The paper's configuration is
 /// 32-way; construction panics past the bound.

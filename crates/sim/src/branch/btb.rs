@@ -14,6 +14,15 @@ pub struct BtbStats {
     pub wrong_target: u64,
 }
 
+impl BtbStats {
+    /// Adds another instance's counters into this one.
+    pub fn merge(&mut self, other: &BtbStats) {
+        self.lookups += other.lookups;
+        self.misses += other.misses;
+        self.wrong_target += other.wrong_target;
+    }
+}
+
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 struct Entry {
     tag: u64,

@@ -82,6 +82,12 @@ pub struct TageStats {
 }
 
 impl TageStats {
+    /// Adds another instance's counters into this one.
+    pub fn merge(&mut self, other: &TageStats) {
+        self.predictions += other.predictions;
+        self.mispredictions += other.mispredictions;
+    }
+
     /// Prediction accuracy (1.0 when nothing was predicted).
     pub fn accuracy(&self) -> f64 {
         if self.predictions == 0 {

@@ -72,6 +72,8 @@ use acic_trace::{
 };
 use acic_types::{Addr, Asid, Cycle, TaggedBlock};
 
+pub mod window;
+
 /// Instructions at the end of each warmup segment that receive full
 /// warming — the real L1i organization (tags, policies, ACIC's
 /// i-Filter/CSHR/predictor pipeline) with run grouping and ITP path
@@ -91,7 +93,7 @@ pub const WARM_TAIL: u64 = 100_000;
 pub const L3_CONVERGED_FILLS_PER_MI: u64 = 500;
 
 /// Minimum detailed-window ramp exclusion (instructions). See
-/// `EngineState::detailed_window`.
+/// `WindowCheckpoint::detailed_window`.
 const RAMP_FLOOR: u64 = 5_000;
 
 /// Simulation fidelity phases of the engine's schedule machine.
@@ -162,10 +164,21 @@ pub(crate) fn contents_step(
     hit
 }
 
-/// All mutable simulator state, persistent across phases: caches and
-/// predictors warm monotonically over the whole run, exactly like the
-/// hardware they model; only statistics are phase-gated.
-struct EngineState<'o> {
+/// All mutable simulator state for one scheduled execution — caches,
+/// front end, predictors, MSHRs, and the phase cursors — as one
+/// explicit, cheaply constructible struct.
+///
+/// Under the serial [`Engine::run`] schedule a single checkpoint is
+/// persistent across phases: caches and predictors warm monotonically
+/// over the whole run, exactly like the hardware they model; only
+/// statistics are phase-gated. The window-parallel mode
+/// ([`Engine::run_windowed`]) instead constructs one fresh checkpoint
+/// per sampled window ([`WindowCheckpoint::fresh`] is allocation-cheap
+/// — tag arrays and predictor tables, no trace-sized state), warms it
+/// over the window's bounded reach, and discards it after the
+/// detailed interior is measured. The same struct is the checkpoint
+/// substrate the roadmap's cluster and DSE items serialize.
+pub(crate) struct WindowCheckpoint<'o> {
     contents: Box<dyn IcacheContents>,
     cursor: Option<OracleCursor<'o>>,
     frontend: FrontEnd,
@@ -202,7 +215,72 @@ struct EngineState<'o> {
     t_detail: f64,
 }
 
-impl EngineState<'_> {
+impl<'o> WindowCheckpoint<'o> {
+    /// Builds a cold checkpoint: every cache, predictor, and queue in
+    /// its power-on state, phase cursors at zero. Construction cost is
+    /// bounded by the architectural table sizes (tag arrays, TAGE/BTB
+    /// tables — tens of kilobytes), never by the trace, which is what
+    /// makes one-checkpoint-per-window execution affordable.
+    ///
+    /// The oracle cursor starts detached; callers that simulate
+    /// oracle-dependent organizations attach one afterwards
+    /// (`state.cursor = Some(...)`), which is also how the
+    /// window-parallel mode hands each worker a cursor pre-seeked to
+    /// its window ([`ReuseOracle::cursor_at`]).
+    pub(crate) fn fresh(
+        cfg: &SimConfig,
+        seed: u64,
+        total_instructions: u64,
+    ) -> WindowCheckpoint<'o> {
+        let mut contents = cfg.icache_org.build(seed);
+        if cfg.unbounded_cshr {
+            if let crate::icache::IcacheOrg::Acic(acic_cfg) = &cfg.icache_org {
+                contents = Box::new(AcicIcache::new(*acic_cfg).with_unbounded_instrumentation());
+            }
+        }
+        let wants_tick = contents.wants_tick();
+        WindowCheckpoint {
+            contents,
+            cursor: None,
+            frontend: FrontEnd::new(cfg),
+            backend: Backend::new(cfg),
+            mem: MemoryHierarchy::new(cfg),
+            l1i_mshr: MissTracker::new(cfg.l1i_mshrs),
+            prefetcher: match cfg.prefetcher {
+                PrefetcherKind::None => Prefetcher::None,
+                PrefetcherKind::Fdp => Prefetcher::Fdp,
+                PrefetcherKind::Entangling => Prefetcher::Entangling(Entangling::new()),
+            },
+            prefetch_stats: PrefetchStats::default(),
+            pending_prefetches: Vec::new(),
+            candidates: Vec::new(),
+            fetch_asid: Asid::HOST,
+            context_switches: 0,
+            access_index: 0,
+            now: 0,
+            wants_tick,
+            max_cycles: 400 * total_instructions + 1_000_000,
+            consumed: 0,
+            trace_over: false,
+            fastforwarded: 0,
+            warmed: 0,
+            shadow_l1i: {
+                let geom = acic_cache::CacheGeometry::l1i_32k();
+                acic_cache::SetAssocCache::new(
+                    geom,
+                    acic_cache::policy::PolicyKind::Lru.build(geom),
+                )
+            },
+            warmup_instrs: (total_instructions as f64 * cfg.warmup_fraction) as u64,
+            warm_snapshot: None,
+            t_ff: 0.0,
+            t_warm: 0.0,
+            t_detail: 0.0,
+        }
+    }
+}
+
+impl WindowCheckpoint<'_> {
     /// Runs one detailed window: the cycle loop, feeding the BPU at
     /// most `budget` instructions (run-granular, so the window may
     /// overshoot by a partial run), then draining the pipeline. A
@@ -222,7 +300,7 @@ impl EngineState<'_> {
         budget: u64,
         cfg: &SimConfig,
     ) -> Option<WindowSample> {
-        let EngineState {
+        let WindowCheckpoint {
             contents,
             cursor,
             frontend,
@@ -516,7 +594,7 @@ impl EngineState<'_> {
         // unified levels would have seen; loads and stores warm the
         // data hierarchy directly.
         if bulk_budget > 0 {
-            let EngineState {
+            let WindowCheckpoint {
                 cursor,
                 mem,
                 shadow_l1i,
@@ -582,7 +660,7 @@ impl EngineState<'_> {
         // same way as the bulk (no run materialization).
         let tail_budget = budget - bulk_budget;
         if tail_budget > 0 {
-            let EngineState {
+            let WindowCheckpoint {
                 contents,
                 cursor,
                 mem,
@@ -756,51 +834,8 @@ impl Engine {
             (None, total)
         };
 
-        let mut contents = cfg.icache_org.build(workload.seed());
-        if cfg.unbounded_cshr {
-            if let crate::icache::IcacheOrg::Acic(acic_cfg) = &cfg.icache_org {
-                contents = Box::new(AcicIcache::new(*acic_cfg).with_unbounded_instrumentation());
-            }
-        }
-        let wants_tick = contents.wants_tick();
-        let mut state = EngineState {
-            contents,
-            cursor: oracle.as_ref().map(|o| o.cursor()),
-            frontend: FrontEnd::new(cfg),
-            backend: Backend::new(cfg),
-            mem: MemoryHierarchy::new(cfg),
-            l1i_mshr: MissTracker::new(cfg.l1i_mshrs),
-            prefetcher: match cfg.prefetcher {
-                PrefetcherKind::None => Prefetcher::None,
-                PrefetcherKind::Fdp => Prefetcher::Fdp,
-                PrefetcherKind::Entangling => Prefetcher::Entangling(Entangling::new()),
-            },
-            prefetch_stats: PrefetchStats::default(),
-            pending_prefetches: Vec::new(),
-            candidates: Vec::new(),
-            fetch_asid: Asid::HOST,
-            context_switches: 0,
-            access_index: 0,
-            now: 0,
-            wants_tick,
-            max_cycles: 400 * total_instructions + 1_000_000,
-            consumed: 0,
-            trace_over: false,
-            fastforwarded: 0,
-            warmed: 0,
-            shadow_l1i: {
-                let geom = acic_cache::CacheGeometry::l1i_32k();
-                acic_cache::SetAssocCache::new(
-                    geom,
-                    acic_cache::policy::PolicyKind::Lru.build(geom),
-                )
-            },
-            warmup_instrs: (total_instructions as f64 * cfg.warmup_fraction) as u64,
-            warm_snapshot: None,
-            t_ff: 0.0,
-            t_warm: 0.0,
-            t_detail: 0.0,
-        };
+        let mut state = WindowCheckpoint::fresh(cfg, workload.seed(), total_instructions);
+        state.cursor = oracle.as_ref().map(|o| o.cursor());
 
         let mut runs = GroupedRuns::new(workload.iter());
         let mut windows: Vec<WindowSample> = Vec::new();
@@ -915,7 +950,7 @@ impl Engine {
         cfg: &SimConfig,
         app: &str,
         schedule: SampleSchedule,
-        state: EngineState<'_>,
+        state: WindowCheckpoint<'_>,
         windows: &[WindowSample],
     ) -> SimReport {
         let acic = state
@@ -965,58 +1000,82 @@ impl Engine {
                 report.l1i = report.l1i.delta_from(&warm_l1i);
             }
             SampleSchedule::Periodic { .. } => {
-                let detailed_instructions: u64 = windows.iter().map(|w| w.instructions).sum();
-                let detailed_cycles: Cycle = windows.iter().map(|w| w.cycles).sum();
-                let full_instructions: u64 = windows.iter().map(|w| w.full_instructions).sum();
-                let detailed_misses: u64 = windows.iter().map(|w| w.full_demand_misses).sum();
-                let ipc_samples: Vec<f64> = windows
-                    .iter()
-                    .filter(|w| w.cycles > 0)
-                    .map(|w| w.instructions as f64 / w.cycles as f64)
-                    .collect();
-                let mpki_samples: Vec<f64> = windows
-                    .iter()
-                    .filter(|w| w.full_instructions > 0)
-                    .map(|w| w.full_demand_misses as f64 * 1000.0 / w.full_instructions as f64)
-                    .collect();
-                let (ipc_mean, ipc_ci95) = mean_ci95(&ipc_samples);
-                let (mpki_mean, mpki_ci95) = mean_ci95(&mpki_samples);
-                let total = state.consumed;
-                let ipc_hat = if detailed_cycles > 0 {
-                    detailed_instructions as f64 / detailed_cycles as f64
-                } else {
-                    0.0
-                };
-                let mpki_hat = if full_instructions > 0 {
-                    detailed_misses as f64 * 1000.0 / full_instructions as f64
-                } else {
-                    0.0
-                };
-                let est_total_cycles = if ipc_hat > 0.0 {
-                    total as f64 / ipc_hat
-                } else {
-                    0.0
-                };
                 // The trace really ran start to finish; report the
                 // population size, with cycles extrapolated.
+                let total = state.consumed;
+                let pooled = pool_windows(windows, total, state.warmed, state.fastforwarded);
                 report.total_instructions = total;
-                report.total_cycles = est_total_cycles.round() as u64;
-                report.measured_instructions = detailed_instructions;
-                report.measured_cycles = detailed_cycles;
-                report.sampled = Some(SampledStats {
-                    windows: windows.len() as u64,
-                    detailed_instructions,
-                    warmup_instructions: state.warmed,
-                    fastforward_instructions: state.fastforwarded,
-                    ipc_mean,
-                    ipc_ci95,
-                    mpki_mean,
-                    mpki_ci95,
-                    est_total_cycles,
-                    est_total_misses: mpki_hat * total as f64 / 1000.0,
-                });
+                report.total_cycles = pooled.0.round() as u64;
+                report.measured_instructions = pooled.1;
+                report.measured_cycles = pooled.2;
+                report.sampled = Some(pooled.3);
             }
         }
         report
     }
+}
+
+/// Pools detailed-window samples into the SMARTS estimators.
+///
+/// Shared verbatim between the serial schedule's report assembly and
+/// the window-parallel reducer ([`window`]) so the two extrapolations
+/// cannot drift: given the same window samples in the same canonical
+/// order and the same population size, both modes produce bit-identical
+/// pooled statistics. Returns
+/// `(est_total_cycles, detailed_instructions, detailed_cycles, stats)`.
+fn pool_windows(
+    windows: &[WindowSample],
+    total: u64,
+    warmed: u64,
+    fastforwarded: u64,
+) -> (f64, u64, Cycle, SampledStats) {
+    let detailed_instructions: u64 = windows.iter().map(|w| w.instructions).sum();
+    let detailed_cycles: Cycle = windows.iter().map(|w| w.cycles).sum();
+    let full_instructions: u64 = windows.iter().map(|w| w.full_instructions).sum();
+    let detailed_misses: u64 = windows.iter().map(|w| w.full_demand_misses).sum();
+    let ipc_samples: Vec<f64> = windows
+        .iter()
+        .filter(|w| w.cycles > 0)
+        .map(|w| w.instructions as f64 / w.cycles as f64)
+        .collect();
+    let mpki_samples: Vec<f64> = windows
+        .iter()
+        .filter(|w| w.full_instructions > 0)
+        .map(|w| w.full_demand_misses as f64 * 1000.0 / w.full_instructions as f64)
+        .collect();
+    let (ipc_mean, ipc_ci95) = mean_ci95(&ipc_samples);
+    let (mpki_mean, mpki_ci95) = mean_ci95(&mpki_samples);
+    let ipc_hat = if detailed_cycles > 0 {
+        detailed_instructions as f64 / detailed_cycles as f64
+    } else {
+        0.0
+    };
+    let mpki_hat = if full_instructions > 0 {
+        detailed_misses as f64 * 1000.0 / full_instructions as f64
+    } else {
+        0.0
+    };
+    let est_total_cycles = if ipc_hat > 0.0 {
+        total as f64 / ipc_hat
+    } else {
+        0.0
+    };
+    let stats = SampledStats {
+        windows: windows.len() as u64,
+        detailed_instructions,
+        warmup_instructions: warmed,
+        fastforward_instructions: fastforwarded,
+        ipc_mean,
+        ipc_ci95,
+        mpki_mean,
+        mpki_ci95,
+        est_total_cycles,
+        est_total_misses: mpki_hat * total as f64 / 1000.0,
+    };
+    (
+        est_total_cycles,
+        detailed_instructions,
+        detailed_cycles,
+        stats,
+    )
 }

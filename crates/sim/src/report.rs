@@ -8,7 +8,7 @@ use acic_core::{AcicStats, CshrStats};
 use acic_types::Cycle;
 
 /// Front-end branch statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BranchStats {
     /// Total control-flow mispredictions (conditional + indirect).
     pub mispredicts: u64,
@@ -18,14 +18,31 @@ pub struct BranchStats {
     pub btb: BtbStats,
 }
 
+impl BranchStats {
+    /// Adds another instance's counters into this one.
+    pub fn merge(&mut self, other: &BranchStats) {
+        self.mispredicts += other.mispredicts;
+        self.tage.merge(&other.tage);
+        self.btb.merge(&other.btb);
+    }
+}
+
 /// Prefetch statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PrefetchStats {
     /// Prefetches issued to the hierarchy.
     pub issued: u64,
     /// Prefetch candidates dropped (already resident / in flight /
     /// MSHRs full).
     pub filtered: u64,
+}
+
+impl PrefetchStats {
+    /// Adds another instance's counters into this one.
+    pub fn merge(&mut self, other: &PrefetchStats) {
+        self.issued += other.issued;
+        self.filtered += other.filtered;
+    }
 }
 
 /// Sample mean and its 95% confidence half-width.

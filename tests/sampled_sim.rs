@@ -202,12 +202,22 @@ fn default_sampled_schedule_hits_10x_within_2pct() {
     }
     let sampled = sampled.expect("ran");
 
+    // The window-parallel mode runs a different (independent-window)
+    // schedule; its fidelity against full detail is a separate
+    // contract, enforced at the same 2% IPC bound. Worker count is
+    // pinned bit-identical elsewhere (tests/window_parallel.rs), so
+    // one parallel run suffices here.
+    let windowed = Engine::run_windowed(&sampled_cfg, &wl, 4);
+
     let ipc_err = (sampled.ipc() - full.ipc()).abs() / full.ipc();
     let mpki_err = (sampled.l1i_mpki() - full.l1i_mpki()).abs() / full.l1i_mpki();
+    let w_ipc_err = (windowed.ipc() - full.ipc()).abs() / full.ipc();
+    let w_mpki_err = (windowed.l1i_mpki() - full.l1i_mpki()).abs() / full.l1i_mpki();
     let speedup = full_secs / sampled_secs;
     eprintln!(
         "sampled contract: full {:.2}s ipc {:.4} mpki {:.4} | sampled {:.2}s ipc {:.4} mpki {:.4} \
-         | speedup {:.1}x ipc_err {:.2}% mpki_err {:.2}% windows {}",
+         | speedup {:.1}x ipc_err {:.2}% mpki_err {:.2}% windows {} \
+         | windowed ipc {:.4} mpki {:.4} ipc_err {:.2}% mpki_err {:.2}% windows {}",
         full_secs,
         full.ipc(),
         full.l1i_mpki(),
@@ -218,6 +228,11 @@ fn default_sampled_schedule_hits_10x_within_2pct() {
         ipc_err * 100.0,
         mpki_err * 100.0,
         sampled.sampled.map_or(0, |s| s.windows),
+        windowed.ipc(),
+        windowed.l1i_mpki(),
+        w_ipc_err * 100.0,
+        w_mpki_err * 100.0,
+        windowed.sampled.map_or(0, |s| s.windows),
     );
     assert!(
         ipc_err <= 0.02,
@@ -228,6 +243,16 @@ fn default_sampled_schedule_hits_10x_within_2pct() {
         mpki_err <= 0.02,
         "MPKI error {:.2}% exceeds 2%",
         mpki_err * 100.0
+    );
+    assert!(
+        w_ipc_err <= 0.02,
+        "window-parallel IPC error {:.2}% exceeds 2%",
+        w_ipc_err * 100.0
+    );
+    assert!(
+        w_mpki_err <= 0.02,
+        "window-parallel MPKI error {:.2}% exceeds 2%",
+        w_mpki_err * 100.0
     );
     assert!(
         speedup >= 8.0,
