@@ -297,6 +297,27 @@ fn trace_grid_orgs() -> Vec<IcacheOrg> {
 /// each (the simulated work is deterministic and the expected gap is
 /// ~2×, far above wall noise); the per-instruction legs keep
 /// best-of-3.
+/// The sampled schedule figure grids run under: the documented
+/// default when the budget can hold it, a proportionally scaled one
+/// for smoke-sized budgets. Shared by the trace section's grid legs
+/// and the DSE section's exhaustive reference so their wall clocks
+/// compare like for like.
+pub fn grid_schedule(grid_instructions: u64) -> SampleSchedule {
+    if grid_instructions >= 2_800_000 {
+        SampleSchedule::Periodic {
+            period: 700_000,
+            warmup_len: 90_000,
+            detailed_len: 22_000,
+        }
+    } else {
+        SampleSchedule::Periodic {
+            period: (grid_instructions / 4).max(4),
+            warmup_len: (grid_instructions / 16).max(1),
+            detailed_len: (grid_instructions / 32).max(1),
+        }
+    }
+}
+
 pub fn measure_trace(instructions: u64, grid_instructions: u64) -> TraceSection {
     let spec = WorkloadSpec::Single(AppProfile::web_search());
     let n = instructions as f64;
@@ -309,21 +330,7 @@ pub fn measure_trace(instructions: u64, grid_instructions: u64) -> TraceSection 
     let packed = spec.materialize(instructions);
     let (replay_secs, _) = best_of(|| packed.iter().fold(0u64, |a, i| a ^ i.pc().raw()));
 
-    // The documented sampled schedule when the budget can hold it; a
-    // proportionally scaled one for smoke-sized budgets.
-    let schedule = if grid_instructions >= 2_800_000 {
-        SampleSchedule::Periodic {
-            period: 700_000,
-            warmup_len: 90_000,
-            detailed_len: 22_000,
-        }
-    } else {
-        SampleSchedule::Periodic {
-            period: (grid_instructions / 4).max(4),
-            warmup_len: (grid_instructions / 16).max(1),
-            detailed_len: (grid_instructions / 32).max(1),
-        }
-    };
+    let schedule = grid_schedule(grid_instructions);
     let runner = Runner {
         instructions: grid_instructions,
         baseline: SimConfig::default().with_schedule(schedule),
@@ -359,6 +366,175 @@ pub fn measure_trace(instructions: u64, grid_instructions: u64) -> TraceSection 
         grid_frozen_secs: frozen_secs,
         grid_wall_ratio: regen_secs / frozen_secs,
     }
+}
+
+/// The `dse` section: the adaptive design-space-exploration tentpole's
+/// headline wall-clock claim (shared with the `--bench-delta`
+/// regression harness).
+pub struct DseSection {
+    /// Name of the swept design space.
+    pub space: String,
+    /// Configurations declared in the space.
+    pub configs: usize,
+    /// Workload specs in the space.
+    pub specs: usize,
+    /// `configs x specs` — what one exhaustive rung of the space
+    /// costs in cells.
+    pub cells: usize,
+    /// Rungs on the fidelity ladder.
+    pub rungs: usize,
+    /// Full per-cell instruction budget (the final rung's).
+    pub instructions: u64,
+    /// Cells in the exhaustive reference grid (today's figure grid:
+    /// 10 orgs x 2 SPEC apps).
+    pub exhaustive_cells: usize,
+    /// Wall seconds for the exhaustive reference grid.
+    pub exhaustive_secs: f64,
+    /// Wall seconds for the full adaptive sweep (freeze + every rung).
+    pub dse_secs: f64,
+    /// `dse_secs / exhaustive_secs` — the tentpole acceptance cell
+    /// (target <= 1.5: the ~1000-cell space within 1.5x the 20-cell
+    /// grid's wall time).
+    pub wall_ratio_vs_exhaustive: f64,
+    /// `(cells / exhaustive_cells) / wall_ratio_vs_exhaustive`: how
+    /// many exhaustive-grid-equivalents of design space one wall
+    /// second of sweeping buys (higher is better; the `--bench-delta`
+    /// trajectory cell).
+    pub effective_speedup: f64,
+    /// Cells actually simulated across all rungs (pruning + settling
+    /// is what keeps this far under `cells x rungs`).
+    pub cells_computed: u64,
+    /// Configurations never pruned.
+    pub survivors: usize,
+    /// Survivors on the final full-fidelity Pareto frontier.
+    pub frontier: usize,
+    /// Per-cell budget of the pinned-space agreement check.
+    pub pinned_budget: u64,
+    /// Whether the DSE frontier of the pinned space matched the
+    /// exhaustive full-detail reference frontier exactly (the
+    /// no-false-prunes acceptance cell; `tests/dse.rs` pins the same
+    /// property).
+    pub pinned_frontier_agrees: bool,
+}
+
+/// Exhaustive full-detail reference check on the pinned space: runs
+/// the adaptive sweep (final rung = full detail) and an exhaustive
+/// full-detail grid over the same space at `budget` instructions, and
+/// compares Pareto frontiers. Because the final rung re-simulates
+/// every survivor at full fidelity, the frontier sets must agree
+/// exactly — any disagreement means a false prune.
+fn pinned_agreement(budget: u64) -> Result<bool, String> {
+    use crate::dse::{midpoints, pareto_frontier, pinned_space, run_dse, DseOptions, Ladder};
+    let space = pinned_space();
+    let opts = DseOptions {
+        ladder: Ladder::new(budget, 2, SampleSchedule::Full),
+        store: None,
+        ..DseOptions::default()
+    };
+    let run = run_dse(&space, &opts)?;
+    let dse_frontier: std::collections::BTreeSet<usize> = {
+        let survivors = run.survivors();
+        let points: Vec<Vec<f64>> = survivors
+            .iter()
+            .map(|&i| midpoints(&run.outcomes[i].reports))
+            .collect();
+        survivors
+            .into_iter()
+            .zip(pareto_frontier(&points))
+            .filter(|&(_, keep)| keep)
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let runner = Runner {
+        instructions: budget,
+        baseline: SimConfig::default(),
+        store: None,
+        cell_timeout: None,
+        window_threads: 0,
+    };
+    let configs: Vec<SimConfig> = space.configs.iter().map(|c| c.cfg.clone()).collect();
+    let grid = runner.run_grid(&configs, &space.specs);
+    let points: Vec<Vec<f64>> = grid.iter().map(|reps| midpoints(reps)).collect();
+    let exhaustive_frontier: std::collections::BTreeSet<usize> = pareto_frontier(&points)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, keep)| keep)
+        .map(|(i, _)| i)
+        .collect();
+    Ok(dse_frontier == exhaustive_frontier)
+}
+
+/// Measures the DSE section: times today's exhaustive 20-cell sampled
+/// figure grid (same orgs, specs, and schedule as the trace section's
+/// frozen leg), then the adaptive sweep of the full cache-geometry
+/// space at the same per-cell budget and final-rung schedule, and
+/// runs the pinned-space frontier-agreement check. `smoke` swaps in
+/// the 4-config smoke space so CI exercises the path in seconds.
+///
+/// # Errors
+///
+/// Propagates sweep failures (freeze errors, panicking cells) — the
+/// baseline must not be committed from a partially failed sweep.
+pub fn measure_dse(grid_instructions: u64, smoke: bool) -> Result<DseSection, String> {
+    use crate::dse::{geometry_space, run_dse, smoke_space, DseOptions, Ladder};
+    let schedule = grid_schedule(grid_instructions);
+    let runner = Runner {
+        instructions: grid_instructions,
+        baseline: SimConfig::default().with_schedule(schedule),
+        // Timing legs: a store would replay cells and falsify the
+        // wall clocks; no watchdog for the same reason.
+        store: None,
+        cell_timeout: None,
+        window_threads: 0,
+    };
+    let ex_configs: Vec<SimConfig> = trace_grid_orgs()
+        .into_iter()
+        .map(|o| runner.baseline.with_org(o))
+        .collect();
+    let ex_specs = vec![
+        WorkloadSpec::Single(AppProfile::sibench()),
+        WorkloadSpec::Single(AppProfile::x264()),
+    ];
+    let (exhaustive_secs, _) = time(|| runner.run_grid(&ex_configs, &ex_specs));
+
+    let space = if smoke {
+        smoke_space()
+    } else {
+        geometry_space()
+    };
+    let opts = DseOptions {
+        ladder: Ladder::new(grid_instructions, if smoke { 2 } else { 3 }, schedule),
+        store: None,
+        ..DseOptions::default()
+    };
+    let (dse_secs, run) = time(|| run_dse(&space, &opts));
+    let run = run?;
+    let wall_ratio = dse_secs / exhaustive_secs.max(1e-12);
+    let cells = space.cells();
+    let exhaustive_cells = ex_configs.len() * ex_specs.len();
+    let pinned_budget = if smoke {
+        60_000
+    } else {
+        (grid_instructions / 10).clamp(200_000, 2_000_000)
+    };
+    Ok(DseSection {
+        space: space.name.clone(),
+        configs: space.configs.len(),
+        specs: space.specs.len(),
+        cells,
+        rungs: opts.ladder.rungs.len(),
+        instructions: grid_instructions,
+        exhaustive_cells,
+        exhaustive_secs,
+        dse_secs,
+        wall_ratio_vs_exhaustive: wall_ratio,
+        effective_speedup: (cells as f64 / exhaustive_cells as f64) / wall_ratio.max(1e-12),
+        cells_computed: run.computed,
+        survivors: run.survivors().len(),
+        frontier: run.final_frontier().len(),
+        pinned_budget,
+        pinned_frontier_agrees: pinned_agreement(pinned_budget)?,
+    })
 }
 
 /// One sampled-vs-full comparison cell for the `sampled` section.
@@ -470,6 +646,8 @@ pub fn measure_baseline_with_prior(prior: Option<&str>) -> String {
     let trace = measure_trace(instructions, trace_grid_instructions());
     let sampled = measure_sampled();
     let window_parallel = crate::window_smoke::measure_window_parallel(sampled_instructions());
+    let dse = measure_dse(trace_grid_instructions(), false)
+        .expect("DSE sweep must complete for the baseline to be committed");
     render_json(
         instructions,
         &workload,
@@ -479,6 +657,7 @@ pub fn measure_baseline_with_prior(prior: Option<&str>) -> String {
         &trace,
         &sampled,
         &window_parallel,
+        &dse,
         prior,
     )
 }
@@ -550,10 +729,11 @@ fn render_json(
     trace: &TraceSection,
     sampled: &SampledRow,
     window_parallel: &crate::window_smoke::WindowParallelRow,
+    dse: &DseSection,
     prior: Option<&str>,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"acic-throughput-baseline/v6\",\n");
+    out.push_str("  \"schema\": \"acic-throughput-baseline/v7\",\n");
     out.push_str(&format!("  \"instructions\": {instructions},\n"));
     out.push_str(&format!("  \"workload\": \"{}\",\n", workload.name()));
     out.push_str("  \"trace_materialized\": true,\n");
@@ -700,6 +880,42 @@ fn render_json(
     out.push_str(&format!("    \"windows\": {},\n", wp.windows));
     out.push_str(&format!("    \"ipc\": {:.4},\n", wp.ipc));
     out.push_str(&format!("    \"bit_identical\": {}\n", wp.bit_identical));
+    out.push_str("  },\n");
+    out.push_str("  \"dse\": {\n");
+    out.push_str(&format!("    \"space\": \"{}\",\n", dse.space));
+    out.push_str(&format!("    \"configs\": {},\n", dse.configs));
+    out.push_str(&format!("    \"specs\": {},\n", dse.specs));
+    out.push_str(&format!("    \"cells\": {},\n", dse.cells));
+    out.push_str(&format!("    \"rungs\": {},\n", dse.rungs));
+    out.push_str(&format!("    \"instructions\": {},\n", dse.instructions));
+    out.push_str(&format!(
+        "    \"exhaustive_cells\": {},\n",
+        dse.exhaustive_cells
+    ));
+    out.push_str(&format!(
+        "    \"exhaustive_secs\": {:.3},\n",
+        dse.exhaustive_secs
+    ));
+    out.push_str(&format!("    \"dse_secs\": {:.3},\n", dse.dse_secs));
+    out.push_str(&format!(
+        "    \"wall_ratio_vs_exhaustive\": {:.2},\n",
+        dse.wall_ratio_vs_exhaustive
+    ));
+    out.push_str(&format!(
+        "    \"effective_speedup\": {:.2},\n",
+        dse.effective_speedup
+    ));
+    out.push_str(&format!(
+        "    \"cells_computed\": {},\n",
+        dse.cells_computed
+    ));
+    out.push_str(&format!("    \"survivors\": {},\n", dse.survivors));
+    out.push_str(&format!("    \"frontier\": {},\n", dse.frontier));
+    out.push_str(&format!("    \"pinned_budget\": {},\n", dse.pinned_budget));
+    out.push_str(&format!(
+        "    \"pinned_frontier_agrees\": {}\n",
+        dse.pinned_frontier_agrees
+    ));
     out.push_str("  }\n}\n");
     out
 }
@@ -763,10 +979,28 @@ mod tests {
             ipc: 3.30,
             bit_identical: true,
         };
+        let dse = DseSection {
+            space: "geometry".into(),
+            configs: 290,
+            specs: 3,
+            cells: 870,
+            rungs: 3,
+            instructions: 20_000_000,
+            exhaustive_cells: 20,
+            exhaustive_secs: 8.0,
+            dse_secs: 10.0,
+            wall_ratio_vs_exhaustive: 1.25,
+            effective_speedup: 34.8,
+            cells_computed: 1_000,
+            survivors: 12,
+            frontier: 4,
+            pinned_budget: 2_000_000,
+            pinned_frontier_agrees: true,
+        };
         let j = render_json(
-            1_000, &wl, &rows, &wl, &mt_rows, &trace, &sampled, &wp, None,
+            1_000, &wl, &rows, &wl, &mt_rows, &trace, &sampled, &wp, &dse, None,
         );
-        assert!(j.contains("\"schema\": \"acic-throughput-baseline/v6\""));
+        assert!(j.contains("\"schema\": \"acic-throughput-baseline/v7\""));
         assert!(j.contains("\"multi_tenant\""));
         assert!(j.contains("\"context_switches\": 9"));
         assert!(j.contains("\"naive_path\": \"boxed_unbatched\""));
@@ -780,6 +1014,10 @@ mod tests {
         assert!(j.contains("\"window_parallel\""));
         assert!(j.contains("\"vs_serial\": 4.00"));
         assert!(j.contains("\"bit_identical\": true"));
+        assert!(j.contains("\"dse\""));
+        assert!(j.contains("\"cells\": 870"));
+        assert!(j.contains("\"wall_ratio_vs_exhaustive\": 1.25"));
+        assert!(j.contains("\"pinned_frontier_agrees\": true"));
         assert!(!j.contains("vs_prior"), "no prior, no section");
         assert_eq!(
             j.matches('{').count(),
@@ -803,6 +1041,7 @@ mod tests {
             &trace,
             &sampled,
             &wp,
+            &dse,
             Some(prior),
         );
         assert!(j.contains("\"vs_prior\""));

@@ -64,6 +64,26 @@
 //! output bit-identical to an uninterrupted run. `--results-smoke`
 //! runs the kill-and-resume round trip CI relies on.
 //!
+//! Adaptive design-space exploration (DESIGN.md §10):
+//!
+//! ```text
+//! cargo run --release -p acic-bench --bin experiments -- --dse
+//! cargo run --release -p acic-bench --bin experiments -- --dse --dse-space space.json \
+//!     --dse-report dse.jsonl --results results/
+//! cargo run --release -p acic-bench --bin experiments -- --dse-smoke
+//! ```
+//!
+//! `--dse` skips the figures and sweeps a design space through the
+//! CI-pruned fidelity ladder: the built-in ~870-cell cache-geometry
+//! space by default, or the axes file given with `--dse-space`
+//! (`--dse --smoke` sweeps the tiny built-in smoke space over a
+//! two-rung ladder instead). `--dse-report <file>` writes the
+//! JSON-lines provenance report (per config: pruned-at, refined-to,
+//! final confidence intervals); `--results <dir>` makes the sweep
+//! resumable per cell. `--dse-smoke` runs the in-process
+//! tear-and-resume round trip CI relies on and exits non-zero on the
+//! first violated invariant.
+//!
 //! Failure handling: figures run in keep-going mode — a panicking
 //! figure (including a grid with failing cells, reported through the
 //! structured [`acic_bench::runner::GridError`]) is recorded, every
@@ -164,6 +184,8 @@ struct Cli {
     trace_smoke: bool,
     results_smoke: bool,
     window_smoke: bool,
+    dse_smoke: bool,
+    dse: bool,
     bench_delta: bool,
     smoke: bool,
     fail_fast: bool,
@@ -171,6 +193,8 @@ struct Cli {
     replay: Option<String>,
     results: Option<String>,
     only: Option<String>,
+    dse_space: Option<String>,
+    dse_report: Option<String>,
     window_threads: Option<usize>,
     filter: String,
 }
@@ -180,6 +204,8 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
     let replay = take_flag_value(&mut args, "--traces")?;
     let results = take_flag_value(&mut args, "--results")?;
     let only = take_flag_value(&mut args, "--only")?;
+    let dse_space = take_flag_value(&mut args, "--dse-space")?;
+    let dse_report = take_flag_value(&mut args, "--dse-report")?;
     let window_threads = match take_flag_value(&mut args, "--window-threads")? {
         None => None,
         Some(raw) => Some(raw.parse::<usize>().map_err(|_| {
@@ -189,11 +215,17 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
     if record.is_some() && replay.is_some() {
         return Err("--record-traces and --traces are mutually exclusive".into());
     }
+    let dse = take_switch(&mut args, "--dse");
+    if (dse_space.is_some() || dse_report.is_some()) && !dse {
+        return Err("--dse-space/--dse-report only make sense with --dse".into());
+    }
     let cli = Cli {
         list: take_switch(&mut args, "--list"),
         trace_smoke: take_switch(&mut args, "--trace-smoke"),
         results_smoke: take_switch(&mut args, "--results-smoke"),
         window_smoke: take_switch(&mut args, "--window-smoke"),
+        dse_smoke: take_switch(&mut args, "--dse-smoke"),
+        dse,
         bench_delta: take_switch(&mut args, "--bench-delta"),
         smoke: take_switch(&mut args, "--smoke"),
         fail_fast: take_switch(&mut args, "--fail-fast"),
@@ -201,6 +233,8 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
         replay,
         results,
         only,
+        dse_space,
+        dse_report,
         window_threads,
         filter: String::new(),
     };
@@ -211,6 +245,76 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
     }
     let filter = args.first().cloned().unwrap_or_default();
     Ok(Cli { filter, ..cli })
+}
+
+/// The `--dse` path: resolve the space (axes file, or the built-in
+/// geometry sweep — the tiny smoke space under `--smoke`), sweep it
+/// through the fidelity ladder, optionally write the JSON-lines
+/// provenance report, and render a human summary.
+fn run_dse_cli(cli: &Cli) -> Result<String, String> {
+    use acic_bench::dse;
+    use acic_sim::SampleSchedule;
+
+    let space = match &cli.dse_space {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read space file '{path}': {e}"))?;
+            dse::parse_space(&text)?
+        }
+        None if cli.smoke => dse::smoke_space(),
+        None => dse::geometry_space(),
+    };
+    let opts = if cli.smoke {
+        dse::DseOptions {
+            ladder: dse::Ladder::new(120_000, 2, SampleSchedule::Full),
+            ..dse::DseOptions::default()
+        }
+    } else {
+        dse::DseOptions::default()
+    };
+    eprintln!(
+        "[dse: space '{}', {} configs x {} specs, {} rungs to {} instructions/cell]",
+        space.name,
+        space.configs.len(),
+        space.specs.len(),
+        opts.ladder.rungs.len(),
+        opts.ladder.full_budget()
+    );
+    let start = std::time::Instant::now();
+    let run = dse::run_dse(&space, &opts)?;
+    let wall = start.elapsed().as_secs_f64();
+    if let Some(path) = &cli.dse_report {
+        std::fs::write(path, run.jsonl())
+            .map_err(|e| format!("cannot write report '{path}': {e}"))?;
+        eprintln!("[dse: provenance report written to {path}]");
+    }
+
+    let mut out = String::new();
+    for s in &run.rungs {
+        out.push_str(&format!(
+            "rung {}: budget {}, {} configs ({} cells replayed, {} computed), \
+             pruned {}, settled {}, alive {}\n",
+            s.rung, s.budget, s.active, s.replayed, s.computed, s.pruned, s.settled, s.alive_after
+        ));
+    }
+    let survivors = run.survivors();
+    let frontier = run.final_frontier();
+    out.push_str(&format!(
+        "survivors: {} of {} configs ({} on the final frontier) in {wall:.1}s\n",
+        survivors.len(),
+        run.outcomes.len(),
+        frontier.len()
+    ));
+    for &i in &frontier {
+        let o = &run.outcomes[i];
+        let per_spec: Vec<String> = o
+            .reports
+            .iter()
+            .map(|r| format!("{}: ipc {:.3}, mpki {:.2}", r.app, r.ipc(), r.l1i_mpki()))
+            .collect();
+        out.push_str(&format!("  {} — {}\n", o.label, per_spec.join("; ")));
+    }
+    Ok(out)
 }
 
 fn main() {
@@ -280,6 +384,17 @@ fn main() {
         return;
     }
 
+    if cli.dse_smoke {
+        match acic_bench::dse::dse_smoke() {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("dse-smoke failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     if let Some(n) = cli.window_threads {
         // The runner reads this through the environment
         // (acic_bench::runner::window_threads); pin it before any
@@ -314,6 +429,17 @@ fn main() {
             eprintln!("{e}");
             std::process::exit(2);
         }
+    }
+
+    if cli.dse {
+        match run_dse_cli(&cli) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("dse failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
 
     if cli.bench_delta {
@@ -485,6 +611,34 @@ mod tests {
         let cli = parse_cli(argv(&["--window-smoke"])).unwrap();
         assert!(cli.window_smoke);
         assert!(!parse_cli(argv(&["--smoke"])).unwrap().window_smoke);
+    }
+
+    #[test]
+    fn dse_flags_parse() {
+        let cli = parse_cli(argv(&[
+            "--dse",
+            "--dse-space",
+            "space.json",
+            "--dse-report",
+            "out.jsonl",
+        ]))
+        .unwrap();
+        assert!(cli.dse);
+        assert_eq!(cli.dse_space.as_deref(), Some("space.json"));
+        assert_eq!(cli.dse_report.as_deref(), Some("out.jsonl"));
+
+        let cli = parse_cli(argv(&["--dse", "--smoke"])).unwrap();
+        assert!(cli.dse && cli.smoke && cli.dse_space.is_none());
+
+        let cli = parse_cli(argv(&["--dse-smoke"])).unwrap();
+        assert!(cli.dse_smoke && !cli.dse);
+
+        let err = parse_cli(argv(&["--dse-space", "s.json"])).unwrap_err();
+        assert!(err.contains("only make sense with --dse"), "{err}");
+        let err = parse_cli(argv(&["--dse-report", "r.jsonl"])).unwrap_err();
+        assert!(err.contains("only make sense with --dse"), "{err}");
+        let err = parse_cli(argv(&["--dse", "--dse-space"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
     }
 
     #[test]

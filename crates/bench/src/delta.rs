@@ -4,32 +4,39 @@
 //! `experiments --bench-delta` re-runs the org rows (naive / batched /
 //! timing for LRU, SRRIP, ACIC), the multi-tenant functional rows,
 //! the trace-layer cells (generator vs packed-replay throughput,
-//! spec-deduplicated grid wall ratio), and the window-parallel
-//! `vs_serial` wall ratio of `BENCH_baseline.json`, then
-//! emits a JSON report with one
+//! spec-deduplicated grid wall ratio), the window-parallel
+//! `vs_serial` wall ratio, and the adaptive-DSE `effective_speedup`
+//! of `BENCH_baseline.json`, then emits a JSON report with one
 //! `delta_pct` per cell — positive means the working tree is faster
-//! than the committed baseline. `--smoke` shrinks the instruction
-//! budget so CI can exercise the whole path in seconds (the deltas it
-//! prints are then noise; the run only checks for panics and NaNs).
+//! than the committed baseline. A cell measured here but absent from
+//! the committed baseline (a section newer than the document, e.g. a
+//! pre-v7 baseline with no `dse` section) is reported with
+//! `"status": "new"` instead of failing the run, so adding a section
+//! never bricks the regression harness mid-PR. `--smoke` shrinks the
+//! instruction budget so CI can exercise the whole path in seconds
+//! (the deltas it prints are then noise; the run only checks for
+//! panics and NaNs).
 //!
 //! The committed baseline is read with [`Json`], the crate's
 //! dependency-free recursive-descent parser (`json.rs`).
 
-use crate::baseline::{measure_multi_tenant, measure_org_rows, measure_trace};
+use crate::baseline::{measure_dse, measure_multi_tenant, measure_org_rows, measure_trace};
 
 pub use crate::json::Json;
 
-/// One re-measured baseline cell.
+/// One re-measured baseline cell. `baseline` is `None` when the
+/// committed document predates the cell's section — the cell is then
+/// reported as `new` rather than failing the run.
 struct DeltaCell {
     /// Dotted path inside the baseline document.
     path: String,
-    baseline: f64,
+    baseline: Option<f64>,
     measured: f64,
 }
 
 impl DeltaCell {
-    fn delta_pct(&self) -> f64 {
-        (self.measured - self.baseline) / self.baseline * 100.0
+    fn delta_pct(&self) -> Option<f64> {
+        self.baseline.map(|b| (self.measured - b) / b * 100.0)
     }
 }
 
@@ -42,10 +49,11 @@ const SMOKE_INSTRUCTIONS: u64 = 100_000;
 ///
 /// # Errors
 ///
-/// Returns an error when the baseline file is missing or malformed, a
-/// baseline cell re-measured here is absent from it, or any computed
-/// delta is NaN — `experiments --bench-delta` exits non-zero on all
-/// of these, which is what makes the CI job a regression tripwire.
+/// Returns an error when the baseline file is missing or malformed,
+/// or any computed delta is NaN — `experiments --bench-delta` exits
+/// non-zero on these, which is what makes the CI job a regression
+/// tripwire. A baseline *cell* missing from an older committed
+/// document is not an error: it becomes a `"status": "new"` row.
 pub fn bench_delta(smoke: bool) -> Result<String, String> {
     let path = std::env::var("ACIC_BASELINE_PATH").unwrap_or_else(|_| "BENCH_baseline.json".into());
     let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
@@ -53,7 +61,8 @@ pub fn bench_delta(smoke: bool) -> Result<String, String> {
     let schema = doc
         .get("schema")
         .and_then(Json::str_val)
-        .unwrap_or("unknown");
+        .unwrap_or("unknown")
+        .to_string();
 
     let instructions = if smoke {
         crate::baseline::baseline_instructions().min(SMOKE_INSTRUCTIONS)
@@ -62,46 +71,38 @@ pub fn bench_delta(smoke: bool) -> Result<String, String> {
     };
 
     let mut cells: Vec<DeltaCell> = Vec::new();
-    let mut cell = |path: Vec<&str>, measured: f64| -> Result<(), String> {
-        let dotted = path.join(".");
-        let baseline = doc
-            .path(&path)
-            .and_then(Json::num)
-            .ok_or_else(|| format!("baseline cell {dotted} missing from {schema}"))?;
+    let mut cell = |path: Vec<&str>, measured: f64| {
         cells.push(DeltaCell {
-            path: dotted,
-            baseline,
+            path: path.join("."),
+            baseline: doc.path(&path).and_then(Json::num),
             measured,
         });
-        Ok(())
     };
 
     let rows = measure_org_rows(instructions);
     for r in &rows {
-        cell(vec!["orgs", r.label, "naive_ips"], r.naive_ips)?;
-        cell(vec!["orgs", r.label, "devirt_batched_ips"], r.batched_ips)?;
-        cell(vec!["orgs", r.label, "timing_sim_ips"], r.timing_ips)?;
+        cell(vec!["orgs", r.label, "naive_ips"], r.naive_ips);
+        cell(vec!["orgs", r.label, "devirt_batched_ips"], r.batched_ips);
+        cell(vec!["orgs", r.label, "timing_sim_ips"], r.timing_ips);
     }
     let (_, mt_rows) = measure_multi_tenant(instructions);
     for r in &mt_rows {
         cell(
             vec!["multi_tenant", "orgs", r.label, "functional_ips"],
             r.functional_ips,
-        )?;
+        );
     }
-    let tr = measure_trace(
-        instructions,
-        if smoke {
-            instructions
-        } else {
-            crate::baseline::trace_grid_instructions()
-        },
-    );
-    cell(vec!["trace", "generator_ips"], tr.generator_ips)?;
-    cell(vec!["trace", "packed_replay_ips"], tr.packed_replay_ips)?;
+    let grid_instructions = if smoke {
+        instructions
+    } else {
+        crate::baseline::trace_grid_instructions()
+    };
+    let tr = measure_trace(instructions, grid_instructions);
+    cell(vec!["trace", "generator_ips"], tr.generator_ips);
+    cell(vec!["trace", "packed_replay_ips"], tr.packed_replay_ips);
     // A ratio, not an IPS — still a higher-is-better throughput cell,
     // so the same delta convention (positive = improvement) applies.
-    cell(vec!["trace", "grid", "wall_ratio"], tr.grid_wall_ratio)?;
+    cell(vec!["trace", "grid", "wall_ratio"], tr.grid_wall_ratio);
     // Window-parallel fan-out speedup: same ratio convention. Smoke
     // budgets degenerate the plan to a full run (ratio ~1; noise),
     // which still exercises the whole path.
@@ -110,31 +111,56 @@ pub fn bench_delta(smoke: bool) -> Result<String, String> {
     } else {
         crate::baseline::sampled_instructions()
     });
-    cell(vec!["window_parallel", "vs_serial"], wp.vs_serial())?;
+    cell(vec!["window_parallel", "vs_serial"], wp.vs_serial());
+    // Adaptive-DSE wall-time win: exhaustive-grid-equivalents of
+    // design space per exhaustive-grid wall second. Higher is better,
+    // same delta convention.
+    let dse = measure_dse(grid_instructions, smoke)?;
+    cell(vec!["dse", "effective_speedup"], dse.effective_speedup);
 
-    for c in &cells {
-        if !c.delta_pct().is_finite() {
+    render_delta(&schema, instructions, smoke, &cells)
+}
+
+/// Renders the delta report (split from the measurement so the
+/// new-cell tolerance is unit-testable without re-measuring).
+///
+/// # Errors
+///
+/// Returns an error when a cell that *does* have a committed baseline
+/// produced a non-finite delta.
+fn render_delta(
+    schema: &str,
+    instructions: u64,
+    smoke: bool,
+    cells: &[DeltaCell],
+) -> Result<String, String> {
+    for c in cells {
+        if c.delta_pct().is_some_and(|d| !d.is_finite()) {
             return Err(format!("cell {} produced a non-finite delta", c.path));
         }
     }
-
+    let new_cells = cells.iter().filter(|c| c.baseline.is_none()).count();
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"acic-bench-delta/v1\",\n");
     out.push_str(&format!("  \"baseline_schema\": \"{schema}\",\n"));
     out.push_str(&format!("  \"instructions\": {instructions},\n"));
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"new_cells\": {new_cells},\n"));
     out.push_str("  \"cells\": {\n");
     for (i, c) in cells.iter().enumerate() {
-        // Plain `{:.1}` — a `+` sign prefix would be invalid strict
-        // JSON (negative deltas carry their `-` naturally).
-        out.push_str(&format!(
-            "    \"{}\": {{ \"baseline_ips\": {:.0}, \"measured_ips\": {:.0}, \"delta_pct\": {:.1} }}{}\n",
-            c.path,
-            c.baseline,
-            c.measured,
-            c.delta_pct(),
-            if i + 1 == cells.len() { "" } else { "," }
-        ));
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        match (c.baseline, c.delta_pct()) {
+            // Plain `{:.1}` — a `+` sign prefix would be invalid
+            // strict JSON (negative deltas carry their `-` naturally).
+            (Some(b), Some(d)) => out.push_str(&format!(
+                "    \"{}\": {{ \"baseline_ips\": {:.0}, \"measured_ips\": {:.0}, \"delta_pct\": {:.1} }}{}\n",
+                c.path, b, c.measured, d, sep
+            )),
+            _ => out.push_str(&format!(
+                "    \"{}\": {{ \"status\": \"new\", \"measured_ips\": {:.0} }}{}\n",
+                c.path, c.measured, sep
+            )),
+        }
     }
     out.push_str("  }\n}\n");
     Ok(out)
@@ -148,9 +174,51 @@ mod tests {
     fn delta_cell_math() {
         let c = DeltaCell {
             path: "x".into(),
-            baseline: 100.0,
+            baseline: Some(100.0),
             measured: 140.0,
         };
-        assert!((c.delta_pct() - 40.0).abs() < 1e-9);
+        assert!((c.delta_pct().unwrap() - 40.0).abs() < 1e-9);
+        let new = DeltaCell {
+            path: "y".into(),
+            baseline: None,
+            measured: 140.0,
+        };
+        assert!(new.delta_pct().is_none());
+    }
+
+    #[test]
+    fn missing_baseline_cell_renders_as_new_instead_of_failing() {
+        let cells = vec![
+            DeltaCell {
+                path: "orgs.lru.naive_ips".into(),
+                baseline: Some(100.0),
+                measured: 120.0,
+            },
+            DeltaCell {
+                path: "dse.effective_speedup".into(),
+                baseline: None,
+                measured: 30.0,
+            },
+        ];
+        let j = render_delta("acic-throughput-baseline/v6", 1_000, false, &cells)
+            .expect("new cells are tolerated");
+        assert!(j.contains("\"new_cells\": 1"));
+        assert!(j.contains("\"delta_pct\": 20.0"));
+        assert!(
+            j.contains("\"dse.effective_speedup\": { \"status\": \"new\", \"measured_ips\": 30 }")
+        );
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        Json::parse(&j).expect("delta report stays valid JSON");
+    }
+
+    #[test]
+    fn non_finite_delta_on_a_known_cell_still_fails() {
+        let cells = vec![DeltaCell {
+            path: "orgs.lru.naive_ips".into(),
+            baseline: Some(0.0),
+            measured: 120.0,
+        }];
+        let err = render_delta("s", 1_000, false, &cells).unwrap_err();
+        assert!(err.contains("non-finite delta"), "{err}");
     }
 }

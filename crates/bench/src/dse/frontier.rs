@@ -1,0 +1,419 @@
+//! Dominance pruning: the statistical test that lets the DSE
+//! scheduler retire configurations mid-sweep.
+//!
+//! Every configuration is summarized as a vector of **maximize**
+//! objectives, one pair per workload spec: IPC as-is, and MPKI
+//! negated (fewer misses is better). Configuration `a` *dominates*
+//! `b` when the data suffices to rank `a` strictly above `b` on
+//! **every** coordinate, at 95% confidence per coordinate. Under CI
+//! correctness this is the conservative direction: an undecidable
+//! coordinate never prunes, so a config is only retired when the data
+//! already suffices to rank it, and the surviving set is a superset
+//! of the true Pareto frontier (pinned by `tests/dse.rs`).
+//!
+//! Per coordinate the test is **paired** whenever the two reports
+//! carry aligned per-window samples ([`SimReport::window_ipc`]):
+//! every configuration at a rung runs the *same* schedule over the
+//! *same* frozen trace, so window `w` of `a` and window `w` of `b`
+//! saw the same instructions — common random numbers. The CI on the
+//! mean per-window *difference* cancels the workload-phase variance
+//! that dominates each config's own interval (the warm-up trend moves
+//! every config's windows together), which is routinely an order of
+//! magnitude tighter than comparing the two pooled intervals: coarse
+//! rungs that could separate nothing unpaired prune most of a
+//! geometry sweep paired. With a shared window count `n` the paired
+//! relation is transitive (`mean` adds and the sample standard
+//! deviation is subadditive across sums, so lower bounds add), which
+//! keeps [`prune_round`] order-independent.
+//!
+//! When pairing is unavailable (exact `Full` reports have no windows;
+//! dead windows can desynchronize counts) the coordinate falls back
+//! to the unpaired interval test: `a`'s lower bound must strictly
+//! exceed `b`'s upper bound. For degenerate (exact) intervals that
+//! collapses to strict pointwise dominance — the same predicate the
+//! exhaustive reference ranks by.
+
+use acic_sim::report::mean_ci95;
+use acic_sim::SimReport;
+
+/// A closed objective interval `(lo, hi)`, to be maximized.
+pub type Interval = (f64, f64);
+
+/// The objective coordinates of one configuration over a spec list:
+/// for each spec, its IPC interval followed by its **negated** MPKI
+/// interval, so every coordinate is maximize-is-better. Reports must
+/// be in the same spec order for every configuration.
+pub fn objective_coords(reports: &[SimReport]) -> Vec<Interval> {
+    let mut coords = Vec::with_capacity(reports.len() * 2);
+    for r in reports {
+        coords.push(r.ipc_interval());
+        let (lo, hi) = r.mpki_interval();
+        coords.push((-hi, -lo));
+    }
+    coords
+}
+
+/// Whether `a` strictly interval-dominates `b`: on **every**
+/// coordinate, `a`'s lower bound exceeds `b`'s upper bound. Empty
+/// coordinate vectors dominate nothing. Unbounded coordinates
+/// (`hi = +inf`, the no-variance-estimate case) make `b` unprunable
+/// on that axis, which is exactly the conservative behavior the
+/// ladder needs. NaN coordinates (which the report accessors never
+/// produce) compare false and therefore never prune.
+pub fn dominates(a: &[Interval], b: &[Interval]) -> bool {
+    debug_assert_eq!(a.len(), b.len(), "objective spaces must match");
+    !a.is_empty() && a.iter().zip(b).all(|(x, y)| x.0 > y.1)
+}
+
+/// Lower bound of the 95% CI on the mean paired difference `a - b`,
+/// or `None` when the samples cannot be paired: length mismatch (a
+/// dead window excluded on one side only), or fewer than two pairs
+/// (no variance estimate — `mean_ci95`'s zero half-width would read
+/// as certainty).
+fn paired_lo(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let d: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let (mean, hw) = mean_ci95(&d);
+    Some(mean - hw)
+}
+
+/// Whether report `ra` beats report `rb` on one coordinate at 95%
+/// confidence, extracting the per-window sample vector and the
+/// fallback pooled interval with `samples`/`interval`. `minimize`
+/// orients the metric (MPKI: fewer is better). The paired difference
+/// is always taken winner-positive, so the decision is `lo > 0` in
+/// both orientations.
+fn coord_beats(
+    ra: &SimReport,
+    rb: &SimReport,
+    samples: impl Fn(&SimReport) -> &[f64],
+    interval: impl Fn(&SimReport) -> Interval,
+    minimize: bool,
+) -> bool {
+    let paired = if minimize {
+        paired_lo(samples(rb), samples(ra))
+    } else {
+        paired_lo(samples(ra), samples(rb))
+    };
+    if let Some(lo) = paired {
+        return lo > 0.0;
+    }
+    let (alo, ahi) = interval(ra);
+    let (blo, bhi) = interval(rb);
+    if minimize {
+        ahi < blo
+    } else {
+        alo > bhi
+    }
+}
+
+/// Whether configuration `a`'s reports dominate configuration `b`'s:
+/// strictly better on every (spec × objective) coordinate at 95%
+/// confidence — paired per-window differences where available,
+/// unpaired interval separation otherwise (see the module docs).
+/// Reports must be in the same spec order. Empty report lists
+/// dominate nothing.
+pub fn report_dominates(a: &[SimReport], b: &[SimReport]) -> bool {
+    debug_assert_eq!(a.len(), b.len(), "objective spaces must match");
+    !a.is_empty()
+        && a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            coord_beats(ra, rb, |r| &r.window_ipc, SimReport::ipc_interval, false)
+                && coord_beats(ra, rb, |r| &r.window_mpki, SimReport::mpki_interval, true)
+        })
+}
+
+/// One round of Pareto pruning over the `alive` subset.
+///
+/// For every alive, unprotected config `b`, if some config `a` that
+/// was alive *at the start of the round* dominates it
+/// ([`report_dominates`]), `b` is retired; returns
+/// `pruned_by[i] = Some(dominator index)` for each config retired
+/// this round. Every candidate is judged against the start-of-round
+/// pool using start-of-round reports only, so the outcome is
+/// independent of iteration order. A `b` retired by a dominator that
+/// is itself retired this round is still a sound prune: the
+/// dominance test already certifies (at its confidence level) that
+/// `b` is strictly worse than *some* configuration, hence off the
+/// true frontier — the dominator's own survival is irrelevant.
+pub fn prune_round(
+    reports: &[Option<Vec<SimReport>>],
+    alive: &mut [bool],
+    protected: &[bool],
+) -> Vec<Option<usize>> {
+    let pool: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
+    let mut pruned_by = vec![None; alive.len()];
+    for &b in &pool {
+        if protected[b] {
+            continue;
+        }
+        let Some(rb) = reports[b].as_ref() else {
+            continue;
+        };
+        for &a in &pool {
+            if a == b {
+                continue;
+            }
+            if let Some(ra) = reports[a].as_ref() {
+                if report_dominates(ra, rb) {
+                    alive[b] = false;
+                    pruned_by[b] = Some(a);
+                    break;
+                }
+            }
+        }
+    }
+    pruned_by
+}
+
+/// Whether every coordinate's confidence half-width has fallen under
+/// `precision` (relative to the coordinate's midpoint magnitude,
+/// floored at `eps` so a near-zero objective still settles on an
+/// absolute scale). An unbounded coordinate never settles; a
+/// degenerate (exact) interval always does.
+pub fn settled(coords: &[Interval], precision: f64, eps: f64) -> bool {
+    coords.iter().all(|&(lo, hi)| {
+        if !hi.is_finite() || !lo.is_finite() {
+            return false;
+        }
+        let half = (hi - lo) / 2.0;
+        let mid = (hi + lo) / 2.0;
+        half <= precision * mid.abs().max(eps)
+    })
+}
+
+/// The true Pareto frontier over exact points (the exhaustive
+/// reference): `frontier[i]` is false iff some other point weakly
+/// dominates `points[i]` — at least as good on every coordinate and
+/// strictly better on at least one. All coordinates maximize.
+pub fn pareto_frontier(points: &[Vec<f64>]) -> Vec<bool> {
+    let weakly_dominates = |a: &[f64], b: &[f64]| {
+        a.iter().zip(b).all(|(x, y)| x >= y) && a.iter().zip(b).any(|(x, y)| x > y)
+    };
+    (0..points.len())
+        .map(|b| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(a, pa)| a != b && weakly_dominates(pa, &points[b]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic_sim::report::SampledStats;
+
+    /// A sampled report carrying per-window samples; pooled stats are
+    /// derived from the same vectors, exactly as the engine does.
+    fn wrep(ipc_windows: &[f64], mpki_windows: &[f64]) -> SimReport {
+        let (ipc_mean, ipc_ci95) = mean_ci95(ipc_windows);
+        let (mpki_mean, mpki_ci95) = mean_ci95(mpki_windows);
+        SimReport {
+            sampled: Some(SampledStats {
+                windows: ipc_windows.len() as u64,
+                ipc_mean,
+                ipc_ci95,
+                mpki_mean,
+                mpki_ci95,
+                ..SampledStats::default()
+            }),
+            window_ipc: ipc_windows.to_vec(),
+            window_mpki: mpki_windows.to_vec(),
+            ..SimReport::default()
+        }
+    }
+
+    /// A sampled report with given pooled intervals but *no* window
+    /// samples, forcing the unpaired fallback path.
+    fn irep(ipc: Interval, mpki: Interval) -> SimReport {
+        SimReport {
+            sampled: Some(SampledStats {
+                windows: 2,
+                ipc_mean: (ipc.0 + ipc.1) / 2.0,
+                ipc_ci95: (ipc.1 - ipc.0) / 2.0,
+                mpki_mean: (mpki.0 + mpki.1) / 2.0,
+                mpki_ci95: (mpki.1 - mpki.0) / 2.0,
+                ..SampledStats::default()
+            }),
+            ..SimReport::default()
+        }
+    }
+
+    #[test]
+    fn strict_interval_dominance() {
+        // Disjoint intervals on both coordinates: dominate.
+        assert!(dominates(
+            &[(2.0, 2.5), (1.0, 1.2)],
+            &[(1.0, 1.9), (0.1, 0.9)]
+        ));
+        // Overlap on one coordinate: no prune.
+        assert!(!dominates(
+            &[(2.0, 2.5), (1.0, 1.2)],
+            &[(1.0, 2.1), (0.1, 0.9)]
+        ));
+        // Equal bounds are not strict.
+        assert!(!dominates(&[(2.0, 2.5)], &[(1.5, 2.0)]));
+        // Unbounded candidate can never be dominated.
+        assert!(!dominates(&[(2.0, 2.5)], &[(0.0, f64::INFINITY)]));
+        // Empty spaces dominate nothing.
+        assert!(!dominates(&[], &[]));
+    }
+
+    #[test]
+    fn paired_differencing_beats_pooled_intervals() {
+        // A warm-up trend moves every config's windows together: the
+        // pooled intervals of `a` and `b` overlap hopelessly, but the
+        // per-window differences are a constant +0.1 IPC / -0.05 MPKI,
+        // so the paired test separates them with certainty.
+        let base = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let a_ipc: Vec<f64> = base.iter().map(|v| v + 0.1).collect();
+        let b_mpki = [8.0, 6.0, 4.0, 3.0, 2.0];
+        let a_mpki: Vec<f64> = b_mpki.iter().map(|v| v - 0.05).collect();
+        let a = vec![wrep(&a_ipc, &a_mpki)];
+        let b = vec![wrep(&base, &b_mpki)];
+        let (ca, cb) = (objective_coords(&a), objective_coords(&b));
+        assert!(
+            !dominates(&ca, &cb),
+            "pooled intervals overlap: {ca:?} vs {cb:?}"
+        );
+        assert!(report_dominates(&a, &b), "paired differences separate");
+        assert!(!report_dominates(&b, &a));
+    }
+
+    #[test]
+    fn paired_ties_and_mixed_signs_never_prune() {
+        // Identical windows: difference is exactly zero, not > 0.
+        let same = vec![wrep(&[1.0, 2.0, 3.0], &[5.0, 4.0, 3.0])];
+        assert!(!report_dominates(&same, &same.clone()));
+        // Better on IPC, worse on MPKI: no all-coordinate winner.
+        let a = vec![wrep(&[1.1, 2.1, 3.1], &[5.1, 4.1, 3.1])];
+        assert!(!report_dominates(&a, &same) && !report_dominates(&same, &a));
+        // Noisy differences whose CI straddles zero: no prune either
+        // way even though the means differ.
+        let x = vec![wrep(&[1.0, 2.0, 3.0, 4.0], &[4.0; 4])];
+        let y = vec![wrep(&[1.5, 1.8, 3.4, 3.5], &[5.0; 4])];
+        assert!(!report_dominates(&y, &x));
+    }
+
+    #[test]
+    fn unpairable_windows_fall_back_to_intervals() {
+        // A dead window on one side desynchronizes the counts; the
+        // coordinate must fall back to pooled-interval separation.
+        let a = SimReport {
+            window_mpki: vec![1.0, 1.1],
+            ..wrep(&[3.0, 3.05, 2.95], &[1.0, 1.1, 0.9])
+        };
+        let b = wrep(&[2.0, 2.05], &[5.0, 5.2]);
+        assert!(
+            report_dominates(std::slice::from_ref(&a), std::slice::from_ref(&b)),
+            "disjoint pooled intervals still dominate unpaired"
+        );
+        // Shrink the gap so the pooled intervals overlap: with
+        // pairing unavailable the coordinate becomes undecidable.
+        let close = wrep(&[2.9, 2.0], &[5.0, 5.2]);
+        assert!(!report_dominates(&[a], &[close]));
+    }
+
+    #[test]
+    fn exact_reports_rank_by_strict_pointwise_dominance() {
+        // Full-fidelity reports have degenerate intervals and no
+        // windows: dominance collapses to the exhaustive reference
+        // predicate. (cycles, instructions, misses) => exact report.
+        let exact = |cycles: u64, misses: u64| SimReport {
+            measured_cycles: cycles,
+            measured_instructions: 2000,
+            l1i: acic_cache::CacheStats {
+                demand_accesses: misses,
+                demand_misses: misses,
+                ..Default::default()
+            },
+            ..SimReport::default()
+        };
+        let good = vec![exact(900, 5)];
+        let bad = vec![exact(1000, 10)];
+        assert!(report_dominates(&good, &bad));
+        assert!(!report_dominates(&bad, &good));
+        // Ties on any coordinate block a prune.
+        let tie = vec![exact(900, 10)];
+        assert!(!report_dominates(&tie, &bad) && !report_dominates(&bad, &tie));
+    }
+
+    #[test]
+    fn prune_round_is_order_independent_and_respects_protection() {
+        // c0 dominates c1 dominates c2; c2 protected, c3 unknown.
+        let reports = vec![
+            Some(vec![irep((3.0, 3.1), (1.0, 1.1))]),
+            Some(vec![irep((2.0, 2.1), (2.0, 2.1))]),
+            Some(vec![irep((1.0, 1.1), (3.0, 3.1))]),
+            None,
+        ];
+        let mut alive = vec![true; 4];
+        let protected = vec![false, false, true, false];
+        let pruned_by = prune_round(&reports, &mut alive, &protected);
+        assert_eq!(alive, vec![true, false, true, true]);
+        assert_eq!(pruned_by[1], Some(0));
+        assert_eq!(pruned_by[2], None, "protected survives domination");
+        assert_eq!(pruned_by[3], None, "unmeasured config is left alone");
+    }
+
+    #[test]
+    fn transitive_chain_prunes_in_one_round() {
+        // Start-of-round pool judging: c1 is pruned by c0 while c0
+        // itself stays; c2 is dominated by both. One round retires
+        // both tails regardless of iteration order.
+        let reports = vec![
+            Some(vec![irep((3.0, 3.1), (1.0, 1.1))]),
+            Some(vec![irep((2.0, 2.1), (2.0, 2.1))]),
+            Some(vec![irep((1.0, 1.1), (3.0, 3.1))]),
+        ];
+        let mut alive = vec![true; 3];
+        let pruned = prune_round(&reports, &mut alive, &[false; 3]);
+        assert_eq!(alive, vec![true, false, false]);
+        assert!(pruned[1].is_some() && pruned[2].is_some());
+    }
+
+    #[test]
+    fn incomparable_points_all_survive() {
+        // Classic Pareto trade-off: better IPC vs better MPKI.
+        let reports = vec![
+            Some(vec![irep((3.0, 3.1), (2.0, 2.1))]),
+            Some(vec![irep((2.0, 2.1), (1.0, 1.1))]),
+        ];
+        let mut alive = vec![true; 2];
+        prune_round(&reports, &mut alive, &[false; 2]);
+        assert_eq!(alive, vec![true, true]);
+    }
+
+    #[test]
+    fn settling_thresholds() {
+        // 2% target: half-width 0.02 on a mid of 2.0 is 1% — settled.
+        assert!(settled(&[(1.98, 2.02)], 0.02, 1e-9));
+        // Half-width 0.1 on 2.0 is 5% — not settled.
+        assert!(!settled(&[(1.9, 2.1)], 0.02, 1e-9));
+        // Degenerate (exact) intervals always settle.
+        assert!(settled(&[(2.0, 2.0), (-0.0, 0.0)], 0.0, 1e-9));
+        // Unbounded never settles.
+        assert!(!settled(&[(0.0, f64::INFINITY)], 0.5, 1e-9));
+        // Near-zero midpoints settle on the absolute floor.
+        assert!(settled(&[(-1e-12, 1e-12)], 0.02, 1e-9));
+    }
+
+    #[test]
+    fn pareto_frontier_weak_dominance() {
+        let points = vec![
+            vec![3.0, 1.0], // frontier (best x)
+            vec![1.0, 3.0], // frontier (best y)
+            vec![2.0, 2.0], // frontier (incomparable with both)
+            vec![1.0, 1.0], // dominated by everything
+            vec![3.0, 1.0], // duplicate of 0: ties survive (weak needs one strict win)
+        ];
+        assert_eq!(
+            pareto_frontier(&points),
+            vec![true, true, true, false, true]
+        );
+    }
+}

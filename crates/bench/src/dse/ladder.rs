@@ -1,0 +1,166 @@
+//! The fidelity ladder: which budget prefix and sampling schedule
+//! each DSE rung simulates.
+//!
+//! A rung is `(budget, schedule)`. The budget is a **prefix length**
+//! of the one frozen full-budget trace — rungs never regenerate a
+//! workload at a smaller budget (multi-tenant interleaving depends on
+//! the total, so a regeneration would be a different trace; see
+//! `acic_workloads::ladder_budgets`). The schedule is the sampled
+//! fidelity the prefix runs under: coarse rungs use a sparse
+//! SMARTS-style schedule tuned for a handful of windows (enough for a
+//! variance estimate, cheap enough to afford over every cell), the
+//! final rung uses figure-grade sampling — or `Full` detail when the
+//! ladder backs an exactness test.
+
+use acic_sim::SampleSchedule;
+use acic_workloads::ladder_budgets;
+
+/// Minimum rung budget worth sampling; below this the ladder uses the
+/// whole prefix at full detail (a budget this small is cheaper to
+/// simulate exactly than to sample meaningfully).
+pub const MIN_RUNG_BUDGET: u64 = 30_000;
+
+/// One step of the fidelity ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rung {
+    /// Prefix of the full per-cell budget simulated at this rung.
+    pub budget: u64,
+    /// Sampling schedule the prefix runs under.
+    pub schedule: SampleSchedule,
+}
+
+/// An ascending sequence of rungs ending at the full budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ladder {
+    /// Rungs in ascending budget order; the last covers the full
+    /// budget.
+    pub rungs: Vec<Rung>,
+}
+
+/// A coarse systematic schedule for a small prefix: up to 32 windows
+/// per rung (floored at a 4k-instruction period — any finer and the
+/// windows are all warmup), detailed windows sized so the rung stays
+/// milliseconds per cell. The window count is what gives coarse rungs
+/// their pruning power: the CI half-width shrinks as `t(n-1)/√n`, and
+/// 8-window rungs proved too noisy to separate even 4× MPKI gaps, so
+/// every prune waited for the expensive final rung. Prefixes too
+/// small for two windows run `Full` instead — at that size exact
+/// simulation is cheaper than sampling overhead and its degenerate
+/// intervals are harmless to the pruner.
+pub fn coarse_schedule(budget: u64) -> SampleSchedule {
+    let period = (budget / 32).max(4_000);
+    if budget < 2 * period {
+        return SampleSchedule::Full;
+    }
+    let detailed = (period / 12).max(1_000);
+    let warmup = (period / 4).min(period - detailed);
+    SampleSchedule::Periodic {
+        period,
+        warmup_len: warmup,
+        detailed_len: detailed,
+    }
+}
+
+impl Ladder {
+    /// A ladder of `rungs` steps over `full_budget`, coarse sampled
+    /// schedules on every rung except the last, which runs
+    /// `final_schedule` (figure-grade sampling for sweeps, `Full`
+    /// for exactness tests) over the whole budget.
+    pub fn new(full_budget: u64, rungs: usize, final_schedule: SampleSchedule) -> Ladder {
+        let budgets = ladder_budgets(full_budget, rungs.max(1), MIN_RUNG_BUDGET);
+        let last = budgets.len() - 1;
+        let rungs = budgets
+            .iter()
+            .enumerate()
+            .map(|(i, &budget)| Rung {
+                budget,
+                schedule: if i == last {
+                    final_schedule
+                } else {
+                    coarse_schedule(budget)
+                },
+            })
+            .collect();
+        let ladder = Ladder { rungs };
+        ladder.validate();
+        ladder
+    }
+
+    /// The full per-cell budget (the last rung's).
+    pub fn full_budget(&self) -> u64 {
+        self.rungs
+            .last()
+            .expect("ladder has at least one rung")
+            .budget
+    }
+
+    /// Checks the ladder's arithmetic: non-empty, ascending budgets,
+    /// every schedule internally valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty ladder, descending budgets, or an invalid
+    /// schedule.
+    pub fn validate(&self) {
+        assert!(!self.rungs.is_empty(), "ladder must have at least one rung");
+        for w in self.rungs.windows(2) {
+            assert!(
+                w[0].budget <= w[1].budget,
+                "ladder budgets must ascend ({} then {})",
+                w[0].budget,
+                w[1].budget
+            );
+        }
+        for r in &self.rungs {
+            r.schedule.validate();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_schedules_are_valid_and_scale_with_budget() {
+        for budget in [30_000u64, 78_125, 312_500, 1_250_000, 20_000_000] {
+            let s = coarse_schedule(budget);
+            s.validate();
+            if let SampleSchedule::Periodic { period, .. } = s {
+                assert_eq!(period, (budget / 32).max(4_000));
+                let windows = budget / period;
+                assert!((2..=32).contains(&windows), "{windows} windows at {budget}");
+            }
+        }
+        // Large rungs cap at 32 windows.
+        if let SampleSchedule::Periodic { period, .. } = coarse_schedule(20_000_000) {
+            assert_eq!(period, 625_000);
+        } else {
+            panic!("a 20M-instruction rung must sample");
+        }
+        // A prefix too small to sample runs exact.
+        assert_eq!(coarse_schedule(7_000), SampleSchedule::Full);
+    }
+
+    #[test]
+    fn ladder_ascends_to_the_full_budget() {
+        let ladder = Ladder::new(20_000_000, 3, SampleSchedule::default_sampled());
+        assert_eq!(ladder.rungs.len(), 3);
+        assert_eq!(ladder.full_budget(), 20_000_000);
+        assert_eq!(ladder.rungs[0].budget, 78_125);
+        assert_eq!(ladder.rungs[1].budget, 1_250_000);
+        assert!(ladder.rungs[0].schedule.is_sampled());
+        assert_eq!(
+            ladder.rungs[2].schedule,
+            SampleSchedule::default_sampled(),
+            "final rung runs the requested figure-grade schedule"
+        );
+    }
+
+    #[test]
+    fn exactness_ladder_ends_in_full_detail() {
+        let ladder = Ladder::new(60_000, 2, SampleSchedule::Full);
+        assert_eq!(ladder.rungs.last().unwrap().schedule, SampleSchedule::Full);
+        assert_eq!(ladder.full_budget(), 60_000);
+    }
+}

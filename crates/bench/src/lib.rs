@@ -17,6 +17,7 @@
 
 pub mod baseline;
 pub mod delta;
+pub mod dse;
 pub mod fault;
 pub mod figures;
 pub mod json;

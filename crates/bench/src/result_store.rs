@@ -11,10 +11,15 @@
 //! replays frozen traces ([`crate::trace_store`]); the ROADMAP's DSE
 //! driver sits on this store.
 //!
-//! **Journal format** (`acic-results/v1`). Line 1 is the schema
-//! header `{"schema":"acic-results/v1"}`; every further line is one
-//! cell: `{"key":K,"crc":C,"report":R}` where `C` is the FNV-1a 64
-//! hash (16 hex digits) of `K`, a zero byte, and the serialized `R`.
+//! **Journal format** (`acic-results/v2`). Line 1 is the schema
+//! header `{"schema":"acic-results/v2"}`; every further line is one
+//! cell: `{"key":K,"rung":G,"crc":C,"report":R}` where `G` is the
+//! cell's fidelity rung on the DSE ladder (`null` for plain grid
+//! cells, a decimal-string rung index for [`dse_cell_key`] cells) and
+//! `C` is the FNV-1a 64 hash (16 hex digits) of `K`, a zero byte, the
+//! serialized `G`, a zero byte, and the serialized `R`. v1 journals
+//! (no rung field, two-part CRC) are rejected by the schema header —
+//! loudly, never misread as v2.
 //! Reports serialize every `u64` as a decimal *string* (the workspace
 //! JSON reader models numbers as `f64`, which is lossy above 2^53)
 //! and every `f64` through its shortest round-trip form (non-finite
@@ -48,8 +53,9 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Journal schema tag; bump on any encoding change so an old journal
-/// is rejected loudly instead of decoded wrong.
-pub const SCHEMA: &str = "acic-results/v1";
+/// is rejected loudly instead of decoded wrong. v2 added the
+/// fidelity-rung field (and folded it into the line CRC).
+pub const SCHEMA: &str = "acic-results/v2";
 
 const JOURNAL_NAME: &str = "results.jsonl";
 
@@ -94,12 +100,20 @@ impl std::fmt::Display for ResultStoreError {
 
 impl std::error::Error for ResultStoreError {}
 
+/// One journal entry: the report plus the fidelity rung it was
+/// computed at (`None` for plain grid cells).
+#[derive(Clone, Debug)]
+struct Entry {
+    rung: Option<u32>,
+    report: SimReport,
+}
+
 /// The resumable cell store: an in-memory map mirrored to the
 /// on-disk journal on every insert.
 #[derive(Debug)]
 pub struct ResultStore {
     journal: PathBuf,
-    entries: Mutex<BTreeMap<String, SimReport>>,
+    entries: Mutex<BTreeMap<String, Entry>>,
 }
 
 impl ResultStore {
@@ -146,8 +160,8 @@ impl ResultStore {
                     continue;
                 }
                 match decode_entry(line) {
-                    Ok((key, report)) => {
-                        entries.insert(key, report);
+                    Ok((key, entry)) => {
+                        entries.insert(key, entry);
                     }
                     Err(e) => eprintln!(
                         "[results: dropping corrupt journal line {} ({e}); \
@@ -181,7 +195,21 @@ impl ResultStore {
 
     /// The stored report for a cell, if that cell already finished.
     pub fn get(&self, key: &str) -> Option<SimReport> {
-        self.entries.lock().unwrap().get(key).cloned()
+        self.entries
+            .lock()
+            .unwrap()
+            .get(key)
+            .map(|e| e.report.clone())
+    }
+
+    /// The stored report plus its fidelity rung (`None` for plain
+    /// grid cells), if that cell already finished.
+    pub fn get_with_rung(&self, key: &str) -> Option<(Option<u32>, SimReport)> {
+        self.entries
+            .lock()
+            .unwrap()
+            .get(key)
+            .map(|e| (e.rung, e.report.clone()))
     }
 
     /// Records a finished cell and rewrites the journal atomically.
@@ -193,14 +221,36 @@ impl ResultStore {
     ///
     /// Propagates the journal write failure.
     pub fn put(&self, key: &str, report: &SimReport) -> std::io::Result<()> {
+        self.put_entry(key, None, report)
+    }
+
+    /// [`ResultStore::put`] for a DSE-ladder cell, stamping the
+    /// fidelity rung the report was computed at. The rung rides in
+    /// the journal line (CRC-covered) so a resumed sweep knows not
+    /// just *that* a cell finished but *at which fidelity*.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the journal write failure.
+    pub fn put_rung(&self, key: &str, rung: u32, report: &SimReport) -> std::io::Result<()> {
+        self.put_entry(key, Some(rung), report)
+    }
+
+    fn put_entry(&self, key: &str, rung: Option<u32>, report: &SimReport) -> std::io::Result<()> {
         let mut entries = self.entries.lock().unwrap();
-        entries.insert(key.to_string(), report.clone());
+        entries.insert(
+            key.to_string(),
+            Entry {
+                rung,
+                report: report.clone(),
+            },
+        );
         let mut out = String::new();
         out.push_str("{\"schema\":\"");
         out.push_str(SCHEMA);
         out.push_str("\"}\n");
-        for (k, r) in entries.iter() {
-            out.push_str(&encode_entry(k, r));
+        for (k, e) in entries.iter() {
+            out.push_str(&encode_entry(k, e.rung, &e.report));
             out.push('\n');
         }
         crate::fault::write_atomic(&self.journal, out.as_bytes())
@@ -260,22 +310,54 @@ pub fn windowed_cell_key(spec: &WorkloadSpec, instructions: u64, cfg: &SimConfig
     format!("{}-w", cell_key(spec, instructions, cfg))
 }
 
-fn line_crc(key: &str, report_json: &str) -> u64 {
+/// [`cell_key`] for one rung of the DSE fidelity ladder: the serial
+/// key at the **full** per-cell budget plus an `-r<rung>` suffix.
+///
+/// The full budget (not the rung's truncated budget) is deliberate:
+/// a rung simulates a *prefix view* of the one frozen full-budget
+/// trace (`acic_trace::Truncated`), which for multi-tenant specs is
+/// **not** the same stream a fresh generation at the smaller budget
+/// would produce (`split_budget` depends on the total). Keying rungs
+/// by `cell_key(spec, rung_budget, cfg)` would let a ladder cell
+/// masquerade as — or replay — a genuine small-budget freeze; the
+/// rung suffix on the full-budget key makes the fidelity explicit
+/// and collision-free across rungs, the serial grid, and the `-w`
+/// windowed mode.
+pub fn dse_cell_key(
+    spec: &WorkloadSpec,
+    full_instructions: u64,
+    cfg: &SimConfig,
+    rung: u32,
+) -> String {
+    format!("{}-r{rung}", cell_key(spec, full_instructions, cfg))
+}
+
+fn rung_json(rung: Option<u32>) -> String {
+    match rung {
+        None => "null".into(),
+        Some(r) => format!("\"{r}\""),
+    }
+}
+
+fn line_crc(key: &str, rung: &str, report_json: &str) -> u64 {
     let h = crate::fault::fnv1a(crate::fault::FNV_OFFSET, key.as_bytes());
+    let h = crate::fault::fnv1a(h, &[0]);
+    let h = crate::fault::fnv1a(h, rung.as_bytes());
     let h = crate::fault::fnv1a(h, &[0]);
     crate::fault::fnv1a(h, report_json.as_bytes())
 }
 
-fn encode_entry(key: &str, report: &SimReport) -> String {
+fn encode_entry(key: &str, rung: Option<u32>, report: &SimReport) -> String {
     let r = report_to_json(report);
+    let g = rung_json(rung);
     format!(
-        "{{\"key\":{},\"crc\":\"{:016x}\",\"report\":{r}}}",
+        "{{\"key\":{},\"rung\":{g},\"crc\":\"{:016x}\",\"report\":{r}}}",
         esc(key),
-        line_crc(key, &r)
+        line_crc(key, &g, &r)
     )
 }
 
-fn decode_entry(line: &str) -> Result<(String, SimReport), String> {
+fn decode_entry(line: &str) -> Result<(String, Entry), String> {
     // The CRC is computed over the serialized report substring, so
     // re-extract it verbatim rather than re-encoding the parse.
     let doc = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
@@ -283,6 +365,12 @@ fn decode_entry(line: &str) -> Result<(String, SimReport), String> {
         .get("key")
         .and_then(Json::str_val)
         .ok_or("missing key")?;
+    let rung = match doc.get("rung") {
+        None => return Err("missing rung".into()),
+        Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.parse::<u32>().map_err(|e| format!("bad rung: {e}"))?),
+        Some(_) => return Err("rung: expected null or string".into()),
+    };
     let crc = doc
         .get("crc")
         .and_then(Json::str_val)
@@ -294,11 +382,11 @@ fn decode_entry(line: &str) -> Result<(String, SimReport), String> {
         .trim_end()
         .strip_suffix('}')
         .ok_or("unterminated entry")?;
-    if line_crc(key, report_json) != crc {
+    if line_crc(key, &rung_json(rung), report_json) != crc {
         return Err("checksum mismatch".into());
     }
     let report = report_from_json(doc.get("report").ok_or("missing report")?)?;
-    Ok((key.to_string(), report))
+    Ok((key.to_string(), Entry { rung, report }))
 }
 
 // ---- SimReport <-> JSON (bit-exact, see the module docs) ----
@@ -421,9 +509,9 @@ pub fn report_to_json(r: &SimReport) -> String {
         }
     }
     match &r.sampled {
-        None => out.push_str("\"sampled\":null"),
+        None => out.push_str("\"sampled\":null,"),
         Some(s) => out.push_str(&format!(
-            "\"sampled\":[{},{},{},{},{},{},{},{},{},{}]",
+            "\"sampled\":[{},{},{},{},{},{},{},{},{},{}],",
             ju(s.windows),
             ju(s.detailed_instructions),
             ju(s.warmup_instructions),
@@ -436,6 +524,9 @@ pub fn report_to_json(r: &SimReport) -> String {
             jf(s.est_total_misses),
         )),
     }
+    let wi: Vec<String> = r.window_ipc.iter().map(|&v| jf(v)).collect();
+    let wm: Vec<String> = r.window_mpki.iter().map(|&v| jf(v)).collect();
+    out.push_str(&format!("\"wins\":[[{}],[{}]]", wi.join(","), wm.join(",")));
     out.push('}');
     out
 }
@@ -578,6 +669,25 @@ pub fn report_from_json(doc: &Json) -> Result<SimReport, String> {
             })
         }
     };
+    let wins = match doc.get("wins") {
+        None => return Err("missing wins".into()),
+        Some(Json::Arr(a)) if a.len() == 2 => {
+            let mut out: Vec<Vec<f64>> = Vec::with_capacity(2);
+            for part in a {
+                match part {
+                    Json::Arr(vals) => out.push(
+                        vals.iter()
+                            .map(|v| s_f64(Some(v), "wins"))
+                            .collect::<Result<Vec<f64>, _>>()?,
+                    ),
+                    _ => return Err("wins: expected two float arrays".into()),
+                }
+            }
+            out
+        }
+        Some(_) => return Err("wins: expected two float arrays".into()),
+    };
+    let mut wins = wins.into_iter();
     Ok(SimReport {
         app: s_str(doc.get("app"), "app")?,
         org: s_str(doc.get("org"), "org")?,
@@ -611,6 +721,8 @@ pub fn report_from_json(doc: &Json) -> Result<SimReport, String> {
         cshr,
         cshr_lifetimes,
         sampled,
+        window_ipc: wins.next().expect("wins has two arrays"),
+        window_mpki: wins.next().expect("wins has two arrays"),
     })
 }
 
@@ -825,6 +937,78 @@ mod tests {
         assert!(matches!(err, ResultStoreError::Schema { .. }));
         assert!(err.to_string().contains("acic-results/v0"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_journal_is_rejected_loudly_not_misread() {
+        // A well-formed v1 journal: schema header plus an entry in
+        // the old three-field shape (no rung, two-part CRC). The only
+        // acceptable outcome is the typed Schema error — decoding the
+        // line under v2 rules would at best drop it silently and at
+        // worst misattribute a fidelity.
+        let dir = tdir("v1compat");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = sample_report(IcacheOrg::Lru);
+        let r = report_to_json(&report);
+        let v1_crc = {
+            let h = crate::fault::fnv1a(crate::fault::FNV_OFFSET, b"cell-a");
+            let h = crate::fault::fnv1a(h, &[0]);
+            crate::fault::fnv1a(h, r.as_bytes())
+        };
+        std::fs::write(
+            dir.join(JOURNAL_NAME),
+            format!(
+                "{{\"schema\":\"acic-results/v1\"}}\n\
+                 {{\"key\":\"cell-a\",\"crc\":\"{v1_crc:016x}\",\"report\":{r}}}\n"
+            ),
+        )
+        .unwrap();
+        let err = ResultStore::open(&dir).expect_err("v1 journal must not open as v2");
+        assert!(matches!(err, ResultStoreError::Schema { .. }));
+        assert!(err.to_string().contains("acic-results/v1"));
+        assert!(err.to_string().contains("refusing"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rung_round_trips_and_is_crc_covered() {
+        let dir = tdir("rung");
+        let report = sample_report(IcacheOrg::Lru);
+        let store = ResultStore::open(&dir).unwrap();
+        store.put("plain", &report).unwrap();
+        store.put_rung("laddered", 2, &report).unwrap();
+        drop(store);
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.get_with_rung("plain").unwrap().0, None);
+        assert_eq!(store.get_with_rung("laddered").unwrap().0, Some(2));
+        drop(store);
+        // Tampering with the rung alone must fail the CRC: fidelity
+        // provenance is integrity-protected, not advisory.
+        let journal = dir.join(JOURNAL_NAME);
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let tampered = text.replace("\"rung\":\"2\"", "\"rung\":\"1\"");
+        assert_ne!(text, tampered, "fixture must contain the rung field");
+        std::fs::write(&journal, tampered).unwrap();
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.get("laddered").is_none(), "tampered rung dropped");
+        assert!(store.get("plain").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dse_cell_keys_separate_rungs_modes_and_the_base_key() {
+        let spec = WorkloadSpec::Single(AppProfile::web_search());
+        let cfg = SimConfig::default();
+        let base = cell_key(&spec, 20_000, &cfg);
+        let r0 = dse_cell_key(&spec, 20_000, &cfg, 0);
+        let r1 = dse_cell_key(&spec, 20_000, &cfg, 1);
+        assert_eq!(r0, format!("{base}-r0"));
+        assert_ne!(r0, r1);
+        assert_ne!(r0, base);
+        assert_ne!(r0, windowed_cell_key(&spec, 20_000, &cfg));
+        // Rung keys embed the FULL budget: a rung never collides with
+        // a genuine small-budget cell.
+        assert_ne!(r0, dse_cell_key(&spec, 1_250, &cfg, 0));
     }
 
     #[test]

@@ -495,7 +495,7 @@ pub fn run_pair(
 /// `ACIC_PANIC_CELL`/`ACIC_ABORT_CELL`/`ACIC_STALL_CELL`
 /// (`"<config>:<spec>"`, stall with a `":<millis>"` suffix). No-ops
 /// unless the matching variable is set.
-fn injected_cell_failure(c: usize, a: usize) {
+pub(crate) fn injected_cell_failure(c: usize, a: usize) {
     let matches_cell = |var: &str| -> Option<Vec<u64>> {
         let raw = std::env::var(var).ok()?;
         let parts: Vec<u64> = raw.split(':').filter_map(|p| p.parse().ok()).collect();

@@ -989,6 +989,8 @@ impl Engine {
             cshr,
             cshr_lifetimes,
             sampled: None,
+            window_ipc: Vec::new(),
+            window_mpki: Vec::new(),
         };
 
         match schedule {
@@ -1009,6 +1011,8 @@ impl Engine {
                 report.measured_instructions = pooled.1;
                 report.measured_cycles = pooled.2;
                 report.sampled = Some(pooled.3);
+                report.window_ipc = pooled.4;
+                report.window_mpki = pooled.5;
             }
         }
         report
@@ -1022,13 +1026,17 @@ impl Engine {
 /// cannot drift: given the same window samples in the same canonical
 /// order and the same population size, both modes produce bit-identical
 /// pooled statistics. Returns
-/// `(est_total_cycles, detailed_instructions, detailed_cycles, stats)`.
+/// `(est_total_cycles, detailed_instructions, detailed_cycles, stats,
+/// ipc_samples, mpki_samples)` — the trailing per-window sample
+/// vectors (canonical window order, dead windows excluded) feed
+/// [`SimReport::window_ipc`]/[`SimReport::window_mpki`] for paired
+/// cross-configuration comparisons.
 fn pool_windows(
     windows: &[WindowSample],
     total: u64,
     warmed: u64,
     fastforwarded: u64,
-) -> (f64, u64, Cycle, SampledStats) {
+) -> (f64, u64, Cycle, SampledStats, Vec<f64>, Vec<f64>) {
     let detailed_instructions: u64 = windows.iter().map(|w| w.instructions).sum();
     let detailed_cycles: Cycle = windows.iter().map(|w| w.cycles).sum();
     let full_instructions: u64 = windows.iter().map(|w| w.full_instructions).sum();
@@ -1077,5 +1085,56 @@ fn pool_windows(
         detailed_instructions,
         detailed_cycles,
         stats,
+        ipc_samples,
+        mpki_samples,
     )
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::*;
+
+    fn w(instructions: u64, cycles: Cycle, full: u64, misses: u64) -> WindowSample {
+        WindowSample {
+            instructions,
+            cycles,
+            full_instructions: full,
+            full_demand_misses: misses,
+        }
+    }
+
+    #[test]
+    fn zero_instruction_interiors_are_excluded_not_nan() {
+        // A window whose interior retired nothing (trace ended inside
+        // the ramp, or a pathological schedule) contributes no IPC or
+        // MPKI sample — it must not poison the pooled estimators with
+        // 0/0.
+        let windows = [w(100, 50, 110, 3), w(0, 0, 0, 0), w(100, 40, 105, 2)];
+        let (est, detailed, cycles, stats, ipc_s, mpki_s) = pool_windows(&windows, 10_000, 0, 0);
+        // Dead windows are excluded from the sample vectors too.
+        assert_eq!(ipc_s.len(), 2);
+        assert_eq!(mpki_s.len(), 2);
+        assert!(!est.is_nan());
+        assert_eq!(detailed, 200);
+        assert_eq!(cycles, 90);
+        assert!(!stats.ipc_mean.is_nan() && !stats.ipc_ci95.is_nan());
+        assert!(!stats.mpki_mean.is_nan() && !stats.mpki_ci95.is_nan());
+        // Two live samples pooled: (2.0 + 2.5) / 2.
+        assert!((stats.ipc_mean - 2.25).abs() < 1e-12);
+        // The dead window still counts toward `windows` (schedule
+        // shape), so interval accessors stay honest about sample
+        // counts.
+        assert_eq!(stats.windows, 3);
+    }
+
+    #[test]
+    fn all_dead_windows_pool_to_zero_not_nan() {
+        let windows = [w(0, 0, 0, 0), w(0, 0, 0, 0)];
+        let (est, _, _, stats, ipc_s, _) = pool_windows(&windows, 1_000, 0, 0);
+        assert!(ipc_s.is_empty());
+        assert_eq!(est, 0.0);
+        assert_eq!(stats.ipc_mean, 0.0);
+        assert_eq!(stats.est_total_misses, 0.0);
+        assert!(!stats.mpki_ci95.is_nan());
+    }
 }

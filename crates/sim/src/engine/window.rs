@@ -431,7 +431,7 @@ fn reduce(cfg: &SimConfig, app: &str, plan: &WindowPlan, outcomes: &[WindowOutco
             cshr.get_or_insert_with(CshrStats::default).merge(c);
         }
     }
-    let (est_total_cycles, detailed_instructions, detailed_cycles, stats) =
+    let (est_total_cycles, detailed_instructions, detailed_cycles, stats, window_ipc, window_mpki) =
         super::pool_windows(&windows, plan.total_instructions, warmed, fastforwarded);
     if std::env::var_os("ACIC_ENGINE_DEBUG").is_some() {
         for (i, w) in windows.iter().enumerate() {
@@ -476,6 +476,8 @@ fn reduce(cfg: &SimConfig, app: &str, plan: &WindowPlan, outcomes: &[WindowOutco
         // field is None in windowed mode for every worker count.
         cshr_lifetimes: None,
         sampled: Some(stats),
+        window_ipc,
+        window_mpki,
     }
 }
 

@@ -98,6 +98,28 @@ pub struct SampledStats {
     pub est_total_misses: f64,
 }
 
+impl SampledStats {
+    /// 95% confidence half-width of the per-window IPC, or `None`
+    /// when fewer than two windows were measured.
+    ///
+    /// With a single window no variance estimate exists — the stored
+    /// `ipc_ci95` is `0.0` by [`mean_ci95`]'s convention, which would
+    /// read as *perfect* confidence. Interval consumers (the DSE
+    /// pruner) must treat `None` as an unbounded interval, never as a
+    /// tight one; this accessor makes that distinction typed instead
+    /// of convention.
+    pub fn ipc_half_width(&self) -> Option<f64> {
+        (self.windows >= 2).then_some(self.ipc_ci95)
+    }
+
+    /// 95% confidence half-width of the per-window MPKI, or `None`
+    /// when fewer than two windows were measured (see
+    /// [`SampledStats::ipc_half_width`]).
+    pub fn mpki_half_width(&self) -> Option<f64> {
+        (self.windows >= 2).then_some(self.mpki_ci95)
+    }
+}
+
 /// Result of one simulation run.
 ///
 /// Statistics prefixed `measured_` exclude the warm-up window
@@ -150,6 +172,18 @@ pub struct SimReport {
     /// edges), and `total_cycles` holds the rounded whole-trace
     /// extrapolation.
     pub sampled: Option<SampledStats>,
+    /// Per-window IPC samples of a sampled run, in canonical window
+    /// order (empty for `Full` runs). Window boundaries are functions
+    /// of the schedule and the trace alone, so two configurations run
+    /// under the same schedule over the same frozen trace sample the
+    /// *same* windows — which is what lets a consumer compare them
+    /// pairwise (common random numbers), cancelling the
+    /// workload-phase noise that dominates the pooled per-window
+    /// variance.
+    pub window_ipc: Vec<f64>,
+    /// Per-window L1i demand MPKI samples, in canonical window order
+    /// (empty for `Full` runs); see [`SimReport::window_ipc`].
+    pub window_mpki: Vec<f64>,
 }
 
 impl SimReport {
@@ -241,6 +275,45 @@ impl SimReport {
             (b - self.l1i_mpki()) / b
         }
     }
+
+    /// 95% confidence interval `(lo, hi)` on IPC.
+    ///
+    /// Exact (non-sampled) reports measure rather than estimate, so
+    /// the interval is degenerate: `(ipc, ipc)`. Sampled reports with
+    /// at least two windows return the per-window mean ± half-width,
+    /// floored at zero (IPC is non-negative). A sampled report with
+    /// fewer than two windows has no variance estimate — the interval
+    /// is the whole non-negative line, `(0.0, f64::INFINITY)`, so a
+    /// dominance test can never prune on it. Never NaN.
+    pub fn ipc_interval(&self) -> (f64, f64) {
+        match &self.sampled {
+            None => {
+                let v = self.ipc();
+                (v, v)
+            }
+            Some(s) => match s.ipc_half_width() {
+                Some(hw) => ((s.ipc_mean - hw).max(0.0), s.ipc_mean + hw),
+                None => (0.0, f64::INFINITY),
+            },
+        }
+    }
+
+    /// 95% confidence interval `(lo, hi)` on L1i demand MPKI, with
+    /// the same conventions as [`SimReport::ipc_interval`]: exact
+    /// reports are degenerate, single-window sampled reports are
+    /// unbounded, and the result is never NaN.
+    pub fn mpki_interval(&self) -> (f64, f64) {
+        match &self.sampled {
+            None => {
+                let v = self.l1i_mpki();
+                (v, v)
+            }
+            Some(s) => match s.mpki_half_width() {
+                Some(hw) => ((s.mpki_mean - hw).max(0.0), s.mpki_mean + hw),
+                None => (0.0, f64::INFINITY),
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -318,5 +391,80 @@ mod tests {
     #[test]
     fn sampled_field_defaults_to_none() {
         assert!(SimReport::default().sampled.is_none());
+    }
+
+    fn sampled_report(windows: u64, ipc: f64, ci: f64, mpki: f64, mci: f64) -> SimReport {
+        SimReport {
+            measured_cycles: 1000,
+            measured_instructions: 2000,
+            total_instructions: 10_000,
+            sampled: Some(SampledStats {
+                windows,
+                ipc_mean: ipc,
+                ipc_ci95: ci,
+                mpki_mean: mpki,
+                mpki_ci95: mci,
+                ..SampledStats::default()
+            }),
+            ..SimReport::default()
+        }
+    }
+
+    #[test]
+    fn single_window_half_width_is_none_not_zero() {
+        // One window: mean_ci95 stores 0.0, which would read as
+        // perfect confidence. The typed accessor refuses.
+        let s = sampled_report(1, 2.0, 0.0, 5.0, 0.0).sampled.unwrap();
+        assert_eq!(s.ipc_half_width(), None);
+        assert_eq!(s.mpki_half_width(), None);
+        let s2 = sampled_report(2, 2.0, 0.3, 5.0, 0.7).sampled.unwrap();
+        assert_eq!(s2.ipc_half_width(), Some(0.3));
+        assert_eq!(s2.mpki_half_width(), Some(0.7));
+    }
+
+    #[test]
+    fn single_window_intervals_are_unbounded_never_nan() {
+        let r = sampled_report(1, 2.0, 0.0, 5.0, 0.0);
+        assert_eq!(r.ipc_interval(), (0.0, f64::INFINITY));
+        assert_eq!(r.mpki_interval(), (0.0, f64::INFINITY));
+        let (lo, hi) = r.ipc_interval();
+        assert!(!lo.is_nan() && !hi.is_nan());
+        // Zero windows (degenerate schedule) likewise.
+        let r0 = sampled_report(0, 0.0, 0.0, 0.0, 0.0);
+        assert_eq!(r0.ipc_interval(), (0.0, f64::INFINITY));
+        assert_eq!(r0.mpki_interval(), (0.0, f64::INFINITY));
+    }
+
+    #[test]
+    fn multi_window_intervals_are_mean_plus_minus_half_width() {
+        let r = sampled_report(8, 2.0, 0.25, 5.0, 1.5);
+        assert_eq!(r.ipc_interval(), (1.75, 2.25));
+        assert_eq!(r.mpki_interval(), (3.5, 6.5));
+        // A wide CI never drives the lower bound negative.
+        let wide = sampled_report(3, 0.5, 2.0, 0.1, 9.0);
+        assert_eq!(wide.ipc_interval().0, 0.0);
+        assert_eq!(wide.mpki_interval().0, 0.0);
+    }
+
+    #[test]
+    fn exact_report_intervals_are_degenerate() {
+        let r = report(1000, 2000, 10);
+        assert_eq!(r.ipc_interval(), (2.0, 2.0));
+        assert_eq!(r.mpki_interval(), (5.0, 5.0));
+    }
+
+    #[test]
+    fn mean_ci95_never_nan_on_degenerate_inputs() {
+        // Zero-instruction interiors are filtered out before pooling
+        // (engine::pool_windows keeps only windows with cycles > 0 /
+        // instructions > 0), so the estimator only ever sees finite
+        // samples — but guard the codomain anyway: none of the edge
+        // shapes may smuggle a NaN into a report.
+        for samples in [&[][..], &[0.0][..], &[0.0, 0.0][..], &[1.0, 1.0, 1.0][..]] {
+            let (m, ci) = mean_ci95(samples);
+            assert!(!m.is_nan() && !ci.is_nan(), "samples {samples:?}");
+        }
+        // Identical samples: zero variance, zero half-width.
+        assert_eq!(mean_ci95(&[2.0, 2.0, 2.0]), (2.0, 0.0));
     }
 }

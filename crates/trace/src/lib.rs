@@ -51,5 +51,5 @@ pub use markov::{MarkovChain, ReuseBucket};
 pub use oracle::{OracleCursor, ReuseOracle, NO_NEXT_USE};
 pub use packed::{PackedCursor, PackedTrace, PackedTraceBuilder, TraceFileError, SKIP_STRIDE};
 pub use runs::{BlockRun, BlockRuns, GroupedRuns, RunInstrs};
-pub use source::{skip_instrs, TraceSource, VecTrace};
+pub use source::{skip_instrs, TraceSource, Truncated, TruncatedIter, VecTrace};
 pub use stack_distance::{ReuseHistogram, StackDistanceAnalyzer};

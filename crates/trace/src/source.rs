@@ -110,6 +110,123 @@ pub fn skip_instrs<I: Iterator>(iter: &mut I, n: u64) -> u64 {
     skipped
 }
 
+/// A prefix view of another source: the first `limit` instructions.
+///
+/// The multi-fidelity DSE ladder simulates cheap low-budget rungs
+/// against the *same* frozen trace the expensive rungs use — the
+/// prefix must be byte-identical to the full trace's opening, not a
+/// fresh generation at the smaller budget (multi-tenant interleaving
+/// schedules differ per total budget). `Truncated` provides exactly
+/// that view without copying: it borrows the inner source, clamps
+/// iteration and [`TraceSource::skip`] to the limit, and keeps the
+/// inner source's name — and therefore, by the seed contract, its
+/// [`TraceSource::seed`].
+///
+/// # Examples
+///
+/// ```
+/// use acic_trace::{Instr, TraceSource, Truncated, VecTrace};
+/// use acic_types::Addr;
+///
+/// let full: VecTrace = (0..10).map(|i| Instr::alu(Addr::new(i * 4))).collect();
+/// let prefix = Truncated::new(&full, 4);
+/// assert_eq!(prefix.iter().count(), 4);
+/// assert_eq!(prefix.len_hint(), Some(4));
+/// assert_eq!(prefix.seed(), full.seed());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Truncated<'s, S> {
+    inner: &'s S,
+    limit: u64,
+}
+
+impl<'s, S: TraceSource> Truncated<'s, S> {
+    /// Wraps `inner`, exposing at most its first `limit` instructions.
+    pub fn new(inner: &'s S, limit: u64) -> Self {
+        Truncated { inner, limit }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &'s S {
+        self.inner
+    }
+
+    /// The instruction cap (the view may be shorter if the inner
+    /// source is).
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+/// Iterator over a [`Truncated`] prefix.
+#[derive(Clone, Debug)]
+pub struct TruncatedIter<'a, S: TraceSource + 'a> {
+    inner: S::Iter<'a>,
+    remaining: u64,
+}
+
+impl<'a, S: TraceSource> Iterator for TruncatedIter<'a, S> {
+    type Item = Instr;
+
+    #[inline(always)]
+    fn next(&mut self) -> Option<Instr> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let i = self.inner.next()?;
+        self.remaining -= 1;
+        Some(i)
+    }
+
+    /// Fast-forwards via the inner source's own [`TraceSource::skip`]
+    /// (O(1) on slice- and packed-backed sources), clamped to the
+    /// prefix. [`skip_instrs`] reaches this through `nth` whenever the
+    /// view is exact-sized, so sampled simulation over a prefix keeps
+    /// the underlying trace's fast-forward cost.
+    #[inline]
+    fn nth(&mut self, n: usize) -> Option<Instr> {
+        let k = (n as u64).min(self.remaining);
+        let done = S::skip(&mut self.inner, k);
+        self.remaining -= done;
+        if done < k {
+            self.remaining = 0;
+            return None;
+        }
+        self.next()
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (lo, hi) = self.inner.size_hint();
+        let cap = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (lo.min(cap), Some(hi.map_or(cap, |h| h.min(cap))))
+    }
+}
+
+impl<'a, S: TraceSource> TraceSource for Truncated<'a, S> {
+    type Iter<'b>
+        = TruncatedIter<'b, S>
+    where
+        Self: 'b;
+
+    fn iter(&self) -> Self::Iter<'_> {
+        TruncatedIter {
+            inner: self.inner.iter(),
+            remaining: self.limit,
+        }
+    }
+
+    /// Delegates to the inner source: a prefix is the *same workload*
+    /// (same seed, same reports label), just cut short.
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.inner.len_hint().map(|n| n.min(self.limit))
+    }
+}
+
 /// An in-memory trace, mainly for tests and examples.
 ///
 /// # Examples
@@ -317,6 +434,68 @@ mod tests {
         // Unsized iterators count exactly too.
         let mut gen = (0..10u64).map(|i| Instr::alu(Addr::new(i * 4))).fuse();
         assert_eq!(skip_instrs(&mut gen.by_ref().filter(|_| true), 25), 10);
+    }
+
+    #[test]
+    fn truncated_is_a_byte_identical_prefix() {
+        let full: VecTrace = (0..100).map(|i| Instr::alu(Addr::new(i * 4))).collect();
+        let pre = Truncated::new(&full, 37);
+        let got: Vec<_> = pre.iter().collect();
+        let want: Vec<_> = full.iter().take(37).collect();
+        assert_eq!(got, want);
+        assert_eq!(pre.len_hint(), Some(37));
+        // Re-openable: a second pass is identical.
+        assert_eq!(pre.iter().collect::<Vec<_>>(), got);
+    }
+
+    #[test]
+    fn truncated_keeps_name_and_seed() {
+        let full = VecTrace::with_name(
+            (0..8).map(|i| Instr::alu(Addr::new(i * 4))).collect(),
+            "web-search",
+        );
+        let pre = Truncated::new(&full, 3);
+        assert_eq!(pre.name(), "web-search");
+        assert_eq!(pre.seed(), full.seed());
+        assert_eq!(pre.limit(), 3);
+    }
+
+    #[test]
+    fn truncated_longer_than_inner_yields_inner() {
+        let full: VecTrace = (0..5).map(|i| Instr::alu(Addr::new(i * 4))).collect();
+        let pre = Truncated::new(&full, 100);
+        assert_eq!(pre.iter().count(), 5);
+        assert_eq!(pre.len_hint(), Some(5));
+    }
+
+    #[test]
+    fn truncated_skip_clamps_to_prefix() {
+        let full: VecTrace = (0..50).map(|i| Instr::alu(Addr::new(i * 4))).collect();
+        let pre = Truncated::new(&full, 20);
+        let mut it = pre.iter();
+        // Skip inside the prefix lands where a walk would.
+        assert_eq!(
+            <Truncated<'_, VecTrace> as TraceSource>::skip(&mut it, 7),
+            7
+        );
+        assert_eq!(it.next(), Some(Instr::alu(Addr::new(7 * 4))));
+        // Skip past the prefix end stops at the boundary.
+        let mut it = pre.iter();
+        assert_eq!(
+            <Truncated<'_, VecTrace> as TraceSource>::skip(&mut it, 35),
+            20
+        );
+        assert_eq!(it.next(), None);
+    }
+
+    #[test]
+    fn truncated_size_hint_is_exact_for_exact_inners() {
+        let full: VecTrace = (0..10).map(|i| Instr::alu(Addr::new(i * 4))).collect();
+        let pre = Truncated::new(&full, 4);
+        let mut it = pre.iter();
+        assert_eq!(it.size_hint(), (4, Some(4)));
+        it.next();
+        assert_eq!(it.size_hint(), (3, Some(3)));
     }
 
     #[test]

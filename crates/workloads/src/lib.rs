@@ -48,7 +48,7 @@ pub mod walker;
 pub use multi_tenant::MultiTenantWorkload;
 pub use profile::AppProfile;
 pub use program::{Program, Terminator};
-pub use spec::{split_budget, GeneratedWorkload, WorkloadSpec};
+pub use spec::{ladder_budgets, split_budget, GeneratedWorkload, WorkloadSpec};
 pub use walker::Walker;
 
 use acic_trace::TraceSource;

@@ -52,6 +52,27 @@ pub fn split_budget(total: u64, tenants: usize) -> Vec<u64> {
     (0..n).map(|i| base + u64::from(i < rem)).collect()
 }
 
+/// Instruction budgets for a multi-fidelity ladder over a full
+/// per-cell budget: one budget per rung, ascending, ending at `full`.
+///
+/// Each rung `r` (of `rungs`) gets `full >> ((rungs - 1 - r) * 4)`
+/// floored at `min` — a ×16 step per rung, so a 3-rung ladder over a
+/// 20M budget is 78k / 1.25M / 20M. The coarse rungs are *prefixes*
+/// of the full-budget trace (see `acic_trace::Truncated`), never
+/// fresh generations at the smaller budget: multi-tenant interleaving
+/// schedules depend on the total budget, so a re-generation at budget
+/// `b < full` would be a different trace and rung statistics would
+/// not converge toward the full-budget answer.
+pub fn ladder_budgets(full: u64, rungs: usize, min: u64) -> Vec<u64> {
+    let rungs = rungs.max(1);
+    (0..rungs)
+        .map(|r| {
+            let shift = ((rungs - 1 - r) * 4).min(63) as u32;
+            (full >> shift).clamp(min.min(full), full)
+        })
+        .collect()
+}
+
 impl WorkloadSpec {
     /// Wraps a list of applications as single-tenant specs.
     pub fn singles(apps: &[AppProfile]) -> Vec<WorkloadSpec> {
@@ -270,6 +291,54 @@ mod tests {
                 "unsafe char in {key}"
             );
         }
+    }
+
+    #[test]
+    fn ladder_budgets_ascend_to_full() {
+        assert_eq!(
+            ladder_budgets(20_000_000, 3, 30_000),
+            vec![78_125, 1_250_000, 20_000_000]
+        );
+        assert_eq!(
+            ladder_budgets(1_000_000, 2, 50_000),
+            vec![62_500, 1_000_000]
+        );
+        // The floor kicks in for tiny full budgets...
+        assert_eq!(
+            ladder_budgets(100_000, 3, 30_000),
+            vec![30_000, 30_000, 100_000]
+        );
+        // ...but never raises a rung above `full`.
+        assert_eq!(ladder_budgets(10_000, 2, 50_000), vec![10_000, 10_000]);
+        assert_eq!(ladder_budgets(5_000, 1, 1), vec![5_000]);
+        for (full, budgets) in [
+            (20_000_000, ladder_budgets(20_000_000, 4, 1_000)),
+            (123_457, ladder_budgets(123_457, 3, 10)),
+            (42, ladder_budgets(42, 5, 1)),
+        ] {
+            assert!(budgets.windows(2).all(|w| w[0] <= w[1]), "{budgets:?}");
+            assert_eq!(*budgets.last().unwrap(), full);
+        }
+    }
+
+    #[test]
+    fn single_tenant_generation_is_prefix_stable() {
+        // A single-tenant generator at a smaller budget is exactly a
+        // prefix of the same app at a larger budget — this is what
+        // lets the DSE ladder's coarse rungs reuse the one frozen
+        // full-budget trace via a `Truncated` view. (Multi-tenant
+        // specs are NOT prefix-stable: `split_budget` depends on the
+        // total, which is why rungs truncate instead of regenerate.)
+        let spec = WorkloadSpec::Single(AppProfile::web_search());
+        let small: Vec<_> = spec.generator(2_000).iter().collect();
+        let big = spec.generator(8_000);
+        let prefix: Vec<_> = big.iter().take(2_000).collect();
+        assert_eq!(small, prefix);
+        // And the frozen trace's truncated view matches both.
+        let packed = spec.materialize(8_000);
+        let truncated = acic_trace::Truncated::new(&packed, 2_000);
+        assert!(truncated.iter().eq(small.iter().copied()));
+        assert_eq!(truncated.seed(), packed.seed());
     }
 
     #[test]
