@@ -341,6 +341,7 @@ pub fn measure_trace(instructions: u64, grid_instructions: u64) -> TraceSection 
         store: None,
         cell_timeout: None,
         window_threads: 0,
+        supervise: None,
     };
     let configs: Vec<SimConfig> = trace_grid_orgs()
         .into_iter()
@@ -451,6 +452,7 @@ fn pinned_agreement(budget: u64) -> Result<bool, String> {
         store: None,
         cell_timeout: None,
         window_threads: 0,
+        supervise: None,
     };
     let configs: Vec<SimConfig> = space.configs.iter().map(|c| c.cfg.clone()).collect();
     let grid = runner.run_grid(&configs, &space.specs);
@@ -486,6 +488,7 @@ pub fn measure_dse(grid_instructions: u64, smoke: bool) -> Result<DseSection, St
         store: None,
         cell_timeout: None,
         window_threads: 0,
+        supervise: None,
     };
     let ex_configs: Vec<SimConfig> = trace_grid_orgs()
         .into_iter()
@@ -648,6 +651,8 @@ pub fn measure_baseline_with_prior(prior: Option<&str>) -> String {
     let window_parallel = crate::window_smoke::measure_window_parallel(sampled_instructions());
     let dse = measure_dse(trace_grid_instructions(), false)
         .expect("DSE sweep must complete for the baseline to be committed");
+    let supervise = crate::supervise::measure_supervise_overhead(instructions)
+        .expect("supervised overhead run must complete for the baseline to be committed");
     render_json(
         instructions,
         &workload,
@@ -658,6 +663,7 @@ pub fn measure_baseline_with_prior(prior: Option<&str>) -> String {
         &sampled,
         &window_parallel,
         &dse,
+        &supervise,
         prior,
     )
 }
@@ -730,10 +736,11 @@ fn render_json(
     sampled: &SampledRow,
     window_parallel: &crate::window_smoke::WindowParallelRow,
     dse: &DseSection,
+    supervise: &crate::supervise::SuperviseRow,
     prior: Option<&str>,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"acic-throughput-baseline/v7\",\n");
+    out.push_str("  \"schema\": \"acic-throughput-baseline/v8\",\n");
     out.push_str(&format!("  \"instructions\": {instructions},\n"));
     out.push_str(&format!("  \"workload\": \"{}\",\n", workload.name()));
     out.push_str("  \"trace_materialized\": true,\n");
@@ -916,6 +923,26 @@ fn render_json(
         "    \"pinned_frontier_agrees\": {}\n",
         dse.pinned_frontier_agrees
     ));
+    out.push_str("  },\n");
+    out.push_str("  \"supervise\": {\n");
+    out.push_str(&format!("    \"figure\": \"{}\",\n", supervise.figure));
+    out.push_str(&format!(
+        "    \"instructions\": {},\n",
+        supervise.instructions
+    ));
+    out.push_str(&format!("    \"cells\": {},\n", supervise.cells));
+    out.push_str(&format!(
+        "    \"in_process_secs\": {:.3},\n",
+        supervise.in_process_secs
+    ));
+    out.push_str(&format!(
+        "    \"supervised_secs\": {:.3},\n",
+        supervise.supervised_secs
+    ));
+    out.push_str(&format!(
+        "    \"vs_in_process\": {:.2}\n",
+        supervise.vs_in_process()
+    ));
     out.push_str("  }\n}\n");
     out
 }
@@ -997,10 +1024,17 @@ mod tests {
             pinned_budget: 2_000_000,
             pinned_frontier_agrees: true,
         };
+        let sup = crate::supervise::SuperviseRow {
+            figure: "table3_mpki".into(),
+            instructions: 1_000_000,
+            cells: 10,
+            in_process_secs: 4.0,
+            supervised_secs: 5.0,
+        };
         let j = render_json(
-            1_000, &wl, &rows, &wl, &mt_rows, &trace, &sampled, &wp, &dse, None,
+            1_000, &wl, &rows, &wl, &mt_rows, &trace, &sampled, &wp, &dse, &sup, None,
         );
-        assert!(j.contains("\"schema\": \"acic-throughput-baseline/v7\""));
+        assert!(j.contains("\"schema\": \"acic-throughput-baseline/v8\""));
         assert!(j.contains("\"multi_tenant\""));
         assert!(j.contains("\"context_switches\": 9"));
         assert!(j.contains("\"naive_path\": \"boxed_unbatched\""));
@@ -1018,6 +1052,8 @@ mod tests {
         assert!(j.contains("\"cells\": 870"));
         assert!(j.contains("\"wall_ratio_vs_exhaustive\": 1.25"));
         assert!(j.contains("\"pinned_frontier_agrees\": true"));
+        assert!(j.contains("\"supervise\""));
+        assert!(j.contains("\"vs_in_process\": 0.80"));
         assert!(!j.contains("vs_prior"), "no prior, no section");
         assert_eq!(
             j.matches('{').count(),
@@ -1042,6 +1078,7 @@ mod tests {
             &sampled,
             &wp,
             &dse,
+            &sup,
             Some(prior),
         );
         assert!(j.contains("\"vs_prior\""));

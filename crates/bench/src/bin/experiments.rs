@@ -92,6 +92,40 @@
 //! failure instead; `--keep-going` is accepted for symmetry (it is
 //! the default). `ACIC_CELL_TIMEOUT_SECS=<secs>` arms a soft per-cell
 //! watchdog that fails wedged cells instead of hanging the sweep.
+//!
+//! Process supervision (DESIGN.md §9):
+//!
+//! ```text
+//! cargo run --release -p acic-bench --bin experiments -- --supervise fig11_mpki
+//! cargo run --release -p acic-bench --bin experiments -- --supervise \
+//!     --crash-reports crash-reports/ --results results/ fig11_mpki
+//! cargo run --release -p acic-bench --bin experiments -- --supervise-smoke
+//! ```
+//!
+//! `--supervise` runs every grid/DSE cell in its own child process
+//! (the binary self-execs with the hidden `--run-cell <journal-key>`
+//! / `--run-cell-out <dir>` flags): with it, the per-cell watchdog
+//! becomes a *hard* timeout (the wedged child is SIGKILLed), an
+//! `abort()`/OOM/signal death costs one attempt of one cell instead
+//! of the campaign, and dead children are retried — transient
+//! failures (timeout, signal, spawn failure) up to
+//! `ACIC_SUPERVISE_RETRIES` attempts, deterministic ones (panic,
+//! `abort()`, non-zero exit) once to confirm — with capped
+//! exponential backoff (base `ACIC_SUPERVISE_BACKOFF_MS`) and
+//! deterministic seeded jitter. Every retried or failed cell leaves a
+//! crash report (exit evidence, stderr tail, retry history) under
+//! `--crash-reports <dir>` (default: `<results>/crash-reports`, or
+//! `./crash-reports`). Output and `--results` journals are
+//! byte-identical to the in-process path; where spawning is
+//! unavailable the run degrades to in-process with one warning.
+//! `--supervise-smoke` drives the scripted hostile matrix
+//! (kill/stall/panic cells) through the supervisor and exits non-zero
+//! on the first violated invariant.
+//!
+//! Exit codes: `0` — success; `1` — one or more figures/cells failed;
+//! `2` — usage error. A `--run-cell` child additionally uses `3` —
+//! target cell not found in the selected figures, `4` — the child
+//! could not journal its result, and `101` — the cell panicked.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -185,16 +219,21 @@ struct Cli {
     results_smoke: bool,
     window_smoke: bool,
     dse_smoke: bool,
+    supervise_smoke: bool,
     dse: bool,
     bench_delta: bool,
     smoke: bool,
     fail_fast: bool,
+    supervise: bool,
     record: Option<String>,
     replay: Option<String>,
     results: Option<String>,
     only: Option<String>,
     dse_space: Option<String>,
     dse_report: Option<String>,
+    crash_reports: Option<String>,
+    run_cell: Option<String>,
+    run_cell_out: Option<String>,
     window_threads: Option<usize>,
     filter: String,
 }
@@ -206,6 +245,9 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
     let only = take_flag_value(&mut args, "--only")?;
     let dse_space = take_flag_value(&mut args, "--dse-space")?;
     let dse_report = take_flag_value(&mut args, "--dse-report")?;
+    let crash_reports = take_flag_value(&mut args, "--crash-reports")?;
+    let run_cell = take_flag_value(&mut args, "--run-cell")?;
+    let run_cell_out = take_flag_value(&mut args, "--run-cell-out")?;
     let window_threads = match take_flag_value(&mut args, "--window-threads")? {
         None => None,
         Some(raw) => Some(raw.parse::<usize>().map_err(|_| {
@@ -219,22 +261,34 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
     if (dse_space.is_some() || dse_report.is_some()) && !dse {
         return Err("--dse-space/--dse-report only make sense with --dse".into());
     }
+    let supervise = take_switch(&mut args, "--supervise");
+    if crash_reports.is_some() && !supervise {
+        return Err("--crash-reports only makes sense with --supervise".into());
+    }
+    if run_cell.is_some() != run_cell_out.is_some() {
+        return Err("--run-cell and --run-cell-out must be given together".into());
+    }
     let cli = Cli {
         list: take_switch(&mut args, "--list"),
         trace_smoke: take_switch(&mut args, "--trace-smoke"),
         results_smoke: take_switch(&mut args, "--results-smoke"),
         window_smoke: take_switch(&mut args, "--window-smoke"),
         dse_smoke: take_switch(&mut args, "--dse-smoke"),
+        supervise_smoke: take_switch(&mut args, "--supervise-smoke"),
         dse,
         bench_delta: take_switch(&mut args, "--bench-delta"),
         smoke: take_switch(&mut args, "--smoke"),
         fail_fast: take_switch(&mut args, "--fail-fast"),
+        supervise,
         record,
         replay,
         results,
         only,
         dse_space,
         dse_report,
+        crash_reports,
+        run_cell,
+        run_cell_out,
         window_threads,
         filter: String::new(),
     };
@@ -318,13 +372,24 @@ fn run_dse_cli(cli: &Cli) -> Result<String, String> {
 }
 
 fn main() {
-    let cli = match parse_cli(std::env::args().skip(1).collect()) {
+    // The supervisor re-execs this argv (minus supervision flags) for
+    // each child, so keep the raw form around.
+    let raw_args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(raw_args.clone()) {
         Ok(cli) => cli,
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
         }
     };
+    if let (Some(key), Some(out_dir)) = (&cli.run_cell, &cli.run_cell_out) {
+        // Child mode: this process runs exactly one cell and journals
+        // it to the private per-attempt store. The figure/DSE code
+        // below detects the target by journal key and exits through
+        // `run_child_cell`; falling out the bottom means the key
+        // matched nothing (exit 3).
+        acic_bench::supervise::set_child_target(key.clone(), out_dir.into());
+    }
     let all = all_experiments();
 
     if cli.list {
@@ -395,6 +460,17 @@ fn main() {
         return;
     }
 
+    if cli.supervise_smoke {
+        match acic_bench::supervise::supervise_smoke() {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("supervise-smoke failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     if let Some(n) = cli.window_threads {
         // The runner reads this through the environment
         // (acic_bench::runner::window_threads); pin it before any
@@ -431,6 +507,21 @@ fn main() {
         }
     }
 
+    if cli.supervise {
+        let crash_dir = cli
+            .crash_reports
+            .clone()
+            .or_else(|| cli.results.as_ref().map(|r| format!("{r}/crash-reports")))
+            .unwrap_or_else(|| "crash-reports".into());
+        match acic_bench::supervise::configure(std::path::Path::new(&crash_dir), &raw_args) {
+            Ok(ctx) => eprintln!(
+                "[supervise: one child process per cell, crash reports in {}]",
+                ctx.crash_dir.display()
+            ),
+            Err(e) => eprintln!("[warning: supervision unavailable ({e}); running in-process]"),
+        }
+    }
+
     if cli.dse {
         match run_dse_cli(&cli) {
             Ok(report) => println!("{report}"),
@@ -438,6 +529,12 @@ fn main() {
                 eprintln!("dse failed: {e}");
                 std::process::exit(1);
             }
+        }
+        if acic_bench::supervise::child_target().is_some() {
+            // A --run-cell child that got here swept the whole ladder
+            // without meeting its target key.
+            eprintln!("run-cell target not found in the DSE sweep");
+            std::process::exit(3);
         }
         return;
     }
@@ -512,6 +609,13 @@ fn main() {
                 }
             }
         }
+    }
+    if acic_bench::supervise::child_target().is_some() {
+        // A --run-cell child exits through `run_child_cell` the moment
+        // its grid reaches the target; completing the figure loop
+        // means the key matched no cell of the selected figures.
+        eprintln!("run-cell target not found in the selected figures");
+        std::process::exit(3);
     }
     if !failures.is_empty() {
         eprintln!("==== failure summary ====");
@@ -639,6 +743,34 @@ mod tests {
         assert!(err.contains("only make sense with --dse"), "{err}");
         let err = parse_cli(argv(&["--dse", "--dse-space"])).unwrap_err();
         assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn supervise_flags_parse() {
+        let cli = parse_cli(argv(&["--supervise", "--crash-reports", "cr", "fig11"])).unwrap();
+        assert!(cli.supervise);
+        assert_eq!(cli.crash_reports.as_deref(), Some("cr"));
+        assert_eq!(cli.filter, "fig11");
+
+        let cli = parse_cli(argv(&["--supervise-smoke"])).unwrap();
+        assert!(cli.supervise_smoke && !cli.supervise);
+
+        let err = parse_cli(argv(&["--crash-reports", "cr"])).unwrap_err();
+        assert!(err.contains("only makes sense with --supervise"), "{err}");
+        let err = parse_cli(argv(&["--supervise", "--crash-reports"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn run_cell_flags_must_pair_up() {
+        let cli = parse_cli(argv(&["--run-cell", "k", "--run-cell-out", "d"])).unwrap();
+        assert_eq!(cli.run_cell.as_deref(), Some("k"));
+        assert_eq!(cli.run_cell_out.as_deref(), Some("d"));
+
+        let err = parse_cli(argv(&["--run-cell", "k"])).unwrap_err();
+        assert!(err.contains("must be given together"), "{err}");
+        let err = parse_cli(argv(&["--run-cell-out", "d"])).unwrap_err();
+        assert!(err.contains("must be given together"), "{err}");
     }
 
     #[test]

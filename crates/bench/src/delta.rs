@@ -5,8 +5,9 @@
 //! timing for LRU, SRRIP, ACIC), the multi-tenant functional rows,
 //! the trace-layer cells (generator vs packed-replay throughput,
 //! spec-deduplicated grid wall ratio), the window-parallel
-//! `vs_serial` wall ratio, and the adaptive-DSE `effective_speedup`
-//! of `BENCH_baseline.json`, then emits a JSON report with one
+//! `vs_serial` wall ratio, the adaptive-DSE `effective_speedup`, and
+//! the process-supervision `vs_in_process` wall ratio of
+//! `BENCH_baseline.json`, then emits a JSON report with one
 //! `delta_pct` per cell — positive means the working tree is faster
 //! than the committed baseline. A cell measured here but absent from
 //! the committed baseline (a section newer than the document, e.g. a
@@ -117,6 +118,16 @@ pub fn bench_delta(smoke: bool) -> Result<String, String> {
     // same delta convention.
     let dse = measure_dse(grid_instructions, smoke)?;
     cell(vec!["dse", "effective_speedup"], dse.effective_speedup);
+    // Process-supervision overhead: in-process over supervised wall
+    // clock on a small healthy grid. Same ratio convention (1.0 =
+    // free supervision; per-cell spawn cost pulls it below 1, and a
+    // regression in the supervisor shows up as a falling ratio).
+    let sup = crate::supervise::measure_supervise_overhead(if smoke {
+        instructions.min(20_000)
+    } else {
+        instructions
+    })?;
+    cell(vec!["supervise", "vs_in_process"], sup.vs_in_process());
 
     render_delta(&schema, instructions, smoke, &cells)
 }

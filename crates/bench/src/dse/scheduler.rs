@@ -50,6 +50,11 @@ pub struct DseOptions {
     pub cell_timeout: Option<Duration>,
     /// Worker threads (defaults to `ACIC_BENCH_THREADS`).
     pub threads: usize,
+    /// Process supervisor: when set, every to-be-computed rung cell
+    /// runs in its own `--run-cell` child process (hard timeouts,
+    /// retry with backoff, crash reports). Defaults to the
+    /// `--supervise` global ([`crate::supervise::active`]).
+    pub supervise: Option<Arc<crate::supervise::SuperviseCtx>>,
 }
 
 impl Default for DseOptions {
@@ -65,6 +70,7 @@ impl Default for DseOptions {
             store: crate::result_store::active(),
             cell_timeout: cell_timeout(),
             threads: bench_threads(),
+            supervise: crate::supervise::active(),
         }
     }
 }
@@ -310,6 +316,36 @@ pub fn run_dse(space: &DseSpace, opts: &DseOptions) -> Result<DseRun, String> {
             }
         }
 
+        // Supervised child mode: when this process is a `--run-cell`
+        // child and its one target cell belongs to this rung, run it,
+        // journal it into the private attempt store, and exit.
+        // Earlier rungs replay from the shared `--results` store (the
+        // supervised parent journals each rung before climbing) or
+        // recompute in-process with journal writes and scripted
+        // faults suppressed.
+        let child = crate::supervise::child_target();
+        if let Some(target) = child {
+            if let Some((c, a)) = cells
+                .iter()
+                .find(|(_, _, k)| k == &target.key)
+                .map(|(c, a, _)| (*c, *a))
+            {
+                let prefix_budget = rung.budget;
+                let cfg = rung_cfgs[c].clone();
+                let trace = Arc::clone(&traces[a]);
+                crate::supervise::run_child_cell(target, Some(r as u32), move || {
+                    injected_cell_failure(c, a);
+                    let prefix = Truncated::new(trace.as_ref(), prefix_budget);
+                    Simulator::run(&cfg, &prefix)
+                });
+            }
+        }
+        let supervisor = if child.is_some() {
+            None
+        } else {
+            opts.supervise.clone()
+        };
+
         let mut slots: Vec<Option<Result<SimReport, CellError>>> = vec![None; cells.len()];
         let mut replayed = 0u64;
         if let Some(store) = &opts.store {
@@ -325,30 +361,82 @@ pub fn run_dse(space: &DseSpace, opts: &DseOptions) -> Result<DseRun, String> {
         if !todo.is_empty() {
             let todo_arc = Arc::new(todo.clone());
             let cells_arc = Arc::new(cells.clone());
-            let traces = Arc::clone(&traces);
-            let cfgs = Arc::clone(&rung_cfgs);
             let store = opts.store.clone();
-            let budget = rung.budget;
             let rung_idx = r as u32;
-            let results = run_cells(
-                todo.len(),
-                opts.threads.clamp(1, todo.len()),
-                opts.cell_timeout,
-                move |t| {
-                    let (c, a, key) = &cells_arc[todo_arc[t]];
-                    injected_cell_failure(*c, *a);
-                    let prefix = Truncated::new(traces[*a].as_ref(), budget);
-                    let report = Simulator::run(&cfgs[*c], &prefix);
-                    if let Some(store) = &store {
-                        if let Err(e) = store.put_rung(key, rung_idx, &report) {
-                            eprintln!("[dse: failed to journal cell {key} ({e}); kept in memory]");
+            if let Some(ctx) = supervisor.clone() {
+                // Supervised: one child process per rung cell; the
+                // parent journals what the child reported under the
+                // same rung-qualified key.
+                let labels: Arc<Vec<String>> = Arc::new(
+                    cells
+                        .iter()
+                        .map(|(c, a, _)| {
+                            format!(
+                                "rung {r}: config '{}' x spec '{}'",
+                                space.configs[*c].label,
+                                space.specs[*a].label()
+                            )
+                        })
+                        .collect(),
+                );
+                let timeout = opts.cell_timeout;
+                let results = run_cells(
+                    todo.len(),
+                    opts.threads.clamp(1, todo.len()),
+                    None, // the hard per-child deadline replaces the soft watchdog
+                    move |t| {
+                        let i = todo_arc[t];
+                        let (_, _, key) = &cells_arc[i];
+                        let report = crate::supervise::run_one(&ctx, key, &labels[i], timeout)?;
+                        if let Some(store) = &store {
+                            if let Err(e) = store.put_rung(key, rung_idx, &report) {
+                                eprintln!(
+                                    "[dse: failed to journal cell {key} ({e}); kept in memory]"
+                                );
+                            }
                         }
-                    }
-                    report
-                },
-            );
-            for (t, res) in results.into_iter().enumerate() {
-                slots[todo[t]] = Some(res);
+                        Ok(report)
+                    },
+                );
+                for (t, res) in results.into_iter().enumerate() {
+                    slots[todo[t]] = Some(match res {
+                        Ok(inner) => inner,
+                        Err(e) => Err(e),
+                    });
+                }
+            } else {
+                let traces = Arc::clone(&traces);
+                let cfgs = Arc::clone(&rung_cfgs);
+                // A `--run-cell` child replaying earlier rungs must
+                // neither re-journal cells nor trip scripted faults
+                // aimed at its target.
+                let store = if child.is_some() { None } else { store };
+                let inject = child.is_none();
+                let budget = rung.budget;
+                let results = run_cells(
+                    todo.len(),
+                    opts.threads.clamp(1, todo.len()),
+                    opts.cell_timeout,
+                    move |t| {
+                        let (c, a, key) = &cells_arc[todo_arc[t]];
+                        if inject {
+                            injected_cell_failure(*c, *a);
+                        }
+                        let prefix = Truncated::new(traces[*a].as_ref(), budget);
+                        let report = Simulator::run(&cfgs[*c], &prefix);
+                        if let Some(store) = &store {
+                            if let Err(e) = store.put_rung(key, rung_idx, &report) {
+                                eprintln!(
+                                    "[dse: failed to journal cell {key} ({e}); kept in memory]"
+                                );
+                            }
+                        }
+                        report
+                    },
+                );
+                for (t, res) in results.into_iter().enumerate() {
+                    slots[todo[t]] = Some(res);
+                }
             }
         }
 
@@ -365,6 +453,9 @@ pub fn run_dse(space: &DseSpace, opts: &DseOptions) -> Result<DseRun, String> {
             }
         }
         if !failures.is_empty() {
+            if let Some(ctx) = &supervisor {
+                failures.push(format!("crash reports: {}", ctx.crash_dir.display()));
+            }
             return Err(failures.join("\n"));
         }
         for &c in &active {
@@ -447,6 +538,7 @@ mod tests {
             store: None,
             cell_timeout: None,
             threads: 2,
+            supervise: None,
         }
     }
 

@@ -37,6 +37,7 @@
 use std::cell::RefCell;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// One injected IO misbehavior (see the module docs for the model
 /// each variant implements).
@@ -117,7 +118,7 @@ impl FaultPlan {
     }
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -280,6 +281,111 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     }
 }
 
+/// One injected *process-level* cell misbehavior — the hostile matrix
+/// the supervision tier ([`crate::supervise`]) is tested against.
+/// Unlike the IO [`Fault`]s above, these don't corrupt storage: they
+/// make the cell's own execution hostile (panic, `abort()`, a stall
+/// past the watchdog, self-SIGKILL, a bad exit status).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellFault {
+    /// The cell panics (caught in-process by `catch_unwind`; kills a
+    /// supervised child with the panic exit status).
+    Panic,
+    /// The cell calls `abort()` — un-catchable in-process, a SIGABRT
+    /// death under supervision.
+    Abort,
+    /// The cell sleeps this long (soft-watchdog / hard-timeout food).
+    Stall(Duration),
+    /// The cell SIGKILLs its own process — the OOM-killer stand-in.
+    Kill,
+    /// The cell exits the whole process with this status.
+    Exit(i32),
+}
+
+/// The scripted cell-fault environment variables, in the order
+/// [`scripted_cell_fault`] consults them. Tests and smoke drivers
+/// clear exactly this list to isolate child environments.
+pub const CELL_FAULT_VARS: &[&str] = &[
+    "ACIC_PANIC_CELL",
+    "ACIC_ABORT_CELL",
+    "ACIC_STALL_CELL",
+    "ACIC_KILL_CELL",
+    "ACIC_EXIT_CELL",
+    "ACIC_FAULT_ATTEMPTS",
+    "ACIC_SUPERVISE_ATTEMPT",
+];
+
+/// Parses one `"<config>:<spec>[:<param>]"` knob value against cell
+/// `(c, a)`: the numeric fields, when the first two match the cell.
+/// Pure for testability; tolerant of garbage (a malformed knob simply
+/// never matches).
+pub fn parse_cell_knob(raw: &str, c: usize, a: usize) -> Option<Vec<u64>> {
+    let parts: Vec<u64> = raw.split(':').filter_map(|p| p.parse().ok()).collect();
+    (parts.len() >= 2 && parts[0] == c as u64 && parts[1] == a as u64).then_some(parts)
+}
+
+/// Whether a scripted cell fault fires on supervision attempt
+/// `attempt` under an `ACIC_FAULT_ATTEMPTS`-style gate: the fault
+/// fires only on the first `gate` attempts (0-based `attempt < gate`),
+/// so `ACIC_FAULT_ATTEMPTS=1` makes a fault *transient* — it kills
+/// attempt 0 and lets the retry succeed. Unset (or garbage) means the
+/// fault always fires: a *deterministic* failure. Pure for
+/// testability.
+pub fn cell_fault_armed(attempt: u32, gate: Option<&str>) -> bool {
+    match gate.and_then(|g| g.parse::<u32>().ok()) {
+        Some(k) => attempt < k,
+        None => true,
+    }
+}
+
+/// The supervision attempt index this process is running as:
+/// `ACIC_SUPERVISE_ATTEMPT`, set by the supervisor on every child it
+/// spawns; `0` in unsupervised processes.
+pub fn supervise_attempt() -> u32 {
+    std::env::var("ACIC_SUPERVISE_ATTEMPT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The scripted process-level fault (if any) for cell `(c, a)`,
+/// honoring the attempt gate: `ACIC_PANIC_CELL` / `ACIC_ABORT_CELL` /
+/// `ACIC_STALL_CELL` (PR 6's knobs, `"<config>:<spec>[:<millis>]"`)
+/// plus `ACIC_KILL_CELL` (self-SIGKILL) and `ACIC_EXIT_CELL`
+/// (`"<config>:<spec>:<status>"`). `ACIC_FAULT_ATTEMPTS=<k>` restricts
+/// any of them to the first `k` supervision attempts (see
+/// [`cell_fault_armed`]), which is how the hostile matrix scripts
+/// *transient* failures.
+pub fn scripted_cell_fault(c: usize, a: usize) -> Option<CellFault> {
+    let gate = std::env::var("ACIC_FAULT_ATTEMPTS").ok();
+    if !cell_fault_armed(supervise_attempt(), gate.as_deref()) {
+        return None;
+    }
+    let knob = |var: &str| {
+        std::env::var(var)
+            .ok()
+            .and_then(|r| parse_cell_knob(&r, c, a))
+    };
+    if knob("ACIC_PANIC_CELL").is_some() {
+        return Some(CellFault::Panic);
+    }
+    if knob("ACIC_ABORT_CELL").is_some() {
+        return Some(CellFault::Abort);
+    }
+    if let Some(parts) = knob("ACIC_STALL_CELL") {
+        let millis = parts.get(2).copied().unwrap_or(60_000);
+        return Some(CellFault::Stall(Duration::from_millis(millis)));
+    }
+    if knob("ACIC_KILL_CELL").is_some() {
+        return Some(CellFault::Kill);
+    }
+    if let Some(parts) = knob("ACIC_EXIT_CELL") {
+        let status = parts.get(2).copied().unwrap_or(7) as i32;
+        return Some(CellFault::Exit(status));
+    }
+    None
+}
+
 /// FNV-1a 64 over `bytes`, continued from `h`; seed with
 /// [`FNV_OFFSET`]. The stores use it for their line/container
 /// checksums.
@@ -349,6 +455,31 @@ mod tests {
         );
         assert!(res.is_ok(), "silent corruption reports success");
         assert_ne!(std::fs::read(&path).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn cell_knob_parsing_matches_only_its_cell() {
+        assert_eq!(parse_cell_knob("0:5", 0, 5), Some(vec![0, 5]));
+        assert_eq!(parse_cell_knob("0:5:30000", 0, 5), Some(vec![0, 5, 30000]));
+        assert_eq!(parse_cell_knob("0:5", 0, 4), None, "other cell");
+        assert_eq!(parse_cell_knob("0:5", 1, 5), None, "other config");
+        assert_eq!(parse_cell_knob("garbage", 0, 0), None);
+        assert_eq!(parse_cell_knob("3", 3, 0), None, "needs both coordinates");
+    }
+
+    #[test]
+    fn fault_attempt_gate_scripts_transient_failures() {
+        // Unset gate: deterministic — every attempt faults.
+        assert!(cell_fault_armed(0, None));
+        assert!(cell_fault_armed(5, None));
+        // Gate of 1: transient — only attempt 0 faults, the retry
+        // runs clean.
+        assert!(cell_fault_armed(0, Some("1")));
+        assert!(!cell_fault_armed(1, Some("1")));
+        assert!(cell_fault_armed(1, Some("2")));
+        assert!(!cell_fault_armed(2, Some("2")));
+        // Garbage gate falls back to deterministic.
+        assert!(cell_fault_armed(3, Some("always")));
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod figures;
 pub mod json;
 pub mod result_store;
 pub mod runner;
+pub mod supervise;
 pub mod trace_store;
 pub mod window_smoke;
 

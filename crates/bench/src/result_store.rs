@@ -39,6 +39,17 @@
 //! store invariant: loud failure or bit-identical success, never
 //! silent corruption, and a resumed sweep never loses or
 //! double-counts a completed cell.
+//!
+//! **Single-writer contract under `--supervise`.** The shared journal
+//! has exactly one writer: the parent. A `--run-cell` child journals
+//! its one cell into a *private* per-attempt store
+//! ([`crate::supervise::run_child_cell`]) that the parent re-reads
+//! after the child exits and then re-puts into the shared journal
+//! itself — children never append to (or even open for write) the
+//! shared `results.jsonl`, so concurrent cell completion cannot race
+//! the whole-file atomic rewrite, and the journal bytes stay
+//! independent of completion order (the `BTreeMap` rewrite sorts by
+//! key).
 
 use crate::json::Json;
 use acic_cache::CacheStats;

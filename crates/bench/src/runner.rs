@@ -175,6 +175,20 @@ pub enum CellError {
     /// The cell's workload could not be frozen (trace-store write
     /// failure or a panic during materialization).
     Freeze(String),
+    /// The worker thread claiming the cell died without reporting
+    /// (its panic payload unwound through `catch_unwind`); the cell
+    /// was requeued once and its worker died again.
+    WorkerLost,
+    /// Under `--supervise`: every attempt of the cell's child process
+    /// failed; the final attempt's exit evidence and the attempt
+    /// count (full history in the crash report).
+    ChildFailed {
+        /// The last attempt's [`crate::supervise::policy::ChildOutcome`],
+        /// rendered.
+        outcome: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for CellError {
@@ -186,6 +200,12 @@ impl std::fmt::Display for CellError {
             }
             CellError::Starved => write!(f, "starved: no live worker left to run it"),
             CellError::Freeze(msg) => write!(f, "workload freeze failed: {msg}"),
+            CellError::WorkerLost => {
+                write!(f, "its worker thread died twice without reporting")
+            }
+            CellError::ChildFailed { outcome, attempts } => {
+                write!(f, "child failed after {attempts} attempt(s): {outcome}")
+            }
         }
     }
 }
@@ -205,7 +225,9 @@ pub struct CellFailure {
 
 /// The structured end-of-grid failure report: every cell that failed,
 /// plus how much of the sweep still completed. `Display` renders the
-/// human-readable summary the `experiments` binary prints.
+/// human-readable summary the `experiments` binary prints, grouping
+/// identical errors (an 870-cell sweep where one config panics
+/// everywhere prints one group with exemplars, not 870 lines).
 #[derive(Debug)]
 pub struct GridError {
     /// Cells that produced a report.
@@ -214,7 +236,14 @@ pub struct GridError {
     pub total: usize,
     /// Every failed cell with its location and cause.
     pub failures: Vec<CellFailure>,
+    /// Where per-cell crash reports were written, when the grid ran
+    /// under `--supervise`.
+    pub crash_dir: Option<std::path::PathBuf>,
 }
+
+/// How many failed-cell exemplars a [`GridError`] summary prints per
+/// distinct error before eliding the rest.
+const FAILURE_EXEMPLARS: usize = 10;
 
 impl std::fmt::Display for GridError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -225,8 +254,43 @@ impl std::fmt::Display for GridError {
             self.total,
             self.failures.len()
         )?;
+        // Group identical errors, preserving first-seen order.
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: std::collections::HashMap<String, Vec<&CellFailure>> =
+            std::collections::HashMap::new();
         for fail in &self.failures {
-            writeln!(f, "  [{} x {}]: {}", fail.config, fail.spec, fail.error)?;
+            let rendered = fail.error.to_string();
+            if !groups.contains_key(&rendered) {
+                order.push(rendered.clone());
+            }
+            groups.entry(rendered).or_default().push(fail);
+        }
+        for rendered in &order {
+            let group = &groups[rendered];
+            if group.len() == 1 {
+                let fail = group[0];
+                writeln!(f, "  [{} x {}]: {}", fail.config, fail.spec, rendered)?;
+            } else {
+                writeln!(
+                    f,
+                    "  {} cells failed identically: {}",
+                    group.len(),
+                    rendered
+                )?;
+                for fail in group.iter().take(FAILURE_EXEMPLARS) {
+                    writeln!(f, "    [{} x {}]", fail.config, fail.spec)?;
+                }
+                if group.len() > FAILURE_EXEMPLARS {
+                    writeln!(
+                        f,
+                        "    ... and {} more cells with this error",
+                        group.len() - FAILURE_EXEMPLARS
+                    )?;
+                }
+            }
+        }
+        if let Some(dir) = &self.crash_dir {
+            writeln!(f, "  crash reports: {}", dir.display())?;
         }
         Ok(())
     }
@@ -287,6 +351,77 @@ fn fan_out<T: Send>(work: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
         .collect()
 }
 
+enum Msg<T> {
+    Started(usize, Instant),
+    Finished(usize, Result<T, String>),
+    /// A worker thread terminated: `Some(i)` with a claimed cell it
+    /// never finished (the thread died mid-cell), `None` after a
+    /// normal retirement.
+    Died(Option<usize>),
+}
+
+enum St<T> {
+    Pending,
+    Running(Instant),
+    Done(Result<T, CellError>),
+}
+
+/// Sends [`Msg::Died`] when the owning worker thread terminates for
+/// *any* reason — normal retirement (no claimed cell) or an unwind
+/// that escapes `catch_unwind` (a panic payload whose `Drop` panics).
+/// The claimed cell is set on claim and cleared once its `Finished`
+/// message is on the wire, so a silent worker death always surfaces
+/// as `Died(Some(cell))`.
+struct DeathWatch<T> {
+    tx: mpsc::Sender<Msg<T>>,
+    cell: Option<usize>,
+}
+
+impl<T> Drop for DeathWatch<T> {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Died(self.cell.take()));
+    }
+}
+
+fn spawn_worker<T, F>(
+    first: Option<usize>,
+    work: usize,
+    cursor: &Arc<AtomicUsize>,
+    f: &Arc<F>,
+    tx: &mpsc::Sender<Msg<T>>,
+) where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    let cursor = Arc::clone(cursor);
+    let f = Arc::clone(f);
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        let mut watch = DeathWatch { tx, cell: None };
+        let mut next = first;
+        loop {
+            let i = match next.take() {
+                Some(i) => i,
+                None => cursor.fetch_add(1, Ordering::Relaxed),
+            };
+            if i >= work {
+                break;
+            }
+            watch.cell = Some(i);
+            if watch.tx.send(Msg::Started(i, Instant::now())).is_err() {
+                watch.cell = None;
+                break; // collector gone (grid already resolved)
+            }
+            let res = catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| panic_message(&*p));
+            if watch.tx.send(Msg::Finished(i, res)).is_err() {
+                watch.cell = None;
+                break;
+            }
+            watch.cell = None;
+        }
+    });
+}
+
 /// Fault-isolated parallel map over `0..work` on **detached** worker
 /// threads: each cell runs under `catch_unwind` (a panic fails that
 /// cell alone), and with `timeout` armed a soft watchdog marks cells
@@ -297,6 +432,13 @@ fn fan_out<T: Send>(work: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
 /// its late result discarded (the cell already failed loudly) and
 /// goes back to stealing work.
 ///
+/// A worker thread that *dies* (an unwind `catch_unwind` cannot
+/// contain) no longer starves the queue: the cell it had claimed is
+/// requeued once onto a replacement worker, and only a second death
+/// of the same cell fails it ([`CellError::WorkerLost`]). When the
+/// last live worker dies, everything unresolved fails
+/// [`CellError::Starved`] instead of hanging.
+///
 /// Detached threads (not `thread::scope`) are the point: a scope
 /// join would block on a hung worker forever, which is exactly the
 /// dead-process failure mode this executor exists to remove.
@@ -306,16 +448,6 @@ pub fn run_cells<T: Send + 'static>(
     timeout: Option<Duration>,
     f: impl Fn(usize) -> T + Send + Sync + 'static,
 ) -> Vec<Result<T, CellError>> {
-    enum Msg<T> {
-        Started(usize, Instant),
-        Finished(usize, Result<T, String>),
-    }
-    enum St<T> {
-        Pending,
-        Running(Instant),
-        Done(Result<T, CellError>),
-    }
-
     if work == 0 {
         return Vec::new();
     }
@@ -324,30 +456,21 @@ pub fn run_cells<T: Send + 'static>(
     let cursor = Arc::new(AtomicUsize::new(0));
     let (tx, rx) = mpsc::channel::<Msg<T>>();
     for _ in 0..threads {
-        let tx = tx.clone();
-        let f = Arc::clone(&f);
-        let cursor = Arc::clone(&cursor);
-        std::thread::spawn(move || loop {
-            let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= work {
-                break;
-            }
-            if tx.send(Msg::Started(i, Instant::now())).is_err() {
-                break; // collector gone (grid already resolved)
-            }
-            let res = catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| panic_message(&*p));
-            if tx.send(Msg::Finished(i, res)).is_err() {
-                break;
-            }
-        });
+        spawn_worker(None, work, &cursor, &f, &tx);
     }
+    // Kept only to arm replacement workers; liveness is tracked
+    // through `Died` messages, not channel disconnection.
+    let worker_tx = tx.clone();
     drop(tx);
 
     let mut states: Vec<St<T>> = (0..work).map(|_| St::Pending).collect();
     let mut resolved = 0usize;
+    let mut live = threads;
     // Cells the watchdog failed whose worker hasn't reported back:
     // each one pins a presumed-wedged worker thread.
     let mut wedged: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    // Cells already requeued once after a worker death.
+    let mut requeued: std::collections::HashSet<usize> = std::collections::HashSet::new();
     while resolved < work {
         match rx.recv_timeout(Duration::from_millis(100)) {
             Ok(Msg::Started(i, at)) => {
@@ -365,16 +488,30 @@ pub fn run_cells<T: Send + 'static>(
                 states[i] = St::Done(res.map_err(CellError::Panicked));
                 resolved += 1;
             }
-            Err(mpsc::RecvTimeoutError::Timeout) => {}
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                // All workers exited; anything unresolved can never
-                // arrive.
-                for s in states.iter_mut() {
-                    if !matches!(s, St::Done(_)) {
-                        *s = St::Done(Err(CellError::Starved));
-                        resolved += 1;
+            Ok(Msg::Died(cell)) => {
+                live = live.saturating_sub(1);
+                if let Some(i) = cell {
+                    wedged.remove(&i);
+                    if !matches!(states[i], St::Done(_)) {
+                        if requeued.insert(i) {
+                            // First death: hand the orphaned cell to a
+                            // fresh worker, which then goes back to
+                            // stealing.
+                            states[i] = St::Pending;
+                            spawn_worker(Some(i), work, &cursor, &f, &worker_tx);
+                            live += 1;
+                        } else {
+                            states[i] = St::Done(Err(CellError::WorkerLost));
+                            resolved += 1;
+                        }
                     }
                 }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Unreachable while `worker_tx` is held; kept as a
+                // defensive backstop.
+                live = 0;
             }
         }
         if let Some(limit) = timeout {
@@ -385,14 +522,24 @@ pub fn run_cells<T: Send + 'static>(
                     wedged.insert(i);
                 }
             }
-            if wedged.len() >= threads {
-                // Every worker is stuck inside a timed-out cell; the
-                // queue will never drain.
+            if wedged.len() >= live {
+                // Every live worker is stuck inside a timed-out cell;
+                // the queue will never drain.
                 for s in states.iter_mut() {
                     if matches!(s, St::Pending) {
                         *s = St::Done(Err(CellError::Starved));
                         resolved += 1;
                     }
+                }
+            }
+        }
+        if live == 0 {
+            // Every worker's messages precede its `Died` in the
+            // channel, so nothing unresolved can still arrive.
+            for s in states.iter_mut() {
+                if !matches!(s, St::Done(_)) {
+                    *s = St::Done(Err(CellError::Starved));
+                    resolved += 1;
                 }
             }
         }
@@ -491,26 +638,30 @@ pub fn run_pair(
 }
 
 /// Deliberate failure injection for crash-safety tests: the CLI and
-/// integration tests pin a single cell to panic, abort, or stall via
-/// `ACIC_PANIC_CELL`/`ACIC_ABORT_CELL`/`ACIC_STALL_CELL`
-/// (`"<config>:<spec>"`, stall with a `":<millis>"` suffix). No-ops
-/// unless the matching variable is set.
+/// integration tests pin a single cell to panic, abort, stall, be
+/// SIGKILLed, or exit with a bad status via the `ACIC_*_CELL` knobs
+/// (`"<config>:<spec>"`, with an optional parameter suffix;
+/// scripting and attempt-gating live in
+/// [`crate::fault::scripted_cell_fault`]). No-ops unless a matching
+/// variable is set.
 pub(crate) fn injected_cell_failure(c: usize, a: usize) {
-    let matches_cell = |var: &str| -> Option<Vec<u64>> {
-        let raw = std::env::var(var).ok()?;
-        let parts: Vec<u64> = raw.split(':').filter_map(|p| p.parse().ok()).collect();
-        (parts.len() >= 2 && parts[0] == c as u64 && parts[1] == a as u64).then_some(parts)
-    };
-    if matches_cell("ACIC_PANIC_CELL").is_some() {
-        panic!("injected test panic in cell ({c},{a})");
-    }
-    if matches_cell("ACIC_ABORT_CELL").is_some() {
-        eprintln!("[injected abort in cell ({c},{a})]");
-        std::process::abort();
-    }
-    if let Some(parts) = matches_cell("ACIC_STALL_CELL") {
-        let millis = parts.get(2).copied().unwrap_or(60_000);
-        std::thread::sleep(Duration::from_millis(millis));
+    use crate::fault::CellFault;
+    match crate::fault::scripted_cell_fault(c, a) {
+        None => {}
+        Some(CellFault::Panic) => panic!("injected test panic in cell ({c},{a})"),
+        Some(CellFault::Abort) => {
+            eprintln!("[injected abort in cell ({c},{a})]");
+            std::process::abort();
+        }
+        Some(CellFault::Stall(delay)) => std::thread::sleep(delay),
+        Some(CellFault::Kill) => {
+            eprintln!("[injected kill in cell ({c},{a})]");
+            crate::supervise::kill_self();
+        }
+        Some(CellFault::Exit(code)) => {
+            eprintln!("[injected exit {code} in cell ({c},{a})]");
+            std::process::exit(code);
+        }
     }
 }
 
@@ -535,6 +686,14 @@ pub struct Runner {
     /// is divided down so grid × window threads stay within the one
     /// [`bench_threads`] budget ([`split_thread_budget`]).
     pub window_threads: usize,
+    /// Process supervisor: when set, every to-be-computed cell runs
+    /// in its own `--run-cell` child process with hard timeouts,
+    /// retry-with-backoff, and crash reports
+    /// ([`crate::supervise::run_one`]). Constructors default to the
+    /// `--supervise` global ([`crate::supervise::active`]); `None`
+    /// keeps the in-process path, which stays the bit-identity
+    /// reference.
+    pub supervise: Option<Arc<crate::supervise::SuperviseCtx>>,
 }
 
 impl Runner {
@@ -546,6 +705,7 @@ impl Runner {
             store: crate::result_store::active(),
             cell_timeout: cell_timeout(),
             window_threads: window_threads(),
+            supervise: crate::supervise::active(),
         }
     }
 
@@ -624,8 +784,6 @@ impl Runner {
                 computed: 0,
             });
         }
-        let frozen = try_freeze_specs(specs, self.instructions);
-        let mut slots: Vec<Option<Result<SimReport, CellError>>> = (0..n).map(|_| None).collect();
         let key_of = |spec: &WorkloadSpec, cfg: &SimConfig| {
             if self.window_threads >= 1 {
                 windowed_cell_key(spec, self.instructions, cfg)
@@ -633,11 +791,48 @@ impl Runner {
                 cell_key(spec, self.instructions, cfg)
             }
         };
-        let keys: Vec<String> = match &self.store {
-            Some(_) => (0..n)
+        // Supervised child mode: when this process is a `--run-cell`
+        // child and its one target cell lives in this grid, freeze
+        // only that cell's spec, run it, journal it into the private
+        // attempt store, and exit. Grids that don't contain the
+        // target recompute in-process below (replaying store hits,
+        // with journal writes and scripted faults suppressed) so a
+        // later grid in the same figure still reaches the target.
+        let child = crate::supervise::child_target();
+        if let Some(target) = child {
+            let hit =
+                (0..n).find(|&i| key_of(&specs[i % n_spec], &configs[i / n_spec]) == target.key);
+            if let Some(i) = hit {
+                let (c, a) = (i / n_spec, i % n_spec);
+                let window_threads = self.window_threads;
+                let cfg = configs[c].clone();
+                let spec = specs[a].clone();
+                let instructions = self.instructions;
+                crate::supervise::run_child_cell(target, None, move || {
+                    let trace = must_freeze(&spec, instructions);
+                    injected_cell_failure(c, a);
+                    if window_threads >= 1 {
+                        Engine::run_windowed(&cfg, trace.as_ref(), window_threads)
+                    } else {
+                        Simulator::run(&cfg, trace.as_ref())
+                    }
+                });
+            }
+        }
+        let supervisor = if child.is_some() {
+            None
+        } else {
+            self.supervise.clone()
+        };
+        let crash_dir = supervisor.as_ref().map(|ctx| ctx.crash_dir.clone());
+        let frozen = try_freeze_specs(specs, self.instructions);
+        let mut slots: Vec<Option<Result<SimReport, CellError>>> = (0..n).map(|_| None).collect();
+        let keys: Vec<String> = if self.store.is_some() || supervisor.is_some() {
+            (0..n)
                 .map(|i| key_of(&specs[i % n_spec], &configs[i / n_spec]))
-                .collect(),
-            None => Vec::new(),
+                .collect()
+        } else {
+            Vec::new()
         };
         let mut replayed = 0u64;
         if let Some(store) = &self.store {
@@ -658,12 +853,6 @@ impl Runner {
         let todo: Vec<usize> = (0..n).filter(|&i| slots[i].is_none()).collect();
         let computed = todo.len() as u64;
         if !todo.is_empty() {
-            let configs_arc: Arc<Vec<SimConfig>> = Arc::new(configs.to_vec());
-            let traces: Arc<Vec<Option<Arc<PackedTrace>>>> =
-                Arc::new(frozen.iter().map(|r| r.as_ref().ok().cloned()).collect());
-            let todo_arc = Arc::new(todo.clone());
-            let store = self.store.clone();
-            let keys_arc = Arc::new(keys);
             let budget = bench_threads();
             let (grid_workers, oversubscribed) = split_thread_budget(budget, self.window_threads);
             if oversubscribed {
@@ -675,36 +864,99 @@ impl Runner {
                     );
                 });
             }
-            let window_threads = self.window_threads;
-            let results = run_cells(
-                todo.len(),
-                grid_workers.min(todo.len()),
-                self.cell_timeout,
-                move |t| {
-                    let i = todo_arc[t];
-                    let (c, a) = (i / n_spec, i % n_spec);
-                    injected_cell_failure(c, a);
-                    let trace = traces[a]
-                        .as_ref()
-                        .expect("cell scheduled only for frozen spec");
-                    let report = if window_threads >= 1 {
-                        Engine::run_windowed(&configs_arc[c], trace.as_ref(), window_threads)
-                    } else {
-                        Simulator::run(&configs_arc[c], trace.as_ref())
-                    };
-                    if let Some(store) = &store {
-                        if let Err(e) = store.put(&keys_arc[i], &report) {
-                            eprintln!(
-                                "[results: failed to journal cell {} ({e}); kept in memory]",
-                                keys_arc[i]
-                            );
+            let todo_arc = Arc::new(todo.clone());
+            let keys_arc = Arc::new(keys);
+            if let Some(ctx) = supervisor {
+                // Supervised: one child process per cell, hard
+                // timeouts and retries inside `run_one`; the parent
+                // only journals what the child reported, so the
+                // journal stays byte-identical to the in-process
+                // path.
+                let labels: Arc<Vec<String>> = Arc::new(
+                    (0..n)
+                        .map(|i| {
+                            let (c, a) = (i / n_spec, i % n_spec);
+                            format!(
+                                "config {c} '{}' x spec '{}'",
+                                configs[c].icache_org.label(),
+                                specs[a].label()
+                            )
+                        })
+                        .collect(),
+                );
+                let store = self.store.clone();
+                let timeout = self.cell_timeout;
+                let results = run_cells(
+                    todo.len(),
+                    grid_workers.min(todo.len()),
+                    None, // the hard per-child deadline replaces the soft watchdog
+                    move |t| {
+                        let i = todo_arc[t];
+                        let report =
+                            crate::supervise::run_one(&ctx, &keys_arc[i], &labels[i], timeout)?;
+                        if let Some(store) = &store {
+                            if let Err(e) = store.put(&keys_arc[i], &report) {
+                                eprintln!(
+                                    "[results: failed to journal cell {} ({e}); kept in memory]",
+                                    keys_arc[i]
+                                );
+                            }
                         }
-                    }
-                    report
-                },
-            );
-            for (t, res) in results.into_iter().enumerate() {
-                slots[todo[t]] = Some(res);
+                        Ok(report)
+                    },
+                );
+                for (t, res) in results.into_iter().enumerate() {
+                    slots[todo[t]] = Some(match res {
+                        Ok(inner) => inner,
+                        Err(e) => Err(e),
+                    });
+                }
+            } else {
+                let configs_arc: Arc<Vec<SimConfig>> = Arc::new(configs.to_vec());
+                let traces: Arc<Vec<Option<Arc<PackedTrace>>>> =
+                    Arc::new(frozen.iter().map(|r| r.as_ref().ok().cloned()).collect());
+                // A `--run-cell` child recomputing a grid that does
+                // not hold its target must neither re-journal cells
+                // nor trip scripted faults aimed at the target.
+                let store = if child.is_some() {
+                    None
+                } else {
+                    self.store.clone()
+                };
+                let inject = child.is_none();
+                let window_threads = self.window_threads;
+                let results = run_cells(
+                    todo.len(),
+                    grid_workers.min(todo.len()),
+                    self.cell_timeout,
+                    move |t| {
+                        let i = todo_arc[t];
+                        let (c, a) = (i / n_spec, i % n_spec);
+                        if inject {
+                            injected_cell_failure(c, a);
+                        }
+                        let trace = traces[a]
+                            .as_ref()
+                            .expect("cell scheduled only for frozen spec");
+                        let report = if window_threads >= 1 {
+                            Engine::run_windowed(&configs_arc[c], trace.as_ref(), window_threads)
+                        } else {
+                            Simulator::run(&configs_arc[c], trace.as_ref())
+                        };
+                        if let Some(store) = &store {
+                            if let Err(e) = store.put(&keys_arc[i], &report) {
+                                eprintln!(
+                                    "[results: failed to journal cell {} ({e}); kept in memory]",
+                                    keys_arc[i]
+                                );
+                            }
+                        }
+                        report
+                    },
+                );
+                for (t, res) in results.into_iter().enumerate() {
+                    slots[todo[t]] = Some(res);
+                }
             }
         }
         if self.store.is_some() {
@@ -736,6 +988,7 @@ impl Runner {
                 completed: n - failures.len(),
                 total: n,
                 failures,
+                crash_dir,
             })
         }
     }
@@ -917,11 +1170,97 @@ mod tests {
                 spec: "spec 'sibench'".into(),
                 error: CellError::Panicked("boom".into()),
             }],
+            crash_dir: None,
         };
         let text = e.to_string();
         assert!(text.contains("3 of 4 cells completed"));
         assert!(text.contains("config 1 'ACIC'"));
         assert!(text.contains("panicked: boom"));
+    }
+
+    #[test]
+    fn grid_failure_report_groups_identical_errors() {
+        // One config panicking across a wide sweep: the summary must
+        // group the identical errors, print 10 exemplars, and say how
+        // many were elided — not emit one line per cell.
+        let mut failures: Vec<CellFailure> = (0..25)
+            .map(|a| CellFailure {
+                config: "config 1 'ACIC'".into(),
+                spec: format!("spec 's{a}'"),
+                error: CellError::Panicked("boom".into()),
+            })
+            .collect();
+        failures.push(CellFailure {
+            config: "config 0 'LRU'".into(),
+            spec: "spec 'x264'".into(),
+            error: CellError::Starved,
+        });
+        let e = GridError {
+            completed: 870 - 26,
+            total: 870,
+            failures,
+            crash_dir: Some(std::path::PathBuf::from("crash-reports")),
+        };
+        let text = e.to_string();
+        assert!(text.contains("844 of 870 cells completed, 26 failed"));
+        assert!(text.contains("25 cells failed identically: panicked: boom"));
+        assert!(text.contains("... and 15 more cells with this error"));
+        assert_eq!(
+            text.matches("[config 1 'ACIC'").count(),
+            10,
+            "exactly the first 10 exemplars are listed"
+        );
+        // The singleton keeps the compact one-line form.
+        assert!(text.contains("[config 0 'LRU' x spec 'x264']: starved"));
+        assert!(text.contains("crash reports: crash-reports"));
+    }
+
+    /// A panic payload whose `Drop` re-panics: `catch_unwind` catches
+    /// the original panic, but dropping the payload inside `map_err`
+    /// panics *again* outside any catch, killing the worker thread
+    /// without aborting the process — the worker-death shape
+    /// `run_cells` must survive.
+    struct GrenadePayload;
+    impl Drop for GrenadePayload {
+        // The original unwind was already caught when the payload is
+        // dropped, so this second panic escapes `catch_unwind` and
+        // unwinds the worker thread itself (a panic-in-panic would
+        // abort instead; this one doesn't, by construction).
+        fn drop(&mut self) {
+            panic!("payload drop panicked");
+        }
+    }
+
+    #[test]
+    fn run_cells_requeues_a_dead_workers_cell_once() {
+        // Cell 1 kills its worker thread on the first attempt and
+        // succeeds on the second; with another live worker around the
+        // cell must be requeued and complete, not resolve Starved.
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let attempts_in = Arc::clone(&attempts);
+        let results = run_cells(4, 2, None, move |i| {
+            if i == 1 && attempts_in.fetch_add(1, Ordering::Relaxed) == 0 {
+                std::panic::panic_any(GrenadePayload);
+            }
+            i * 10
+        });
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i * 10, "cell {i} completed");
+        }
+        assert_eq!(attempts.load(Ordering::Relaxed), 2, "cell 1 ran twice");
+    }
+
+    #[test]
+    fn run_cells_gives_up_after_a_second_worker_death() {
+        let results = run_cells(3, 2, None, |i| {
+            if i == 1 {
+                std::panic::panic_any(GrenadePayload);
+            }
+            i
+        });
+        assert_eq!(results[1].as_ref().unwrap_err(), &CellError::WorkerLost);
+        assert_eq!(*results[0].as_ref().unwrap(), 0, "other cells unaffected");
+        assert_eq!(*results[2].as_ref().unwrap(), 2);
     }
 
     #[test]
@@ -934,6 +1273,7 @@ mod tests {
             store: Some(Arc::new(ResultStore::open(&dir).unwrap())),
             cell_timeout: None,
             window_threads: 0,
+            supervise: None,
         };
         let configs = vec![
             SimConfig::default(),
@@ -971,6 +1311,7 @@ mod tests {
             store: None,
             cell_timeout: None,
             window_threads: 0,
+            supervise: None,
         };
         let apps = vec![AppProfile::sibench()];
         let grid = runner.run_grid(
@@ -1001,6 +1342,7 @@ mod tests {
             store: None,
             cell_timeout: None,
             window_threads: 2,
+            supervise: None,
         };
         let configs = vec![
             runner.baseline.clone(),
@@ -1036,6 +1378,7 @@ mod tests {
             store: Some(Arc::new(ResultStore::open(&dir).unwrap())),
             cell_timeout: None,
             window_threads: 2,
+            supervise: None,
         };
         let configs = vec![runner.baseline.clone()];
         let specs = vec![WorkloadSpec::Single(AppProfile::sibench())];
@@ -1066,6 +1409,7 @@ mod tests {
             store: None,
             cell_timeout: None,
             window_threads: 0,
+            supervise: None,
         };
         let apps = vec![AppProfile::sibench(), AppProfile::x264()];
         let configs = vec![
@@ -1104,6 +1448,7 @@ mod tests {
             store: None,
             cell_timeout: None,
             window_threads: 0,
+            supervise: None,
         };
         let specs = vec![
             WorkloadSpec::Single(AppProfile::sibench()),

@@ -51,6 +51,7 @@ fn dse_frontier_is_a_superset_of_the_exhaustive_pareto_frontier() {
         store: None,
         cell_timeout: None,
         window_threads: 0,
+        supervise: None,
     };
     let configs: Vec<SimConfig> = space
         .configs

@@ -1,0 +1,309 @@
+//! End-to-end checks of `--supervise`: one child process per cell,
+//! hard timeouts, retry with backoff, crash forensics, and
+//! bit-identity with the in-process reference path — all on the small
+//! `table3_mpki` grid (1 config x 10 specs) at a tiny instruction
+//! budget so the debug binary stays fast.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::time::{Duration, Instant};
+
+const BUDGET: &str = "2000";
+const FIGURE: &str = "table3_mpki";
+
+fn experiments() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_experiments"));
+    // Isolate from ambient configuration: the harness (and every
+    // child it spawns) reads these.
+    for var in acic_bench::fault::CELL_FAULT_VARS {
+        cmd.env_remove(var);
+    }
+    for var in [
+        "ACIC_EXP_INSTRUCTIONS",
+        "ACIC_BENCH_THREADS",
+        "ACIC_CELL_TIMEOUT_SECS",
+        "ACIC_SUPERVISE_RETRIES",
+        "ACIC_SUPERVISE_BACKOFF_MS",
+        "ACIC_WINDOW_THREADS",
+    ] {
+        cmd.env_remove(var);
+    }
+    cmd.env("ACIC_EXP_INSTRUCTIONS", BUDGET);
+    // Keep test-time retry delays in the milliseconds.
+    cmd.env("ACIC_SUPERVISE_BACKOFF_MS", "10");
+    cmd
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("acic-supervise-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// The single `.txt` crash report under `dir`.
+fn crash_report(dir: &Path) -> String {
+    let mut reports: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("crash dir {}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    assert_eq!(
+        reports.len(),
+        1,
+        "want exactly one crash report: {reports:?}"
+    );
+    std::fs::read_to_string(reports.pop().unwrap()).unwrap()
+}
+
+/// The in-process reference output, computed once per scenario that
+/// compares against it.
+fn reference_stdout() -> String {
+    let out = experiments().args(["--only", FIGURE]).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    stdout(&out)
+}
+
+#[test]
+fn healthy_supervised_run_is_bit_identical_to_in_process() {
+    let dir = scratch("healthy");
+    let ref_rs = dir.join("ref-results");
+    let sup_rs = dir.join("sup-results");
+    let sup_cr = dir.join("crash");
+
+    let reference = experiments()
+        .args(["--only", FIGURE, "--results", ref_rs.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(reference.status.success(), "stderr: {}", stderr(&reference));
+
+    let supervised = experiments()
+        .args([
+            "--only",
+            FIGURE,
+            "--results",
+            sup_rs.to_str().unwrap(),
+            "--supervise",
+            "--crash-reports",
+            sup_cr.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        supervised.status.success(),
+        "stderr: {}",
+        stderr(&supervised)
+    );
+    assert_eq!(
+        stdout(&supervised),
+        stdout(&reference),
+        "supervised stdout must be bit-identical"
+    );
+    assert_eq!(
+        std::fs::read(sup_rs.join("results.jsonl")).unwrap(),
+        std::fs::read(ref_rs.join("results.jsonl")).unwrap(),
+        "supervised journal must be byte-identical"
+    );
+    let stray = std::fs::read_dir(&sup_cr)
+        .map(|d| {
+            d.filter_map(|e| e.ok())
+                .filter(|e| e.path().extension().is_some_and(|x| x == "txt"))
+                .count()
+        })
+        .unwrap_or(0);
+    assert_eq!(stray, 0, "a healthy run must leave no crash reports");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_sigkilled_child_is_retried_as_transient_and_the_campaign_recovers() {
+    let dir = scratch("kill");
+    let cr = dir.join("crash");
+    let out = experiments()
+        .env("ACIC_KILL_CELL", "0:1")
+        .env("ACIC_FAULT_ATTEMPTS", "1") // first attempt only
+        .args([
+            "--only",
+            FIGURE,
+            "--supervise",
+            "--crash-reports",
+            cr.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_eq!(stdout(&out), reference_stdout(), "campaign bit-identical");
+    let report = crash_report(&cr);
+    assert!(report.contains("killed by signal 9"), "report:\n{report}");
+    assert!(report.contains("[transient]"), "report:\n{report}");
+    assert!(report.contains("retrying in"), "report:\n{report}");
+    assert!(
+        report.contains("disposition: recovered"),
+        "report:\n{report}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn an_aborting_cell_costs_one_cell_not_the_campaign() {
+    let dir = scratch("abort");
+    let cr = dir.join("crash");
+    let out = experiments()
+        .env("ACIC_ABORT_CELL", "0:1") // every attempt
+        .args([
+            "--only",
+            FIGURE,
+            "--supervise",
+            "--crash-reports",
+            cr.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let se = stderr(&out);
+    assert!(
+        se.contains("9 of 10 cells completed"),
+        "the other nine cells must survive the abort: {se}"
+    );
+    assert!(se.contains("crash reports:"), "stderr: {se}");
+    let report = crash_report(&cr);
+    // abort() raises SIGABRT: deterministic, retried once to confirm.
+    assert!(report.contains("SIGABRT"), "report:\n{report}");
+    assert!(report.contains("[deterministic]"), "report:\n{report}");
+    assert!(report.contains("attempt 2"), "report:\n{report}");
+    assert!(!report.contains("attempt 3"), "report:\n{report}");
+    assert!(
+        report.contains("disposition: failed (deterministic)"),
+        "report:\n{report}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_stalled_child_is_hard_killed_at_the_deadline() {
+    let dir = scratch("stall");
+    let cr = dir.join("crash");
+    let start = Instant::now();
+    let out = experiments()
+        .env("ACIC_STALL_CELL", "0:1:30000")
+        .env("ACIC_FAULT_ATTEMPTS", "1")
+        .env("ACIC_CELL_TIMEOUT_SECS", "2")
+        .args([
+            "--only",
+            FIGURE,
+            "--supervise",
+            "--crash-reports",
+            cr.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        start.elapsed() < Duration::from_secs(25),
+        "the hard kill must fire long before the 30s stall ends"
+    );
+    assert_eq!(stdout(&out), reference_stdout(), "campaign bit-identical");
+    let report = crash_report(&cr);
+    assert!(
+        report.contains("hard timeout after 2s"),
+        "report:\n{report}"
+    );
+    assert!(
+        report.contains("disposition: recovered"),
+        "report:\n{report}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_deterministically_panicking_cell_fails_loudly_with_forensics() {
+    let dir = scratch("panic");
+    let cr = dir.join("crash");
+    let out = experiments()
+        .env("ACIC_PANIC_CELL", "0:1") // every attempt
+        .args([
+            "--only",
+            FIGURE,
+            "--supervise",
+            "--crash-reports",
+            cr.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let se = stderr(&out);
+    assert!(se.contains("9 of 10 cells completed"), "stderr: {se}");
+    assert!(
+        se.contains("child failed after 2 attempt(s)"),
+        "stderr: {se}"
+    );
+    let report = crash_report(&cr);
+    // A Rust panic exits 101; the stderr tail carries the message.
+    assert!(
+        report.contains("exited with status 101"),
+        "report:\n{report}"
+    );
+    assert!(report.contains("stderr tail:"), "report:\n{report}");
+    assert!(report.contains("injected test panic"), "report:\n{report}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_failed_supervised_sweep_resumes_without_recomputing_finished_cells() {
+    let dir = scratch("resume");
+    let rs = dir.join("results");
+    let cr = dir.join("crash");
+
+    // First supervised run: one cell panics deterministically, the
+    // other nine complete and are journaled.
+    let failed = experiments()
+        .env("ACIC_PANIC_CELL", "0:1")
+        .args([
+            "--only",
+            FIGURE,
+            "--results",
+            rs.to_str().unwrap(),
+            "--supervise",
+            "--crash-reports",
+            cr.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(failed.status.code(), Some(1), "stderr: {}", stderr(&failed));
+    assert!(rs.join("results.jsonl").exists(), "journal survives");
+
+    // Clean rerun: exactly the one failed cell recomputes.
+    let resumed = experiments()
+        .args([
+            "--only",
+            FIGURE,
+            "--results",
+            rs.to_str().unwrap(),
+            "--supervise",
+            "--crash-reports",
+            cr.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(resumed.status.success(), "stderr: {}", stderr(&resumed));
+    assert!(
+        stderr(&resumed).contains("[results: 9 replayed, 1 computed]"),
+        "stderr: {}",
+        stderr(&resumed)
+    );
+    assert_eq!(
+        stdout(&resumed),
+        reference_stdout(),
+        "resumed supervised sweep must match the in-process reference"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
