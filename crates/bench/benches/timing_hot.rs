@@ -1,0 +1,169 @@
+//! Micro-benchmarks for the event-horizon timing loop's hot
+//! structures: the ring-buffered FTQ with its instruction arena
+//! (entry build and fetch delivery), the batched contents tick the
+//! skip-ahead loop relies on, and the dense vs event-horizon engine
+//! end to end — the last pair keeps the tentpole's speedup measured,
+//! not asserted.
+//!
+//! Run: `cargo bench -p acic-bench --bench timing_hot`
+//! (CI runs it under `ACIC_BENCH_QUICK=1` as a smoke pass.)
+
+use acic_sim::{Engine, Ftq, FtqEntry, IcacheOrg, SimConfig, TimingLoop};
+use acic_trace::{Instr, VecTrace};
+use acic_types::{Addr, BlockAddr};
+use acic_workloads::{AppProfile, SyntheticWorkload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// One fetch block's worth of instructions, shared by the FTQ benches.
+fn block_instrs() -> Vec<Instr> {
+    (0..8)
+        .map(|k| Instr::alu(Addr::new(0x1000 + 4 * k)))
+        .collect()
+}
+
+/// Fill-then-drain over the ring FTQ vs the legacy
+/// `VecDeque<Vec<Instr>>` shape it replaced: same push order, same
+/// per-instruction delivery reads, same pop cadence. The ring's wins
+/// are the allocation-free entry build and the cache-dense arena.
+fn bench_ftq_push_deliver(c: &mut Criterion) {
+    let instrs = block_instrs();
+    let mut g = c.benchmark_group("ftq_push_deliver");
+    g.bench_function("ring_arena", |b| {
+        let mut ftq = Ftq::new(24);
+        let mut n = 0u64;
+        b.iter(|| {
+            while ftq.len() < 24 {
+                n += 1;
+                ftq.push(
+                    FtqEntry {
+                        block: BlockAddr::new(n),
+                        first_index: n * 8,
+                        ..FtqEntry::default()
+                    },
+                    &instrs,
+                );
+            }
+            let mut sum = 0u64;
+            while let Some((head, arena)) = ftq.front_mut_with_arena() {
+                for k in 0..head.len as u64 {
+                    sum ^= arena.get(head.start + k).pc().raw();
+                }
+                head.delivered = head.len as usize;
+                ftq.pop_front();
+            }
+            black_box(sum);
+        });
+    });
+    g.bench_function("vecdeque_vec", |b| {
+        let mut ftq: std::collections::VecDeque<(BlockAddr, Vec<Instr>)> =
+            std::collections::VecDeque::with_capacity(24);
+        let mut n = 0u64;
+        b.iter(|| {
+            while ftq.len() < 24 {
+                n += 1;
+                ftq.push_back((BlockAddr::new(n), instrs.to_vec()));
+            }
+            let mut sum = 0u64;
+            while let Some((_, entry)) = ftq.pop_front() {
+                for i in &entry {
+                    sum ^= i.pc().raw();
+                }
+            }
+            black_box(sum);
+        });
+    });
+    g.finish();
+}
+
+/// Just the entry-build path: copying one block run into the arena
+/// (and releasing it) vs cloning it into a fresh `Vec` — the per-push
+/// allocation the arena removed.
+fn bench_entry_build(c: &mut Criterion) {
+    let instrs = block_instrs();
+    let mut g = c.benchmark_group("entry_build");
+    g.bench_function("arena", |b| {
+        let mut ftq = Ftq::new(4);
+        b.iter(|| {
+            ftq.push(FtqEntry::default(), &instrs);
+            black_box(ftq.front().unwrap().len);
+            ftq.pop_front();
+        });
+    });
+    g.bench_function("vec_clone", |b| {
+        b.iter(|| {
+            let v = instrs.to_vec();
+            black_box(v.len());
+        });
+    });
+    g.finish();
+}
+
+/// Cycles per tick span — what a skipped quiet stretch costs.
+const TICK_SPAN: u64 = 256;
+
+/// ACIC contents tick over a quiet span: once per cycle (the dense
+/// loop) vs once at the span's end (the event-horizon loop's batch,
+/// legal because skipped cycles are strictly before `next_tick_due`).
+fn bench_batched_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contents_tick");
+    g.bench_function("per_cycle", |b| {
+        let mut contents = IcacheOrg::acic_default().build(7);
+        let mut now = 0u64;
+        b.iter(|| {
+            for _ in 0..TICK_SPAN {
+                now += 1;
+                contents.tick(now);
+            }
+            black_box(contents.next_tick_due());
+        });
+    });
+    g.bench_function("batched", |b| {
+        let mut contents = IcacheOrg::acic_default().build(7);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += TICK_SPAN;
+            contents.tick(now);
+            black_box(contents.next_tick_due());
+        });
+    });
+    g.finish();
+}
+
+/// Instructions per engine leg: small enough for criterion's sample
+/// counts, long enough to reach steady-state miss behavior.
+const ENGINE_INSTRUCTIONS: u64 = 20_000;
+
+/// The tentpole pair: one full timing simulation per iteration, dense
+/// vs event-horizon, identical trace and config (the equivalence
+/// suite pins the reports bit-identical; this pins the speedup).
+fn bench_timing_loop(c: &mut Criterion) {
+    let trace = VecTrace::from_source(&SyntheticWorkload::with_instructions(
+        AppProfile::web_search(),
+        ENGINE_INSTRUCTIONS,
+    ));
+    let cfg = SimConfig::default().with_org(IcacheOrg::acic_default());
+    let mut g = c.benchmark_group("timing_loop");
+    g.bench_function("event_horizon", |b| {
+        b.iter(|| {
+            black_box(Engine::run_with_loop(
+                &cfg,
+                &trace,
+                TimingLoop::EventHorizon,
+            ))
+        });
+    });
+    g.bench_function("dense", |b| {
+        b.iter(|| black_box(Engine::run_with_loop(&cfg, &trace, TimingLoop::Dense)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ftq_push_deliver,
+    bench_entry_build,
+    bench_batched_tick,
+    bench_timing_loop
+);
+criterion_main!(benches);

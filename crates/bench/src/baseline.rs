@@ -101,6 +101,42 @@ fn best_of<R>(mut f: impl FnMut() -> R) -> (f64, R) {
     (best, out)
 }
 
+/// Iterations of the spin-calibration kernel. Sized to run in tens of
+/// milliseconds — long enough to ride out scheduler noise with
+/// best-of-[`TIMING_REPS`], short enough to be free next to the
+/// throughput legs.
+const SPIN_OPS: u64 = 50_000_000;
+
+/// Machine-speed calibration recorded alongside the throughput cells.
+pub struct Calibration {
+    /// Iterations the spin kernel ran.
+    pub spin_ops: u64,
+    /// Kernel iterations per second (best of [`TIMING_REPS`]).
+    pub spin_ops_per_sec: f64,
+}
+
+/// Runs the fixed-work calibration kernel: a serial xorshift64 chain
+/// the optimizer cannot vectorize, elide, or reorder (every iteration
+/// depends on the last, and the result is `black_box`ed). Its ops/sec
+/// is a pure single-core machine-speed number, so `--bench-delta` can
+/// divide it out and compare throughput cells across hosts — a faster
+/// machine otherwise masquerades as a speedup.
+pub fn measure_calibration() -> Calibration {
+    let (secs, _) = best_of(|| {
+        let mut x = std::hint::black_box(0x9e37_79b9_7f4a_7c15_u64);
+        for _ in 0..SPIN_OPS {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        std::hint::black_box(x)
+    });
+    Calibration {
+        spin_ops: SPIN_OPS,
+        spin_ops_per_sec: SPIN_OPS as f64 / secs.max(1e-12),
+    }
+}
+
 /// One organization's measured throughput legs (shared with the
 /// `--bench-delta` regression harness).
 pub struct OrgRow {
@@ -653,6 +689,7 @@ pub fn measure_baseline_with_prior(prior: Option<&str>) -> String {
         .expect("DSE sweep must complete for the baseline to be committed");
     let supervise = crate::supervise::measure_supervise_overhead(instructions)
         .expect("supervised overhead run must complete for the baseline to be committed");
+    let calibration = measure_calibration();
     render_json(
         instructions,
         &workload,
@@ -664,6 +701,7 @@ pub fn measure_baseline_with_prior(prior: Option<&str>) -> String {
         &window_parallel,
         &dse,
         &supervise,
+        &calibration,
         prior,
     )
 }
@@ -737,10 +775,11 @@ fn render_json(
     window_parallel: &crate::window_smoke::WindowParallelRow,
     dse: &DseSection,
     supervise: &crate::supervise::SuperviseRow,
+    calibration: &Calibration,
     prior: Option<&str>,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"acic-throughput-baseline/v8\",\n");
+    out.push_str("  \"schema\": \"acic-throughput-baseline/v9\",\n");
     out.push_str(&format!("  \"instructions\": {instructions},\n"));
     out.push_str(&format!("  \"workload\": \"{}\",\n", workload.name()));
     out.push_str("  \"trace_materialized\": true,\n");
@@ -748,6 +787,13 @@ fn render_json(
         "  \"threads_available\": {},\n",
         std::thread::available_parallelism().map_or(1, |n| n.get())
     ));
+    out.push_str("  \"calibration\": {\n");
+    out.push_str(&format!("    \"spin_ops\": {},\n", calibration.spin_ops));
+    out.push_str(&format!(
+        "    \"spin_ops_per_sec\": {:.0}\n",
+        calibration.spin_ops_per_sec
+    ));
+    out.push_str("  },\n");
     out.push_str("  \"orgs\": {\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!("    \"{}\": {{\n", r.label));
@@ -1031,10 +1077,16 @@ mod tests {
             in_process_secs: 4.0,
             supervised_secs: 5.0,
         };
+        let cal = Calibration {
+            spin_ops: 50_000_000,
+            spin_ops_per_sec: 5e8,
+        };
         let j = render_json(
-            1_000, &wl, &rows, &wl, &mt_rows, &trace, &sampled, &wp, &dse, &sup, None,
+            1_000, &wl, &rows, &wl, &mt_rows, &trace, &sampled, &wp, &dse, &sup, &cal, None,
         );
-        assert!(j.contains("\"schema\": \"acic-throughput-baseline/v8\""));
+        assert!(j.contains("\"schema\": \"acic-throughput-baseline/v9\""));
+        assert!(j.contains("\"calibration\""));
+        assert!(j.contains("\"spin_ops_per_sec\": 500000000"));
         assert!(j.contains("\"multi_tenant\""));
         assert!(j.contains("\"context_switches\": 9"));
         assert!(j.contains("\"naive_path\": \"boxed_unbatched\""));
@@ -1079,6 +1131,7 @@ mod tests {
             &wp,
             &dse,
             &sup,
+            &cal,
             Some(prior),
         );
         assert!(j.contains("\"vs_prior\""));
@@ -1105,6 +1158,14 @@ mod tests {
         assert!((r.speedup() - 10.0).abs() < 1e-9);
         assert!((r.ipc_err_pct() - 5.0).abs() < 1e-9);
         assert!((r.mpki_err_pct() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spin_calibration_is_positive_and_finite() {
+        let c = measure_calibration();
+        assert!(c.spin_ops_per_sec.is_finite());
+        assert!(c.spin_ops_per_sec > 0.0);
+        assert_eq!(c.spin_ops, SPIN_OPS);
     }
 
     #[test]

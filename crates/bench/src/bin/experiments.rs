@@ -31,6 +31,16 @@
 //! worker counts). `--window-smoke` runs the 1-worker-vs-2-worker
 //! bit-identity check CI relies on and exits non-zero on divergence.
 //!
+//! `--profile-cell <figure>:<cell-substring>` runs the named figure
+//! until the first grid cell whose label (`config <c> '<org>' x spec
+//! '<spec>'`) contains the substring, then re-simulates exactly that
+//! cell in a tight loop (`ACIC_PROFILE_ITERS` iterations, default 50)
+//! with minimal stderr chatter and exits — the shape `perf record` /
+//! flamegraph tooling wants, instead of a whole sweep where the
+//! interesting cell is a sliver of the profile. It cannot be combined
+//! with `--only` (it selects its own figure) or `--supervise` (the
+//! profiler must see the simulation in this process).
+//!
 //! `--bench-delta` skips the figures entirely: it re-measures the
 //! committed `BENCH_baseline.json` throughput cells and prints a JSON
 //! report of percentage deltas, exiting non-zero on a missing/
@@ -235,6 +245,10 @@ struct Cli {
     run_cell: Option<String>,
     run_cell_out: Option<String>,
     window_threads: Option<usize>,
+    /// `--profile-cell <figure>:<cell-substring>`: run one figure
+    /// until the first grid cell whose label contains the substring,
+    /// then re-simulate that cell in a tight loop for profilers.
+    profile_cell: Option<(String, String)>,
     filter: String,
 }
 
@@ -254,6 +268,19 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
             format!("--window-threads requires a non-negative integer, got '{raw}'")
         })?),
     };
+    let profile_cell = match take_flag_value(&mut args, "--profile-cell")? {
+        None => None,
+        Some(raw) => match raw.split_once(':') {
+            Some((fig, cell)) if !fig.is_empty() && !cell.is_empty() => {
+                Some((fig.to_string(), cell.to_string()))
+            }
+            _ => {
+                return Err(format!(
+                    "--profile-cell requires '<figure>:<cell-substring>', got '{raw}'"
+                ))
+            }
+        },
+    };
     if record.is_some() && replay.is_some() {
         return Err("--record-traces and --traces are mutually exclusive".into());
     }
@@ -264,6 +291,13 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
     let supervise = take_switch(&mut args, "--supervise");
     if crash_reports.is_some() && !supervise {
         return Err("--crash-reports only makes sense with --supervise".into());
+    }
+    if profile_cell.is_some() && (supervise || only.is_some()) {
+        return Err(
+            "--profile-cell selects its own figure and runs in-process; \
+             it cannot be combined with --only or --supervise"
+                .into(),
+        );
     }
     if run_cell.is_some() != run_cell_out.is_some() {
         return Err("--run-cell and --run-cell-out must be given together".into());
@@ -290,6 +324,7 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
         run_cell,
         run_cell_out,
         window_threads,
+        profile_cell,
         filter: String::new(),
     };
     // --keep-going is the default; accept and discard it.
@@ -563,7 +598,23 @@ fn main() {
         eprintln!("[smoke: every figure at {budget} instructions/cell]");
     }
 
-    let selected: Vec<Experiment> = if let Some(wanted) = &cli.only {
+    let selected: Vec<Experiment> = if let Some((fig, cell)) = &cli.profile_cell {
+        // Arm the runner-side interception before the figure runs:
+        // the first grid cell whose label contains `cell` re-simulates
+        // in a tight loop and the process exits from inside it.
+        acic_bench::runner::set_profile_cell(cell.clone());
+        eprintln!("[profile-cell: figure '{fig}', first cell whose label contains '{cell}']");
+        match all.iter().find(|(name, _)| name == fig) {
+            Some(&exp) => vec![exp],
+            None => {
+                eprintln!("unknown figure '{fig}' in --profile-cell; runnable figures:");
+                for (name, _) in &all {
+                    eprintln!("  {name}");
+                }
+                std::process::exit(2);
+            }
+        }
+    } else if let Some(wanted) = &cli.only {
         match all.iter().find(|(name, _)| name == wanted) {
             Some(&exp) => vec![exp],
             None => {
@@ -627,6 +678,12 @@ fn main() {
             }
         }
         std::process::exit(1);
+    }
+    if cli.profile_cell.is_some() {
+        // `run_profile_cell` exits the process on a match; completing
+        // the figure loop means no cell label contained the substring.
+        eprintln!("profile-cell target matched no cell of the selected figure");
+        std::process::exit(2);
     }
 }
 
@@ -771,6 +828,26 @@ mod tests {
         assert!(err.contains("must be given together"), "{err}");
         let err = parse_cli(argv(&["--run-cell-out", "d"])).unwrap_err();
         assert!(err.contains("must be given together"), "{err}");
+    }
+
+    #[test]
+    fn profile_cell_parses_figure_and_substring() {
+        let cli = parse_cli(argv(&["--profile-cell", "fig11_mpki:ACIC"])).unwrap();
+        assert_eq!(cli.profile_cell, Some(("fig11_mpki".into(), "ACIC".into())));
+
+        let err = parse_cli(argv(&["--profile-cell", "fig11_mpki"])).unwrap_err();
+        assert!(err.contains("<figure>:<cell-substring>"), "{err}");
+        let err = parse_cli(argv(&["--profile-cell", ":ACIC"])).unwrap_err();
+        assert!(err.contains("<figure>:<cell-substring>"), "{err}");
+        let err = parse_cli(argv(&["--profile-cell", "fig11_mpki:"])).unwrap_err();
+        assert!(err.contains("<figure>:<cell-substring>"), "{err}");
+        let err = parse_cli(argv(&["--profile-cell"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+
+        let err = parse_cli(argv(&["--profile-cell", "f:c", "--only", "fig11_mpki"])).unwrap_err();
+        assert!(err.contains("cannot be combined"), "{err}");
+        let err = parse_cli(argv(&["--profile-cell", "f:c", "--supervise"])).unwrap_err();
+        assert!(err.contains("cannot be combined"), "{err}");
     }
 
     #[test]

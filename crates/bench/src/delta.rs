@@ -21,7 +21,9 @@
 //! The committed baseline is read with [`Json`], the crate's
 //! dependency-free recursive-descent parser (`json.rs`).
 
-use crate::baseline::{measure_dse, measure_multi_tenant, measure_org_rows, measure_trace};
+use crate::baseline::{
+    measure_calibration, measure_dse, measure_multi_tenant, measure_org_rows, measure_trace,
+};
 
 pub use crate::json::Json;
 
@@ -38,6 +40,32 @@ struct DeltaCell {
 impl DeltaCell {
     fn delta_pct(&self) -> Option<f64> {
         self.baseline.map(|b| (self.measured - b) / b * 100.0)
+    }
+
+    /// Delta with the machine-speed ratio divided out: the measured
+    /// value is rescaled by `baseline_spin / current_spin` before
+    /// comparing, so only code-level speedups remain. `None` when the
+    /// committed baseline predates the calibration cell.
+    fn normalized_delta_pct(&self, scale: Option<f64>) -> Option<f64> {
+        match (self.baseline, scale) {
+            (Some(b), Some(s)) => Some((self.measured * s - b) / b * 100.0),
+            _ => None,
+        }
+    }
+}
+
+/// Machine-speed scale between the committed baseline's host and this
+/// one, from the spin-calibration cells.
+struct CalScale {
+    baseline_spin: Option<f64>,
+    current_spin: f64,
+}
+
+impl CalScale {
+    /// `baseline_spin / current_spin`: multiply this run's throughput
+    /// by it to express the cell in baseline-host seconds.
+    fn scale(&self) -> Option<f64> {
+        self.baseline_spin.map(|b| b / self.current_spin.max(1e-12))
     }
 }
 
@@ -129,7 +157,19 @@ pub fn bench_delta(smoke: bool) -> Result<String, String> {
     })?;
     cell(vec!["supervise", "vs_in_process"], sup.vs_in_process());
 
-    render_delta(&schema, instructions, smoke, &cells)
+    // Spin-calibration: divide machine speed out of the IPS cells so
+    // cross-host comparisons measure the code, not the host. Ratio
+    // cells (wall_ratio, vs_serial, ...) are host-invariant already;
+    // their normalized delta is still emitted for uniformity.
+    let cal = CalScale {
+        baseline_spin: doc
+            .path(&["calibration", "spin_ops_per_sec"])
+            .and_then(Json::num)
+            .filter(|&s| s > 0.0),
+        current_spin: measure_calibration().spin_ops_per_sec,
+    };
+
+    render_delta(&schema, instructions, smoke, &cal, &cells)
 }
 
 /// Renders the delta report (split from the measurement so the
@@ -143,6 +183,7 @@ fn render_delta(
     schema: &str,
     instructions: u64,
     smoke: bool,
+    cal: &CalScale,
     cells: &[DeltaCell],
 ) -> Result<String, String> {
     for c in cells {
@@ -150,12 +191,26 @@ fn render_delta(
             return Err(format!("cell {} produced a non-finite delta", c.path));
         }
     }
+    let scale = cal.scale();
     let new_cells = cells.iter().filter(|c| c.baseline.is_none()).count();
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"acic-bench-delta/v1\",\n");
     out.push_str(&format!("  \"baseline_schema\": \"{schema}\",\n"));
     out.push_str(&format!("  \"instructions\": {instructions},\n"));
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"calibration\": {\n");
+    out.push_str(&format!(
+        "    \"current_spin_ops_per_sec\": {:.0},\n",
+        cal.current_spin
+    ));
+    match (cal.baseline_spin, scale) {
+        (Some(b), Some(s)) => {
+            out.push_str(&format!("    \"baseline_spin_ops_per_sec\": {b:.0},\n"));
+            out.push_str(&format!("    \"machine_scale\": {s:.3}\n"));
+        }
+        _ => out.push_str("    \"baseline_spin_ops_per_sec\": null\n"),
+    }
+    out.push_str("  },\n");
     out.push_str(&format!("  \"new_cells\": {new_cells},\n"));
     out.push_str("  \"cells\": {\n");
     for (i, c) in cells.iter().enumerate() {
@@ -163,10 +218,16 @@ fn render_delta(
         match (c.baseline, c.delta_pct()) {
             // Plain `{:.1}` — a `+` sign prefix would be invalid
             // strict JSON (negative deltas carry their `-` naturally).
-            (Some(b), Some(d)) => out.push_str(&format!(
-                "    \"{}\": {{ \"baseline_ips\": {:.0}, \"measured_ips\": {:.0}, \"delta_pct\": {:.1} }}{}\n",
-                c.path, b, c.measured, d, sep
-            )),
+            (Some(b), Some(d)) => {
+                let norm = c
+                    .normalized_delta_pct(scale)
+                    .map(|n| format!(", \"normalized_delta_pct\": {n:.1}"))
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "    \"{}\": {{ \"baseline_ips\": {:.0}, \"measured_ips\": {:.0}, \"delta_pct\": {:.1}{} }}{}\n",
+                    c.path, b, c.measured, d, norm, sep
+                ));
+            }
             _ => out.push_str(&format!(
                 "    \"{}\": {{ \"status\": \"new\", \"measured_ips\": {:.0} }}{}\n",
                 c.path, c.measured, sep
@@ -211,15 +272,44 @@ mod tests {
                 measured: 30.0,
             },
         ];
-        let j = render_delta("acic-throughput-baseline/v6", 1_000, false, &cells)
+        // Pre-v9 baseline: no spin cell, so no normalized deltas.
+        let cal = CalScale {
+            baseline_spin: None,
+            current_spin: 5e8,
+        };
+        let j = render_delta("acic-throughput-baseline/v6", 1_000, false, &cal, &cells)
             .expect("new cells are tolerated");
         assert!(j.contains("\"new_cells\": 1"));
         assert!(j.contains("\"delta_pct\": 20.0"));
+        assert!(j.contains("\"baseline_spin_ops_per_sec\": null"));
+        assert!(!j.contains("normalized_delta_pct"));
         assert!(
             j.contains("\"dse.effective_speedup\": { \"status\": \"new\", \"measured_ips\": 30 }")
         );
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         Json::parse(&j).expect("delta report stays valid JSON");
+    }
+
+    #[test]
+    fn calibrated_baseline_adds_normalized_deltas() {
+        let cells = vec![DeltaCell {
+            path: "orgs.lru.timing_sim_ips".into(),
+            baseline: Some(100.0),
+            measured: 300.0,
+        }];
+        // This host spins 2x the baseline host: the raw 3x speedup
+        // normalizes to 1.5x (+50%).
+        let cal = CalScale {
+            baseline_spin: Some(2.5e8),
+            current_spin: 5e8,
+        };
+        let j = render_delta("acic-throughput-baseline/v9", 1_000, false, &cal, &cells)
+            .expect("calibrated render succeeds");
+        assert!(j.contains("\"machine_scale\": 0.500"));
+        assert!(j.contains("\"delta_pct\": 200.0"));
+        assert!(j.contains("\"normalized_delta_pct\": 50.0"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        Json::parse(&j).expect("calibrated delta report stays valid JSON");
     }
 
     #[test]
@@ -229,7 +319,11 @@ mod tests {
             baseline: Some(0.0),
             measured: 120.0,
         }];
-        let err = render_delta("s", 1_000, false, &cells).unwrap_err();
+        let cal = CalScale {
+            baseline_spin: None,
+            current_spin: 5e8,
+        };
+        let err = render_delta("s", 1_000, false, &cal, &cells).unwrap_err();
         assert!(err.contains("non-finite delta"), "{err}");
     }
 }

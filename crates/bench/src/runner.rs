@@ -637,6 +637,69 @@ pub fn run_pair(
     )
 }
 
+/// The `--profile-cell` target: a substring matched against cell
+/// labels (`config <c> '<org>' x spec '<spec>'`). Set once by the
+/// `experiments` binary before any figure runs.
+static PROFILE_CELL: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+
+/// Arms `--profile-cell` mode: the first grid cell whose label
+/// contains `cell` runs in a tight measurement loop and the process
+/// exits, instead of sweeping the grid. See [`Runner::try_run_grid`].
+pub fn set_profile_cell(cell: String) {
+    let _ = PROFILE_CELL.set(cell);
+}
+
+/// Iterations of the `--profile-cell` tight loop:
+/// `ACIC_PROFILE_ITERS` or 50 — long enough for a sampling profiler
+/// to see a stable hot-path histogram.
+fn profile_iters() -> u64 {
+    std::env::var("ACIC_PROFILE_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(50)
+}
+
+/// The `--profile-cell` tight loop: freezes the target cell's spec
+/// once, then re-simulates the identical cell `ACIC_PROFILE_ITERS`
+/// times with minimal stderr chatter (one line before, one line of
+/// stats after) so `perf record -p <pid>` sees almost nothing but the
+/// simulator's hot path. Exits the process when done.
+fn run_profile_cell(
+    cfg: &SimConfig,
+    spec: &WorkloadSpec,
+    instructions: u64,
+    window_threads: usize,
+    label: &str,
+) -> ! {
+    let iters = profile_iters();
+    let trace = must_freeze(spec, instructions);
+    eprintln!(
+        "[profile-cell: {label}; {iters} x {instructions} instructions, pid {}]",
+        std::process::id()
+    );
+    let start = Instant::now();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let report = if window_threads >= 1 {
+            Engine::run_windowed(cfg, trace.as_ref(), window_threads)
+        } else {
+            Simulator::run(cfg, trace.as_ref())
+        };
+        std::hint::black_box(&report);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let total = start.elapsed().as_secs_f64();
+    let n = instructions as f64;
+    eprintln!(
+        "[profile-cell: {iters} iterations in {total:.2}s; best {:.0} ips, mean {:.0} ips]",
+        n / best.max(1e-12),
+        n * iters as f64 / total.max(1e-12)
+    );
+    std::process::exit(0);
+}
+
 /// Deliberate failure injection for crash-safety tests: the CLI and
 /// integration tests pin a single cell to panic, abort, stall, be
 /// SIGKILLed, or exit with a bad status via the `ACIC_*_CELL` knobs
@@ -784,6 +847,31 @@ impl Runner {
                 computed: 0,
             });
         }
+        let label_of = |c: usize, a: usize| {
+            format!(
+                "config {c} '{}' x spec '{}'",
+                configs[c].icache_org.label(),
+                specs[a].label()
+            )
+        };
+        // `--profile-cell` mode: the first cell whose label contains
+        // the target substring is re-simulated in a tight loop and
+        // the process exits (inside `run_profile_cell`). Grids of the
+        // selected figure that don't hold a match fall through and
+        // run normally, so a later grid in the same figure is still
+        // reachable.
+        if let Some(target) = PROFILE_CELL.get() {
+            if let Some(i) = (0..n).find(|&i| label_of(i / n_spec, i % n_spec).contains(target)) {
+                let (c, a) = (i / n_spec, i % n_spec);
+                run_profile_cell(
+                    &configs[c],
+                    &specs[a],
+                    self.instructions,
+                    self.window_threads,
+                    &label_of(c, a),
+                );
+            }
+        }
         let key_of = |spec: &WorkloadSpec, cfg: &SimConfig| {
             if self.window_threads >= 1 {
                 windowed_cell_key(spec, self.instructions, cfg)
@@ -872,18 +960,8 @@ impl Runner {
                 // only journals what the child reported, so the
                 // journal stays byte-identical to the in-process
                 // path.
-                let labels: Arc<Vec<String>> = Arc::new(
-                    (0..n)
-                        .map(|i| {
-                            let (c, a) = (i / n_spec, i % n_spec);
-                            format!(
-                                "config {c} '{}' x spec '{}'",
-                                configs[c].icache_org.label(),
-                                specs[a].label()
-                            )
-                        })
-                        .collect(),
-                );
+                let labels: Arc<Vec<String>> =
+                    Arc::new((0..n).map(|i| label_of(i / n_spec, i % n_spec)).collect());
                 let store = self.store.clone();
                 let timeout = self.cell_timeout;
                 let results = run_cells(

@@ -96,6 +96,17 @@ pub trait IcacheContents {
         false
     }
 
+    /// Earliest cycle at which [`IcacheContents::tick`] performs
+    /// state-changing work, or `None` when every tick until the next
+    /// access/fill/train is a pure no-op. The event-horizon timing
+    /// loop uses this to batch ticks across skipped cycle spans;
+    /// organizations whose tick can act before the reported cycle
+    /// would break that loop's cycle-exactness, so overriders must be
+    /// conservative (too early is safe, too late is not).
+    fn next_tick_due(&self) -> Option<acic_types::Cycle> {
+        None
+    }
+
     /// Concrete-type escape hatch for end-of-run introspection
     /// (e.g. reading ACIC's admission statistics).
     fn as_any(&self) -> &dyn core::any::Any;

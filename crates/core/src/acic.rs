@@ -353,6 +353,13 @@ impl IcacheContents for AcicIcache {
         true
     }
 
+    fn next_tick_due(&self) -> Option<Cycle> {
+        // Ticks before the predictor's earliest pending update only
+        // advance `self.now`, which nothing reads between accesses —
+        // the event loop may batch them.
+        self.predictor.next_due()
+    }
+
     fn as_any(&self) -> &dyn core::any::Any {
         self
     }

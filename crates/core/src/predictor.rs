@@ -194,6 +194,16 @@ impl TwoLevelPredictor {
         self.earliest_apply = next_earliest;
     }
 
+    /// Earliest cycle at which a [`TwoLevelPredictor::tick`] can apply
+    /// a pending update, or `None` when the pipeline is drained (every
+    /// tick is then a no-op). `tick_slow` can leave this at or before
+    /// the current cycle when a queue held more than one due update —
+    /// the one-pop-per-entry-per-cycle limit means the next cycle's
+    /// tick still has work to do.
+    pub fn next_due(&self) -> Option<Cycle> {
+        (self.pending_total > 0).then_some(self.earliest_apply)
+    }
+
     /// Drains all pending updates (end-of-simulation bookkeeping).
     pub fn flush(&mut self) {
         for pattern in 0..self.pt.len() {
@@ -423,6 +433,16 @@ impl AdmissionPredictor {
     pub fn tick(&mut self, now: Cycle) {
         if let AdmissionPredictor::TwoLevel(p) = self {
             p.tick(now);
+        }
+    }
+
+    /// Earliest cycle at which [`AdmissionPredictor::tick`] can do
+    /// state-changing work, or `None` when every tick is a no-op (the
+    /// non-pipelined ablation predictors never tick).
+    pub fn next_due(&self) -> Option<Cycle> {
+        match self {
+            AdmissionPredictor::TwoLevel(p) => p.next_due(),
+            _ => None,
         }
     }
 

@@ -1,0 +1,38 @@
+//! Quick timing-loop diagnostic: dense vs event-horizon wall time and
+//! skipped-cycle fraction on the default configuration.
+//!
+//! ```sh
+//! cargo run --release -p acic-sim --example loop_profile [instructions]
+//! ```
+
+use acic_sim::{Engine, IcacheOrg, SimConfig, TimingLoop};
+use acic_workloads::{AppProfile, SyntheticWorkload};
+
+fn main() {
+    let instructions: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let wl = SyntheticWorkload::with_instructions(AppProfile::web_search(), instructions);
+    let trace = acic_trace::VecTrace::from_source(&wl);
+    for org in [IcacheOrg::Lru, IcacheOrg::Srrip, IcacheOrg::acic_default()] {
+        let cfg = SimConfig::default().with_org(org.clone());
+        let mut row = format!("{:<22}", cfg.icache_org.label());
+        let mut reports = Vec::new();
+        for tl in [TimingLoop::Dense, TimingLoop::EventHorizon] {
+            let t0 = std::time::Instant::now();
+            let r = Engine::run_with_loop(&cfg, &trace, tl);
+            let dt = t0.elapsed().as_secs_f64();
+            row.push_str(&format!(
+                " {:?}: {:>5.1}M ips (cycles {})",
+                tl,
+                instructions as f64 / dt / 1e6,
+                r.total_cycles
+            ));
+            reports.push(format!("{r:?}"));
+        }
+        let same = reports[0] == reports[1];
+        row.push_str(if same { "  identical" } else { "  MISMATCH" });
+        println!("{row}");
+    }
+}

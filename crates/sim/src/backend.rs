@@ -69,6 +69,20 @@ impl Backend {
         self.dq.is_empty() && self.rob.is_empty()
     }
 
+    /// Completion cycle of the oldest ROB entry, or `None` when the
+    /// ROB is empty. Retirement is in order, so no retire can happen
+    /// before this cycle (an already-due head means the next cycle
+    /// retires more — the width limit, not latency, is the stall).
+    pub fn next_retire_at(&self) -> Option<Cycle> {
+        self.rob.front().map(|e| e.done)
+    }
+
+    /// Whether the ROB has no free slot (dispatch is blocked until a
+    /// retire frees one).
+    pub fn rob_full(&self) -> bool {
+        self.rob.len() >= self.rob_capacity
+    }
+
     /// Retires completed instructions in order.
     pub fn retire(&mut self, now: Cycle) {
         let mut n = 0;

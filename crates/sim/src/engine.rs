@@ -108,6 +108,83 @@ pub enum Phase {
     Detailed,
 }
 
+/// Cycle-loop scheduling strategy for detailed windows.
+///
+/// Both strategies execute the *same* per-cycle body and produce
+/// bit-identical [`SimReport`]s (pinned by `tests/engine_equivalence.rs`
+/// and the dense-vs-event property suite); they differ only in how the
+/// clock advances between cycles where something happens.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TimingLoop {
+    /// Skip-ahead scheduling: after each executed cycle, jump `now` to
+    /// the earliest cycle at which *any* pipeline structure can change
+    /// — FTQ readiness, MSHR completions, pending prefetch fills, BPU
+    /// availability, backend retire slots, contents-model tick work —
+    /// and batch the skipped ticks. The default.
+    #[default]
+    EventHorizon,
+    /// The reference cycle-by-cycle loop, retained as the
+    /// equivalence-tested twin (`ACIC_DENSE_LOOP=1` selects it at the
+    /// CLI without touching any [`SimConfig`] field, so result-store
+    /// keys are loop-agnostic).
+    Dense,
+}
+
+impl TimingLoop {
+    /// The process-wide loop selection: [`TimingLoop::Dense`] iff
+    /// `ACIC_DENSE_LOOP=1`, else [`TimingLoop::EventHorizon`].
+    pub fn from_env() -> Self {
+        if std::env::var_os("ACIC_DENSE_LOOP").is_some_and(|v| v == "1") {
+            TimingLoop::Dense
+        } else {
+            TimingLoop::EventHorizon
+        }
+    }
+}
+
+/// Prefetches issued to the hierarchy and awaiting their fill cycle,
+/// with the earliest due time tracked incrementally so the event
+/// horizon reads it in O(1) and the per-cycle drain can prove itself a
+/// no-op without scanning. Fill order is insertion order — identical
+/// to the dense loop's historical `retain` walk.
+#[derive(Debug, Default)]
+struct PendingPrefetches {
+    slots: Vec<(Cycle, TaggedBlock)>,
+    /// Minimum ready cycle over `slots`; meaningless when empty.
+    earliest: Cycle,
+}
+
+impl PendingPrefetches {
+    fn push(&mut self, ready: Cycle, block: TaggedBlock) {
+        if self.slots.is_empty() || ready < self.earliest {
+            self.earliest = ready;
+        }
+        self.slots.push((ready, block));
+    }
+
+    /// Earliest fill cycle among outstanding prefetches.
+    fn earliest(&self) -> Option<Cycle> {
+        (!self.slots.is_empty()).then_some(self.earliest)
+    }
+
+    /// Moves every entry due at `now` into `due` (insertion order),
+    /// compacting the rest in place. O(1) when nothing is due.
+    fn drain_due(&mut self, now: Cycle, due: &mut Vec<TaggedBlock>) {
+        if self.slots.is_empty() || self.earliest > now {
+            return;
+        }
+        self.slots.retain(|&(ready, block)| {
+            if ready <= now {
+                due.push(block);
+                false
+            } else {
+                true
+            }
+        });
+        self.earliest = self.slots.iter().map(|&(r, _)| r).min().unwrap_or(0);
+    }
+}
+
 /// One measured detailed window.
 ///
 /// IPC derives from the steady-state interior (`instructions`,
@@ -187,8 +264,14 @@ pub(crate) struct WindowCheckpoint<'o> {
     l1i_mshr: MissTracker,
     prefetcher: Prefetcher,
     prefetch_stats: PrefetchStats,
-    pending_prefetches: Vec<(Cycle, TaggedBlock)>,
+    pending_prefetches: PendingPrefetches,
     candidates: Vec<TaggedBlock>,
+    /// Scratch for the pending-prefetch drain (reused every cycle; the
+    /// loop never allocates for it in steady state).
+    due_scratch: Vec<TaggedBlock>,
+    /// Scratch run the BPU feed fills in place (no per-run `Vec`).
+    run_scratch: RunInstrs,
+    timing_loop: TimingLoop,
     fetch_asid: Asid,
     context_switches: u64,
     access_index: u64,
@@ -213,6 +296,9 @@ pub(crate) struct WindowCheckpoint<'o> {
     t_ff: f64,
     t_warm: f64,
     t_detail: f64,
+    /// Cycles actually executed by the detailed loop (diagnostics:
+    /// `now - executed_cycles` is what the event horizon skipped).
+    executed_cycles: u64,
 }
 
 impl<'o> WindowCheckpoint<'o> {
@@ -231,6 +317,7 @@ impl<'o> WindowCheckpoint<'o> {
         cfg: &SimConfig,
         seed: u64,
         total_instructions: u64,
+        timing_loop: TimingLoop,
     ) -> WindowCheckpoint<'o> {
         let mut contents = cfg.icache_org.build(seed);
         if cfg.unbounded_cshr {
@@ -252,8 +339,11 @@ impl<'o> WindowCheckpoint<'o> {
                 PrefetcherKind::Entangling => Prefetcher::Entangling(Entangling::new()),
             },
             prefetch_stats: PrefetchStats::default(),
-            pending_prefetches: Vec::new(),
+            pending_prefetches: PendingPrefetches::default(),
             candidates: Vec::new(),
+            due_scratch: Vec::new(),
+            run_scratch: RunInstrs::scratch(),
+            timing_loop,
             fetch_asid: Asid::HOST,
             context_switches: 0,
             access_index: 0,
@@ -276,6 +366,7 @@ impl<'o> WindowCheckpoint<'o> {
             t_ff: 0.0,
             t_warm: 0.0,
             t_detail: 0.0,
+            executed_cycles: 0,
         }
     }
 }
@@ -311,6 +402,9 @@ impl WindowCheckpoint<'_> {
             prefetch_stats,
             pending_prefetches,
             candidates,
+            due_scratch,
+            run_scratch,
+            timing_loop,
             fetch_asid,
             context_switches,
             access_index,
@@ -321,6 +415,7 @@ impl WindowCheckpoint<'_> {
             trace_over,
             warmup_instrs,
             warm_snapshot,
+            executed_cycles,
             ..
         } = self;
         let mut fed = 0u64;
@@ -342,6 +437,7 @@ impl WindowCheckpoint<'_> {
 
         loop {
             *now += 1;
+            *executed_cycles += 1;
             assert!(
                 *now < *max_cycles,
                 "simulation exceeded cycle bound (deadlock?)"
@@ -355,7 +451,8 @@ impl WindowCheckpoint<'_> {
             }
 
             // Fetch: service the FTQ head.
-            if let Some(head) = frontend.ftq.front_mut() {
+            let mut pop_head = false;
+            if let Some((head, arena)) = frontend.ftq.front_mut_with_arena() {
                 if !head.accessed {
                     head.accessed = true;
                     *access_index += 1;
@@ -422,41 +519,40 @@ impl WindowCheckpoint<'_> {
                         }
                         contents.fill(&ctx);
                     }
-                    // Deliver instructions into the decode queue.
+                    // Deliver instructions into the decode queue,
+                    // reading straight out of the FTQ's ring arena.
                     let space = backend.dq_space();
-                    let remaining = head.instrs.len() - head.delivered;
+                    let remaining = head.len as usize - head.delivered;
                     let n = remaining.min(space).min(cfg.fetch_width as usize);
                     for k in 0..n {
                         let at = head.delivered + k;
                         backend.dq.push_back(DecodedInstr {
-                            instr: head.instrs[at],
+                            instr: arena.get(head.start + at as u64),
                             index: head.first_index + at as u64,
                         });
                     }
                     head.delivered += n;
-                    if head.delivered == head.instrs.len() {
-                        frontend.ftq.pop_front();
-                    }
+                    pop_head = head.delivered == head.len as usize;
                 }
+            }
+            if pop_head {
+                frontend.ftq.pop_front();
             }
 
             // BPU: run ahead of fetch, within the window's budget.
-            frontend.bpu_cycle(*now, || {
+            frontend.bpu_cycle(*now, run_scratch, |out| {
                 if fed >= budget {
                     budget_hit = true;
-                    return None;
+                    return false;
                 }
-                match runs.next() {
-                    Some(r) => {
-                        let len = r.instrs.len() as u64;
-                        fed += len;
-                        *consumed += len;
-                        Some(r)
-                    }
-                    None => {
-                        *trace_over = true;
-                        None
-                    }
+                if runs.next_into(out) {
+                    let len = out.instrs.len() as u64;
+                    fed += len;
+                    *consumed += len;
+                    true
+                } else {
+                    *trace_over = true;
+                    false
                 }
             });
             if sampling {
@@ -474,12 +570,23 @@ impl WindowCheckpoint<'_> {
                 }
             }
 
-            // Prefetch: gather candidates, filter, issue, fill.
+            // Prefetch: gather candidates, filter, issue, fill. The
+            // scan's outcome doubles as the event horizon's prefetch
+            // term: candidate sets and filter verdicts are functions
+            // of FTQ contents, L1i contents, the fetch ASID, and MSHR
+            // occupancy — all frozen across a skipped span — so the
+            // skip logic below can replay this cycle's result for
+            // every skipped cycle instead of re-scanning.
             candidates.clear();
             prefetcher.candidates(&frontend.ftq, candidates);
             let mut issued = 0;
+            let mut cycle_filtered = 0u64;
+            let mut width_break = false;
             for &block in candidates.iter() {
                 if issued >= cfg.prefetch_width {
+                    // Unexamined candidates remain; if the set
+                    // persists, the next cycle may issue from them.
+                    width_break = true;
                     break;
                 }
                 // Never prefetch into an address space the core has
@@ -489,48 +596,37 @@ impl WindowCheckpoint<'_> {
                 // moment the switch is crossed. (No-op single-tenant:
                 // every candidate carries the host ASID.)
                 if block.asid != *fetch_asid {
-                    prefetch_stats.filtered += 1;
+                    cycle_filtered += 1;
                     continue;
                 }
                 if contents.contains_block(block) || l1i_mshr.lookup(block, *now).is_some() {
-                    prefetch_stats.filtered += 1;
+                    cycle_filtered += 1;
                     continue;
                 }
                 if l1i_mshr.full(*now) {
-                    prefetch_stats.filtered += 1;
+                    cycle_filtered += 1;
                     break;
                 }
                 let ready = mem.fetch_instr_block(block, *now);
                 l1i_mshr.insert(block, ready);
-                pending_prefetches.push((ready, block));
+                pending_prefetches.push(ready, block);
                 prefetch_stats.issued += 1;
                 issued += 1;
             }
-            if !pending_prefetches.is_empty() {
-                let due: Vec<TaggedBlock> = {
-                    let mut v = Vec::new();
-                    pending_prefetches.retain(|&(ready, block)| {
-                        if ready <= *now {
-                            v.push(block);
-                            false
-                        } else {
-                            true
-                        }
-                    });
-                    v
-                };
-                for block in due {
-                    let future = cursor
-                        .as_ref()
-                        .map_or(NO_NEXT_USE, |c| c.future_use_of(block.oracle_key()));
-                    let mut ctx = AccessCtx::prefetch(block.block, *access_index)
-                        .with_asid(block.asid)
-                        .with_next_use(future);
-                    if let Some(c) = cursor.as_ref() {
-                        ctx = ctx.with_oracle(c);
-                    }
-                    contents.fill(&ctx);
+            prefetch_stats.filtered += cycle_filtered;
+            due_scratch.clear();
+            pending_prefetches.drain_due(*now, due_scratch);
+            for &block in due_scratch.iter() {
+                let future = cursor
+                    .as_ref()
+                    .map_or(NO_NEXT_USE, |c| c.future_use_of(block.oracle_key()));
+                let mut ctx = AccessCtx::prefetch(block.block, *access_index)
+                    .with_asid(block.asid)
+                    .with_next_use(future);
+                if let Some(c) = cursor.as_ref() {
+                    ctx = ctx.with_oracle(c);
                 }
+                contents.fill(&ctx);
             }
 
             if *wants_tick {
@@ -544,6 +640,99 @@ impl WindowCheckpoint<'_> {
 
             if frontend.drained() && backend.drained() {
                 break;
+            }
+
+            // Event horizon: having just executed a real cycle, find
+            // the earliest future cycle at which *anything* can change
+            // and jump the clock to just before it. Every term below is
+            // an upper bound on idleness — a horizon that is too early
+            // merely re-executes a no-op cycle (the dense loop's
+            // steady state), while every state change is provably at or
+            // after one of the terms, so the jump is cycle-exact.
+            if *timing_loop == TimingLoop::EventHorizon {
+                let floor = *now + 1;
+                // All-quiet fallback: the deadlock bound. Jumping there
+                // trips the cycle assert exactly like the dense loop
+                // spinning its wheels would, only sooner.
+                let mut horizon = *max_cycles;
+                let event = |h: &mut Cycle, c: Cycle| *h = (*h).min(c.max(floor));
+                // (a) In-order retirement: nothing leaves the ROB
+                // before its head completes.
+                if let Some(done) = backend.next_retire_at() {
+                    event(&mut horizon, done);
+                }
+                // (b) Dispatch drains the decode queue any cycle the
+                // ROB has room.
+                if !backend.dq.is_empty() && !backend.rob_full() {
+                    event(&mut horizon, floor);
+                }
+                // (c) The FTQ head: first touch is immediate; an
+                // accessed head waits for its (MSHR-tracked) fill at
+                // `ready_at`; a ready head delivers whenever the
+                // decode queue has space. Every live L1i-MSHR entry's
+                // completion is either this head's `ready_at` or a
+                // pending-prefetch due time (d), so MSHR occupancy is
+                // frozen across the skipped span.
+                if let Some(head) = frontend.ftq.front() {
+                    if !head.accessed {
+                        event(&mut horizon, floor);
+                    } else if *now < head.ready_at {
+                        event(&mut horizon, head.ready_at);
+                    } else if backend.dq_space() > 0 {
+                        event(&mut horizon, floor);
+                    }
+                }
+                // (d) Outstanding prefetches fill at their due cycle.
+                if let Some(ready) = pending_prefetches.earliest() {
+                    event(&mut horizon, ready);
+                }
+                // (e) The BPU produces a run the cycle it is available,
+                // unless stalled, starved, or blocked on a full FTQ —
+                // all conditions only a dense cycle can clear.
+                if let Some(at) = frontend.bpu_horizon() {
+                    event(&mut horizon, at);
+                }
+                // (f) Contents-model tick work (ACIC's delayed HRT-PT
+                // updates). Ticks before this are pure no-ops and are
+                // batched below.
+                if *wants_tick {
+                    if let Some(due) = contents.next_tick_due() {
+                        event(&mut horizon, due);
+                    }
+                }
+                // (g) Prefetch, from this cycle's scan. FDP candidate
+                // sets derive from the (frozen) FTQ and persist, so
+                // every skipped cycle re-filters the same set with the
+                // same verdicts, adding the blocks issued above (MSHR-
+                // tracked from now on). Two cases force the next cycle
+                // dense instead: a width-limit break left unexamined
+                // candidates that may issue, and a prefetch fill *after*
+                // the scan (the drain below it) may have evicted a
+                // candidate that scanned as resident, making it
+                // issuable. Drain-style prefetchers (Entangling)
+                // consumed their candidates this cycle; the span's sets
+                // are empty either way.
+                let persistent = matches!(prefetcher, Prefetcher::Fdp);
+                if persistent && cfg.prefetch_width > 0 && (width_break || !due_scratch.is_empty())
+                {
+                    event(&mut horizon, floor);
+                }
+
+                if horizon > floor {
+                    let skipped = horizon - floor;
+                    if persistent {
+                        prefetch_stats.filtered += (cycle_filtered + issued as u64) * skipped;
+                    }
+                    if *wants_tick {
+                        // One batched tick replaces the span's no-op
+                        // ticks: nothing is due before `horizon`, so
+                        // only the model's internal clock advances —
+                        // exactly as the dense ticks would have left it
+                        // entering the next live cycle.
+                        contents.tick(horizon - 1);
+                    }
+                    *now = horizon - 1;
+                }
             }
         }
 
@@ -725,11 +914,7 @@ impl WindowCheckpoint<'_> {
         }
         if self.cursor.is_some() {
             let mut done = 0u64;
-            let mut scratch = RunInstrs {
-                block: acic_types::BlockAddr::new(0),
-                asid: Asid::HOST,
-                instrs: Vec::new(),
-            };
+            let mut scratch = RunInstrs::scratch();
             while done < budget {
                 if !runs.next_into(&mut scratch) {
                     self.trace_over = true;
@@ -809,6 +994,16 @@ impl Engine {
     /// generous cycle bound (indicates a pipeline deadlock — a bug,
     /// not a workload property).
     pub fn run<W: TraceSource>(cfg: &SimConfig, workload: &W) -> SimReport {
+        Self::run_with_loop(cfg, workload, TimingLoop::from_env())
+    }
+
+    /// [`Engine::run`] with an explicit [`TimingLoop`] selection —
+    /// the entry point the dense-vs-event equivalence suites drive.
+    pub fn run_with_loop<W: TraceSource>(
+        cfg: &SimConfig,
+        workload: &W,
+        timing_loop: TimingLoop,
+    ) -> SimReport {
         cfg.schedule.validate();
         let needs_oracle = cfg.icache_org.needs_oracle() || cfg.attach_oracle;
         let (oracle, total_instructions) = if needs_oracle {
@@ -834,7 +1029,8 @@ impl Engine {
             (None, total)
         };
 
-        let mut state = WindowCheckpoint::fresh(cfg, workload.seed(), total_instructions);
+        let mut state =
+            WindowCheckpoint::fresh(cfg, workload.seed(), total_instructions, timing_loop);
         state.cursor = oracle.as_ref().map(|o| o.cursor());
 
         let mut runs = GroupedRuns::new(workload.iter());
@@ -930,6 +1126,14 @@ impl Engine {
                 "phase times: ff={:.3}s warm={:.3}s detailed={:.3}s (ff {} instrs, warmed {}, windows {})",
                 state.t_ff, state.t_warm, state.t_detail, state.fastforwarded, state.warmed,
                 windows.len()
+            );
+            eprintln!(
+                "cycle loop ({:?}): executed {} of {} cycles ({:.1}% skipped)",
+                timing_loop,
+                state.executed_cycles,
+                state.now,
+                100.0 * (state.now.saturating_sub(state.executed_cycles)) as f64
+                    / state.now.max(1) as f64
             );
         }
         if std::env::var_os("ACIC_ENGINE_DEBUG").is_some() {

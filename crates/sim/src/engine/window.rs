@@ -50,7 +50,7 @@
 //! block run containing `warm_start`, so workers resume oracle queries
 //! mid-sequence without replaying the prefix.
 
-use super::{Engine, Phase, WindowCheckpoint, WindowSample};
+use super::{Engine, Phase, TimingLoop, WindowCheckpoint, WindowSample};
 use crate::config::{SampleSchedule, SimConfig};
 use crate::report::{BranchStats, PrefetchStats, SimReport};
 use acic_cache::CacheStats;
@@ -279,6 +279,7 @@ fn run_window_mirror<W: TraceSource>(
     w: &PlannedWindow,
     total: u64,
     oracle: Option<&ReuseOracle>,
+    timing_loop: TimingLoop,
 ) -> WindowOutcome {
     let SampleSchedule::Periodic {
         period,
@@ -288,7 +289,7 @@ fn run_window_mirror<W: TraceSource>(
     else {
         unreachable!("mirror windows exist only for periodic schedules");
     };
-    let mut state = WindowCheckpoint::fresh(cfg, workload.seed(), total);
+    let mut state = WindowCheckpoint::fresh(cfg, workload.seed(), total, timing_loop);
     state.cursor = oracle.map(|o| o.cursor());
     let mut runs = GroupedRuns::new(workload.iter());
     let initial_warmup = (total as f64 * cfg.warmup_fraction) as u64;
@@ -365,8 +366,9 @@ fn run_window_bounded<W: TraceSource>(
     total: u64,
     oracle: Option<&ReuseOracle>,
     cursor_starts: Option<&[u64]>,
+    timing_loop: TimingLoop,
 ) -> WindowOutcome {
-    let mut state = WindowCheckpoint::fresh(cfg, workload.seed(), total);
+    let mut state = WindowCheckpoint::fresh(cfg, workload.seed(), total, timing_loop);
     if let (Some(o), Some(starts)) = (oracle, cursor_starts) {
         state.cursor = Some(o.cursor_at(starts[w.index]));
     }
@@ -509,7 +511,19 @@ impl Engine {
         workload: &W,
         workers: usize,
     ) -> SimReport {
-        Self::run_windowed_inner(cfg, workload, workers, None)
+        Self::run_windowed_inner(cfg, workload, workers, None, TimingLoop::from_env())
+    }
+
+    /// [`Engine::run_windowed`] with an explicit [`TimingLoop`]
+    /// selection — the windowed leg of the dense-vs-event equivalence
+    /// suites.
+    pub fn run_windowed_with_loop<W: TraceSource + Sync>(
+        cfg: &SimConfig,
+        workload: &W,
+        workers: usize,
+        timing_loop: TimingLoop,
+    ) -> SimReport {
+        Self::run_windowed_inner(cfg, workload, workers, None, timing_loop)
     }
 
     /// [`Engine::run_windowed`] with a caller-supplied [`WindowPlan`]
@@ -533,7 +547,7 @@ impl Engine {
         workers: usize,
         plan: &WindowPlan,
     ) -> SimReport {
-        Self::run_windowed_inner(cfg, workload, workers, Some(plan))
+        Self::run_windowed_inner(cfg, workload, workers, Some(plan), TimingLoop::from_env())
     }
 
     fn run_windowed_inner<W: TraceSource + Sync>(
@@ -541,6 +555,7 @@ impl Engine {
         workload: &W,
         workers: usize,
         custom_plan: Option<&WindowPlan>,
+        timing_loop: TimingLoop,
     ) -> SimReport {
         cfg.schedule.validate();
         let needs_oracle = cfg.icache_org.needs_oracle() || cfg.attach_oracle;
@@ -573,7 +588,7 @@ impl Engine {
             }
             None => match WindowPlan::for_trace(total, cfg.schedule, cfg.warmup_fraction) {
                 Some(p) => p,
-                None => return Engine::run(cfg, workload),
+                None => return Engine::run_with_loop(cfg, workload, timing_loop),
             },
         };
 
@@ -607,7 +622,9 @@ impl Engine {
 
         let n = plan.windows.len();
         let run_one = |w: &PlannedWindow| match plan.warm {
-            WarmPolicy::MirrorSerial => run_window_mirror(cfg, workload, w, total, oracle.as_ref()),
+            WarmPolicy::MirrorSerial => {
+                run_window_mirror(cfg, workload, w, total, oracle.as_ref(), timing_loop)
+            }
             WarmPolicy::BoundedReach => run_window_bounded(
                 cfg,
                 workload,
@@ -615,6 +632,7 @@ impl Engine {
                 total,
                 oracle.as_ref(),
                 cursor_starts.as_deref(),
+                timing_loop,
             ),
         };
         let outcomes: Vec<WindowOutcome> = if workers <= 1 {

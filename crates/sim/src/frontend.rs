@@ -14,18 +14,21 @@ use crate::config::{BranchSwitchMode, SimConfig};
 use crate::report::BranchStats;
 use acic_trace::{BranchClass, Instr, InstrKind, RunInstrs};
 use acic_types::{Addr, Asid, BlockAddr, Cycle, ASID_IDENT_SHIFT};
-use std::collections::VecDeque;
 
-/// One fetch-target (block run) in the FTQ.
-#[derive(Clone, Debug)]
+/// One fetch-target (block run) in the FTQ. The run's instructions
+/// live in the owning [`Ftq`]'s instruction arena; the entry carries
+/// only their `[start, start + len)` position range.
+#[derive(Clone, Copy, Debug)]
 pub struct FtqEntry {
     /// The instruction block to fetch.
     pub block: BlockAddr,
     /// Address space of the run.
     pub asid: Asid,
-    /// Instructions of the run, tagged with global indices starting
-    /// at `first_index`.
-    pub instrs: Vec<Instr>,
+    /// Arena position of the run's first instruction (read it back
+    /// with [`InstrArena::get`]).
+    pub start: u64,
+    /// Number of instructions in the run.
+    pub len: u32,
     /// Global index of the first instruction.
     pub first_index: u64,
     /// Whether the demand i-cache access has been performed.
@@ -46,14 +49,13 @@ pub struct FtqEntry {
     pub prefetchable: bool,
 }
 
-impl FtqEntry {
-    /// Creates an entry (test helper; the front end normally builds
-    /// these internally).
-    pub fn new(block: BlockAddr, instrs: Vec<Instr>) -> Self {
+impl Default for FtqEntry {
+    fn default() -> Self {
         FtqEntry {
-            block,
+            block: BlockAddr::new(0),
             asid: Asid::HOST,
-            instrs,
+            start: 0,
+            len: 0,
             first_index: 0,
             accessed: false,
             ready_at: 0,
@@ -62,6 +64,188 @@ impl FtqEntry {
             delivered: 0,
             prefetchable: true,
         }
+    }
+}
+
+/// Ring-buffer instruction arena backing the FTQ entries.
+///
+/// Positions are *absolute* (monotonically increasing `u64`), so an
+/// entry's `start` stays valid across wraps and growth; the ring only
+/// reclaims space when the FTQ pops an entry (`release_to`). Capacity
+/// is a power of two and doubles on the cold overflow path, preserving
+/// every live position — steady-state pushes are allocation-free.
+#[derive(Debug)]
+pub struct InstrArena {
+    buf: Vec<Instr>,
+    mask: u64,
+    /// Absolute position of the oldest live instruction.
+    head: u64,
+    /// Absolute position one past the newest live instruction.
+    tail: u64,
+}
+
+/// Initial arena capacity: 24 FTQ entries × at most 16 instructions
+/// per 64 B fetch block leaves headroom; odd configs grow lazily.
+const ARENA_INITIAL: usize = 1024;
+
+impl InstrArena {
+    fn new() -> Self {
+        InstrArena {
+            buf: vec![Instr::alu(Addr::new(0)); ARENA_INITIAL],
+            mask: ARENA_INITIAL as u64 - 1,
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    /// Copies a run's instructions into the ring, returning the
+    /// absolute position of the first one.
+    fn push_run(&mut self, instrs: &[Instr]) -> u64 {
+        let needed = self.tail - self.head + instrs.len() as u64;
+        if needed > self.buf.len() as u64 {
+            self.grow(needed);
+        }
+        let start = self.tail;
+        for (k, i) in instrs.iter().enumerate() {
+            self.buf[((start + k as u64) & self.mask) as usize] = *i;
+        }
+        self.tail = start + instrs.len() as u64;
+        start
+    }
+
+    /// Cold path: doubles capacity until `needed` fits, re-laying the
+    /// live range so absolute positions keep resolving.
+    fn grow(&mut self, needed: u64) {
+        let mut cap = self.buf.len() * 2;
+        while (cap as u64) < needed {
+            cap *= 2;
+        }
+        let mut buf = vec![Instr::alu(Addr::new(0)); cap];
+        let mask = cap as u64 - 1;
+        for pos in self.head..self.tail {
+            buf[(pos & mask) as usize] = self.buf[(pos & self.mask) as usize];
+        }
+        self.buf = buf;
+        self.mask = mask;
+    }
+
+    /// The instruction at absolute position `pos` (must be live).
+    #[inline]
+    pub fn get(&self, pos: u64) -> Instr {
+        debug_assert!(self.head <= pos && pos < self.tail);
+        self.buf[(pos & self.mask) as usize]
+    }
+
+    /// Reclaims everything before `pos` (FIFO release on entry pop).
+    fn release_to(&mut self, pos: u64) {
+        debug_assert!(self.head <= pos && pos <= self.tail);
+        self.head = pos;
+    }
+}
+
+/// The Fetch Target Queue: a fixed-capacity entry ring plus the
+/// instruction arena its entries index into. Replaces the former
+/// `VecDeque<FtqEntry>`-of-`Vec<Instr>` shape — pushes and pops are
+/// allocation-free once the arena has warmed.
+#[derive(Debug)]
+pub struct Ftq {
+    entries: Vec<FtqEntry>,
+    head: usize,
+    len: usize,
+    arena: InstrArena,
+}
+
+impl Ftq {
+    /// Builds an empty FTQ with room for `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Ftq {
+            entries: vec![FtqEntry::default(); capacity.max(1)],
+            head: 0,
+            len: 0,
+            arena: InstrArena::new(),
+        }
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn slot(&self, i: usize) -> usize {
+        (self.head + i) % self.entries.len()
+    }
+
+    /// The entry at queue position `i` (0 = oldest).
+    pub fn get(&self, i: usize) -> &FtqEntry {
+        assert!(i < self.len, "FTQ index {i} out of {}", self.len);
+        &self.entries[self.slot(i)]
+    }
+
+    /// The oldest entry.
+    pub fn front(&self) -> Option<&FtqEntry> {
+        (self.len > 0).then(|| &self.entries[self.head])
+    }
+
+    /// The oldest entry, mutably, alongside the arena its instruction
+    /// range resolves in (split borrow: fetch delivery mutates the
+    /// entry while reading instructions).
+    pub fn front_mut_with_arena(&mut self) -> Option<(&mut FtqEntry, &InstrArena)> {
+        (self.len > 0).then(|| (&mut self.entries[self.head], &self.arena))
+    }
+
+    /// Pops the oldest entry, releasing its arena range.
+    pub fn pop_front(&mut self) -> Option<FtqEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        let e = self.entries[self.head];
+        self.arena.release_to(e.start + e.len as u64);
+        self.head = (self.head + 1) % self.entries.len();
+        self.len -= 1;
+        if self.len == 0 {
+            // Nothing live: rebase the entry ring (cheap tidy; arena
+            // positions are absolute and need no rebase).
+            self.head = 0;
+        }
+        Some(e)
+    }
+
+    /// Pushes an entry whose instructions are copied into the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ring is full — the BPU checks capacity before
+    /// producing.
+    pub fn push(&mut self, mut entry: FtqEntry, instrs: &[Instr]) {
+        assert!(self.len < self.entries.len(), "FTQ overflow");
+        entry.start = self.arena.push_run(instrs);
+        entry.len = instrs.len() as u32;
+        let slot = self.slot(self.len);
+        self.entries[slot] = entry;
+        self.len += 1;
+    }
+
+    /// Iterates entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &FtqEntry> {
+        (0..self.len).map(|i| &self.entries[self.slot(i)])
+    }
+
+    /// The instruction arena (resolve an entry's `start..start+len`).
+    pub fn arena(&self) -> &InstrArena {
+        &self.arena
+    }
+}
+
+impl core::ops::Index<usize> for Ftq {
+    type Output = FtqEntry;
+
+    fn index(&self, i: usize) -> &FtqEntry {
+        self.get(i)
     }
 }
 
@@ -95,7 +279,7 @@ struct ItpEntry {
 /// The decoupled front end.
 pub struct FrontEnd {
     /// The Fetch Target Queue.
-    pub ftq: VecDeque<FtqEntry>,
+    pub ftq: Ftq,
     capacity: usize,
     tage: Tage,
     btb: Btb,
@@ -120,7 +304,7 @@ impl FrontEnd {
     /// Builds the front end from the simulation config.
     pub fn new(cfg: &SimConfig) -> Self {
         FrontEnd {
-            ftq: VecDeque::with_capacity(cfg.ftq_entries),
+            ftq: Ftq::new(cfg.ftq_entries),
             capacity: cfg.ftq_entries,
             tage: Tage::new(),
             btb: Btb::new(8192, 4),
@@ -296,11 +480,32 @@ impl FrontEnd {
         self.path_history = acic_types::hash::fold(target.raw() >> 2, 16);
     }
 
-    /// Runs the BPU for one cycle: processes at most one fetch-block
-    /// run from `next_run` and pushes it into the FTQ.
-    pub fn bpu_cycle<F>(&mut self, now: Cycle, mut next_run: F)
+    /// Earliest cycle at which [`FrontEnd::bpu_cycle`] can produce a
+    /// fetch target, or `None` when it cannot until some other event
+    /// unblocks it (a mispredict resolution, an FTQ pop, or a window
+    /// reopening the trace). The event-horizon loop folds this into
+    /// its skip computation; the blocked cases all unblock through
+    /// dense-cycle events the loop already schedules.
+    pub fn bpu_horizon(&self) -> Option<Cycle> {
+        match self.state {
+            BpuState::Running { available_at }
+                if self.ftq.len() < self.capacity && !self.trace_done =>
+            {
+                Some(available_at)
+            }
+            _ => None,
+        }
+    }
+
+    /// Runs the BPU for one cycle: asks `feed` for at most one
+    /// fetch-block run (written into `scratch`, whose buffer is reused
+    /// across calls — the hot path allocates nothing) and pushes it
+    /// into the FTQ. `feed` returning `false` means the stream is over
+    /// (trace end or window budget); the front end latches
+    /// `trace_done` and the caller disambiguates which.
+    pub fn bpu_cycle<F>(&mut self, now: Cycle, scratch: &mut RunInstrs, mut feed: F)
     where
-        F: FnMut() -> Option<RunInstrs>,
+        F: FnMut(&mut RunInstrs) -> bool,
     {
         let BpuState::Running { available_at } = self.state else {
             return;
@@ -308,10 +513,11 @@ impl FrontEnd {
         if now < available_at || self.ftq.len() >= self.capacity || self.trace_done {
             return;
         }
-        let Some(run) = next_run() else {
+        if !feed(scratch) {
             self.trace_done = true;
             return;
-        };
+        }
+        let run = scratch;
         if run.asid != self.cur_asid {
             self.on_context_switch(run.asid);
         }
@@ -396,18 +602,16 @@ impl FrontEnd {
             }
         }
 
-        self.ftq.push_back(FtqEntry {
-            block: run.block,
-            asid: run.asid,
-            instrs: run.instrs,
-            first_index,
-            accessed: false,
-            ready_at: 0,
-            needs_fill: false,
-            next_use: acic_trace::NO_NEXT_USE,
-            delivered: 0,
-            prefetchable: bubble == 0 && mispredicted_at.is_none(),
-        });
+        self.ftq.push(
+            FtqEntry {
+                block: run.block,
+                asid: run.asid,
+                first_index,
+                prefetchable: bubble == 0 && mispredicted_at.is_none(),
+                ..FtqEntry::default()
+            },
+            &run.instrs,
+        );
 
         self.state = match mispredicted_at {
             Some(index) => BpuState::WaitingOnBranch { index },
@@ -441,12 +645,28 @@ mod tests {
         }
     }
 
+    /// Drives one BPU cycle fed with `run` (`None` = stream over).
+    fn cycle(fe: &mut FrontEnd, now: Cycle, run: Option<RunInstrs>) {
+        let mut scratch = RunInstrs::scratch();
+        fe.bpu_cycle(now, &mut scratch, |out| match &run {
+            Some(r) => {
+                *out = r.clone();
+                true
+            }
+            None => false,
+        });
+    }
+
     #[test]
     fn pushes_runs_until_full() {
         let cfg = SimConfig::default();
         let mut fe = FrontEnd::new(&cfg);
         for now in 0..30u64 {
-            fe.bpu_cycle(now, || Some(run_of(vec![Instr::alu(Addr::new(now * 64))])));
+            cycle(
+                &mut fe,
+                now,
+                Some(run_of(vec![Instr::alu(Addr::new(now * 64))])),
+            );
         }
         assert_eq!(fe.ftq.len(), cfg.ftq_entries);
     }
@@ -457,16 +677,20 @@ mod tests {
         let mut fe = FrontEnd::new(&cfg);
         // An indirect branch with no BTB entry: guaranteed mispredict.
         let br = Instr::branch(Addr::new(0), Addr::new(0x100), true, BranchClass::Indirect);
-        fe.bpu_cycle(0, || Some(run_of(vec![br])));
+        cycle(&mut fe, 0, Some(run_of(vec![br])));
         assert_eq!(fe.ftq.len(), 1);
+        assert_eq!(fe.bpu_horizon(), None, "stalled BPU reports no horizon");
         // Stalled: further cycles do nothing.
-        fe.bpu_cycle(1, || Some(run_of(vec![Instr::alu(Addr::new(64))])));
+        cycle(&mut fe, 1, Some(run_of(vec![Instr::alu(Addr::new(64))])));
         assert_eq!(fe.ftq.len(), 1);
         // Resolve the branch (global index 0) at cycle 10.
         fe.on_branch_resolved(0, 10);
-        fe.bpu_cycle(10 + cfg.redirect_penalty, || {
-            Some(run_of(vec![Instr::alu(Addr::new(64))]))
-        });
+        assert_eq!(fe.bpu_horizon(), Some(10 + cfg.redirect_penalty));
+        cycle(
+            &mut fe,
+            10 + cfg.redirect_penalty,
+            Some(run_of(vec![Instr::alu(Addr::new(64))])),
+        );
         assert_eq!(fe.ftq.len(), 2);
     }
 
@@ -474,9 +698,10 @@ mod tests {
     fn trace_end_marks_done() {
         let cfg = SimConfig::default();
         let mut fe = FrontEnd::new(&cfg);
-        fe.bpu_cycle(0, || None);
+        cycle(&mut fe, 0, None);
         assert!(fe.trace_done());
         assert!(fe.drained());
+        assert_eq!(fe.bpu_horizon(), None);
     }
 
     #[test]
@@ -485,11 +710,11 @@ mod tests {
         let mut fe = FrontEnd::new(&cfg);
         let br = Instr::branch(Addr::new(0), Addr::new(0x100), true, BranchClass::Indirect);
         // First encounter mispredicts; resolve it.
-        fe.bpu_cycle(0, || Some(run_of(vec![br])));
+        cycle(&mut fe, 0, Some(run_of(vec![br])));
         fe.on_branch_resolved(0, 5);
         // Second encounter: BTB now has the target; no stall.
         let before = fe.stats().mispredicts;
-        fe.bpu_cycle(20, || Some(run_of(vec![br])));
+        cycle(&mut fe, 20, Some(run_of(vec![br])));
         assert_eq!(fe.stats().mispredicts, before);
         assert_eq!(fe.ftq.len(), 2);
     }
@@ -506,9 +731,9 @@ mod tests {
         assert_eq!(s.mispredicts, 0);
         assert_eq!(s.btb.lookups, 0, "warmup lookups are uncounted");
         // The trained target now predicts: no mispredict, no stall.
-        fe.bpu_cycle(0, || Some(run_of(vec![br])));
+        cycle(&mut fe, 0, Some(run_of(vec![br])));
         assert_eq!(fe.stats().mispredicts, 0);
-        fe.bpu_cycle(1, || Some(run_of(vec![Instr::alu(Addr::new(64))])));
+        cycle(&mut fe, 1, Some(run_of(vec![Instr::alu(Addr::new(64))])));
         assert_eq!(fe.ftq.len(), 2, "BPU not stalled");
     }
 
@@ -516,11 +741,11 @@ mod tests {
     fn resume_stream_reopens_after_window_budget() {
         let cfg = SimConfig::default();
         let mut fe = FrontEnd::new(&cfg);
-        fe.bpu_cycle(0, || None);
+        cycle(&mut fe, 0, None);
         assert!(fe.trace_done());
         fe.resume_stream();
         assert!(!fe.trace_done());
-        fe.bpu_cycle(1, || Some(run_of(vec![Instr::alu(Addr::new(0))])));
+        cycle(&mut fe, 1, Some(run_of(vec![Instr::alu(Addr::new(0))])));
         assert_eq!(fe.ftq.len(), 1);
     }
 
@@ -528,15 +753,91 @@ mod tests {
     fn global_indices_are_contiguous() {
         let cfg = SimConfig::default();
         let mut fe = FrontEnd::new(&cfg);
-        fe.bpu_cycle(0, || {
+        cycle(
+            &mut fe,
+            0,
             Some(run_of(vec![
                 Instr::alu(Addr::new(0)),
                 Instr::alu(Addr::new(4)),
-            ]))
-        });
-        fe.bpu_cycle(1, || Some(run_of(vec![Instr::alu(Addr::new(64))])));
+            ])),
+        );
+        cycle(&mut fe, 1, Some(run_of(vec![Instr::alu(Addr::new(64))])));
         assert_eq!(fe.ftq[0].first_index, 0);
         assert_eq!(fe.ftq[1].first_index, 2);
         assert_eq!(fe.instructions_entered(), 3);
+    }
+
+    #[test]
+    fn ftq_entries_resolve_their_instructions_through_the_arena() {
+        let cfg = SimConfig::default();
+        let mut fe = FrontEnd::new(&cfg);
+        cycle(
+            &mut fe,
+            0,
+            Some(run_of(vec![
+                Instr::alu(Addr::new(0)),
+                Instr::alu(Addr::new(4)),
+            ])),
+        );
+        cycle(&mut fe, 1, Some(run_of(vec![Instr::alu(Addr::new(64))])));
+        let e0 = fe.ftq[0];
+        assert_eq!(e0.len, 2);
+        assert_eq!(fe.ftq.arena().get(e0.start).pc(), Addr::new(0));
+        assert_eq!(fe.ftq.arena().get(e0.start + 1).pc(), Addr::new(4));
+        let e1 = fe.ftq[1];
+        assert_eq!(fe.ftq.arena().get(e1.start).pc(), Addr::new(64));
+        // Popping releases the arena range and keeps later entries valid.
+        fe.ftq.pop_front();
+        assert_eq!(fe.ftq.arena().get(fe.ftq[0].start).pc(), Addr::new(64));
+    }
+
+    #[test]
+    fn arena_grows_without_invalidating_positions() {
+        let mut ftq = Ftq::new(256);
+        // Push far more instructions than ARENA_INITIAL while holding
+        // entries live so the arena must grow.
+        let runs: Vec<Vec<Instr>> = (0..128u64)
+            .map(|r| {
+                (0..16u64)
+                    .map(|k| Instr::alu(Addr::new(r * 64 + k * 4)))
+                    .collect()
+            })
+            .collect();
+        for instrs in &runs {
+            ftq.push(FtqEntry::default(), instrs);
+        }
+        for (r, instrs) in runs.iter().enumerate() {
+            let e = ftq[r];
+            for (k, want) in instrs.iter().enumerate() {
+                assert_eq!(ftq.arena().get(e.start + k as u64).pc(), want.pc());
+            }
+        }
+    }
+
+    #[test]
+    fn ftq_ring_wraps_across_many_push_pop_cycles() {
+        let mut ftq = Ftq::new(4);
+        let mut popped = 0u64;
+        let mut pushed = 0u64;
+        for round in 0..50u64 {
+            while ftq.len() < 4 {
+                ftq.push(
+                    FtqEntry {
+                        first_index: pushed,
+                        ..FtqEntry::default()
+                    },
+                    &[Instr::alu(Addr::new(pushed * 4))],
+                );
+                pushed += 1;
+            }
+            let take = 1 + (round % 3) as usize;
+            for _ in 0..take.min(ftq.len()) {
+                let e = ftq.pop_front().unwrap();
+                assert_eq!(e.first_index, popped);
+                popped += 1;
+            }
+        }
+        // FIFO order held across every wrap.
+        assert!(popped > 50);
     }
 }

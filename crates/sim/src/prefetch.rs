@@ -6,7 +6,7 @@
 //! and fills them on arrival (into the i-Filter for ACIC, matching
 //! Figure 9's timeline).
 
-use crate::frontend::FtqEntry;
+use crate::frontend::Ftq;
 use acic_types::hash::{fold, mix64};
 use acic_types::{Cycle, TaggedBlock};
 use std::collections::VecDeque;
@@ -33,7 +33,7 @@ pub enum Prefetcher {
 impl Prefetcher {
     /// Candidate blocks to prefetch this cycle, given the FTQ
     /// contents (head excluded — it is the demand access).
-    pub fn candidates(&mut self, ftq: &VecDeque<FtqEntry>, out: &mut Vec<TaggedBlock>) {
+    pub fn candidates(&mut self, ftq: &Ftq, out: &mut Vec<TaggedBlock>) {
         match self {
             Prefetcher::None => {}
             Prefetcher::Fdp => {
@@ -214,10 +214,17 @@ mod tests {
 
     #[test]
     fn fdp_yields_ftq_tail() {
+        use crate::frontend::FtqEntry;
         let mut p = Prefetcher::Fdp;
-        let mut ftq = VecDeque::new();
+        let mut ftq = Ftq::new(8);
         for b in 0..4u64 {
-            ftq.push_back(FtqEntry::new(BlockAddr::new(b), Vec::new()));
+            ftq.push(
+                FtqEntry {
+                    block: BlockAddr::new(b),
+                    ..FtqEntry::default()
+                },
+                &[],
+            );
         }
         let mut out = Vec::new();
         p.candidates(&ftq, &mut out);

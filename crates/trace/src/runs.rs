@@ -139,6 +139,17 @@ pub struct RunInstrs {
 }
 
 impl RunInstrs {
+    /// An empty placeholder run for use as a reusable
+    /// [`GroupedRuns::next_into`] scratch buffer. The field values are
+    /// meaningless until the first `next_into` overwrites them.
+    pub fn scratch() -> Self {
+        RunInstrs {
+            block: BlockAddr::new(0),
+            asid: Asid::HOST,
+            instrs: Vec::new(),
+        }
+    }
+
     /// The ASID-tagged identity of the run's block.
     #[inline]
     pub fn tagged(&self) -> TaggedBlock {
